@@ -1,0 +1,227 @@
+// Benchmarks regenerating every result figure of the paper plus the
+// DESIGN.md ablations. Each benchmark iteration runs a reduced-scale but
+// shape-preserving version of the corresponding experiment (fewer runs per
+// point than the paper's 100 so `go test -bench=.` terminates in minutes;
+// the full-scale numbers live in EXPERIMENTS.md and come from cmd/nbsim).
+// Custom metrics report the experiment's headline quantity alongside the
+// usual ns/op.
+package nbiot_test
+
+import (
+	"testing"
+
+	"nbiot"
+	"nbiot/internal/core"
+	"nbiot/internal/experiment"
+	"nbiot/internal/multicast"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// benchOptions returns reduced-scale experiment options; shape assertions
+// for these scales live in internal/experiment's tests.
+func benchOptions() experiment.Options {
+	o := experiment.DefaultOptions()
+	o.Runs = 3
+	o.Devices = 200
+	o.FleetSizes = []int{100, 400, 1000}
+	return o
+}
+
+// BenchmarkFig6aLightSleepUptime regenerates Fig. 6(a): relative
+// light-sleep uptime increase per grouping mechanism.
+func BenchmarkFig6aLightSleepUptime(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig6a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Increase[core.MechanismDASC].Mean*100, "DA-SC-%")
+		b.ReportMetric(res.Increase[core.MechanismDRSI].Mean*100, "DR-SI-%")
+	}
+}
+
+// BenchmarkFig6bConnectedUptime regenerates Fig. 6(b): relative
+// connected-mode uptime increase per mechanism × payload size.
+func BenchmarkFig6bConnectedUptime(b *testing.B) {
+	o := benchOptions()
+	o.Runs = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig6b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Increase[core.MechanismDASC][multicast.Size100KB].Mean*100, "DASC-100KB-%")
+		b.ReportMetric(res.Increase[core.MechanismDASC][multicast.Size10MB].Mean*100, "DASC-10MB-%")
+	}
+}
+
+// BenchmarkFig7Transmissions regenerates Fig. 7: DR-SC multicast
+// transmission count vs fleet size.
+func BenchmarkFig7Transmissions(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := res.Ratio.Points[0].Y.Mean
+		last := res.Ratio.Points[len(res.Ratio.Points)-1].Y.Mean
+		b.ReportMetric(first*100, "tx/dev-N100-%")
+		b.ReportMetric(last*100, "tx/dev-N1000-%")
+	}
+}
+
+// BenchmarkAblationGreedyVsExact regenerates A1: greedy cover quality
+// against the exact optimum on small instances.
+func BenchmarkAblationGreedyVsExact(b *testing.B) {
+	o := benchOptions()
+	o.Runs = 50
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.GreedyVsExact(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio.Mean, "greedy/opt")
+	}
+}
+
+// BenchmarkAblationTISweep regenerates A2: DR-SC sensitivity to the
+// inactivity timer.
+func BenchmarkAblationTISweep(b *testing.B) {
+	o := benchOptions()
+	o.FleetSizes = []int{300}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.TISweep(o, []simtime.Ticks{
+			10 * simtime.Second, 30 * simtime.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Series[0].Points[0].Y.Mean*100, "TI10-%")
+		b.ReportMetric(res.Series[1].Points[0].Y.Mean*100, "TI30-%")
+	}
+}
+
+// BenchmarkAblationMixSweep regenerates A3: DR-SC sensitivity to the fleet
+// composition.
+func BenchmarkAblationMixSweep(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.MixSweep(o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio[traffic.LongHeavyMix().Name].Mean*100, "long-heavy-%")
+	}
+}
+
+// BenchmarkAblationPagingCapacity regenerates A4: paging-occasion
+// congestion vs per-PO record capacity.
+func BenchmarkAblationPagingCapacity(b *testing.B) {
+	o := benchOptions()
+	o.Runs = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.PagingCapacity(o, []int{1, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Overflows[1].Mean, "overflows-cap1")
+	}
+}
+
+// BenchmarkExtensionSCPTM regenerates X1: SC-PTM's standing monitoring cost
+// against the on-demand mechanisms.
+func BenchmarkExtensionSCPTM(b *testing.B) {
+	o := benchOptions()
+	o.Runs = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.SCPTMComparison(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LightIncrease[core.MechanismSCPTM].Mean*100, "SCPTM-%")
+		b.ReportMetric(res.LightIncrease[core.MechanismDASC].Mean*100, "DASC-%")
+	}
+}
+
+// --- component benchmarks ---------------------------------------------------
+
+// BenchmarkDRSCPlanner measures one DR-SC planning pass at paper scale
+// (N = 1000), the heaviest single algorithm in the library.
+func BenchmarkDRSCPlanner(b *testing.B) {
+	fleet, err := traffic.PaperCalibratedMix().Generate(1000, rng.NewStream(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices, err := core.FleetFromTraffic(fleet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params := core.Params{Now: 0, TI: 10 * simtime.Second, TieBreak: rng.NewStream(int64(i))}
+		plan, err := core.DRSCPlanner{}.Plan(devices, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(plan.NumTransmissions()), "tx")
+	}
+}
+
+// BenchmarkDASCPlanner measures one DA-SC planning pass at paper scale.
+func BenchmarkDASCPlanner(b *testing.B) {
+	fleet, err := traffic.PaperCalibratedMix().Generate(1000, rng.NewStream(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	devices, err := core.FleetFromTraffic(fleet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params := core.Params{Now: 0, TI: 10 * simtime.Second}
+		if _, err := (core.DASCPlanner{}).Plan(devices, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignDASC measures a full end-to-end DA-SC campaign (plan +
+// event simulation + accounting) on a 500-device fleet.
+func BenchmarkCampaignDASC(b *testing.B) {
+	fleet, err := traffic.PaperCalibratedMix().Generate(500, rng.NewStream(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := nbiot.RunCampaign(nbiot.CampaignConfig{
+			Mechanism:       nbiot.MechanismDASC,
+			Fleet:           fleet,
+			TI:              10 * nbiot.Second,
+			PayloadBytes:    nbiot.Size1MB,
+			Seed:            int64(i),
+			UniformCoverage: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumTransmissions != 1 {
+			b.Fatalf("DA-SC used %d transmissions", res.NumTransmissions)
+		}
+	}
+}
+
+// BenchmarkPagingScheduleDerivation measures TS 36.304 PF/PO derivation.
+func BenchmarkPagingScheduleDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := nbiot.DRXConfig{UEID: uint32(i % 4096), Cycle: nbiot.Cycle163s}
+		if _, err := nbiot.NewPagingSchedule(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

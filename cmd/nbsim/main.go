@@ -1,0 +1,294 @@
+// Command nbsim regenerates the paper's evaluation from the command line.
+//
+// Usage:
+//
+//	nbsim fig6a     [flags]   # Fig 6(a): relative light-sleep uptime increase
+//	nbsim fig6b     [flags]   # Fig 6(b): relative connected-mode uptime increase
+//	nbsim fig7      [flags]   # Fig 7: DR-SC transmissions vs fleet size
+//	nbsim ablations [flags]   # A1-A4 (use -id to select one)
+//	nbsim all       [flags]   # everything above
+//	nbsim run       [flags]   # one campaign, verbose per-device summary
+//
+// Common flags: -seed, -runs, -devices, -ti, -mix, -csv, -quiet.
+// Results print as aligned tables (and ASCII charts); -csv switches the
+// tables to CSV for post-processing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/experiment"
+	"nbiot/internal/multicast"
+	"nbiot/internal/report"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/trace"
+	"nbiot/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nbsim:", err)
+		os.Exit(1)
+	}
+}
+
+// cliOptions holds the parsed common flags.
+type cliOptions struct {
+	exp     experiment.Options
+	csv     bool
+	quiet   bool
+	mixName string
+	// run-subcommand extras
+	mechanism string
+	size      int64
+	ablation  string
+	jsonOut   bool
+	traceN    int
+}
+
+func parseFlags(cmd string, args []string) (cliOptions, error) {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var o cliOptions
+	fs.Int64Var(&o.exp.Seed, "seed", 1, "master random seed")
+	fs.IntVar(&o.exp.Runs, "runs", 0, "runs per data point (default: paper's 100; shape-preserving smaller values run faster)")
+	fs.IntVar(&o.exp.Devices, "devices", 0, "fleet size for fig6a/fig6b/run (default 500)")
+	tiSec := fs.Float64("ti", 10, "inactivity timer in seconds (paper: 10-30)")
+	fs.StringVar(&o.mixName, "mix", "paper-calibrated", "fleet mix: "+strings.Join(mixNames(), ", "))
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
+	fs.StringVar(&o.mechanism, "mechanism", "DA-SC", "run: mechanism (Unicast, DR-SC, DA-SC, DR-SI)")
+	fs.Int64Var(&o.size, "size", multicast.Size1MB, "run: payload bytes")
+	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
+	fs.IntVar(&o.traceN, "trace", 0, "run: print the last N timeline events")
+	fs.StringVar(&o.ablation, "id", "", "ablations: one of greedy-vs-exact, ti-sweep, mix-sweep, paging-capacity, scptm (default all)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	o.exp.TI = simtime.Ticks(*tiSec * 1000)
+	mix, ok := traffic.Mixes()[o.mixName]
+	if !ok {
+		return o, fmt.Errorf("unknown mix %q (have %s)", o.mixName, strings.Join(mixNames(), ", "))
+	}
+	o.exp.Mix = mix
+	if !o.quiet {
+		o.exp.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	return o, nil
+}
+
+func mixNames() []string {
+	names := make([]string, 0)
+	for name := range traffic.Mixes() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run} [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	o, err := parseFlags(cmd, rest)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "fig6a":
+		return runFig6a(o)
+	case "fig6b":
+		return runFig6b(o)
+	case "fig7":
+		return runFig7(o)
+	case "ablations":
+		return runAblations(o)
+	case "all":
+		if err := runFig6a(o); err != nil {
+			return err
+		}
+		if err := runFig6b(o); err != nil {
+			return err
+		}
+		if err := runFig7(o); err != nil {
+			return err
+		}
+		return runAblations(o)
+	case "run":
+		return runSingle(o)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func emit(o cliOptions, t *report.Table) {
+	if o.csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t.String())
+}
+
+func runFig6a(o cliOptions) error {
+	res, err := experiment.Fig6a(o.exp)
+	if err != nil {
+		return err
+	}
+	emit(o, res.Table())
+	return nil
+}
+
+func runFig6b(o cliOptions) error {
+	res, err := experiment.Fig6b(o.exp)
+	if err != nil {
+		return err
+	}
+	emit(o, res.Table())
+	if !o.csv {
+		fmt.Println(res.Chart().String())
+	}
+	return nil
+}
+
+func runFig7(o cliOptions) error {
+	res, err := experiment.Fig7(o.exp)
+	if err != nil {
+		return err
+	}
+	emit(o, res.Table())
+	if !o.csv {
+		fmt.Println(res.Chart().String())
+	}
+	return nil
+}
+
+func runAblations(o cliOptions) error {
+	want := func(id string) bool { return o.ablation == "" || o.ablation == id }
+	any := false
+	if want("greedy-vs-exact") {
+		any = true
+		res, err := experiment.GreedyVsExact(o.exp)
+		if err != nil {
+			return err
+		}
+		emit(o, res.Table())
+	}
+	if want("ti-sweep") {
+		any = true
+		res, err := experiment.TISweep(o.exp, nil)
+		if err != nil {
+			return err
+		}
+		emit(o, res.Table())
+		if !o.csv {
+			fmt.Println(res.Chart().String())
+		}
+	}
+	if want("mix-sweep") {
+		any = true
+		res, err := experiment.MixSweep(o.exp, nil)
+		if err != nil {
+			return err
+		}
+		emit(o, res.Table())
+	}
+	if want("paging-capacity") {
+		any = true
+		res, err := experiment.PagingCapacity(o.exp, nil)
+		if err != nil {
+			return err
+		}
+		emit(o, res.Table())
+	}
+	if want("scptm") {
+		any = true
+		res, err := experiment.SCPTMComparison(o.exp)
+		if err != nil {
+			return err
+		}
+		emit(o, res.Table())
+	}
+	if !any {
+		return fmt.Errorf("unknown ablation id %q", o.ablation)
+	}
+	return nil
+}
+
+func parseMechanism(name string) (core.Mechanism, error) {
+	for _, m := range core.AllMechanisms() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mechanism %q (want Unicast, DR-SC, DA-SC, DR-SI or SC-PTM)", name)
+}
+
+func runSingle(o cliOptions) error {
+	mech, err := parseMechanism(o.mechanism)
+	if err != nil {
+		return err
+	}
+	exp := o.exp.Devices
+	if exp == 0 {
+		exp = 500
+	}
+	fleet, err := o.exp.Mix.Generate(exp, rng.NewStream(o.exp.Seed))
+	if err != nil {
+		return err
+	}
+	ti := o.exp.TI
+	if ti == 0 {
+		ti = 10 * simtime.Second
+	}
+	var rec *trace.Recorder
+	if o.traceN > 0 {
+		rec = trace.NewRecorder(o.traceN)
+	}
+	res, err := cell.Run(cell.Config{
+		Mechanism:       mech,
+		Fleet:           fleet,
+		TI:              ti,
+		PageGuard:       100 * simtime.Millisecond,
+		PayloadBytes:    o.size,
+		Seed:            o.exp.Seed,
+		UniformCoverage: true,
+		Trace:           rec,
+	})
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		defer func() {
+			fmt.Println()
+			_ = rec.WriteTimeline(os.Stdout)
+		}()
+	}
+	if o.jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Campaign: %v, %d devices, %s payload", mech, res.NumDevices, multicast.SizeLabel(o.size)),
+		"metric", "value")
+	t.AddRow("multicast transmissions", fmt.Sprintf("%d", res.NumTransmissions))
+	t.AddRow("campaign end", res.CampaignEnd.String())
+	t.AddRow("total light-sleep uptime", res.TotalLightSleep().String())
+	t.AddRow("total connected uptime", res.TotalConnected().String())
+	t.AddRow("paging messages", fmt.Sprintf("%d (%d B)", res.ENB.PagingMessages, res.ENB.PagingBytes))
+	t.AddRow("extended pages", fmt.Sprintf("%d", res.ENB.ExtendedPages))
+	t.AddRow("signalling messages", fmt.Sprintf("%d (%d B)", res.ENB.SignallingMessages, res.ENB.SignallingBytes))
+	t.AddRow("data airtime", res.ENB.DataAirtime.String())
+	t.AddRow("RA procedures", fmt.Sprintf("%d (%d attempts, %d collisions)",
+		res.MAC.Procedures, res.MAC.Attempts, res.MAC.Collisions))
+	t.AddRow("inactivity-timer violations", fmt.Sprintf("%d", res.TimerViolations))
+	emit(o, t)
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+
+	"nbiot/internal/core"
+)
+
+func TestParseMechanism(t *testing.T) {
+	for name, want := range map[string]core.Mechanism{
+		"Unicast": core.MechanismUnicast,
+		"dr-sc":   core.MechanismDRSC,
+		"DA-SC":   core.MechanismDASC,
+		"dr-si":   core.MechanismDRSI,
+	} {
+		got, err := parseMechanism(name)
+		if err != nil || got != want {
+			t.Errorf("parseMechanism(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseMechanism("bogus"); err == nil {
+		t.Error("bogus mechanism accepted")
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags("fig7", []string{"-seed", "9", "-runs", "2", "-ti", "20", "-mix", "long-heavy", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp.Seed != 9 || o.exp.Runs != 2 {
+		t.Errorf("seed/runs = %d/%d", o.exp.Seed, o.exp.Runs)
+	}
+	if o.exp.TI != 20000 {
+		t.Errorf("TI = %v", o.exp.TI)
+	}
+	if o.exp.Mix.Name != "long-heavy" {
+		t.Errorf("mix = %q", o.exp.Mix.Name)
+	}
+	if o.exp.Progress != nil {
+		t.Error("quiet should suppress progress")
+	}
+	if _, err := parseFlags("fig7", []string{"-mix", "no-such-mix"}); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"ablations", "-id", "no-such-ablation", "-quiet", "-runs", "1", "-devices", "20"}); err == nil {
+		t.Error("unknown ablation id accepted")
+	}
+}
+
+func TestRunSubcommandsSmall(t *testing.T) {
+	// Exercise each subcommand at minimal scale; stdout noise is fine in
+	// tests, correctness is "no error".
+	cases := [][]string{
+		{"fig6a", "-runs", "1", "-devices", "30", "-quiet"},
+		{"fig7", "-runs", "1", "-quiet", "-csv"},
+		{"ablations", "-id", "greedy-vs-exact", "-runs", "5", "-quiet"},
+		{"run", "-devices", "30", "-mechanism", "DR-SI", "-size", "102400", "-quiet"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package nbiot_test
+
+import (
+	"fmt"
+
+	"nbiot"
+)
+
+// ExampleRunCampaign delivers one firmware image with DA-SC: the whole
+// fleet is synchronised onto a single multicast transmission.
+func ExampleRunCampaign() {
+	fleet, err := nbiot.PaperCalibratedMix().Generate(100, nbiot.NewStream(1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := nbiot.RunCampaign(nbiot.CampaignConfig{
+		Mechanism:       nbiot.MechanismDASC,
+		Fleet:           fleet,
+		TI:              10 * nbiot.Second,
+		PayloadBytes:    nbiot.Size100KB,
+		Seed:            42,
+		UniformCoverage: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("transmissions:", res.NumTransmissions)
+	fmt.Println("devices:", res.NumDevices)
+	// Output:
+	// transmissions: 1
+	// devices: 100
+}
+
+// ExampleNewPagingSchedule derives a device's paging occasions per
+// TS 36.304 from its identity and eDRX cycle.
+func ExampleNewPagingSchedule() {
+	sched, err := nbiot.NewPagingSchedule(nbiot.DRXConfig{
+		UEID:  1234,
+		Cycle: nbiot.Cycle20s,
+	})
+	if err != nil {
+		panic(err)
+	}
+	first := sched.NextAtOrAfter(0)
+	second := sched.NextAfter(first)
+	fmt.Println("period:", second-first)
+	// Output:
+	// period: 20.480s
+}
+
+// ExampleNewPlanner plans a DR-SC delivery directly and inspects the
+// transmission schedule.
+func ExampleNewPlanner() {
+	var devices []nbiot.PlannerDevice
+	cycles := []nbiot.Cycle{nbiot.Cycle20s, nbiot.Cycle10485s, nbiot.Cycle10485s}
+	for i, ueid := range []uint32{11, 227, 3091} {
+		sched, err := nbiot.NewPagingSchedule(nbiot.DRXConfig{UEID: ueid, Cycle: cycles[i]})
+		if err != nil {
+			panic(err)
+		}
+		devices = append(devices, nbiot.PlannerDevice{
+			ID: i, UEID: ueid, Schedule: sched, Coverage: nbiot.CE0,
+		})
+	}
+	planner, err := nbiot.NewPlanner(nbiot.MechanismDRSC)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := planner.Plan(devices, nbiot.PlanParams{Now: 0, TI: 10 * nbiot.Second})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("transmissions:", plan.NumTransmissions())
+	// Output:
+	// transmissions: 2
+}
+
+// ExampleMechanism_StandardsCompliant shows which mechanisms work without
+// protocol changes.
+func ExampleMechanism_StandardsCompliant() {
+	for _, m := range nbiot.GroupingMechanisms() {
+		fmt.Printf("%s: %v\n", m, m.StandardsCompliant())
+	}
+	// Output:
+	// DR-SC: true
+	// DA-SC: true
+	// DR-SI: false
+}
+
+// ExampleAdjustedFraction computes how likely a dormant meter is to need a
+// DA-SC reconfiguration.
+func ExampleAdjustedFraction() {
+	p := nbiot.AdjustedFraction(nbiot.Cycle10485s, 10*nbiot.Second)
+	fmt.Printf("%.4f\n", p)
+	// Output:
+	// 0.9990
+}

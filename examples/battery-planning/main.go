@@ -1,0 +1,84 @@
+// Battery-planning: turn simulated campaign energy into the number the
+// paper's introduction actually cares about — battery life. NB-IoT devices
+// must survive "more than 10 years on a single battery" (Sec. I); this
+// example measures each mechanism's per-device campaign cost on the
+// simulator, converts it to joules, and asks how many firmware updates per
+// year a dormant meter can afford under each mechanism while keeping the
+// 10-year target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nbiot"
+	"nbiot/internal/report"
+)
+
+func main() {
+	const devices = 200
+	fleet, err := nbiot.PaperCalibratedMix().Generate(devices, nbiot.NewStream(31))
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile := nbiot.DefaultPowerProfile()
+
+	// A dormant metering device: deepest eDRX, daily report.
+	cfg := nbiot.BatteryConfig{
+		CapacityJoules:     nbiot.DefaultBatteryCapacityJoules,
+		Profile:            profile,
+		POPeriod:           nbiot.Cycle10485s.Ticks(),
+		POMonitor:          2 * nbiot.Millisecond,
+		ReportPeriod:       24 * nbiot.Hour,
+		ReportEnergyJoules: 0.5,
+	}
+	baseline, err := cfg.BaselineLifeYears()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dormant meter, no updates ever: %.1f years of battery\n\n", baseline)
+
+	t := report.NewTable(
+		"Monthly 1MB updates: battery life by delivery mechanism (dormant meter)",
+		"mechanism", "campaign J/device", "life @ 12 updates/yr", "max updates/yr for 10y")
+
+	// Unicast baseline for relative energy.
+	for _, mech := range nbiot.Mechanisms() {
+		res, err := nbiot.RunCampaign(nbiot.CampaignConfig{
+			Mechanism:       mech,
+			Fleet:           fleet,
+			TI:              10 * nbiot.Second,
+			PayloadBytes:    nbiot.Size1MB,
+			Seed:            31,
+			UniformCoverage: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Mean per-device campaign energy: extra light sleep + connected.
+		var joules float64
+		for _, d := range res.Devices {
+			joules += nbiot.CampaignJoules(profile, d.Campaign.LightSleep, d.Connected())
+		}
+		joules /= float64(len(res.Devices))
+
+		life, err := cfg.LifeYears(joules, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxRate, err := cfg.MaxUpdatesPerYear(joules, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(
+			mech.String(),
+			fmt.Sprintf("%.1f", joules),
+			fmt.Sprintf("%.1f years", life),
+			fmt.Sprintf("%.0f", maxRate),
+		)
+	}
+	fmt.Println(t.String())
+	fmt.Println("The campaign cost is dominated by receiving the image itself, which is why")
+	fmt.Println("the paper's grouping overheads barely move the battery math — the real")
+	fmt.Println("damage would come from SC-PTM's standing monitoring between updates.")
+}

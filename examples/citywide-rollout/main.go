@@ -1,0 +1,52 @@
+// Citywide-rollout: push one firmware image to a fleet spread across many
+// cells — the full pipeline of the on-demand multicast scheme the paper
+// builds on (its ref [3]): the content provider hands the operator the
+// image and the device list, the coordination entity fans both out to
+// every eNB with attached targets, and each cell runs its own grouping
+// campaign. Cells simulate concurrently.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nbiot"
+	"nbiot/internal/report"
+)
+
+func main() {
+	const (
+		cells   = 8
+		devices = 1200
+	)
+	net, err := nbiot.PopulateNetwork(cells, devices, nbiot.PaperCalibratedMix(), nbiot.NewStream(21))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Citywide rollout: %d devices across %d cells, 1MB image", devices, cells),
+		"mechanism", "total tx", "tx/device", "rollout end", "fleet connected uptime")
+	for _, mech := range nbiot.Mechanisms() {
+		rollout, err := net.Distribute(nbiot.RolloutConfig{
+			Mechanism:       mech,
+			TI:              10 * nbiot.Second,
+			PayloadBytes:    nbiot.Size1MB,
+			Seed:            21,
+			UniformCoverage: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(
+			mech.String(),
+			fmt.Sprintf("%d", rollout.TotalTransmissions),
+			fmt.Sprintf("%.2f", float64(rollout.TotalTransmissions)/float64(rollout.TotalDevices)),
+			rollout.End.String(),
+			rollout.TotalConnected().String(),
+		)
+	}
+	fmt.Println(t.String())
+	fmt.Println("DA-SC and DR-SI need exactly one transmission per cell; DR-SC's count")
+	fmt.Println("tracks the per-cell set cover; unicast transmits once per device.")
+}

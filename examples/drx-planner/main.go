@@ -1,0 +1,80 @@
+// DRX-planner: use the lower-level planning API directly — hand-built DRX
+// configurations, TS 36.304 paging schedules, and a DR-SC plan you can
+// inspect window by window.
+//
+// This is the paper's Fig. 2/Fig. 4 scenario in code: devices with
+// different (e)DRX cycles and offsets, and the greedy set cover choosing
+// the multicast transmission windows that cover them with the fewest
+// transmissions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nbiot"
+)
+
+func main() {
+	// Hand-pick a small heterogeneous fleet: two trackers on a 20.48 s
+	// eDRX, one alarm on a 2.56 s DRX, and two dormant meters at the
+	// maximum 174.8-minute eDRX. The UE identity determines each device's
+	// paging frame and occasion per TS 36.304.
+	configs := []nbiot.DRXConfig{
+		{UEID: 101, Cycle: nbiot.Cycle20s},
+		{UEID: 2040, Cycle: nbiot.Cycle20s},
+		{UEID: 7, Cycle: nbiot.Cycle2560ms},
+		{UEID: 900, Cycle: nbiot.Cycle10485s},
+		{UEID: 3501, Cycle: nbiot.Cycle10485s},
+	}
+	devices := make([]nbiot.PlannerDevice, len(configs))
+	for i, cfg := range configs {
+		sched, err := nbiot.NewPagingSchedule(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devices[i] = nbiot.PlannerDevice{ID: i, UEID: cfg.UEID, Schedule: sched, Coverage: nbiot.CE0}
+		fmt.Printf("device %d: cycle %-12v first paging occasion at %v\n",
+			i, cfg.Cycle, sched.NextAtOrAfter(0))
+	}
+
+	// Plan a DR-SC delivery: respect every cycle, minimise transmissions
+	// with the greedy set cover over TI-length windows.
+	planner, err := nbiot.NewPlanner(nbiot.MechanismDRSC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.Plan(devices, nbiot.PlanParams{
+		Now: 0,
+		TI:  10 * nbiot.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nDR-SC plan: %d multicast transmissions for %d devices\n",
+		plan.NumTransmissions(), len(devices))
+	for i, tx := range plan.Transmissions {
+		fmt.Printf("  tx %d at %v covers devices %v\n", i, tx.At, tx.Devices)
+	}
+	for _, pg := range plan.Pages {
+		fmt.Printf("  page device %d at %v (for tx %d)\n", pg.Device, pg.At, pg.TxIndex)
+	}
+
+	// Contrast with DA-SC: one transmission, but the dormant meters get
+	// their DRX temporarily shortened.
+	dasc, err := nbiot.NewPlanner(nbiot.MechanismDASC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan2, err := dasc.Plan(devices, nbiot.PlanParams{Now: 0, TI: 10 * nbiot.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDA-SC plan: %d transmission at %v, %d DRX adjustments\n",
+		plan2.NumTransmissions(), plan2.Transmissions[0].At, len(plan2.Adjustments))
+	for _, adj := range plan2.Adjustments {
+		fmt.Printf("  device %d: reconfigure to %v at its occasion %v, paged again at %v (%d extra wake-ups)\n",
+			adj.Device, adj.NewCycle, adj.AtPO, adj.PagedAt, len(adj.ExtraPOs))
+	}
+}

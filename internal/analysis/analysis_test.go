@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/device"
+	"nbiot/internal/drx"
+	"nbiot/internal/mac"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/stats"
+	"nbiot/internal/traffic"
+)
+
+const ti = 10 * simtime.Second
+
+func TestAdjustedFraction(t *testing.T) {
+	if got := AdjustedFraction(drx.Cycle2560ms, ti); got != 0 {
+		t.Errorf("cycle < TI: fraction = %v, want 0", got)
+	}
+	if got := AdjustedFraction(drx.Cycle20s, ti); math.Abs(got-(1-10.0/20.48)) > 1e-12 {
+		t.Errorf("20.48s: fraction = %v", got)
+	}
+	if got := AdjustedFraction(drx.Cycle10485s, ti); got < 0.999 {
+		t.Errorf("10485s: fraction = %v, want ~1", got)
+	}
+}
+
+func TestAdjustedFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for TI=0")
+		}
+	}()
+	AdjustedFraction(drx.Cycle20s, 0)
+}
+
+func TestExpectedAdjustmentsMatchesPlanner(t *testing.T) {
+	// The analytical adjusted-device count must track the DA-SC planner.
+	var predicted, simulated float64
+	for r := 0; r < 10; r++ {
+		fleet, err := traffic.PaperCalibratedMix().Generate(200, rng.NewStream(int64(r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted += ExpectedAdjustments(fleet, ti)
+		devices, err := core.FleetFromTraffic(fleet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := (core.DASCPlanner{}).Plan(devices, core.Params{Now: 0, TI: ti})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated += float64(len(plan.Adjustments))
+	}
+	rel := math.Abs(predicted-simulated) / simulated
+	if rel > 0.05 {
+		t.Errorf("adjustment prediction off by %.1f%%: predicted %v, simulated %v",
+			100*rel, predicted/10, simulated/10)
+	}
+}
+
+func TestExpectedExtraWakeupsMatchesPlanner(t *testing.T) {
+	// The mean-field extra-wake-up count should land within ~30% of the
+	// planner's actual extras for long-cycle devices.
+	for _, cycle := range []drx.Cycle{drx.Cycle655s, drx.Cycle2621s, drx.Cycle10485s} {
+		predicted := ExpectedExtraWakeups(cycle, ti)
+		var acc stats.Accumulator
+		stream := rng.NewStream(int64(cycle))
+		for r := 0; r < 300; r++ {
+			// One long device (gets adjusted) plus one short anchor device.
+			devices := []core.Device{
+				{ID: 0, Schedule: drx.Schedule{
+					Period: cycle.Ticks(),
+					Offset: simtime.Ticks(stream.Int63n(int64(cycle.Ticks()))),
+				}},
+				{ID: 1, Schedule: drx.Schedule{Period: drx.Cycle2560ms.Ticks(), Offset: 9}},
+			}
+			plan, err := (core.DASCPlanner{}).Plan(devices, core.Params{Now: 0, TI: ti})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, adj := range plan.Adjustments {
+				if adj.Device == 0 {
+					acc.Add(float64(len(adj.ExtraPOs)))
+				}
+			}
+		}
+		simulated := acc.Mean()
+		if simulated == 0 {
+			t.Fatalf("cycle %v never adjusted", cycle)
+		}
+		rel := math.Abs(predicted-simulated) / simulated
+		if rel > 0.30 {
+			t.Errorf("cycle %v: extra-wakeup prediction off by %.0f%% (predicted %.1f, simulated %.1f)",
+				cycle, 100*rel, predicted, simulated)
+		}
+	}
+}
+
+func TestExpectedExtraWakeupsShortCycleZero(t *testing.T) {
+	if got := ExpectedExtraWakeups(drx.Cycle2560ms, ti); got != 0 {
+		t.Errorf("short cycle extras = %v, want 0 (never adjusted)", got)
+	}
+}
+
+func TestExpectedDRSCTransmissionsMatchesGreedy(t *testing.T) {
+	// The mean-field cover model should land within ~25% of the simulated
+	// greedy for the calibrated fleet across sizes.
+	for _, n := range []int{100, 500, 1000} {
+		var predicted, simulated float64
+		const runs = 5
+		for r := 0; r < runs; r++ {
+			fleet, err := traffic.PaperCalibratedMix().Generate(n, rng.NewStream(int64(1000*n+r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			predicted += ExpectedDRSCTransmissions(fleet, ti)
+			devices, err := core.FleetFromTraffic(fleet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := (core.DRSCPlanner{}).Plan(devices, core.Params{
+				Now: 0, TI: ti, TieBreak: rng.NewStream(int64(r)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simulated += float64(plan.NumTransmissions())
+		}
+		rel := math.Abs(predicted-simulated) / simulated
+		if rel > 0.25 {
+			t.Errorf("N=%d: cover prediction off by %.0f%% (predicted %.1f, simulated %.1f)",
+				n, 100*rel, predicted/runs, simulated/runs)
+		}
+	}
+}
+
+func TestExpectedDRSCTransmissionsTrend(t *testing.T) {
+	// The model must reproduce Fig. 7's falling tx/device trend.
+	ratios := make([]float64, 0, 3)
+	for _, n := range []int{100, 500, 1000} {
+		fleet, err := traffic.PaperCalibratedMix().Generate(n, rng.NewStream(int64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, ExpectedDRSCTransmissions(fleet, ti)/float64(n))
+	}
+	if !(ratios[0] > ratios[1] && ratios[1] > ratios[2]) {
+		t.Errorf("tx/device should fall with N: %v", ratios)
+	}
+	if ratios[0] > 0.8 || ratios[2] < 0.2 {
+		t.Errorf("ratios out of plausible range: %v", ratios)
+	}
+}
+
+func defaultConnectedModel(payload int64) ConnectedModel {
+	link := phy.DefaultLinkProfile()
+	macCfg := mac.DefaultConfig()
+	timing := device.DefaultTiming()
+	return ConnectedModel{
+		RA:       macCfg.SlotPeriod/2 + macCfg.AttemptLatency[phy.CE0],
+		Setup:    timing.RRCSetup,
+		Reconfig: timing.ReconfigExchange,
+		Release:  timing.Release,
+		Data:     link.TxDuration(payload, phy.CE0),
+	}
+}
+
+func TestExpectedConnectedIncreaseMatchesSimulation(t *testing.T) {
+	// The analytical Fig. 6(b) prediction should land within ~30% of the
+	// simulated relative increase for each mechanism at 100 KB.
+	const payload = 100 * 1024
+	model := defaultConnectedModel(payload)
+	fleet, err := traffic.PaperCalibratedMix().Generate(150, rng.NewStream(555))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMech := func(m core.Mechanism) simtime.Ticks {
+		res, err := cell.Run(cell.Config{
+			Mechanism: m, Fleet: fleet, TI: ti,
+			PageGuard: 100 * simtime.Millisecond, PayloadBytes: payload,
+			Seed: 555, UniformCoverage: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalConnected()
+	}
+	base := runMech(core.MechanismUnicast)
+	for _, m := range core.GroupingMechanisms() {
+		predicted, err := ExpectedConnectedIncrease(m, fleet, ti, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated := float64(runMech(m)-base) / float64(base)
+		rel := math.Abs(predicted-simulated) / simulated
+		if rel > 0.30 {
+			t.Errorf("%v: connected prediction off by %.0f%% (predicted %.3f, simulated %.3f)",
+				m, 100*rel, predicted, simulated)
+		}
+	}
+}
+
+func TestExpectedConnectedIncreaseShape(t *testing.T) {
+	fleet, err := traffic.PaperCalibratedMix().Generate(100, rng.NewStream(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := defaultConnectedModel(100 * 1024)
+	large := defaultConnectedModel(10 * 1024 * 1024)
+	for _, m := range core.GroupingMechanisms() {
+		incSmall, err := ExpectedConnectedIncrease(m, fleet, ti, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incLarge, err := ExpectedConnectedIncrease(m, fleet, ti, large)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if incLarge >= incSmall {
+			t.Errorf("%v: increase must fall with payload (%.4f → %.4f)", m, incSmall, incLarge)
+		}
+	}
+	dasc, _ := ExpectedConnectedIncrease(core.MechanismDASC, fleet, ti, small)
+	drsi, _ := ExpectedConnectedIncrease(core.MechanismDRSI, fleet, ti, small)
+	if dasc <= drsi {
+		t.Errorf("DA-SC prediction %.4f should exceed DR-SI %.4f", dasc, drsi)
+	}
+	if uni, _ := ExpectedConnectedIncrease(core.MechanismUnicast, fleet, ti, small); uni != 0 {
+		t.Errorf("unicast increase = %v, want 0", uni)
+	}
+}
+
+func TestExpectedConnectedIncreaseErrors(t *testing.T) {
+	fleet, err := traffic.PaperCalibratedMix().Generate(10, rng.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := defaultConnectedModel(1000)
+	if _, err := ExpectedConnectedIncrease(core.MechanismDASC, fleet, 0, good); err == nil {
+		t.Error("zero TI accepted")
+	}
+	if _, err := ExpectedConnectedIncrease(core.MechanismDASC, nil, ti, good); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	bad := good
+	bad.Data = 0
+	if _, err := ExpectedConnectedIncrease(core.MechanismDASC, fleet, ti, bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := ExpectedConnectedIncrease(core.MechanismSCPTM, fleet, ti, good); err == nil {
+		t.Error("SC-PTM should have no connected model")
+	}
+}
+
+func TestExpectedConnectedWait(t *testing.T) {
+	if got := ExpectedConnectedWait(ti); got != 5*simtime.Second {
+		t.Errorf("wait = %v, want TI/2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for TI=0")
+		}
+	}()
+	ExpectedConnectedWait(0)
+}

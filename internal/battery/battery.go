@@ -1,0 +1,131 @@
+// Package battery projects device battery life under the grouping
+// mechanisms — the quantity behind the paper's motivation: NB-IoT devices
+// "are expected to operate for more than 10 years on a single battery"
+// (Sec. I), which is why firmware delivery must not waste energy.
+//
+// The model combines three loads:
+//
+//   - the standing load: deep sleep plus the device's normal
+//     paging-occasion monitoring (and, under SC-PTM, SC-MCCH monitoring);
+//   - the reporting load: the device's periodic uplink reports;
+//   - the update load: per-campaign energy as measured by the cell
+//     simulator, scaled by an updates-per-year rate.
+//
+// Everything converts to joules through an energy.PowerProfile, so the
+// output is a life projection in years and the answer to the operator
+// question "how many updates per year can the fleet afford?".
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"nbiot/internal/energy"
+	"nbiot/internal/simtime"
+)
+
+// SecondsPerYear is the conversion used by projections.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// Config describes one device's duty cycle and battery.
+type Config struct {
+	// CapacityJoules is the usable battery energy. A typical primary
+	// lithium cell for NB-IoT meters holds ~5 Wh = 18 kJ.
+	CapacityJoules float64
+	// Profile converts uptime to energy.
+	Profile energy.PowerProfile
+	// POPeriod is the device's paging cycle and POMonitor the light-sleep
+	// cost of checking one occasion.
+	POPeriod  simtime.Ticks
+	POMonitor simtime.Ticks
+	// ReportPeriod and ReportEnergy describe the uplink duty cycle:
+	// one report of ReportEnergyJoules every ReportPeriod.
+	ReportPeriod       simtime.Ticks
+	ReportEnergyJoules float64
+}
+
+// DefaultCapacityJoules is a 5 Wh primary cell.
+const DefaultCapacityJoules = 5 * 3600.0
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.CapacityJoules <= 0 {
+		return fmt.Errorf("battery: non-positive capacity %v", c.CapacityJoules)
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.POPeriod <= 0 || c.POMonitor <= 0 {
+		return fmt.Errorf("battery: non-positive paging duty cycle (%v / %v)", c.POPeriod, c.POMonitor)
+	}
+	if c.ReportPeriod <= 0 || c.ReportEnergyJoules < 0 {
+		return fmt.Errorf("battery: invalid reporting duty cycle")
+	}
+	return nil
+}
+
+// StandingPowerWatts reports the device's average power with no campaigns:
+// deep sleep, PO monitoring and reporting.
+func (c Config) StandingPowerWatts() float64 {
+	poDuty := float64(c.POMonitor) / float64(c.POPeriod)
+	sleepPower := c.Profile.DeepSleepWatts*(1-poDuty) + c.Profile.LightSleepWatts*poDuty
+	reportPower := c.ReportEnergyJoules / c.ReportPeriod.Seconds()
+	return sleepPower + reportPower
+}
+
+// BaselineLifeYears reports battery life with no firmware updates at all.
+func (c Config) BaselineLifeYears() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	p := c.StandingPowerWatts()
+	if p <= 0 {
+		return math.Inf(1), nil
+	}
+	return c.CapacityJoules / p / SecondsPerYear, nil
+}
+
+// LifeYears reports battery life when the device additionally receives
+// updatesPerYear campaigns, each costing campaignJoules beyond the
+// standing load.
+func (c Config) LifeYears(campaignJoules, updatesPerYear float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if campaignJoules < 0 || updatesPerYear < 0 {
+		return 0, fmt.Errorf("battery: negative campaign energy or rate")
+	}
+	perYear := c.StandingPowerWatts()*SecondsPerYear + campaignJoules*updatesPerYear
+	if perYear <= 0 {
+		return math.Inf(1), nil
+	}
+	return c.CapacityJoules / perYear, nil
+}
+
+// MaxUpdatesPerYear reports how many campaigns per year the battery can
+// absorb while still reaching targetYears of life. Zero means even the
+// standing load breaks the target.
+func (c Config) MaxUpdatesPerYear(campaignJoules, targetYears float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if campaignJoules <= 0 {
+		return 0, fmt.Errorf("battery: non-positive campaign energy %v", campaignJoules)
+	}
+	if targetYears <= 0 {
+		return 0, fmt.Errorf("battery: non-positive target life %v", targetYears)
+	}
+	budgetPerYear := c.CapacityJoules/targetYears - c.StandingPowerWatts()*SecondsPerYear
+	if budgetPerYear <= 0 {
+		return 0, nil
+	}
+	return budgetPerYear / campaignJoules, nil
+}
+
+// CampaignJoules extracts the per-device energy cost of one campaign from
+// simulator uptime, charging only what exceeds the standing load: the
+// extra light sleep and the whole connected time.
+func CampaignJoules(profile energy.PowerProfile, extraLight, connected simtime.Ticks) float64 {
+	return extraLight.Seconds()*(profile.LightSleepWatts-profile.DeepSleepWatts) +
+		connected.Seconds()*(profile.ConnectedWatts-profile.DeepSleepWatts)
+}

@@ -1,0 +1,179 @@
+package battery
+
+import (
+	"math"
+	"testing"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/energy"
+	"nbiot/internal/simtime"
+)
+
+// meterConfig models a dormant metering device: max eDRX, daily report.
+func meterConfig() Config {
+	return Config{
+		CapacityJoules:     DefaultCapacityJoules,
+		Profile:            energy.DefaultPowerProfile(),
+		POPeriod:           drx.Cycle10485s.Ticks(),
+		POMonitor:          2 * simtime.Millisecond,
+		ReportPeriod:       24 * simtime.Hour,
+		ReportEnergyJoules: 0.5, // ~2 s connected at 220 mW plus RA
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := meterConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.CapacityJoules = 0 },
+		func(c *Config) { c.Profile.ConnectedWatts = -1 },
+		func(c *Config) { c.POPeriod = 0 },
+		func(c *Config) { c.POMonitor = 0 },
+		func(c *Config) { c.ReportPeriod = 0 },
+		func(c *Config) { c.ReportEnergyJoules = -1 },
+	}
+	for i, mutate := range mutations {
+		c := meterConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestBaselineLifeExceedsTenYears(t *testing.T) {
+	// The paper's premise: a dormant NB-IoT meter on a 5 Wh cell must live
+	// >10 years under its standing load.
+	life, err := meterConfig().BaselineLifeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life < 10 {
+		t.Errorf("baseline life = %.1f years, want > 10 (paper Sec. I)", life)
+	}
+	if life > 200 {
+		t.Errorf("baseline life = %.1f years: standing load suspiciously low", life)
+	}
+}
+
+func TestChattyDeviceLivesShorter(t *testing.T) {
+	chatty := meterConfig()
+	chatty.POPeriod = drx.Cycle2560ms.Ticks()
+	chatty.ReportPeriod = 2 * simtime.Minute
+	long, err := meterConfig().BaselineLifeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := chatty.BaselineLifeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short >= long {
+		t.Errorf("chatty device life %.1f should be below dormant %.1f", short, long)
+	}
+}
+
+func TestLifeYearsMonotoneInUpdateRate(t *testing.T) {
+	c := meterConfig()
+	const campaignJ = 50.0 // ~230 s connected: a 1MB reception
+	prev := math.Inf(1)
+	for _, rate := range []float64{0, 1, 12, 52} {
+		life, err := c.LifeYears(campaignJ, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if life > prev {
+			t.Errorf("life should fall with update rate: %v at rate %v", life, rate)
+		}
+		prev = life
+	}
+	baseline, err := c.BaselineLifeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := c.LifeYears(campaignJ, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zero-baseline) > 1e-9 {
+		t.Errorf("zero-rate life %v != baseline %v", zero, baseline)
+	}
+}
+
+func TestMaxUpdatesPerYear(t *testing.T) {
+	c := meterConfig()
+	const campaignJ = 50.0
+	maxRate, err := c.MaxUpdatesPerYear(campaignJ, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRate <= 0 {
+		t.Fatalf("a dormant meter should afford some updates: %v", maxRate)
+	}
+	// Life at exactly that rate must be (about) the target.
+	life, err := c.LifeYears(campaignJ, maxRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(life-10) > 0.01 {
+		t.Errorf("life at max rate = %v, want ~10", life)
+	}
+	// An unreachable target yields zero budget.
+	impossible, err := c.MaxUpdatesPerYear(campaignJ, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible != 0 {
+		t.Errorf("10000-year target should be unaffordable, got %v updates/year", impossible)
+	}
+}
+
+func TestMaxUpdatesErrors(t *testing.T) {
+	c := meterConfig()
+	if _, err := c.MaxUpdatesPerYear(0, 10); err == nil {
+		t.Error("zero campaign energy accepted")
+	}
+	if _, err := c.MaxUpdatesPerYear(1, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestCampaignJoules(t *testing.T) {
+	p := energy.DefaultPowerProfile()
+	// 10 ms extra light sleep + 60 s connected.
+	got := CampaignJoules(p, 10*simtime.Millisecond, 60*simtime.Second)
+	want := 0.010*(p.LightSleepWatts-p.DeepSleepWatts) + 60*(p.ConnectedWatts-p.DeepSleepWatts)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CampaignJoules = %v, want %v", got, want)
+	}
+	if CampaignJoules(p, 0, 0) != 0 {
+		t.Error("zero uptime should cost nothing")
+	}
+}
+
+func TestMechanismEnergyGapMatters(t *testing.T) {
+	// A DA-SC campaign (reconfiguration connection + TI/2 wait) costs more
+	// than DR-SI; the life difference at a monthly update cadence should be
+	// visible but modest — the paper's conclusion that DA-SC's overhead is
+	// acceptable.
+	c := meterConfig()
+	p := c.Profile
+	drsi := CampaignJoules(p, 14*simtime.Millisecond, 40*simtime.Second)
+	dasc := CampaignJoules(p, 600*simtime.Millisecond, 42*simtime.Second)
+	lifeDRSI, err := c.LifeYears(drsi, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifeDASC, err := c.LifeYears(dasc, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifeDASC >= lifeDRSI {
+		t.Errorf("DA-SC life %v should be below DR-SI %v", lifeDASC, lifeDRSI)
+	}
+	if (lifeDRSI-lifeDASC)/lifeDRSI > 0.10 {
+		t.Errorf("life gap %.1f%% too large: DA-SC overhead should be modest",
+			100*(lifeDRSI-lifeDASC)/lifeDRSI)
+	}
+}

@@ -1,0 +1,101 @@
+package cell
+
+import (
+	"fmt"
+	"testing"
+
+	"nbiot/internal/core"
+	"nbiot/internal/multicast"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// TestCampaignMatrix sweeps the full configuration space at small scale:
+// every mechanism × payload size × fleet mix × TI, asserting the universal
+// invariants on each cell run. This is the broad safety net behind the
+// focused tests above.
+func TestCampaignMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep skipped in -short mode")
+	}
+	mixes := []traffic.Mix{
+		traffic.PaperCalibratedMix(),
+		traffic.EricssonCityMix(),
+		traffic.ShortHeavyMix(),
+		traffic.LongHeavyMix(),
+	}
+	sizes := []int64{multicast.Size100KB, multicast.Size1MB}
+	tis := []simtime.Ticks{10 * simtime.Second, 30 * simtime.Second}
+
+	for _, mech := range core.AllMechanisms() {
+		for _, mix := range mixes {
+			for _, size := range sizes {
+				for _, ti := range tis {
+					mech, mix, size, ti := mech, mix, size, ti
+					name := fmt.Sprintf("%v/%s/%s/TI%v", mech, mix.Name, multicast.SizeLabel(size), ti)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						fleet, err := mix.Generate(30, rng.NewStream(int64(size)+int64(ti)))
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := Run(Config{
+							Mechanism:       mech,
+							Fleet:           fleet,
+							TI:              ti,
+							PageGuard:       100 * simtime.Millisecond,
+							PayloadBytes:    size,
+							Seed:            99,
+							UniformCoverage: true,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertInvariants(t, res, mech)
+					})
+				}
+			}
+		}
+	}
+}
+
+// assertInvariants checks the properties every campaign must satisfy.
+func assertInvariants(t *testing.T, res *Result, mech core.Mechanism) {
+	t.Helper()
+	if res.NumTransmissions < 1 {
+		t.Error("no transmissions")
+	}
+	switch mech {
+	case core.MechanismUnicast:
+		if res.NumTransmissions != res.NumDevices {
+			t.Errorf("unicast tx = %d for %d devices", res.NumTransmissions, res.NumDevices)
+		}
+	case core.MechanismDASC, core.MechanismDRSI, core.MechanismSCPTM:
+		if res.NumTransmissions != 1 {
+			t.Errorf("%v tx = %d, want 1", mech, res.NumTransmissions)
+		}
+	case core.MechanismDRSC:
+		if res.NumTransmissions > res.NumDevices {
+			t.Errorf("DR-SC tx = %d exceeds fleet %d", res.NumTransmissions, res.NumDevices)
+		}
+	}
+	for _, d := range res.Devices {
+		if d.DeliveredAt <= 0 || d.DeliveredAt >= res.Span.End {
+			t.Errorf("device %d delivery time %v outside span", d.ID, d.DeliveredAt)
+		}
+		if d.Campaign.Connected <= 0 {
+			t.Errorf("device %d zero connected time", d.ID)
+		}
+		total := d.Campaign.Total()
+		if total != res.Span.Len() {
+			t.Errorf("device %d uptime %v != span %v (accounting leak)", d.ID, total, res.Span.Len())
+		}
+	}
+	if res.ENB.DataTransmissions != int64(res.NumTransmissions) {
+		t.Errorf("eNB data tx %d != plan tx %d", res.ENB.DataTransmissions, res.NumTransmissions)
+	}
+	if res.CampaignEnd >= res.Span.End {
+		t.Error("campaign ran past the accounting span")
+	}
+}

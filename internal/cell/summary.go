@@ -1,0 +1,67 @@
+package cell
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Summary is the machine-readable digest of a campaign result, stable
+// enough to feed dashboards or downstream analysis. All durations are in
+// milliseconds (simulator ticks).
+type Summary struct {
+	Mechanism        string `json:"mechanism"`
+	StandardsOK      bool   `json:"standardsCompliant"`
+	Devices          int    `json:"devices"`
+	Transmissions    int    `json:"transmissions"`
+	CampaignEndMs    int64  `json:"campaignEndMs"`
+	SpanMs           int64  `json:"spanMs"`
+	LightSleepMs     int64  `json:"lightSleepMs"`
+	ConnectedMs      int64  `json:"connectedMs"`
+	PagingMessages   int64  `json:"pagingMessages"`
+	PagingBytes      int64  `json:"pagingBytes"`
+	ExtendedPages    int64  `json:"extendedPages"`
+	SignallingBytes  int64  `json:"signallingBytes"`
+	DataAirtimeMs    int64  `json:"dataAirtimeMs"`
+	RAProcedures     int64  `json:"raProcedures"`
+	RAAttempts       int64  `json:"raAttempts"`
+	RACollisions     int64  `json:"raCollisions"`
+	TimerViolations  int    `json:"timerViolations"`
+	BackgroundSent   int    `json:"backgroundReportsSent,omitempty"`
+	BackgroundMissed int    `json:"backgroundReportsSkipped,omitempty"`
+}
+
+// Summary builds the digest.
+func (r *Result) Summary() Summary {
+	return Summary{
+		Mechanism:        r.Mechanism.String(),
+		StandardsOK:      r.Mechanism.StandardsCompliant(),
+		Devices:          r.NumDevices,
+		Transmissions:    r.NumTransmissions,
+		CampaignEndMs:    int64(r.CampaignEnd),
+		SpanMs:           int64(r.Span.Len()),
+		LightSleepMs:     int64(r.TotalLightSleep()),
+		ConnectedMs:      int64(r.TotalConnected()),
+		PagingMessages:   r.ENB.PagingMessages,
+		PagingBytes:      r.ENB.PagingBytes,
+		ExtendedPages:    r.ENB.ExtendedPages,
+		SignallingBytes:  r.ENB.SignallingBytes,
+		DataAirtimeMs:    int64(r.ENB.DataAirtime),
+		RAProcedures:     r.MAC.Procedures,
+		RAAttempts:       r.MAC.Attempts,
+		RACollisions:     r.MAC.Collisions,
+		TimerViolations:  r.TimerViolations,
+		BackgroundSent:   r.ReportsSent,
+		BackgroundMissed: r.ReportsSkipped,
+	}
+}
+
+// WriteJSON emits the digest as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Summary()); err != nil {
+		return fmt.Errorf("cell: encoding summary: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package cell
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nbiot/internal/core"
+)
+
+func TestSummary(t *testing.T) {
+	res := run(t, testConfig(t, core.MechanismDASC, 30, 91))
+	s := res.Summary()
+	if s.Mechanism != "DA-SC" || !s.StandardsOK {
+		t.Errorf("mechanism fields wrong: %+v", s)
+	}
+	if s.Devices != 30 || s.Transmissions != 1 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.LightSleepMs != int64(res.TotalLightSleep()) {
+		t.Error("light sleep mismatch")
+	}
+	if s.ConnectedMs != int64(res.TotalConnected()) {
+		t.Error("connected mismatch")
+	}
+	if s.RAProcedures == 0 || s.PagingBytes == 0 || s.DataAirtimeMs == 0 {
+		t.Errorf("zero counters: %+v", s)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	res := run(t, testConfig(t, core.MechanismDRSI, 25, 97))
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if got != res.Summary() {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, res.Summary())
+	}
+	if got.ExtendedPages == 0 {
+		t.Error("DR-SI summary should report extended pages")
+	}
+	// No background traffic: omitempty must drop those fields.
+	if bytes.Contains(buf.Bytes(), []byte("backgroundReportsSent")) {
+		t.Error("background fields should be omitted when zero")
+	}
+}

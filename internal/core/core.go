@@ -1,0 +1,587 @@
+// Package core implements the paper's contribution: the device-grouping
+// mechanisms that schedule multicast firmware delivery over a fleet of
+// NB-IoT devices with heterogeneous (e)DRX cycles (Sec. III).
+//
+// A Planner consumes the fleet's paging schedules and produces a Plan: when
+// each device is paged (or notified), which DRX adjustments are installed,
+// and when the multicast transmissions happen. Four planners exist:
+//
+//   - Unicast — the energy-optimal baseline: every device is served
+//     individually at its own next paging occasion (Sec. IV-A);
+//   - DR-SC — DRX-respecting, standards-compliant: greedy set cover over
+//     TI-length windows of the paging-occasion timeline (Sec. III-A);
+//   - DA-SC — DRX-adjusting, standards-compliant: temporarily shortens the
+//     DRX of devices that would miss the single transmission (Sec. III-B);
+//   - DR-SI — DRX-respecting, standards-incompliant: announces the
+//     transmission time in advance through the `mltc-transmission` paging
+//     extension (Sec. III-C).
+//
+// The execution of a plan against the event-driven cell model (random
+// access, signalling, airtime, energy accounting) lives in internal/cell.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/setcover"
+	"nbiot/internal/simtime"
+)
+
+// Mechanism identifies a grouping mechanism.
+type Mechanism int
+
+// The grouping mechanisms of the paper plus the unicast baseline and the
+// standardised SC-PTM scheme (an extension used for the paper's background
+// comparison, Sec. II-A).
+const (
+	MechanismUnicast Mechanism = iota + 1
+	MechanismDRSC
+	MechanismDASC
+	MechanismDRSI
+	MechanismSCPTM
+)
+
+// Mechanisms lists the paper's evaluation set in presentation order
+// (baseline first). SC-PTM is not part of the paper's figures; see
+// AllMechanisms.
+func Mechanisms() []Mechanism {
+	return []Mechanism{MechanismUnicast, MechanismDRSC, MechanismDASC, MechanismDRSI}
+}
+
+// AllMechanisms additionally includes the SC-PTM baseline.
+func AllMechanisms() []Mechanism {
+	return append(Mechanisms(), MechanismSCPTM)
+}
+
+// GroupingMechanisms lists only the paper's three grouping mechanisms.
+func GroupingMechanisms() []Mechanism {
+	return []Mechanism{MechanismDRSC, MechanismDASC, MechanismDRSI}
+}
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismUnicast:
+		return "Unicast"
+	case MechanismDRSC:
+		return "DR-SC"
+	case MechanismDASC:
+		return "DA-SC"
+	case MechanismDRSI:
+		return "DR-SI"
+	case MechanismSCPTM:
+		return "SC-PTM"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known mechanism.
+func (m Mechanism) Valid() bool {
+	return m >= MechanismUnicast && m <= MechanismSCPTM
+}
+
+// StandardsCompliant reports whether the mechanism works without protocol
+// changes (Sec. III): DR-SI's paging extension is the only incompliant one.
+func (m Mechanism) StandardsCompliant() bool { return m != MechanismDRSI }
+
+// Device is the planner's view of one fleet member.
+type Device struct {
+	// ID is the dense fleet index.
+	ID int
+	// UEID is the paging identity.
+	UEID uint32
+	// Schedule is the device's paging-occasion schedule.
+	Schedule drx.Schedule
+	// Coverage is the coverage-enhancement class (sizes the multicast
+	// bearer and the random-access latency).
+	Coverage phy.CoverageClass
+}
+
+// Params configures a planning run.
+type Params struct {
+	// Now is the time the multicast content (and device list) reaches the
+	// eNB.
+	Now simtime.Ticks
+	// TI is the inactivity timer (10–30 s in commercial networks,
+	// Sec. II-B). A multicast transmission covers every device with a
+	// paging occasion within TI before it.
+	TI simtime.Ticks
+	// PageGuard is the minimum lead time before the first paging occasion
+	// the eNB can still use (processing/scheduling latency). Zero is valid.
+	PageGuard simtime.Ticks
+	// TieBreak, when non-nil, randomises DR-SC's choice among equally good
+	// windows, as the paper does (Fig. 4). Nil selects the earliest window.
+	TieBreak *rng.Stream
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Now < 0 {
+		return fmt.Errorf("core: negative start time %v", p.Now)
+	}
+	if p.TI <= 0 {
+		return fmt.Errorf("core: non-positive inactivity timer %v", p.TI)
+	}
+	if p.PageGuard < 0 {
+		return fmt.Errorf("core: negative page guard %v", p.PageGuard)
+	}
+	return nil
+}
+
+// Transmission is one planned multicast (or unicast) data transmission.
+type Transmission struct {
+	// At is the transmission start time.
+	At simtime.Ticks
+	// Devices lists the covered device IDs.
+	Devices []int
+}
+
+// Page is a normal paging event: the device is paged at one of its paging
+// occasions and must connect to receive the transmission TxIndex.
+type Page struct {
+	Device  int
+	At      simtime.Ticks
+	TxIndex int
+}
+
+// ExtendedPage is a DR-SI notification: the device receives the
+// `mltc-transmission` extension at a natural paging occasion, does not
+// connect, and instead wakes at a self-chosen random time inside WakeWindow
+// to receive transmission TxIndex (Sec. III-C).
+type ExtendedPage struct {
+	Device     int
+	At         simtime.Ticks
+	TxIndex    int
+	WakeWindow simtime.Interval
+}
+
+// Adjustment is a DA-SC DRX reconfiguration (Sec. III-B): at the paging
+// occasion AtPO (the device's last natural PO before the window) the device
+// is paged, connects, receives NewCycle, and is released immediately. Its
+// adapted occasions then run every NewCycle from AtPO; ExtraPOs lists the
+// additional wake-ups this costs before PagedAt, the adapted occasion inside
+// the window where the device is paged to connect for the transmission.
+type Adjustment struct {
+	Device   int
+	AtPO     simtime.Ticks
+	NewCycle drx.Cycle
+	PagedAt  simtime.Ticks
+	ExtraPOs []simtime.Ticks
+	TxIndex  int
+}
+
+// Plan is a complete delivery schedule for one multicast campaign.
+type Plan struct {
+	Mechanism     Mechanism
+	Transmissions []Transmission
+	Pages         []Page
+	ExtendedPages []ExtendedPage
+	Adjustments   []Adjustment
+	// Horizon is the planning span [Now, end of last transmission window];
+	// executors extend it by the data airtime.
+	Horizon simtime.Interval
+
+	// MCCHPeriod and AnnounceAt describe the SC-PTM control channel for
+	// SC-PTM plans: devices monitor SC-MCCH every MCCHPeriod and the
+	// session is announced at AnnounceAt (Sec. II-A). Zero otherwise.
+	MCCHPeriod simtime.Ticks
+	AnnounceAt simtime.Ticks
+
+	// split marks plans merged from per-coverage-class groups; see
+	// CoverageSplitPlanner.
+	split bool
+}
+
+// NumTransmissions reports how many multicast transmissions the plan uses —
+// the paper's bandwidth proxy (Sec. IV-A).
+func (p *Plan) NumTransmissions() int { return len(p.Transmissions) }
+
+// Planner produces a Plan for a fleet.
+type Planner interface {
+	// Mechanism reports which mechanism the planner implements.
+	Mechanism() Mechanism
+	// Plan schedules delivery for the fleet.
+	Plan(devices []Device, params Params) (*Plan, error)
+}
+
+// NewPlanner returns the planner for a mechanism.
+func NewPlanner(m Mechanism) (Planner, error) {
+	switch m {
+	case MechanismUnicast:
+		return UnicastPlanner{}, nil
+	case MechanismDRSC:
+		return DRSCPlanner{}, nil
+	case MechanismDASC:
+		return DASCPlanner{}, nil
+	case MechanismDRSI:
+		return DRSIPlanner{}, nil
+	case MechanismSCPTM:
+		return SCPTMPlanner{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown mechanism %d", int(m))
+	}
+}
+
+// checkFleet validates the fleet shape shared by all planners.
+func checkFleet(devices []Device, params Params) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if len(devices) == 0 {
+		return fmt.Errorf("core: empty fleet")
+	}
+	seen := make(map[int]bool, len(devices))
+	for _, d := range devices {
+		if d.ID < 0 {
+			return fmt.Errorf("core: negative device ID %d", d.ID)
+		}
+		if seen[d.ID] {
+			return fmt.Errorf("core: duplicate device ID %d", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Schedule.Period <= 0 {
+			return fmt.Errorf("core: device %d has non-positive paging period", d.ID)
+		}
+		if !d.Coverage.Valid() {
+			return fmt.Errorf("core: device %d has invalid coverage class %d", d.ID, d.Coverage)
+		}
+	}
+	return nil
+}
+
+// maxPeriod reports the longest paging period in the fleet.
+func maxPeriod(devices []Device) simtime.Ticks {
+	max := simtime.Ticks(0)
+	for _, d := range devices {
+		if d.Schedule.Period > max {
+			max = d.Schedule.Period
+		}
+	}
+	return max
+}
+
+// --- Unicast baseline -------------------------------------------------------
+
+// UnicastPlanner serves every device individually at its own next paging
+// occasion: the energy reference of the paper's evaluation (Sec. IV-A). It
+// uses as many transmissions as devices.
+type UnicastPlanner struct{}
+
+// Mechanism implements Planner.
+func (UnicastPlanner) Mechanism() Mechanism { return MechanismUnicast }
+
+// Plan implements Planner.
+func (UnicastPlanner) Plan(devices []Device, params Params) (*Plan, error) {
+	if err := checkFleet(devices, params); err != nil {
+		return nil, err
+	}
+	start := params.Now + params.PageGuard
+	plan := &Plan{Mechanism: MechanismUnicast}
+	end := start
+	for _, d := range devices {
+		po := d.Schedule.NextAtOrAfter(start)
+		txIdx := len(plan.Transmissions)
+		plan.Pages = append(plan.Pages, Page{Device: d.ID, At: po, TxIndex: txIdx})
+		plan.Transmissions = append(plan.Transmissions, Transmission{At: po, Devices: []int{d.ID}})
+		if po > end {
+			end = po
+		}
+	}
+	plan.Horizon = simtime.NewInterval(params.Now, end+1)
+	sortPlan(plan)
+	return plan, nil
+}
+
+// --- DR-SC ------------------------------------------------------------------
+
+// DRSCPlanner respects every device's DRX and covers the fleet with the
+// fewest transmissions it can find: a greedy set cover over candidate
+// windows (p−TI, p] anchored at paging occasions, searched over a horizon of
+// twice the longest cycle — the PO pattern repeats after that (Sec. III-A).
+type DRSCPlanner struct{}
+
+// Mechanism implements Planner.
+func (DRSCPlanner) Mechanism() Mechanism { return MechanismDRSC }
+
+// Plan implements Planner.
+func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
+	if err := checkFleet(devices, params); err != nil {
+		return nil, err
+	}
+	start := params.Now + params.PageGuard
+	horizon := simtime.NewInterval(start, start+2*maxPeriod(devices))
+
+	// A device whose paging period is ≤ TI has an occasion inside EVERY
+	// candidate window, so it inflates all window gains by the same
+	// constant and never changes the greedy's choices. Splitting those
+	// "ubiquitous" devices out and attaching them to the first transmission
+	// is exactly equivalent to running the greedy over the full fleet, and
+	// shrinks the event timeline dramatically for short-cycle fleets.
+	var longDevs []Device
+	var shortDevs []Device
+	for _, d := range devices {
+		if d.Schedule.Period <= params.TI {
+			shortDevs = append(shortDevs, d)
+		} else {
+			longDevs = append(longDevs, d)
+		}
+	}
+
+	plan := &Plan{Mechanism: MechanismDRSC}
+	end := start
+	if len(longDevs) > 0 {
+		var events []setcover.Event
+		for i, d := range longDevs {
+			for _, po := range d.Schedule.OccasionsIn(horizon) {
+				events = append(events, setcover.Event{Time: po, Device: i})
+			}
+		}
+		txs, err := setcover.GreedyWindows(len(longDevs), events, params.TI, params.TieBreak)
+		if err != nil {
+			return nil, fmt.Errorf("core: DR-SC cover failed: %w", err)
+		}
+		for txIdx, tx := range txs {
+			pt := Transmission{At: tx.Time}
+			for k, denseID := range tx.Devices {
+				id := longDevs[denseID].ID
+				pt.Devices = append(pt.Devices, id)
+				plan.Pages = append(plan.Pages, Page{Device: id, At: tx.WakeAt[k], TxIndex: txIdx})
+			}
+			plan.Transmissions = append(plan.Transmissions, pt)
+			if tx.Time > end {
+				end = tx.Time
+			}
+		}
+	} else if len(shortDevs) > 0 {
+		// Whole fleet is ubiquitous: one transmission a TI after the start
+		// covers everyone.
+		plan.Transmissions = []Transmission{{At: start + params.TI}}
+		end = start + params.TI
+	}
+
+	// Attach each ubiquitous device to the earliest transmission whose
+	// window is guaranteed to contain one of its occasions at or after the
+	// start: that needs tx.At ≥ start + period. A transmission in the first
+	// TI after the start may end too early for some short devices; if every
+	// transmission does, add one at start + TI for the stragglers.
+	if len(shortDevs) > 0 {
+		needExtra := false
+		for _, d := range shortDevs {
+			if plan.Transmissions[len(plan.Transmissions)-1].At < start+d.Schedule.Period {
+				needExtra = true
+				break
+			}
+		}
+		if needExtra {
+			plan.Transmissions = append(plan.Transmissions, Transmission{At: start + params.TI})
+			if start+params.TI > end {
+				end = start + params.TI
+			}
+		}
+		for _, d := range shortDevs {
+			txIdx := -1
+			for i := range plan.Transmissions {
+				if plan.Transmissions[i].At >= start+d.Schedule.Period {
+					txIdx = i
+					break
+				}
+			}
+			if txIdx < 0 {
+				return nil, fmt.Errorf("core: no transmission window fits device %d (period %v, TI %v)",
+					d.ID, d.Schedule.Period, params.TI)
+			}
+			tx := &plan.Transmissions[txIdx]
+			wakeFrom := simtime.Max(tx.At-params.TI+1, start)
+			po := d.Schedule.NextAtOrAfter(wakeFrom)
+			if po > tx.At {
+				return nil, fmt.Errorf("core: internal error: occasion %v after transmission %v for device %d",
+					po, tx.At, d.ID)
+			}
+			tx.Devices = append(tx.Devices, d.ID)
+			plan.Pages = append(plan.Pages, Page{Device: d.ID, At: po, TxIndex: txIdx})
+		}
+	}
+
+	plan.Horizon = simtime.NewInterval(params.Now, end+1)
+	sortPlan(plan)
+	return plan, nil
+}
+
+// --- DA-SC ------------------------------------------------------------------
+
+// DASCPlanner synchronises the whole fleet onto a single transmission at
+// time t = now + 2·maxDRX by temporarily shortening the DRX cycle of every
+// device that has no natural paging occasion within [t−TI, t) (Sec. III-B).
+// The adaptation is installed at the device's last natural PO before t−TI
+// so the added wake-ups are minimal, and the new cycle is the largest
+// ladder value that still produces an occasion inside the window.
+type DASCPlanner struct{}
+
+// Mechanism implements Planner.
+func (DASCPlanner) Mechanism() Mechanism { return MechanismDASC }
+
+// Plan implements Planner.
+func (DASCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
+	if err := checkFleet(devices, params); err != nil {
+		return nil, err
+	}
+	start := params.Now + params.PageGuard
+	t := start + 2*maxPeriod(devices) // paper: at least 2·maxDRX ahead
+	window := simtime.NewInterval(simtime.Max(t-params.TI, start), t)
+
+	plan := &Plan{
+		Mechanism:     MechanismDASC,
+		Transmissions: []Transmission{{At: t}},
+	}
+	for _, d := range devices {
+		plan.Transmissions[0].Devices = append(plan.Transmissions[0].Devices, d.ID)
+		if d.Schedule.HasOccasionIn(window) {
+			// Already synchronised: page at the first natural occasion in
+			// the window; the inactivity timer keeps the device awake until
+			// the transmission (waits average TI/2, Sec. IV-B).
+			po := d.Schedule.NextAtOrAfter(window.Start)
+			plan.Pages = append(plan.Pages, Page{Device: d.ID, At: po, TxIndex: 0})
+			continue
+		}
+		adj, err := planAdjustment(d, window, start)
+		if err != nil {
+			return nil, err
+		}
+		plan.Adjustments = append(plan.Adjustments, adj)
+		plan.Pages = append(plan.Pages, Page{Device: d.ID, At: adj.PagedAt, TxIndex: 0})
+	}
+	plan.Horizon = simtime.NewInterval(params.Now, t+1)
+	sortPlan(plan)
+	return plan, nil
+}
+
+// planAdjustment computes the DA-SC reconfiguration for one device without
+// a natural occasion in the window.
+func planAdjustment(d Device, window simtime.Interval, start simtime.Ticks) (Adjustment, error) {
+	anchor, ok := d.Schedule.LastBefore(window.Start)
+	if !ok || anchor < start {
+		return Adjustment{}, fmt.Errorf(
+			"core: device %d has no usable paging occasion before the window %v (anchor %v, start %v)",
+			d.ID, window, anchor, start)
+	}
+	// Largest ladder cycle, strictly shorter than the original, whose
+	// occasions anchor + k·d (k ≥ 1) hit the window.
+	orig := d.Schedule.Config().Cycle
+	ladder := drx.Ladder()
+	for i := len(ladder) - 1; i >= 0; i-- {
+		newCycle := ladder[i]
+		if simtime.Ticks(newCycle) >= d.Schedule.Period || (orig.Valid() && newCycle >= orig) {
+			continue
+		}
+		step := newCycle.Ticks()
+		k := simtime.CeilDiv(window.Start-anchor, step)
+		if k < 1 {
+			k = 1
+		}
+		po := anchor + k*step
+		if po >= window.End {
+			continue // this cycle skips over the window
+		}
+		// Page at the first adapted occasion inside the window; the
+		// inactivity timer keeps the device awake until the transmission.
+		paged := po
+		var extras []simtime.Ticks
+		for kk := simtime.Ticks(1); kk < k; kk++ {
+			extras = append(extras, anchor+kk*step)
+		}
+		return Adjustment{
+			Device:   d.ID,
+			AtPO:     anchor,
+			NewCycle: newCycle,
+			PagedAt:  paged,
+			ExtraPOs: extras,
+			TxIndex:  0,
+		}, nil
+	}
+	return Adjustment{}, fmt.Errorf(
+		"core: no ladder cycle creates an occasion for device %d in window %v (TI shorter than the minimum DRX cycle?)",
+		d.ID, window)
+}
+
+// --- DR-SI ------------------------------------------------------------------
+
+// DRSIPlanner keeps every DRX cycle intact and still uses a single
+// transmission at t = now + 2·maxDRX: devices without a natural occasion in
+// [t−TI, t) are told about the transmission in advance via the
+// `mltc-transmission` paging extension at their next natural occasion, arm a
+// T322 timer for a random instant inside the window, and connect then
+// without further paging (Sec. III-C).
+type DRSIPlanner struct{}
+
+// Mechanism implements Planner.
+func (DRSIPlanner) Mechanism() Mechanism { return MechanismDRSI }
+
+// Plan implements Planner.
+func (DRSIPlanner) Plan(devices []Device, params Params) (*Plan, error) {
+	if err := checkFleet(devices, params); err != nil {
+		return nil, err
+	}
+	start := params.Now + params.PageGuard
+	t := start + 2*maxPeriod(devices)
+	window := simtime.NewInterval(simtime.Max(t-params.TI, start), t)
+
+	plan := &Plan{
+		Mechanism:     MechanismDRSI,
+		Transmissions: []Transmission{{At: t}},
+	}
+	for _, d := range devices {
+		plan.Transmissions[0].Devices = append(plan.Transmissions[0].Devices, d.ID)
+		if d.Schedule.HasOccasionIn(window) {
+			po := d.Schedule.NextAtOrAfter(window.Start)
+			plan.Pages = append(plan.Pages, Page{Device: d.ID, At: po, TxIndex: 0})
+			continue
+		}
+		notifyAt := d.Schedule.NextAtOrAfter(start)
+		if notifyAt >= window.Start {
+			// The next occasion is already past the window start; since the
+			// device has no occasion in the window it must be ≥ t, which
+			// cannot happen with a 2·maxDRX lead.
+			return nil, fmt.Errorf("core: device %d has no notification occasion before window %v",
+				d.ID, window)
+		}
+		plan.ExtendedPages = append(plan.ExtendedPages, ExtendedPage{
+			Device:     d.ID,
+			At:         notifyAt,
+			TxIndex:    0,
+			WakeWindow: window,
+		})
+	}
+	plan.Horizon = simtime.NewInterval(params.Now, t+1)
+	sortPlan(plan)
+	return plan, nil
+}
+
+// sortPlan orders plan slices deterministically (by time, then device).
+func sortPlan(p *Plan) {
+	sort.Slice(p.Pages, func(i, j int) bool {
+		if p.Pages[i].At != p.Pages[j].At {
+			return p.Pages[i].At < p.Pages[j].At
+		}
+		return p.Pages[i].Device < p.Pages[j].Device
+	})
+	sort.Slice(p.ExtendedPages, func(i, j int) bool {
+		if p.ExtendedPages[i].At != p.ExtendedPages[j].At {
+			return p.ExtendedPages[i].At < p.ExtendedPages[j].At
+		}
+		return p.ExtendedPages[i].Device < p.ExtendedPages[j].Device
+	})
+	sort.Slice(p.Adjustments, func(i, j int) bool {
+		if p.Adjustments[i].AtPO != p.Adjustments[j].AtPO {
+			return p.Adjustments[i].AtPO < p.Adjustments[j].AtPO
+		}
+		return p.Adjustments[i].Device < p.Adjustments[j].Device
+	})
+	for i := range p.Transmissions {
+		sort.Ints(p.Transmissions[i].Devices)
+	}
+}

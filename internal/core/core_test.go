@@ -1,0 +1,529 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// testFleet builds a reproducible fleet from the Ericsson mix.
+func testFleet(t testing.TB, n int, seed int64) []Device {
+	t.Helper()
+	devs, err := traffic.EricssonCityMix().Generate(n, rng.NewStream(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := FleetFromTraffic(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func defaultParams() Params {
+	return Params{Now: 0, TI: 10 * simtime.Second, PageGuard: 100 * simtime.Millisecond}
+}
+
+func TestMechanismStrings(t *testing.T) {
+	want := map[Mechanism]string{
+		MechanismUnicast: "Unicast",
+		MechanismDRSC:    "DR-SC",
+		MechanismDASC:    "DA-SC",
+		MechanismDRSI:    "DR-SI",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%v String = %q, want %q", int(m), m.String(), s)
+		}
+		if !m.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	if Mechanism(0).Valid() || Mechanism(9).Valid() {
+		t.Error("invalid mechanisms reported valid")
+	}
+	if !strings.Contains(Mechanism(9).String(), "9") {
+		t.Error("unknown mechanism string should include the value")
+	}
+}
+
+func TestStandardsCompliance(t *testing.T) {
+	if !MechanismDRSC.StandardsCompliant() || !MechanismDASC.StandardsCompliant() ||
+		!MechanismUnicast.StandardsCompliant() {
+		t.Error("DR-SC, DA-SC, unicast are standards compliant")
+	}
+	if MechanismDRSI.StandardsCompliant() {
+		t.Error("DR-SI requires protocol changes (paper Sec. III-C)")
+	}
+}
+
+func TestNewPlanner(t *testing.T) {
+	for _, m := range Mechanisms() {
+		p, err := NewPlanner(m)
+		if err != nil {
+			t.Fatalf("NewPlanner(%v): %v", m, err)
+		}
+		if p.Mechanism() != m {
+			t.Errorf("planner for %v reports %v", m, p.Mechanism())
+		}
+	}
+	if _, err := NewPlanner(Mechanism(0)); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := defaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	for i, p := range []Params{
+		{Now: -1, TI: 10},
+		{Now: 0, TI: 0},
+		{Now: 0, TI: 10, PageGuard: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should be invalid", i)
+		}
+	}
+}
+
+func TestAllPlannersProduceVerifiablePlans(t *testing.T) {
+	devices := testFleet(t, 150, 42)
+	params := defaultParams()
+	for _, m := range Mechanisms() {
+		planner, err := NewPlanner(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := planner.Plan(devices, params)
+		if err != nil {
+			t.Fatalf("%v plan: %v", m, err)
+		}
+		if err := plan.Verify(devices, params); err != nil {
+			t.Errorf("%v plan fails verification: %v", m, err)
+		}
+	}
+}
+
+func TestUnicastShape(t *testing.T) {
+	devices := testFleet(t, 50, 1)
+	plan, err := UnicastPlanner{}.Plan(devices, defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 50 {
+		t.Errorf("unicast uses %d transmissions, want 50", plan.NumTransmissions())
+	}
+	if len(plan.Pages) != 50 {
+		t.Errorf("unicast pages %d devices, want 50", len(plan.Pages))
+	}
+	// Each device's page is its first occasion after the guard.
+	start := defaultParams().Now + defaultParams().PageGuard
+	byID := map[int]Device{}
+	for _, d := range devices {
+		byID[d.ID] = d
+	}
+	for _, pg := range plan.Pages {
+		want := byID[pg.Device].Schedule.NextAtOrAfter(start)
+		if pg.At != want {
+			t.Errorf("device %d paged at %v, want first occasion %v", pg.Device, pg.At, want)
+		}
+	}
+}
+
+func TestDRSCSingleAndDoubleTransmission(t *testing.T) {
+	// Two synthetic devices whose occasions fall within one TI window share
+	// one transmission; a third outside needs a second (paper Fig. 2).
+	mk := func(offset simtime.Ticks) Device {
+		return Device{
+			ID:       int(offset),
+			Schedule: drx.Schedule{Period: drx.Cycle20s.Ticks(), Offset: offset},
+			Coverage: phy.CE0,
+		}
+	}
+	params := Params{Now: 0, TI: 2 * simtime.Second}
+	near := []Device{mk(1000), mk(1500)}
+	plan, err := DRSCPlanner{}.Plan(near, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 1 {
+		t.Errorf("close POs: %d transmissions, want 1", plan.NumTransmissions())
+	}
+	far := []Device{mk(1000), mk(8000)}
+	plan, err = DRSCPlanner{}.Plan(far, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 2 {
+		t.Errorf("far POs: %d transmissions, want 2", plan.NumTransmissions())
+	}
+	if err := plan.Verify(far, params); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRSCEarlyWindowWithShortCycleDevices(t *testing.T) {
+	// Regression: a long-cycle device whose first occasion comes within TI
+	// of the start anchors a transmission window that is too early for a
+	// short-cycle device to have had any occasion yet. The planner must not
+	// page in the past (it previously produced a negative paging time); it
+	// adds a transmission instead.
+	long := Device{
+		ID:       0,
+		Schedule: drx.Schedule{Period: drx.Cycle10485s.Ticks(), Offset: 1000},
+		Coverage: phy.CE0,
+	}
+	short := Device{
+		ID:       1,
+		Schedule: drx.Schedule{Period: drx.Cycle2560ms.Ticks(), Offset: 7},
+		Coverage: phy.CE0,
+	}
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	plan, err := DRSCPlanner{}.Plan([]Device{long, short}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify([]Device{long, short}, params); err != nil {
+		t.Fatal(err)
+	}
+	for _, pg := range plan.Pages {
+		if pg.At < 0 {
+			t.Fatalf("page at negative time %v", pg.At)
+		}
+	}
+	if plan.NumTransmissions() != 2 {
+		t.Errorf("%d transmissions, want 2 (early window + short-device window)", plan.NumTransmissions())
+	}
+}
+
+func TestDRSCShortDevicesShareEarlyWindowWhenPossible(t *testing.T) {
+	// When the selected window ends late enough, short-cycle devices ride
+	// along without an extra transmission.
+	long := Device{
+		ID:       0,
+		Schedule: drx.Schedule{Period: drx.Cycle10485s.Ticks(), Offset: 50000},
+		Coverage: phy.CE0,
+	}
+	short := Device{
+		ID:       1,
+		Schedule: drx.Schedule{Period: drx.Cycle2560ms.Ticks(), Offset: 7},
+		Coverage: phy.CE0,
+	}
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	plan, err := DRSCPlanner{}.Plan([]Device{long, short}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify([]Device{long, short}, params); err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 1 {
+		t.Errorf("%d transmissions, want 1 (short device shares the long device's window)",
+			plan.NumTransmissions())
+	}
+}
+
+func TestDRSCFewerTransmissionsThanUnicast(t *testing.T) {
+	devices := testFleet(t, 300, 7)
+	params := defaultParams()
+	params.TieBreak = rng.NewStream(3)
+	plan, err := DRSCPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.NumTransmissions(); got >= 300 || got < 1 {
+		t.Errorf("DR-SC used %d transmissions for 300 devices", got)
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDASCSingleTransmission(t *testing.T) {
+	devices := testFleet(t, 120, 11)
+	params := defaultParams()
+	plan, err := DASCPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 1 {
+		t.Fatalf("DA-SC used %d transmissions, want 1", plan.NumTransmissions())
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		t.Fatal(err)
+	}
+	// The transmission sits 2×maxDRX after the start.
+	var maxPeriod simtime.Ticks
+	for _, d := range devices {
+		if d.Schedule.Period > maxPeriod {
+			maxPeriod = d.Schedule.Period
+		}
+	}
+	want := params.Now + params.PageGuard + 2*maxPeriod
+	if plan.Transmissions[0].At != want {
+		t.Errorf("transmission at %v, want %v (2×maxDRX)", plan.Transmissions[0].At, want)
+	}
+}
+
+func TestDASCAdjustmentsOnlyForUnsynchronisedDevices(t *testing.T) {
+	devices := testFleet(t, 200, 13)
+	params := defaultParams()
+	plan, err := DASCPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := plan.Transmissions[0].At
+	window := simtime.NewInterval(t0-params.TI, t0)
+	adjusted := map[int]bool{}
+	for _, adj := range plan.Adjustments {
+		adjusted[adj.Device] = true
+	}
+	for _, d := range devices {
+		hasNatural := d.Schedule.HasOccasionIn(window)
+		if hasNatural && adjusted[d.ID] {
+			t.Errorf("device %d has a natural occasion in the window but was adjusted", d.ID)
+		}
+		if !hasNatural && !adjusted[d.ID] {
+			t.Errorf("device %d lacks a natural occasion in the window but was not adjusted", d.ID)
+		}
+	}
+	// Long-cycle devices should dominate the adjusted set; with TI = 10 s,
+	// every cycle > 10 s can miss the window, so expect a sizeable count.
+	if len(plan.Adjustments) == 0 {
+		t.Error("no adjustments at all: fleet should contain long-cycle devices")
+	}
+}
+
+func TestDASCAdjustmentShrinksCycle(t *testing.T) {
+	devices := testFleet(t, 200, 17)
+	params := defaultParams()
+	plan, err := DASCPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Device{}
+	for _, d := range devices {
+		byID[d.ID] = d
+	}
+	for _, adj := range plan.Adjustments {
+		orig := byID[adj.Device].Schedule.Period
+		if adj.NewCycle.Ticks() >= orig {
+			t.Errorf("device %d: new cycle %v not shorter than original %v",
+				adj.Device, adj.NewCycle, simtime.Ticks(orig))
+		}
+		if !adj.NewCycle.Valid() {
+			t.Errorf("device %d: invalid new cycle", adj.Device)
+		}
+	}
+}
+
+func TestDASCAdjustmentMaximality(t *testing.T) {
+	// The chosen cycle must be the LARGEST ladder value that creates an
+	// occasion in the window (paper Sec. III-B): any larger valid ladder
+	// cycle must miss it.
+	devices := testFleet(t, 150, 19)
+	params := defaultParams()
+	plan, err := DASCPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := plan.Transmissions[0].At
+	window := simtime.NewInterval(t0-params.TI, t0)
+	byID := map[int]Device{}
+	for _, d := range devices {
+		byID[d.ID] = d
+	}
+	for _, adj := range plan.Adjustments {
+		orig := byID[adj.Device].Schedule.Period
+		cycle := adj.NewCycle
+		for {
+			bigger, ok := cycle.Next()
+			if !ok || bigger.Ticks() >= orig {
+				break
+			}
+			cycle = bigger
+			// Does `bigger` produce an occasion in the window from the anchor?
+			step := cycle.Ticks()
+			k := simtime.CeilDiv(window.Start-adj.AtPO, step)
+			if k < 1 {
+				k = 1
+			}
+			if po := adj.AtPO + k*step; window.Contains(po) {
+				t.Errorf("device %d: ladder cycle %v (> chosen %v) also hits the window",
+					adj.Device, cycle, adj.NewCycle)
+				break
+			}
+		}
+	}
+}
+
+func TestDRSISingleTransmissionNoAdjustments(t *testing.T) {
+	devices := testFleet(t, 120, 23)
+	params := defaultParams()
+	plan, err := DRSIPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 1 {
+		t.Fatalf("DR-SI used %d transmissions", plan.NumTransmissions())
+	}
+	if len(plan.Adjustments) != 0 {
+		t.Error("DR-SI must not adjust DRX cycles")
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.ExtendedPages) == 0 {
+		t.Error("fleet with long cycles should need extended pages")
+	}
+	t0 := plan.Transmissions[0].At
+	for _, ep := range plan.ExtendedPages {
+		if ep.WakeWindow.End != t0 || ep.WakeWindow.Len() != params.TI {
+			t.Errorf("device %d wake window %v, want TI-long window ending at %v",
+				ep.Device, ep.WakeWindow, t0)
+		}
+		if ep.At >= ep.WakeWindow.Start {
+			t.Errorf("device %d notified at %v, not in advance of %v", ep.Device, ep.At, ep.WakeWindow)
+		}
+	}
+}
+
+func TestDRSIPagesDevicesWithNaturalOccasion(t *testing.T) {
+	devices := testFleet(t, 200, 29)
+	params := defaultParams()
+	plan, err := DRSIPlanner{}.Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := plan.Transmissions[0].At
+	window := simtime.NewInterval(t0-params.TI, t0)
+	extended := map[int]bool{}
+	for _, ep := range plan.ExtendedPages {
+		extended[ep.Device] = true
+	}
+	for _, d := range devices {
+		if d.Schedule.HasOccasionIn(window) == extended[d.ID] {
+			t.Errorf("device %d: natural-occasion %v but extended %v",
+				d.ID, d.Schedule.HasOccasionIn(window), extended[d.ID])
+		}
+	}
+}
+
+func TestPlannersRejectBadInput(t *testing.T) {
+	devices := testFleet(t, 5, 31)
+	for _, m := range Mechanisms() {
+		planner, _ := NewPlanner(m)
+		if _, err := planner.Plan(nil, defaultParams()); err == nil {
+			t.Errorf("%v accepted empty fleet", m)
+		}
+		if _, err := planner.Plan(devices, Params{TI: 0}); err == nil {
+			t.Errorf("%v accepted zero TI", m)
+		}
+		dup := append([]Device{}, devices...)
+		dup[1].ID = dup[0].ID
+		if _, err := planner.Plan(dup, defaultParams()); err == nil {
+			t.Errorf("%v accepted duplicate IDs", m)
+		}
+	}
+}
+
+func TestPlanVerifyCatchesCorruption(t *testing.T) {
+	devices := testFleet(t, 40, 37)
+	params := defaultParams()
+	fresh := func() *Plan {
+		plan, err := DASCPlanner{}.Plan(devices, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	corruptions := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"drop device from tx", func(p *Plan) { p.Transmissions[0].Devices = p.Transmissions[0].Devices[1:] }},
+		{"double-cover device", func(p *Plan) {
+			p.Transmissions = append(p.Transmissions, Transmission{
+				At: p.Transmissions[0].At, Devices: []int{devices[0].ID}})
+		}},
+		{"page off-occasion", func(p *Plan) { p.Pages[0].At += 3 }},
+		{"page after tx", func(p *Plan) { p.Pages[0].At = p.Transmissions[0].At + 1 }},
+		{"drop a page", func(p *Plan) { p.Pages = p.Pages[1:] }},
+		{"bad tx index", func(p *Plan) { p.Pages[0].TxIndex = 99 }},
+		{"mechanism shape", func(p *Plan) { p.Mechanism = MechanismDRSI }},
+	}
+	for _, tc := range corruptions {
+		plan := fresh()
+		tc.mutate(plan)
+		if err := plan.Verify(devices, params); err == nil {
+			t.Errorf("corruption %q passed verification", tc.name)
+		}
+	}
+}
+
+func TestPlanDeterminismWithTieBreak(t *testing.T) {
+	devices := testFleet(t, 100, 41)
+	run := func() *Plan {
+		params := defaultParams()
+		params.TieBreak = rng.NewStream(5)
+		plan, err := DRSCPlanner{}.Plan(devices, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	a, b := run(), run()
+	if a.NumTransmissions() != b.NumTransmissions() {
+		t.Fatalf("tx counts differ: %d vs %d", a.NumTransmissions(), b.NumTransmissions())
+	}
+	for i := range a.Transmissions {
+		if a.Transmissions[i].At != b.Transmissions[i].At {
+			t.Fatalf("transmission %d times differ", i)
+		}
+	}
+}
+
+func TestDRSCPropertyAllWakesWithinTI(t *testing.T) {
+	f := func(seed int64) bool {
+		devs, err := traffic.EricssonCityMix().Generate(30, rng.NewStream(seed))
+		if err != nil {
+			return false
+		}
+		devices := make([]Device, len(devs))
+		for i, d := range devs {
+			sched, err := drx.NewSchedule(d.DRX)
+			if err != nil {
+				return false
+			}
+			devices[i] = Device{ID: d.ID, UEID: d.UEID, Schedule: sched, Coverage: d.Coverage}
+		}
+		params := defaultParams()
+		plan, err := DRSCPlanner{}.Plan(devices, params)
+		if err != nil {
+			return false
+		}
+		return plan.Verify(devices, params) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupingMechanismsList(t *testing.T) {
+	gm := GroupingMechanisms()
+	if len(gm) != 3 {
+		t.Fatalf("%d grouping mechanisms, want 3", len(gm))
+	}
+	for _, m := range gm {
+		if m == MechanismUnicast {
+			t.Error("unicast is the baseline, not a grouping mechanism")
+		}
+	}
+}

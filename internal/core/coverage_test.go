@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/phy"
+	"nbiot/internal/simtime"
+)
+
+// mixedCoverageFleet builds a small fleet spanning all three CE classes.
+func mixedCoverageFleet(t *testing.T) []Device {
+	t.Helper()
+	var out []Device
+	classes := []phy.CoverageClass{phy.CE0, phy.CE1, phy.CE2}
+	cycles := []drx.Cycle{drx.Cycle20s, drx.Cycle163s, drx.Cycle2621s}
+	id := 0
+	for _, cls := range classes {
+		for _, cyc := range cycles {
+			for k := 0; k < 3; k++ {
+				ueid := uint32(id*37 + 11)
+				out = append(out, Device{
+					ID:       id,
+					UEID:     ueid,
+					Schedule: drx.MustSchedule(drx.Config{UEID: ueid, Cycle: cyc}),
+					Coverage: cls,
+				})
+				id++
+			}
+		}
+	}
+	return out
+}
+
+func TestCoverageSplitDASC(t *testing.T) {
+	devices := mixedCoverageFleet(t)
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	plan, err := (CoverageSplitPlanner{Inner: DASCPlanner{}}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.IsSplit() {
+		t.Error("plan not marked split")
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		t.Fatalf("split plan fails verification: %v", err)
+	}
+	// One transmission per coverage class present.
+	if got := plan.NumTransmissions(); got != 3 {
+		t.Errorf("split DA-SC transmissions = %d, want 3 (one per class)", got)
+	}
+	// Every transmission must serve a single coverage class.
+	byID := map[int]Device{}
+	for _, d := range devices {
+		byID[d.ID] = d
+	}
+	for i, tx := range plan.Transmissions {
+		cls := byID[tx.Devices[0]].Coverage
+		for _, id := range tx.Devices {
+			if byID[id].Coverage != cls {
+				t.Errorf("transmission %d mixes coverage classes", i)
+			}
+		}
+	}
+}
+
+func TestCoverageSplitDRSI(t *testing.T) {
+	devices := mixedCoverageFleet(t)
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	plan, err := (CoverageSplitPlanner{Inner: DRSIPlanner{}}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.NumTransmissions(); got != 3 {
+		t.Errorf("split DR-SI transmissions = %d, want 3", got)
+	}
+}
+
+func TestCoverageSplitSingleClassDegeneratesToInner(t *testing.T) {
+	// A single-class fleet should produce exactly the inner plan shape.
+	var devices []Device
+	for i := 0; i < 10; i++ {
+		ueid := uint32(i * 101)
+		devices = append(devices, Device{
+			ID: i, UEID: ueid,
+			Schedule: drx.MustSchedule(drx.Config{UEID: ueid, Cycle: drx.Cycle163s}),
+			Coverage: phy.CE1,
+		})
+	}
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	split, err := (CoverageSplitPlanner{Inner: DASCPlanner{}}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := (DASCPlanner{}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.NumTransmissions() != inner.NumTransmissions() {
+		t.Errorf("split %d vs inner %d transmissions", split.NumTransmissions(), inner.NumTransmissions())
+	}
+	if split.Transmissions[0].At != inner.Transmissions[0].At {
+		t.Errorf("transmission times differ: %v vs %v",
+			split.Transmissions[0].At, inner.Transmissions[0].At)
+	}
+}
+
+func TestCoverageSplitNilInner(t *testing.T) {
+	devices := mixedCoverageFleet(t)
+	if _, err := (CoverageSplitPlanner{}).Plan(devices, Params{Now: 0, TI: 1000}); err == nil {
+		t.Error("nil inner planner accepted")
+	}
+}
+
+func TestUnsplitDASCStillRequiresSingleTransmission(t *testing.T) {
+	// The relaxed Verify shape check must apply ONLY to marked plans.
+	devices := mixedCoverageFleet(t)
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	plan, err := (DASCPlanner{}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Transmissions = append(plan.Transmissions, Transmission{
+		At: plan.Transmissions[0].At, Devices: []int{devices[0].ID},
+	})
+	if err := plan.Verify(devices, params); err == nil {
+		t.Error("unsplit DA-SC with two transmissions passed verification")
+	}
+}

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"fmt"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/traffic"
+)
+
+// FleetFromTraffic converts a generated traffic fleet into the planner's
+// device view, deriving each device's paging schedule from its DRX
+// configuration.
+func FleetFromTraffic(devs []traffic.Device) ([]Device, error) {
+	out := make([]Device, len(devs))
+	for i, d := range devs {
+		sched, err := drx.NewSchedule(d.DRX)
+		if err != nil {
+			return nil, fmt.Errorf("core: device %d: %w", d.ID, err)
+		}
+		out[i] = Device{ID: d.ID, UEID: d.UEID, Schedule: sched, Coverage: d.Coverage}
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/phy"
+	"nbiot/internal/simtime"
+)
+
+func scptmFleet(t *testing.T) []Device {
+	t.Helper()
+	var out []Device
+	for i := 0; i < 12; i++ {
+		ueid := uint32(i*211 + 5)
+		cycle := drx.Cycle20s
+		if i%3 == 0 {
+			cycle = drx.Cycle2621s
+		}
+		out = append(out, Device{
+			ID: i, UEID: ueid,
+			Schedule: drx.MustSchedule(drx.Config{UEID: ueid, Cycle: cycle}),
+			Coverage: phy.CE0,
+		})
+	}
+	return out
+}
+
+func TestSCPTMPlanShape(t *testing.T) {
+	devices := scptmFleet(t)
+	params := Params{Now: 0, TI: 10 * simtime.Second, PageGuard: 100}
+	plan, err := (SCPTMPlanner{}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		t.Fatalf("SC-PTM plan fails verification: %v", err)
+	}
+	if plan.NumTransmissions() != 1 {
+		t.Errorf("transmissions = %d, want 1", plan.NumTransmissions())
+	}
+	if len(plan.Pages) != 0 || len(plan.ExtendedPages) != 0 || len(plan.Adjustments) != 0 {
+		t.Error("SC-PTM must not page or adjust devices")
+	}
+	if plan.MCCHPeriod != DefaultMCCHPeriod {
+		t.Errorf("MCCH period = %v, want default %v", plan.MCCHPeriod, DefaultMCCHPeriod)
+	}
+	// Announcement on an MCCH boundary, session two periods later.
+	if plan.AnnounceAt%plan.MCCHPeriod != 0 {
+		t.Errorf("announcement %v not on an MCCH occasion", plan.AnnounceAt)
+	}
+	if got := plan.Transmissions[0].At - plan.AnnounceAt; got != 2*plan.MCCHPeriod {
+		t.Errorf("lead = %v, want 2 MCCH periods", got)
+	}
+	if len(plan.Transmissions[0].Devices) != len(devices) {
+		t.Error("transmission must cover the whole fleet")
+	}
+}
+
+func TestSCPTMCustomPeriod(t *testing.T) {
+	devices := scptmFleet(t)
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	plan, err := (SCPTMPlanner{MCCHPeriod: 40960}).Plan(devices, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MCCHPeriod != 40960 {
+		t.Errorf("period = %v", plan.MCCHPeriod)
+	}
+	if _, err := (SCPTMPlanner{MCCHPeriod: -5}).Plan(devices, params); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestSCPTMMechanismIdentity(t *testing.T) {
+	if (SCPTMPlanner{}).Mechanism() != MechanismSCPTM {
+		t.Error("mechanism identity wrong")
+	}
+	if MechanismSCPTM.String() != "SC-PTM" {
+		t.Errorf("String = %q", MechanismSCPTM.String())
+	}
+	if !MechanismSCPTM.Valid() {
+		t.Error("SC-PTM should be valid")
+	}
+	if !MechanismSCPTM.StandardsCompliant() {
+		t.Error("SC-PTM is the standardised scheme")
+	}
+	all := AllMechanisms()
+	if len(all) != 5 || all[len(all)-1] != MechanismSCPTM {
+		t.Errorf("AllMechanisms = %v", all)
+	}
+	p, err := NewPlanner(MechanismSCPTM)
+	if err != nil || p.Mechanism() != MechanismSCPTM {
+		t.Errorf("NewPlanner(SC-PTM) = %v, %v", p, err)
+	}
+}
+
+func TestSCPTMVerifyCatchesCorruption(t *testing.T) {
+	devices := scptmFleet(t)
+	params := Params{Now: 0, TI: 10 * simtime.Second}
+	fresh := func() *Plan {
+		plan, err := (SCPTMPlanner{}).Plan(devices, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	corruptions := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"page injected", func(p *Plan) {
+			p.Pages = append(p.Pages, Page{Device: devices[0].ID, At: 100, TxIndex: 0})
+		}},
+		{"zero MCCH period", func(p *Plan) { p.MCCHPeriod = 0 }},
+		{"announcement after session", func(p *Plan) { p.AnnounceAt = p.Transmissions[0].At + 1 }},
+		{"second transmission", func(p *Plan) {
+			p.Transmissions = append(p.Transmissions, Transmission{
+				At: p.Transmissions[0].At, Devices: []int{devices[0].ID},
+			})
+		}},
+	}
+	for _, tc := range corruptions {
+		plan := fresh()
+		tc.mutate(plan)
+		if err := plan.Verify(devices, params); err == nil {
+			t.Errorf("corruption %q passed verification", tc.name)
+		}
+	}
+}

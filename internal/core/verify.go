@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Verify checks the structural invariants every valid plan must satisfy for
+// the given fleet and parameters. It returns the first violation found. The
+// test suite and the cell executor both lean on this: a plan that passes
+// Verify can be executed without the simulator deadlocking or double-serving
+// a device.
+//
+// Invariants:
+//
+//  1. every fleet device appears in exactly one transmission;
+//  2. every device is woken exactly once (a Page, an ExtendedPage, or an
+//     Adjustment's page — never more than one kind);
+//  3. pages at natural occasions land exactly on the device's schedule;
+//  4. adjusted pages land on the adapted schedule (anchor + k·newCycle) and
+//     the adaptation anchor is a natural occasion before the window;
+//  5. every wake-up precedes its transmission by at most TI (the inactivity
+//     timer would otherwise expire before the data arrives);
+//  6. mechanism-specific shape: DA-SC and DR-SI use exactly one
+//     transmission; unicast uses exactly one device per transmission;
+//     DR-SC and unicast make no adjustments and send no extended pages.
+func (p *Plan) Verify(devices []Device, params Params) error {
+	if !p.Mechanism.Valid() {
+		return fmt.Errorf("core: plan has invalid mechanism %d", int(p.Mechanism))
+	}
+	byID := make(map[int]Device, len(devices))
+	for _, d := range devices {
+		byID[d.ID] = d
+	}
+
+	// (1) transmission coverage is a partition of the fleet.
+	covered := make(map[int]int)
+	for txIdx, tx := range p.Transmissions {
+		if len(tx.Devices) == 0 {
+			return fmt.Errorf("core: transmission %d covers no devices", txIdx)
+		}
+		for _, id := range tx.Devices {
+			if _, ok := byID[id]; !ok {
+				return fmt.Errorf("core: transmission %d covers unknown device %d", txIdx, id)
+			}
+			covered[id]++
+		}
+	}
+	for _, d := range devices {
+		switch covered[d.ID] {
+		case 0:
+			return fmt.Errorf("core: device %d not covered by any transmission", d.ID)
+		case 1:
+		default:
+			return fmt.Errorf("core: device %d covered by %d transmissions", d.ID, covered[d.ID])
+		}
+	}
+
+	// (2) exactly one wake-up per device.
+	woken := make(map[int]string)
+	note := func(id int, kind string) error {
+		if prev, ok := woken[id]; ok {
+			return fmt.Errorf("core: device %d woken twice (%s and %s)", id, prev, kind)
+		}
+		woken[id] = kind
+		return nil
+	}
+	adjByDevice := make(map[int]Adjustment)
+	for _, adj := range p.Adjustments {
+		adjByDevice[adj.Device] = adj
+	}
+	for _, pg := range p.Pages {
+		// A page belonging to an adjustment is that device's single wake.
+		if err := note(pg.Device, "page"); err != nil {
+			return err
+		}
+	}
+	for _, ep := range p.ExtendedPages {
+		if err := note(ep.Device, "extended-page"); err != nil {
+			return err
+		}
+	}
+	// SC-PTM devices receive in idle mode off the SC-MCCH announcement and
+	// are never individually woken; every other mechanism wakes each device
+	// exactly once.
+	if p.Mechanism != MechanismSCPTM {
+		for _, d := range devices {
+			if _, ok := woken[d.ID]; !ok {
+				return fmt.Errorf("core: device %d is never woken", d.ID)
+			}
+		}
+	}
+
+	// (3)+(4) wake-ups land on real occasions.
+	for _, pg := range p.Pages {
+		d := byID[pg.Device]
+		if pg.TxIndex < 0 || pg.TxIndex >= len(p.Transmissions) {
+			return fmt.Errorf("core: page for device %d references transmission %d of %d",
+				pg.Device, pg.TxIndex, len(p.Transmissions))
+		}
+		if adj, ok := adjByDevice[pg.Device]; ok {
+			if pg.At != adj.PagedAt {
+				return fmt.Errorf("core: adjusted device %d paged at %v, adjustment says %v",
+					pg.Device, pg.At, adj.PagedAt)
+			}
+			if !d.Schedule.IsOccasion(adj.AtPO) {
+				return fmt.Errorf("core: adjustment anchor %v for device %d is not a natural occasion",
+					adj.AtPO, pg.Device)
+			}
+			step := adj.NewCycle.Ticks()
+			if step <= 0 || (pg.At-adj.AtPO)%step != 0 || pg.At <= adj.AtPO {
+				return fmt.Errorf("core: adjusted page %v for device %d not on adapted schedule (anchor %v, cycle %v)",
+					pg.At, pg.Device, adj.AtPO, adj.NewCycle)
+			}
+			for _, ex := range adj.ExtraPOs {
+				if ex <= adj.AtPO || ex >= adj.PagedAt || (ex-adj.AtPO)%step != 0 {
+					return fmt.Errorf("core: extra PO %v for device %d outside (anchor, paged) or off-cycle", ex, pg.Device)
+				}
+			}
+		} else if !d.Schedule.IsOccasion(pg.At) {
+			return fmt.Errorf("core: device %d paged at %v which is not a paging occasion", pg.Device, pg.At)
+		}
+	}
+	for _, ep := range p.ExtendedPages {
+		d := byID[ep.Device]
+		if ep.At < params.Now+params.PageGuard {
+			return fmt.Errorf("core: device %d notified at %v, before the first usable instant %v",
+				ep.Device, ep.At, params.Now+params.PageGuard)
+		}
+		if !d.Schedule.IsOccasion(ep.At) {
+			return fmt.Errorf("core: device %d notified at %v which is not a paging occasion", ep.Device, ep.At)
+		}
+		if ep.TxIndex < 0 || ep.TxIndex >= len(p.Transmissions) {
+			return fmt.Errorf("core: extended page for device %d references transmission %d", ep.Device, ep.TxIndex)
+		}
+		tx := p.Transmissions[ep.TxIndex]
+		if ep.WakeWindow.Len() <= 0 || ep.WakeWindow.End != tx.At {
+			return fmt.Errorf("core: extended page for device %d has wake window %v not ending at tx time %v",
+				ep.Device, ep.WakeWindow, tx.At)
+		}
+		if ep.At >= ep.WakeWindow.Start {
+			return fmt.Errorf("core: device %d notified at %v inside/after its wake window %v",
+				ep.Device, ep.At, ep.WakeWindow)
+		}
+	}
+
+	// (5) wake-to-transmission gaps stay within the inactivity timer, and
+	// nothing is scheduled before the eNB could first act.
+	earliest := params.Now + params.PageGuard
+	for _, pg := range p.Pages {
+		if pg.At < earliest {
+			return fmt.Errorf("core: device %d paged at %v, before the first usable instant %v",
+				pg.Device, pg.At, earliest)
+		}
+		tx := p.Transmissions[pg.TxIndex]
+		if pg.At > tx.At {
+			return fmt.Errorf("core: device %d paged at %v after its transmission at %v", pg.Device, pg.At, tx.At)
+		}
+		if tx.At-pg.At > params.TI {
+			return fmt.Errorf("core: device %d would sleep again: paged at %v, transmission at %v, TI %v",
+				pg.Device, pg.At, tx.At, params.TI)
+		}
+		inTx := false
+		for _, id := range tx.Devices {
+			if id == pg.Device {
+				inTx = true
+				break
+			}
+		}
+		if !inTx {
+			return fmt.Errorf("core: device %d paged for transmission %d that does not cover it", pg.Device, pg.TxIndex)
+		}
+	}
+
+	// (6) mechanism shape.
+	switch p.Mechanism {
+	case MechanismUnicast:
+		for txIdx, tx := range p.Transmissions {
+			if len(tx.Devices) != 1 {
+				return fmt.Errorf("core: unicast transmission %d covers %d devices", txIdx, len(tx.Devices))
+			}
+		}
+		if len(p.Adjustments) != 0 || len(p.ExtendedPages) != 0 {
+			return fmt.Errorf("core: unicast plan has adjustments or extended pages")
+		}
+	case MechanismDRSC:
+		if len(p.Adjustments) != 0 || len(p.ExtendedPages) != 0 {
+			return fmt.Errorf("core: DR-SC plan has adjustments or extended pages")
+		}
+	case MechanismDASC:
+		if !p.split && len(p.Transmissions) != 1 {
+			return fmt.Errorf("core: DA-SC must use exactly one transmission, has %d", len(p.Transmissions))
+		}
+		if len(p.ExtendedPages) != 0 {
+			return fmt.Errorf("core: DA-SC plan has extended pages")
+		}
+	case MechanismDRSI:
+		if !p.split && len(p.Transmissions) != 1 {
+			return fmt.Errorf("core: DR-SI must use exactly one transmission, has %d", len(p.Transmissions))
+		}
+		if len(p.Adjustments) != 0 {
+			return fmt.Errorf("core: DR-SI plan has adjustments")
+		}
+	case MechanismSCPTM:
+		if !p.split && len(p.Transmissions) != 1 {
+			return fmt.Errorf("core: SC-PTM must use exactly one transmission, has %d", len(p.Transmissions))
+		}
+		if len(p.Pages) != 0 || len(p.ExtendedPages) != 0 || len(p.Adjustments) != 0 {
+			return fmt.Errorf("core: SC-PTM plan must not page or adjust devices")
+		}
+		if p.MCCHPeriod <= 0 {
+			return fmt.Errorf("core: SC-PTM plan without an MCCH period")
+		}
+		for _, tx := range p.Transmissions {
+			if p.AnnounceAt >= tx.At {
+				return fmt.Errorf("core: SC-PTM announcement at %v not before transmission at %v",
+					p.AnnounceAt, tx.At)
+			}
+		}
+	}
+
+	// Horizon sanity.
+	if p.Horizon.Len() <= 0 {
+		return fmt.Errorf("core: empty plan horizon %v", p.Horizon)
+	}
+	for _, tx := range p.Transmissions {
+		if !p.Horizon.Contains(tx.At) {
+			return fmt.Errorf("core: transmission at %v outside horizon %v", tx.At, p.Horizon)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+// Package device models one NB-IoT UE during a multicast campaign: its
+// radio-state machine (deep sleep → light sleep → connected) and the energy
+// accounting attached to every transition.
+//
+// The UE is deliberately passive: the cell executor drives it with stimuli
+// (paging reception, random access start, connection release) at
+// event-engine times, and the UE enforces that the stimulus sequence is
+// legal (you cannot page a device that is already connected) while charging
+// each interval to the right energy state. Natural paging-occasion
+// monitoring — identical across all mechanisms — is added analytically by
+// the executor rather than event-by-event; see internal/cell.
+package device
+
+import (
+	"fmt"
+
+	"nbiot/internal/core"
+	"nbiot/internal/energy"
+	"nbiot/internal/simtime"
+)
+
+// Timing groups the durations of the short device-side procedures.
+type Timing struct {
+	// POMonitor is the light-sleep time to check one paging occasion with
+	// no message present.
+	POMonitor simtime.Ticks
+	// PageDecode is the light-sleep time to receive and decode a paging
+	// message addressed to the device.
+	PageDecode simtime.Ticks
+	// ExtPageDecode is the light-sleep time to decode a paging message
+	// carrying the DR-SI mltc-transmission extension (slightly longer than
+	// a plain page).
+	ExtPageDecode simtime.Ticks
+	// RRCSetup is the connected time from random-access completion to a
+	// usable RRC connection (Msg5 exchange).
+	RRCSetup simtime.Ticks
+	// ReconfigExchange is the connected time for an RRC Connection
+	// Reconfiguration round trip.
+	ReconfigExchange simtime.Ticks
+	// Release is the connected time to process an RRC Connection Release.
+	Release simtime.Ticks
+	// MCCHMonitor is the light-sleep time to check one SC-MCCH occasion
+	// (SC-PTM only).
+	MCCHMonitor simtime.Ticks
+}
+
+// DefaultTiming returns NB-IoT-flavoured defaults.
+func DefaultTiming() Timing {
+	return Timing{
+		POMonitor:        2 * simtime.Millisecond,
+		PageDecode:       10 * simtime.Millisecond,
+		ExtPageDecode:    14 * simtime.Millisecond,
+		RRCSetup:         150 * simtime.Millisecond,
+		ReconfigExchange: 150 * simtime.Millisecond,
+		Release:          50 * simtime.Millisecond,
+		MCCHMonitor:      3 * simtime.Millisecond,
+	}
+}
+
+// Validate reports whether all durations are positive and the extended page
+// costs at least as much as a plain one.
+func (t Timing) Validate() error {
+	for name, d := range map[string]simtime.Ticks{
+		"POMonitor": t.POMonitor, "PageDecode": t.PageDecode,
+		"ExtPageDecode": t.ExtPageDecode, "RRCSetup": t.RRCSetup,
+		"ReconfigExchange": t.ReconfigExchange, "Release": t.Release,
+		"MCCHMonitor": t.MCCHMonitor,
+	} {
+		if d <= 0 {
+			return fmt.Errorf("device: non-positive %s duration %v", name, d)
+		}
+	}
+	if t.ExtPageDecode < t.PageDecode {
+		return fmt.Errorf("device: extended page decode %v shorter than plain %v",
+			t.ExtPageDecode, t.PageDecode)
+	}
+	return nil
+}
+
+// Phase is the UE's campaign-level phase (finer than the energy state).
+type Phase int
+
+// Campaign phases.
+const (
+	PhaseSleeping Phase = iota + 1
+	PhaseListening
+	PhaseConnecting // random access + RRC setup in progress
+	PhaseConnected
+	PhaseDone // received the multicast data and released
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSleeping:
+		return "sleeping"
+	case PhaseListening:
+		return "listening"
+	case PhaseConnecting:
+		return "connecting"
+	case PhaseConnected:
+		return "connected"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// UE is one device's campaign state.
+type UE struct {
+	info    core.Device
+	timing  Timing
+	tracker *energy.Tracker
+	phase   Phase
+
+	delivered   bool
+	deliveredAt simtime.Ticks
+	raAttempts  int
+	finished    bool
+}
+
+// New builds a UE asleep at the campaign start.
+func New(info core.Device, timing Timing, start simtime.Ticks) (*UE, error) {
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	return &UE{
+		info:    info,
+		timing:  timing,
+		tracker: energy.NewTracker(start, energy.StateDeepSleep),
+		phase:   PhaseSleeping,
+	}, nil
+}
+
+// Info reports the planner view of the device.
+func (u *UE) Info() core.Device { return u.info }
+
+// Timing reports the UE's procedure durations.
+func (u *UE) Timing() Timing { return u.timing }
+
+// Phase reports the campaign phase.
+func (u *UE) Phase() Phase { return u.phase }
+
+// Delivered reports whether (and when) the device received the multicast
+// content.
+func (u *UE) Delivered() (bool, simtime.Ticks) { return u.delivered, u.deliveredAt }
+
+// RAAttempts reports the preamble transmissions the device used.
+func (u *UE) RAAttempts() int { return u.raAttempts }
+
+func (u *UE) mustBe(now simtime.Ticks, op string, allowed ...Phase) {
+	for _, p := range allowed {
+		if u.phase == p {
+			return
+		}
+	}
+	panic(fmt.Sprintf("device %d: %s at %v while %v", u.info.ID, op, now, u.phase))
+}
+
+// MonitorPO charges one extra paging-occasion check (a DA-SC adapted
+// wake-up): light sleep for POMonitor, then back to deep sleep.
+func (u *UE) MonitorPO(now simtime.Ticks) {
+	u.mustBe(now, "MonitorPO", PhaseSleeping)
+	u.tracker.Transition(now, energy.StateLightSleep)
+	u.tracker.Transition(now+u.timing.POMonitor, energy.StateDeepSleep)
+}
+
+// ReceivePage charges the reception of a paging message at a paging
+// occasion and leaves the device listening (about to start random access).
+// Returns the time the decode completes.
+func (u *UE) ReceivePage(now simtime.Ticks) simtime.Ticks {
+	u.mustBe(now, "ReceivePage", PhaseSleeping)
+	u.tracker.Transition(now, energy.StateLightSleep)
+	u.phase = PhaseListening
+	return now + u.timing.PageDecode
+}
+
+// ReceiveExtendedPage charges the reception of a DR-SI extended page; the
+// device returns to deep sleep immediately (it connects later, at its
+// self-chosen T322 expiry). Returns the decode completion time.
+func (u *UE) ReceiveExtendedPage(now simtime.Ticks) simtime.Ticks {
+	u.mustBe(now, "ReceiveExtendedPage", PhaseSleeping)
+	u.tracker.Transition(now, energy.StateLightSleep)
+	end := now + u.timing.ExtPageDecode
+	u.tracker.Transition(end, energy.StateDeepSleep)
+	return end
+}
+
+// StartAccess marks the start of the random-access procedure; from here the
+// device is in connected-mode energy (paper Sec. IV-B counts RA as
+// connected uptime). Legal from listening (paged), directly from sleep
+// (T322 expiry or an uplink report), or after campaign completion (a
+// background report from an already-served device).
+func (u *UE) StartAccess(now simtime.Ticks) {
+	u.mustBe(now, "StartAccess", PhaseListening, PhaseSleeping, PhaseDone)
+	u.tracker.Transition(now, energy.StateConnected)
+	u.phase = PhaseConnecting
+}
+
+// AccessDone records the random-access outcome; the UE stays in connected
+// energy through RRC setup. Returns the time the connection is usable.
+func (u *UE) AccessDone(now simtime.Ticks, attempts int) simtime.Ticks {
+	u.mustBe(now, "AccessDone", PhaseConnecting)
+	u.raAttempts += attempts
+	u.phase = PhaseConnected
+	return now + u.timing.RRCSetup
+}
+
+// DeliverData marks successful reception of the multicast content ending at
+// dataEnd.
+func (u *UE) DeliverData(dataEnd simtime.Ticks) {
+	u.mustBe(dataEnd, "DeliverData", PhaseConnected)
+	if u.delivered {
+		panic(fmt.Sprintf("device %d: data delivered twice", u.info.ID))
+	}
+	u.delivered = true
+	u.deliveredAt = dataEnd
+}
+
+// Release returns the device to deep sleep after the release procedure,
+// which ends at now + Release. done marks the campaign finished for this
+// device (it received the data); false means an intermediate release (the
+// DA-SC reconfiguration connection).
+func (u *UE) Release(now simtime.Ticks, done bool) simtime.Ticks {
+	u.mustBe(now, "Release", PhaseConnected)
+	end := now + u.timing.Release
+	u.tracker.Transition(end, energy.StateDeepSleep)
+	switch {
+	case done && !u.delivered:
+		panic(fmt.Sprintf("device %d: released as done without data", u.info.ID))
+	case done || u.delivered:
+		// A post-campaign background connection returns to done, not to the
+		// campaign's sleeping state.
+		u.phase = PhaseDone
+	default:
+		u.phase = PhaseSleeping
+	}
+	return end
+}
+
+// StartIdleReception begins a connectionless SC-PTM reception: the device
+// tunes to the SC-MTCH without paging or random access (TS 36.300 SC-PTM
+// reception in idle mode). The radio still runs at connected-mode power
+// while receiving.
+func (u *UE) StartIdleReception(now simtime.Ticks) {
+	u.mustBe(now, "StartIdleReception", PhaseSleeping)
+	u.tracker.Transition(now, energy.StateConnected)
+	u.phase = PhaseConnected
+}
+
+// FinishIdleReception completes a connectionless reception at dataEnd: the
+// content is delivered and the device drops straight back to deep sleep
+// (no RRC release — there was no connection).
+func (u *UE) FinishIdleReception(dataEnd simtime.Ticks) {
+	u.mustBe(dataEnd, "FinishIdleReception", PhaseConnected)
+	if u.delivered {
+		panic(fmt.Sprintf("device %d: data delivered twice", u.info.ID))
+	}
+	u.delivered = true
+	u.deliveredAt = dataEnd
+	u.tracker.Transition(dataEnd, energy.StateDeepSleep)
+	u.phase = PhaseDone
+}
+
+// Finish freezes energy accounting at the common campaign end and returns
+// the per-state uptime attributable to campaign activity (excluding natural
+// PO monitoring, which the executor adds analytically).
+func (u *UE) Finish(end simtime.Ticks) energy.Uptime {
+	if u.finished {
+		panic(fmt.Sprintf("device %d: Finish called twice", u.info.ID))
+	}
+	u.finished = true
+	return u.tracker.Finish(end)
+}

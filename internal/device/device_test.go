@@ -1,0 +1,230 @@
+package device
+
+import (
+	"testing"
+
+	"nbiot/internal/core"
+	"nbiot/internal/drx"
+	"nbiot/internal/phy"
+)
+
+func testInfo() core.Device {
+	return core.Device{
+		ID:       7,
+		UEID:     1234,
+		Schedule: drx.MustSchedule(drx.Config{UEID: 1234, Cycle: drx.Cycle20s}),
+		Coverage: phy.CE0,
+	}
+}
+
+func newUE(t *testing.T) *UE {
+	t.Helper()
+	u, err := New(testInfo(), DefaultTiming(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestDefaultTimingValid(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	mutations := []func(*Timing){
+		func(tm *Timing) { tm.POMonitor = 0 },
+		func(tm *Timing) { tm.PageDecode = -1 },
+		func(tm *Timing) { tm.ExtPageDecode = 0 },
+		func(tm *Timing) { tm.RRCSetup = 0 },
+		func(tm *Timing) { tm.ReconfigExchange = 0 },
+		func(tm *Timing) { tm.Release = 0 },
+		func(tm *Timing) { tm.ExtPageDecode = tm.PageDecode - 1 },
+	}
+	for i, mutate := range mutations {
+		tm := DefaultTiming()
+		mutate(&tm)
+		if err := tm.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate timing", i)
+		}
+	}
+}
+
+func TestNewRejectsBadTiming(t *testing.T) {
+	if _, err := New(testInfo(), Timing{}, 0); err == nil {
+		t.Error("zero timing accepted")
+	}
+}
+
+func TestNormalPagedConnectionFlow(t *testing.T) {
+	u := newUE(t)
+	if u.Phase() != PhaseSleeping {
+		t.Fatalf("initial phase %v", u.Phase())
+	}
+
+	decodeEnd := u.ReceivePage(1000)
+	if decodeEnd != 1000+DefaultTiming().PageDecode {
+		t.Errorf("decode end %v", decodeEnd)
+	}
+	if u.Phase() != PhaseListening {
+		t.Errorf("phase after page: %v", u.Phase())
+	}
+
+	u.StartAccess(decodeEnd)
+	if u.Phase() != PhaseConnecting {
+		t.Errorf("phase after StartAccess: %v", u.Phase())
+	}
+
+	ready := u.AccessDone(decodeEnd+300, 2)
+	if ready != decodeEnd+300+DefaultTiming().RRCSetup {
+		t.Errorf("ready at %v", ready)
+	}
+	if u.RAAttempts() != 2 {
+		t.Errorf("attempts = %d", u.RAAttempts())
+	}
+
+	u.DeliverData(ready + 5000)
+	end := u.Release(ready+5000, true)
+	if end != ready+5000+DefaultTiming().Release {
+		t.Errorf("release end %v", end)
+	}
+	if u.Phase() != PhaseDone {
+		t.Errorf("final phase %v", u.Phase())
+	}
+	delivered, at := u.Delivered()
+	if !delivered || at != ready+5000 {
+		t.Errorf("delivered = %v at %v", delivered, at)
+	}
+
+	up := u.Finish(100000)
+	// Light sleep: page decode only (PO monitoring is analytic).
+	if up.LightSleep != DefaultTiming().PageDecode {
+		t.Errorf("light sleep %v, want %v", up.LightSleep, DefaultTiming().PageDecode)
+	}
+	// Connected: from StartAccess to release end.
+	wantConn := (ready + 5000 + DefaultTiming().Release) - decodeEnd
+	if up.Connected != wantConn {
+		t.Errorf("connected %v, want %v", up.Connected, wantConn)
+	}
+	if up.Total() != 100000 {
+		t.Errorf("total %v, want 100000", up.Total())
+	}
+}
+
+func TestExtendedPageThenT322Flow(t *testing.T) {
+	u := newUE(t)
+	end := u.ReceiveExtendedPage(500)
+	if end != 500+DefaultTiming().ExtPageDecode {
+		t.Errorf("ext decode end %v", end)
+	}
+	if u.Phase() != PhaseSleeping {
+		t.Errorf("after extended page device should sleep, is %v", u.Phase())
+	}
+	// T322 fires much later; the device connects from sleep without a page.
+	u.StartAccess(50000)
+	ready := u.AccessDone(50300, 1)
+	u.DeliverData(ready + 1000)
+	u.Release(ready+1000, true)
+	up := u.Finish(200000)
+	if up.LightSleep != DefaultTiming().ExtPageDecode {
+		t.Errorf("light sleep %v, want extended decode only", up.LightSleep)
+	}
+}
+
+func TestReconfigConnectionFlow(t *testing.T) {
+	// The DA-SC intermediate connection: page → RA → reconfig → immediate
+	// release without data; the device must return to sleeping, not done.
+	u := newUE(t)
+	decodeEnd := u.ReceivePage(1000)
+	u.StartAccess(decodeEnd)
+	ready := u.AccessDone(decodeEnd+250, 1)
+	reconfDone := ready + DefaultTiming().ReconfigExchange
+	relEnd := u.Release(reconfDone, false)
+	if u.Phase() != PhaseSleeping {
+		t.Fatalf("after immediate release phase = %v, want sleeping", u.Phase())
+	}
+	// Extra adapted POs.
+	u.MonitorPO(relEnd + 5000)
+	u.MonitorPO(relEnd + 10000)
+	// Final paged connection with data.
+	d2 := u.ReceivePage(relEnd + 20000)
+	u.StartAccess(d2)
+	r2 := u.AccessDone(d2+250, 1)
+	u.DeliverData(r2 + 3000)
+	u.Release(r2+3000, true)
+	up := u.Finish(relEnd + 60000)
+	wantLight := 2*DefaultTiming().PageDecode + 2*DefaultTiming().POMonitor
+	if up.LightSleep != wantLight {
+		t.Errorf("light sleep %v, want %v", up.LightSleep, wantLight)
+	}
+	if u.RAAttempts() != 2 {
+		t.Errorf("RA attempts %d, want 2", u.RAAttempts())
+	}
+}
+
+func TestIllegalStimuliPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(u *UE)
+	}{
+		{"page while listening", func(u *UE) { u.ReceivePage(10); u.ReceivePage(20) }},
+		{"monitor while connected", func(u *UE) {
+			end := u.ReceivePage(10)
+			u.StartAccess(end)
+			u.MonitorPO(end + 100)
+		}},
+		{"access done while sleeping", func(u *UE) { u.AccessDone(10, 1) }},
+		{"deliver while sleeping", func(u *UE) { u.DeliverData(10) }},
+		{"release while sleeping", func(u *UE) { u.Release(10, true) }},
+		{"done release without data", func(u *UE) {
+			end := u.ReceivePage(10)
+			u.StartAccess(end)
+			u.AccessDone(end+10, 1)
+			u.Release(end+100, true)
+		}},
+		{"double deliver", func(u *UE) {
+			end := u.ReceivePage(10)
+			u.StartAccess(end)
+			u.AccessDone(end+10, 1)
+			u.DeliverData(end + 100)
+			u.DeliverData(end + 200)
+		}},
+		{"double finish", func(u *UE) { u.Finish(10); u.Finish(20) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := newUE(t)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(u)
+		})
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for p, want := range map[Phase]string{
+		PhaseSleeping: "sleeping", PhaseListening: "listening",
+		PhaseConnecting: "connecting", PhaseConnected: "connected", PhaseDone: "done",
+	} {
+		if p.String() != want {
+			t.Errorf("%d String = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestAccessorPassthroughs(t *testing.T) {
+	u := newUE(t)
+	if u.Info().ID != 7 {
+		t.Error("Info wrong")
+	}
+	if u.Timing() != DefaultTiming() {
+		t.Error("Timing wrong")
+	}
+	if d, _ := u.Delivered(); d {
+		t.Error("fresh UE should not be delivered")
+	}
+}

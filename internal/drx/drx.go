@@ -1,0 +1,469 @@
+// Package drx models NB-IoT discontinuous reception (DRX) and extended DRX
+// (eDRX): the standard cycle ladder, the 3GPP TS 36.304 paging frame /
+// paging occasion (PF/PO) derivation, eDRX paging hyperframes with paging
+// time windows (PTW), and periodic paging-occasion schedules used by the
+// grouping mechanisms.
+//
+// The paper (Sec. II-B) relies on two structural facts that this package
+// encodes exactly:
+//
+//  1. every (e)DRX cycle is exactly twice the immediately shorter one, so
+//     all cycles are power-of-two multiples of 0.32 s; and
+//  2. a device's paging occasions are strictly periodic with the cycle
+//     length, at an offset derived from its UE identity.
+package drx
+
+import (
+	"fmt"
+
+	"nbiot/internal/simtime"
+)
+
+// Cycle is a DRX or eDRX cycle length in ticks (1 ms subframes). Only the
+// ladder values below are valid in NB-IoT.
+type Cycle simtime.Ticks
+
+// The 3GPP cycle ladder. Short cycles (0.32 s – 2.56 s) are regular idle-mode
+// DRX; long cycles (20.48 s – 10485.76 s ≈ 175 min) are eDRX.
+const (
+	Cycle320ms   Cycle = 320 << iota // 0.32 s (rf32)
+	Cycle640ms                       // 0.64 s (rf64)
+	Cycle1280ms                      // 1.28 s (rf128)
+	Cycle2560ms                      // 2.56 s (rf256)
+	cycleGap512                      // 5.12 s  — not configurable in NB-IoT
+	cycleGap1024                     // 10.24 s — not configurable in NB-IoT
+	Cycle20s                         // 20.48 s    (eDRX, 2 hyperframes)
+	Cycle40s                         // 40.96 s    (4 hyperframes)
+	Cycle81s                         // 81.92 s    (8 hyperframes)
+	Cycle163s                        // 163.84 s   (16 hyperframes)
+	Cycle327s                        // 327.68 s   (32 hyperframes)
+	Cycle655s                        // 655.36 s   (64 hyperframes)
+	Cycle1310s                       // 1310.72 s  (128 hyperframes)
+	Cycle2621s                       // 2621.44 s  (256 hyperframes)
+	Cycle5242s                       // 5242.88 s  (512 hyperframes)
+	Cycle10485s                      // 10485.76 s (1024 hyperframes, ≈ 175 min)
+)
+
+// MinCycle and MaxCycle bound the configurable ladder.
+const (
+	MinCycle = Cycle320ms
+	MaxCycle = Cycle10485s
+)
+
+// Ladder returns all configurable cycle values in increasing order.
+func Ladder() []Cycle {
+	return []Cycle{
+		Cycle320ms, Cycle640ms, Cycle1280ms, Cycle2560ms,
+		Cycle20s, Cycle40s, Cycle81s, Cycle163s, Cycle327s,
+		Cycle655s, Cycle1310s, Cycle2621s, Cycle5242s, Cycle10485s,
+	}
+}
+
+// EDRXLadder returns only the eDRX values (20.48 s and up) in increasing
+// order.
+func EDRXLadder() []Cycle {
+	return []Cycle{
+		Cycle20s, Cycle40s, Cycle81s, Cycle163s, Cycle327s,
+		Cycle655s, Cycle1310s, Cycle2621s, Cycle5242s, Cycle10485s,
+	}
+}
+
+// Valid reports whether c is a configurable ladder value.
+func (c Cycle) Valid() bool {
+	if c < MinCycle || c > MaxCycle || c == cycleGap512 || c == cycleGap1024 {
+		return false
+	}
+	// Ladder values are 320 * 2^k with no remainder.
+	v := simtime.Ticks(c)
+	for v > 320 {
+		if v%2 != 0 {
+			return false
+		}
+		v /= 2
+	}
+	return v == 320
+}
+
+// IsEDRX reports whether c is an extended-DRX cycle (≥ 20.48 s).
+func (c Cycle) IsEDRX() bool { return c >= Cycle20s }
+
+// Ticks returns the cycle length in ticks.
+func (c Cycle) Ticks() simtime.Ticks { return simtime.Ticks(c) }
+
+// Frames returns the cycle length in radio frames.
+func (c Cycle) Frames() int64 { return int64(c) / simtime.SubframesPerFrame }
+
+// String implements fmt.Stringer.
+func (c Cycle) String() string { return simtime.Ticks(c).String() }
+
+// Next returns the next-larger ladder value and ok=false at the top.
+func (c Cycle) Next() (Cycle, bool) {
+	l := Ladder()
+	for i, v := range l {
+		if v == c {
+			if i == len(l)-1 {
+				return c, false
+			}
+			return l[i+1], true
+		}
+	}
+	panic(fmt.Sprintf("drx: Next on invalid cycle %d", c))
+}
+
+// Prev returns the next-smaller ladder value and ok=false at the bottom.
+func (c Cycle) Prev() (Cycle, bool) {
+	l := Ladder()
+	for i, v := range l {
+		if v == c {
+			if i == 0 {
+				return c, false
+			}
+			return l[i-1], true
+		}
+	}
+	panic(fmt.Sprintf("drx: Prev on invalid cycle %d", c))
+}
+
+// LargestAtMost returns the largest ladder value whose length is ≤ limit,
+// and ok=false when even the smallest cycle exceeds limit.
+func LargestAtMost(limit simtime.Ticks) (Cycle, bool) {
+	l := Ladder()
+	best, ok := Cycle(0), false
+	for _, v := range l {
+		if v.Ticks() <= limit {
+			best, ok = v, true
+		}
+	}
+	return best, ok
+}
+
+// NB is the paging density parameter nB from TS 36.304, expressed relative
+// to the paging cycle T. It controls how many paging occasions exist per
+// paging frame (Ns) and how paging frames spread over SFN space.
+type NB int
+
+// Supported nB values. NBT means nB = T (one PO in every frame of the PF
+// pattern, the common NB-IoT configuration).
+const (
+	NB4T         NB = iota + 1 // nB = 4T  (Ns = 4)
+	NB2T                       // nB = 2T  (Ns = 2)
+	NBT                        // nB = T   (Ns = 1)
+	NBHalfT                    // nB = T/2
+	NBQuarterT                 // nB = T/4
+	NBEighthT                  // nB = T/8
+	NBSixteenthT               // nB = T/16
+)
+
+// factors reports (numerator, denominator) of nB relative to T.
+func (nb NB) factors() (num, den int64) {
+	switch nb {
+	case NB4T:
+		return 4, 1
+	case NB2T:
+		return 2, 1
+	case NBT:
+		return 1, 1
+	case NBHalfT:
+		return 1, 2
+	case NBQuarterT:
+		return 1, 4
+	case NBEighthT:
+		return 1, 8
+	case NBSixteenthT:
+		return 1, 16
+	default:
+		panic(fmt.Sprintf("drx: invalid nB %d", nb))
+	}
+}
+
+// String implements fmt.Stringer.
+func (nb NB) String() string {
+	switch nb {
+	case NB4T:
+		return "4T"
+	case NB2T:
+		return "2T"
+	case NBT:
+		return "T"
+	case NBHalfT:
+		return "T/2"
+	case NBQuarterT:
+		return "T/4"
+	case NBEighthT:
+		return "T/8"
+	case NBSixteenthT:
+		return "T/16"
+	default:
+		return fmt.Sprintf("NB(%d)", int(nb))
+	}
+}
+
+// poSubframes maps Ns to the FDD paging-occasion subframe pattern of
+// TS 36.304 Table 7.2-1.
+func poSubframes(ns int64) []int {
+	switch ns {
+	case 1:
+		return []int{9}
+	case 2:
+		return []int{4, 9}
+	case 4:
+		return []int{0, 4, 5, 9}
+	default:
+		panic(fmt.Sprintf("drx: unsupported Ns=%d", ns))
+	}
+}
+
+// DefaultPTW is the default eDRX paging time window length (the middle of
+// the 2.56 s – 40.96 s range allowed by the spec).
+const DefaultPTW = 10 * 1280 * simtime.Millisecond // 12.8 s
+
+// Config describes one device's paging configuration.
+type Config struct {
+	// UEID is the paging identity (IMSI mod 4096 in NB-IoT).
+	UEID uint32
+	// Cycle is the DRX or eDRX cycle.
+	Cycle Cycle
+	// NB is the cell paging density parameter; zero value means NBT.
+	NB NB
+	// PTW is the paging-time-window length for eDRX configs. Zero means
+	// DefaultPTW. Ignored for non-eDRX cycles.
+	PTW simtime.Ticks
+	// PTWCycle is the short DRX cycle monitored inside the PTW. Zero means
+	// Cycle2560ms. Ignored for non-eDRX cycles.
+	PTWCycle Cycle
+}
+
+func (c Config) withDefaults() Config {
+	if c.NB == 0 {
+		c.NB = NBT
+	}
+	if c.PTW == 0 {
+		c.PTW = DefaultPTW
+	}
+	if c.PTWCycle == 0 {
+		c.PTWCycle = Cycle2560ms
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if !cc.Cycle.Valid() {
+		return fmt.Errorf("drx: invalid cycle %d ticks", cc.Cycle)
+	}
+	if cc.Cycle.IsEDRX() {
+		if !cc.PTWCycle.Valid() || cc.PTWCycle.IsEDRX() {
+			return fmt.Errorf("drx: invalid PTW cycle %v", cc.PTWCycle)
+		}
+		if cc.PTW <= 0 || cc.PTW > 40960 {
+			return fmt.Errorf("drx: PTW %v out of range (0, 40.96s]", cc.PTW)
+		}
+	}
+	if _, _, err := cc.NB.validFactors(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (nb NB) validFactors() (int64, int64, error) {
+	switch nb {
+	case NB4T, NB2T, NBT, NBHalfT, NBQuarterT, NBEighthT, NBSixteenthT:
+		num, den := nb.factors()
+		return num, den, nil
+	default:
+		return 0, 0, fmt.Errorf("drx: invalid nB value %d", int(nb))
+	}
+}
+
+// Schedule is a strictly periodic paging-occasion schedule: occasions occur
+// at every tick t with t ≡ Offset (mod Period). For eDRX configurations the
+// schedule describes the canonical wake opportunity of each cycle (the first
+// PO of the paging time window); PTWOccasions exposes the in-window POs.
+type Schedule struct {
+	// Period is the cycle length in ticks.
+	Period simtime.Ticks
+	// Offset is the first occasion at or after tick 0 (0 ≤ Offset < Period).
+	Offset simtime.Ticks
+
+	cfg Config
+}
+
+// NewSchedule derives the device's paging schedule from its configuration
+// per TS 36.304 (Sec. 7 for DRX, Sec. 7.3 for eDRX).
+func NewSchedule(cfg Config) (Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Cycle.IsEDRX() {
+		return newEDRXSchedule(cfg), nil
+	}
+	return newDRXSchedule(cfg), nil
+}
+
+// MustSchedule is NewSchedule, panicking on error; for tests and literals.
+func MustSchedule(cfg Config) Schedule {
+	s, err := NewSchedule(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// newDRXSchedule computes the PF/PO for a short DRX cycle:
+//
+//	N  = min(T, nB);   Ns = max(1, nB/T)
+//	PF: SFN mod T = (T div N) * (UE_ID mod N)
+//	i_s = floor(UE_ID / N) mod Ns  → subframe from the FDD pattern table
+func newDRXSchedule(cfg Config) Schedule {
+	t := cfg.Cycle.Frames() // T in radio frames
+	num, den := cfg.NB.factors()
+	nb := t * num / den
+	n := t
+	if nb < n {
+		n = nb
+	}
+	if n < 1 {
+		n = 1
+	}
+	ns := int64(1)
+	if nb > t {
+		ns = nb / t
+	}
+	id := int64(cfg.UEID)
+	pfIndex := (t / n) * (id % n) // paging frame index within the cycle
+	is := (id / n) % ns
+	sub := poSubframes(ns)[is]
+	offset := pfIndex*simtime.SubframesPerFrame + int64(sub)
+	return Schedule{
+		Period: cfg.Cycle.Ticks(),
+		Offset: simtime.Ticks(offset) % cfg.Cycle.Ticks(),
+		cfg:    cfg,
+	}
+}
+
+// newEDRXSchedule computes the paging hyperframe and PTW start:
+//
+//	PH: H-SFN mod T_eDRX,H = UE_ID mod T_eDRX,H   (T_eDRX,H in hyperframes)
+//	PTW start: SFN = 256 * i_eDRX, i_eDRX = floor(UE_ID / T_eDRX,H) mod 4
+//
+// The canonical wake opportunity is the first in-PTW PO at or after the PTW
+// start, derived from the device's short PTW cycle.
+func newEDRXSchedule(cfg Config) Schedule {
+	teH := int64(cfg.Cycle.Ticks() / simtime.HyperFrame) // cycle in hyperframes
+	id := int64(cfg.UEID)
+	ph := id % teH
+	ie := (id / teH) % 4
+	ptwStart := ph*int64(simtime.HyperFrame) + ie*256*int64(simtime.Frame)
+
+	// First short-cycle PO at or after the PTW start.
+	inner := newDRXSchedule(Config{UEID: cfg.UEID, Cycle: cfg.PTWCycle, NB: cfg.NB})
+	first := inner.NextAtOrAfter(simtime.Ticks(ptwStart))
+	return Schedule{
+		Period: cfg.Cycle.Ticks(),
+		Offset: first % cfg.Cycle.Ticks(),
+		cfg:    cfg,
+	}
+}
+
+// Config returns the configuration the schedule was derived from.
+func (s Schedule) Config() Config { return s.cfg }
+
+// NextAtOrAfter returns the first occasion at or after t.
+func (s Schedule) NextAtOrAfter(t simtime.Ticks) simtime.Ticks {
+	if s.Period <= 0 {
+		panic("drx: schedule with non-positive period")
+	}
+	d := (t - s.Offset) % s.Period
+	if d < 0 {
+		d += s.Period
+	}
+	if d == 0 {
+		return t
+	}
+	return t + s.Period - d
+}
+
+// NextAfter returns the first occasion strictly after t.
+func (s Schedule) NextAfter(t simtime.Ticks) simtime.Ticks {
+	return s.NextAtOrAfter(t + 1)
+}
+
+// LastBefore returns the last occasion strictly before t, and ok=false if
+// none exists at a non-negative tick.
+func (s Schedule) LastBefore(t simtime.Ticks) (simtime.Ticks, bool) {
+	// NextAtOrAfter(t) is the first occasion ≥ t, so one period earlier is
+	// the last occasion < t.
+	prev := s.NextAtOrAfter(t) - s.Period
+	if prev < 0 {
+		return 0, false
+	}
+	return prev, true
+}
+
+// HasOccasionIn reports whether any occasion lies in the half-open interval.
+func (s Schedule) HasOccasionIn(iv simtime.Interval) bool {
+	if iv.Len() <= 0 {
+		return false
+	}
+	return s.NextAtOrAfter(iv.Start) < iv.End
+}
+
+// OccasionsIn returns all occasions within the half-open interval, in order.
+func (s Schedule) OccasionsIn(iv simtime.Interval) []simtime.Ticks {
+	var out []simtime.Ticks
+	for t := s.NextAtOrAfter(iv.Start); t < iv.End; t += s.Period {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CountIn reports the number of occasions in the half-open interval without
+// materialising them.
+func (s Schedule) CountIn(iv simtime.Interval) int64 {
+	if iv.Len() <= 0 {
+		return 0
+	}
+	first := s.NextAtOrAfter(iv.Start)
+	if first >= iv.End {
+		return 0
+	}
+	return 1 + int64((iv.End-1-first)/s.Period)
+}
+
+// IsOccasion reports whether t is exactly an occasion.
+func (s Schedule) IsOccasion(t simtime.Ticks) bool {
+	d := (t - s.Offset) % s.Period
+	if d < 0 {
+		d += s.Period
+	}
+	return d == 0
+}
+
+// PTWOccasions returns the paging occasions monitored inside the paging time
+// window that begins at the canonical occasion ptwStart (which must be an
+// occasion of s). For non-eDRX schedules it returns just ptwStart: there is
+// no window, a cycle has a single PO.
+func (s Schedule) PTWOccasions(ptwStart simtime.Ticks) []simtime.Ticks {
+	if !s.IsOccasion(ptwStart) {
+		panic(fmt.Sprintf("drx: %v is not an occasion of the schedule", ptwStart))
+	}
+	cfg := s.cfg.withDefaults()
+	if !cfg.Cycle.IsEDRX() {
+		return []simtime.Ticks{ptwStart}
+	}
+	inner := newDRXSchedule(Config{UEID: cfg.UEID, Cycle: cfg.PTWCycle, NB: cfg.NB})
+	return inner.OccasionsIn(simtime.NewInterval(ptwStart, ptwStart+cfg.PTW))
+}
+
+// OccasionsPerCycle reports how many paging occasions the device monitors in
+// one full cycle under normal idle operation (PTW occasions for eDRX, one
+// for short DRX). Used by the energy model for baseline light-sleep uptime.
+func (s Schedule) OccasionsPerCycle() int64 {
+	cfg := s.cfg.withDefaults()
+	if !cfg.Cycle.IsEDRX() {
+		return 1
+	}
+	return int64(simtime.CeilDiv(cfg.PTW, cfg.PTWCycle.Ticks()))
+}

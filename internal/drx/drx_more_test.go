@@ -1,0 +1,140 @@
+package drx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/simtime"
+)
+
+// TestFullLadderSchedulesProperty derives schedules for every ladder value
+// across many identities and checks the structural invariants the grouping
+// mechanisms rely on.
+func TestFullLadderSchedulesProperty(t *testing.T) {
+	for _, cycle := range Ladder() {
+		cycle := cycle
+		for id := uint32(0); id < 512; id += 7 {
+			s := MustSchedule(Config{UEID: id, Cycle: cycle})
+			if s.Period != cycle.Ticks() {
+				t.Fatalf("cycle %v id %d: period %v", cycle, id, s.Period)
+			}
+			if s.Offset < 0 || s.Offset >= s.Period {
+				t.Fatalf("cycle %v id %d: offset %v outside [0, period)", cycle, id, s.Offset)
+			}
+			// Occasions land on subframe boundaries of real radio frames.
+			first := s.NextAtOrAfter(0)
+			if !s.IsOccasion(first) {
+				t.Fatalf("cycle %v id %d: first occasion not an occasion", cycle, id)
+			}
+		}
+	}
+}
+
+// TestEDRXOffsetsRespectHyperframeStructure: the canonical eDRX wake must
+// fall inside the device's paging hyperframe block.
+func TestEDRXOffsetsRespectHyperframeStructure(t *testing.T) {
+	for _, cycle := range EDRXLadder() {
+		teH := int64(cycle.Ticks() / simtime.HyperFrame)
+		for id := uint32(1); id < 300; id += 13 {
+			s := MustSchedule(Config{UEID: id, Cycle: cycle})
+			ph := int64(id) % teH
+			blockStart := simtime.Ticks(ph) * simtime.HyperFrame
+			blockEnd := blockStart + simtime.HyperFrame
+			// The PTW may start late in the hyperframe (i_eDRX up to 3 at
+			// SFN 768) and run into the next one; allow the PTW length.
+			if s.Offset < blockStart || s.Offset >= blockEnd+DefaultPTW {
+				t.Fatalf("cycle %v id %d: offset %v outside hyperframe block [%v, %v+PTW)",
+					cycle, id, s.Offset, blockStart, blockEnd)
+			}
+		}
+	}
+}
+
+// TestScheduleWrapsAcrossHSFN: schedules must remain periodic across the
+// hyper-SFN wrap (10485.76 s × 1024), where naive SFN arithmetic breaks.
+func TestScheduleWrapsAcrossHSFN(t *testing.T) {
+	s := MustSchedule(Config{UEID: 77, Cycle: Cycle10485s})
+	wrap := simtime.HSFNCycle
+	before := s.NextAtOrAfter(wrap - Cycle10485s.Ticks())
+	after := s.NextAfter(before)
+	if after-before != s.Period {
+		t.Errorf("period broken across H-SFN wrap: %v then %v", before, after)
+	}
+	if after <= wrap-Cycle10485s.Ticks() {
+		t.Errorf("occasions did not advance across wrap")
+	}
+}
+
+// TestCountInLongHorizonProperty cross-checks CountIn against explicit
+// enumeration over multi-cycle horizons.
+func TestCountInLongHorizonProperty(t *testing.T) {
+	f := func(id uint32, startRaw uint32, cyclesRaw uint8) bool {
+		s := MustSchedule(Config{UEID: id % 4096, Cycle: Cycle20s})
+		start := simtime.Ticks(startRaw % 100000)
+		n := simtime.Ticks(cyclesRaw%8) + 1
+		iv := simtime.NewInterval(start, start+n*s.Period)
+		// Exactly n occasions fit in any n-period half-open window.
+		return s.CountIn(iv) == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPTWOccasionCount: the number of in-PTW occasions must equal
+// OccasionsPerCycle for every eDRX ladder value.
+func TestPTWOccasionCount(t *testing.T) {
+	for _, cycle := range EDRXLadder() {
+		cfg := Config{UEID: 99, Cycle: cycle}
+		s := MustSchedule(cfg)
+		start := s.NextAtOrAfter(0)
+		got := int64(len(s.PTWOccasions(start)))
+		want := s.OccasionsPerCycle()
+		// The first PO may start mid-window, so the count can fall short by
+		// at most one.
+		if got > want || got < want-1 {
+			t.Errorf("cycle %v: %d PTW occasions, expected %d or %d-1", cycle, got, want, want)
+		}
+	}
+}
+
+// TestLargestAtMostIsTight: LargestAtMost must return the tight ladder
+// bound for every possible limit between ladder values.
+func TestLargestAtMostIsTight(t *testing.T) {
+	l := Ladder()
+	for i, c := range l {
+		if got, ok := LargestAtMost(c.Ticks()); !ok || got != c {
+			t.Errorf("limit exactly %v: got %v, %v", c, got, ok)
+		}
+		if i+1 < len(l) {
+			mid := (c.Ticks() + l[i+1].Ticks()) / 2
+			if got, ok := LargestAtMost(mid); !ok || got != c {
+				t.Errorf("limit %v (between %v and %v): got %v", mid, c, l[i+1], got)
+			}
+		}
+	}
+}
+
+// TestNBVariantsProduceValidSchedules exercises every nB density.
+func TestNBVariantsProduceValidSchedules(t *testing.T) {
+	for _, nb := range []NB{NB4T, NB2T, NBT, NBHalfT, NBQuarterT, NBEighthT, NBSixteenthT} {
+		for id := uint32(0); id < 64; id++ {
+			s := MustSchedule(Config{UEID: id, Cycle: Cycle2560ms, NB: nb})
+			if s.Offset < 0 || s.Offset >= s.Period {
+				t.Fatalf("nB=%v id=%d: offset %v", nb, id, s.Offset)
+			}
+		}
+	}
+}
+
+// TestNsSubframePatterns: with Ns=4 the PO subframes must come from the
+// FDD pattern {0,4,5,9}.
+func TestNsSubframePatterns(t *testing.T) {
+	allowed := map[int]bool{0: true, 4: true, 5: true, 9: true}
+	for id := uint32(0); id < 256; id++ {
+		s := MustSchedule(Config{UEID: id, Cycle: Cycle320ms, NB: NB4T})
+		if !allowed[s.Offset.SubframeIndex()] {
+			t.Fatalf("id %d: Ns=4 PO subframe %d not in {0,4,5,9}", id, s.Offset.SubframeIndex())
+		}
+	}
+}

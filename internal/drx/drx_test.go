@@ -1,0 +1,327 @@
+package drx
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/simtime"
+)
+
+func TestLadderDoubling(t *testing.T) {
+	l := Ladder()
+	if l[0] != Cycle320ms || l[len(l)-1] != Cycle10485s {
+		t.Fatalf("ladder endpoints wrong: %v .. %v", l[0], l[len(l)-1])
+	}
+	// Within the DRX range and within the eDRX range every value is exactly
+	// double its predecessor (paper Sec. II-B).
+	for i := 1; i < len(l); i++ {
+		if l[i] == Cycle20s {
+			// The DRX→eDRX gap (2.56 s → 20.48 s) is the single 8× jump.
+			if l[i] != 8*l[i-1] {
+				t.Errorf("DRX→eDRX gap: %v to %v, want 8x", l[i-1], l[i])
+			}
+			continue
+		}
+		if l[i] != 2*l[i-1] {
+			t.Errorf("ladder step %v → %v is not 2x", l[i-1], l[i])
+		}
+	}
+}
+
+func TestCycleValues(t *testing.T) {
+	for _, tc := range []struct {
+		c    Cycle
+		secs float64
+	}{
+		{Cycle320ms, 0.32},
+		{Cycle2560ms, 2.56},
+		{Cycle20s, 20.48},
+		{Cycle163s, 163.84},
+		{Cycle10485s, 10485.76},
+	} {
+		if got := tc.c.Ticks().Seconds(); got != tc.secs {
+			t.Errorf("%v = %v s, want %v s", tc.c, got, tc.secs)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, c := range Ladder() {
+		if !c.Valid() {
+			t.Errorf("ladder value %v reported invalid", c)
+		}
+	}
+	for _, c := range []Cycle{0, 1, 319, 321, 5120, 10240, 2 * Cycle10485s, -320} {
+		if c.Valid() {
+			t.Errorf("Cycle(%d) reported valid", c)
+		}
+	}
+}
+
+func TestIsEDRX(t *testing.T) {
+	if Cycle2560ms.IsEDRX() {
+		t.Error("2.56s is not eDRX")
+	}
+	if !Cycle20s.IsEDRX() {
+		t.Error("20.48s is eDRX")
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	if n, ok := Cycle2560ms.Next(); !ok || n != Cycle20s {
+		t.Errorf("Next(2.56s) = %v, %v", n, ok)
+	}
+	if _, ok := Cycle10485s.Next(); ok {
+		t.Error("Next at top of ladder should report false")
+	}
+	if p, ok := Cycle20s.Prev(); !ok || p != Cycle2560ms {
+		t.Errorf("Prev(20.48s) = %v, %v", p, ok)
+	}
+	if _, ok := Cycle320ms.Prev(); ok {
+		t.Error("Prev at bottom of ladder should report false")
+	}
+}
+
+func TestLargestAtMost(t *testing.T) {
+	for _, tc := range []struct {
+		limit simtime.Ticks
+		want  Cycle
+		ok    bool
+	}{
+		{10 * simtime.Second, Cycle2560ms, true},
+		{2560, Cycle2560ms, true},
+		{2559, Cycle1280ms, true},
+		{100, 0, false},
+		{30 * simtime.Second, Cycle20s, true},
+		{simtime.Hour * 10, Cycle10485s, true},
+	} {
+		got, ok := LargestAtMost(tc.limit)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("LargestAtMost(%v) = %v, %v; want %v, %v", tc.limit, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestDRXScheduleMatchesSpecFormula(t *testing.T) {
+	// T = 256 frames (2.56 s), nB = T → N = T, Ns = 1, PO subframe 9.
+	// PF index within the cycle is UE_ID mod T.
+	for _, id := range []uint32{0, 1, 255, 256, 1000} {
+		s := MustSchedule(Config{UEID: id, Cycle: Cycle2560ms})
+		wantFrame := int64(id) % 256
+		want := simtime.Ticks(wantFrame*10 + 9)
+		if s.Offset != want || s.Period != 2560 {
+			t.Errorf("UEID %d: offset %d period %d, want offset %d period 2560",
+				id, s.Offset, s.Period, want)
+		}
+	}
+}
+
+func TestDRXScheduleNs2(t *testing.T) {
+	// nB = 2T → Ns = 2, N = T; i_s = floor(UE_ID/N) mod 2 selects {4, 9}.
+	s0 := MustSchedule(Config{UEID: 0, Cycle: Cycle320ms, NB: NB2T})
+	s1 := MustSchedule(Config{UEID: 32, Cycle: Cycle320ms, NB: NB2T})
+	if s0.Offset.SubframeIndex() != 4 {
+		t.Errorf("UEID 0 with Ns=2: subframe %d, want 4", s0.Offset.SubframeIndex())
+	}
+	if s1.Offset.SubframeIndex() != 9 {
+		t.Errorf("UEID 32 with Ns=2: subframe %d, want 9", s1.Offset.SubframeIndex())
+	}
+}
+
+func TestDRXScheduleNsHalf(t *testing.T) {
+	// nB = T/2 → N = T/2: only even PF slots are used, spaced by 2 frames.
+	s := MustSchedule(Config{UEID: 3, Cycle: Cycle320ms, NB: NBHalfT})
+	// T=32, N=16, PF = (32/16)*(3 mod 16) = 6 → frame 6, subframe 9.
+	if want := simtime.Ticks(6*10 + 9); s.Offset != want {
+		t.Errorf("offset = %d, want %d", s.Offset, want)
+	}
+}
+
+func TestSchedulePeriodicity(t *testing.T) {
+	f := func(id uint32, cycleIdx uint8) bool {
+		l := Ladder()
+		c := l[int(cycleIdx)%len(l)]
+		s := MustSchedule(Config{UEID: id % 4096, Cycle: c})
+		t0 := s.NextAtOrAfter(0)
+		// Successive occasions must be exactly one period apart.
+		t1 := s.NextAfter(t0)
+		t2 := s.NextAfter(t1)
+		return t1-t0 == s.Period && t2-t1 == s.Period && s.IsOccasion(t0) && s.IsOccasion(t1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextAtOrAfter(t *testing.T) {
+	s := Schedule{Period: 100, Offset: 30}
+	for _, tc := range []struct{ in, want simtime.Ticks }{
+		{0, 30}, {29, 30}, {30, 30}, {31, 130}, {130, 130}, {1000, 1030},
+	} {
+		if got := s.NextAtOrAfter(tc.in); got != tc.want {
+			t.Errorf("NextAtOrAfter(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLastBefore(t *testing.T) {
+	s := Schedule{Period: 100, Offset: 30}
+	for _, tc := range []struct {
+		in   simtime.Ticks
+		want simtime.Ticks
+		ok   bool
+	}{
+		{31, 30, true}, {30, 0, false}, {130, 30, true}, {131, 130, true}, {29, 0, false},
+	} {
+		got, ok := s.LastBefore(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("LastBefore(%d) = %d, %v; want %d, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestHasOccasionInAndCount(t *testing.T) {
+	s := Schedule{Period: 100, Offset: 30}
+	if !s.HasOccasionIn(simtime.NewInterval(0, 31)) {
+		t.Error("[0,31) contains 30")
+	}
+	if s.HasOccasionIn(simtime.NewInterval(0, 30)) {
+		t.Error("[0,30) excludes 30 (half-open)")
+	}
+	if s.HasOccasionIn(simtime.NewInterval(31, 130)) {
+		t.Error("[31,130) contains no occasion")
+	}
+	if got := s.CountIn(simtime.NewInterval(0, 1000)); got != 10 {
+		t.Errorf("CountIn([0,1000)) = %d, want 10", got)
+	}
+	if got := s.CountIn(simtime.NewInterval(30, 31)); got != 1 {
+		t.Errorf("CountIn([30,31)) = %d, want 1", got)
+	}
+	if got := s.CountIn(simtime.NewInterval(31, 31)); got != 0 {
+		t.Errorf("CountIn(empty) = %d, want 0", got)
+	}
+}
+
+func TestOccasionsInMatchesCount(t *testing.T) {
+	f := func(id uint32, start uint16, length uint16) bool {
+		s := MustSchedule(Config{UEID: id % 4096, Cycle: Cycle2560ms})
+		iv := simtime.NewInterval(simtime.Ticks(start), simtime.Ticks(start)+simtime.Ticks(length))
+		occ := s.OccasionsIn(iv)
+		if int64(len(occ)) != s.CountIn(iv) {
+			return false
+		}
+		for _, o := range occ {
+			if !iv.Contains(o) || !s.IsOccasion(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDRXScheduleStructure(t *testing.T) {
+	cfg := Config{UEID: 777, Cycle: Cycle40s}
+	s := MustSchedule(cfg)
+	if s.Period != Cycle40s.Ticks() {
+		t.Fatalf("period = %d, want %d", s.Period, Cycle40s.Ticks())
+	}
+	// The canonical wake is inside the device's paging hyperframe ± PTW.
+	teH := int64(Cycle40s.Ticks() / simtime.HyperFrame) // 4 hyperframes
+	ph := int64(777) % teH
+	ptwStart := simtime.Ticks(ph)*simtime.HyperFrame +
+		simtime.Ticks((int64(777)/teH)%4)*256*simtime.Frame
+	if s.Offset < ptwStart || s.Offset >= ptwStart+DefaultPTW {
+		t.Errorf("offset %v outside PTW starting at %v", s.Offset, ptwStart)
+	}
+}
+
+func TestPTWOccasions(t *testing.T) {
+	cfg := Config{UEID: 4000, Cycle: Cycle20s, PTW: 5120, PTWCycle: Cycle2560ms}
+	s := MustSchedule(cfg)
+	start := s.NextAtOrAfter(0)
+	occ := s.PTWOccasions(start)
+	if len(occ) == 0 || occ[0] != start {
+		t.Fatalf("PTWOccasions must start at the canonical occasion: %v", occ)
+	}
+	for i := 1; i < len(occ); i++ {
+		if occ[i]-occ[i-1] != Cycle2560ms.Ticks() {
+			t.Errorf("in-PTW occasions not spaced by the PTW cycle: %v", occ)
+		}
+		if occ[i] >= start+5120 {
+			t.Errorf("occasion %v beyond PTW end %v", occ[i], start+5120)
+		}
+	}
+}
+
+func TestPTWOccasionsNonEDRX(t *testing.T) {
+	s := MustSchedule(Config{UEID: 9, Cycle: Cycle2560ms})
+	start := s.NextAtOrAfter(0)
+	occ := s.PTWOccasions(start)
+	if len(occ) != 1 || occ[0] != start {
+		t.Errorf("non-eDRX PTWOccasions = %v, want single canonical occasion", occ)
+	}
+}
+
+func TestPTWOccasionsPanicsOffOccasion(t *testing.T) {
+	s := MustSchedule(Config{UEID: 9, Cycle: Cycle2560ms})
+	defer func() {
+		if recover() == nil {
+			t.Error("PTWOccasions off-occasion should panic")
+		}
+	}()
+	s.PTWOccasions(s.NextAtOrAfter(0) + 1)
+}
+
+func TestOccasionsPerCycle(t *testing.T) {
+	if got := MustSchedule(Config{UEID: 1, Cycle: Cycle2560ms}).OccasionsPerCycle(); got != 1 {
+		t.Errorf("short DRX occasions/cycle = %d, want 1", got)
+	}
+	s := MustSchedule(Config{UEID: 1, Cycle: Cycle20s, PTW: 12800, PTWCycle: Cycle2560ms})
+	if got := s.OccasionsPerCycle(); got != 5 {
+		t.Errorf("eDRX occasions/cycle = %d, want 5 (12.8s / 2.56s)", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{UEID: 1, Cycle: 0},
+		{UEID: 1, Cycle: 12345},
+		{UEID: 1, Cycle: Cycle20s, PTW: 50000},
+		{UEID: 1, Cycle: Cycle20s, PTWCycle: Cycle20s},
+		{UEID: 1, Cycle: Cycle2560ms, NB: NB(99)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, cfg)
+		}
+	}
+	if err := (Config{UEID: 1, Cycle: Cycle2560ms}).Validate(); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
+
+func TestNBString(t *testing.T) {
+	for nb, want := range map[NB]string{
+		NB4T: "4T", NB2T: "2T", NBT: "T", NBHalfT: "T/2", NBSixteenthT: "T/16",
+	} {
+		if got := nb.String(); got != want {
+			t.Errorf("NB.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDifferentUEIDsSpreadOffsets(t *testing.T) {
+	// Paging offsets should spread across the cycle, not collapse to one
+	// value — this is what makes the DR-SC set-cover problem non-trivial.
+	seen := make(map[simtime.Ticks]bool)
+	for id := uint32(0); id < 256; id++ {
+		s := MustSchedule(Config{UEID: id, Cycle: Cycle2560ms})
+		seen[s.Offset] = true
+	}
+	if len(seen) < 200 {
+		t.Errorf("only %d distinct offsets for 256 UEIDs", len(seen))
+	}
+}

@@ -1,0 +1,183 @@
+package enb
+
+import (
+	"testing"
+
+	"nbiot/internal/phy"
+	"nbiot/internal/rrc"
+	"nbiot/internal/simtime"
+)
+
+func newENB(t *testing.T, cfg Config) *ENB {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.PagingRecordsPerPO = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero paging capacity accepted")
+	}
+	bad = DefaultConfig()
+	bad.Link.MaxTBSBits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid link accepted")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestPageAccounting(t *testing.T) {
+	e := newENB(t, DefaultConfig())
+	over, err := e.Page(1000, &rrc.Paging{PagingRecords: []uint32{42}})
+	if err != nil || over {
+		t.Fatalf("plain page: over=%v err=%v", over, err)
+	}
+	over, err = e.Page(2000, &rrc.Paging{MltcRecords: []rrc.MltcRecord{{UEID: 7, TimeRemaining: 5000}}})
+	if err != nil || over {
+		t.Fatalf("extended page: over=%v err=%v", over, err)
+	}
+	c := e.Counters()
+	if c.PagingMessages != 2 {
+		t.Errorf("PagingMessages = %d", c.PagingMessages)
+	}
+	if c.ExtendedPages != 1 {
+		t.Errorf("ExtendedPages = %d", c.ExtendedPages)
+	}
+	if c.PagingBytes <= 0 {
+		t.Errorf("PagingBytes = %d", c.PagingBytes)
+	}
+	if c.PagingOverflows != 0 {
+		t.Errorf("PagingOverflows = %d", c.PagingOverflows)
+	}
+}
+
+func TestPageErrors(t *testing.T) {
+	e := newENB(t, DefaultConfig())
+	if _, err := e.Page(1, nil); err == nil {
+		t.Error("nil message accepted")
+	}
+	if _, err := e.Page(1, &rrc.Paging{}); err == nil {
+		t.Error("empty message accepted")
+	}
+}
+
+func TestPagingOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PagingRecordsPerPO = 2
+	e := newENB(t, cfg)
+	for i := 0; i < 3; i++ {
+		over, err := e.Page(500, &rrc.Paging{PagingRecords: []uint32{uint32(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantOver := i >= 2; over != wantOver {
+			t.Errorf("page %d: over = %v, want %v", i, over, wantOver)
+		}
+	}
+	if got := e.Counters().PagingOverflows; got != 1 {
+		t.Errorf("PagingOverflows = %d, want 1", got)
+	}
+	if got := e.POLoad(500); got != 3 {
+		t.Errorf("POLoad = %d, want 3", got)
+	}
+	if got := e.POLoad(501); got != 0 {
+		t.Errorf("POLoad(501) = %d, want 0", got)
+	}
+	// A different occasion has fresh capacity.
+	over, err := e.Page(600, &rrc.Paging{PagingRecords: []uint32{9}})
+	if err != nil || over {
+		t.Errorf("fresh occasion: over=%v err=%v", over, err)
+	}
+}
+
+func TestSignalAccounting(t *testing.T) {
+	e := newENB(t, DefaultConfig())
+	msgs := []rrc.Message{
+		&rrc.ConnectionSetup{UEID: 1},
+		&rrc.ConnectionRelease{UEID: 1, Cause: rrc.ReleaseImmediate},
+	}
+	var wantBytes int64
+	for _, m := range msgs {
+		if err := e.Signal(m); err != nil {
+			t.Fatal(err)
+		}
+		wantBytes += int64(rrc.Size(m))
+	}
+	c := e.Counters()
+	if c.SignallingMessages != 2 || c.SignallingBytes != wantBytes {
+		t.Errorf("signalling counters = %d msgs %d bytes, want 2/%d",
+			c.SignallingMessages, c.SignallingBytes, wantBytes)
+	}
+	if err := e.Signal(nil); err == nil {
+		t.Error("nil signalling accepted")
+	}
+}
+
+func TestDataTx(t *testing.T) {
+	e := newENB(t, DefaultConfig())
+	d1, err := e.DataTx(100*1024, phy.CE0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.DataTx(100*1024, phy.CE2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Errorf("CE2 airtime %v should exceed CE0 %v", d2, d1)
+	}
+	c := e.Counters()
+	if c.DataTransmissions != 2 {
+		t.Errorf("DataTransmissions = %d", c.DataTransmissions)
+	}
+	if c.DataAirtime != d1+d2 {
+		t.Errorf("DataAirtime = %v, want %v", c.DataAirtime, d1+d2)
+	}
+	if c.DataBytesOnAir != 2*100*1024 {
+		t.Errorf("DataBytesOnAir = %d", c.DataBytesOnAir)
+	}
+}
+
+func TestDataTxErrors(t *testing.T) {
+	e := newENB(t, DefaultConfig())
+	if _, err := e.DataTx(0, phy.CE0); err == nil {
+		t.Error("zero payload accepted")
+	}
+	if _, err := e.DataTx(100, phy.CoverageClass(9)); err == nil {
+		t.Error("invalid class accepted")
+	}
+}
+
+func TestAirtimeIsConsistentWithLinkProfile(t *testing.T) {
+	cfg := DefaultConfig()
+	e := newENB(t, cfg)
+	got, err := e.DataTx(12345, phy.CE1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Link.TxDuration(12345, phy.CE1)
+	if got != want {
+		t.Errorf("airtime %v, want %v", got, want)
+	}
+}
+
+func TestPOLoadUsesTickKeys(t *testing.T) {
+	e := newENB(t, DefaultConfig())
+	at := simtime.Ticks(12349)
+	if _, err := e.Page(at, &rrc.Paging{PagingRecords: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.POLoad(at) != 1 {
+		t.Error("POLoad not keyed by occasion tick")
+	}
+}

@@ -1,0 +1,170 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/simtime"
+)
+
+func TestTrackerBasicAccounting(t *testing.T) {
+	tr := NewTracker(0, StateDeepSleep)
+	tr.Transition(100, StateLightSleep)
+	tr.Transition(110, StateConnected)
+	tr.Transition(160, StateDeepSleep)
+	u := tr.Finish(200)
+	if u.DeepSleep != 140 || u.LightSleep != 10 || u.Connected != 50 {
+		t.Fatalf("uptime = %v, want deep=140 light=10 conn=50", u)
+	}
+	if u.Total() != 200 {
+		t.Errorf("total = %v, want 200", u.Total())
+	}
+}
+
+func TestTrackerConservationProperty(t *testing.T) {
+	// State durations must always sum to the tracked span, whatever the
+	// transition sequence (a core simulator invariant).
+	f := func(steps []uint16) bool {
+		tr := NewTracker(0, StateDeepSleep)
+		now := simtime.Ticks(0)
+		states := []State{StateDeepSleep, StateLightSleep, StateConnected}
+		for i, s := range steps {
+			now += simtime.Ticks(s % 1000)
+			tr.Transition(now, states[i%3])
+		}
+		u := tr.Finish(now + 17)
+		return u.Total() == now+17
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerZeroLengthIntervals(t *testing.T) {
+	tr := NewTracker(50, StateConnected)
+	tr.Transition(50, StateDeepSleep)
+	tr.Transition(50, StateLightSleep)
+	u := tr.Finish(50)
+	if u.Total() != 0 {
+		t.Errorf("zero-span tracking accumulated %v", u)
+	}
+}
+
+func TestTrackerPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"invalid initial", func() { NewTracker(0, State(9)) }},
+		{"invalid next", func() { NewTracker(0, StateDeepSleep).Transition(1, State(0)) }},
+		{"backwards transition", func() {
+			tr := NewTracker(100, StateDeepSleep)
+			tr.Transition(50, StateLightSleep)
+		}},
+		{"backwards finish", func() {
+			tr := NewTracker(100, StateDeepSleep)
+			tr.Finish(50)
+		}},
+		{"transition after finish", func() {
+			tr := NewTracker(0, StateDeepSleep)
+			tr.Finish(10)
+			tr.Transition(20, StateLightSleep)
+		}},
+		{"double finish", func() {
+			tr := NewTracker(0, StateDeepSleep)
+			tr.Finish(10)
+			tr.Finish(20)
+		}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestUptimeArithmetic(t *testing.T) {
+	a := Uptime{DeepSleep: 10, LightSleep: 20, Connected: 30}
+	b := Uptime{DeepSleep: 1, LightSleep: 2, Connected: 3}
+	sum := a.Add(b)
+	if sum != (Uptime{11, 22, 33}) {
+		t.Errorf("Add = %v", sum)
+	}
+	diff := a.Sub(b)
+	if diff != (Uptime{9, 18, 27}) {
+		t.Errorf("Sub = %v", diff)
+	}
+	if a.Get(StateLightSleep) != 20 || a.Get(StateConnected) != 30 || a.Get(StateDeepSleep) != 10 {
+		t.Error("Get wrong")
+	}
+}
+
+func TestUptimeGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Get with invalid state should panic")
+		}
+	}()
+	Uptime{}.Get(State(9))
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateDeepSleep.String() != "deep-sleep" ||
+		StateLightSleep.String() != "light-sleep" ||
+		StateConnected.String() != "connected" {
+		t.Error("state strings wrong")
+	}
+	if !StateConnected.Valid() || State(0).Valid() || State(4).Valid() {
+		t.Error("state validity wrong")
+	}
+}
+
+func TestPowerProfile(t *testing.T) {
+	p := DefaultPowerProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	u := Uptime{DeepSleep: 1000 * simtime.Second, LightSleep: 10 * simtime.Second, Connected: simtime.Second}
+	got := p.Joules(u)
+	want := 1000*3e-6 + 10*0.020 + 1*0.220
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Joules = %v, want %v", got, want)
+	}
+}
+
+func TestPowerProfileValidate(t *testing.T) {
+	bad := []PowerProfile{
+		{DeepSleepWatts: -1, LightSleepWatts: 1, ConnectedWatts: 2},
+		{DeepSleepWatts: 3, LightSleepWatts: 1, ConnectedWatts: 2},
+		{DeepSleepWatts: 0.1, LightSleepWatts: 1, ConnectedWatts: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should be invalid", i)
+		}
+	}
+}
+
+func TestRelativeIncrease(t *testing.T) {
+	if v, ok := RelativeIncrease(110, 100); !ok || math.Abs(v-0.1) > 1e-12 {
+		t.Errorf("RelativeIncrease(110,100) = %v, %v", v, ok)
+	}
+	if v, ok := RelativeIncrease(100, 100); !ok || v != 0 {
+		t.Errorf("equal = %v, %v", v, ok)
+	}
+	if v, ok := RelativeIncrease(50, 100); !ok || v != -0.5 {
+		t.Errorf("decrease = %v, %v", v, ok)
+	}
+	if _, ok := RelativeIncrease(10, 0); ok {
+		t.Error("positive value over zero baseline should report ok=false")
+	}
+	if v, ok := RelativeIncrease(0, 0); !ok || v != 0 {
+		t.Error("zero over zero should be 0, true")
+	}
+}

@@ -1,0 +1,179 @@
+// Package event implements the discrete-event simulation engine that drives
+// the NB-IoT cell model.
+//
+// The engine owns a simulated clock (in simtime.Ticks) and a priority queue
+// of scheduled callbacks. Ties in time are broken by insertion sequence so
+// that runs are fully deterministic. The engine is single-goroutine by
+// design: distributed-systems simulators gain nothing from real concurrency
+// here and lose reproducibility.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nbiot/internal/simtime"
+)
+
+// Handler is a scheduled callback. It runs with the engine clock set to the
+// event's time.
+type Handler func()
+
+// ID identifies a scheduled event so it can be cancelled.
+type ID int64
+
+// item is a single queue entry.
+type item struct {
+	at    simtime.Ticks
+	seq   int64 // insertion order; tie-break for determinism
+	id    ID
+	fn    Handler
+	label string
+	index int // heap index
+}
+
+// queue implements heap.Interface ordered by (at, seq).
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *queue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event scheduler with a simulated clock.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now       simtime.Ticks
+	q         queue
+	byID      map[ID]*item
+	nextSeq   int64
+	nextID    ID
+	processed int64
+	running   bool
+}
+
+// NewEngine returns an engine with the clock at tick 0.
+func NewEngine() *Engine {
+	return &Engine{byID: make(map[ID]*item)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() simtime.Ticks { return e.now }
+
+// Processed reports how many events have been executed.
+func (e *Engine) Processed() int64 { return e.processed }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// (before the current clock) panics: it would silently reorder causality.
+// The label is used in diagnostics only.
+func (e *Engine) At(at simtime.Ticks, label string, fn Handler) ID {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("event: scheduling %q at %v, before current time %v", label, at, e.now))
+	}
+	e.nextID++
+	e.nextSeq++
+	it := &item{at: at, seq: e.nextSeq, id: e.nextID, fn: fn, label: label}
+	heap.Push(&e.q, it)
+	e.byID[it.id] = it
+	return it.id
+}
+
+// After schedules fn to run delay ticks from now. Negative delays panic.
+func (e *Engine) After(delay simtime.Ticks, label string, fn Handler) ID {
+	return e.At(e.now+delay, label, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already ran, was cancelled, or never existed).
+func (e *Engine) Cancel(id ID) bool {
+	it, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	delete(e.byID, id)
+	heap.Remove(&e.q, it.index)
+	return true
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its time. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.q).(*item)
+	delete(e.byID, it.id)
+	e.now = it.at
+	e.processed++
+	it.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	e.guardRun()
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline simtime.Ticks) {
+	e.guardRun()
+	defer func() { e.running = false }()
+	for len(e.q) > 0 && e.q[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) guardRun() {
+	if e.running {
+		panic("event: re-entrant Run/RunUntil call from inside a handler")
+	}
+	e.running = true
+}
+
+// NextEventTime reports the time of the earliest pending event, or ok=false
+// if the queue is empty.
+func (e *Engine) NextEventTime() (simtime.Ticks, bool) {
+	if len(e.q) == 0 {
+		return 0, false
+	}
+	return e.q[0].at, true
+}

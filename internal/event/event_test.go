@@ -1,0 +1,191 @@
+package event
+
+import (
+	"testing"
+
+	"nbiot/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, "c", func() { got = append(got, 3) })
+	e.At(10, "a", func() { got = append(got, 1) })
+	e.At(20, "b", func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", e.Processed())
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(100, "tie", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var at simtime.Ticks
+	e.At(100, "outer", func() {
+		e.After(50, "inner", func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Errorf("After(50) from t=100 ran at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling at t=50 from t=100 should panic")
+			}
+		}()
+		e.At(50, "past", func() {})
+	})
+	e.Run()
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler should panic")
+		}
+	}()
+	e.At(1, "nil", nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.At(10, "x", func() { ran = true })
+	if !e.Cancel(id) {
+		t.Error("Cancel of pending event returned false")
+	}
+	if e.Cancel(id) {
+		t.Error("second Cancel should return false")
+	}
+	e.Run()
+	if ran {
+		t.Error("cancelled event still ran")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var ids []ID
+	for i := 0; i < 10; i++ {
+		i := i
+		ids = append(ids, e.At(simtime.Ticks(10+i), "x", func() { got = append(got, i) }))
+	}
+	e.Cancel(ids[5])
+	e.Cancel(ids[0])
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 5 || v == 0 {
+			t.Errorf("cancelled event %d ran", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []simtime.Ticks
+	for _, at := range []simtime.Ticks{10, 20, 30, 40} {
+		at := at
+		e.At(at, "x", func() { got = append(got, at) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(25) executed %d events, want 2", len(got))
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now() = %v after RunUntil(25), want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 || e.Now() != 40 {
+		t.Errorf("after Run: %d events, now %v", len(got), e.Now())
+	}
+}
+
+func TestRunUntilAdvancesEmptyClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("Now() = %v, want 500", e.Now())
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventTime(); ok {
+		t.Error("empty engine should report no next event")
+	}
+	e.At(42, "x", func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 42 {
+		t.Errorf("NextEventTime = %v, %v; want 42, true", at, ok)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(1, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run should panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+func TestCascadedScheduling(t *testing.T) {
+	// A chain of events each scheduling the next must run to completion.
+	e := NewEngine()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			e.After(1, "chain", step)
+		}
+	}
+	e.At(0, "start", step)
+	e.Run()
+	if count != 1000 {
+		t.Errorf("chain ran %d steps, want 1000", count)
+	}
+	if e.Now() != 999 {
+		t.Errorf("Now() = %v, want 999", e.Now())
+	}
+}

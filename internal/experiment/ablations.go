@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/rng"
+	"nbiot/internal/setcover"
+	"nbiot/internal/simtime"
+	"nbiot/internal/stats"
+	"nbiot/internal/traffic"
+)
+
+// --- A1: greedy vs exact cover quality ---------------------------------------
+
+// GreedyVsExactResult reports the greedy's optimality gap on small random
+// instances where the exact DP cover is tractable.
+type GreedyVsExactResult struct {
+	Options Options
+	// Ratio is the distribution of |greedy| / |optimal| over instances.
+	Ratio stats.Summary
+	// WorstRatio is the largest observed ratio.
+	WorstRatio float64
+	// ExactWins counts instances where the optimum was strictly smaller.
+	ExactWins int
+	Instances int
+}
+
+// GreedyVsExact runs ablation A1: random small covers comparing Chvátal's
+// greedy to the exact minimum.
+func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	s := rng.NewStream(o.Seed)
+	var ratio stats.Accumulator
+	out := &GreedyVsExactResult{Options: o}
+	for i := 0; i < o.Runs; i++ {
+		n := 6 + s.Intn(10)
+		in := setcover.Instance{NumElements: n}
+		numSets := 4 + s.Intn(12)
+		for j := 0; j < numSets; j++ {
+			var set []int
+			for e := 0; e < n; e++ {
+				if s.Bool(0.35) {
+					set = append(set, e)
+				}
+			}
+			in.Sets = append(in.Sets, set)
+		}
+		for e := 0; e < n; e++ {
+			in.Sets = append(in.Sets, []int{e}) // guarantee feasibility
+		}
+		g, err := setcover.Greedy(in)
+		if err != nil {
+			return nil, err
+		}
+		x, err := setcover.Exact(in)
+		if err != nil {
+			return nil, err
+		}
+		r := float64(len(g)) / float64(len(x))
+		ratio.Add(r)
+		if r > out.WorstRatio {
+			out.WorstRatio = r
+		}
+		if len(x) < len(g) {
+			out.ExactWins++
+		}
+		out.Instances++
+	}
+	out.Ratio = ratio.Summary()
+	return out, nil
+}
+
+// --- A2: TI sensitivity -------------------------------------------------------
+
+// TISweepResult reports the DR-SC transmission ratio as the inactivity
+// timer varies across the paper's commercial range (10–30 s).
+type TISweepResult struct {
+	Options Options
+	// Series is one line per TI value: x = fleet size, y = tx/device.
+	Series []stats.Series
+}
+
+// TISweep runs ablation A2.
+func TISweep(o Options, tis []simtime.Ticks) (*TISweepResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tis) == 0 {
+		tis = []simtime.Ticks{10 * simtime.Second, 20 * simtime.Second, 30 * simtime.Second}
+	}
+	out := &TISweepResult{Options: o}
+	for _, ti := range tis {
+		oi := o
+		oi.TI = ti
+		r, err := Fig7(oi)
+		if err != nil {
+			return nil, err
+		}
+		series := r.Ratio
+		series.Name = fmt.Sprintf("TI=%v", ti)
+		out.Series = append(out.Series, series)
+		o.progress("ti-sweep: TI=%v done", ti)
+	}
+	return out, nil
+}
+
+// --- A3: DRX-mix sensitivity ---------------------------------------------------
+
+// MixSweepResult reports the DR-SC transmission ratio under different fleet
+// compositions at a fixed fleet size.
+type MixSweepResult struct {
+	Options Options
+	// Ratio[mixName] is the distribution of tx/device at Options.Devices.
+	Ratio map[string]stats.Summary
+}
+
+// MixSweep runs ablation A3.
+func MixSweep(o Options, mixes []traffic.Mix) (*MixSweepResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mixes) == 0 {
+		mixes = []traffic.Mix{
+			traffic.ShortHeavyMix(), traffic.EricssonCityMix(),
+			traffic.PaperCalibratedMix(), traffic.LongHeavyMix(),
+		}
+	}
+	out := &MixSweepResult{Options: o, Ratio: map[string]stats.Summary{}}
+	for _, mix := range mixes {
+		oi := o
+		oi.Mix = mix
+		oi.FleetSizes = []int{o.Devices}
+		r, err := Fig7(oi)
+		if err != nil {
+			return nil, err
+		}
+		out.Ratio[mix.Name] = r.Ratio.Points[0].Y
+		o.progress("mix-sweep: %s done", mix.Name)
+	}
+	return out, nil
+}
+
+// --- A4: paging-capacity pressure ----------------------------------------------
+
+// PagingCapacityResult reports paging-occasion congestion as the
+// per-occasion record capacity shrinks.
+type PagingCapacityResult struct {
+	Options Options
+	// Overflows[capacity] is the distribution (over runs) of overflowed
+	// paging records in a DR-SC campaign.
+	Overflows map[int]stats.Summary
+}
+
+// PagingCapacity runs ablation A4 on DR-SC campaigns (the mechanism whose
+// pages cluster hardest inside shared windows).
+func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if len(capacities) == 0 {
+		capacities = []int{1, 2, 4, 16}
+	}
+	out := &PagingCapacityResult{Options: o, Overflows: map[int]stats.Summary{}}
+	for _, capacity := range capacities {
+		if capacity <= 0 {
+			return nil, fmt.Errorf("experiment: non-positive paging capacity %d", capacity)
+		}
+		var acc stats.Accumulator
+		for r := 0; r < o.Runs; r++ {
+			fleet, err := fleetForRun(o, o.Devices, r)
+			if err != nil {
+				return nil, err
+			}
+			cfg := cell.Config{
+				Mechanism:       core.MechanismDRSC,
+				Fleet:           fleet,
+				TI:              o.TI,
+				PageGuard:       100 * simtime.Millisecond,
+				PayloadBytes:    100 * 1024,
+				Seed:            o.Seed + int64(r),
+				UniformCoverage: true,
+			}
+			res, err := cell.Run(withPagingCapacity(cfg, capacity))
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(float64(res.ENB.PagingOverflows))
+		}
+		out.Overflows[capacity] = acc.Summary()
+		o.progress("paging-capacity: capacity=%d done", capacity)
+	}
+	return out, nil
+}
+
+// --- X1: SC-PTM vs on-demand multicast -----------------------------------------
+
+// SCPTMComparisonResult compares the standardised SC-PTM baseline against
+// the paper's on-demand grouping mechanisms on the light-sleep energy
+// proxy. This reproduces the qualitative argument of the paper's Sec. II-A
+// (via ref [3]): SC-PTM's standing SC-MCCH monitoring dominates everything
+// the on-demand mechanisms spend.
+type SCPTMComparisonResult struct {
+	Options Options
+	// LightIncrease maps each mechanism (the three grouping mechanisms and
+	// SC-PTM) to its relative light-sleep uptime increase vs unicast.
+	LightIncrease map[core.Mechanism]stats.Summary
+}
+
+// SCPTMComparison runs extension experiment X1.
+func SCPTMComparison(o Options) (*SCPTMComparisonResult, error) {
+	o = o.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	mechanisms := append(core.GroupingMechanisms(), core.MechanismSCPTM)
+	acc := map[core.Mechanism]*stats.Accumulator{}
+	for _, m := range mechanisms {
+		acc[m] = &stats.Accumulator{}
+	}
+	const size = 100 * 1024
+	for r := 0; r < o.Runs; r++ {
+		fleet, err := fleetForRun(o, o.Devices, r)
+		if err != nil {
+			return nil, err
+		}
+		seed := o.Seed + int64(r)
+		base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
+		if err != nil {
+			return nil, err
+		}
+		baseline := base.TotalLightSleep()
+		for _, m := range mechanisms {
+			res, err := runCampaign(m, fleet, o, size, seed)
+			if err != nil {
+				return nil, err
+			}
+			inc, ok := energyRelative(res.TotalLightSleep(), baseline)
+			if !ok {
+				return nil, fmt.Errorf("experiment: zero light-sleep baseline in run %d", r)
+			}
+			acc[m].Add(inc)
+		}
+		o.progress("scptm: run %d/%d done", r+1, o.Runs)
+	}
+	out := &SCPTMComparisonResult{Options: o, LightIncrease: map[core.Mechanism]stats.Summary{}}
+	for m, a := range acc {
+		out.LightIncrease[m] = a.Summary()
+	}
+	return out, nil
+}
+
+// withPagingCapacity returns cfg with the eNB paging capacity overridden.
+func withPagingCapacity(cfg cell.Config, capacity int) cell.Config {
+	c := cfg
+	c.ENB = defaultENBWithCapacity(capacity)
+	return c
+}

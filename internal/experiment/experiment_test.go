@@ -1,0 +1,274 @@
+package experiment
+
+import (
+	"testing"
+
+	"nbiot/internal/core"
+	"nbiot/internal/multicast"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// fastOptions shrinks the evaluation so the shape tests stay quick.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.Runs = 4
+	o.Devices = 80
+	o.Sizes = []int64{multicast.Size100KB, multicast.Size1MB}
+	o.FleetSizes = []int{60, 120}
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptions()
+	bad.Runs = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative runs accepted")
+	}
+	bad = DefaultOptions()
+	bad.Sizes = []int64{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero size accepted")
+	}
+	bad = DefaultOptions()
+	bad.FleetSizes = []int{0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero fleet size accepted")
+	}
+	bad = DefaultOptions()
+	bad.TI = -5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative TI accepted")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	var o Options
+	oo := o.withDefaults()
+	if oo.Runs != 100 || oo.Devices != 500 || oo.TI != 10*simtime.Second {
+		t.Errorf("defaults wrong: %+v", oo)
+	}
+	if oo.Mix.Name != traffic.PaperCalibratedMix().Name {
+		t.Errorf("default mix %q", oo.Mix.Name)
+	}
+	if len(oo.Sizes) != 3 || len(oo.FleetSizes) != 10 {
+		t.Errorf("default sweeps wrong: %v %v", oo.Sizes, oo.FleetSizes)
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	// Paper Fig. 6(a): DR-SC identical to unicast (zero increase); DA-SC
+	// the largest; DR-SI in between and small.
+	res, err := Fig6a(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drsc := res.Increase[core.MechanismDRSC]
+	dasc := res.Increase[core.MechanismDASC]
+	drsi := res.Increase[core.MechanismDRSI]
+	if drsc.Mean != 0 {
+		t.Errorf("DR-SC light-sleep increase = %v, want exactly 0", drsc.Mean)
+	}
+	if !(dasc.Mean > drsi.Mean && drsi.Mean > 0) {
+		t.Errorf("light-sleep ordering violated: DA-SC %v, DR-SI %v", dasc.Mean, drsi.Mean)
+	}
+	if tbl := res.Table(); tbl.NumRows() != 3 {
+		t.Errorf("Fig6a table rows = %d", tbl.NumRows())
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	// Paper Fig. 6(b): every grouping mechanism costs more connected time
+	// than unicast; DA-SC costs the most; and the relative overhead shrinks
+	// as the payload grows.
+	o := fastOptions()
+	res, err := Fig6b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range core.GroupingMechanisms() {
+		small := res.Increase[m][multicast.Size100KB].Mean
+		large := res.Increase[m][multicast.Size1MB].Mean
+		if small <= 0 {
+			t.Errorf("%v connected increase at 100KB = %v, want > 0", m, small)
+		}
+		if large >= small {
+			t.Errorf("%v relative overhead should shrink with size: 100KB %v vs 1MB %v",
+				m, small, large)
+		}
+	}
+	for _, size := range o.Sizes {
+		dasc := res.Increase[core.MechanismDASC][size].Mean
+		drsi := res.Increase[core.MechanismDRSI][size].Mean
+		if dasc <= drsi {
+			t.Errorf("size %d: DA-SC %v should exceed DR-SI %v", size, dasc, drsi)
+		}
+	}
+	if tbl := res.Table(); tbl.NumRows() != 3 {
+		t.Errorf("Fig6b table rows = %d", tbl.NumRows())
+	}
+	if res.Chart().String() == "" {
+		t.Error("empty chart")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	// Paper Fig. 7: transmissions grow sublinearly — the tx/device ratio
+	// falls as the fleet grows — and stay well below one per device.
+	o := fastOptions()
+	o.Runs = 6
+	res, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transmissions.Points) != 2 {
+		t.Fatalf("%d points", len(res.Transmissions.Points))
+	}
+	small := res.Ratio.Points[0].Y.Mean
+	large := res.Ratio.Points[1].Y.Mean
+	if !(small > large) {
+		t.Errorf("tx/device should fall with fleet size: %v → %v", small, large)
+	}
+	if small >= 1 || large <= 0 {
+		t.Errorf("ratios out of range: %v, %v", small, large)
+	}
+	txSmall := res.Transmissions.Points[0].Y.Mean
+	txLarge := res.Transmissions.Points[1].Y.Mean
+	if txLarge <= txSmall {
+		t.Errorf("absolute transmissions should grow with fleet: %v → %v", txSmall, txLarge)
+	}
+	if tbl := res.Table(); tbl.NumRows() != 2 {
+		t.Errorf("Fig7 table rows = %d", tbl.NumRows())
+	}
+	if res.Chart().String() == "" {
+		t.Error("empty chart")
+	}
+}
+
+func TestGreedyVsExactAblation(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 40
+	res, err := GreedyVsExact(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 40 {
+		t.Errorf("instances = %d", res.Instances)
+	}
+	if res.Ratio.Mean < 1 {
+		t.Errorf("greedy cannot beat exact: mean ratio %v", res.Ratio.Mean)
+	}
+	if res.WorstRatio > 3 {
+		t.Errorf("worst ratio %v suspiciously high for these instance sizes", res.WorstRatio)
+	}
+	if res.Table().NumRows() != 4 {
+		t.Error("A1 table shape wrong")
+	}
+}
+
+func TestTISweepAblation(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 3
+	o.FleetSizes = []int{60}
+	res, err := TISweep(o, []simtime.Ticks{10 * simtime.Second, 30 * simtime.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	// A longer inactivity timer widens every window: fewer transmissions.
+	ti10 := res.Series[0].Points[0].Y.Mean
+	ti30 := res.Series[1].Points[0].Y.Mean
+	if ti30 >= ti10 {
+		t.Errorf("TI=30s ratio %v should be below TI=10s %v", ti30, ti10)
+	}
+	if res.Table().NumRows() != 1 {
+		t.Error("A2 table shape wrong")
+	}
+	if res.Chart().String() == "" {
+		t.Error("empty A2 chart")
+	}
+}
+
+func TestMixSweepAblation(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 3
+	o.Devices = 100
+	res, err := MixSweep(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := res.Ratio[traffic.ShortHeavyMix().Name].Mean
+	long := res.Ratio[traffic.LongHeavyMix().Name].Mean
+	if short >= long {
+		t.Errorf("short-heavy ratio %v should be below long-heavy %v", short, long)
+	}
+	if res.Table().NumRows() != 4 {
+		t.Error("A3 table shape wrong")
+	}
+}
+
+func TestPagingCapacityAblation(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 2
+	o.Devices = 120
+	res, err := PagingCapacity(o, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := res.Overflows[1].Mean
+	roomy := res.Overflows[16].Mean
+	if tight < roomy {
+		t.Errorf("capacity 1 overflows %v should be >= capacity 16 %v", tight, roomy)
+	}
+	if res.Table().NumRows() != 2 {
+		t.Error("A4 table shape wrong")
+	}
+}
+
+func TestPagingCapacityRejectsBadCapacity(t *testing.T) {
+	if _, err := PagingCapacity(fastOptions(), []int{0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestSCPTMComparisonShape(t *testing.T) {
+	// X1: SC-PTM's standing MCCH monitoring must dominate every on-demand
+	// mechanism's light-sleep increase.
+	o := fastOptions()
+	o.Runs = 2
+	res, err := SCPTMComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scptm := res.LightIncrease[core.MechanismSCPTM].Mean
+	for _, m := range core.GroupingMechanisms() {
+		if got := res.LightIncrease[m].Mean; got >= scptm {
+			t.Errorf("%v light-sleep increase %v should be below SC-PTM %v", m, got, scptm)
+		}
+	}
+	if scptm <= 0.5 {
+		t.Errorf("SC-PTM increase %v suspiciously small for continuous MCCH monitoring", scptm)
+	}
+	if res.Table().NumRows() != 4 {
+		t.Error("X1 table shape wrong")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 1
+	o.FleetSizes = []int{40}
+	calls := 0
+	o.Progress = func(string, ...any) { calls++ }
+	if _, err := Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress callback never invoked")
+	}
+}

@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"sort"
+
+	"nbiot/internal/core"
+	"nbiot/internal/enb"
+	"nbiot/internal/multicast"
+	"nbiot/internal/report"
+	"nbiot/internal/stats"
+)
+
+// defaultENBWithCapacity builds the default eNB config with a paging
+// capacity override (helper shared with ablations).
+func defaultENBWithCapacity(cap int) enb.Config {
+	c := enb.DefaultConfig()
+	c.PagingRecordsPerPO = cap
+	return c
+}
+
+// Table renders Fig. 6(a) as a table: one row per grouping mechanism.
+func (r *Fig6aResult) Table() *report.Table {
+	t := report.NewTable(
+		"Fig 6(a) — relative light-sleep uptime increase vs unicast",
+		"mechanism", "mean increase", "95% CI", "runs")
+	for _, m := range core.GroupingMechanisms() {
+		s := r.Increase[m]
+		t.AddRow(m.String(), report.FormatPercent(s.Mean),
+			"±"+report.FormatPercent(s.CI95), report.FormatFloat(float64(s.N)))
+	}
+	return t
+}
+
+// Table renders Fig. 6(b): mechanisms × payload sizes.
+func (r *Fig6bResult) Table() *report.Table {
+	cols := []string{"mechanism"}
+	for _, size := range r.Options.Sizes {
+		cols = append(cols, multicast.SizeLabel(size))
+	}
+	t := report.NewTable(
+		"Fig 6(b) — relative connected-mode uptime increase vs unicast",
+		cols...)
+	for _, m := range core.GroupingMechanisms() {
+		row := []string{m.String()}
+		for _, size := range r.Options.Sizes {
+			row = append(row, report.FormatPercent(r.Increase[m][size].Mean))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table renders Fig. 7 rows: fleet size, transmissions, ratio.
+func (r *Fig7Result) Table() *report.Table {
+	t := report.NewTable(
+		"Fig 7 — DR-SC multicast transmissions vs fleet size",
+		"devices", "transmissions (mean)", "95% CI", "tx/device")
+	for i, p := range r.Transmissions.Points {
+		t.AddRow(
+			report.FormatFloat(p.X),
+			report.FormatFloat(p.Y.Mean),
+			"±"+report.FormatFloat(p.Y.CI95),
+			report.FormatPercent(r.Ratio.Points[i].Y.Mean),
+		)
+	}
+	return t
+}
+
+// Chart renders the Fig. 7 curve.
+func (r *Fig7Result) Chart() *report.Chart {
+	c := report.NewChart("Fig 7 — DR-SC multicast transmissions vs fleet size",
+		"devices", "transmissions")
+	c.Add(r.Transmissions)
+	return c
+}
+
+// Table renders ablation A1.
+func (r *GreedyVsExactResult) Table() *report.Table {
+	t := report.NewTable(
+		"A1 — greedy vs exact set cover (random small instances)",
+		"metric", "value")
+	t.AddRow("instances", report.FormatFloat(float64(r.Instances)))
+	t.AddRow("mean |greedy|/|optimal|", report.FormatFloat(r.Ratio.Mean))
+	t.AddRow("worst ratio", report.FormatFloat(r.WorstRatio))
+	t.AddRow("instances where exact wins", report.FormatFloat(float64(r.ExactWins)))
+	return t
+}
+
+// Table renders ablation A2 as fleet-size rows × TI columns.
+func (r *TISweepResult) Table() *report.Table {
+	cols := []string{"devices"}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name+" tx/device")
+	}
+	t := report.NewTable("A2 — DR-SC sensitivity to the inactivity timer", cols...)
+	if len(r.Series) == 0 {
+		return t
+	}
+	for i, p := range r.Series[0].Points {
+		row := []string{report.FormatFloat(p.X)}
+		for _, s := range r.Series {
+			row = append(row, report.FormatPercent(s.Points[i].Y.Mean))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Chart renders ablation A2.
+func (r *TISweepResult) Chart() *report.Chart {
+	c := report.NewChart("A2 — DR-SC tx/device vs fleet size for different TI",
+		"devices", "tx/device")
+	for _, s := range r.Series {
+		c.Add(s)
+	}
+	return c
+}
+
+// Table renders ablation A3.
+func (r *MixSweepResult) Table() *report.Table {
+	t := report.NewTable(
+		"A3 — DR-SC tx/device by fleet composition",
+		"mix", "tx/device (mean)", "95% CI")
+	names := make([]string, 0, len(r.Ratio))
+	for name := range r.Ratio {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Ratio[names[i]].Mean < r.Ratio[names[j]].Mean })
+	for _, name := range names {
+		s := r.Ratio[name]
+		t.AddRow(name, report.FormatPercent(s.Mean), "±"+report.FormatPercent(s.CI95))
+	}
+	return t
+}
+
+// Table renders ablation A4.
+func (r *PagingCapacityResult) Table() *report.Table {
+	t := report.NewTable(
+		"A4 — paging-occasion overflows vs per-PO record capacity (DR-SC)",
+		"records/PO", "overflowed records (mean)", "95% CI")
+	caps := make([]int, 0, len(r.Overflows))
+	for c := range r.Overflows {
+		caps = append(caps, c)
+	}
+	sort.Ints(caps)
+	for _, c := range caps {
+		s := r.Overflows[c]
+		t.AddRow(report.FormatFloat(float64(c)),
+			report.FormatFloat(s.Mean), "±"+report.FormatFloat(s.CI95))
+	}
+	return t
+}
+
+// Table renders extension X1.
+func (r *SCPTMComparisonResult) Table() *report.Table {
+	t := report.NewTable(
+		"X1 — SC-PTM vs on-demand grouping: relative light-sleep uptime increase vs unicast",
+		"mechanism", "mean increase", "95% CI")
+	mechanisms := append(core.GroupingMechanisms(), core.MechanismSCPTM)
+	for _, m := range mechanisms {
+		s := r.LightIncrease[m]
+		t.AddRow(m.String(), report.FormatPercent(s.Mean), "±"+report.FormatPercent(s.CI95))
+	}
+	return t
+}
+
+// series6b converts Fig. 6(b) data into one series per mechanism (x = log
+// size index) for charting.
+func (r *Fig6bResult) series6b() []stats.Series {
+	var out []stats.Series
+	for _, m := range core.GroupingMechanisms() {
+		var s stats.Series
+		s.Name = m.String()
+		for i, size := range r.Options.Sizes {
+			s.Append(float64(i), r.Increase[m][size])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Chart renders Fig. 6(b) with payload-size index on x.
+func (r *Fig6bResult) Chart() *report.Chart {
+	c := report.NewChart("Fig 6(b) — relative connected uptime increase (x = size index)",
+		"payload size index", "relative increase")
+	for _, s := range r.series6b() {
+		c.Add(s)
+	}
+	return c
+}

@@ -1,0 +1,209 @@
+// Package mac models the NB-IoT random-access (RA) procedure that every
+// device must complete before entering connected mode (TS 36.321).
+//
+// The model is slotted: NPRACH opportunities recur with a fixed period, a
+// requesting device picks a random preamble in the next opportunity, and two
+// devices picking the same (slot, preamble) collide and back off. Coverage
+// class scales the per-attempt latency (deeper coverage needs more preamble
+// repetitions and slower message exchanges). The controller runs on the
+// discrete-event engine so RA congestion interacts naturally with the
+// grouping mechanisms: DA-SC's extra reconfiguration connections and the
+// clustered wake-ups of DR-SC both load the RACH.
+package mac
+
+import (
+	"fmt"
+
+	"nbiot/internal/event"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+)
+
+// Config parameterises the RA model.
+type Config struct {
+	// SlotPeriod is the spacing of NPRACH opportunities.
+	SlotPeriod simtime.Ticks
+	// Preambles is the number of orthogonal preambles per opportunity.
+	Preambles int
+	// MaxAttempts bounds retries before the procedure fails.
+	MaxAttempts int
+	// BackoffMax is the maximum random backoff after a collision.
+	BackoffMax simtime.Ticks
+	// AttemptLatency is the per-class duration from the NPRACH slot to the
+	// completion of contention resolution (Msg1 repetitions + RAR window +
+	// Msg3 + Msg4), i.e. the time a successful attempt spends in the RA
+	// exchange.
+	AttemptLatency [phy.NumCoverageClasses]simtime.Ticks
+}
+
+// DefaultConfig returns NB-IoT-flavoured defaults: NPRACH every 40 ms, 48
+// subcarriers (preambles), and attempt latencies growing with coverage
+// depth.
+func DefaultConfig() Config {
+	return Config{
+		SlotPeriod:  40 * simtime.Millisecond,
+		Preambles:   48,
+		MaxAttempts: 10,
+		BackoffMax:  256 * simtime.Millisecond,
+		AttemptLatency: [phy.NumCoverageClasses]simtime.Ticks{
+			250 * simtime.Millisecond,
+			600 * simtime.Millisecond,
+			1500 * simtime.Millisecond,
+		},
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.SlotPeriod <= 0 {
+		return fmt.Errorf("mac: non-positive slot period %v", c.SlotPeriod)
+	}
+	if c.Preambles <= 0 {
+		return fmt.Errorf("mac: non-positive preamble count %d", c.Preambles)
+	}
+	if c.MaxAttempts <= 0 {
+		return fmt.Errorf("mac: non-positive max attempts %d", c.MaxAttempts)
+	}
+	if c.BackoffMax < 0 {
+		return fmt.Errorf("mac: negative backoff %v", c.BackoffMax)
+	}
+	for cls, l := range c.AttemptLatency {
+		if l <= 0 {
+			return fmt.Errorf("mac: non-positive attempt latency %v for %v", l, phy.CoverageClass(cls))
+		}
+	}
+	return nil
+}
+
+// Result reports the outcome of a random-access procedure.
+type Result struct {
+	// OK is false when MaxAttempts collisions exhausted the procedure.
+	OK bool
+	// CompletedAt is the time contention resolution finished (valid if OK).
+	CompletedAt simtime.Ticks
+	// Attempts is the number of preamble transmissions used.
+	Attempts int
+}
+
+// Controller arbitrates random access on one cell.
+type Controller struct {
+	cfg    Config
+	eng    *event.Engine
+	stream *rng.Stream
+
+	// pending maps an NPRACH slot index to the requests contending in it.
+	pending map[int64][]*request
+
+	// Stats.
+	totalAttempts   int64
+	totalCollisions int64
+	totalProcedures int64
+}
+
+type request struct {
+	class    phy.CoverageClass
+	attempts int
+	preamble int
+	done     func(Result)
+}
+
+// NewController builds a controller bound to the engine. The stream feeds
+// preamble and backoff draws; use a dedicated named stream per cell.
+func NewController(cfg Config, eng *event.Engine, stream *rng.Stream) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if eng == nil || stream == nil {
+		return nil, fmt.Errorf("mac: nil engine or stream")
+	}
+	return &Controller{
+		cfg:     cfg,
+		eng:     eng,
+		stream:  stream,
+		pending: make(map[int64][]*request),
+	}, nil
+}
+
+// Request starts a random-access procedure now; done is invoked exactly once
+// when it succeeds or fails.
+func (c *Controller) Request(class phy.CoverageClass, done func(Result)) {
+	if !class.Valid() {
+		panic(fmt.Sprintf("mac: invalid coverage class %d", class))
+	}
+	if done == nil {
+		panic("mac: nil completion callback")
+	}
+	c.totalProcedures++
+	c.enqueue(&request{class: class, done: done})
+}
+
+// enqueue places the request in the next NPRACH opportunity.
+func (c *Controller) enqueue(r *request) {
+	r.attempts++
+	r.preamble = c.stream.Intn(c.cfg.Preambles)
+	now := c.eng.Now()
+	slot := int64(now/c.cfg.SlotPeriod) + 1 // next opportunity strictly after now
+	if _, exists := c.pending[slot]; !exists {
+		slotTime := simtime.Ticks(slot) * c.cfg.SlotPeriod
+		c.eng.At(slotTime, "mac.nprach-slot", func() { c.resolveSlot(slot) })
+	}
+	c.pending[slot] = append(c.pending[slot], r)
+	c.totalAttempts++
+}
+
+// resolveSlot processes one NPRACH opportunity: requests alone on their
+// preamble proceed through the RA exchange, collided ones back off.
+func (c *Controller) resolveSlot(slot int64) {
+	reqs := c.pending[slot]
+	delete(c.pending, slot)
+	counts := make(map[int]int, len(reqs))
+	for _, r := range reqs {
+		counts[r.preamble]++
+	}
+	for _, r := range reqs {
+		r := r
+		if counts[r.preamble] == 1 {
+			latency := c.cfg.AttemptLatency[r.class]
+			c.eng.After(latency, "mac.ra-complete", func() {
+				r.done(Result{OK: true, CompletedAt: c.eng.Now(), Attempts: r.attempts})
+			})
+			continue
+		}
+		c.totalCollisions++
+		if r.attempts >= c.cfg.MaxAttempts {
+			c.eng.After(0, "mac.ra-fail", func() {
+				r.done(Result{OK: false, Attempts: r.attempts})
+			})
+			continue
+		}
+		backoff := simtime.Ticks(0)
+		if c.cfg.BackoffMax > 0 {
+			backoff = simtime.Ticks(c.stream.Int63n(int64(c.cfg.BackoffMax) + 1))
+		}
+		c.eng.After(backoff, "mac.ra-retry", func() { c.enqueue(r) })
+	}
+}
+
+// Stats reports cumulative counters.
+type Stats struct {
+	Procedures int64
+	Attempts   int64
+	Collisions int64
+}
+
+// Stats returns cumulative counters for the controller.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Procedures: c.totalProcedures,
+		Attempts:   c.totalAttempts,
+		Collisions: c.totalCollisions,
+	}
+}
+
+// ExpectedLatency reports the collision-free RA latency for a class: the
+// mean wait for the next NPRACH slot plus the attempt exchange. Planners use
+// it for capacity estimates without running the event model.
+func (c *Controller) ExpectedLatency(class phy.CoverageClass) simtime.Ticks {
+	return c.cfg.SlotPeriod/2 + c.cfg.AttemptLatency[class]
+}

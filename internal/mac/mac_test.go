@@ -1,0 +1,217 @@
+package mac
+
+import (
+	"testing"
+
+	"nbiot/internal/event"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+)
+
+func newTestController(t *testing.T, cfg Config, seed int64) (*Controller, *event.Engine) {
+	t.Helper()
+	eng := event.NewEngine()
+	c, err := NewController(cfg, eng, rng.NewStream(seed))
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return c, eng
+}
+
+func TestSingleRequestSucceeds(t *testing.T) {
+	c, eng := newTestController(t, DefaultConfig(), 1)
+	var res Result
+	c.Request(phy.CE0, func(r Result) { res = r })
+	eng.Run()
+	if !res.OK {
+		t.Fatal("lone request failed")
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", res.Attempts)
+	}
+	// Next slot at 40ms + 250ms exchange.
+	want := 40*simtime.Millisecond + 250*simtime.Millisecond
+	if res.CompletedAt != want {
+		t.Errorf("completed at %v, want %v", res.CompletedAt, want)
+	}
+}
+
+func TestDeeperCoverageSlower(t *testing.T) {
+	var done [2]Result
+	c, eng := newTestController(t, DefaultConfig(), 2)
+	c.Request(phy.CE0, func(r Result) { done[0] = r })
+	c.Request(phy.CE2, func(r Result) { done[1] = r })
+	eng.Run()
+	if !done[0].OK || !done[1].OK {
+		t.Fatal("requests failed")
+	}
+	if done[1].CompletedAt <= done[0].CompletedAt {
+		t.Errorf("CE2 (%v) should finish after CE0 (%v)", done[1].CompletedAt, done[0].CompletedAt)
+	}
+}
+
+func TestForcedCollisionRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Preambles = 1 // every simultaneous pair collides
+	cfg.BackoffMax = 80 * simtime.Millisecond
+	c, eng := newTestController(t, cfg, 3)
+	var results []Result
+	c.Request(phy.CE0, func(r Result) { results = append(results, r) })
+	c.Request(phy.CE0, func(r Result) { results = append(results, r) })
+	eng.Run()
+	if len(results) != 2 {
+		t.Fatalf("%d completions, want 2", len(results))
+	}
+	retried := false
+	for _, r := range results {
+		if r.Attempts > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Error("with one preamble and two requesters, at least one must retry")
+	}
+	if got := c.Stats().Collisions; got == 0 {
+		t.Error("collision counter did not move")
+	}
+}
+
+func TestMaxAttemptsExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Preambles = 1
+	cfg.MaxAttempts = 3
+	cfg.BackoffMax = 0 // retries land in the same next slot and re-collide forever
+	c, eng := newTestController(t, cfg, 4)
+	var results []Result
+	for i := 0; i < 2; i++ {
+		c.Request(phy.CE0, func(r Result) { results = append(results, r) })
+	}
+	eng.Run()
+	if len(results) != 2 {
+		t.Fatalf("%d completions, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.OK {
+			t.Error("request should have failed after MaxAttempts")
+		}
+		if r.Attempts != 3 {
+			t.Errorf("attempts = %d, want 3", r.Attempts)
+		}
+	}
+}
+
+func TestManyRequestsAllComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	c, eng := newTestController(t, cfg, 5)
+	const n = 500
+	completed := 0
+	for i := 0; i < n; i++ {
+		// Stagger arrivals across 10 s.
+		at := simtime.Ticks(i * 20)
+		eng.At(at, "arrive", func() {
+			c.Request(phy.CE0, func(r Result) {
+				if r.OK {
+					completed++
+				}
+			})
+		})
+	}
+	eng.Run()
+	if completed != n {
+		t.Errorf("%d of %d procedures completed", completed, n)
+	}
+	st := c.Stats()
+	if st.Procedures != n || st.Attempts < n {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Result {
+		cfg := DefaultConfig()
+		cfg.Preambles = 4
+		eng := event.NewEngine()
+		c, err := NewController(cfg, eng, rng.NewStream(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Result
+		for i := 0; i < 50; i++ {
+			c.Request(phy.CE0, func(r Result) { out = append(out, r) })
+		}
+		eng.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SlotPeriod = 0 },
+		func(c *Config) { c.Preambles = 0 },
+		func(c *Config) { c.MaxAttempts = 0 },
+		func(c *Config) { c.BackoffMax = -1 },
+		func(c *Config) { c.AttemptLatency[phy.CE1] = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestNewControllerErrors(t *testing.T) {
+	if _, err := NewController(Config{}, event.NewEngine(), rng.NewStream(1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewController(DefaultConfig(), nil, rng.NewStream(1)); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewController(DefaultConfig(), event.NewEngine(), nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestRequestPanics(t *testing.T) {
+	c, _ := newTestController(t, DefaultConfig(), 6)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid class should panic")
+			}
+		}()
+		c.Request(phy.CoverageClass(7), func(Result) {})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil callback should panic")
+			}
+		}()
+		c.Request(phy.CE0, nil)
+	}()
+}
+
+func TestExpectedLatency(t *testing.T) {
+	c, _ := newTestController(t, DefaultConfig(), 7)
+	if got := c.ExpectedLatency(phy.CE0); got != 270*simtime.Millisecond {
+		t.Errorf("ExpectedLatency(CE0) = %v, want 270ms", got)
+	}
+	if c.ExpectedLatency(phy.CE2) <= c.ExpectedLatency(phy.CE0) {
+		t.Error("expected latency should grow with coverage depth")
+	}
+}

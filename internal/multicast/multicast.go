@@ -1,0 +1,179 @@
+// Package multicast models the content being distributed — firmware
+// updates of the sizes the paper evaluates (100 KB, 1 MB, 10 MB,
+// Sec. IV-A) — and tracks its delivery across a fleet.
+//
+// Payload bytes are generated deterministically from a seed so examples
+// and tests can verify end-to-end integrity (CRC over the synthetic image)
+// without storing megabytes in memory: chunks are regenerated on demand.
+package multicast
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// The paper's firmware-update sizes (Sec. IV-A).
+const (
+	Size100KB int64 = 100 * 1024
+	Size1MB   int64 = 1024 * 1024
+	Size10MB  int64 = 10 * 1024 * 1024
+)
+
+// PaperSizes returns the three evaluation payload sizes in order.
+func PaperSizes() []int64 { return []int64{Size100KB, Size1MB, Size10MB} }
+
+// SizeLabel renders a payload size the way the paper labels it.
+func SizeLabel(size int64) string {
+	switch {
+	case size >= 1024*1024 && size%(1024*1024) == 0:
+		return fmt.Sprintf("%dMB", size/(1024*1024))
+	case size >= 1024 && size%1024 == 0:
+		return fmt.Sprintf("%dKB", size/1024)
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+// Content is one firmware image to distribute.
+type Content struct {
+	name string
+	size int64
+	seed uint64
+	crc  uint32
+}
+
+// NewContent builds a synthetic firmware image of the given size. The seed
+// determines every payload byte, so two images with the same (size, seed)
+// are identical.
+func NewContent(name string, size int64, seed uint64) (*Content, error) {
+	if name == "" {
+		return nil, fmt.Errorf("multicast: empty content name")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("multicast: non-positive content size %d", size)
+	}
+	c := &Content{name: name, size: size, seed: seed}
+	c.crc = c.computeCRC()
+	return c, nil
+}
+
+// Name reports the image name.
+func (c *Content) Name() string { return c.name }
+
+// Size reports the image size in bytes.
+func (c *Content) Size() int64 { return c.size }
+
+// CRC reports the CRC-32 (IEEE) of the full image.
+func (c *Content) CRC() uint32 { return c.crc }
+
+// byteAt deterministically generates payload byte i with a splitmix64-style
+// mix of the seed and offset.
+func (c *Content) byteAt(i int64) byte {
+	z := c.seed + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return byte(z ^ (z >> 31))
+}
+
+// Chunk materialises payload bytes [offset, offset+length). It panics on an
+// out-of-range request — callers segment against Size.
+func (c *Content) Chunk(offset, length int64) []byte {
+	if offset < 0 || length < 0 || offset+length > c.size {
+		panic(fmt.Sprintf("multicast: chunk [%d,%d) out of range of %d-byte content",
+			offset, offset+length, c.size))
+	}
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = c.byteAt(offset + int64(i))
+	}
+	return out
+}
+
+// computeCRC streams the image through CRC-32 in fixed windows.
+func (c *Content) computeCRC() uint32 {
+	h := crc32.NewIEEE()
+	const window = 64 * 1024
+	for off := int64(0); off < c.size; off += window {
+		n := int64(window)
+		if off+n > c.size {
+			n = c.size - off
+		}
+		h.Write(c.Chunk(off, n))
+	}
+	return h.Sum32()
+}
+
+// VerifyImage checks a fully reassembled image against the content.
+func (c *Content) VerifyImage(img []byte) error {
+	if int64(len(img)) != c.size {
+		return fmt.Errorf("multicast: image size %d, want %d", len(img), c.size)
+	}
+	if got := crc32.ChecksumIEEE(img); got != c.crc {
+		return fmt.Errorf("multicast: CRC mismatch: %#x, want %#x", got, c.crc)
+	}
+	return nil
+}
+
+// Delivery tracks which devices have received a content image exactly once.
+type Delivery struct {
+	content   *Content
+	pending   map[int]bool
+	delivered map[int]bool
+}
+
+// NewDelivery starts tracking delivery of content to the listed devices.
+func NewDelivery(content *Content, deviceIDs []int) (*Delivery, error) {
+	if content == nil {
+		return nil, fmt.Errorf("multicast: nil content")
+	}
+	if len(deviceIDs) == 0 {
+		return nil, fmt.Errorf("multicast: empty device list")
+	}
+	d := &Delivery{
+		content:   content,
+		pending:   make(map[int]bool, len(deviceIDs)),
+		delivered: make(map[int]bool),
+	}
+	for _, id := range deviceIDs {
+		if d.pending[id] {
+			return nil, fmt.Errorf("multicast: duplicate device %d in delivery list", id)
+		}
+		d.pending[id] = true
+	}
+	return d, nil
+}
+
+// Content reports the tracked image.
+func (d *Delivery) Content() *Content { return d.content }
+
+// Deliver records that a device received the image. Delivering to an
+// unknown device or twice to the same device is an error — the grouping
+// invariant is exactly-once delivery.
+func (d *Delivery) Deliver(deviceID int) error {
+	if d.delivered[deviceID] {
+		return fmt.Errorf("multicast: device %d already served", deviceID)
+	}
+	if !d.pending[deviceID] {
+		return fmt.Errorf("multicast: device %d not in the delivery list", deviceID)
+	}
+	delete(d.pending, deviceID)
+	d.delivered[deviceID] = true
+	return nil
+}
+
+// Progress reports (delivered, total) counts.
+func (d *Delivery) Progress() (done, total int) {
+	return len(d.delivered), len(d.delivered) + len(d.pending)
+}
+
+// Complete reports whether every device has been served.
+func (d *Delivery) Complete() bool { return len(d.pending) == 0 }
+
+// Remaining returns the not-yet-served device IDs (order unspecified).
+func (d *Delivery) Remaining() []int {
+	out := make([]int, 0, len(d.pending))
+	for id := range d.pending {
+		out = append(out, id)
+	}
+	return out
+}

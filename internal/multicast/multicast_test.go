@@ -1,0 +1,167 @@
+package multicast
+
+import (
+	"testing"
+)
+
+func TestSizeConstants(t *testing.T) {
+	if Size100KB != 102400 || Size1MB != 1048576 || Size10MB != 10485760 {
+		t.Fatal("size constants wrong")
+	}
+	sizes := PaperSizes()
+	if len(sizes) != 3 || sizes[0] != Size100KB || sizes[2] != Size10MB {
+		t.Fatal("PaperSizes wrong")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	for size, want := range map[int64]string{
+		Size100KB: "100KB",
+		Size1MB:   "1MB",
+		Size10MB:  "10MB",
+		500:       "500B",
+		2048:      "2KB",
+	} {
+		if got := SizeLabel(size); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", size, got, want)
+		}
+	}
+}
+
+func TestNewContentValidation(t *testing.T) {
+	if _, err := NewContent("", 100, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewContent("fw", 0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewContent("fw", -5, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestContentDeterministic(t *testing.T) {
+	a, err := NewContent("fw", 4096, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewContent("fw", 4096, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CRC() != b.CRC() {
+		t.Error("same (size, seed) produced different CRCs")
+	}
+	c, err := NewContent("fw", 4096, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CRC() == c.CRC() {
+		t.Error("different seeds produced identical CRCs (suspicious)")
+	}
+}
+
+func TestChunkAndVerify(t *testing.T) {
+	c, err := NewContent("fw", 100_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble from chunks of varying sizes and verify CRC.
+	var img []byte
+	for off := int64(0); off < c.Size(); {
+		n := int64(7777)
+		if off+n > c.Size() {
+			n = c.Size() - off
+		}
+		img = append(img, c.Chunk(off, n)...)
+		off += n
+	}
+	if err := c.VerifyImage(img); err != nil {
+		t.Fatalf("reassembled image failed verification: %v", err)
+	}
+	// Corrupt one byte.
+	img[500] ^= 0xFF
+	if err := c.VerifyImage(img); err == nil {
+		t.Error("corrupted image passed verification")
+	}
+	if err := c.VerifyImage(img[:100]); err == nil {
+		t.Error("short image passed verification")
+	}
+}
+
+func TestChunkPanicsOutOfRange(t *testing.T) {
+	c, err := NewContent("fw", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ off, n int64 }{{-1, 5}, {0, 101}, {95, 10}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Chunk(%d,%d) should panic", tc.off, tc.n)
+				}
+			}()
+			c.Chunk(tc.off, tc.n)
+		}()
+	}
+}
+
+func TestDeliveryLifecycle(t *testing.T) {
+	c, err := NewContent("fw", 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDelivery(c, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Complete() {
+		t.Error("fresh delivery reported complete")
+	}
+	if done, total := d.Progress(); done != 0 || total != 3 {
+		t.Errorf("progress = %d/%d, want 0/3", done, total)
+	}
+	if err := d.Deliver(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deliver(2); err == nil {
+		t.Error("double delivery accepted")
+	}
+	if err := d.Deliver(99); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := d.Deliver(1); err != nil {
+		t.Fatal(err)
+	}
+	if rem := d.Remaining(); len(rem) != 1 || rem[0] != 3 {
+		t.Errorf("remaining = %v, want [3]", rem)
+	}
+	if err := d.Deliver(3); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Complete() {
+		t.Error("delivery should be complete")
+	}
+	if done, total := d.Progress(); done != 3 || total != 3 {
+		t.Errorf("progress = %d/%d, want 3/3", done, total)
+	}
+	if d.Content() != c {
+		t.Error("content accessor wrong")
+	}
+}
+
+func TestNewDeliveryValidation(t *testing.T) {
+	c, err := NewContent("fw", 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDelivery(nil, []int{1}); err == nil {
+		t.Error("nil content accepted")
+	}
+	if _, err := NewDelivery(c, nil); err == nil {
+		t.Error("empty device list accepted")
+	}
+	if _, err := NewDelivery(c, []int{1, 1}); err == nil {
+		t.Error("duplicate devices accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package network models the end-to-end distribution pipeline of the
+// on-demand multicast scheme the paper builds on (ref [3], Sec. II-A): the
+// entity providing the multicast content — a device manufacturer or
+// service platform — hands the mobile network operator the firmware image
+// and the list of target devices; the operator's coordination entity
+// distributes both to every eNB with attached targets; and each cell then
+// runs its own grouping campaign independently (SC-PTM and the paper's
+// mechanisms are all single-cell schemes).
+//
+// Cells are independent simulations with independent seeds, so the package
+// runs them concurrently and aggregates the results into one rollout
+// report. This is the layer a fleet operator would actually script against
+// to push an update city-wide.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// Site is one eNB and the devices attached to it.
+type Site struct {
+	// ID is the cell identifier (unique within the network).
+	ID int
+	// Fleet is the attached device population.
+	Fleet []traffic.Device
+}
+
+// Network is a set of cells under one operator.
+type Network struct {
+	sites []Site
+}
+
+// New builds a network from explicit sites.
+func New(sites []Site) (*Network, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("network: no sites")
+	}
+	seen := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		if seen[s.ID] {
+			return nil, fmt.Errorf("network: duplicate site ID %d", s.ID)
+		}
+		seen[s.ID] = true
+		if len(s.Fleet) == 0 {
+			return nil, fmt.Errorf("network: site %d has no devices", s.ID)
+		}
+	}
+	out := &Network{sites: make([]Site, len(sites))}
+	copy(out.sites, sites)
+	sort.Slice(out.sites, func(i, j int) bool { return out.sites[i].ID < out.sites[j].ID })
+	return out, nil
+}
+
+// Populate generates a network of numCells cells whose fleets are drawn
+// from the mix, with totalDevices spread over the cells uniformly at
+// random (each device attaches to one cell).
+func Populate(numCells, totalDevices int, mix traffic.Mix, stream *rng.Stream) (*Network, error) {
+	if numCells <= 0 {
+		return nil, fmt.Errorf("network: non-positive cell count %d", numCells)
+	}
+	if totalDevices < numCells {
+		return nil, fmt.Errorf("network: %d devices cannot populate %d cells", totalDevices, numCells)
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("network: nil random stream")
+	}
+	devices, err := mix.Generate(totalDevices, stream)
+	if err != nil {
+		return nil, err
+	}
+	fleets := make([][]traffic.Device, numCells)
+	// Round-robin the first numCells devices so no cell is empty, then
+	// place the rest uniformly.
+	for i, d := range devices {
+		var c int
+		if i < numCells {
+			c = i
+		} else {
+			c = stream.Intn(numCells)
+		}
+		// Device IDs must be dense per cell for the planner.
+		d.ID = len(fleets[c])
+		fleets[c] = append(fleets[c], d)
+	}
+	sites := make([]Site, numCells)
+	for i := range sites {
+		sites[i] = Site{ID: i, Fleet: fleets[i]}
+	}
+	return New(sites)
+}
+
+// NumSites reports the number of cells.
+func (n *Network) NumSites() int { return len(n.sites) }
+
+// Sites returns the sites in ID order (shared slice; do not mutate).
+func (n *Network) Sites() []Site { return n.sites }
+
+// RolloutConfig configures a network-wide firmware rollout.
+type RolloutConfig struct {
+	// Mechanism is the grouping mechanism every cell uses.
+	Mechanism core.Mechanism
+	// TI is the inactivity timer.
+	TI simtime.Ticks
+	// PayloadBytes is the firmware image size.
+	PayloadBytes int64
+	// Seed roots the per-cell seeds (cell i uses Seed + i·31337).
+	Seed int64
+	// UniformCoverage, SplitByCoverage and BackgroundTraffic forward to
+	// each cell's configuration.
+	UniformCoverage   bool
+	SplitByCoverage   bool
+	BackgroundTraffic bool
+	// Parallelism bounds concurrent cell simulations; zero means all cells
+	// at once.
+	Parallelism int
+}
+
+// CellOutcome pairs a site with its campaign result.
+type CellOutcome struct {
+	SiteID int
+	Result *cell.Result
+}
+
+// Rollout is the aggregated outcome of a network-wide campaign.
+type Rollout struct {
+	Mechanism core.Mechanism
+	Cells     []CellOutcome
+	// TotalDevices and TotalTransmissions aggregate over cells.
+	TotalDevices       int
+	TotalTransmissions int
+	// End is the latest campaign end across cells (cells run in parallel
+	// in real time).
+	End simtime.Ticks
+}
+
+// Distribute pushes one firmware image to every device in the network:
+// each cell receives the image plus its slice of the device list and runs
+// its own campaign. Cells simulate concurrently; results are deterministic
+// because each cell derives every random draw from its own seed.
+func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
+	if !cfg.Mechanism.Valid() {
+		return nil, fmt.Errorf("network: invalid mechanism %d", int(cfg.Mechanism))
+	}
+	limit := cfg.Parallelism
+	if limit <= 0 || limit > len(n.sites) {
+		limit = len(n.sites)
+	}
+	type slot struct {
+		res *cell.Result
+		err error
+	}
+	results := make([]slot, len(n.sites))
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i, site := range n.sites {
+		i, site := i, site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := cell.Run(cell.Config{
+				Mechanism:         cfg.Mechanism,
+				Fleet:             site.Fleet,
+				TI:                cfg.TI,
+				PageGuard:         100 * simtime.Millisecond,
+				PayloadBytes:      cfg.PayloadBytes,
+				Seed:              cfg.Seed + int64(site.ID)*31337,
+				UniformCoverage:   cfg.UniformCoverage,
+				SplitByCoverage:   cfg.SplitByCoverage,
+				BackgroundTraffic: cfg.BackgroundTraffic,
+			})
+			results[i] = slot{res: res, err: err}
+		}()
+	}
+	wg.Wait()
+
+	out := &Rollout{Mechanism: cfg.Mechanism}
+	for i, site := range n.sites {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("network: cell %d: %w", site.ID, results[i].err)
+		}
+		res := results[i].res
+		out.Cells = append(out.Cells, CellOutcome{SiteID: site.ID, Result: res})
+		out.TotalDevices += res.NumDevices
+		out.TotalTransmissions += res.NumTransmissions
+		if res.CampaignEnd > out.End {
+			out.End = res.CampaignEnd
+		}
+	}
+	return out, nil
+}
+
+// TotalLightSleep aggregates the light-sleep proxy across cells.
+func (r *Rollout) TotalLightSleep() simtime.Ticks {
+	var sum simtime.Ticks
+	for _, c := range r.Cells {
+		sum += c.Result.TotalLightSleep()
+	}
+	return sum
+}
+
+// TotalConnected aggregates the connected-mode proxy across cells.
+func (r *Rollout) TotalConnected() simtime.Ticks {
+	var sum simtime.Ticks
+	for _, c := range r.Cells {
+		sum += c.Result.TotalConnected()
+	}
+	return sum
+}

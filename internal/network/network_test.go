@@ -1,0 +1,170 @@
+package network
+
+import (
+	"testing"
+
+	"nbiot/internal/core"
+	"nbiot/internal/multicast"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+func testNetwork(t *testing.T, cells, devices int, seed int64) *Network {
+	t.Helper()
+	n, err := Populate(cells, devices, traffic.EricssonCityMix(), rng.NewStream(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func defaultRollout(mech core.Mechanism) RolloutConfig {
+	return RolloutConfig{
+		Mechanism:       mech,
+		TI:              10 * simtime.Second,
+		PayloadBytes:    multicast.Size100KB,
+		Seed:            7,
+		UniformCoverage: true,
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	n := testNetwork(t, 4, 100, 1)
+	if n.NumSites() != 4 {
+		t.Fatalf("%d sites", n.NumSites())
+	}
+	total := 0
+	for _, s := range n.Sites() {
+		if len(s.Fleet) == 0 {
+			t.Errorf("site %d empty", s.ID)
+		}
+		// Device IDs must be dense per cell.
+		for i, d := range s.Fleet {
+			if d.ID != i {
+				t.Errorf("site %d device %d has ID %d", s.ID, i, d.ID)
+			}
+		}
+		total += len(s.Fleet)
+	}
+	if total != 100 {
+		t.Errorf("devices across sites = %d, want 100", total)
+	}
+}
+
+func TestPopulateErrors(t *testing.T) {
+	mix := traffic.EricssonCityMix()
+	if _, err := Populate(0, 10, mix, rng.NewStream(1)); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := Populate(5, 3, mix, rng.NewStream(1)); err == nil {
+		t.Error("fewer devices than cells accepted")
+	}
+	if _, err := Populate(2, 10, mix, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty network accepted")
+	}
+	fleet, err := traffic.EricssonCityMix().Generate(5, rng.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]Site{{ID: 1, Fleet: fleet}, {ID: 1, Fleet: fleet}}); err == nil {
+		t.Error("duplicate site IDs accepted")
+	}
+	if _, err := New([]Site{{ID: 1}}); err == nil {
+		t.Error("empty site accepted")
+	}
+}
+
+func TestDistributeAllMechanisms(t *testing.T) {
+	n := testNetwork(t, 3, 90, 3)
+	for _, mech := range core.Mechanisms() {
+		rollout, err := n.Distribute(defaultRollout(mech))
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if rollout.TotalDevices != 90 {
+			t.Errorf("%v served %d devices, want 90", mech, rollout.TotalDevices)
+		}
+		if len(rollout.Cells) != 3 {
+			t.Errorf("%v reported %d cells", mech, len(rollout.Cells))
+		}
+		if rollout.End <= 0 {
+			t.Errorf("%v rollout end %v", mech, rollout.End)
+		}
+	}
+}
+
+func TestDistributeSingleTxPerCell(t *testing.T) {
+	n := testNetwork(t, 4, 120, 5)
+	rollout, err := n.Distribute(defaultRollout(core.MechanismDASC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DA-SC: exactly one transmission per cell.
+	if rollout.TotalTransmissions != 4 {
+		t.Errorf("DA-SC rollout used %d transmissions over 4 cells", rollout.TotalTransmissions)
+	}
+	for _, c := range rollout.Cells {
+		if c.Result.NumTransmissions != 1 {
+			t.Errorf("cell %d used %d transmissions", c.SiteID, c.Result.NumTransmissions)
+		}
+	}
+}
+
+func TestDistributeDeterministicAcrossParallelism(t *testing.T) {
+	n := testNetwork(t, 5, 150, 9)
+	cfg := defaultRollout(core.MechanismDRSC)
+	cfg.Parallelism = 1
+	serial, err := n.Distribute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 0 // all at once
+	parallel, err := n.Distribute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalTransmissions != parallel.TotalTransmissions {
+		t.Errorf("parallelism changed results: %d vs %d",
+			serial.TotalTransmissions, parallel.TotalTransmissions)
+	}
+	if serial.TotalLightSleep() != parallel.TotalLightSleep() ||
+		serial.TotalConnected() != parallel.TotalConnected() {
+		t.Error("parallelism changed energy accounting")
+	}
+	for i := range serial.Cells {
+		if serial.Cells[i].Result.CampaignEnd != parallel.Cells[i].Result.CampaignEnd {
+			t.Errorf("cell %d diverged", i)
+		}
+	}
+}
+
+func TestDistributeInvalidMechanism(t *testing.T) {
+	n := testNetwork(t, 2, 20, 11)
+	cfg := defaultRollout(core.Mechanism(0))
+	if _, err := n.Distribute(cfg); err == nil {
+		t.Error("invalid mechanism accepted")
+	}
+}
+
+func TestRolloutAggregates(t *testing.T) {
+	n := testNetwork(t, 2, 60, 13)
+	rollout, err := n.Distribute(defaultRollout(core.MechanismDRSI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var light, conn simtime.Ticks
+	for _, c := range rollout.Cells {
+		light += c.Result.TotalLightSleep()
+		conn += c.Result.TotalConnected()
+	}
+	if rollout.TotalLightSleep() != light || rollout.TotalConnected() != conn {
+		t.Error("aggregates do not match per-cell sums")
+	}
+}

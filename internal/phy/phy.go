@@ -1,0 +1,137 @@
+// Package phy provides the NB-IoT link-layer model used to turn payload
+// sizes into airtime.
+//
+// NB-IoT serves devices in three coverage-enhancement classes (CE0–CE2)
+// distinguished by maximum coupling loss; deeper coverage means more
+// repetitions and a lower effective data rate. The paper's connected-mode
+// uptime results (Fig. 6b) depend only on the resulting transmission
+// durations for 100 KB / 1 MB / 10 MB payloads, so the model is an
+// analytic rate + per-transport-block overhead calculator rather than a
+// symbol-level simulator. Rates default to Release-13 NB-IoT downlink
+// figures and are fully configurable.
+package phy
+
+import (
+	"fmt"
+
+	"nbiot/internal/simtime"
+)
+
+// CoverageClass is the NB-IoT coverage enhancement level.
+type CoverageClass int
+
+// Coverage enhancement levels (TS 36.331: up to three NPRACH resource
+// levels). CE0 is normal coverage (MCL ≤ 144 dB), CE2 the deepest
+// (MCL ≤ 164 dB).
+const (
+	CE0 CoverageClass = iota
+	CE1
+	CE2
+)
+
+// NumCoverageClasses is the number of modelled CE levels.
+const NumCoverageClasses = 3
+
+// String implements fmt.Stringer.
+func (c CoverageClass) String() string {
+	switch c {
+	case CE0:
+		return "CE0"
+	case CE1:
+		return "CE1"
+	case CE2:
+		return "CE2"
+	default:
+		return fmt.Sprintf("CE(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a modelled class.
+func (c CoverageClass) Valid() bool { return c >= CE0 && c < NumCoverageClasses }
+
+// LinkProfile parameterises the downlink model.
+type LinkProfile struct {
+	// DownlinkBps is the effective MAC-layer downlink rate per coverage
+	// class, in bits per second.
+	DownlinkBps [NumCoverageClasses]float64
+	// MaxTBSBits is the largest NPDSCH transport block, in bits.
+	MaxTBSBits int
+	// BlockOverhead is the scheduling gap charged per transport block
+	// (NPDCCH scheduling plus the mandated NPDCCH→NPDSCH delay).
+	BlockOverhead simtime.Ticks
+}
+
+// DefaultLinkProfile returns Release-13-flavoured defaults: ~25 kbps in
+// normal coverage, with deep-coverage repetitions cutting the rate roughly
+// 4x per class, and the R13 maximum TBS of 680 bits.
+func DefaultLinkProfile() LinkProfile {
+	return LinkProfile{
+		DownlinkBps:   [NumCoverageClasses]float64{25000, 6300, 1600},
+		MaxTBSBits:    680,
+		BlockOverhead: 2 * simtime.Millisecond,
+	}
+}
+
+// Validate reports whether the profile is usable.
+func (p LinkProfile) Validate() error {
+	for c, r := range p.DownlinkBps {
+		if r <= 0 {
+			return fmt.Errorf("phy: non-positive rate %v for %v", r, CoverageClass(c))
+		}
+	}
+	if p.MaxTBSBits <= 0 {
+		return fmt.Errorf("phy: non-positive max TBS %d", p.MaxTBSBits)
+	}
+	if p.BlockOverhead < 0 {
+		return fmt.Errorf("phy: negative block overhead %v", p.BlockOverhead)
+	}
+	return nil
+}
+
+// Blocks reports how many transport blocks a payload of the given size
+// needs.
+func (p LinkProfile) Blocks(payloadBytes int64) int64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	bits := payloadBytes * 8
+	tbs := int64(p.MaxTBSBits)
+	return (bits + tbs - 1) / tbs
+}
+
+// TxDuration reports the airtime to deliver payloadBytes to a device in
+// class c: serialisation at the class rate plus per-block scheduling
+// overhead, rounded up to whole ticks.
+func (p LinkProfile) TxDuration(payloadBytes int64, c CoverageClass) simtime.Ticks {
+	if !c.Valid() {
+		panic(fmt.Sprintf("phy: invalid coverage class %d", c))
+	}
+	if payloadBytes <= 0 {
+		return 0
+	}
+	bits := float64(payloadBytes * 8)
+	serialisationMs := bits / p.DownlinkBps[c] * 1000
+	d := simtime.Ticks(serialisationMs)
+	if float64(d) < serialisationMs {
+		d++ // round up to the next subframe
+	}
+	return d + simtime.Ticks(p.Blocks(payloadBytes))*p.BlockOverhead
+}
+
+// MulticastClass reports the coverage class a multicast bearer must be
+// provisioned for so that every listed device can decode it: the deepest
+// (slowest) class present. This mirrors the paper's generic multicast
+// bearer "based on the capabilities of the devices that will use it"
+// (Sec. II-A).
+func MulticastClass(classes []CoverageClass) CoverageClass {
+	worst := CE0
+	for _, c := range classes {
+		if !c.Valid() {
+			panic(fmt.Sprintf("phy: invalid coverage class %d", c))
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst
+}

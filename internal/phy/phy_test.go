@@ -1,0 +1,124 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/simtime"
+)
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := DefaultLinkProfile().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	p := DefaultLinkProfile()
+	p.DownlinkBps[CE1] = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero rate should fail")
+	}
+	p = DefaultLinkProfile()
+	p.MaxTBSBits = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero TBS should fail")
+	}
+	p = DefaultLinkProfile()
+	p.BlockOverhead = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative overhead should fail")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	p := DefaultLinkProfile() // 680-bit TBS = 85 bytes
+	for _, tc := range []struct {
+		bytes int64
+		want  int64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {85, 1}, {86, 2}, {850, 10},
+	} {
+		if got := p.Blocks(tc.bytes); got != tc.want {
+			t.Errorf("Blocks(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestTxDurationScalesWithSize(t *testing.T) {
+	p := DefaultLinkProfile()
+	d100k := p.TxDuration(100_000, CE0)
+	d1m := p.TxDuration(1_000_000, CE0)
+	d10m := p.TxDuration(10_000_000, CE0)
+	if !(d100k < d1m && d1m < d10m) {
+		t.Fatalf("durations not increasing: %v %v %v", d100k, d1m, d10m)
+	}
+	// 100 KB at 25 kbps is 32 s of serialisation; overhead adds a bit.
+	if d100k < 32*simtime.Second || d100k > 40*simtime.Second {
+		t.Errorf("100KB at CE0 took %v, want ~32-40s", d100k)
+	}
+	// Ratio should be roughly 10x between decades.
+	ratio := float64(d10m) / float64(d1m)
+	if ratio < 9.5 || ratio > 10.5 {
+		t.Errorf("10MB/1MB duration ratio = %v, want ~10", ratio)
+	}
+}
+
+func TestTxDurationDeepCoverageSlower(t *testing.T) {
+	p := DefaultLinkProfile()
+	if !(p.TxDuration(1000, CE0) < p.TxDuration(1000, CE1) &&
+		p.TxDuration(1000, CE1) < p.TxDuration(1000, CE2)) {
+		t.Error("deeper coverage classes must be slower")
+	}
+}
+
+func TestTxDurationZeroPayload(t *testing.T) {
+	p := DefaultLinkProfile()
+	if got := p.TxDuration(0, CE0); got != 0 {
+		t.Errorf("TxDuration(0) = %v, want 0", got)
+	}
+}
+
+func TestTxDurationInvalidClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid class should panic")
+		}
+	}()
+	DefaultLinkProfile().TxDuration(1, CoverageClass(9))
+}
+
+func TestTxDurationMonotonicProperty(t *testing.T) {
+	p := DefaultLinkProfile()
+	f := func(a, b uint32) bool {
+		x, y := int64(a%10_000_000), int64(b%10_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		return p.TxDuration(x, CE0) <= p.TxDuration(y, CE0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulticastClass(t *testing.T) {
+	if got := MulticastClass(nil); got != CE0 {
+		t.Errorf("empty = %v, want CE0", got)
+	}
+	if got := MulticastClass([]CoverageClass{CE0, CE2, CE1}); got != CE2 {
+		t.Errorf("worst = %v, want CE2", got)
+	}
+	if got := MulticastClass([]CoverageClass{CE1, CE1}); got != CE1 {
+		t.Errorf("worst = %v, want CE1", got)
+	}
+}
+
+func TestCoverageClassString(t *testing.T) {
+	if CE0.String() != "CE0" || CE2.String() != "CE2" {
+		t.Error("class strings wrong")
+	}
+	if !CE0.Valid() || CoverageClass(3).Valid() || CoverageClass(-1).Valid() {
+		t.Error("class validity wrong")
+	}
+}

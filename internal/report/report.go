@@ -1,0 +1,213 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and simple ASCII line charts — the stdlib-only stand-in for the plotting
+// stack the paper's Matlab simulator used. Every figure the harness
+// regenerates is emitted in all three forms so results can be eyeballed in
+// a terminal or post-processed elsewhere.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"nbiot/internal/stats"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row with %d cells in a %d-column table", len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var row strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			row.WriteString(cell)
+			row.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly (%.4g).
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// FormatPercent renders a ratio as a percentage with two decimals.
+func FormatPercent(v float64) string {
+	return fmt.Sprintf("%.2f%%", 100*v)
+}
+
+// Chart renders series as an ASCII line chart. It is deliberately small:
+// points are plotted on a width×height grid with per-series glyphs and a
+// legend.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	series []stats.Series
+}
+
+// NewChart builds a chart with default dimensions.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 16}
+}
+
+// Add appends a series.
+func (c *Chart) Add(s stats.Series) { c.series = append(c.series, s) }
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y.Mean)
+			maxY = math.Max(maxY, p.Y.Mean)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		b.WriteString("(no points)\n")
+		return b.String()
+	}
+	if minY > 0 && minY < maxY/2 {
+		minY = 0 // anchor at zero when it reads naturally
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, c.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for si, s := range c.series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int(math.Round((p.X - minX) / (maxX - minX) * float64(c.Width-1)))
+			y := int(math.Round((p.Y.Mean - minY) / (maxY - minY) * float64(c.Height-1)))
+			row := c.Height - 1 - y
+			grid[row][x] = g
+		}
+	}
+	yTop := FormatFloat(maxY)
+	yBot := FormatFloat(minY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		}
+		if i == c.Height-1 {
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s  %-*s%*s\n", strings.Repeat(" ", labelW),
+		c.Width/2, FormatFloat(minX), c.Width-c.Width/2, FormatFloat(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

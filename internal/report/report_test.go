@@ -1,0 +1,149 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"nbiot/internal/stats"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Fig 7", "N", "transmissions", "ratio")
+	tbl.AddRow("100", "52.1", "0.52")
+	tbl.AddRow("1000", "401.7", "0.40")
+	out := tbl.String()
+	if !strings.Contains(out, "Fig 7") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "transmissions") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "401.7") {
+		t.Error("row missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("%d lines, want 5:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if strings.TrimRight(l, " ") != l {
+			t.Errorf("line has trailing spaces: %q", l)
+		}
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tbl := NewTable("", "a", "bbbbbb")
+	tbl.AddRow("xxxxxxxx", "y")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The second column must start at the same offset in header and row.
+	headerIdx := strings.Index(lines[0], "bbbbbb")
+	rowIdx := strings.Index(lines[2], "y")
+	if headerIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, out)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row should panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("ignored", "name", "value")
+	tbl.AddRow("plain", "1")
+	tbl.AddRow(`with"quote`, "2,5")
+	got := tbl.CSV()
+	want := "name,value\nplain,1\n\"with\"\"quote\",\"2,5\"\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if FormatFloat(0.123456) != "0.1235" {
+		t.Errorf("FormatFloat = %q", FormatFloat(0.123456))
+	}
+	if FormatPercent(0.4) != "40.00%" {
+		t.Errorf("FormatPercent = %q", FormatPercent(0.4))
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	ch := NewChart("Fig 7: transmissions vs devices", "devices", "transmissions")
+	var s stats.Series
+	s.Name = "DR-SC"
+	for i := 1; i <= 10; i++ {
+		s.Append(float64(100*i), stats.Summary{N: 1, Mean: float64(50 * i)})
+	}
+	ch.Add(s)
+	out := ch.String()
+	if !strings.Contains(out, "Fig 7") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "DR-SC") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no plotted points")
+	}
+	if !strings.Contains(out, "x: devices") {
+		t.Error("axis labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartTwoSeriesDistinctGlyphs(t *testing.T) {
+	ch := NewChart("t", "", "")
+	var a, b stats.Series
+	a.Name = "A"
+	b.Name = "B"
+	a.Append(0, stats.Summary{Mean: 0})
+	a.Append(10, stats.Summary{Mean: 10})
+	b.Append(0, stats.Summary{Mean: 10})
+	b.Append(10, stats.Summary{Mean: 0})
+	ch.Add(a)
+	ch.Add(b)
+	out := ch.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two glyph kinds:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := NewChart("empty", "", "")
+	if !strings.Contains(ch.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	var s stats.Series
+	s.Name = "empty-series"
+	ch.Add(s)
+	if !strings.Contains(ch.String(), "no points") {
+		t.Error("chart with empty series should say so")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not divide by zero.
+	ch := NewChart("const", "", "")
+	var s stats.Series
+	s.Name = "flat"
+	s.Append(5, stats.Summary{Mean: 3})
+	ch.Add(s)
+	out := ch.String()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("degenerate chart broken:\n%s", out)
+	}
+}

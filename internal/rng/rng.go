@@ -1,0 +1,203 @@
+// Package rng provides deterministic, named random-number streams for the
+// simulator.
+//
+// Every source of randomness in a simulation run is derived from a single
+// master seed through a Source. Each subsystem asks the Source for a Stream
+// with a stable name ("drx-offsets", "traffic", ...); the stream seed is a
+// hash of the master seed and the name, so adding a new consumer never
+// perturbs the draws seen by existing ones. This is what makes the
+// paper-reproduction experiments bit-reproducible run over run.
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Source derives named deterministic streams from a master seed.
+type Source struct {
+	mu   sync.Mutex
+	seed int64
+	used map[string]bool
+}
+
+// NewSource returns a Source rooted at the given master seed.
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, used: make(map[string]bool)}
+}
+
+// Seed reports the master seed.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Stream returns the deterministic stream for name. Requesting the same name
+// twice from one Source is almost always a bug (two consumers would see
+// correlated draws), so it panics; use distinct names per consumer.
+func (s *Source) Stream(name string) *Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used[name] {
+		panic(fmt.Sprintf("rng: stream %q requested twice from the same source", name))
+	}
+	s.used[name] = true
+	return newStream(deriveSeed(s.seed, name))
+}
+
+// deriveSeed mixes the master seed and the stream name with FNV-1a.
+func deriveSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// Stream is a deterministic random stream with distribution helpers.
+// It is not safe for concurrent use; give each goroutine its own stream.
+type Stream struct {
+	r *rand.Rand
+}
+
+func newStream(seed int64) *Stream {
+	return &Stream{r: rand.New(rand.NewSource(seed))}
+}
+
+// NewStream returns a stand-alone stream (used by tests and by callers that
+// do not need named derivation).
+func NewStream(seed int64) *Stream { return newStream(seed) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Stream) Int63n(n int64) int64 { return s.r.Int63n(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Uniform requires hi >= lo")
+	}
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// UniformTicks returns a uniform int64 in [lo, hi). It panics if hi <= lo.
+func (s *Stream) UniformTicks(lo, hi int64) int64 {
+	if hi <= lo {
+		panic("rng: UniformTicks requires hi > lo")
+	}
+	return lo + s.r.Int63n(hi-lo)
+}
+
+// Exponential returns an exponentially distributed float64 with the given
+// mean. It panics if mean <= 0.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exponential requires positive mean")
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Poisson returns a Poisson-distributed int with the given mean, using
+// Knuth's method for small means and a normal approximation above 30.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation with continuity correction.
+		v := s.r.NormFloat64()*math.Sqrt(mean) + mean + 0.5
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool { return s.r.Float64() < p }
+
+// WeightedChoice draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. All weights must be non-negative and at least
+// one must be positive.
+func (s *Stream) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("rng: negative or NaN weight %v at index %d", w, i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: WeightedChoice requires a positive total weight")
+	}
+	x := s.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // float round-off: fall back to the last index
+}
+
+// Choice returns a uniformly chosen index in [0, n).
+func (s *Stream) Choice(n int) int { return s.r.Intn(n) }
+
+// Picker draws from a fixed discrete distribution in O(log n) per draw using
+// a cumulative table. Build one with NewPicker when the same weights are
+// sampled many times.
+type Picker struct {
+	cum []float64
+}
+
+// NewPicker prepares a Picker over the given weights (same validity rules as
+// WeightedChoice).
+func NewPicker(weights []float64) *Picker {
+	if len(weights) == 0 {
+		panic("rng: NewPicker requires at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("rng: negative or NaN weight %v at index %d", w, i))
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("rng: NewPicker requires a positive total weight")
+	}
+	return &Picker{cum: cum}
+}
+
+// Pick draws one index using stream s.
+func (p *Picker) Pick(s *Stream) int {
+	x := s.Float64() * p.cum[len(p.cum)-1]
+	return sort.SearchFloat64s(p.cum, x)
+}

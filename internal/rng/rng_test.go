@@ -1,0 +1,198 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42).Stream("x")
+	b := NewSource(42).Stream("x")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with same seed+name diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	src := NewSource(42)
+	a := src.Stream("a")
+	b := src.Stream("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("streams %q and %q produced %d identical draws; expected ~0", "a", "b", same)
+	}
+}
+
+func TestDuplicateStreamPanics(t *testing.T) {
+	src := NewSource(1)
+	src.Stream("dup")
+	defer func() {
+		if recover() == nil {
+			t.Error("second Stream(\"dup\") should panic")
+		}
+	}()
+	src.Stream("dup")
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := NewSource(7).Seed(); got != 7 {
+		t.Errorf("Seed() = %d, want 7", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform(5,10) = %v out of range", v)
+		}
+	}
+}
+
+func TestUniformTicks(t *testing.T) {
+	s := NewStream(1)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.UniformTicks(100, 110)
+		if v < 100 || v >= 110 {
+			t.Fatalf("UniformTicks(100,110) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("UniformTicks covered %d of 10 values in 1000 draws", len(seen))
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewStream(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(4.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-4.0) > 0.1 {
+		t.Errorf("Exponential(4) sample mean = %v, want ~4.0", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := NewStream(3)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := NewStream(4)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := NewStream(5)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Errorf("index 0 frequency = %v, want ~0.25", frac0)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	s := NewStream(6)
+	for _, weights := range [][]float64{{-1, 2}, {0, 0}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WeightedChoice(%v) should panic", weights)
+				}
+			}()
+			s.WeightedChoice(weights)
+		}()
+	}
+}
+
+func TestPicker(t *testing.T) {
+	s := NewStream(7)
+	p := NewPicker([]float64{2, 2, 6})
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(s)]++
+	}
+	frac2 := float64(counts[2]) / n
+	if math.Abs(frac2-0.6) > 0.01 {
+		t.Errorf("index 2 frequency = %v, want ~0.6", frac2)
+	}
+}
+
+func TestPickerPanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPicker(%v) should panic", weights)
+				}
+			}()
+			NewPicker(weights)
+		}()
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	s := NewStream(8)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	vals := []int{0, 1, 2, 3, 4}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("Shuffle lost elements: %v", vals)
+	}
+}

@@ -1,0 +1,49 @@
+package rrc
+
+import (
+	"reflect"
+	"testing"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/simtime"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the decoder: it must never panic,
+// and everything it accepts must re-encode to a decodable message
+// describing the same value (decode∘encode = identity on the accepted
+// set). Run with `go test -fuzz=FuzzUnmarshal ./internal/rrc` to explore
+// beyond the seed corpus.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []Message{
+		&Paging{PagingRecords: []uint32{1, 4095}},
+		&Paging{MltcRecords: []MltcRecord{{UEID: 9, TimeRemaining: 123456}}},
+		&ConnectionRequest{UEID: 42, Cause: CauseMulticastReception},
+		&ConnectionSetup{UEID: 3000},
+		&ConnectionSetupComplete{UEID: 1},
+		&ConnectionReconfiguration{UEID: 12, NewCycle: drx.Cycle10485s, Restore: true},
+		&ConnectionReconfigurationComplete{UEID: 12},
+		&ConnectionRelease{UEID: 8, Cause: ReleaseImmediate},
+		&SCPTMConfiguration{GroupID: 3, StartOffset: 20480 * simtime.Millisecond, PayloadBytes: 1 << 20},
+	}
+	for _, m := range seeds {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		re := Marshal(m)
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v (original %x, re-encoded %x)",
+				err, data, re)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode∘encode not identity:\n  first:  %#v\n  second: %#v", m, m2)
+		}
+	})
+}

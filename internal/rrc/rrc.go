@@ -1,0 +1,499 @@
+// Package rrc models the Radio Resource Control messages the grouping
+// mechanisms exchange, including the paper's two protocol additions:
+//
+//   - the non-critical `mltc-transmission` paging extension used by DR-SI
+//     (Sec. III-C), carrying a device identity and the time remaining until
+//     the multicast transmission; and
+//   - the new `multicastReception` establishment cause for the RRC
+//     Connection Request.
+//
+// Messages have a compact, deterministic binary encoding (a simplified
+// ASN.1 PER stand-in) so the simulator can account for paging-channel and
+// signalling bandwidth in bytes rather than hand-waved units.
+package rrc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/simtime"
+)
+
+// EstablishmentCause is the RRC Connection Request cause value.
+type EstablishmentCause uint8
+
+// Standard causes plus the paper's extension.
+const (
+	CauseMOSignalling EstablishmentCause = iota + 1
+	CauseMOData
+	CauseMTAccess
+	CauseDelayTolerant
+	// CauseMulticastReception is the new cause introduced by DR-SI
+	// (Sec. III-C): the device connects to receive a multicast transmission,
+	// not unicast downlink data.
+	CauseMulticastReception
+)
+
+// String implements fmt.Stringer.
+func (c EstablishmentCause) String() string {
+	switch c {
+	case CauseMOSignalling:
+		return "mo-Signalling"
+	case CauseMOData:
+		return "mo-Data"
+	case CauseMTAccess:
+		return "mt-Access"
+	case CauseDelayTolerant:
+		return "delayTolerantAccess"
+	case CauseMulticastReception:
+		return "multicastReception"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a known cause.
+func (c EstablishmentCause) Valid() bool {
+	return c >= CauseMOSignalling && c <= CauseMulticastReception
+}
+
+// MessageType discriminates the wire encoding.
+type MessageType uint8
+
+// Wire message types.
+const (
+	TypePaging MessageType = iota + 1
+	TypeConnectionRequest
+	TypeConnectionSetup
+	TypeConnectionSetupComplete
+	TypeConnectionReconfiguration
+	TypeConnectionReconfigurationComplete
+	TypeConnectionRelease
+	TypeSCPTMConfiguration
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case TypePaging:
+		return "Paging"
+	case TypeConnectionRequest:
+		return "RRCConnectionRequest"
+	case TypeConnectionSetup:
+		return "RRCConnectionSetup"
+	case TypeConnectionSetupComplete:
+		return "RRCConnectionSetupComplete"
+	case TypeConnectionReconfiguration:
+		return "RRCConnectionReconfiguration"
+	case TypeConnectionReconfigurationComplete:
+		return "RRCConnectionReconfigurationComplete"
+	case TypeConnectionRelease:
+		return "RRCConnectionRelease"
+	case TypeSCPTMConfiguration:
+		return "SCPTMConfiguration"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Message is implemented by every RRC message.
+type Message interface {
+	// Type reports the wire type.
+	Type() MessageType
+	// appendBody appends the body encoding (without the type byte).
+	appendBody(dst []byte) []byte
+	// decodeBody parses the body encoding.
+	decodeBody(src []byte) error
+}
+
+// MltcRecord is one entry of the paper's non-critical `mltc-transmission`
+// paging extension: the device identity and the time remaining until the
+// multicast transmission (Sec. III-C).
+type MltcRecord struct {
+	UEID          uint32
+	TimeRemaining simtime.Ticks
+}
+
+// Paging is the paging message. PagingRecords carries ordinary pages (the
+// device must connect to receive downlink data). MltcRecords is the DR-SI
+// extension: devices listed there are being told about an upcoming multicast
+// transmission only and must NOT connect now — the identity appears only in
+// the extension, never in PagingRecords, which is how devices distinguish
+// the two (Sec. III-C).
+type Paging struct {
+	PagingRecords []uint32
+	MltcRecords   []MltcRecord
+}
+
+// Type implements Message.
+func (*Paging) Type() MessageType { return TypePaging }
+
+// IsExtended reports whether the message carries the non-standard extension,
+// i.e. whether a standards-compliant network could have sent it.
+func (p *Paging) IsExtended() bool { return len(p.MltcRecords) > 0 }
+
+// ConnectionRequest is RRCConnectionRequest.
+type ConnectionRequest struct {
+	UEID  uint32
+	Cause EstablishmentCause
+}
+
+// Type implements Message.
+func (*ConnectionRequest) Type() MessageType { return TypeConnectionRequest }
+
+// ConnectionSetup is RRCConnectionSetup.
+type ConnectionSetup struct {
+	UEID uint32
+}
+
+// Type implements Message.
+func (*ConnectionSetup) Type() MessageType { return TypeConnectionSetup }
+
+// ConnectionSetupComplete is RRCConnectionSetupComplete.
+type ConnectionSetupComplete struct {
+	UEID uint32
+}
+
+// Type implements Message.
+func (*ConnectionSetupComplete) Type() MessageType { return TypeConnectionSetupComplete }
+
+// ConnectionReconfiguration carries a DRX reconfiguration: the DA-SC
+// mechanism uses it both to install the temporary shorter cycle and to
+// restore the original one afterwards (Sec. III-B).
+type ConnectionReconfiguration struct {
+	UEID uint32
+	// NewCycle is the (e)DRX cycle to install.
+	NewCycle drx.Cycle
+	// Restore marks the post-multicast restoration message.
+	Restore bool
+}
+
+// Type implements Message.
+func (*ConnectionReconfiguration) Type() MessageType { return TypeConnectionReconfiguration }
+
+// ConnectionReconfigurationComplete acknowledges a reconfiguration.
+type ConnectionReconfigurationComplete struct {
+	UEID uint32
+}
+
+// Type implements Message.
+func (*ConnectionReconfigurationComplete) Type() MessageType {
+	return TypeConnectionReconfigurationComplete
+}
+
+// ReleaseCause says why the connection is being released.
+type ReleaseCause uint8
+
+// Release causes.
+const (
+	ReleaseNormal ReleaseCause = iota + 1
+	// ReleaseImmediate is used by DA-SC to push the device straight back to
+	// sleep after the reconfiguration, without waiting for the inactivity
+	// timer (Sec. III-B).
+	ReleaseImmediate
+)
+
+// String implements fmt.Stringer.
+func (c ReleaseCause) String() string {
+	switch c {
+	case ReleaseNormal:
+		return "normal"
+	case ReleaseImmediate:
+		return "immediate"
+	default:
+		return fmt.Sprintf("release(%d)", uint8(c))
+	}
+}
+
+// ConnectionRelease is RRCConnectionRelease.
+type ConnectionRelease struct {
+	UEID  uint32
+	Cause ReleaseCause
+}
+
+// Type implements Message.
+func (*ConnectionRelease) Type() MessageType { return TypeConnectionRelease }
+
+// SCPTMConfiguration is the SC-MCCH message announcing a multicast session
+// under the standardised SC-PTM scheme (TS 36.331; paper Sec. II-A). It
+// carries the session's group identity (TMGI in the standard, a plain
+// uint32 here), the session start relative to the announcement, and the
+// payload size. Devices subscribed to the group monitor SC-MCCH
+// periodically to find such announcements — the standing cost the paper's
+// on-demand mechanisms eliminate.
+type SCPTMConfiguration struct {
+	GroupID      uint32
+	StartOffset  simtime.Ticks
+	PayloadBytes int64
+}
+
+// Type implements Message.
+func (*SCPTMConfiguration) Type() MessageType { return TypeSCPTMConfiguration }
+
+// --- codec ----------------------------------------------------------------
+
+// Encoding errors.
+var (
+	ErrTruncated   = errors.New("rrc: truncated message")
+	ErrUnknownType = errors.New("rrc: unknown message type")
+	ErrTrailing    = errors.New("rrc: trailing bytes after message body")
+)
+
+// Marshal encodes a message: one type byte followed by the body.
+func Marshal(m Message) []byte {
+	dst := []byte{byte(m.Type())}
+	return m.appendBody(dst)
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func Unmarshal(src []byte) (Message, error) {
+	if len(src) == 0 {
+		return nil, ErrTruncated
+	}
+	var m Message
+	switch MessageType(src[0]) {
+	case TypePaging:
+		m = &Paging{}
+	case TypeConnectionRequest:
+		m = &ConnectionRequest{}
+	case TypeConnectionSetup:
+		m = &ConnectionSetup{}
+	case TypeConnectionSetupComplete:
+		m = &ConnectionSetupComplete{}
+	case TypeConnectionReconfiguration:
+		m = &ConnectionReconfiguration{}
+	case TypeConnectionReconfigurationComplete:
+		m = &ConnectionReconfigurationComplete{}
+	case TypeConnectionRelease:
+		m = &ConnectionRelease{}
+	case TypeSCPTMConfiguration:
+		m = &SCPTMConfiguration{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, src[0])
+	}
+	if err := m.decodeBody(src[1:]); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Size reports the encoded size of m in bytes; the simulator uses it for
+// bandwidth accounting on the paging and signalling channels.
+func Size(m Message) int { return len(Marshal(m)) }
+
+// appendUvarint / readUvarint are small helpers over encoding/binary.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func readUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, src[n:], nil
+}
+
+func (p *Paging) appendBody(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(p.PagingRecords)))
+	for _, id := range p.PagingRecords {
+		dst = appendUvarint(dst, uint64(id))
+	}
+	dst = appendUvarint(dst, uint64(len(p.MltcRecords)))
+	for _, r := range p.MltcRecords {
+		dst = appendUvarint(dst, uint64(r.UEID))
+		dst = appendUvarint(dst, uint64(r.TimeRemaining))
+	}
+	return dst
+}
+
+func (p *Paging) decodeBody(src []byte) error {
+	n, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	p.PagingRecords = nil
+	for i := uint64(0); i < n; i++ {
+		var id uint64
+		id, src, err = readUvarint(src)
+		if err != nil {
+			return err
+		}
+		p.PagingRecords = append(p.PagingRecords, uint32(id))
+	}
+	n, src, err = readUvarint(src)
+	if err != nil {
+		return err
+	}
+	p.MltcRecords = nil
+	for i := uint64(0); i < n; i++ {
+		var id, tr uint64
+		id, src, err = readUvarint(src)
+		if err != nil {
+			return err
+		}
+		tr, src, err = readUvarint(src)
+		if err != nil {
+			return err
+		}
+		p.MltcRecords = append(p.MltcRecords, MltcRecord{
+			UEID:          uint32(id),
+			TimeRemaining: simtime.Ticks(tr),
+		})
+	}
+	if len(src) != 0 {
+		return ErrTrailing
+	}
+	return nil
+}
+
+func (m *ConnectionRequest) appendBody(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(m.UEID))
+	return append(dst, byte(m.Cause))
+}
+
+func (m *ConnectionRequest) decodeBody(src []byte) error {
+	id, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	if len(src) != 1 {
+		if len(src) == 0 {
+			return ErrTruncated
+		}
+		return ErrTrailing
+	}
+	m.UEID = uint32(id)
+	m.Cause = EstablishmentCause(src[0])
+	if !m.Cause.Valid() {
+		return fmt.Errorf("rrc: invalid establishment cause %d", src[0])
+	}
+	return nil
+}
+
+func appendIDOnly(dst []byte, id uint32) []byte { return appendUvarint(dst, uint64(id)) }
+
+func decodeIDOnly(src []byte) (uint32, error) {
+	id, rest, err := readUvarint(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, ErrTrailing
+	}
+	return uint32(id), nil
+}
+
+func (m *ConnectionSetup) appendBody(dst []byte) []byte { return appendIDOnly(dst, m.UEID) }
+
+func (m *ConnectionSetup) decodeBody(src []byte) error {
+	id, err := decodeIDOnly(src)
+	m.UEID = id
+	return err
+}
+
+func (m *ConnectionSetupComplete) appendBody(dst []byte) []byte { return appendIDOnly(dst, m.UEID) }
+
+func (m *ConnectionSetupComplete) decodeBody(src []byte) error {
+	id, err := decodeIDOnly(src)
+	m.UEID = id
+	return err
+}
+
+func (m *ConnectionReconfiguration) appendBody(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(m.UEID))
+	dst = appendUvarint(dst, uint64(m.NewCycle))
+	if m.Restore {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func (m *ConnectionReconfiguration) decodeBody(src []byte) error {
+	id, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	cyc, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	if len(src) != 1 {
+		if len(src) == 0 {
+			return ErrTruncated
+		}
+		return ErrTrailing
+	}
+	m.UEID = uint32(id)
+	m.NewCycle = drx.Cycle(cyc)
+	if !m.NewCycle.Valid() {
+		return fmt.Errorf("rrc: invalid DRX cycle %d in reconfiguration", cyc)
+	}
+	m.Restore = src[0] != 0
+	return nil
+}
+
+func (m *ConnectionReconfigurationComplete) appendBody(dst []byte) []byte {
+	return appendIDOnly(dst, m.UEID)
+}
+
+func (m *ConnectionReconfigurationComplete) decodeBody(src []byte) error {
+	id, err := decodeIDOnly(src)
+	m.UEID = id
+	return err
+}
+
+func (m *ConnectionRelease) appendBody(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(m.UEID))
+	return append(dst, byte(m.Cause))
+}
+
+func (m *ConnectionRelease) decodeBody(src []byte) error {
+	id, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	if len(src) != 1 {
+		if len(src) == 0 {
+			return ErrTruncated
+		}
+		return ErrTrailing
+	}
+	m.UEID = uint32(id)
+	m.Cause = ReleaseCause(src[0])
+	if m.Cause != ReleaseNormal && m.Cause != ReleaseImmediate {
+		return fmt.Errorf("rrc: invalid release cause %d", src[0])
+	}
+	return nil
+}
+
+func (m *SCPTMConfiguration) appendBody(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(m.GroupID))
+	dst = appendUvarint(dst, uint64(m.StartOffset))
+	return appendUvarint(dst, uint64(m.PayloadBytes))
+}
+
+func (m *SCPTMConfiguration) decodeBody(src []byte) error {
+	gid, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	off, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	size, src, err := readUvarint(src)
+	if err != nil {
+		return err
+	}
+	if len(src) != 0 {
+		return ErrTrailing
+	}
+	m.GroupID = uint32(gid)
+	m.StartOffset = simtime.Ticks(off)
+	m.PayloadBytes = int64(size)
+	return nil
+}

@@ -1,0 +1,165 @@
+package rrc
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/simtime"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	got, err := Unmarshal(Marshal(m))
+	if err != nil {
+		t.Fatalf("Unmarshal(Marshal(%#v)): %v", m, err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n  in:  %#v\n  out: %#v", m, got)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		&Paging{},
+		&Paging{PagingRecords: []uint32{1, 2, 4095}},
+		&Paging{
+			PagingRecords: []uint32{7},
+			MltcRecords: []MltcRecord{
+				{UEID: 9, TimeRemaining: 12345},
+				{UEID: 4095, TimeRemaining: simtime.Hour},
+			},
+		},
+		&ConnectionRequest{UEID: 42, Cause: CauseMTAccess},
+		&ConnectionRequest{UEID: 42, Cause: CauseMulticastReception},
+		&ConnectionSetup{UEID: 3000},
+		&ConnectionSetupComplete{UEID: 3000},
+		&ConnectionReconfiguration{UEID: 12, NewCycle: drx.Cycle2560ms},
+		&ConnectionReconfiguration{UEID: 12, NewCycle: drx.Cycle10485s, Restore: true},
+		&ConnectionReconfigurationComplete{UEID: 12},
+		&ConnectionRelease{UEID: 8, Cause: ReleaseNormal},
+		&ConnectionRelease{UEID: 8, Cause: ReleaseImmediate},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestPagingRoundTripProperty(t *testing.T) {
+	f := func(records []uint32, mltcIDs []uint32, times []uint32) bool {
+		p := &Paging{}
+		for _, r := range records {
+			p.PagingRecords = append(p.PagingRecords, r%4096)
+		}
+		for i, id := range mltcIDs {
+			tr := simtime.Ticks(0)
+			if i < len(times) {
+				tr = simtime.Ticks(times[i])
+			}
+			p.MltcRecords = append(p.MltcRecords, MltcRecord{UEID: id % 4096, TimeRemaining: tr})
+		}
+		got, err := Unmarshal(Marshal(p))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsExtended(t *testing.T) {
+	if (&Paging{PagingRecords: []uint32{1}}).IsExtended() {
+		t.Error("plain paging reported extended")
+	}
+	if !(&Paging{MltcRecords: []MltcRecord{{UEID: 1}}}).IsExtended() {
+		t.Error("mltc paging not reported extended")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty input: %v, want ErrTruncated", err)
+	}
+	if _, err := Unmarshal([]byte{0xEE}); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: %v, want ErrUnknownType", err)
+	}
+	// Truncated paging record count payload.
+	msg := Marshal(&Paging{PagingRecords: []uint32{300, 301}})
+	if _, err := Unmarshal(msg[:len(msg)-1]); err == nil {
+		t.Error("truncated paging should fail")
+	}
+	// Trailing garbage.
+	msg = Marshal(&ConnectionSetup{UEID: 5})
+	if _, err := Unmarshal(append(msg, 0xFF)); !errors.Is(err, ErrTrailing) {
+		t.Error("trailing bytes should fail with ErrTrailing")
+	}
+}
+
+func TestInvalidEnumValuesRejected(t *testing.T) {
+	// Invalid establishment cause byte.
+	msg := Marshal(&ConnectionRequest{UEID: 1, Cause: CauseMOData})
+	msg[len(msg)-1] = 0xEE
+	if _, err := Unmarshal(msg); err == nil {
+		t.Error("invalid cause should fail")
+	}
+	// Invalid release cause byte.
+	msg = Marshal(&ConnectionRelease{UEID: 1, Cause: ReleaseNormal})
+	msg[len(msg)-1] = 0xEE
+	if _, err := Unmarshal(msg); err == nil {
+		t.Error("invalid release cause should fail")
+	}
+	// Invalid DRX cycle in reconfiguration.
+	bad := &ConnectionReconfiguration{UEID: 1, NewCycle: drx.Cycle(12345)}
+	if _, err := Unmarshal(Marshal(bad)); err == nil {
+		t.Error("invalid cycle should fail")
+	}
+}
+
+func TestCauseStringAndValid(t *testing.T) {
+	if CauseMulticastReception.String() != "multicastReception" {
+		t.Errorf("cause string = %q", CauseMulticastReception.String())
+	}
+	if !CauseMulticastReception.Valid() || EstablishmentCause(0).Valid() || EstablishmentCause(99).Valid() {
+		t.Error("cause validity wrong")
+	}
+}
+
+func TestMessageTypeStrings(t *testing.T) {
+	for mt, want := range map[MessageType]string{
+		TypePaging:            "Paging",
+		TypeConnectionRequest: "RRCConnectionRequest",
+		TypeConnectionRelease: "RRCConnectionRelease",
+	} {
+		if got := mt.String(); got != want {
+			t.Errorf("type string = %q, want %q", got, want)
+		}
+	}
+	if MessageType(200).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestSizeGrowsWithRecords(t *testing.T) {
+	small := Size(&Paging{PagingRecords: []uint32{1}})
+	big := Size(&Paging{PagingRecords: []uint32{1, 2, 3, 4, 5, 6, 7, 8}})
+	if big <= small {
+		t.Errorf("Size with 8 records (%d) should exceed size with 1 (%d)", big, small)
+	}
+	// The DR-SI extension costs extra bytes relative to a plain page.
+	plain := Size(&Paging{PagingRecords: []uint32{1}})
+	ext := Size(&Paging{PagingRecords: []uint32{1}, MltcRecords: []MltcRecord{{UEID: 2, TimeRemaining: 100000}}})
+	if ext <= plain {
+		t.Errorf("extended paging size %d should exceed plain %d", ext, plain)
+	}
+}
+
+func TestReleaseCauseString(t *testing.T) {
+	if ReleaseImmediate.String() != "immediate" || ReleaseNormal.String() != "normal" {
+		t.Error("release cause strings wrong")
+	}
+}

@@ -1,0 +1,381 @@
+package setcover
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+)
+
+func TestGreedySimple(t *testing.T) {
+	in := Instance{
+		NumElements: 5,
+		Sets: [][]int{
+			{0, 1},       // 0
+			{2, 3},       // 1
+			{0, 1, 2, 3}, // 2: dominates 0 and 1
+			{4},          // 3
+		},
+	}
+	chosen, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covers(chosen) {
+		t.Fatalf("greedy result %v does not cover", chosen)
+	}
+	if len(chosen) != 2 {
+		t.Errorf("greedy chose %v (%d sets), want 2 sets", chosen, len(chosen))
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	in := Instance{NumElements: 3, Sets: [][]int{{0, 1}}}
+	if _, err := Greedy(in); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	chosen, err := Greedy(Instance{NumElements: 0, Sets: [][]int{{}}})
+	if err != nil || len(chosen) != 0 {
+		t.Errorf("empty universe: %v, %v", chosen, err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Instance{NumElements: 2, Sets: [][]int{{0, 5}}}).Validate(); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if err := (Instance{NumElements: -1}).Validate(); err == nil {
+		t.Error("negative universe accepted")
+	}
+}
+
+func TestExactBeatsOrMatchesGreedy(t *testing.T) {
+	// The classic greedy-suboptimal family: elements 0..5, greedy is lured
+	// by the big set while the optimum is two disjoint halves.
+	in := Instance{
+		NumElements: 6,
+		Sets: [][]int{
+			{0, 1, 2},    // optimal half
+			{3, 4, 5},    // optimal half
+			{0, 3},       // decoys
+			{1, 4},       //
+			{2, 5, 0, 3}, // greedy bait (4 elements)
+		},
+	}
+	exact, err := Exact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covers(exact) {
+		t.Fatalf("exact %v does not cover", exact)
+	}
+	if len(exact) != 2 {
+		t.Errorf("exact found %d sets, want 2", len(exact))
+	}
+	greedy, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy) < len(exact) {
+		t.Errorf("greedy (%d) beat exact (%d): impossible", len(greedy), len(exact))
+	}
+}
+
+func TestExactRefusesLargeInstances(t *testing.T) {
+	in := Instance{NumElements: MaxExactElements + 1}
+	if _, err := Exact(in); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	in := Instance{NumElements: 2, Sets: [][]int{{0}}}
+	if _, err := Exact(in); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// randomInstance builds a feasible random instance with n ≤ 12 elements.
+func randomInstance(s *rng.Stream, n int) Instance {
+	in := Instance{NumElements: n}
+	numSets := 3 + s.Intn(10)
+	for i := 0; i < numSets; i++ {
+		var set []int
+		for e := 0; e < n; e++ {
+			if s.Bool(0.3) {
+				set = append(set, e)
+			}
+		}
+		in.Sets = append(in.Sets, set)
+	}
+	// Guarantee feasibility: one singleton per element.
+	for e := 0; e < n; e++ {
+		in.Sets = append(in.Sets, []int{e})
+	}
+	return in
+}
+
+func TestGreedyWithinLogBoundOfExact(t *testing.T) {
+	// Chvátal: |greedy| ≤ H(d) · |optimal| with d the largest set size.
+	s := rng.NewStream(2024)
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + s.Intn(9)
+		in := randomInstance(s, n)
+		g, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.Covers(g) || !in.Covers(x) {
+			t.Fatalf("trial %d: covers violated", trial)
+		}
+		if len(x) > len(g) {
+			t.Fatalf("trial %d: exact (%d) worse than greedy (%d)", trial, len(x), len(g))
+		}
+		maxSet := 0
+		for _, set := range in.Sets {
+			if len(set) > maxSet {
+				maxSet = len(set)
+			}
+		}
+		bound := 0.0
+		for k := 1; k <= maxSet; k++ {
+			bound += 1.0 / float64(k)
+		}
+		if float64(len(g)) > bound*float64(len(x))+1e-9 {
+			t.Fatalf("trial %d: greedy %d exceeds H(%d)*opt=%v·%d", trial, len(g), maxSet, bound, len(x))
+		}
+	}
+}
+
+func TestGreedyCoversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.NewStream(seed)
+		in := randomInstance(s, 4+s.Intn(12))
+		chosen, err := Greedy(in)
+		return err == nil && in.Covers(chosen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyWindowsSingleCluster(t *testing.T) {
+	// Three devices with occasions inside one TI window: one transmission.
+	events := []Event{
+		{Time: 100, Device: 0},
+		{Time: 150, Device: 1},
+		{Time: 190, Device: 2},
+	}
+	txs, err := GreedyWindows(3, events, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("%d transmissions, want 1: %+v", len(txs), txs)
+	}
+	if txs[0].Time != 190 {
+		t.Errorf("transmission at %v, want at window end 190", txs[0].Time)
+	}
+	if len(txs[0].Devices) != 3 {
+		t.Errorf("covered %v, want all 3", txs[0].Devices)
+	}
+}
+
+func TestGreedyWindowsPaperExample(t *testing.T) {
+	// Fig. 2(b): device 3's PO is farther than TI from device 1's, so two
+	// transmissions are required.
+	events := []Event{
+		{Time: 100, Device: 0},
+		{Time: 150, Device: 1},
+		{Time: 300, Device: 2},
+	}
+	txs, err := GreedyWindows(3, events, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 {
+		t.Fatalf("%d transmissions, want 2: %+v", len(txs), txs)
+	}
+}
+
+func TestGreedyWindowsHalfOpenBoundary(t *testing.T) {
+	// Window is (p-TI, p]: an occasion exactly TI before the end is outside.
+	events := []Event{
+		{Time: 100, Device: 0},
+		{Time: 200, Device: 1},
+	}
+	txs, err := GreedyWindows(2, events, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 {
+		t.Fatalf("occasions exactly TI apart must not share a window: %+v", txs)
+	}
+	// One tick closer and they do share.
+	events[0].Time = 101
+	txs, err = GreedyWindows(2, events, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 1 {
+		t.Fatalf("occasions TI-1 apart should share a window: %+v", txs)
+	}
+}
+
+func TestGreedyWindowsInfeasible(t *testing.T) {
+	if _, err := GreedyWindows(2, []Event{{Time: 5, Device: 0}}, 10, nil); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyWindowsValidation(t *testing.T) {
+	if _, err := GreedyWindows(-1, nil, 10, nil); err == nil {
+		t.Error("negative device count accepted")
+	}
+	if _, err := GreedyWindows(1, []Event{{Time: 1, Device: 0}}, 0, nil); err == nil {
+		t.Error("zero TI accepted")
+	}
+	if _, err := GreedyWindows(1, []Event{{Time: 1, Device: 5}}, 10, nil); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+	txs, err := GreedyWindows(0, nil, 10, nil)
+	if err != nil || len(txs) != 0 {
+		t.Error("empty universe should trivially succeed")
+	}
+}
+
+func TestGreedyWindowsEachDeviceCoveredExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		s := rng.NewStream(seed)
+		n := 5 + s.Intn(40)
+		var events []Event
+		for d := 0; d < n; d++ {
+			// Periodic occasions with random period and offset.
+			period := simtime.Ticks(1000 * (1 + s.Intn(20)))
+			offset := simtime.Ticks(s.Int63n(int64(period)))
+			for tm := offset; tm < 40000; tm += period {
+				events = append(events, Event{Time: tm, Device: d})
+			}
+		}
+		txs, err := GreedyWindows(n, events, 500, s)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]int)
+		for _, tx := range txs {
+			if len(tx.Devices) == 0 || len(tx.Devices) != len(tx.WakeAt) {
+				return false
+			}
+			for i, d := range tx.Devices {
+				seen[d]++
+				w := tx.WakeAt[i]
+				// The wake occasion must lie in the transmission's window.
+				if w <= tx.Time-500 || w > tx.Time {
+					return false
+				}
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyWindowsDeterministicWithSameSeed(t *testing.T) {
+	build := func() []Event {
+		var events []Event
+		for d := 0; d < 30; d++ {
+			for tm := simtime.Ticks(d * 137 % 1000); tm < 20000; tm += simtime.Ticks(1000 + d*37) {
+				events = append(events, Event{Time: tm, Device: d})
+			}
+		}
+		return events
+	}
+	a, err := GreedyWindows(30, build(), 700, rng.NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyWindows(30, build(), 700, rng.NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || len(a[i].Devices) != len(b[i].Devices) {
+			t.Fatalf("runs diverge at tx %d", i)
+		}
+	}
+}
+
+func TestGreedyWindowsPicksDensestWindowFirst(t *testing.T) {
+	// 4 devices clustered plus 1 loner: greedy must produce 2 transmissions
+	// and the first (by coverage) covers the cluster of 4.
+	events := []Event{
+		{Time: 1000, Device: 0},
+		{Time: 1010, Device: 1},
+		{Time: 1020, Device: 2},
+		{Time: 1030, Device: 3},
+		{Time: 9000, Device: 4},
+	}
+	txs, err := GreedyWindows(5, events, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 2 {
+		t.Fatalf("%d transmissions, want 2", len(txs))
+	}
+	var clusterTx *Transmission
+	for i := range txs {
+		if txs[i].Time == 1030 {
+			clusterTx = &txs[i]
+		}
+	}
+	if clusterTx == nil || len(clusterTx.Devices) != 4 {
+		t.Errorf("cluster window not selected correctly: %+v", txs)
+	}
+}
+
+func TestGreedyWindowsFewerTxThanDevicesWhenClustered(t *testing.T) {
+	// Sanity against the paper's headline: with many devices sharing few
+	// distinct PO patterns, transmissions ≪ devices.
+	var events []Event
+	n := 100
+	for d := 0; d < n; d++ {
+		slot := simtime.Ticks((d % 10) * 1000)
+		events = append(events, Event{Time: slot, Device: d})
+	}
+	txs, err := GreedyWindows(n, events, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 10 {
+		t.Errorf("%d transmissions for 10 distinct slots, want 10", len(txs))
+	}
+	ratio := float64(len(txs)) / float64(n)
+	if ratio > 0.2 {
+		t.Errorf("tx/device ratio %v unexpectedly high", ratio)
+	}
+	if math.IsNaN(ratio) {
+		t.Error("ratio NaN")
+	}
+}

@@ -1,0 +1,211 @@
+// Package simtime provides the subframe-granular time base used by the
+// NB-IoT simulator.
+//
+// All simulated time is expressed in Ticks, where one tick is one LTE/NB-IoT
+// subframe (1 ms). A radio frame is 10 subframes (10 ms), the system frame
+// number (SFN) wraps every 1024 frames (10.24 s) and the hyper system frame
+// number (H-SFN) wraps every 1024 SFN periods (10485.76 s). Keeping time
+// integral in ticks makes all DRX and paging-occasion arithmetic exact: every
+// (e)DRX cycle in the 3GPP ladder is a whole multiple of 2560 ticks.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Ticks is a simulated time instant or duration measured in subframes (1 ms).
+type Ticks int64
+
+// Fundamental NB-IoT time constants, in ticks.
+const (
+	// Subframe is the base tick: 1 ms.
+	Subframe Ticks = 1
+	// Frame is one radio frame: 10 subframes.
+	Frame Ticks = 10
+	// SubframesPerFrame is the number of subframes in a radio frame.
+	SubframesPerFrame = 10
+	// SFNCycle is the span of one full SFN wrap: 1024 frames = 10.24 s.
+	SFNCycle Ticks = 1024 * Frame
+	// HyperFrame is one H-SFN period, equal to a full SFN cycle.
+	HyperFrame Ticks = SFNCycle
+	// HSFNCycle is the span of a full H-SFN wrap: 1024 hyperframes.
+	HSFNCycle Ticks = 1024 * HyperFrame
+
+	// Second is one simulated second.
+	Second Ticks = 1000
+	// Millisecond is one simulated millisecond (= one tick).
+	Millisecond Ticks = 1
+	// Minute is one simulated minute.
+	Minute Ticks = 60 * Second
+	// Hour is one simulated hour.
+	Hour Ticks = 60 * Minute
+)
+
+// FromDuration converts a wall-clock style duration into ticks, rounding to
+// the nearest subframe.
+func FromDuration(d time.Duration) Ticks {
+	if d < 0 {
+		return -Ticks((-d + time.Millisecond/2) / time.Millisecond)
+	}
+	return Ticks((d + time.Millisecond/2) / time.Millisecond)
+}
+
+// Duration converts ticks into a time.Duration.
+func (t Ticks) Duration() time.Duration {
+	return time.Duration(t) * time.Millisecond
+}
+
+// Seconds reports the tick count as (fractional) seconds.
+func (t Ticks) Seconds() float64 {
+	return float64(t) / float64(Second)
+}
+
+// Frames reports the number of whole radio frames contained in t.
+func (t Ticks) Frames() int64 {
+	return int64(t / Frame)
+}
+
+// SFN reports the system frame number (0..1023) of the frame containing t.
+func (t Ticks) SFN() int {
+	f := t.Frames() % 1024
+	if f < 0 {
+		f += 1024
+	}
+	return int(f)
+}
+
+// HSFN reports the hyper system frame number (0..1023) of the hyperframe
+// containing t.
+func (t Ticks) HSFN() int {
+	h := int64(t/HyperFrame) % 1024
+	if h < 0 {
+		h += 1024
+	}
+	return int(h)
+}
+
+// SubframeIndex reports the subframe number (0..9) within the radio frame
+// containing t.
+func (t Ticks) SubframeIndex() int {
+	s := int64(t % Frame)
+	if s < 0 {
+		s += int64(Frame)
+	}
+	return int(s)
+}
+
+// FrameStart reports the first tick of the radio frame containing t.
+func (t Ticks) FrameStart() Ticks {
+	return t - Ticks(t.SubframeIndex())
+}
+
+// String renders the instant as seconds with millisecond precision, e.g.
+// "12.345s". It implements fmt.Stringer.
+func (t Ticks) String() string {
+	neg := ""
+	v := t
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	return fmt.Sprintf("%s%d.%03ds", neg, v/Second, v%Second)
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Ticks) Ticks {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Ticks) Ticks {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b Ticks) Ticks {
+	if b <= 0 {
+		panic("simtime: CeilDiv requires positive divisor")
+	}
+	if a <= 0 {
+		return a / b
+	}
+	return (a + b - 1) / b
+}
+
+// AlignUp rounds t up to the next multiple of align (align > 0).
+func AlignUp(t, align Ticks) Ticks {
+	if align <= 0 {
+		panic("simtime: AlignUp requires positive alignment")
+	}
+	r := t % align
+	if r == 0 {
+		return t
+	}
+	if t < 0 {
+		return t - r
+	}
+	return t + align - r
+}
+
+// AlignDown rounds t down to the previous multiple of align (align > 0).
+func AlignDown(t, align Ticks) Ticks {
+	if align <= 0 {
+		panic("simtime: AlignDown requires positive alignment")
+	}
+	r := t % align
+	if r == 0 {
+		return t
+	}
+	if t < 0 {
+		return t - align - r
+	}
+	return t - r
+}
+
+// Interval is a half-open time interval [Start, End).
+type Interval struct {
+	Start Ticks
+	End   Ticks
+}
+
+// NewInterval builds the interval [start, end). It panics if end < start.
+func NewInterval(start, end Ticks) Interval {
+	if end < start {
+		panic(fmt.Sprintf("simtime: invalid interval [%v, %v)", start, end))
+	}
+	return Interval{Start: start, End: end}
+}
+
+// Len reports the interval length.
+func (iv Interval) Len() Ticks { return iv.End - iv.Start }
+
+// Contains reports whether t lies in [Start, End).
+func (iv Interval) Contains(t Ticks) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether two half-open intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the intersection of the two intervals and whether it is
+// non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	s := Max(iv.Start, other.Start)
+	e := Min(iv.End, other.End)
+	if s >= e {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%v, %v)", iv.Start, iv.End)
+}

@@ -1,0 +1,202 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstants(t *testing.T) {
+	if Frame != 10 {
+		t.Fatalf("Frame = %d, want 10", Frame)
+	}
+	if SFNCycle != 10240 {
+		t.Fatalf("SFNCycle = %d, want 10240", SFNCycle)
+	}
+	if HSFNCycle != 10240*1024 {
+		t.Fatalf("HSFNCycle = %d, want %d", HSFNCycle, 10240*1024)
+	}
+	if Second != 1000 || Minute != 60000 || Hour != 3600000 {
+		t.Fatalf("unexpected second/minute/hour constants: %d %d %d", Second, Minute, Hour)
+	}
+}
+
+func TestFromDuration(t *testing.T) {
+	tests := []struct {
+		in   time.Duration
+		want Ticks
+	}{
+		{0, 0},
+		{time.Millisecond, 1},
+		{time.Second, 1000},
+		{1499 * time.Microsecond, 1},
+		{1500 * time.Microsecond, 2},
+		{2560 * time.Millisecond, 2560},
+	}
+	for _, tc := range tests {
+		if got := FromDuration(tc.in); got != tc.want {
+			t.Errorf("FromDuration(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	f := func(ms int32) bool {
+		ticks := Ticks(ms)
+		return FromDuration(ticks.Duration()) == ticks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSFNAndSubframe(t *testing.T) {
+	tests := []struct {
+		t        Ticks
+		sfn      int
+		subframe int
+		hsfn     int
+	}{
+		{0, 0, 0, 0},
+		{9, 0, 9, 0},
+		{10, 1, 0, 0},
+		{10239, 1023, 9, 0},
+		{10240, 0, 0, 1},
+		{10240*1024 - 1, 1023, 9, 1023},
+		{10240 * 1024, 0, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := tc.t.SFN(); got != tc.sfn {
+			t.Errorf("Ticks(%d).SFN() = %d, want %d", tc.t, got, tc.sfn)
+		}
+		if got := tc.t.SubframeIndex(); got != tc.subframe {
+			t.Errorf("Ticks(%d).SubframeIndex() = %d, want %d", tc.t, got, tc.subframe)
+		}
+		if got := tc.t.HSFN(); got != tc.hsfn {
+			t.Errorf("Ticks(%d).HSFN() = %d, want %d", tc.t, got, tc.hsfn)
+		}
+	}
+}
+
+func TestFrameStart(t *testing.T) {
+	for _, tc := range []struct{ in, want Ticks }{
+		{0, 0}, {9, 0}, {10, 10}, {25, 20}, {10241, 10240},
+	} {
+		if got := tc.in.FrameStart(); got != tc.want {
+			t.Errorf("Ticks(%d).FrameStart() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, tc := range []struct {
+		in   Ticks
+		want string
+	}{
+		{0, "0.000s"},
+		{1, "0.001s"},
+		{2560, "2.560s"},
+		{-1500, "-1.500s"},
+		{61000, "61.000s"},
+	} {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Ticks(%d).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	for _, tc := range []struct{ a, b, want Ticks }{
+		{0, 10, 0}, {1, 10, 1}, {10, 10, 1}, {11, 10, 2}, {-5, 10, 0},
+	} {
+		if got := CeilDiv(tc.a, tc.b); got != tc.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CeilDiv with zero divisor should panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestAlign(t *testing.T) {
+	for _, tc := range []struct{ t, align, up, down Ticks }{
+		{0, 10, 0, 0},
+		{1, 10, 10, 0},
+		{10, 10, 10, 10},
+		{11, 10, 20, 10},
+		{-1, 10, 0, -10},
+		{-10, 10, -10, -10},
+	} {
+		if got := AlignUp(tc.t, tc.align); got != tc.up {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", tc.t, tc.align, got, tc.up)
+		}
+		if got := AlignDown(tc.t, tc.align); got != tc.down {
+			t.Errorf("AlignDown(%d,%d) = %d, want %d", tc.t, tc.align, got, tc.down)
+		}
+	}
+}
+
+func TestAlignProperty(t *testing.T) {
+	f := func(v int32, alignExp uint8) bool {
+		align := Ticks(1) << (alignExp % 12)
+		tk := Ticks(v)
+		up := AlignUp(tk, align)
+		down := AlignDown(tk, align)
+		return up%align == 0 && down%align == 0 &&
+			up >= tk && up-tk < align &&
+			down <= tk && tk-down < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := NewInterval(10, 20)
+	if iv.Len() != 10 {
+		t.Errorf("Len = %d, want 10", iv.Len())
+	}
+	if !iv.Contains(10) || iv.Contains(20) || !iv.Contains(19) || iv.Contains(9) {
+		t.Error("Contains boundary behaviour wrong (want half-open [10,20))")
+	}
+	if !iv.Overlaps(NewInterval(19, 30)) {
+		t.Error("expected overlap with [19,30)")
+	}
+	if iv.Overlaps(NewInterval(20, 30)) {
+		t.Error("[10,20) should not overlap [20,30)")
+	}
+	got, ok := iv.Intersect(NewInterval(15, 40))
+	if !ok || got != (Interval{15, 20}) {
+		t.Errorf("Intersect = %v, %v; want [15,20), true", got, ok)
+	}
+	if _, ok := iv.Intersect(NewInterval(20, 40)); ok {
+		t.Error("Intersect with disjoint interval should be empty")
+	}
+	if s := iv.String(); s != "[0.010s, 0.020s)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNewIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewInterval(20,10) should panic")
+		}
+	}()
+	NewInterval(20, 10)
+}

@@ -1,0 +1,152 @@
+// Package stats provides the descriptive statistics the evaluation harness
+// needs — means, deviations, confidence intervals, percentiles — plus a
+// streaming accumulator for multi-run aggregation. The paper averages every
+// data point over 100 simulation runs (Sec. IV-A); this package is how
+// those averages and their error bars are computed without external
+// numeric libraries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the descriptive summary of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// (normal approximation; the evaluation uses ≥100 runs per point).
+	CI95 float64
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.CI95, s.StdDev, s.Min, s.Max)
+}
+
+// Summarize computes the summary of a sample. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Summary()
+}
+
+// Mean reports the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// StdDev reports the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 { return Summarize(xs).StdDev }
+
+// Percentile reports the p-quantile (0 ≤ p ≤ 1) by linear interpolation. It
+// panics on an empty sample or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,1]", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median reports the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 0.5) }
+
+// Accumulator computes running statistics with Welford's algorithm; the
+// zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add feeds one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the running mean.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Summary freezes the accumulated statistics.
+func (a *Accumulator) Summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: a.n, Mean: a.mean, Min: a.min, Max: a.max}
+	if a.n >= 2 {
+		s.StdDev = math.Sqrt(a.m2 / float64(a.n-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(a.n))
+	}
+	return s
+}
+
+// Point is one (x, summary) sample of a swept series, e.g. one fleet size
+// on the Fig. 7 curve.
+type Point struct {
+	X float64
+	Y Summary
+}
+
+// Series is a named sequence of points — one figure line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point keeping X order; out-of-order appends panic to catch
+// sweep bugs early.
+func (s *Series) Append(x float64, y Summary) {
+	if n := len(s.Points); n > 0 && s.Points[n-1].X >= x {
+		panic(fmt.Sprintf("stats: series %q appended x=%v after x=%v", s.Name, x, s.Points[n-1].X))
+	}
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// At returns the summary at the exact x, with ok=false when absent.
+func (s *Series) At(x float64) (Summary, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return Summary{}, false
+}

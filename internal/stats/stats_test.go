@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbiot/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample (n-1) stddev of this classic sample is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.StdDev, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	wantCI := 1.96 * s.StdDev / math.Sqrt(8)
+	if !almostEqual(s.CI95, wantCI, 1e-12) {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.CI95 != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var acc Accumulator
+		for i, v := range raw {
+			xs[i] = float64(v)
+			acc.Add(float64(v))
+		}
+		batch := Summarize(xs)
+		inc := acc.Summary()
+		return batch.N == inc.N &&
+			almostEqual(batch.Mean, inc.Mean, 1e-9) &&
+			almostEqual(batch.StdDev, inc.StdDev, 1e-9) &&
+			batch.Min == inc.Min && batch.Max == inc.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndStdDevHelpers(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	} {
+		if got := Percentile(xs, tc.p); !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Median([]float64{1, 2, 100}) != 2 {
+		t.Error("Median wrong")
+	}
+	if Percentile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton percentile wrong")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 0.5) },
+		func() { Percentile([]float64{1}, -0.1) },
+		func() { Percentile([]float64{1}, 1.1) },
+		func() { Percentile([]float64{1}, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestAccumulatorLargeSample(t *testing.T) {
+	// Uniform[0,1): mean 0.5, sd ~0.2887.
+	s := rng.NewStream(123)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(s.Float64())
+	}
+	sum := acc.Summary()
+	if !almostEqual(sum.Mean, 0.5, 0.005) {
+		t.Errorf("mean = %v", sum.Mean)
+	}
+	if !almostEqual(sum.StdDev, math.Sqrt(1.0/12.0), 0.005) {
+		t.Errorf("sd = %v", sum.StdDev)
+	}
+	if sum.CI95 <= 0 || sum.CI95 > 0.01 {
+		t.Errorf("CI95 = %v", sum.CI95)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "fig7"
+	s.Append(100, Summary{N: 1, Mean: 50})
+	s.Append(200, Summary{N: 1, Mean: 90})
+	if got, ok := s.At(200); !ok || got.Mean != 90 {
+		t.Errorf("At(200) = %+v, %v", got, ok)
+	}
+	if _, ok := s.At(150); ok {
+		t.Error("At(150) should be absent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order append should panic")
+		}
+	}()
+	s.Append(50, Summary{})
+}
+
+func TestSummaryString(t *testing.T) {
+	got := Summary{N: 3, Mean: 1.5, StdDev: 0.5, Min: 1, Max: 2, CI95: 0.57}.String()
+	if got == "" {
+		t.Error("empty string")
+	}
+}

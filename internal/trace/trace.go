@@ -1,0 +1,199 @@
+// Package trace records a campaign's event timeline for debugging and
+// observability: who was paged when, when random access ran, when each
+// transmission started and what it delivered. The recorder is bounded (it
+// drops the oldest events beyond its capacity) and renders a human-readable
+// timeline, so a failing 1000-device campaign can be inspected without
+// drowning in output.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nbiot/internal/simtime"
+)
+
+// Kind classifies a timeline event.
+type Kind int
+
+// Event kinds, in rough campaign order.
+const (
+	KindPage Kind = iota + 1
+	KindExtendedPage
+	KindReconfigPage
+	KindExtraPO
+	KindRAStart
+	KindRADone
+	KindConnReady
+	KindTxStart
+	KindTxDone
+	KindDelivered
+	KindRelease
+	KindReport
+	KindAnnounce
+	KindDeferred
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPage:
+		return "page"
+	case KindExtendedPage:
+		return "ext-page"
+	case KindReconfigPage:
+		return "reconfig-page"
+	case KindExtraPO:
+		return "extra-po"
+	case KindRAStart:
+		return "ra-start"
+	case KindRADone:
+		return "ra-done"
+	case KindConnReady:
+		return "conn-ready"
+	case KindTxStart:
+		return "tx-start"
+	case KindTxDone:
+		return "tx-done"
+	case KindDelivered:
+		return "delivered"
+	case KindRelease:
+		return "release"
+	case KindReport:
+		return "report"
+	case KindAnnounce:
+		return "announce"
+	case KindDeferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry. Device is -1 for cell-wide events.
+type Event struct {
+	At     simtime.Ticks
+	Kind   Kind
+	Device int
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	dev := "cell"
+	if e.Device >= 0 {
+		dev = fmt.Sprintf("dev %d", e.Device)
+	}
+	if e.Detail == "" {
+		return fmt.Sprintf("%12v  %-13s %s", e.At, e.Kind, dev)
+	}
+	return fmt.Sprintf("%12v  %-13s %-8s %s", e.At, e.Kind, dev, e.Detail)
+}
+
+// Recorder is a bounded event log. The zero value is inert (records
+// nothing); construct with NewRecorder. A nil *Recorder is safe to record
+// into, so callers can thread an optional recorder without nil checks.
+type Recorder struct {
+	max     int
+	events  []Event
+	start   int // ring start index
+	dropped int
+}
+
+// NewRecorder returns a recorder keeping the most recent max events.
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 1
+	}
+	return &Recorder{max: max}
+}
+
+// Record appends an event; the oldest entry is dropped at capacity.
+func (r *Recorder) Record(at simtime.Ticks, kind Kind, dev int, detail string) {
+	if r == nil || r.max == 0 {
+		return
+	}
+	ev := Event{At: at, Kind: kind, Device: dev, Detail: detail}
+	if len(r.events) < r.max {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.start] = ev
+	r.start = (r.start + 1) % r.max
+	r.dropped++
+}
+
+// Recordf is Record with a formatted detail string.
+func (r *Recorder) Recordf(at simtime.Ticks, kind Kind, dev int, format string, args ...any) {
+	if r == nil || r.max == 0 {
+		return
+	}
+	r.Record(at, kind, dev, fmt.Sprintf(format, args...))
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Dropped reports how many events were evicted.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events returns the retained events in recording order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// ByDevice filters the retained events to one device.
+func (r *Recorder) ByDevice(dev int) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Device == dev {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind filters the retained events to one kind.
+func (r *Recorder) ByKind(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTimeline renders the retained events, one per line.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", r.dropped)
+	}
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

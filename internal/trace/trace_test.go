@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nbiot/internal/simtime"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(100, KindPage, 3, "")
+	r.Recordf(200, KindTxStart, -1, "tx %d", 0)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Kind != KindPage || evs[0].Device != 3 || evs[0].At != 100 {
+		t.Errorf("first event wrong: %+v", evs[0])
+	}
+	if evs[1].Detail != "tx 0" {
+		t.Errorf("detail = %q", evs[1].Detail)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		r.Record(simtime.Ticks(i), KindPage, i, "")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 4 {
+		t.Errorf("Dropped = %d, want 4", r.Dropped())
+	}
+	evs := r.Events()
+	// Recording order must be preserved: events 4, 5, 6.
+	for i, want := range []int{4, 5, 6} {
+		if evs[i].Device != want {
+			t.Errorf("event %d device = %d, want %d (%v)", i, evs[i].Device, want, evs)
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, KindPage, 0, "x") // must not panic
+	r.Recordf(1, KindPage, 0, "x %d", 1)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Error("nil recorder should be inert")
+	}
+	if err := r.WriteTimeline(&bytes.Buffer{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, KindPage, 0, "")
+	r.Record(2, KindPage, 1, "")
+	if r.Len() != 1 {
+		t.Errorf("capacity-0 recorder should clamp to 1, got %d", r.Len())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(1, KindPage, 0, "")
+	r.Record(2, KindPage, 1, "")
+	r.Record(3, KindTxStart, -1, "")
+	r.Record(4, KindDelivered, 0, "")
+	if got := r.ByDevice(0); len(got) != 2 {
+		t.Errorf("ByDevice(0) = %d events", len(got))
+	}
+	if got := r.ByKind(KindPage); len(got) != 2 {
+		t.Errorf("ByKind(page) = %d events", len(got))
+	}
+	if got := r.ByKind(KindRelease); len(got) != 0 {
+		t.Errorf("ByKind(release) = %d events", len(got))
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(1000, KindPage, 7, "ueid 42")
+	r.Record(2000, KindTxStart, -1, "")
+	r.Record(3000, KindTxDone, -1, "")
+	var buf bytes.Buffer
+	if err := r.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 earlier events dropped") {
+		t.Errorf("missing drop notice:\n%s", out)
+	}
+	if !strings.Contains(out, "tx-start") || !strings.Contains(out, "tx-done") {
+		t.Errorf("missing events:\n%s", out)
+	}
+	if strings.Contains(out, "page") && !strings.Contains(out, "dropped") {
+		t.Errorf("evicted event still rendered:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindPage: "page", KindExtendedPage: "ext-page", KindRAStart: "ra-start",
+		KindTxDone: "tx-done", KindAnnounce: "announce", KindDeferred: "deferred",
+	} {
+		if k.String() != want {
+			t.Errorf("%d String = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should include value")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 5000, Kind: KindPage, Device: 3, Detail: "x"}
+	if !strings.Contains(e.String(), "dev 3") {
+		t.Errorf("device missing: %q", e.String())
+	}
+	cellwide := Event{At: 5000, Kind: KindTxStart, Device: -1}
+	if !strings.Contains(cellwide.String(), "cell") {
+		t.Errorf("cell-wide marker missing: %q", cellwide.String())
+	}
+}

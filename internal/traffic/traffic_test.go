@@ -1,0 +1,187 @@
+package traffic
+
+import (
+	"testing"
+
+	"nbiot/internal/drx"
+	"nbiot/internal/rng"
+)
+
+func TestBuiltinMixesValid(t *testing.T) {
+	for name, m := range Mixes() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mix %s invalid: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("mix keyed %q has name %q", name, m.Name)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	devices, err := EricssonCityMix().Generate(1000, rng.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 1000 {
+		t.Fatalf("generated %d devices, want 1000", len(devices))
+	}
+	for i, d := range devices {
+		if d.ID != i {
+			t.Fatalf("device %d has ID %d", i, d.ID)
+		}
+		if d.UEID >= 4096 {
+			t.Errorf("device %d UEID %d out of range", i, d.UEID)
+		}
+		if !d.DRX.Cycle.Valid() {
+			t.Errorf("device %d has invalid cycle", i)
+		}
+		if err := d.DRX.Validate(); err != nil {
+			t.Errorf("device %d DRX config invalid: %v", i, err)
+		}
+		if !d.Coverage.Valid() {
+			t.Errorf("device %d coverage %d invalid", i, d.Coverage)
+		}
+		if d.ReportPeriod <= 0 {
+			t.Errorf("device %d report period %v", i, d.ReportPeriod)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := EricssonCityMix().Generate(200, rng.NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EricssonCityMix().Generate(200, rng.NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fleet diverged at device %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateClassShares(t *testing.T) {
+	devices, err := EricssonCityMix().Generate(20000, rng.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ClassCounts(devices)
+	// Electricity meters have weight 0.30 of a total 1.0.
+	got := float64(counts["smart-electricity-meter"]) / 20000
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("electricity meter share = %v, want ~0.30", got)
+	}
+	if len(counts) < 5 {
+		t.Errorf("%d classes present, want 6", len(counts))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := EricssonCityMix().Generate(-1, rng.NewStream(1)); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := EricssonCityMix().Generate(10, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	bad := Mix{Name: "bad", Classes: []Class{{Name: "x", Weight: 1}}}
+	if _, err := bad.Generate(10, rng.NewStream(1)); err == nil {
+		t.Error("invalid mix accepted")
+	}
+}
+
+func TestValidateClass(t *testing.T) {
+	valid := Class{
+		Name: "ok", Weight: 1,
+		Cycles:       []drx.Cycle{drx.Cycle20s},
+		CycleWeights: []float64{1},
+		Coverage:     [3]float64{1, 0, 0},
+		ReportPeriod: 1000,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+	mutations := []func(*Class){
+		func(c *Class) { c.Name = "" },
+		func(c *Class) { c.Weight = 0 },
+		func(c *Class) { c.Cycles = nil },
+		func(c *Class) { c.CycleWeights = []float64{1, 2} },
+		func(c *Class) { c.Cycles = []drx.Cycle{12345} },
+		func(c *Class) { c.CycleWeights = []float64{-1} },
+		func(c *Class) { c.CycleWeights = []float64{0} },
+		func(c *Class) { c.Coverage = [3]float64{0, 0, 0} },
+		func(c *Class) { c.Coverage = [3]float64{-1, 1, 0} },
+		func(c *Class) { c.ReportPeriod = 0 },
+	}
+	for i, mutate := range mutations {
+		c := valid
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate class", i)
+		}
+	}
+}
+
+func TestValidateMix(t *testing.T) {
+	if err := (Mix{Name: "", Classes: EricssonCityMix().Classes}).Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := (Mix{Name: "x"}).Validate(); err == nil {
+		t.Error("no classes accepted")
+	}
+}
+
+func TestMaxCycle(t *testing.T) {
+	devices, err := LongHeavyMix().Generate(500, rng.NewStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := MaxCycle(devices)
+	if max < drx.Cycle1310s {
+		t.Errorf("long-heavy max cycle = %v, want >= 1310s", max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxCycle of empty fleet should panic")
+		}
+	}()
+	MaxCycle(nil)
+}
+
+func TestShortHeavyVsLongHeavy(t *testing.T) {
+	short, err := ShortHeavyMix().Generate(500, rng.NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := LongHeavyMix().Generate(500, rng.NewStream(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanCycle := func(devs []Device) float64 {
+		sum := 0.0
+		for _, d := range devs {
+			sum += float64(d.DRX.Cycle)
+		}
+		return sum / float64(len(devs))
+	}
+	if meanCycle(short) >= meanCycle(long) {
+		t.Error("short-heavy mix should have a smaller mean cycle than long-heavy")
+	}
+}
+
+func TestUEIDsSpread(t *testing.T) {
+	devices, err := EricssonCityMix().Generate(4000, rng.NewStream(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint32]bool)
+	for _, d := range devices {
+		seen[d.UEID] = true
+	}
+	if len(seen) < 2000 {
+		t.Errorf("only %d distinct UEIDs in 4000 devices", len(seen))
+	}
+}

@@ -1,0 +1,306 @@
+// Package nbiot is a simulation library for device grouping in
+// Narrowband-IoT multicast, reproducing "On Device Grouping for Efficient
+// Multicast Communications in Narrowband-IoT" (Tsoukaneri & Marina,
+// ICDCS 2018).
+//
+// NB-IoT devices sleep on (extended) DRX cycles and wake only at paging
+// occasions. Distributing a firmware update to a large fleet therefore
+// requires grouping devices so they can share multicast transmissions. The
+// library implements the paper's three grouping mechanisms plus the unicast
+// baseline, a full discrete-event NB-IoT cell model to execute them
+// (paging, random access, RRC signalling, link airtime, energy accounting),
+// and the evaluation harness regenerating every figure of the paper.
+//
+// # Quick start
+//
+//	fleet, _ := nbiot.PaperCalibratedMix().Generate(500, nbiot.NewStream(1))
+//	res, _ := nbiot.RunCampaign(nbiot.CampaignConfig{
+//	    Mechanism:    nbiot.MechanismDASC,
+//	    Fleet:        fleet,
+//	    TI:           10 * nbiot.Second,
+//	    PayloadBytes: nbiot.Size1MB,
+//	    Seed:         42,
+//	})
+//	fmt.Println(res.NumTransmissions) // 1 — DA-SC synchronises the fleet
+//
+// The deeper layers are importable directly for advanced use:
+// nbiot/internal packages are reachable from code living in this module;
+// external users work through this facade, which re-exports the stable
+// surface as type aliases.
+package nbiot
+
+import (
+	"nbiot/internal/analysis"
+	"nbiot/internal/battery"
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/drx"
+	"nbiot/internal/energy"
+	"nbiot/internal/experiment"
+	"nbiot/internal/multicast"
+	"nbiot/internal/network"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/trace"
+	"nbiot/internal/traffic"
+)
+
+// --- time ---------------------------------------------------------------------
+
+// Ticks is simulated time in 1 ms subframes.
+type Ticks = simtime.Ticks
+
+// Time units.
+const (
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	Minute      = simtime.Minute
+	Hour        = simtime.Hour
+)
+
+// --- mechanisms -----------------------------------------------------------------
+
+// Mechanism identifies a grouping mechanism.
+type Mechanism = core.Mechanism
+
+// The paper's mechanisms and the unicast baseline.
+const (
+	// MechanismUnicast serves each device individually at its own next
+	// paging occasion (energy-optimal baseline, Sec. IV-A).
+	MechanismUnicast = core.MechanismUnicast
+	// MechanismDRSC respects DRX and covers the fleet with a greedy set
+	// cover over TI windows (Sec. III-A).
+	MechanismDRSC = core.MechanismDRSC
+	// MechanismDASC temporarily shortens DRX cycles so a single
+	// transmission covers everyone (Sec. III-B).
+	MechanismDASC = core.MechanismDASC
+	// MechanismDRSI announces the transmission in advance via a paging
+	// extension — single transmission, but not standards compliant
+	// (Sec. III-C).
+	MechanismDRSI = core.MechanismDRSI
+	// MechanismSCPTM is the standardised SC-PTM baseline the paper argues
+	// against: subscription-based, with devices continuously monitoring the
+	// SC-MCCH control channel (Sec. II-A; extension experiment X1).
+	MechanismSCPTM = core.MechanismSCPTM
+)
+
+// Mechanisms lists baseline + grouping mechanisms in presentation order.
+func Mechanisms() []Mechanism { return core.Mechanisms() }
+
+// GroupingMechanisms lists the paper's three grouping mechanisms.
+func GroupingMechanisms() []Mechanism { return core.GroupingMechanisms() }
+
+// Planner produces delivery plans; see NewPlanner.
+type Planner = core.Planner
+
+// Plan is a complete delivery schedule.
+type Plan = core.Plan
+
+// PlanParams configures planning (TI, guard, tie-breaking).
+type PlanParams = core.Params
+
+// PlannerDevice is the planner's per-device view.
+type PlannerDevice = core.Device
+
+// NewPlanner returns the planner implementing a mechanism.
+func NewPlanner(m Mechanism) (Planner, error) { return core.NewPlanner(m) }
+
+// FleetFromTraffic converts generated traffic devices into planner devices.
+func FleetFromTraffic(devs []Device) ([]PlannerDevice, error) {
+	return core.FleetFromTraffic(devs)
+}
+
+// --- DRX ------------------------------------------------------------------------
+
+// Cycle is a DRX/eDRX cycle length.
+type Cycle = drx.Cycle
+
+// The (e)DRX ladder (every value is twice the previous; 0.32 s – 2.56 s is
+// regular DRX, 20.48 s – 10485.76 s is eDRX).
+const (
+	Cycle320ms  = drx.Cycle320ms
+	Cycle640ms  = drx.Cycle640ms
+	Cycle1280ms = drx.Cycle1280ms
+	Cycle2560ms = drx.Cycle2560ms
+	Cycle20s    = drx.Cycle20s
+	Cycle40s    = drx.Cycle40s
+	Cycle81s    = drx.Cycle81s
+	Cycle163s   = drx.Cycle163s
+	Cycle327s   = drx.Cycle327s
+	Cycle655s   = drx.Cycle655s
+	Cycle1310s  = drx.Cycle1310s
+	Cycle2621s  = drx.Cycle2621s
+	Cycle5242s  = drx.Cycle5242s
+	Cycle10485s = drx.Cycle10485s
+)
+
+// DRXConfig is one device's paging configuration.
+type DRXConfig = drx.Config
+
+// PagingSchedule is a device's periodic paging-occasion schedule.
+type PagingSchedule = drx.Schedule
+
+// NewPagingSchedule derives a schedule per TS 36.304.
+func NewPagingSchedule(cfg DRXConfig) (PagingSchedule, error) { return drx.NewSchedule(cfg) }
+
+// CycleLadder returns all configurable (e)DRX values in increasing order.
+func CycleLadder() []Cycle { return drx.Ladder() }
+
+// --- fleets -----------------------------------------------------------------------
+
+// Device is one generated NB-IoT device.
+type Device = traffic.Device
+
+// Mix is a weighted fleet composition.
+type Mix = traffic.Mix
+
+// DeviceClass is one category within a mix.
+type DeviceClass = traffic.Class
+
+// Built-in fleet mixes.
+func EricssonCityMix() Mix    { return traffic.EricssonCityMix() }
+func PaperCalibratedMix() Mix { return traffic.PaperCalibratedMix() }
+func ShortHeavyMix() Mix      { return traffic.ShortHeavyMix() }
+func LongHeavyMix() Mix       { return traffic.LongHeavyMix() }
+func UniformEDRXMix() Mix     { return traffic.UniformMix() }
+func Mixes() map[string]Mix   { return traffic.Mixes() }
+
+// Stream is a deterministic random stream.
+type Stream = rng.Stream
+
+// NewStream returns a deterministic random stream for fleet generation.
+func NewStream(seed int64) *Stream { return rng.NewStream(seed) }
+
+// --- campaigns ----------------------------------------------------------------------
+
+// CampaignConfig configures one simulated multicast campaign.
+type CampaignConfig = cell.Config
+
+// CampaignResult is the outcome of a campaign.
+type CampaignResult = cell.Result
+
+// DeviceOutcome is one device's campaign outcome.
+type DeviceOutcome = cell.DeviceOutcome
+
+// Uptime is per-radio-state accumulated time.
+type Uptime = energy.Uptime
+
+// PowerProfile converts uptime into joules; see DefaultPowerProfile.
+type PowerProfile = energy.PowerProfile
+
+// DefaultPowerProfile returns a typical NB-IoT module power profile (3 µW
+// deep sleep, 20 mW light sleep, 220 mW connected).
+func DefaultPowerProfile() PowerProfile { return energy.DefaultPowerProfile() }
+
+// RunCampaign executes one multicast campaign end-to-end on the simulated
+// cell and returns per-device uptime, delivery times and eNB bandwidth
+// counters.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) { return cell.Run(cfg) }
+
+// CoverageClass is the NB-IoT coverage-enhancement level (CE0–CE2).
+type CoverageClass = phy.CoverageClass
+
+// Coverage enhancement levels.
+const (
+	CE0 = phy.CE0
+	CE1 = phy.CE1
+	CE2 = phy.CE2
+)
+
+// Payload sizes evaluated by the paper.
+const (
+	Size100KB = multicast.Size100KB
+	Size1MB   = multicast.Size1MB
+	Size10MB  = multicast.Size10MB
+)
+
+// --- battery projections -----------------------------------------------------------------
+
+// BatteryConfig describes one device's duty cycle and battery for life
+// projections (the paper's "more than 10 years on a single battery").
+type BatteryConfig = battery.Config
+
+// DefaultBatteryCapacityJoules is a 5 Wh primary cell.
+const DefaultBatteryCapacityJoules = battery.DefaultCapacityJoules
+
+// CampaignJoules extracts the per-device energy cost of one campaign from
+// simulator uptime.
+func CampaignJoules(profile PowerProfile, extraLight, connected Ticks) float64 {
+	return battery.CampaignJoules(profile, extraLight, connected)
+}
+
+// --- tracing ------------------------------------------------------------------------------
+
+// TraceRecorder records a campaign's event timeline; pass one in
+// CampaignConfig.Trace.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a bounded timeline recorder.
+func NewTraceRecorder(max int) *TraceRecorder { return trace.NewRecorder(max) }
+
+// --- multi-cell rollouts -----------------------------------------------------------------
+
+// NetworkSite is one eNB and its attached devices.
+type NetworkSite = network.Site
+
+// Network is a multi-cell operator network (ref [3]'s coordination entity
+// distributes content and device lists to each cell).
+type Network = network.Network
+
+// RolloutConfig configures a network-wide firmware rollout.
+type RolloutConfig = network.RolloutConfig
+
+// Rollout is the aggregated outcome of a network-wide campaign.
+type Rollout = network.Rollout
+
+// NewNetwork builds a network from explicit sites.
+func NewNetwork(sites []NetworkSite) (*Network, error) { return network.New(sites) }
+
+// PopulateNetwork spreads a generated fleet over numCells cells.
+func PopulateNetwork(numCells, totalDevices int, mix Mix, stream *Stream) (*Network, error) {
+	return network.Populate(numCells, totalDevices, mix, stream)
+}
+
+// --- analytical models -----------------------------------------------------------------
+
+// AdjustedFraction is the probability a device with the given cycle needs a
+// DA-SC adjustment: max(0, 1 − TI/cycle).
+func AdjustedFraction(cycle Cycle, ti Ticks) float64 { return analysis.AdjustedFraction(cycle, ti) }
+
+// ExpectedExtraWakeups is the mean-field estimate of the extra paging
+// occasions a DA-SC adjustment costs a device with the given cycle.
+func ExpectedExtraWakeups(cycle Cycle, ti Ticks) float64 {
+	return analysis.ExpectedExtraWakeups(cycle, ti)
+}
+
+// ExpectedDRSCTransmissions is the mean-field estimate of the DR-SC
+// transmission count for a fleet — the model behind Fig. 7's trend.
+func ExpectedDRSCTransmissions(fleet []Device, ti Ticks) float64 {
+	return analysis.ExpectedDRSCTransmissions(fleet, ti)
+}
+
+// --- evaluation harness ----------------------------------------------------------------
+
+// ExperimentOptions configures the figure-regeneration harness.
+type ExperimentOptions = experiment.Options
+
+// DefaultExperimentOptions returns the paper's evaluation parameters
+// (100 runs per point, 500-device fleets, TI = 10 s, 100..1000 sweep).
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// Figure results.
+type (
+	Fig6aResult = experiment.Fig6aResult
+	Fig6bResult = experiment.Fig6bResult
+	Fig7Result  = experiment.Fig7Result
+)
+
+// Fig6a regenerates Fig. 6(a): relative light-sleep uptime increase.
+func Fig6a(o ExperimentOptions) (*Fig6aResult, error) { return experiment.Fig6a(o) }
+
+// Fig6b regenerates Fig. 6(b): relative connected-mode uptime increase.
+func Fig6b(o ExperimentOptions) (*Fig6bResult, error) { return experiment.Fig6b(o) }
+
+// Fig7 regenerates Fig. 7: DR-SC transmissions vs fleet size.
+func Fig7(o ExperimentOptions) (*Fig7Result, error) { return experiment.Fig7(o) }

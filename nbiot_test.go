@@ -1,0 +1,194 @@
+package nbiot_test
+
+import (
+	"testing"
+
+	"nbiot"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	fleet, err := nbiot.PaperCalibratedMix().Generate(60, nbiot.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nbiot.RunCampaign(nbiot.CampaignConfig{
+		Mechanism:       nbiot.MechanismDASC,
+		Fleet:           fleet,
+		TI:              10 * nbiot.Second,
+		PayloadBytes:    nbiot.Size100KB,
+		Seed:            42,
+		UniformCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTransmissions != 1 {
+		t.Errorf("DA-SC transmissions = %d, want 1", res.NumTransmissions)
+	}
+	if res.NumDevices != 60 {
+		t.Errorf("devices = %d", res.NumDevices)
+	}
+}
+
+func TestFacadeMechanismLists(t *testing.T) {
+	if len(nbiot.Mechanisms()) != 4 {
+		t.Error("expected 4 mechanisms")
+	}
+	if len(nbiot.GroupingMechanisms()) != 3 {
+		t.Error("expected 3 grouping mechanisms")
+	}
+	if nbiot.MechanismDRSI.StandardsCompliant() {
+		t.Error("DR-SI is not standards compliant")
+	}
+}
+
+func TestFacadePlannerFlow(t *testing.T) {
+	sched, err := nbiot.NewPagingSchedule(nbiot.DRXConfig{UEID: 9, Cycle: nbiot.Cycle20s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := []nbiot.PlannerDevice{
+		{ID: 0, UEID: 9, Schedule: sched, Coverage: nbiot.CE0},
+	}
+	p, err := nbiot.NewPlanner(nbiot.MechanismUnicast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Plan(devices, nbiot.PlanParams{Now: 0, TI: 10 * nbiot.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumTransmissions() != 1 {
+		t.Errorf("transmissions = %d", plan.NumTransmissions())
+	}
+}
+
+func TestFacadeMixesAndLadder(t *testing.T) {
+	if len(nbiot.CycleLadder()) != 14 {
+		t.Errorf("ladder size = %d, want 14", len(nbiot.CycleLadder()))
+	}
+	mixes := nbiot.Mixes()
+	for _, name := range []string{"ericsson-city", "paper-calibrated", "short-heavy", "long-heavy"} {
+		if _, ok := mixes[name]; !ok {
+			t.Errorf("mix %q missing", name)
+		}
+	}
+	if nbiot.UniformEDRXMix().Name == "" {
+		t.Error("uniform mix unnamed")
+	}
+}
+
+func TestFacadeFleetConversion(t *testing.T) {
+	fleet, err := nbiot.EricssonCityMix().Generate(10, nbiot.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices, err := nbiot.FleetFromTraffic(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 10 {
+		t.Errorf("converted %d devices", len(devices))
+	}
+}
+
+func TestFacadeNetworkRollout(t *testing.T) {
+	net, err := nbiot.PopulateNetwork(2, 40, nbiot.PaperCalibratedMix(), nbiot.NewStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollout, err := net.Distribute(nbiot.RolloutConfig{
+		Mechanism:       nbiot.MechanismDASC,
+		TI:              10 * nbiot.Second,
+		PayloadBytes:    nbiot.Size100KB,
+		Seed:            5,
+		UniformCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rollout.TotalTransmissions != 2 {
+		t.Errorf("2-cell DA-SC rollout used %d transmissions", rollout.TotalTransmissions)
+	}
+	if rollout.TotalDevices != 40 {
+		t.Errorf("served %d devices", rollout.TotalDevices)
+	}
+}
+
+func TestFacadeBatteryProjection(t *testing.T) {
+	cfg := nbiot.BatteryConfig{
+		CapacityJoules:     nbiot.DefaultBatteryCapacityJoules,
+		Profile:            nbiot.DefaultPowerProfile(),
+		POPeriod:           nbiot.Cycle10485s.Ticks(),
+		POMonitor:          2 * nbiot.Millisecond,
+		ReportPeriod:       24 * nbiot.Hour,
+		ReportEnergyJoules: 0.5,
+	}
+	life, err := cfg.BaselineLifeYears()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life < 10 {
+		t.Errorf("baseline life %.1f < 10 years", life)
+	}
+	if j := nbiot.CampaignJoules(nbiot.DefaultPowerProfile(), 0, 60*nbiot.Second); j <= 0 {
+		t.Errorf("CampaignJoules = %v", j)
+	}
+}
+
+func TestFacadeTraceIntegration(t *testing.T) {
+	fleet, err := nbiot.PaperCalibratedMix().Generate(15, nbiot.NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := nbiot.NewTraceRecorder(500)
+	if _, err := nbiot.RunCampaign(nbiot.CampaignConfig{
+		Mechanism:       nbiot.MechanismDRSC,
+		Fleet:           fleet,
+		TI:              10 * nbiot.Second,
+		PayloadBytes:    nbiot.Size100KB,
+		Seed:            9,
+		UniformCoverage: true,
+		Trace:           rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Error("facade trace recorder captured nothing")
+	}
+}
+
+func TestFacadeSCPTM(t *testing.T) {
+	fleet, err := nbiot.PaperCalibratedMix().Generate(20, nbiot.NewStream(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nbiot.RunCampaign(nbiot.CampaignConfig{
+		Mechanism:       nbiot.MechanismSCPTM,
+		Fleet:           fleet,
+		TI:              10 * nbiot.Second,
+		PayloadBytes:    nbiot.Size100KB,
+		Seed:            11,
+		UniformCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumTransmissions != 1 || res.MAC.Procedures != 0 {
+		t.Errorf("SC-PTM via facade: %d tx, %d RA procedures", res.NumTransmissions, res.MAC.Procedures)
+	}
+}
+
+func TestFacadeExperimentSmoke(t *testing.T) {
+	o := nbiot.DefaultExperimentOptions()
+	o.Runs = 1
+	o.Devices = 40
+	o.FleetSizes = []int{40}
+	res, err := nbiot.Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transmissions.Points) != 1 {
+		t.Errorf("points = %d", len(res.Transmissions.Points))
+	}
+}
