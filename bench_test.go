@@ -8,6 +8,8 @@
 package nbiot_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"nbiot"
@@ -71,6 +73,38 @@ func BenchmarkFig7Transmissions(b *testing.B) {
 		last := res.Ratio.Points[len(res.Ratio.Points)-1].Y.Mean
 		b.ReportMetric(first*100, "tx/dev-N100-%")
 		b.ReportMetric(last*100, "tx/dev-N1000-%")
+	}
+}
+
+// BenchmarkFig7Sweep tracks the campaign-execution engine's parallel
+// speedup: the same Fig. 7 sweep once serially (workers=1) and once on the
+// bounded pool at NumCPU workers. Results are bit-identical across the two
+// (asserted by internal/experiment's determinism tests); only wall-clock
+// may differ, so sweep/op is the trajectory metric to watch.
+func BenchmarkFig7Sweep(b *testing.B) {
+	o := benchOptions()
+	o.Runs = 8
+	o.FleetSizes = []int{100, 400, 700, 1000}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			oi := o
+			oi.Workers = workers
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Fig7(oi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Ratio.Points[0].Y.Mean*100, "tx/dev-N100-%")
+			}
+		})
 	}
 }
 

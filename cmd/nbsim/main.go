@@ -9,9 +9,11 @@
 //	nbsim all       [flags]   # everything above
 //	nbsim run       [flags]   # one campaign, verbose per-device summary
 //
-// Common flags: -seed, -runs, -devices, -ti, -mix, -csv, -quiet.
+// Common flags: -seed, -runs, -devices, -ti, -mix, -workers, -csv, -quiet.
 // Results print as aligned tables (and ASCII charts); -csv switches the
-// tables to CSV for post-processing.
+// tables to CSV for post-processing. -workers bounds how many campaigns
+// simulate concurrently (default: all CPUs); results are bit-identical for
+// every worker count.
 package main
 
 import (
@@ -59,6 +61,7 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.Int64Var(&o.exp.Seed, "seed", 1, "master random seed")
 	fs.IntVar(&o.exp.Runs, "runs", 0, "runs per data point (default: paper's 100; shape-preserving smaller values run faster)")
 	fs.IntVar(&o.exp.Devices, "devices", 0, "fleet size for fig6a/fig6b/run (default 500)")
+	fs.IntVar(&o.exp.Workers, "workers", 0, "concurrent campaign simulations (default: all CPUs; results are identical for any value)")
 	tiSec := fs.Float64("ti", 10, "inactivity timer in seconds (paper: 10-30)")
 	fs.StringVar(&o.mixName, "mix", "paper-calibrated", "fleet mix: "+strings.Join(mixNames(), ", "))
 	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")

@@ -1,0 +1,3 @@
+module nbiot
+
+go 1.24

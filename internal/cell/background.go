@@ -1,0 +1,69 @@
+// Background traffic: each device's normal uplink reporting (Poisson
+// arrivals at its class's mean period) running concurrently with the
+// campaign — the paper's "realistic operating conditions" (Sec. IV-A).
+
+package cell
+
+import (
+	"nbiot/internal/device"
+	"nbiot/internal/mac"
+	"nbiot/internal/rng"
+	"nbiot/internal/rrc"
+	"nbiot/internal/simtime"
+	"nbiot/internal/trace"
+	"nbiot/internal/traffic"
+)
+
+// scheduleBackground seeds each device's uplink-report timeline: Poisson
+// arrivals at the device's class mean. Timelines are drawn up front from a
+// dedicated stream, so the same seed produces the same background whatever
+// mechanism runs on top.
+func (s *runState) scheduleBackground(fleet []traffic.Device, stream *rng.Stream, span simtime.Interval) {
+	for _, dev := range fleet {
+		dev := dev
+		at := simtime.Ticks(0)
+		for {
+			gap := simtime.Ticks(stream.Exponential(float64(dev.ReportPeriod)))
+			if gap <= 0 {
+				gap = 1
+			}
+			at += gap
+			if at >= span.End-s.reportDuration-10*simtime.Second {
+				break
+			}
+			reportAt := at
+			s.eng.At(reportAt, "cell.report", func() { s.onReport(dev.ID) })
+		}
+	}
+}
+
+// onReport runs one background uplink report: random access, a short
+// connected upload, release. Reports finding the device busy are skipped
+// (a real device would aggregate into its next one).
+func (s *runState) onReport(dev int) {
+	ue := s.ues[dev]
+	if ph := ue.Phase(); (ph != device.PhaseSleeping && ph != device.PhaseDone) ||
+		s.eng.Now() < s.busyUntil[dev] {
+		s.reportsSkipped++
+		return
+	}
+	s.reportsSent++
+	s.tr.Record(s.eng.Now(), trace.KindReport, dev, "")
+	ue.StartAccess(s.eng.Now())
+	s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
+		if !res.OK {
+			// Congested RACH: the report is lost; the device gives up and
+			// goes back to sleep.
+			ue.AccessDone(s.eng.Now(), res.Attempts)
+			s.busyUntil[dev] = ue.Release(s.eng.Now(), false)
+			return
+		}
+		ready := ue.AccessDone(res.CompletedAt, res.Attempts)
+		s.signalConnection(ue.Info().UEID, rrc.CauseMOData)
+		done := ready + s.reportDuration
+		s.eng.At(done, "cell.report-done", func() {
+			s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseNormal})
+			s.busyUntil[dev] = ue.Release(s.eng.Now(), false)
+		})
+	})
+}

@@ -22,18 +22,12 @@ package cell
 
 import (
 	"fmt"
-	"sort"
 
 	"nbiot/internal/core"
 	"nbiot/internal/device"
 	"nbiot/internal/enb"
-	"nbiot/internal/energy"
-	"nbiot/internal/event"
 	"nbiot/internal/mac"
-	"nbiot/internal/multicast"
 	"nbiot/internal/phy"
-	"nbiot/internal/rng"
-	"nbiot/internal/rrc"
 	"nbiot/internal/simtime"
 	"nbiot/internal/trace"
 	"nbiot/internal/traffic"
@@ -138,102 +132,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// DeviceOutcome is the per-device result of a campaign.
-type DeviceOutcome struct {
-	ID int
-	// Campaign is the event-attributed uptime (page decodes, extra POs,
-	// connections); NaturalLight is the analytic light-sleep spent on the
-	// device's normal paging-occasion monitoring over the common span.
-	Campaign     energy.Uptime
-	NaturalLight simtime.Ticks
-	// DeliveredAt is when data reception completed.
-	DeliveredAt simtime.Ticks
-	// RAAttempts counts preamble transmissions across the device's
-	// random-access procedures.
-	RAAttempts int
-	// ConnectedWait is the connected time spent waiting for the multicast
-	// transmission to start after the connection was ready.
-	ConnectedWait simtime.Ticks
-}
-
-// LightSleep reports total light-sleep uptime (natural + campaign extras) —
-// the paper's Fig. 6(a) metric.
-func (o DeviceOutcome) LightSleep() simtime.Ticks {
-	return o.NaturalLight + o.Campaign.LightSleep
-}
-
-// Connected reports total connected-mode uptime — the Fig. 6(b) metric.
-func (o DeviceOutcome) Connected() simtime.Ticks { return o.Campaign.Connected }
-
-// Result is the outcome of one campaign run.
-type Result struct {
-	Mechanism        core.Mechanism
-	NumDevices       int
-	NumTransmissions int
-	// Span is the common accounting span shared by every mechanism on this
-	// (fleet, TI, payload) input.
-	Span simtime.Interval
-	// CampaignEnd is when the last device finished.
-	CampaignEnd simtime.Ticks
-	Devices     []DeviceOutcome
-	ENB         enb.Counters
-	MAC         mac.Stats
-	// TimerViolations counts devices whose connected wait exceeded TI
-	// (the inactivity timer would have expired without eNB keep-alive).
-	TimerViolations int
-	// SkippedPOs counts adapted paging occasions that fell inside an
-	// ongoing connection and were not monitored.
-	SkippedPOs int
-	// ReportsSent and ReportsSkipped count background uplink reports (zero
-	// unless Config.BackgroundTraffic).
-	ReportsSent    int
-	ReportsSkipped int
-}
-
-// TotalLightSleep sums the Fig. 6(a) metric over the fleet.
-func (r *Result) TotalLightSleep() simtime.Ticks {
-	var sum simtime.Ticks
-	for _, d := range r.Devices {
-		sum += d.LightSleep()
-	}
-	return sum
-}
-
-// TotalConnected sums the Fig. 6(b) metric over the fleet.
-func (r *Result) TotalConnected() simtime.Ticks {
-	var sum simtime.Ticks
-	for _, d := range r.Devices {
-		sum += d.Connected()
-	}
-	return sum
-}
-
-// FleetUptime aggregates the fleet's full per-state uptime over the common
-// span: the analytic natural light sleep is carved out of the tracker's
-// deep-sleep time, so the three states still sum to devices × span.
-func (r *Result) FleetUptime() energy.Uptime {
-	var total energy.Uptime
-	for _, d := range r.Devices {
-		total = total.Add(energy.Uptime{
-			DeepSleep:  d.Campaign.DeepSleep - d.NaturalLight,
-			LightSleep: d.Campaign.LightSleep + d.NaturalLight,
-			Connected:  d.Campaign.Connected,
-		})
-	}
-	return total
-}
-
-// Joules converts the fleet's uptime into energy under a power profile —
-// the paper reports relative uptime because absolute powers are device
-// specific (Sec. IV-A); this helper exists for users who have their own
-// module measurements.
-func (r *Result) Joules(p energy.PowerProfile) (float64, error) {
-	if err := p.Validate(); err != nil {
-		return 0, err
-	}
-	return p.Joules(r.FleetUptime()), nil
-}
-
 // CommonSpan computes the accounting span shared by all mechanisms for a
 // given fleet and parameters: long enough for the slowest mechanism
 // (transmission at 2·maxDRX plus airtime at the fleet's worst coverage
@@ -255,681 +153,4 @@ func CommonSpan(cfg Config) (simtime.Interval, error) {
 	airtime := cc.ENB.Link.TxDuration(cc.PayloadBytes, worst)
 	end := cc.PageGuard + 2*maxCycle + cc.TI + airtime + cc.SpanSlack
 	return simtime.NewInterval(0, end), nil
-}
-
-// txState tracks one planned transmission through execution.
-type txState struct {
-	planned simtime.Ticks
-	members []int
-	class   phy.CoverageClass
-	ready   int
-	due     bool
-	started bool
-}
-
-// runState carries the executor's mutable state.
-type runState struct {
-	cfg      Config
-	eng      *event.Engine
-	nb       *enb.ENB
-	ra       *mac.Controller
-	t322     *rng.Stream
-	plan     *core.Plan
-	ues      map[int]*device.UE
-	adj      map[int]core.Adjustment
-	txs      []*txState
-	delivery *multicast.Delivery
-
-	readyAt     map[int]simtime.Ticks // device -> connection-ready time
-	busyUntil   map[int]simtime.Ticks // device -> current connection end
-	waits       map[int]simtime.Ticks
-	campaignEnd simtime.Ticks
-	violations  int
-	skippedPOs  int
-
-	// Background-traffic bookkeeping.
-	reportDuration simtime.Ticks
-	reportsSent    int
-	reportsSkipped int
-
-	// reconfigAt records when each DA-SC adjustment actually took effect.
-	reconfigAt map[int]simtime.Ticks
-
-	// tr records the timeline when tracing is enabled (nil-safe).
-	tr *trace.Recorder
-
-	execErr error
-}
-
-// fail records the first executor error; the engine finishes draining but
-// the run reports the failure.
-func (s *runState) fail(err error) {
-	if s.execErr == nil && err != nil {
-		s.execErr = err
-	}
-}
-
-// Run executes one campaign and returns its result.
-func Run(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	span, err := CommonSpan(cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	fleet := cfg.Fleet
-	if cfg.UniformCoverage {
-		fleet = make([]traffic.Device, len(cfg.Fleet))
-		copy(fleet, cfg.Fleet)
-		for i := range fleet {
-			fleet[i].Coverage = phy.CE0
-		}
-	}
-	devices, err := core.FleetFromTraffic(fleet)
-	if err != nil {
-		return nil, err
-	}
-
-	src := rng.NewSource(cfg.Seed)
-	planner, err := core.NewPlanner(cfg.Mechanism)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Mechanism == core.MechanismSCPTM {
-		planner = core.SCPTMPlanner{MCCHPeriod: cfg.MCCHPeriod}
-	}
-	if cfg.SplitByCoverage {
-		planner = core.CoverageSplitPlanner{Inner: planner}
-	}
-	params := core.Params{
-		Now:       0,
-		TI:        cfg.TI,
-		PageGuard: cfg.PageGuard,
-		TieBreak:  src.Stream("drsc-tiebreak"),
-	}
-	plan, err := planner.Plan(devices, params)
-	if err != nil {
-		return nil, err
-	}
-	if err := plan.Verify(devices, params); err != nil {
-		return nil, fmt.Errorf("cell: planner produced an invalid plan: %w", err)
-	}
-
-	eng := event.NewEngine()
-	nb, err := enb.New(cfg.ENB)
-	if err != nil {
-		return nil, err
-	}
-	ra, err := mac.NewController(cfg.MAC, eng, src.Stream("mac"))
-	if err != nil {
-		return nil, err
-	}
-
-	st := &runState{
-		cfg:        cfg,
-		eng:        eng,
-		nb:         nb,
-		ra:         ra,
-		t322:       src.Stream("t322"),
-		plan:       plan,
-		ues:        make(map[int]*device.UE, len(devices)),
-		adj:        make(map[int]core.Adjustment),
-		readyAt:    make(map[int]simtime.Ticks),
-		busyUntil:  make(map[int]simtime.Ticks),
-		waits:      make(map[int]simtime.Ticks),
-		reconfigAt: make(map[int]simtime.Ticks),
-		tr:         cfg.Trace,
-	}
-	byID := make(map[int]core.Device, len(devices))
-	for _, d := range devices {
-		byID[d.ID] = d
-		ue, err := device.New(d, cfg.Timing, span.Start)
-		if err != nil {
-			return nil, err
-		}
-		st.ues[d.ID] = ue
-	}
-	for _, adj := range plan.Adjustments {
-		st.adj[adj.Device] = adj
-	}
-
-	content, err := multicast.NewContent("firmware", cfg.PayloadBytes, uint64(cfg.Seed))
-	if err != nil {
-		return nil, err
-	}
-	ids := make([]int, 0, len(devices))
-	for _, d := range devices {
-		ids = append(ids, d.ID)
-	}
-	st.delivery, err = multicast.NewDelivery(content, ids)
-	if err != nil {
-		return nil, err
-	}
-
-	// Build transmission states.
-	for _, tx := range plan.Transmissions {
-		ts := &txState{planned: tx.At, members: tx.Devices}
-		classes := make([]phy.CoverageClass, 0, len(tx.Devices))
-		for _, id := range tx.Devices {
-			classes = append(classes, byID[id].Coverage)
-		}
-		ts.class = phy.MulticastClass(classes)
-		st.txs = append(st.txs, ts)
-	}
-
-	st.scheduleAll()
-	if cfg.BackgroundTraffic {
-		st.reportDuration = cfg.ReportDuration
-		if st.reportDuration == 0 {
-			st.reportDuration = simtime.Second
-		}
-		st.scheduleBackground(fleet, src.Stream("background"), span)
-	}
-	eng.Run()
-	if st.execErr != nil {
-		return nil, st.execErr
-	}
-	if !st.delivery.Complete() {
-		done, total := st.delivery.Progress()
-		return nil, fmt.Errorf("cell: campaign incomplete: %d of %d devices served (remaining %v)",
-			done, total, st.delivery.Remaining())
-	}
-	if st.campaignEnd >= span.End {
-		return nil, fmt.Errorf("cell: campaign end %v beyond accounting span %v; increase SpanSlack",
-			st.campaignEnd, span)
-	}
-
-	// Assemble per-device outcomes: event-attributed uptime plus analytic
-	// natural paging-occasion monitoring over the common span.
-	res := &Result{
-		Mechanism:        cfg.Mechanism,
-		NumDevices:       len(devices),
-		NumTransmissions: len(plan.Transmissions),
-		Span:             span,
-		CampaignEnd:      st.campaignEnd,
-		ENB:              nb.Counters(),
-		MAC:              ra.Stats(),
-		TimerViolations:  st.violations,
-		SkippedPOs:       st.skippedPOs,
-		ReportsSent:      st.reportsSent,
-		ReportsSkipped:   st.reportsSkipped,
-	}
-	for _, d := range devices {
-		ue := st.ues[d.ID]
-		up := ue.Finish(span.End)
-		delivered, at := ue.Delivered()
-		if !delivered {
-			return nil, fmt.Errorf("cell: device %d finished without data", d.ID)
-		}
-		natural := simtime.Ticks(d.Schedule.CountIn(span)) *
-			simtime.Ticks(d.Schedule.OccasionsPerCycle()) * cfg.Timing.POMonitor
-		if plan.MCCHPeriod > 0 {
-			// SC-PTM subscribers additionally monitor SC-MCCH continuously,
-			// whatever their DRX — the standing cost the paper's on-demand
-			// mechanisms eliminate (Sec. II-A).
-			natural += simtime.Ticks(int64(span.Len()/plan.MCCHPeriod)) * cfg.Timing.MCCHMonitor
-		}
-		res.Devices = append(res.Devices, DeviceOutcome{
-			ID:            d.ID,
-			Campaign:      up,
-			NaturalLight:  natural,
-			DeliveredAt:   at,
-			RAAttempts:    ue.RAAttempts(),
-			ConnectedWait: st.waits[d.ID],
-		})
-	}
-	sort.Slice(res.Devices, func(i, j int) bool { return res.Devices[i].ID < res.Devices[j].ID })
-	return res, nil
-}
-
-// scheduleAll seeds the engine with every plan stimulus.
-func (s *runState) scheduleAll() {
-	if s.plan.Mechanism == core.MechanismSCPTM {
-		s.scheduleSCPTM()
-		return
-	}
-	// Group plain and extended pages that share a paging occasion into one
-	// paging message (one NPDCCH/NPDSCH paging per PO).
-	type poKey struct{ at simtime.Ticks }
-	pagesAt := make(map[poKey]*rrc.Paging)
-	addPage := func(at simtime.Ticks, fill func(*rrc.Paging)) {
-		k := poKey{at}
-		msg, ok := pagesAt[k]
-		if !ok {
-			msg = &rrc.Paging{}
-			pagesAt[k] = msg
-		}
-		fill(msg)
-	}
-
-	for _, pg := range s.plan.Pages {
-		pg := pg
-		ue := s.ues[pg.Device]
-		addPage(pg.At, func(m *rrc.Paging) {
-			m.PagingRecords = append(m.PagingRecords, ue.Info().UEID)
-		})
-		s.eng.At(pg.At, "cell.page", func() { s.onPage(pg) })
-	}
-	for _, ep := range s.plan.ExtendedPages {
-		ep := ep
-		ue := s.ues[ep.Device]
-		tx := s.plan.Transmissions[ep.TxIndex]
-		addPage(ep.At, func(m *rrc.Paging) {
-			m.MltcRecords = append(m.MltcRecords, rrc.MltcRecord{
-				UEID:          ue.Info().UEID,
-				TimeRemaining: tx.At - ep.At,
-			})
-		})
-		s.eng.At(ep.At, "cell.extended-page", func() { s.onExtendedPage(ep) })
-	}
-	// Account the grouped paging messages on the paging channel, in
-	// deterministic occasion order.
-	keys := make([]poKey, 0, len(pagesAt))
-	for k := range pagesAt {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].at < keys[j].at })
-	for _, k := range keys {
-		k, msg := k, pagesAt[k]
-		s.eng.At(k.at, "cell.paging-channel", func() {
-			if _, err := s.nb.Page(k.at, msg); err != nil {
-				s.fail(err)
-			}
-		})
-	}
-
-	for _, adj := range s.plan.Adjustments {
-		adj := adj
-		// The reconfiguration page goes out at the anchor occasion; it is a
-		// separate paging message from the final page.
-		ue := s.ues[adj.Device]
-		s.eng.At(adj.AtPO, "cell.reconfig-page", func() {
-			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-			if _, err := s.nb.Page(adj.AtPO, msg); err != nil {
-				s.fail(err)
-			}
-			s.onReconfigPage(adj)
-		})
-		for _, po := range adj.ExtraPOs {
-			po := po
-			s.eng.At(po, "cell.extra-po", func() { s.onExtraPO(adj.Device, po) })
-		}
-	}
-
-	for i, ts := range s.txs {
-		i, ts := i, ts
-		s.eng.At(ts.planned, "cell.tx-due", func() {
-			ts.due = true
-			s.maybeStartTx(i)
-		})
-	}
-}
-
-// scheduleSCPTM seeds the engine for a connectionless SC-PTM session: the
-// SC-MCCH announcement, then one idle-mode reception for the whole group.
-// The per-device SC-MCCH monitoring cost between campaigns is accounted
-// analytically (see Run), like natural paging-occasion monitoring.
-func (s *runState) scheduleSCPTM() {
-	for i, ts := range s.txs {
-		i, ts := i, ts
-		tx := s.plan.Transmissions[i]
-		s.eng.At(s.plan.AnnounceAt, "cell.scptm-announce", func() {
-			s.tr.Recordf(s.plan.AnnounceAt, trace.KindAnnounce, -1, "session at %v", ts.planned)
-			s.signal(&rrc.SCPTMConfiguration{
-				GroupID:      uint32(i),
-				StartOffset:  ts.planned - s.plan.AnnounceAt,
-				PayloadBytes: s.cfg.PayloadBytes,
-			})
-		})
-		s.eng.At(ts.planned, "cell.scptm-rx", func() {
-			now := s.eng.Now()
-			airtime, err := s.nb.DataTx(s.cfg.PayloadBytes, ts.class)
-			if err != nil {
-				s.fail(err)
-				return
-			}
-			for _, dev := range tx.Devices {
-				s.ues[dev].StartIdleReception(now)
-				s.waits[dev] = 0
-			}
-			end := now + airtime
-			s.eng.At(end, "cell.scptm-rx-done", func() {
-				for _, dev := range tx.Devices {
-					s.ues[dev].FinishIdleReception(end)
-					if err := s.delivery.Deliver(dev); err != nil {
-						s.fail(err)
-						return
-					}
-				}
-				if end > s.campaignEnd {
-					s.campaignEnd = end
-				}
-			})
-		})
-	}
-}
-
-// scheduleBackground seeds each device's uplink-report timeline: Poisson
-// arrivals at the device's class mean. Timelines are drawn up front from a
-// dedicated stream, so the same seed produces the same background whatever
-// mechanism runs on top.
-func (s *runState) scheduleBackground(fleet []traffic.Device, stream *rng.Stream, span simtime.Interval) {
-	for _, dev := range fleet {
-		dev := dev
-		at := simtime.Ticks(0)
-		for {
-			gap := simtime.Ticks(stream.Exponential(float64(dev.ReportPeriod)))
-			if gap <= 0 {
-				gap = 1
-			}
-			at += gap
-			if at >= span.End-s.reportDuration-10*simtime.Second {
-				break
-			}
-			reportAt := at
-			s.eng.At(reportAt, "cell.report", func() { s.onReport(dev.ID) })
-		}
-	}
-}
-
-// onReport runs one background uplink report: random access, a short
-// connected upload, release. Reports finding the device busy are skipped
-// (a real device would aggregate into its next one).
-func (s *runState) onReport(dev int) {
-	ue := s.ues[dev]
-	if ph := ue.Phase(); (ph != device.PhaseSleeping && ph != device.PhaseDone) ||
-		s.eng.Now() < s.busyUntil[dev] {
-		s.reportsSkipped++
-		return
-	}
-	s.reportsSent++
-	s.tr.Record(s.eng.Now(), trace.KindReport, dev, "")
-	ue.StartAccess(s.eng.Now())
-	s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
-		if !res.OK {
-			// Congested RACH: the report is lost; the device gives up and
-			// goes back to sleep.
-			ue.AccessDone(s.eng.Now(), res.Attempts)
-			s.busyUntil[dev] = ue.Release(s.eng.Now(), false)
-			return
-		}
-		ready := ue.AccessDone(res.CompletedAt, res.Attempts)
-		s.signalConnection(ue.Info().UEID, rrc.CauseMOData)
-		done := ready + s.reportDuration
-		s.eng.At(done, "cell.report-done", func() {
-			s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseNormal})
-			s.busyUntil[dev] = ue.Release(s.eng.Now(), false)
-		})
-	})
-}
-
-// onPage handles a final (connect-to-receive) page at a natural or adapted
-// occasion. A device still busy in its reconfiguration connection is
-// re-paged at its next occasion after the connection ends.
-func (s *runState) onPage(pg core.Page) {
-	ue := s.ues[pg.Device]
-	now := s.eng.Now()
-	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[pg.Device] {
-		retry := s.nextOccasionAfter(pg.Device, simtime.Max(s.busyUntil[pg.Device], now))
-		s.tr.Recordf(now, trace.KindDeferred, pg.Device, "page deferred to %v", retry)
-		rp := pg
-		rp.At = retry
-		s.eng.At(retry, "cell.repage", func() {
-			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-			if _, err := s.nb.Page(retry, msg); err != nil {
-				s.fail(err)
-			}
-			s.onPage(rp)
-		})
-		return
-	}
-	s.tr.Recordf(now, trace.KindPage, pg.Device, "for tx %d", pg.TxIndex)
-	decodeEnd := ue.ReceivePage(now)
-	s.eng.At(decodeEnd, "cell.ra-start", func() {
-		s.startConnection(pg.Device, pg.TxIndex, rrc.CauseMTAccess)
-	})
-}
-
-// onExtendedPage handles a DR-SI notification: decode, then arm T322 for a
-// uniformly random instant in the wake window (paper Sec. III-C). A device
-// busy with a background report misses the page and is re-notified at its
-// next occasion (or paged normally if that occasion is already inside the
-// wake window).
-func (s *runState) onExtendedPage(ep core.ExtendedPage) {
-	ue := s.ues[ep.Device]
-	now := s.eng.Now()
-	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[ep.Device] {
-		retry := s.nextOccasionAfter(ep.Device, simtime.Max(s.busyUntil[ep.Device], now))
-		if retry >= ep.WakeWindow.Start {
-			// Too late to notify in advance; fall back to a normal page at
-			// the device's first occasion inside the window.
-			po := ue.Info().Schedule.NextAtOrAfter(ep.WakeWindow.Start)
-			if po >= ep.WakeWindow.End {
-				s.fail(fmt.Errorf("cell: device %d unservable: missed extended page and has no occasion in %v",
-					ep.Device, ep.WakeWindow))
-				return
-			}
-			s.eng.At(po, "cell.fallback-page", func() {
-				msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-				if _, err := s.nb.Page(po, msg); err != nil {
-					s.fail(err)
-				}
-				s.onPage(core.Page{Device: ep.Device, At: po, TxIndex: ep.TxIndex})
-			})
-			return
-		}
-		rp := ep
-		rp.At = retry
-		s.eng.At(retry, "cell.re-notify", func() {
-			tx := s.plan.Transmissions[ep.TxIndex]
-			msg := &rrc.Paging{MltcRecords: []rrc.MltcRecord{{
-				UEID:          ue.Info().UEID,
-				TimeRemaining: tx.At - retry,
-			}}}
-			if _, err := s.nb.Page(retry, msg); err != nil {
-				s.fail(err)
-			}
-			s.onExtendedPage(rp)
-		})
-		return
-	}
-	ue.ReceiveExtendedPage(now)
-	wake := simtime.Ticks(s.t322.UniformTicks(int64(ep.WakeWindow.Start), int64(ep.WakeWindow.End)))
-	s.tr.Recordf(now, trace.KindExtendedPage, ep.Device, "T322 armed for %v", wake)
-	s.eng.At(wake, "cell.t322-expiry", func() {
-		s.startConnectionWhenFree(ep.Device, ep.TxIndex, rrc.CauseMulticastReception)
-	})
-}
-
-// onReconfigPage handles the DA-SC adjustment connection: page decode →
-// random access → RRC setup → reconfiguration exchange → immediate release.
-// A device busy with a background report misses the page and is re-paged at
-// its next natural occasion.
-func (s *runState) onReconfigPage(adj core.Adjustment) {
-	ue := s.ues[adj.Device]
-	now := s.eng.Now()
-	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[adj.Device] {
-		retry := ue.Info().Schedule.NextAfter(simtime.Max(s.busyUntil[adj.Device], now))
-		s.eng.At(retry, "cell.reconfig-repage", func() {
-			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-			if _, err := s.nb.Page(retry, msg); err != nil {
-				s.fail(err)
-			}
-			s.onReconfigPage(adj)
-		})
-		return
-	}
-	s.tr.Recordf(now, trace.KindReconfigPage, adj.Device, "new cycle %v", adj.NewCycle)
-	decodeEnd := ue.ReceivePage(now)
-	timing := ue.Timing()
-	s.eng.At(decodeEnd, "cell.reconfig-ra", func() {
-		ue.StartAccess(s.eng.Now())
-		s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
-			if !res.OK {
-				s.fail(fmt.Errorf("cell: device %d reconfiguration random access failed after %d attempts",
-					adj.Device, res.Attempts))
-				return
-			}
-			ready := ue.AccessDone(res.CompletedAt, res.Attempts)
-			s.signalConnection(ue.Info().UEID, rrc.CauseMOSignalling)
-			done := ready + timing.ReconfigExchange
-			s.eng.At(done, "cell.reconfig-done", func() {
-				s.signal(&rrc.ConnectionReconfiguration{UEID: ue.Info().UEID, NewCycle: adj.NewCycle})
-				s.signal(&rrc.ConnectionReconfigurationComplete{UEID: ue.Info().UEID})
-				s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseImmediate})
-				end := ue.Release(s.eng.Now(), false)
-				s.busyUntil[adj.Device] = end
-				s.reconfigAt[adj.Device] = end
-			})
-		})
-	})
-}
-
-// onExtraPO charges one adapted paging-occasion wake-up, skipping occasions
-// that fall inside an ongoing connection or before the (possibly deferred)
-// reconfiguration actually took effect.
-func (s *runState) onExtraPO(dev int, po simtime.Ticks) {
-	ue := s.ues[dev]
-	reconfigured, ok := s.reconfigAt[dev]
-	if !ok || po < reconfigured ||
-		(ue.Phase() != device.PhaseSleeping && ue.Phase() != device.PhaseDone) ||
-		s.busyUntil[dev] > po {
-		s.skippedPOs++
-		return
-	}
-	if ue.Phase() == device.PhaseDone {
-		s.skippedPOs++
-		return
-	}
-	ue.MonitorPO(po)
-}
-
-// startConnectionWhenFree starts the campaign connection now, or as soon as
-// the device's ongoing background connection ends (a T322 expiry can land
-// mid-report).
-func (s *runState) startConnectionWhenFree(dev, txIdx int, cause rrc.EstablishmentCause) {
-	ue := s.ues[dev]
-	if ph := ue.Phase(); (ph != device.PhaseSleeping && ph != device.PhaseListening) ||
-		s.eng.Now() < s.busyUntil[dev] {
-		resume := simtime.Max(s.busyUntil[dev], s.eng.Now()) + 1
-		s.eng.At(resume, "cell.t322-deferred", func() {
-			s.startConnectionWhenFree(dev, txIdx, cause)
-		})
-		return
-	}
-	s.startConnection(dev, txIdx, cause)
-}
-
-// startConnection runs random access and RRC setup, then marks the device
-// ready for its transmission.
-func (s *runState) startConnection(dev, txIdx int, cause rrc.EstablishmentCause) {
-	ue := s.ues[dev]
-	ue.StartAccess(s.eng.Now())
-	s.tr.Recordf(s.eng.Now(), trace.KindRAStart, dev, "cause %v", cause)
-	s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
-		if !res.OK {
-			s.fail(fmt.Errorf("cell: device %d random access failed after %d attempts", dev, res.Attempts))
-			return
-		}
-		ready := ue.AccessDone(res.CompletedAt, res.Attempts)
-		s.tr.Recordf(res.CompletedAt, trace.KindRADone, dev, "%d attempts", res.Attempts)
-		s.signalConnection(ue.Info().UEID, cause)
-		s.eng.At(ready, "cell.conn-ready", func() {
-			s.readyAt[dev] = ready
-			s.tr.Record(ready, trace.KindConnReady, dev, "")
-			ts := s.txs[txIdx]
-			ts.ready++
-			s.maybeStartTx(txIdx)
-		})
-	})
-}
-
-// signalConnection accounts the RRC connection establishment exchange.
-func (s *runState) signalConnection(ueid uint32, cause rrc.EstablishmentCause) {
-	s.signal(&rrc.ConnectionRequest{UEID: ueid, Cause: cause})
-	s.signal(&rrc.ConnectionSetup{UEID: ueid})
-	s.signal(&rrc.ConnectionSetupComplete{UEID: ueid})
-}
-
-func (s *runState) signal(msg rrc.Message) {
-	if err := s.nb.Signal(msg); err != nil {
-		s.fail(err)
-	}
-}
-
-// maybeStartTx starts transmission i once it is both due and fully joined.
-func (s *runState) maybeStartTx(i int) {
-	ts := s.txs[i]
-	if ts.started || !ts.due || ts.ready < len(ts.members) {
-		return
-	}
-	ts.started = true
-	now := s.eng.Now()
-	airtime, err := s.nb.DataTx(s.cfg.PayloadBytes, ts.class)
-	if err != nil {
-		s.fail(err)
-		return
-	}
-	end := now + airtime
-	s.tr.Recordf(now, trace.KindTxStart, -1, "tx %d: %d devices, %v airtime", i, len(ts.members), airtime)
-	for _, dev := range ts.members {
-		dev := dev
-		wait := now - s.readyAt[dev]
-		if wait < 0 {
-			s.fail(fmt.Errorf("cell: device %d ready after transmission start", dev))
-			return
-		}
-		s.waits[dev] = wait
-		if wait > s.cfg.TI {
-			s.violations++
-		}
-	}
-	s.eng.At(end, "cell.tx-complete", func() { s.completeTx(i, end) })
-}
-
-// completeTx delivers the content to every member and releases them.
-func (s *runState) completeTx(i int, end simtime.Ticks) {
-	ts := s.txs[i]
-	s.tr.Recordf(end, trace.KindTxDone, -1, "tx %d", i)
-	for _, dev := range ts.members {
-		ue := s.ues[dev]
-		ue.DeliverData(end)
-		s.tr.Record(end, trace.KindDelivered, dev, "")
-		if err := s.delivery.Deliver(dev); err != nil {
-			s.fail(err)
-			return
-		}
-		// DA-SC restores the original cycle with a reconfiguration inside
-		// the existing connection before release (paper Sec. III-B).
-		if adj, ok := s.adj[dev]; ok {
-			s.signal(&rrc.ConnectionReconfiguration{
-				UEID: ue.Info().UEID, NewCycle: adj.NewCycle, Restore: true,
-			})
-			s.signal(&rrc.ConnectionReconfigurationComplete{UEID: ue.Info().UEID})
-		}
-		s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseNormal})
-		relEnd := ue.Release(end, true)
-		if relEnd > s.campaignEnd {
-			s.campaignEnd = relEnd
-		}
-	}
-}
-
-// nextOccasionAfter finds the device's next wake opportunity strictly after
-// t, honouring an installed DA-SC adaptation.
-func (s *runState) nextOccasionAfter(dev int, t simtime.Ticks) simtime.Ticks {
-	if adj, ok := s.adj[dev]; ok && t >= adj.AtPO {
-		step := adj.NewCycle.Ticks()
-		k := simtime.CeilDiv(t-adj.AtPO, step)
-		po := adj.AtPO + k*step
-		if po <= t {
-			po += step
-		}
-		return po
-	}
-	ue := s.ues[dev]
-	return ue.Info().Schedule.NextAfter(t)
 }

@@ -1,0 +1,226 @@
+// Paging and random access: page/extended-page/reconfiguration-page
+// handlers, deferred re-paging of busy devices, adapted paging-occasion
+// accounting, and the random-access-plus-RRC-setup connection path.
+
+package cell
+
+import (
+	"fmt"
+
+	"nbiot/internal/core"
+	"nbiot/internal/device"
+	"nbiot/internal/mac"
+	"nbiot/internal/rrc"
+	"nbiot/internal/simtime"
+	"nbiot/internal/trace"
+)
+
+// onPage handles a final (connect-to-receive) page at a natural or adapted
+// occasion. A device still busy in its reconfiguration connection is
+// re-paged at its next occasion after the connection ends.
+func (s *runState) onPage(pg core.Page) {
+	ue := s.ues[pg.Device]
+	now := s.eng.Now()
+	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[pg.Device] {
+		retry := s.nextOccasionAfter(pg.Device, simtime.Max(s.busyUntil[pg.Device], now))
+		s.tr.Recordf(now, trace.KindDeferred, pg.Device, "page deferred to %v", retry)
+		rp := pg
+		rp.At = retry
+		s.eng.At(retry, "cell.repage", func() {
+			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
+			if _, err := s.nb.Page(retry, msg); err != nil {
+				s.fail(err)
+			}
+			s.onPage(rp)
+		})
+		return
+	}
+	s.tr.Recordf(now, trace.KindPage, pg.Device, "for tx %d", pg.TxIndex)
+	decodeEnd := ue.ReceivePage(now)
+	s.eng.At(decodeEnd, "cell.ra-start", func() {
+		s.startConnection(pg.Device, pg.TxIndex, rrc.CauseMTAccess)
+	})
+}
+
+// onExtendedPage handles a DR-SI notification: decode, then arm T322 for a
+// uniformly random instant in the wake window (paper Sec. III-C). A device
+// busy with a background report misses the page and is re-notified at its
+// next occasion (or paged normally if that occasion is already inside the
+// wake window).
+func (s *runState) onExtendedPage(ep core.ExtendedPage) {
+	ue := s.ues[ep.Device]
+	now := s.eng.Now()
+	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[ep.Device] {
+		retry := s.nextOccasionAfter(ep.Device, simtime.Max(s.busyUntil[ep.Device], now))
+		if retry >= ep.WakeWindow.Start {
+			// Too late to notify in advance; fall back to a normal page at
+			// the device's first occasion inside the window.
+			po := ue.Info().Schedule.NextAtOrAfter(ep.WakeWindow.Start)
+			if po >= ep.WakeWindow.End {
+				s.fail(fmt.Errorf("cell: device %d unservable: missed extended page and has no occasion in %v",
+					ep.Device, ep.WakeWindow))
+				return
+			}
+			s.eng.At(po, "cell.fallback-page", func() {
+				msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
+				if _, err := s.nb.Page(po, msg); err != nil {
+					s.fail(err)
+				}
+				s.onPage(core.Page{Device: ep.Device, At: po, TxIndex: ep.TxIndex})
+			})
+			return
+		}
+		rp := ep
+		rp.At = retry
+		s.eng.At(retry, "cell.re-notify", func() {
+			tx := s.plan.Transmissions[ep.TxIndex]
+			msg := &rrc.Paging{MltcRecords: []rrc.MltcRecord{{
+				UEID:          ue.Info().UEID,
+				TimeRemaining: tx.At - retry,
+			}}}
+			if _, err := s.nb.Page(retry, msg); err != nil {
+				s.fail(err)
+			}
+			s.onExtendedPage(rp)
+		})
+		return
+	}
+	ue.ReceiveExtendedPage(now)
+	wake := simtime.Ticks(s.t322.UniformTicks(int64(ep.WakeWindow.Start), int64(ep.WakeWindow.End)))
+	s.tr.Recordf(now, trace.KindExtendedPage, ep.Device, "T322 armed for %v", wake)
+	s.eng.At(wake, "cell.t322-expiry", func() {
+		s.startConnectionWhenFree(ep.Device, ep.TxIndex, rrc.CauseMulticastReception)
+	})
+}
+
+// onReconfigPage handles the DA-SC adjustment connection: page decode →
+// random access → RRC setup → reconfiguration exchange → immediate release.
+// A device busy with a background report misses the page and is re-paged at
+// its next natural occasion.
+func (s *runState) onReconfigPage(adj core.Adjustment) {
+	ue := s.ues[adj.Device]
+	now := s.eng.Now()
+	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[adj.Device] {
+		retry := ue.Info().Schedule.NextAfter(simtime.Max(s.busyUntil[adj.Device], now))
+		s.eng.At(retry, "cell.reconfig-repage", func() {
+			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
+			if _, err := s.nb.Page(retry, msg); err != nil {
+				s.fail(err)
+			}
+			s.onReconfigPage(adj)
+		})
+		return
+	}
+	s.tr.Recordf(now, trace.KindReconfigPage, adj.Device, "new cycle %v", adj.NewCycle)
+	decodeEnd := ue.ReceivePage(now)
+	timing := ue.Timing()
+	s.eng.At(decodeEnd, "cell.reconfig-ra", func() {
+		ue.StartAccess(s.eng.Now())
+		s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
+			if !res.OK {
+				s.fail(fmt.Errorf("cell: device %d reconfiguration random access failed after %d attempts",
+					adj.Device, res.Attempts))
+				return
+			}
+			ready := ue.AccessDone(res.CompletedAt, res.Attempts)
+			s.signalConnection(ue.Info().UEID, rrc.CauseMOSignalling)
+			done := ready + timing.ReconfigExchange
+			s.eng.At(done, "cell.reconfig-done", func() {
+				s.signal(&rrc.ConnectionReconfiguration{UEID: ue.Info().UEID, NewCycle: adj.NewCycle})
+				s.signal(&rrc.ConnectionReconfigurationComplete{UEID: ue.Info().UEID})
+				s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseImmediate})
+				end := ue.Release(s.eng.Now(), false)
+				s.busyUntil[adj.Device] = end
+				s.reconfigAt[adj.Device] = end
+			})
+		})
+	})
+}
+
+// onExtraPO charges one adapted paging-occasion wake-up, skipping occasions
+// that fall inside an ongoing connection or before the (possibly deferred)
+// reconfiguration actually took effect.
+func (s *runState) onExtraPO(dev int, po simtime.Ticks) {
+	ue := s.ues[dev]
+	reconfigured, ok := s.reconfigAt[dev]
+	if !ok || po < reconfigured ||
+		(ue.Phase() != device.PhaseSleeping && ue.Phase() != device.PhaseDone) ||
+		s.busyUntil[dev] > po {
+		s.skippedPOs++
+		return
+	}
+	if ue.Phase() == device.PhaseDone {
+		s.skippedPOs++
+		return
+	}
+	ue.MonitorPO(po)
+}
+
+// startConnectionWhenFree starts the campaign connection now, or as soon as
+// the device's ongoing background connection ends (a T322 expiry can land
+// mid-report).
+func (s *runState) startConnectionWhenFree(dev, txIdx int, cause rrc.EstablishmentCause) {
+	ue := s.ues[dev]
+	if ph := ue.Phase(); (ph != device.PhaseSleeping && ph != device.PhaseListening) ||
+		s.eng.Now() < s.busyUntil[dev] {
+		resume := simtime.Max(s.busyUntil[dev], s.eng.Now()) + 1
+		s.eng.At(resume, "cell.t322-deferred", func() {
+			s.startConnectionWhenFree(dev, txIdx, cause)
+		})
+		return
+	}
+	s.startConnection(dev, txIdx, cause)
+}
+
+// startConnection runs random access and RRC setup, then marks the device
+// ready for its transmission.
+func (s *runState) startConnection(dev, txIdx int, cause rrc.EstablishmentCause) {
+	ue := s.ues[dev]
+	ue.StartAccess(s.eng.Now())
+	s.tr.Recordf(s.eng.Now(), trace.KindRAStart, dev, "cause %v", cause)
+	s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
+		if !res.OK {
+			s.fail(fmt.Errorf("cell: device %d random access failed after %d attempts", dev, res.Attempts))
+			return
+		}
+		ready := ue.AccessDone(res.CompletedAt, res.Attempts)
+		s.tr.Recordf(res.CompletedAt, trace.KindRADone, dev, "%d attempts", res.Attempts)
+		s.signalConnection(ue.Info().UEID, cause)
+		s.eng.At(ready, "cell.conn-ready", func() {
+			s.readyAt[dev] = ready
+			s.tr.Record(ready, trace.KindConnReady, dev, "")
+			ts := s.txs[txIdx]
+			ts.ready++
+			s.maybeStartTx(txIdx)
+		})
+	})
+}
+
+// signalConnection accounts the RRC connection establishment exchange.
+func (s *runState) signalConnection(ueid uint32, cause rrc.EstablishmentCause) {
+	s.signal(&rrc.ConnectionRequest{UEID: ueid, Cause: cause})
+	s.signal(&rrc.ConnectionSetup{UEID: ueid})
+	s.signal(&rrc.ConnectionSetupComplete{UEID: ueid})
+}
+
+func (s *runState) signal(msg rrc.Message) {
+	if err := s.nb.Signal(msg); err != nil {
+		s.fail(err)
+	}
+}
+
+// nextOccasionAfter finds the device's next wake opportunity strictly after
+// t, honouring an installed DA-SC adaptation.
+func (s *runState) nextOccasionAfter(dev int, t simtime.Ticks) simtime.Ticks {
+	if adj, ok := s.adj[dev]; ok && t >= adj.AtPO {
+		step := adj.NewCycle.Ticks()
+		k := simtime.CeilDiv(t-adj.AtPO, step)
+		po := adj.AtPO + k*step
+		if po <= t {
+			po += step
+		}
+		return po
+	}
+	ue := s.ues[dev]
+	return ue.Info().Schedule.NextAfter(t)
+}

@@ -1,0 +1,370 @@
+// Plan application: Run wires the substrates together, seeds the event
+// engine with every plan stimulus (pages, extended pages, DRX
+// reconfigurations, transmission due-times — or the SC-PTM announcement and
+// session), drives the engine to completion and assembles the result.
+
+package cell
+
+import (
+	"fmt"
+	"sort"
+
+	"nbiot/internal/core"
+	"nbiot/internal/device"
+	"nbiot/internal/enb"
+	"nbiot/internal/event"
+	"nbiot/internal/mac"
+	"nbiot/internal/multicast"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/rrc"
+	"nbiot/internal/simtime"
+	"nbiot/internal/trace"
+	"nbiot/internal/traffic"
+)
+
+// runState carries the executor's mutable state.
+// runState carries the executor's mutable state.
+type runState struct {
+	cfg      Config
+	eng      *event.Engine
+	nb       *enb.ENB
+	ra       *mac.Controller
+	t322     *rng.Stream
+	plan     *core.Plan
+	ues      map[int]*device.UE
+	adj      map[int]core.Adjustment
+	txs      []*txState
+	delivery *multicast.Delivery
+
+	readyAt     map[int]simtime.Ticks // device -> connection-ready time
+	busyUntil   map[int]simtime.Ticks // device -> current connection end
+	waits       map[int]simtime.Ticks
+	campaignEnd simtime.Ticks
+	violations  int
+	skippedPOs  int
+
+	// Background-traffic bookkeeping.
+	reportDuration simtime.Ticks
+	reportsSent    int
+	reportsSkipped int
+
+	// reconfigAt records when each DA-SC adjustment actually took effect.
+	reconfigAt map[int]simtime.Ticks
+
+	// tr records the timeline when tracing is enabled (nil-safe).
+	tr *trace.Recorder
+
+	execErr error
+}
+
+// fail records the first executor error; the engine finishes draining but
+// the run reports the failure.
+func (s *runState) fail(err error) {
+	if s.execErr == nil && err != nil {
+		s.execErr = err
+	}
+}
+
+// Run executes one campaign and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	span, err := CommonSpan(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	fleet := cfg.Fleet
+	if cfg.UniformCoverage {
+		fleet = make([]traffic.Device, len(cfg.Fleet))
+		copy(fleet, cfg.Fleet)
+		for i := range fleet {
+			fleet[i].Coverage = phy.CE0
+		}
+	}
+	devices, err := core.FleetFromTraffic(fleet)
+	if err != nil {
+		return nil, err
+	}
+
+	src := rng.NewSource(cfg.Seed)
+	planner, err := core.NewPlanner(cfg.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mechanism == core.MechanismSCPTM {
+		planner = core.SCPTMPlanner{MCCHPeriod: cfg.MCCHPeriod}
+	}
+	if cfg.SplitByCoverage {
+		planner = core.CoverageSplitPlanner{Inner: planner}
+	}
+	params := core.Params{
+		Now:       0,
+		TI:        cfg.TI,
+		PageGuard: cfg.PageGuard,
+		TieBreak:  src.Stream("drsc-tiebreak"),
+	}
+	plan, err := planner.Plan(devices, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Verify(devices, params); err != nil {
+		return nil, fmt.Errorf("cell: planner produced an invalid plan: %w", err)
+	}
+
+	eng := event.NewEngine()
+	nb, err := enb.New(cfg.ENB)
+	if err != nil {
+		return nil, err
+	}
+	ra, err := mac.NewController(cfg.MAC, eng, src.Stream("mac"))
+	if err != nil {
+		return nil, err
+	}
+
+	st := &runState{
+		cfg:        cfg,
+		eng:        eng,
+		nb:         nb,
+		ra:         ra,
+		t322:       src.Stream("t322"),
+		plan:       plan,
+		ues:        make(map[int]*device.UE, len(devices)),
+		adj:        make(map[int]core.Adjustment),
+		readyAt:    make(map[int]simtime.Ticks),
+		busyUntil:  make(map[int]simtime.Ticks),
+		waits:      make(map[int]simtime.Ticks),
+		reconfigAt: make(map[int]simtime.Ticks),
+		tr:         cfg.Trace,
+	}
+	byID := make(map[int]core.Device, len(devices))
+	for _, d := range devices {
+		byID[d.ID] = d
+		ue, err := device.New(d, cfg.Timing, span.Start)
+		if err != nil {
+			return nil, err
+		}
+		st.ues[d.ID] = ue
+	}
+	for _, adj := range plan.Adjustments {
+		st.adj[adj.Device] = adj
+	}
+
+	content, err := multicast.NewContent("firmware", cfg.PayloadBytes, uint64(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, 0, len(devices))
+	for _, d := range devices {
+		ids = append(ids, d.ID)
+	}
+	st.delivery, err = multicast.NewDelivery(content, ids)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build transmission states.
+	for _, tx := range plan.Transmissions {
+		ts := &txState{planned: tx.At, members: tx.Devices}
+		classes := make([]phy.CoverageClass, 0, len(tx.Devices))
+		for _, id := range tx.Devices {
+			classes = append(classes, byID[id].Coverage)
+		}
+		ts.class = phy.MulticastClass(classes)
+		st.txs = append(st.txs, ts)
+	}
+
+	st.scheduleAll()
+	if cfg.BackgroundTraffic {
+		st.reportDuration = cfg.ReportDuration
+		if st.reportDuration == 0 {
+			st.reportDuration = simtime.Second
+		}
+		st.scheduleBackground(fleet, src.Stream("background"), span)
+	}
+	eng.Run()
+	if st.execErr != nil {
+		return nil, st.execErr
+	}
+	if !st.delivery.Complete() {
+		done, total := st.delivery.Progress()
+		return nil, fmt.Errorf("cell: campaign incomplete: %d of %d devices served (remaining %v)",
+			done, total, st.delivery.Remaining())
+	}
+	if st.campaignEnd >= span.End {
+		return nil, fmt.Errorf("cell: campaign end %v beyond accounting span %v; increase SpanSlack",
+			st.campaignEnd, span)
+	}
+
+	// Assemble per-device outcomes: event-attributed uptime plus analytic
+	// natural paging-occasion monitoring over the common span.
+	res := &Result{
+		Mechanism:        cfg.Mechanism,
+		NumDevices:       len(devices),
+		NumTransmissions: len(plan.Transmissions),
+		Span:             span,
+		CampaignEnd:      st.campaignEnd,
+		ENB:              nb.Counters(),
+		MAC:              ra.Stats(),
+		TimerViolations:  st.violations,
+		SkippedPOs:       st.skippedPOs,
+		ReportsSent:      st.reportsSent,
+		ReportsSkipped:   st.reportsSkipped,
+	}
+	for _, d := range devices {
+		ue := st.ues[d.ID]
+		up := ue.Finish(span.End)
+		delivered, at := ue.Delivered()
+		if !delivered {
+			return nil, fmt.Errorf("cell: device %d finished without data", d.ID)
+		}
+		natural := simtime.Ticks(d.Schedule.CountIn(span)) *
+			simtime.Ticks(d.Schedule.OccasionsPerCycle()) * cfg.Timing.POMonitor
+		if plan.MCCHPeriod > 0 {
+			// SC-PTM subscribers additionally monitor SC-MCCH continuously,
+			// whatever their DRX — the standing cost the paper's on-demand
+			// mechanisms eliminate (Sec. II-A).
+			natural += simtime.Ticks(int64(span.Len()/plan.MCCHPeriod)) * cfg.Timing.MCCHMonitor
+		}
+		res.Devices = append(res.Devices, DeviceOutcome{
+			ID:            d.ID,
+			Campaign:      up,
+			NaturalLight:  natural,
+			DeliveredAt:   at,
+			RAAttempts:    ue.RAAttempts(),
+			ConnectedWait: st.waits[d.ID],
+		})
+	}
+	sort.Slice(res.Devices, func(i, j int) bool { return res.Devices[i].ID < res.Devices[j].ID })
+	return res, nil
+}
+
+// scheduleAll seeds the engine with every plan stimulus.
+func (s *runState) scheduleAll() {
+	if s.plan.Mechanism == core.MechanismSCPTM {
+		s.scheduleSCPTM()
+		return
+	}
+	// Group plain and extended pages that share a paging occasion into one
+	// paging message (one NPDCCH/NPDSCH paging per PO).
+	type poKey struct{ at simtime.Ticks }
+	pagesAt := make(map[poKey]*rrc.Paging)
+	addPage := func(at simtime.Ticks, fill func(*rrc.Paging)) {
+		k := poKey{at}
+		msg, ok := pagesAt[k]
+		if !ok {
+			msg = &rrc.Paging{}
+			pagesAt[k] = msg
+		}
+		fill(msg)
+	}
+
+	for _, pg := range s.plan.Pages {
+		pg := pg
+		ue := s.ues[pg.Device]
+		addPage(pg.At, func(m *rrc.Paging) {
+			m.PagingRecords = append(m.PagingRecords, ue.Info().UEID)
+		})
+		s.eng.At(pg.At, "cell.page", func() { s.onPage(pg) })
+	}
+	for _, ep := range s.plan.ExtendedPages {
+		ep := ep
+		ue := s.ues[ep.Device]
+		tx := s.plan.Transmissions[ep.TxIndex]
+		addPage(ep.At, func(m *rrc.Paging) {
+			m.MltcRecords = append(m.MltcRecords, rrc.MltcRecord{
+				UEID:          ue.Info().UEID,
+				TimeRemaining: tx.At - ep.At,
+			})
+		})
+		s.eng.At(ep.At, "cell.extended-page", func() { s.onExtendedPage(ep) })
+	}
+	// Account the grouped paging messages on the paging channel, in
+	// deterministic occasion order.
+	keys := make([]poKey, 0, len(pagesAt))
+	for k := range pagesAt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].at < keys[j].at })
+	for _, k := range keys {
+		k, msg := k, pagesAt[k]
+		s.eng.At(k.at, "cell.paging-channel", func() {
+			if _, err := s.nb.Page(k.at, msg); err != nil {
+				s.fail(err)
+			}
+		})
+	}
+
+	for _, adj := range s.plan.Adjustments {
+		adj := adj
+		// The reconfiguration page goes out at the anchor occasion; it is a
+		// separate paging message from the final page.
+		ue := s.ues[adj.Device]
+		s.eng.At(adj.AtPO, "cell.reconfig-page", func() {
+			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
+			if _, err := s.nb.Page(adj.AtPO, msg); err != nil {
+				s.fail(err)
+			}
+			s.onReconfigPage(adj)
+		})
+		for _, po := range adj.ExtraPOs {
+			po := po
+			s.eng.At(po, "cell.extra-po", func() { s.onExtraPO(adj.Device, po) })
+		}
+	}
+
+	for i, ts := range s.txs {
+		i, ts := i, ts
+		s.eng.At(ts.planned, "cell.tx-due", func() {
+			ts.due = true
+			s.maybeStartTx(i)
+		})
+	}
+}
+
+// scheduleSCPTM seeds the engine for a connectionless SC-PTM session: the
+// SC-MCCH announcement, then one idle-mode reception for the whole group.
+// The per-device SC-MCCH monitoring cost between campaigns is accounted
+// analytically (see Run), like natural paging-occasion monitoring.
+func (s *runState) scheduleSCPTM() {
+	for i, ts := range s.txs {
+		i, ts := i, ts
+		tx := s.plan.Transmissions[i]
+		s.eng.At(s.plan.AnnounceAt, "cell.scptm-announce", func() {
+			s.tr.Recordf(s.plan.AnnounceAt, trace.KindAnnounce, -1, "session at %v", ts.planned)
+			s.signal(&rrc.SCPTMConfiguration{
+				GroupID:      uint32(i),
+				StartOffset:  ts.planned - s.plan.AnnounceAt,
+				PayloadBytes: s.cfg.PayloadBytes,
+			})
+		})
+		s.eng.At(ts.planned, "cell.scptm-rx", func() {
+			now := s.eng.Now()
+			airtime, err := s.nb.DataTx(s.cfg.PayloadBytes, ts.class)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+			for _, dev := range tx.Devices {
+				s.ues[dev].StartIdleReception(now)
+				s.waits[dev] = 0
+			}
+			end := now + airtime
+			s.eng.At(end, "cell.scptm-rx-done", func() {
+				for _, dev := range tx.Devices {
+					s.ues[dev].FinishIdleReception(end)
+					if err := s.delivery.Deliver(dev); err != nil {
+						s.fail(err)
+						return
+					}
+				}
+				if end > s.campaignEnd {
+					s.campaignEnd = end
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Transmission scheduling: each planned transmission becomes a txState that
+// starts once it is both due and fully joined, runs for the shared bearer's
+// airtime at the group's worst coverage class, then delivers and releases
+// every member.
+
+package cell
+
+import (
+	"fmt"
+
+	"nbiot/internal/phy"
+	"nbiot/internal/rrc"
+	"nbiot/internal/simtime"
+	"nbiot/internal/trace"
+)
+
+// txState tracks one planned transmission through execution.
+type txState struct {
+	planned simtime.Ticks
+	members []int
+	class   phy.CoverageClass
+	ready   int
+	due     bool
+	started bool
+}
+
+// maybeStartTx starts transmission i once it is both due and fully joined.
+func (s *runState) maybeStartTx(i int) {
+	ts := s.txs[i]
+	if ts.started || !ts.due || ts.ready < len(ts.members) {
+		return
+	}
+	ts.started = true
+	now := s.eng.Now()
+	airtime, err := s.nb.DataTx(s.cfg.PayloadBytes, ts.class)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	end := now + airtime
+	s.tr.Recordf(now, trace.KindTxStart, -1, "tx %d: %d devices, %v airtime", i, len(ts.members), airtime)
+	for _, dev := range ts.members {
+		dev := dev
+		wait := now - s.readyAt[dev]
+		if wait < 0 {
+			s.fail(fmt.Errorf("cell: device %d ready after transmission start", dev))
+			return
+		}
+		s.waits[dev] = wait
+		if wait > s.cfg.TI {
+			s.violations++
+		}
+	}
+	s.eng.At(end, "cell.tx-complete", func() { s.completeTx(i, end) })
+}
+
+// completeTx delivers the content to every member and releases them.
+func (s *runState) completeTx(i int, end simtime.Ticks) {
+	ts := s.txs[i]
+	s.tr.Recordf(end, trace.KindTxDone, -1, "tx %d", i)
+	for _, dev := range ts.members {
+		ue := s.ues[dev]
+		ue.DeliverData(end)
+		s.tr.Record(end, trace.KindDelivered, dev, "")
+		if err := s.delivery.Deliver(dev); err != nil {
+			s.fail(err)
+			return
+		}
+		// DA-SC restores the original cycle with a reconfiguration inside
+		// the existing connection before release (paper Sec. III-B).
+		if adj, ok := s.adj[dev]; ok {
+			s.signal(&rrc.ConnectionReconfiguration{
+				UEID: ue.Info().UEID, NewCycle: adj.NewCycle, Restore: true,
+			})
+			s.signal(&rrc.ConnectionReconfigurationComplete{UEID: ue.Info().UEID})
+		}
+		s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseNormal})
+		relEnd := ue.Release(end, true)
+		if relEnd > s.campaignEnd {
+			s.campaignEnd = relEnd
+		}
+	}
+}

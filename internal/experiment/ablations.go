@@ -28,16 +28,17 @@ type GreedyVsExactResult struct {
 }
 
 // GreedyVsExact runs ablation A1: random small covers comparing Chvátal's
-// greedy to the exact minimum.
+// greedy to the exact minimum. Instances are drawn serially from one stream
+// (so the instance set is independent of the worker count) and then solved
+// concurrently on the worker pool.
 func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
 	o = o.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	s := rng.NewStream(o.Seed)
-	var ratio stats.Accumulator
-	out := &GreedyVsExactResult{Options: o}
-	for i := 0; i < o.Runs; i++ {
+	instances := make([]setcover.Instance, o.Runs)
+	for i := range instances {
 		n := 6 + s.Intn(10)
 		in := setcover.Instance{NumElements: n}
 		numSets := 4 + s.Intn(12)
@@ -53,20 +54,34 @@ func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
 		for e := 0; e < n; e++ {
 			in.Sets = append(in.Sets, []int{e}) // guarantee feasibility
 		}
-		g, err := setcover.Greedy(in)
+		instances[i] = in
+	}
+
+	type sizes struct{ greedy, exact int }
+	solved, err := collectIndexed(o, o.Runs, func(i int) (sizes, error) {
+		g, err := setcover.Greedy(instances[i])
 		if err != nil {
-			return nil, err
+			return sizes{}, err
 		}
-		x, err := setcover.Exact(in)
+		x, err := setcover.Exact(instances[i])
 		if err != nil {
-			return nil, err
+			return sizes{}, err
 		}
-		r := float64(len(g)) / float64(len(x))
+		return sizes{greedy: len(g), exact: len(x)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var ratio stats.Accumulator
+	out := &GreedyVsExactResult{Options: o}
+	for _, sz := range solved {
+		r := float64(sz.greedy) / float64(sz.exact)
 		ratio.Add(r)
 		if r > out.WorstRatio {
 			out.WorstRatio = r
 		}
-		if len(x) < len(g) {
+		if sz.exact < sz.greedy {
 			out.ExactWins++
 		}
 		out.Instances++
@@ -173,11 +188,10 @@ func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) 
 		if capacity <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive paging capacity %d", capacity)
 		}
-		var acc stats.Accumulator
-		for r := 0; r < o.Runs; r++ {
+		overflows, err := collectIndexed(o, o.Runs, func(r int) (float64, error) {
 			fleet, err := fleetForRun(o, o.Devices, r)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			cfg := cell.Config{
 				Mechanism:       core.MechanismDRSC,
@@ -185,14 +199,21 @@ func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) 
 				TI:              o.TI,
 				PageGuard:       100 * simtime.Millisecond,
 				PayloadBytes:    100 * 1024,
-				Seed:            o.Seed + int64(r),
+				Seed:            runSeed(o, r),
 				UniformCoverage: true,
 			}
 			res, err := cell.Run(withPagingCapacity(cfg, capacity))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			acc.Add(float64(res.ENB.PagingOverflows))
+			return float64(res.ENB.PagingOverflows), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc stats.Accumulator
+		for _, v := range overflows {
+			acc.Add(v)
 		}
 		out.Overflows[capacity] = acc.Summary()
 		o.progress("paging-capacity: capacity=%d done", capacity)
@@ -221,40 +242,24 @@ func SCPTMComparison(o Options) (*SCPTMComparisonResult, error) {
 		return nil, err
 	}
 	mechanisms := append(core.GroupingMechanisms(), core.MechanismSCPTM)
-	acc := map[core.Mechanism]*stats.Accumulator{}
-	for _, m := range mechanisms {
-		acc[m] = &stats.Accumulator{}
-	}
 	const size = 100 * 1024
-	for r := 0; r < o.Runs; r++ {
+	tick := o.progressCounter("scptm: run %d/%d done", o.Runs)
+	incs, err := collectIndexed(o, o.Runs, func(r int) (map[core.Mechanism]float64, error) {
 		fleet, err := fleetForRun(o, o.Devices, r)
 		if err != nil {
 			return nil, err
 		}
-		seed := o.Seed + int64(r)
-		base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
+		inc, err := mechanismIncrease(o, mechanisms, fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep")
 		if err != nil {
 			return nil, err
 		}
-		baseline := base.TotalLightSleep()
-		for _, m := range mechanisms {
-			res, err := runCampaign(m, fleet, o, size, seed)
-			if err != nil {
-				return nil, err
-			}
-			inc, ok := energyRelative(res.TotalLightSleep(), baseline)
-			if !ok {
-				return nil, fmt.Errorf("experiment: zero light-sleep baseline in run %d", r)
-			}
-			acc[m].Add(inc)
-		}
-		o.progress("scptm: run %d/%d done", r+1, o.Runs)
+		tick()
+		return inc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out := &SCPTMComparisonResult{Options: o, LightIncrease: map[core.Mechanism]stats.Summary{}}
-	for m, a := range acc {
-		out.LightIncrease[m] = a.Summary()
-	}
-	return out, nil
+	return &SCPTMComparisonResult{Options: o, LightIncrease: reduceByMechanism(mechanisms, incs)}, nil
 }
 
 // withPagingCapacity returns cfg with the eNB paging capacity overridden.

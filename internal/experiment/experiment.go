@@ -13,16 +13,26 @@
 // Each data point is averaged over Options.Runs independent fleets (the
 // paper uses 100), with all mechanisms of a run sharing the same fleet and
 // seed so relative metrics compare like with like.
+//
+// Campaigns of a sweep are independent — every run derives its fleet and
+// randomness from (Options.Seed, run index) alone — so they execute on the
+// shared bounded pool in internal/runner, Options.Workers wide. Per-run
+// outputs land in an index-addressed slot and are reduced serially in index
+// order afterwards, which keeps every result bit-identical across worker
+// counts.
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"nbiot/internal/cell"
 	"nbiot/internal/core"
 	"nbiot/internal/energy"
 	"nbiot/internal/multicast"
 	"nbiot/internal/rng"
+	"nbiot/internal/runner"
 	"nbiot/internal/simtime"
 	"nbiot/internal/stats"
 	"nbiot/internal/traffic"
@@ -30,7 +40,8 @@ import (
 
 // Options configures the harness.
 type Options struct {
-	// Seed roots all randomness; run r of a sweep uses Seed + r.
+	// Seed roots all randomness; every task of a sweep derives its own
+	// seeds from (Seed, task coordinates) via runner.Seed.
 	Seed int64
 	// Runs is the number of independent fleets per data point (paper: 100).
 	Runs int
@@ -46,7 +57,13 @@ type Options struct {
 	Sizes []int64
 	// FleetSizes is the Fig. 7 sweep; defaults to 100..1000 step 100.
 	FleetSizes []int
-	// Progress, when non-nil, receives coarse progress lines.
+	// Workers bounds how many campaigns simulate concurrently; <= 0 means
+	// runtime.NumCPU(). Results are bit-identical for every worker count
+	// (each run's randomness is a function of its index, and reduction
+	// happens serially in index order).
+	Workers int
+	// Progress, when non-nil, receives coarse progress lines. It may be
+	// invoked from worker goroutines, but never concurrently with itself.
 	Progress func(format string, args ...any)
 }
 
@@ -120,6 +137,23 @@ func (o Options) progress(format string, args ...any) {
 	}
 }
 
+// progressCounter returns a goroutine-safe completion ticker: each call
+// reports one more finished unit through o.Progress under a shared lock
+// (Options promises Progress is never invoked concurrently with itself).
+func (o Options) progressCounter(format string, total int) func() {
+	if o.Progress == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		o.Progress(format, done, total)
+	}
+}
+
 // runCampaign executes one mechanism on a prepared fleet.
 func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size int64, seed int64) (*cell.Result, error) {
 	return cell.Run(cell.Config{
@@ -133,15 +167,101 @@ func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size in
 	})
 }
 
-// energyRelative is energy.RelativeIncrease re-exported for the ablation
-// file (kept here so both files share one import of internal/energy).
-func energyRelative(value, baseline simtime.Ticks) (float64, bool) {
-	return energy.RelativeIncrease(value, baseline)
+// Seed derivation, all through runner.Seed so task seeds are pure
+// functions of (Options.Seed, task coordinates). Raw streams that coexist
+// in one run (fleet generation, planner tie-breaking) must not share a
+// seed — identical seeds replay identical draws — so they split the
+// derived index space into even and odd halves. Campaign seeds may collide
+// with either: cell.Run hashes its seed with per-subsystem stream names
+// before drawing.
+
+// runSeed derives run r's campaign seed.
+func runSeed(o Options, r int) int64 {
+	return runner.Seed(o.Seed, r)
+}
+
+// fleetSeed derives the fleet-generation stream seed for run r at fleet
+// size n.
+func fleetSeed(o Options, n, r int) int64 {
+	return runner.Seed(runner.Seed(o.Seed, n), 2*r)
+}
+
+// tieBreakSeed derives the planner tie-breaking stream seed for run r at
+// fleet size n.
+func tieBreakSeed(o Options, n, r int) int64 {
+	return runner.Seed(runner.Seed(o.Seed, n), 2*r+1)
 }
 
 // fleetForRun generates run r's fleet deterministically.
 func fleetForRun(o Options, n int, r int) ([]traffic.Device, error) {
-	return o.Mix.Generate(n, rng.NewStream(o.Seed+int64(r)*7919))
+	return o.Mix.Generate(n, rng.NewStream(fleetSeed(o, n, r)))
+}
+
+// collectIndexed is the sweep scaffolding every experiment shares: n tasks
+// execute on the worker pool, each task's output lands in its
+// index-addressed slot, and the drained slice is handed back for serial
+// in-order reduction. Keeping the pattern in one place is what keeps
+// "bit-identical across worker counts" true for every sweep.
+func collectIndexed[T any](o Options, n int, task func(idx int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := runner.Run(context.Background(), n, o.Workers, func(_ context.Context, i int) error {
+		v, err := task(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mechanismIncrease runs the unicast baseline and then each mechanism on
+// one fleet, returning metric's relative increase vs the baseline per
+// mechanism. metricName labels the zero-baseline error.
+func mechanismIncrease(o Options, mechs []core.Mechanism, fleet []traffic.Device,
+	r int, size int64, metric func(*cell.Result) simtime.Ticks, metricName string,
+) (map[core.Mechanism]float64, error) {
+	seed := runSeed(o, r)
+	base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	baseline := metric(base)
+	inc := make(map[core.Mechanism]float64, len(mechs))
+	for _, m := range mechs {
+		res, err := runCampaign(m, fleet, o, size, seed)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := energy.RelativeIncrease(metric(res), baseline)
+		if !ok {
+			return nil, fmt.Errorf("experiment: zero %s baseline in run %d", metricName, r)
+		}
+		inc[m] = v
+	}
+	return inc, nil
+}
+
+// reduceByMechanism folds index-ordered per-task increase maps into
+// per-mechanism summaries.
+func reduceByMechanism(mechs []core.Mechanism, incs []map[core.Mechanism]float64) map[core.Mechanism]stats.Summary {
+	acc := map[core.Mechanism]*stats.Accumulator{}
+	for _, m := range mechs {
+		acc[m] = &stats.Accumulator{}
+	}
+	for _, inc := range incs {
+		for _, m := range mechs {
+			acc[m].Add(inc[m])
+		}
+	}
+	out := map[core.Mechanism]stats.Summary{}
+	for m, a := range acc {
+		out[m] = a.Summary()
+	}
+	return out
 }
 
 // --- E1: Fig. 6(a) ----------------------------------------------------------
@@ -155,46 +275,32 @@ type Fig6aResult struct {
 	Increase map[core.Mechanism]stats.Summary
 }
 
-// Fig6a runs experiment E1.
+// Fig6a runs experiment E1. Runs execute concurrently on the worker pool;
+// see Options.Workers.
 func Fig6a(o Options) (*Fig6aResult, error) {
 	o = o.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	acc := map[core.Mechanism]*stats.Accumulator{}
-	for _, m := range core.GroupingMechanisms() {
-		acc[m] = &stats.Accumulator{}
-	}
+	mechs := core.GroupingMechanisms()
 	size := multicast.Size100KB // light-sleep uptime is payload-independent
-	for r := 0; r < o.Runs; r++ {
+	tick := o.progressCounter("fig6a: run %d/%d done", o.Runs)
+	incs, err := collectIndexed(o, o.Runs, func(r int) (map[core.Mechanism]float64, error) {
 		fleet, err := fleetForRun(o, o.Devices, r)
 		if err != nil {
 			return nil, err
 		}
-		seed := o.Seed + int64(r)
-		base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
+		inc, err := mechanismIncrease(o, mechs, fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep")
 		if err != nil {
 			return nil, err
 		}
-		baseline := base.TotalLightSleep()
-		for _, m := range core.GroupingMechanisms() {
-			res, err := runCampaign(m, fleet, o, size, seed)
-			if err != nil {
-				return nil, err
-			}
-			inc, ok := energy.RelativeIncrease(res.TotalLightSleep(), baseline)
-			if !ok {
-				return nil, fmt.Errorf("experiment: zero light-sleep baseline in run %d", r)
-			}
-			acc[m].Add(inc)
-		}
-		o.progress("fig6a: run %d/%d done", r+1, o.Runs)
+		tick()
+		return inc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out := &Fig6aResult{Options: o, Increase: map[core.Mechanism]stats.Summary{}}
-	for m, a := range acc {
-		out.Increase[m] = a.Summary()
-	}
-	return out, nil
+	return &Fig6aResult{Options: o, Increase: reduceByMechanism(mechs, incs)}, nil
 }
 
 // --- E2: Fig. 6(b) ----------------------------------------------------------
@@ -208,44 +314,52 @@ type Fig6bResult struct {
 	Increase map[core.Mechanism]map[int64]stats.Summary
 }
 
-// Fig6b runs experiment E2.
+// Fig6b runs experiment E2. Each (run, size) campaign set executes
+// concurrently on the worker pool; see Options.Workers.
 func Fig6b(o Options) (*Fig6bResult, error) {
 	o = o.withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	mechs := core.GroupingMechanisms()
+	// Generate each run's fleet once; the per-(run, size) tasks below share
+	// it read-only across sizes (the pool's drain is a happens-before).
+	fleets, err := collectIndexed(o, o.Runs, func(r int) ([]traffic.Device, error) {
+		return fleetForRun(o, o.Devices, r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One task per (run, size): both coordinates derive from the task index
+	// alone, so the pool can schedule them in any order.
+	nTasks := o.Runs * len(o.Sizes)
+	tick := o.progressCounter("fig6b: campaign set %d/%d done", nTasks)
+	incs, err := collectIndexed(o, nTasks, func(idx int) (map[core.Mechanism]float64, error) {
+		r, si := idx/len(o.Sizes), idx%len(o.Sizes)
+		inc, err := mechanismIncrease(o, mechs, fleets[r], r, o.Sizes[si], (*cell.Result).TotalConnected, "connected")
+		if err != nil {
+			return nil, err
+		}
+		tick()
+		return inc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := map[core.Mechanism]map[int64]*stats.Accumulator{}
-	for _, m := range core.GroupingMechanisms() {
+	for _, m := range mechs {
 		acc[m] = map[int64]*stats.Accumulator{}
 		for _, s := range o.Sizes {
 			acc[m][s] = &stats.Accumulator{}
 		}
 	}
 	for r := 0; r < o.Runs; r++ {
-		fleet, err := fleetForRun(o, o.Devices, r)
-		if err != nil {
-			return nil, err
-		}
-		seed := o.Seed + int64(r)
-		for _, size := range o.Sizes {
-			base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
-			if err != nil {
-				return nil, err
-			}
-			baseline := base.TotalConnected()
-			for _, m := range core.GroupingMechanisms() {
-				res, err := runCampaign(m, fleet, o, size, seed)
-				if err != nil {
-					return nil, err
-				}
-				inc, ok := energy.RelativeIncrease(res.TotalConnected(), baseline)
-				if !ok {
-					return nil, fmt.Errorf("experiment: zero connected baseline in run %d", r)
-				}
-				acc[m][size].Add(inc)
+		for si, size := range o.Sizes {
+			inc := incs[r*len(o.Sizes)+si]
+			for _, m := range mechs {
+				acc[m][size].Add(inc[m])
 			}
 		}
-		o.progress("fig6b: run %d/%d done", r+1, o.Runs)
 	}
 	out := &Fig6bResult{Options: o, Increase: map[core.Mechanism]map[int64]stats.Summary{}}
 	for m, bySize := range acc {
@@ -271,7 +385,8 @@ type Fig7Result struct {
 // Fig7 runs experiment E3. It uses the DR-SC planner directly — the
 // transmission count is a planning-time quantity, so no event simulation is
 // needed (the cell executor is exercised by E1/E2 and the integration
-// tests).
+// tests). The (fleet size, run) grid executes concurrently on the worker
+// pool; see Options.Workers.
 func Fig7(o Options) (*Fig7Result, error) {
 	o = o.withDefaults()
 	if err := o.Validate(); err != nil {
@@ -280,32 +395,49 @@ func Fig7(o Options) (*Fig7Result, error) {
 	out := &Fig7Result{Options: o}
 	out.Transmissions.Name = "DR-SC transmissions"
 	out.Ratio.Name = "DR-SC transmissions / device"
-	for _, n := range o.FleetSizes {
+
+	nTasks := len(o.FleetSizes) * o.Runs
+	perSize := make([]int, len(o.FleetSizes)) // completed runs per fleet size
+	var progMu sync.Mutex
+	txs, err := collectIndexed(o, nTasks, func(idx int) (float64, error) {
+		si, r := idx/o.Runs, idx%o.Runs
+		n := o.FleetSizes[si]
+		fleet, err := fleetForRun(o, n, r)
+		if err != nil {
+			return 0, err
+		}
+		devices, err := core.FleetFromTraffic(fleet)
+		if err != nil {
+			return 0, err
+		}
+		params := core.Params{
+			Now: 0, TI: o.TI,
+			TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),
+		}
+		plan, err := core.DRSCPlanner{}.Plan(devices, params)
+		if err != nil {
+			return 0, err
+		}
+		progMu.Lock()
+		perSize[si]++
+		if perSize[si] == o.Runs {
+			o.progress("fig7: N=%d done (%d runs)", n, o.Runs)
+		}
+		progMu.Unlock()
+		return float64(plan.NumTransmissions()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, n := range o.FleetSizes {
 		var txAcc, ratioAcc stats.Accumulator
 		for r := 0; r < o.Runs; r++ {
-			fleet, err := fleetForRun(o, n, r)
-			if err != nil {
-				return nil, err
-			}
-			devices, err := core.FleetFromTraffic(fleet)
-			if err != nil {
-				return nil, err
-			}
-			params := core.Params{
-				Now: 0, TI: o.TI,
-				TieBreak: rng.NewStream(o.Seed + int64(r) + int64(n)*104729),
-			}
-			plan, err := core.DRSCPlanner{}.Plan(devices, params)
-			if err != nil {
-				return nil, err
-			}
-			tx := float64(plan.NumTransmissions())
+			tx := txs[si*o.Runs+r]
 			txAcc.Add(tx)
 			ratioAcc.Add(tx / float64(n))
 		}
 		out.Transmissions.Append(float64(n), txAcc.Summary())
 		out.Ratio.Append(float64(n), ratioAcc.Summary())
-		o.progress("fig7: N=%d done (%d runs)", n, o.Runs)
 	}
 	return out, nil
 }

@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The worker-pool contract: every sweep derives each campaign's randomness
+// from (seed, task index) and reduces serially in index order, so results
+// must be byte-identical whatever the worker count.
+
+func TestFig6aDeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 3
+	o.Devices = 60
+
+	o.Workers = 1
+	serial, err := Fig6a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := Fig6a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Increase, parallel.Increase) {
+		t.Errorf("Fig6a diverged across worker counts:\n workers=1: %+v\n workers=8: %+v",
+			serial.Increase, parallel.Increase)
+	}
+}
+
+func TestFig6bDeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 2
+	o.Devices = 50
+
+	o.Workers = 1
+	serial, err := Fig6b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := Fig6b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Increase, parallel.Increase) {
+		t.Errorf("Fig6b diverged across worker counts:\n workers=1: %+v\n workers=8: %+v",
+			serial.Increase, parallel.Increase)
+	}
+}
+
+func TestFig7DeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 5
+	o.FleetSizes = []int{40, 80, 120}
+
+	o.Workers = 1
+	serial, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Transmissions, parallel.Transmissions) {
+		t.Errorf("Fig7 transmissions diverged across worker counts:\n workers=1: %+v\n workers=8: %+v",
+			serial.Transmissions, parallel.Transmissions)
+	}
+	if !reflect.DeepEqual(serial.Ratio, parallel.Ratio) {
+		t.Errorf("Fig7 ratio diverged across worker counts:\n workers=1: %+v\n workers=8: %+v",
+			serial.Ratio, parallel.Ratio)
+	}
+}
+
+func TestSCPTMComparisonDeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 2
+	o.Devices = 40
+
+	o.Workers = 1
+	serial, err := SCPTMComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := SCPTMComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.LightIncrease, parallel.LightIncrease) {
+		t.Error("SCPTMComparison diverged across worker counts")
+	}
+}
+
+func TestGreedyVsExactDeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 30
+
+	o.Workers = 1
+	serial, err := GreedyVsExact(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := GreedyVsExact(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Ratio != parallel.Ratio || serial.WorstRatio != parallel.WorstRatio ||
+		serial.ExactWins != parallel.ExactWins {
+		t.Errorf("GreedyVsExact diverged: workers=1 %+v vs workers=8 %+v", serial, parallel)
+	}
+}
+
+func TestPagingCapacityDeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 2
+	o.Devices = 60
+
+	o.Workers = 1
+	serial, err := PagingCapacity(o, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := PagingCapacity(o, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Overflows, parallel.Overflows) {
+		t.Error("PagingCapacity diverged across worker counts")
+	}
+}
+
+func TestParallelProgressReportsEveryRun(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 4
+	o.Devices = 40
+	o.Workers = 4
+	calls := 0
+	o.Progress = func(string, ...any) { calls++ } // Options promises serialized invocation
+	if _, err := Fig6a(o); err != nil {
+		t.Fatal(err)
+	}
+	if calls != o.Runs {
+		t.Errorf("progress fired %d times, want %d", calls, o.Runs)
+	}
+}

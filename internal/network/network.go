@@ -8,19 +8,20 @@
 // mechanisms are all single-cell schemes).
 //
 // Cells are independent simulations with independent seeds, so the package
-// runs them concurrently and aggregates the results into one rollout
-// report. This is the layer a fleet operator would actually script against
-// to push an update city-wide.
+// runs them concurrently — on the bounded worker pool in internal/runner —
+// and aggregates the results into one rollout report. This is the layer a
+// fleet operator would actually script against to push an update city-wide.
 package network
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"nbiot/internal/cell"
 	"nbiot/internal/core"
 	"nbiot/internal/rng"
+	"nbiot/internal/runner"
 	"nbiot/internal/simtime"
 	"nbiot/internal/traffic"
 )
@@ -111,15 +112,17 @@ type RolloutConfig struct {
 	TI simtime.Ticks
 	// PayloadBytes is the firmware image size.
 	PayloadBytes int64
-	// Seed roots the per-cell seeds (cell i uses Seed + i·31337).
+	// Seed roots the per-cell seeds (cell i uses runner.Seed(Seed, i)).
 	Seed int64
 	// UniformCoverage, SplitByCoverage and BackgroundTraffic forward to
 	// each cell's configuration.
 	UniformCoverage   bool
 	SplitByCoverage   bool
 	BackgroundTraffic bool
-	// Parallelism bounds concurrent cell simulations; zero means all cells
-	// at once.
+	// Parallelism bounds concurrent cell simulations; <= 0 means
+	// runtime.NumCPU(). Results are bit-identical for every value: each
+	// cell derives its randomness from its own seed, and aggregation runs
+	// serially in site order after the pool drains.
 	Parallelism int
 }
 
@@ -143,52 +146,42 @@ type Rollout struct {
 
 // Distribute pushes one firmware image to every device in the network:
 // each cell receives the image plus its slice of the device list and runs
-// its own campaign. Cells simulate concurrently; results are deterministic
-// because each cell derives every random draw from its own seed.
+// its own campaign. Cells simulate concurrently on the bounded worker pool
+// (RolloutConfig.Parallelism wide); results are deterministic because each
+// cell derives every random draw from its own seed, and a per-cell failure
+// surfaces as the error of the lowest-indexed failing site regardless of
+// goroutine scheduling.
 func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 	if !cfg.Mechanism.Valid() {
 		return nil, fmt.Errorf("network: invalid mechanism %d", int(cfg.Mechanism))
 	}
-	limit := cfg.Parallelism
-	if limit <= 0 || limit > len(n.sites) {
-		limit = len(n.sites)
+	results := make([]*cell.Result, len(n.sites))
+	err := runner.Run(context.Background(), len(n.sites), cfg.Parallelism, func(_ context.Context, i int) error {
+		site := n.sites[i]
+		res, err := cell.Run(cell.Config{
+			Mechanism:         cfg.Mechanism,
+			Fleet:             site.Fleet,
+			TI:                cfg.TI,
+			PageGuard:         100 * simtime.Millisecond,
+			PayloadBytes:      cfg.PayloadBytes,
+			Seed:              runner.Seed(cfg.Seed, site.ID),
+			UniformCoverage:   cfg.UniformCoverage,
+			SplitByCoverage:   cfg.SplitByCoverage,
+			BackgroundTraffic: cfg.BackgroundTraffic,
+		})
+		if err != nil {
+			return fmt.Errorf("network: cell %d: %w", site.ID, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	type slot struct {
-		res *cell.Result
-		err error
-	}
-	results := make([]slot, len(n.sites))
-	sem := make(chan struct{}, limit)
-	var wg sync.WaitGroup
-	for i, site := range n.sites {
-		i, site := i, site
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := cell.Run(cell.Config{
-				Mechanism:         cfg.Mechanism,
-				Fleet:             site.Fleet,
-				TI:                cfg.TI,
-				PageGuard:         100 * simtime.Millisecond,
-				PayloadBytes:      cfg.PayloadBytes,
-				Seed:              cfg.Seed + int64(site.ID)*31337,
-				UniformCoverage:   cfg.UniformCoverage,
-				SplitByCoverage:   cfg.SplitByCoverage,
-				BackgroundTraffic: cfg.BackgroundTraffic,
-			})
-			results[i] = slot{res: res, err: err}
-		}()
-	}
-	wg.Wait()
 
 	out := &Rollout{Mechanism: cfg.Mechanism}
 	for i, site := range n.sites {
-		if results[i].err != nil {
-			return nil, fmt.Errorf("network: cell %d: %w", site.ID, results[i].err)
-		}
-		res := results[i].res
+		res := results[i]
 		out.Cells = append(out.Cells, CellOutcome{SiteID: site.ID, Result: res})
 		out.TotalDevices += res.NumDevices
 		out.TotalTransmissions += res.NumTransmissions

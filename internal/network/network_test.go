@@ -1,6 +1,8 @@
 package network
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"nbiot/internal/core"
@@ -125,22 +127,44 @@ func TestDistributeDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Parallelism = 0 // all at once
-	parallel, err := n.Distribute(cfg)
-	if err != nil {
-		t.Fatal(err)
+	for _, workers := range []int{0, 3, 8} {
+		cfg.Parallelism = workers
+		parallel, err := n.Distribute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.TotalTransmissions != parallel.TotalTransmissions {
+			t.Errorf("parallelism=%d changed results: %d vs %d",
+				workers, serial.TotalTransmissions, parallel.TotalTransmissions)
+		}
+		if serial.TotalLightSleep() != parallel.TotalLightSleep() ||
+			serial.TotalConnected() != parallel.TotalConnected() {
+			t.Errorf("parallelism=%d changed energy accounting", workers)
+		}
+		for i := range serial.Cells {
+			if !reflect.DeepEqual(serial.Cells[i], parallel.Cells[i]) {
+				t.Errorf("parallelism=%d: cell %d diverged", workers, i)
+			}
+		}
 	}
-	if serial.TotalTransmissions != parallel.TotalTransmissions {
-		t.Errorf("parallelism changed results: %d vs %d",
-			serial.TotalTransmissions, parallel.TotalTransmissions)
-	}
-	if serial.TotalLightSleep() != parallel.TotalLightSleep() ||
-		serial.TotalConnected() != parallel.TotalConnected() {
-		t.Error("parallelism changed energy accounting")
-	}
-	for i := range serial.Cells {
-		if serial.Cells[i].Result.CampaignEnd != parallel.Cells[i].Result.CampaignEnd {
-			t.Errorf("cell %d diverged", i)
+}
+
+func TestDistributeFirstErrorDeterministic(t *testing.T) {
+	// Every cell fails validation (zero payload); whatever the worker count
+	// or scheduling, the rollout must surface the lowest-indexed cell.
+	n := testNetwork(t, 6, 120, 17)
+	cfg := defaultRollout(core.MechanismDRSC)
+	cfg.PayloadBytes = 0
+	for _, workers := range []int{1, 2, 6} {
+		cfg.Parallelism = workers
+		for trial := 0; trial < 3; trial++ {
+			_, err := n.Distribute(cfg)
+			if err == nil {
+				t.Fatalf("parallelism=%d: zero payload accepted", workers)
+			}
+			if !strings.Contains(err.Error(), "cell 0:") {
+				t.Errorf("parallelism=%d: error from %q, want the lowest-indexed cell", workers, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,151 @@
+// Package runner is the simulator's shared campaign-execution engine: a
+// bounded worker pool for fixed-size batches of independent tasks whose
+// results must not depend on goroutine scheduling.
+//
+// Every sweep in this module — the experiment harness averaging 100 runs
+// per data point, the network layer simulating one campaign per cell — has
+// the same shape: N independent tasks, each deriving all of its randomness
+// from (base seed, task index), accumulated into an order-independent
+// reducer. The pool supplies the concurrency half of that contract:
+//
+//   - tasks are dispatched strictly in index order, so determinism proofs
+//     only need "task i's inputs depend on i alone";
+//   - the reported error is the one from the lowest-indexed failing task,
+//     whatever order the goroutines actually finished in;
+//   - Workers=1 degenerates to a plain serial loop, which is what makes
+//     "bit-identical across worker counts" a testable property.
+//
+// Seed derivation lives here too (see Seed) so call sites never invent
+// ad-hoc formulas that collide between task indices.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task executes one unit of work. index is the task's position in [0, n);
+// everything the task randomises must be derived from that index (plus
+// configuration captured at submission), never from execution order. The
+// context is cancelled once another task has failed or the caller's context
+// is done; long tasks may poll it to exit early.
+type Task func(ctx context.Context, index int) error
+
+// Seed derives task index's seed from a base seed with a SplitMix64-style
+// finalizer. Unlike base+index, nearby indices produce uncorrelated seeds,
+// and distinct (base, index) pairs never collide the way base+i == (base+k)+(i-k)
+// does when two sweeps share overlapping bases.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + uint64(index)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// DefaultWorkers is the worker count used when the caller passes workers <= 0.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Run executes n tasks on a pool of at most workers goroutines and returns
+// the error of the lowest-indexed failing task, or nil if every task
+// succeeded. workers <= 0 means DefaultWorkers(); workers == 1 runs the
+// tasks serially on the calling goroutine.
+//
+// Error determinism: indices are dispatched in increasing order and
+// dispatch stops after the first observed failure, so every index below
+// the minimal failing one is guaranteed to have run to completion. The
+// minimal failing index — and therefore the returned error — is the same
+// for every worker count and every scheduling of the goroutines. In-flight
+// tasks are not killed on failure; they finish and their results stand.
+//
+// If ctx is cancelled before all tasks are dispatched, Run stops
+// dispatching and returns ctx.Err() (task errors from lower indices still
+// take precedence, keeping the result deterministic for a given cancel
+// point).
+func Run(ctx context.Context, n, workers int, task Task) error {
+	if n < 0 {
+		return fmt.Errorf("runner: negative task count %d", n)
+	}
+	if task == nil {
+		return fmt.Errorf("runner: nil task")
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := task(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// tctx is cancelled on first failure so cooperative tasks can bail out;
+	// the pool itself only uses it to stop dispatching new indices.
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstIdx = n // lowest failing index seen so far
+		firstErr error
+		next     int // next index to dispatch; guarded by mu
+		stopped  bool
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		stopped = true
+		cancel()
+	}
+	// claim hands out indices strictly in increasing order and refuses to
+	// dispatch past the first observed failure or cancellation.
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || next >= n || tctx.Err() != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := task(tctx, i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,228 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var counts [n]int32
+		err := Run(context.Background(), n, workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Error("task invoked for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := Run(context.Background(), -1, 1, func(context.Context, int) error { return nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if err := Run(context.Background(), 1, 1, nil); err == nil {
+		t.Error("nil task accepted")
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	// workers <= 0 must still execute everything (NumCPU pool).
+	var ran int32
+	if err := Run(context.Background(), 23, 0, func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 23 {
+		t.Fatalf("ran %d of 23 tasks", ran)
+	}
+}
+
+// TestRunFirstErrorDeterministic checks the headline contract: whatever the
+// worker count and scheduling, the returned error is the one from the
+// lowest-indexed failing task.
+func TestRunFirstErrorDeterministic(t *testing.T) {
+	const n = 64
+	failing := map[int]bool{9: true, 17: true, 40: true}
+	for _, workers := range []int{1, 2, 7, 32} {
+		for trial := 0; trial < 10; trial++ {
+			err := Run(context.Background(), n, workers, func(_ context.Context, i int) error {
+				if failing[i] {
+					// Higher-indexed failures finish first on purpose.
+					time.Sleep(time.Duration(50-i) * time.Microsecond)
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 9 failed" {
+				t.Fatalf("workers=%d trial=%d: got %v, want task 9's error", workers, trial, err)
+			}
+		}
+	}
+}
+
+func TestRunEverythingBelowFailureCompletes(t *testing.T) {
+	const n, fail = 40, 25
+	var done sync.Map
+	err := Run(context.Background(), n, 4, func(_ context.Context, i int) error {
+		if i == fail {
+			return errors.New("boom")
+		}
+		done.Store(i, true)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i := 0; i < fail; i++ {
+		if _, ok := done.Load(i); !ok {
+			t.Errorf("index %d below the failure never completed", i)
+		}
+	}
+}
+
+func TestRunStopsDispatchAfterFailure(t *testing.T) {
+	// Tasks past the failing index park on ctx.Done() until the failure is
+	// recorded, so each worker holds at most one in-flight task and the
+	// dispatched count is bounded by fail+workers — scheduling-independent.
+	const n, fail, workers = 1000, 3, 2
+	var ran int32
+	err := Run(context.Background(), n, workers, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == fail {
+			return errors.New("early failure")
+		}
+		if i > fail {
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Second):
+				t.Error("timed out waiting for failure cancellation")
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := atomic.LoadInt32(&ran); got > fail+1+workers {
+		t.Errorf("pool dispatched %d tasks after an early failure, want at most %d", got, fail+1+workers)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := Run(ctx, 100000, 2, func(_ context.Context, i int) error {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt32(&ran) == 100000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestRunSerialHonoursPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Run(ctx, 5, 1, func(context.Context, int) error {
+		t.Error("task ran under a cancelled context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRunTaskSeesCancellationAfterFailure(t *testing.T) {
+	release := make(chan struct{})
+	err := Run(context.Background(), 2, 2, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return errors.New("fail fast")
+		}
+		select {
+		case <-ctx.Done():
+			return nil // cooperative early exit observed the failure
+		case <-release:
+			t.Error("task context never cancelled after sibling failure")
+			return nil
+		case <-time.After(5 * time.Second):
+			t.Error("timed out waiting for cancellation")
+			return nil
+		}
+	})
+	close(release)
+	if err == nil || err.Error() != "fail fast" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// --- seed derivation ---------------------------------------------------------
+
+func TestSeedDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if Seed(42, i) != Seed(42, i) {
+			t.Fatalf("Seed(42, %d) not stable", i)
+		}
+	}
+}
+
+func TestSeedDistinctAcrossIndices(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		s := Seed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed(1, %d) == Seed(1, %d) == %d", i, prev, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestSeedDistinctAcrossBases(t *testing.T) {
+	// base+index collides trivially (base 1, index 5 == base 2, index 4);
+	// the mixed derivation must not.
+	seen := make(map[int64][2]int64)
+	for base := int64(0); base < 100; base++ {
+		for i := 0; i < 100; i++ {
+			s := Seed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("Seed(%d, %d) collides with Seed(%d, %d)", base, i, prev[0], prev[1])
+			}
+			seen[s] = [2]int64{base, int64(i)}
+		}
+	}
+}
+
+func TestSeedIndexZeroDiffersFromBase(t *testing.T) {
+	// The derivation must mix even at index 0 — a raw pass-through would
+	// correlate task 0 of every sweep with the sweep's own master stream.
+	if Seed(7, 0) == 7 {
+		t.Error("Seed(base, 0) passes the base through unmixed")
+	}
+}

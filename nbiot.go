@@ -41,6 +41,7 @@ import (
 	"nbiot/internal/network"
 	"nbiot/internal/phy"
 	"nbiot/internal/rng"
+	"nbiot/internal/runner"
 	"nbiot/internal/simtime"
 	"nbiot/internal/trace"
 	"nbiot/internal/traffic"
@@ -248,7 +249,9 @@ type NetworkSite = network.Site
 // distributes content and device lists to each cell).
 type Network = network.Network
 
-// RolloutConfig configures a network-wide firmware rollout.
+// RolloutConfig configures a network-wide firmware rollout. Its Parallelism
+// field bounds concurrent cell simulations (<= 0 means DefaultWorkers());
+// results are bit-identical for every value.
 type RolloutConfig = network.RolloutConfig
 
 // Rollout is the aggregated outcome of a network-wide campaign.
@@ -280,9 +283,21 @@ func ExpectedDRSCTransmissions(fleet []Device, ti Ticks) float64 {
 	return analysis.ExpectedDRSCTransmissions(fleet, ti)
 }
 
+// --- parallel execution -----------------------------------------------------------------
+
+// DefaultWorkers reports the worker count used when a Workers or
+// Parallelism knob is left at zero: runtime.NumCPU(). Campaigns of a sweep
+// are independent simulations, so ExperimentOptions.Workers and
+// RolloutConfig.Parallelism only change wall-clock time, never results —
+// every sweep derives each campaign's randomness from (seed, task index)
+// and reduces in index order on the shared bounded pool (internal/runner).
+func DefaultWorkers() int { return runner.DefaultWorkers() }
+
 // --- evaluation harness ----------------------------------------------------------------
 
-// ExperimentOptions configures the figure-regeneration harness.
+// ExperimentOptions configures the figure-regeneration harness. Its Workers
+// field bounds concurrent campaign simulations (<= 0 means
+// DefaultWorkers()); results are bit-identical for every value.
 type ExperimentOptions = experiment.Options
 
 // DefaultExperimentOptions returns the paper's evaluation parameters
