@@ -181,6 +181,36 @@ func BenchmarkExtensionSCPTM(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7FlatMemory10kRuns drives the streaming reducer at a run
+// count the pre-streaming harness would have materialised as a 10k-slot
+// result slice: every campaign now folds into O(fleet sizes) accumulators
+// the moment its index-ordered prefix completes, with at most O(workers)
+// results buffered. live-KB reports the retained heap growth across one
+// full sweep — watch that it stays flat as -runs grows, unlike ns/op.
+func BenchmarkFig7FlatMemory10kRuns(b *testing.B) {
+	o := experiment.DefaultOptions()
+	o.Runs = 10000
+	o.FleetSizes = []int{30} // small fleets: the point is run count, not fleet size
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Transmissions.Points[0].Y.N != o.Runs {
+			b.Fatalf("aggregated %d runs", res.Transmissions.Points[0].Y.N)
+		}
+	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	grew := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	b.ReportMetric(grew/1024, "live-KB")
+}
+
 // --- component benchmarks ---------------------------------------------------
 
 // BenchmarkDRSCPlanner measures one DR-SC planning pass at paper scale

@@ -9,14 +9,19 @@
 //	nbsim all       [flags]   # everything above
 //	nbsim run       [flags]   # one campaign, verbose per-device summary
 //
-// Common flags: -seed, -runs, -devices, -ti, -mix, -workers, -csv, -quiet.
-// Results print as aligned tables (and ASCII charts); -csv switches the
-// tables to CSV for post-processing. -workers bounds how many campaigns
+// Common flags: -seed, -runs, -devices, -ti, -mix, -workers, -csv, -quiet,
+// -jsonl. Results print as aligned tables (and ASCII charts); -csv switches
+// the tables to CSV for post-processing. -workers bounds how many campaigns
 // simulate concurrently (default: all CPUs); results are bit-identical for
-// every worker count.
+// every worker count. -jsonl <path> streams one JSON record per completed
+// run to the file as the sweep executes — records arrive in index order
+// and are never buffered in memory, so arbitrarily long sweeps spill
+// straight to disk.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,10 +48,11 @@ func main() {
 
 // cliOptions holds the parsed common flags.
 type cliOptions struct {
-	exp     experiment.Options
-	csv     bool
-	quiet   bool
-	mixName string
+	exp       experiment.Options
+	csv       bool
+	quiet     bool
+	mixName   string
+	jsonlPath string
 	// run-subcommand extras
 	mechanism string
 	size      int64
@@ -66,7 +72,8 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.StringVar(&o.mixName, "mix", "paper-calibrated", "fleet mix: "+strings.Join(mixNames(), ", "))
 	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
-	fs.StringVar(&o.mechanism, "mechanism", "DA-SC", "run: mechanism (Unicast, DR-SC, DA-SC, DR-SI)")
+	fs.StringVar(&o.jsonlPath, "jsonl", "", "stream one JSON record per completed run to this file as the sweep executes")
+	fs.StringVar(&o.mechanism, "mechanism", "DA-SC", "run: mechanism (Unicast, DR-SC, DA-SC, DR-SI, SC-PTM)")
 	fs.Int64Var(&o.size, "size", multicast.Size1MB, "run: payload bytes")
 	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
 	fs.IntVar(&o.traceN, "trace", 0, "run: print the last N timeline events")
@@ -97,14 +104,36 @@ func mixNames() []string {
 	return names
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "fig6a", "fig6b", "fig7", "ablations", "all", "run":
+	default:
+		// Reject before -jsonl wiring below may truncate an existing file.
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
 	o, err := parseFlags(cmd, rest)
 	if err != nil {
 		return err
+	}
+	if o.jsonlPath != "" {
+		if cmd == "run" {
+			// runSingle is one campaign, not a sweep — nothing would ever be
+			// recorded, and silently creating an empty file misleads.
+			return fmt.Errorf("-jsonl applies to sweep subcommands (fig6a, fig6b, fig7, ablations, all), not %q", cmd)
+		}
+		closeJSONL, jerr := streamJSONL(&o.exp, o.jsonlPath)
+		if jerr != nil {
+			return jerr
+		}
+		defer func() {
+			if cerr := closeJSONL(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
 	switch cmd {
 	case "fig6a":
@@ -131,6 +160,44 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// streamJSONL wires exp.Record to append one JSON line per completed run
+// to path. Records arrive serially, in index order, from each sweep's
+// streaming reducer, so no locking or buffering of results is needed —
+// the file grows as the sweep executes, whatever the worker count. A
+// write failure propagates back through the reducer and aborts the sweep
+// (no point simulating for hours onto a full disk). The returned function
+// flushes, closes, and reports the first error.
+func streamJSONL(exp *experiment.Options, path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("jsonl: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	var writeErr error
+	exp.Record = func(rec experiment.RunRecord) error {
+		if writeErr == nil {
+			writeErr = enc.Encode(rec)
+		}
+		if writeErr != nil {
+			return fmt.Errorf("jsonl %s: %w", path, writeErr)
+		}
+		return nil
+	}
+	return func() error {
+		if err := w.Flush(); writeErr == nil {
+			writeErr = err
+		}
+		if err := f.Close(); writeErr == nil {
+			writeErr = err
+		}
+		if writeErr != nil {
+			return fmt.Errorf("jsonl %s: %w", path, writeErr)
+		}
+		return nil
+	}, nil
 }
 
 func emit(o cliOptions, t *report.Table) {
@@ -240,17 +307,12 @@ func runSingle(o cliOptions) error {
 	if err != nil {
 		return err
 	}
-	exp := o.exp.Devices
-	if exp == 0 {
-		exp = 500
-	}
-	fleet, err := o.exp.Mix.Generate(exp, rng.NewStream(o.exp.Seed))
+	// One shared defaulting path: the harness's WithDefaults, not a
+	// duplicated set of fallbacks that could drift from it.
+	exp := o.exp.WithDefaults()
+	fleet, err := exp.Mix.Generate(exp.Devices, rng.NewStream(exp.Seed))
 	if err != nil {
 		return err
-	}
-	ti := o.exp.TI
-	if ti == 0 {
-		ti = 10 * simtime.Second
 	}
 	var rec *trace.Recorder
 	if o.traceN > 0 {
@@ -259,10 +321,10 @@ func runSingle(o cliOptions) error {
 	res, err := cell.Run(cell.Config{
 		Mechanism:       mech,
 		Fleet:           fleet,
-		TI:              ti,
+		TI:              exp.TI,
 		PageGuard:       100 * simtime.Millisecond,
 		PayloadBytes:    o.size,
-		Seed:            o.exp.Seed,
+		Seed:            exp.Seed,
 		UniformCoverage: true,
 		Trace:           rec,
 	})

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"nbiot/internal/core"
+	"nbiot/internal/experiment"
 )
 
 func TestParseMechanism(t *testing.T) {
@@ -12,6 +17,7 @@ func TestParseMechanism(t *testing.T) {
 		"dr-sc":   core.MechanismDRSC,
 		"DA-SC":   core.MechanismDASC,
 		"dr-si":   core.MechanismDRSI,
+		"sc-ptm":  core.MechanismSCPTM,
 	} {
 		got, err := parseMechanism(name)
 		if err != nil || got != want {
@@ -54,6 +60,83 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"ablations", "-id", "no-such-ablation", "-quiet", "-runs", "1", "-devices", "20"}); err == nil {
 		t.Error("unknown ablation id accepted")
+	}
+}
+
+func TestJSONLStreamsOrderedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := run([]string{"fig7", "-runs", "2", "-quiet", "-csv", "-jsonl", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var recs []experiment.RunRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec experiment.RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// fig7 default sweep: 10 fleet sizes × 2 runs.
+	if want := 10 * 2; len(recs) != want {
+		t.Fatalf("streamed %d records, want %d", len(recs), want)
+	}
+	for i, rec := range recs {
+		if rec.Index != i {
+			t.Errorf("record %d has index %d — stream out of order", i, rec.Index)
+		}
+		if rec.Experiment != "fig7" || rec.Metric != "transmissions" || rec.Value <= 0 {
+			t.Errorf("record %d malformed: %+v", i, rec)
+		}
+	}
+}
+
+func TestJSONLSurvivesUnknownSubcommand(t *testing.T) {
+	// A typo'd subcommand must be rejected before -jsonl truncates an
+	// existing results file.
+	path := filepath.Join(t.TempDir(), "precious.jsonl")
+	if err := os.WriteFile(path, []byte("{\"keep\":true}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig7typo", "-quiet", "-jsonl", path}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "{\"keep\":true}\n" {
+		t.Errorf("existing file was clobbered: %q, %v", got, err)
+	}
+}
+
+func TestJSONLRejectedForRunSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never.jsonl")
+	if err := run([]string{"run", "-devices", "20", "-quiet", "-jsonl", path}); err == nil {
+		t.Fatal("run -jsonl accepted; it can never produce records")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("run -jsonl left a file behind (stat err: %v)", err)
+	}
+}
+
+func TestSeedZeroHonoured(t *testing.T) {
+	// `-seed 0` must actually run seed 0 (it used to be silently rewritten
+	// to 1 by the harness defaulting).
+	o, err := parseFlags("fig7", []string{"-seed", "0", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.exp.Seed != 0 {
+		t.Fatalf("parsed seed = %d", o.exp.Seed)
+	}
+	if got := o.exp.WithDefaults().Seed; got != 0 {
+		t.Errorf("WithDefaults rewrote seed 0 to %d", got)
 	}
 }
 

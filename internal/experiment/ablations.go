@@ -6,6 +6,7 @@ import (
 	"nbiot/internal/cell"
 	"nbiot/internal/core"
 	"nbiot/internal/rng"
+	"nbiot/internal/runner"
 	"nbiot/internal/setcover"
 	"nbiot/internal/simtime"
 	"nbiot/internal/stats"
@@ -27,64 +28,72 @@ type GreedyVsExactResult struct {
 	Instances int
 }
 
+// coverInstance draws one random small cover instance from its own
+// stream; instance i of a sweep uses runner.Seed(o.Seed, i), so the
+// instance set is a pure function of (seed, index) — generation happens
+// inside the pool task, with nothing pre-materialised.
+func coverInstance(s *rng.Stream) setcover.Instance {
+	n := 6 + s.Intn(10)
+	in := setcover.Instance{NumElements: n}
+	numSets := 4 + s.Intn(12)
+	for j := 0; j < numSets; j++ {
+		var set []int
+		for e := 0; e < n; e++ {
+			if s.Bool(0.35) {
+				set = append(set, e)
+			}
+		}
+		in.Sets = append(in.Sets, set)
+	}
+	for e := 0; e < n; e++ {
+		in.Sets = append(in.Sets, []int{e}) // guarantee feasibility
+	}
+	return in
+}
+
 // GreedyVsExact runs ablation A1: random small covers comparing Chvátal's
-// greedy to the exact minimum. Instances are drawn serially from one stream
-// (so the instance set is independent of the worker count) and then solved
-// concurrently on the worker pool.
+// greedy to the exact minimum. Each instance is generated and solved
+// inside its own pool task from a per-index stream, and the streaming
+// reducer folds the size pair straight into the summary — no instance or
+// result slices.
 func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	s := rng.NewStream(o.Seed)
-	instances := make([]setcover.Instance, o.Runs)
-	for i := range instances {
-		n := 6 + s.Intn(10)
-		in := setcover.Instance{NumElements: n}
-		numSets := 4 + s.Intn(12)
-		for j := 0; j < numSets; j++ {
-			var set []int
-			for e := 0; e < n; e++ {
-				if s.Bool(0.35) {
-					set = append(set, e)
-				}
-			}
-			in.Sets = append(in.Sets, set)
-		}
-		for e := 0; e < n; e++ {
-			in.Sets = append(in.Sets, []int{e}) // guarantee feasibility
-		}
-		instances[i] = in
-	}
-
 	type sizes struct{ greedy, exact int }
-	solved, err := collectIndexed(o, o.Runs, func(i int) (sizes, error) {
-		g, err := setcover.Greedy(instances[i])
-		if err != nil {
-			return sizes{}, err
-		}
-		x, err := setcover.Exact(instances[i])
-		if err != nil {
-			return sizes{}, err
-		}
-		return sizes{greedy: len(g), exact: len(x)}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
 	var ratio stats.Accumulator
 	out := &GreedyVsExactResult{Options: o}
-	for _, sz := range solved {
-		r := float64(sz.greedy) / float64(sz.exact)
-		ratio.Add(r)
-		if r > out.WorstRatio {
-			out.WorstRatio = r
-		}
-		if sz.exact < sz.greedy {
-			out.ExactWins++
-		}
-		out.Instances++
+	err := reduceStream(o, o.Runs,
+		func(i int) (sizes, error) {
+			in := coverInstance(rng.NewStream(runner.Seed(o.Seed, i)))
+			g, err := setcover.Greedy(in)
+			if err != nil {
+				return sizes{}, err
+			}
+			x, err := setcover.Exact(in)
+			if err != nil {
+				return sizes{}, err
+			}
+			return sizes{greedy: len(g), exact: len(x)}, nil
+		},
+		func(i int, sz sizes) error {
+			r := float64(sz.greedy) / float64(sz.exact)
+			ratio.Add(r)
+			if r > out.WorstRatio {
+				out.WorstRatio = r
+			}
+			if sz.exact < sz.greedy {
+				out.ExactWins++
+			}
+			out.Instances++
+			return o.record(RunRecord{
+				Experiment: "greedy-vs-exact", Index: i, Run: i,
+				Metric: "greedy_over_optimal", Value: r,
+			})
+		})
+	if err != nil {
+		return nil, err
 	}
 	out.Ratio = ratio.Summary()
 	return out, nil
@@ -102,7 +111,7 @@ type TISweepResult struct {
 
 // TISweep runs ablation A2.
 func TISweep(o Options, tis []simtime.Ticks) (*TISweepResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,6 +122,7 @@ func TISweep(o Options, tis []simtime.Ticks) (*TISweepResult, error) {
 	for _, ti := range tis {
 		oi := o
 		oi.TI = ti
+		oi.Record = relabel(o.Record, "ti-sweep", fmt.Sprintf("TI=%v", ti))
 		r, err := Fig7(oi)
 		if err != nil {
 			return nil, err
@@ -137,7 +147,7 @@ type MixSweepResult struct {
 
 // MixSweep runs ablation A3.
 func MixSweep(o Options, mixes []traffic.Mix) (*MixSweepResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,6 +162,7 @@ func MixSweep(o Options, mixes []traffic.Mix) (*MixSweepResult, error) {
 		oi := o
 		oi.Mix = mix
 		oi.FleetSizes = []int{o.Devices}
+		oi.Record = relabel(o.Record, "mix-sweep", "mix="+mix.Name)
 		r, err := Fig7(oi)
 		if err != nil {
 			return nil, err
@@ -176,7 +187,7 @@ type PagingCapacityResult struct {
 // PagingCapacity runs ablation A4 on DR-SC campaigns (the mechanism whose
 // pages cluster hardest inside shared windows).
 func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
@@ -188,32 +199,39 @@ func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) 
 		if capacity <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive paging capacity %d", capacity)
 		}
-		overflows, err := collectIndexed(o, o.Runs, func(r int) (float64, error) {
-			fleet, err := fleetForRun(o, o.Devices, r)
-			if err != nil {
-				return 0, err
-			}
-			cfg := cell.Config{
-				Mechanism:       core.MechanismDRSC,
-				Fleet:           fleet,
-				TI:              o.TI,
-				PageGuard:       100 * simtime.Millisecond,
-				PayloadBytes:    100 * 1024,
-				Seed:            runSeed(o, r),
-				UniformCoverage: true,
-			}
-			res, err := cell.Run(withPagingCapacity(cfg, capacity))
-			if err != nil {
-				return 0, err
-			}
-			return float64(res.ENB.PagingOverflows), nil
-		})
+		var acc stats.Accumulator
+		err := reduceStream(o, o.Runs,
+			func(r int) (float64, error) {
+				fleet, err := fleetForRun(o, o.Devices, r)
+				if err != nil {
+					return 0, err
+				}
+				cfg := cell.Config{
+					Mechanism:       core.MechanismDRSC,
+					Fleet:           fleet,
+					TI:              o.TI,
+					PageGuard:       100 * simtime.Millisecond,
+					PayloadBytes:    100 * 1024,
+					Seed:            runSeed(o, r),
+					UniformCoverage: true,
+				}
+				res, err := cell.Run(withPagingCapacity(cfg, capacity))
+				if err != nil {
+					return 0, err
+				}
+				return float64(res.ENB.PagingOverflows), nil
+			},
+			func(r int, v float64) error {
+				acc.Add(v)
+				return o.record(RunRecord{
+					Experiment: "paging-capacity", Variant: fmt.Sprintf("capacity=%d", capacity),
+					Index: r, Run: r,
+					Mechanism: core.MechanismDRSC.String(), FleetSize: o.Devices,
+					Metric: "paging_overflows", Value: v,
+				})
+			})
 		if err != nil {
 			return nil, err
-		}
-		var acc stats.Accumulator
-		for _, v := range overflows {
-			acc.Add(v)
 		}
 		out.Overflows[capacity] = acc.Summary()
 		o.progress("paging-capacity: capacity=%d done", capacity)
@@ -235,31 +253,36 @@ type SCPTMComparisonResult struct {
 	LightIncrease map[core.Mechanism]stats.Summary
 }
 
-// SCPTMComparison runs extension experiment X1.
+// SCPTMComparison runs extension experiment X1. Like Fig6a it shards per
+// (run, mechanism) and folds through the streaming reducer.
 func SCPTMComparison(o Options) (*SCPTMComparisonResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	mechanisms := append(core.GroupingMechanisms(), core.MechanismSCPTM)
 	const size = 100 * 1024
-	tick := o.progressCounter("scptm: run %d/%d done", o.Runs)
-	incs, err := collectIndexed(o, o.Runs, func(r int) (map[core.Mechanism]float64, error) {
-		fleet, err := fleetForRun(o, o.Devices, r)
-		if err != nil {
-			return nil, err
-		}
-		inc, err := mechanismIncrease(o, mechanisms, fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep")
-		if err != nil {
-			return nil, err
-		}
-		tick()
-		return inc, nil
-	})
+	inc, err := lightSleepIncreaseSweep(o, "scptm", mechanisms, size)
 	if err != nil {
 		return nil, err
 	}
-	return &SCPTMComparisonResult{Options: o, LightIncrease: reduceByMechanism(mechanisms, incs)}, nil
+	return &SCPTMComparisonResult{Options: o, LightIncrease: inc}, nil
+}
+
+// relabel wraps a Record hook so records emitted by an inner sweep carry
+// the outer ablation's experiment name and a variant tag instead of the
+// inner sweep's own labels — without it, ti-sweep's three Fig7 passes
+// would stream indistinguishable "fig7" records with restarting indices.
+// A nil hook stays nil.
+func relabel(record func(RunRecord) error, experiment, variant string) func(RunRecord) error {
+	if record == nil {
+		return nil
+	}
+	return func(rec RunRecord) error {
+		rec.Experiment = experiment
+		rec.Variant = variant
+		return record(rec)
+	}
 }
 
 // withPagingCapacity returns cfg with the eNB paging capacity overridden.

@@ -14,12 +14,16 @@
 // paper uses 100), with all mechanisms of a run sharing the same fleet and
 // seed so relative metrics compare like with like.
 //
-// Campaigns of a sweep are independent — every run derives its fleet and
-// randomness from (Options.Seed, run index) alone — so they execute on the
-// shared bounded pool in internal/runner, Options.Workers wide. Per-run
-// outputs land in an index-addressed slot and are reduced serially in index
-// order afterwards, which keeps every result bit-identical across worker
-// counts.
+// Campaigns of a sweep are independent — every task derives its fleet and
+// randomness from (Options.Seed, task coordinates) alone — so they execute
+// on the shared bounded pool in internal/runner, Options.Workers wide, and
+// are sharded at the (run, mechanism) level so even a low-run sweep
+// saturates the pool. Results stream through runner.Reduce: a serial
+// reducer folds each task's output into constant-size stats.Accumulators
+// the moment its index-ordered prefix completes, so a sweep buffers only
+// O(workers) results however many runs it spans — the property that keeps
+// million-run campaigns inside flat memory — while staying bit-identical
+// across worker counts.
 package experiment
 
 import (
@@ -41,7 +45,9 @@ import (
 // Options configures the harness.
 type Options struct {
 	// Seed roots all randomness; every task of a sweep derives its own
-	// seeds from (Seed, task coordinates) via runner.Seed.
+	// seeds from (Seed, task coordinates) via runner.Seed. Zero is a valid
+	// seed and is honoured as given — it is NOT rewritten to the default
+	// (DefaultOptions uses 1), so `nbsim -seed 0` really runs seed 0.
 	Seed int64
 	// Runs is the number of independent fleets per data point (paper: 100).
 	Runs int
@@ -59,12 +65,47 @@ type Options struct {
 	FleetSizes []int
 	// Workers bounds how many campaigns simulate concurrently; <= 0 means
 	// runtime.NumCPU(). Results are bit-identical for every worker count
-	// (each run's randomness is a function of its index, and reduction
+	// (each task's randomness is a function of its index, and reduction
 	// happens serially in index order).
 	Workers int
 	// Progress, when non-nil, receives coarse progress lines. It may be
 	// invoked from worker goroutines, but never concurrently with itself.
 	Progress func(format string, args ...any)
+	// Record, when non-nil, receives one RunRecord per completed sweep
+	// unit, invoked serially in strictly increasing index order on the
+	// reducing goroutine. This is the streaming spill point — nbsim -jsonl
+	// writes each record to disk the moment it arrives, so arbitrarily
+	// long sweeps never hold per-run results in memory. A non-nil error
+	// aborts the sweep deterministically (it surfaces as the reducer error
+	// at that index), so a full disk fails fast instead of burning the
+	// rest of a million-run campaign.
+	Record func(RunRecord) error
+}
+
+// RunRecord is one completed unit of a sweep, emitted through
+// Options.Record in index order as the streaming reducer consumes it.
+type RunRecord struct {
+	// Experiment names the sweep ("fig6a", "fig6b", "fig7", ...).
+	Experiment string `json:"experiment"`
+	// Variant distinguishes repeated inner sweeps of one experiment, e.g.
+	// "TI=20s" for the ti-sweep ablation's Fig7 passes; (Experiment,
+	// Variant, Index) uniquely keys a record within one nbsim invocation.
+	Variant string `json:"variant,omitempty"`
+	// Index is the task index within the sweep (strictly increasing).
+	Index int `json:"index"`
+	// Run is the fleet/run coordinate the task belongs to.
+	Run int `json:"run"`
+	// Mechanism is the grouping mechanism, when the sweep shards by one.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Size is the payload size in bytes, when applicable.
+	Size int64 `json:"size,omitempty"`
+	// FleetSize is the device count of the task's fleet, when applicable.
+	FleetSize int `json:"fleet_size,omitempty"`
+	// Metric names Value ("light_sleep_increase", "connected_increase",
+	// "transmissions", ...).
+	Metric string `json:"metric"`
+	// Value is the task's scalar outcome.
+	Value float64 `json:"value"`
 }
 
 // DefaultOptions returns the paper's evaluation parameters.
@@ -80,11 +121,11 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with unset fields replaced by the DefaultOptions
+// values. Seed is deliberately left alone: 0 is a valid seed, so callers
+// that want the default must set it explicitly (flag defaults do).
+func (o Options) WithDefaults() Options {
 	d := DefaultOptions()
-	if o.Seed == 0 {
-		o.Seed = d.Seed
-	}
 	if o.Runs == 0 {
 		o.Runs = d.Runs
 	}
@@ -108,7 +149,7 @@ func (o Options) withDefaults() Options {
 
 // Validate reports whether the options are usable.
 func (o Options) Validate() error {
-	oo := o.withDefaults()
+	oo := o.WithDefaults()
 	if oo.Runs <= 0 || oo.Devices <= 0 {
 		return fmt.Errorf("experiment: non-positive runs (%d) or devices (%d)", oo.Runs, oo.Devices)
 	}
@@ -135,6 +176,16 @@ func (o Options) progress(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(format, args...)
 	}
+}
+
+// record emits one streaming record; called only from the serial reducer,
+// so invocations are already ordered and never concurrent. Its error is
+// the reducer's error: a failing spill aborts the sweep.
+func (o Options) record(rec RunRecord) error {
+	if o.Record != nil {
+		return o.Record(rec)
+	}
+	return nil
 }
 
 // progressCounter returns a goroutine-safe completion ticker: each call
@@ -197,71 +248,96 @@ func fleetForRun(o Options, n int, r int) ([]traffic.Device, error) {
 	return o.Mix.Generate(n, rng.NewStream(fleetSeed(o, n, r)))
 }
 
-// collectIndexed is the sweep scaffolding every experiment shares: n tasks
-// execute on the worker pool, each task's output lands in its
-// index-addressed slot, and the drained slice is handed back for serial
-// in-order reduction. Keeping the pattern in one place is what keeps
-// "bit-identical across worker counts" true for every sweep.
-func collectIndexed[T any](o Options, n int, task func(idx int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := runner.Run(context.Background(), n, o.Workers, func(_ context.Context, i int) error {
-		v, err := task(i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+// reduceStream is the sweep scaffolding every experiment shares: n tasks
+// execute on the worker pool and each result is handed — serially, in
+// index order, the moment its prefix completes — to reduce, which folds it
+// into the sweep's accumulators. Only O(Workers) results are ever
+// buffered, so sweep memory is independent of n; keeping the pattern in
+// one place is what keeps "bit-identical across worker counts" true for
+// every sweep.
+func reduceStream[T any](o Options, n int, task func(idx int) (T, error), reduce func(idx int, v T) error) error {
+	return runner.Reduce(context.Background(), n, o.Workers,
+		func(_ context.Context, i int) (T, error) { return task(i) },
+		reduce)
 }
 
-// mechanismIncrease runs the unicast baseline and then each mechanism on
-// one fleet, returning metric's relative increase vs the baseline per
-// mechanism. metricName labels the zero-baseline error.
-func mechanismIncrease(o Options, mechs []core.Mechanism, fleet []traffic.Device,
+// increaseVsUnicast runs the unicast baseline and one mechanism on a
+// fleet, returning metric's relative increase vs the baseline. Sweeps
+// shard at the (run, mechanism) level, so the baseline is recomputed per
+// mechanism from the run's seed — identical inputs give identical
+// baselines, keeping per-mechanism values exactly those of a shared
+// baseline while letting every campaign schedule independently.
+func increaseVsUnicast(o Options, m core.Mechanism, fleet []traffic.Device,
 	r int, size int64, metric func(*cell.Result) simtime.Ticks, metricName string,
-) (map[core.Mechanism]float64, error) {
+) (float64, error) {
 	seed := runSeed(o, r)
 	base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	baseline := metric(base)
-	inc := make(map[core.Mechanism]float64, len(mechs))
-	for _, m := range mechs {
-		res, err := runCampaign(m, fleet, o, size, seed)
-		if err != nil {
-			return nil, err
-		}
-		v, ok := energy.RelativeIncrease(metric(res), baseline)
-		if !ok {
-			return nil, fmt.Errorf("experiment: zero %s baseline in run %d", metricName, r)
-		}
-		inc[m] = v
+	res, err := runCampaign(m, fleet, o, size, seed)
+	if err != nil {
+		return 0, err
 	}
-	return inc, nil
+	v, ok := energy.RelativeIncrease(metric(res), metric(base))
+	if !ok {
+		return 0, fmt.Errorf("experiment: zero %s baseline in run %d", metricName, r)
+	}
+	return v, nil
 }
 
-// reduceByMechanism folds index-ordered per-task increase maps into
-// per-mechanism summaries.
-func reduceByMechanism(mechs []core.Mechanism, incs []map[core.Mechanism]float64) map[core.Mechanism]stats.Summary {
-	acc := map[core.Mechanism]*stats.Accumulator{}
+// mechAccumulators allocates one streaming accumulator per mechanism.
+func mechAccumulators(mechs []core.Mechanism) map[core.Mechanism]*stats.Accumulator {
+	acc := make(map[core.Mechanism]*stats.Accumulator, len(mechs))
 	for _, m := range mechs {
 		acc[m] = &stats.Accumulator{}
 	}
-	for _, inc := range incs {
-		for _, m := range mechs {
-			acc[m].Add(inc[m])
-		}
-	}
-	out := map[core.Mechanism]stats.Summary{}
+	return acc
+}
+
+// summarize freezes per-mechanism accumulators.
+func summarize(acc map[core.Mechanism]*stats.Accumulator) map[core.Mechanism]stats.Summary {
+	out := make(map[core.Mechanism]stats.Summary, len(acc))
 	for m, a := range acc {
 		out[m] = a.Summary()
 	}
 	return out
+}
+
+// lightSleepIncreaseSweep is the shared body of Fig6a and the SC-PTM
+// comparison: one pool task per (run, mechanism), each folded straight
+// into its mechanism's accumulator by the streaming reducer.
+func lightSleepIncreaseSweep(o Options, name string, mechs []core.Mechanism, size int64) (map[core.Mechanism]stats.Summary, error) {
+	nTasks := o.Runs * len(mechs)
+	acc := mechAccumulators(mechs)
+	tick := o.progressCounter(name+": campaign %d/%d done", nTasks)
+	err := reduceStream(o, nTasks,
+		func(idx int) (float64, error) {
+			r, mi := idx/len(mechs), idx%len(mechs)
+			fleet, err := fleetForRun(o, o.Devices, r)
+			if err != nil {
+				return 0, err
+			}
+			v, err := increaseVsUnicast(o, mechs[mi], fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep")
+			if err != nil {
+				return 0, err
+			}
+			tick()
+			return v, nil
+		},
+		func(idx int, v float64) error {
+			r, mi := idx/len(mechs), idx%len(mechs)
+			acc[mechs[mi]].Add(v)
+			return o.record(RunRecord{
+				Experiment: name, Index: idx, Run: r,
+				Mechanism: mechs[mi].String(), Size: size, FleetSize: o.Devices,
+				Metric: "light_sleep_increase", Value: v,
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return summarize(acc), nil
 }
 
 // --- E1: Fig. 6(a) ----------------------------------------------------------
@@ -275,32 +351,19 @@ type Fig6aResult struct {
 	Increase map[core.Mechanism]stats.Summary
 }
 
-// Fig6a runs experiment E1. Runs execute concurrently on the worker pool;
-// see Options.Workers.
+// Fig6a runs experiment E1. Campaigns shard per (run, mechanism) on the
+// worker pool and stream through the serial reducer; see Options.Workers.
 func Fig6a(o Options) (*Fig6aResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	mechs := core.GroupingMechanisms()
 	size := multicast.Size100KB // light-sleep uptime is payload-independent
-	tick := o.progressCounter("fig6a: run %d/%d done", o.Runs)
-	incs, err := collectIndexed(o, o.Runs, func(r int) (map[core.Mechanism]float64, error) {
-		fleet, err := fleetForRun(o, o.Devices, r)
-		if err != nil {
-			return nil, err
-		}
-		inc, err := mechanismIncrease(o, mechs, fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep")
-		if err != nil {
-			return nil, err
-		}
-		tick()
-		return inc, nil
-	})
+	inc, err := lightSleepIncreaseSweep(o, "fig6a", core.GroupingMechanisms(), size)
 	if err != nil {
 		return nil, err
 	}
-	return &Fig6aResult{Options: o, Increase: reduceByMechanism(mechs, incs)}, nil
+	return &Fig6aResult{Options: o, Increase: inc}, nil
 }
 
 // --- E2: Fig. 6(b) ----------------------------------------------------------
@@ -314,38 +377,17 @@ type Fig6bResult struct {
 	Increase map[core.Mechanism]map[int64]stats.Summary
 }
 
-// Fig6b runs experiment E2. Each (run, size) campaign set executes
-// concurrently on the worker pool; see Options.Workers.
+// Fig6b runs experiment E2. One pool task per (run, size, mechanism) —
+// every coordinate derives from the task index alone, each task
+// regenerates its run's fleet from the run's fleet seed, and the streaming
+// reducer folds results into per-(mechanism, size) accumulators with no
+// intermediate slices.
 func Fig6b(o Options) (*Fig6bResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	mechs := core.GroupingMechanisms()
-	// Generate each run's fleet once; the per-(run, size) tasks below share
-	// it read-only across sizes (the pool's drain is a happens-before).
-	fleets, err := collectIndexed(o, o.Runs, func(r int) ([]traffic.Device, error) {
-		return fleetForRun(o, o.Devices, r)
-	})
-	if err != nil {
-		return nil, err
-	}
-	// One task per (run, size): both coordinates derive from the task index
-	// alone, so the pool can schedule them in any order.
-	nTasks := o.Runs * len(o.Sizes)
-	tick := o.progressCounter("fig6b: campaign set %d/%d done", nTasks)
-	incs, err := collectIndexed(o, nTasks, func(idx int) (map[core.Mechanism]float64, error) {
-		r, si := idx/len(o.Sizes), idx%len(o.Sizes)
-		inc, err := mechanismIncrease(o, mechs, fleets[r], r, o.Sizes[si], (*cell.Result).TotalConnected, "connected")
-		if err != nil {
-			return nil, err
-		}
-		tick()
-		return inc, nil
-	})
-	if err != nil {
-		return nil, err
-	}
 	acc := map[core.Mechanism]map[int64]*stats.Accumulator{}
 	for _, m := range mechs {
 		acc[m] = map[int64]*stats.Accumulator{}
@@ -353,13 +395,36 @@ func Fig6b(o Options) (*Fig6bResult, error) {
 			acc[m][s] = &stats.Accumulator{}
 		}
 	}
-	for r := 0; r < o.Runs; r++ {
-		for si, size := range o.Sizes {
-			inc := incs[r*len(o.Sizes)+si]
-			for _, m := range mechs {
-				acc[m][size].Add(inc[m])
+	nTasks := o.Runs * len(o.Sizes) * len(mechs)
+	coords := func(idx int) (r, si, mi int) {
+		return idx / (len(o.Sizes) * len(mechs)), (idx / len(mechs)) % len(o.Sizes), idx % len(mechs)
+	}
+	tick := o.progressCounter("fig6b: campaign %d/%d done", nTasks)
+	err := reduceStream(o, nTasks,
+		func(idx int) (float64, error) {
+			r, si, mi := coords(idx)
+			fleet, err := fleetForRun(o, o.Devices, r)
+			if err != nil {
+				return 0, err
 			}
-		}
+			v, err := increaseVsUnicast(o, mechs[mi], fleet, r, o.Sizes[si], (*cell.Result).TotalConnected, "connected")
+			if err != nil {
+				return 0, err
+			}
+			tick()
+			return v, nil
+		},
+		func(idx int, v float64) error {
+			r, si, mi := coords(idx)
+			acc[mechs[mi]][o.Sizes[si]].Add(v)
+			return o.record(RunRecord{
+				Experiment: "fig6b", Index: idx, Run: r,
+				Mechanism: mechs[mi].String(), Size: o.Sizes[si], FleetSize: o.Devices,
+				Metric: "connected_increase", Value: v,
+			})
+		})
+	if err != nil {
+		return nil, err
 	}
 	out := &Fig6bResult{Options: o, Increase: map[core.Mechanism]map[int64]stats.Summary{}}
 	for m, bySize := range acc {
@@ -386,9 +451,10 @@ type Fig7Result struct {
 // transmission count is a planning-time quantity, so no event simulation is
 // needed (the cell executor is exercised by E1/E2 and the integration
 // tests). The (fleet size, run) grid executes concurrently on the worker
-// pool; see Options.Workers.
+// pool and streams through per-size accumulators — memory is O(fleet
+// sizes), never O(runs); see Options.Workers.
 func Fig7(o Options) (*Fig7Result, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
@@ -397,47 +463,53 @@ func Fig7(o Options) (*Fig7Result, error) {
 	out.Ratio.Name = "DR-SC transmissions / device"
 
 	nTasks := len(o.FleetSizes) * o.Runs
-	perSize := make([]int, len(o.FleetSizes)) // completed runs per fleet size
-	var progMu sync.Mutex
-	txs, err := collectIndexed(o, nTasks, func(idx int) (float64, error) {
-		si, r := idx/o.Runs, idx%o.Runs
-		n := o.FleetSizes[si]
-		fleet, err := fleetForRun(o, n, r)
-		if err != nil {
-			return 0, err
-		}
-		devices, err := core.FleetFromTraffic(fleet)
-		if err != nil {
-			return 0, err
-		}
-		params := core.Params{
-			Now: 0, TI: o.TI,
-			TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),
-		}
-		plan, err := core.DRSCPlanner{}.Plan(devices, params)
-		if err != nil {
-			return 0, err
-		}
-		progMu.Lock()
-		perSize[si]++
-		if perSize[si] == o.Runs {
-			o.progress("fig7: N=%d done (%d runs)", n, o.Runs)
-		}
-		progMu.Unlock()
-		return float64(plan.NumTransmissions()), nil
-	})
+	txAcc := make([]stats.Accumulator, len(o.FleetSizes))
+	ratioAcc := make([]stats.Accumulator, len(o.FleetSizes))
+	err := reduceStream(o, nTasks,
+		func(idx int) (float64, error) {
+			si, r := idx/o.Runs, idx%o.Runs
+			n := o.FleetSizes[si]
+			fleet, err := fleetForRun(o, n, r)
+			if err != nil {
+				return 0, err
+			}
+			devices, err := core.FleetFromTraffic(fleet)
+			if err != nil {
+				return 0, err
+			}
+			params := core.Params{
+				Now: 0, TI: o.TI,
+				TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),
+			}
+			plan, err := core.DRSCPlanner{}.Plan(devices, params)
+			if err != nil {
+				return 0, err
+			}
+			return float64(plan.NumTransmissions()), nil
+		},
+		func(idx int, tx float64) error {
+			si, r := idx/o.Runs, idx%o.Runs
+			n := o.FleetSizes[si]
+			txAcc[si].Add(tx)
+			ratioAcc[si].Add(tx / float64(n))
+			if err := o.record(RunRecord{
+				Experiment: "fig7", Index: idx, Run: r,
+				Mechanism: core.MechanismDRSC.String(), FleetSize: n,
+				Metric: "transmissions", Value: tx,
+			}); err != nil {
+				return err
+			}
+			if r == o.Runs-1 {
+				o.progress("fig7: N=%d done (%d runs)", n, o.Runs)
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	for si, n := range o.FleetSizes {
-		var txAcc, ratioAcc stats.Accumulator
-		for r := 0; r < o.Runs; r++ {
-			tx := txs[si*o.Runs+r]
-			txAcc.Add(tx)
-			ratioAcc.Add(tx / float64(n))
-		}
-		out.Transmissions.Append(float64(n), txAcc.Summary())
-		out.Ratio.Append(float64(n), ratioAcc.Summary())
+		out.Transmissions.Append(float64(n), txAcc[si].Summary())
+		out.Ratio.Append(float64(n), ratioAcc[si].Summary())
 	}
 	return out, nil
 }

@@ -47,9 +47,13 @@ func TestOptionsValidate(t *testing.T) {
 
 func TestDefaultsFilledIn(t *testing.T) {
 	var o Options
-	oo := o.withDefaults()
+	oo := o.WithDefaults()
 	if oo.Runs != 100 || oo.Devices != 500 || oo.TI != 10*simtime.Second {
 		t.Errorf("defaults wrong: %+v", oo)
+	}
+	// Seed is NOT defaulted: 0 is a valid seed and must survive as given.
+	if oo.Seed != 0 {
+		t.Errorf("WithDefaults rewrote Seed 0 to %d", oo.Seed)
 	}
 	if oo.Mix.Name != traffic.PaperCalibratedMix().Name {
 		t.Errorf("default mix %q", oo.Mix.Name)

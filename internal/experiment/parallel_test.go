@@ -1,8 +1,12 @@
 package experiment
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
+
+	"nbiot/internal/core"
 )
 
 // The worker-pool contract: every sweep derives each campaign's randomness
@@ -136,7 +140,7 @@ func TestPagingCapacityDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-func TestParallelProgressReportsEveryRun(t *testing.T) {
+func TestParallelProgressReportsEveryCampaign(t *testing.T) {
 	o := fastOptions()
 	o.Runs = 4
 	o.Devices = 40
@@ -146,7 +150,98 @@ func TestParallelProgressReportsEveryRun(t *testing.T) {
 	if _, err := Fig6a(o); err != nil {
 		t.Fatal(err)
 	}
-	if calls != o.Runs {
-		t.Errorf("progress fired %d times, want %d", calls, o.Runs)
+	// Fig6a shards per (run, mechanism), one tick per campaign set.
+	want := o.Runs * len(core.GroupingMechanisms())
+	if calls != want {
+		t.Errorf("progress fired %d times, want %d", calls, want)
+	}
+}
+
+// TestRecordStreamInOrderAndDeterministic pins the streaming contract end
+// to end: Options.Record receives every task exactly once, in strictly
+// increasing index order, and the record stream is byte-identical across
+// worker counts.
+func TestRecordStreamInOrderAndDeterministic(t *testing.T) {
+	capture := func(workers int) []RunRecord {
+		o := fastOptions()
+		o.Runs = 5
+		o.FleetSizes = []int{40, 80}
+		o.Workers = workers
+		var recs []RunRecord
+		o.Record = func(rec RunRecord) error { recs = append(recs, rec); return nil }
+		if _, err := Fig7(o); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	serial := capture(1)
+	parallel := capture(8)
+	if want := 2 * 5; len(serial) != want {
+		t.Fatalf("captured %d records, want %d", len(serial), want)
+	}
+	for i, rec := range serial {
+		if rec.Index != i {
+			t.Fatalf("record %d carries index %d — stream out of order", i, rec.Index)
+		}
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("record stream diverged across worker counts:\n workers=1: %+v\n workers=8: %+v",
+			serial, parallel)
+	}
+}
+
+// TestRecordErrorAbortsSweep pins the fail-fast contract: a failing spill
+// (full disk, broken pipe) surfaces as the sweep's error instead of
+// silently dropping the rest of a long campaign's records.
+func TestRecordErrorAbortsSweep(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		o := fastOptions()
+		o.Runs = 10
+		o.FleetSizes = []int{40}
+		o.Workers = workers
+		calls := 0
+		o.Record = func(RunRecord) error {
+			calls++
+			if calls == 3 {
+				return errors.New("disk full")
+			}
+			return nil
+		}
+		if _, err := Fig7(o); err == nil || !strings.Contains(err.Error(), "disk full") {
+			t.Errorf("workers=%d: got %v, want the spill error", workers, err)
+		}
+		if calls != 3 {
+			t.Errorf("workers=%d: Record called %d times after erroring on call 3", workers, calls)
+		}
+	}
+}
+
+// TestAblationRecordsRelabelled pins the JSONL attribution fix: records
+// from ti-sweep's and mix-sweep's inner Fig7 passes must carry the
+// ablation's name and a variant tag, not ambiguous "fig7" labels.
+func TestAblationRecordsRelabelled(t *testing.T) {
+	o := fastOptions()
+	o.Runs = 2
+	o.FleetSizes = []int{40}
+	var recs []RunRecord
+	o.Record = func(rec RunRecord) error { recs = append(recs, rec); return nil }
+	if _, err := TISweep(o, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3*2 { // 3 default TI values × 2 runs
+		t.Fatalf("captured %d records, want 6", len(recs))
+	}
+	variants := map[string]int{}
+	for _, rec := range recs {
+		if rec.Experiment != "ti-sweep" {
+			t.Errorf("record labelled %q, want ti-sweep", rec.Experiment)
+		}
+		if rec.Variant == "" {
+			t.Error("record missing its TI variant tag")
+		}
+		variants[rec.Variant]++
+	}
+	if len(variants) != 3 {
+		t.Errorf("got variants %v, want one per TI value", variants)
 	}
 }

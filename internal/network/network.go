@@ -62,7 +62,8 @@ func New(sites []Site) (*Network, error) {
 
 // Populate generates a network of numCells cells whose fleets are drawn
 // from the mix, with totalDevices spread over the cells uniformly at
-// random (each device attaches to one cell).
+// random (each device attaches to one cell). Generation is serial off the
+// single caller-supplied stream; PopulateParallel is the scale path.
 func Populate(numCells, totalDevices int, mix traffic.Mix, stream *rng.Stream) (*Network, error) {
 	if numCells <= 0 {
 		return nil, fmt.Errorf("network: non-positive cell count %d", numCells)
@@ -98,6 +99,51 @@ func Populate(numCells, totalDevices int, mix traffic.Mix, stream *rng.Stream) (
 	return New(sites)
 }
 
+// PopulateParallel generates a network like Populate, but from a seed
+// instead of a shared stream: cell sizes are drawn first from a dedicated
+// assignment stream (one device per cell guaranteed, the rest placed
+// uniformly at random), then every cell generates its fleet concurrently
+// on the bounded pool off its own runner.Seed(seed, cellID)-derived
+// stream. The result is a pure function of (numCells, totalDevices, mix,
+// seed) — identical for every worker count — and generation time scales
+// with the cores available, which is what makes million-device networks
+// practical to materialise. workers <= 0 means runner.DefaultWorkers().
+func PopulateParallel(numCells, totalDevices int, mix traffic.Mix, seed int64, workers int) (*Network, error) {
+	if numCells <= 0 {
+		return nil, fmt.Errorf("network: non-positive cell count %d", numCells)
+	}
+	if totalDevices < numCells {
+		return nil, fmt.Errorf("network: %d devices cannot populate %d cells", totalDevices, numCells)
+	}
+	// Cell indices use runner.Seed(seed, 0..numCells-1); the assignment
+	// stream takes index numCells, the first one no cell owns.
+	counts := make([]int, numCells)
+	for i := range counts {
+		counts[i] = 1 // no cell may be empty
+	}
+	assign := rng.NewStream(runner.Seed(seed, numCells))
+	for i := numCells; i < totalDevices; i++ {
+		counts[assign.Intn(numCells)]++
+	}
+	sites := make([]Site, numCells)
+	err := runner.Run(context.Background(), numCells, workers, func(_ context.Context, c int) error {
+		// Double-derive the fleet stream so it never equals the raw
+		// runner.Seed(seed, c) that Distribute hands cell c as its campaign
+		// seed when the caller reuses one seed for both (cell.Run namespaces
+		// its streams internally, but a raw stream would not).
+		fleet, err := mix.Generate(counts[c], rng.NewStream(runner.Seed(runner.Seed(seed, c), 0)))
+		if err != nil {
+			return fmt.Errorf("network: cell %d: %w", c, err)
+		}
+		sites[c] = Site{ID: c, Fleet: fleet}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return New(sites)
+}
+
 // NumSites reports the number of cells.
 func (n *Network) NumSites() int { return len(n.sites) }
 
@@ -122,8 +168,15 @@ type RolloutConfig struct {
 	// Parallelism bounds concurrent cell simulations; <= 0 means
 	// runtime.NumCPU(). Results are bit-identical for every value: each
 	// cell derives its randomness from its own seed, and aggregation runs
-	// serially in site order after the pool drains.
+	// serially in site order as the index-ordered prefix completes.
 	Parallelism int
+	// DiscardCellResults, when true, drops each per-cell *cell.Result as
+	// soon as the streaming reducer has folded it into the rollout
+	// aggregates, leaving Rollout.Cells nil. With it set, a rollout's
+	// memory is O(Parallelism) in the cell count — the knob that lets
+	// million-device, many-thousand-cell campaigns complete. Totals
+	// (devices, transmissions, uptime sums, campaign end) are unaffected.
+	DiscardCellResults bool
 }
 
 // CellOutcome pairs a site with its campaign result.
@@ -135,77 +188,82 @@ type CellOutcome struct {
 // Rollout is the aggregated outcome of a network-wide campaign.
 type Rollout struct {
 	Mechanism core.Mechanism
-	Cells     []CellOutcome
+	// Cells holds per-cell outcomes in site-ID order; nil when the rollout
+	// ran with RolloutConfig.DiscardCellResults.
+	Cells []CellOutcome
 	// TotalDevices and TotalTransmissions aggregate over cells.
 	TotalDevices       int
 	TotalTransmissions int
 	// End is the latest campaign end across cells (cells run in parallel
 	// in real time).
 	End simtime.Ticks
+	// lightSleep and connected are folded incrementally while cells
+	// stream through Distribute's reducer, so the uptime totals survive
+	// DiscardCellResults.
+	lightSleep, connected simtime.Ticks
 }
 
 // Distribute pushes one firmware image to every device in the network:
 // each cell receives the image plus its slice of the device list and runs
 // its own campaign. Cells simulate concurrently on the bounded worker pool
-// (RolloutConfig.Parallelism wide); results are deterministic because each
-// cell derives every random draw from its own seed, and a per-cell failure
-// surfaces as the error of the lowest-indexed failing site regardless of
-// goroutine scheduling.
+// (RolloutConfig.Parallelism wide) and stream through a serial site-order
+// reducer that folds each outcome into the rollout aggregates the moment
+// its prefix completes — only O(Parallelism) cell results are ever held
+// back, and with DiscardCellResults none are retained. Results are
+// deterministic because each cell derives every random draw from its own
+// seed, and a per-cell failure surfaces as the error of the
+// lowest-indexed failing site regardless of goroutine scheduling.
 func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 	if !cfg.Mechanism.Valid() {
 		return nil, fmt.Errorf("network: invalid mechanism %d", int(cfg.Mechanism))
 	}
-	results := make([]*cell.Result, len(n.sites))
-	err := runner.Run(context.Background(), len(n.sites), cfg.Parallelism, func(_ context.Context, i int) error {
-		site := n.sites[i]
-		res, err := cell.Run(cell.Config{
-			Mechanism:         cfg.Mechanism,
-			Fleet:             site.Fleet,
-			TI:                cfg.TI,
-			PageGuard:         100 * simtime.Millisecond,
-			PayloadBytes:      cfg.PayloadBytes,
-			Seed:              runner.Seed(cfg.Seed, site.ID),
-			UniformCoverage:   cfg.UniformCoverage,
-			SplitByCoverage:   cfg.SplitByCoverage,
-			BackgroundTraffic: cfg.BackgroundTraffic,
+	out := &Rollout{Mechanism: cfg.Mechanism}
+	if !cfg.DiscardCellResults {
+		out.Cells = make([]CellOutcome, 0, len(n.sites))
+	}
+	err := runner.Reduce(context.Background(), len(n.sites), cfg.Parallelism,
+		func(_ context.Context, i int) (*cell.Result, error) {
+			site := n.sites[i]
+			res, err := cell.Run(cell.Config{
+				Mechanism:         cfg.Mechanism,
+				Fleet:             site.Fleet,
+				TI:                cfg.TI,
+				PageGuard:         100 * simtime.Millisecond,
+				PayloadBytes:      cfg.PayloadBytes,
+				Seed:              runner.Seed(cfg.Seed, site.ID),
+				UniformCoverage:   cfg.UniformCoverage,
+				SplitByCoverage:   cfg.SplitByCoverage,
+				BackgroundTraffic: cfg.BackgroundTraffic,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("network: cell %d: %w", site.ID, err)
+			}
+			return res, nil
+		},
+		func(i int, res *cell.Result) error {
+			out.TotalDevices += res.NumDevices
+			out.TotalTransmissions += res.NumTransmissions
+			if res.CampaignEnd > out.End {
+				out.End = res.CampaignEnd
+			}
+			out.lightSleep += res.TotalLightSleep()
+			out.connected += res.TotalConnected()
+			if !cfg.DiscardCellResults {
+				out.Cells = append(out.Cells, CellOutcome{SiteID: n.sites[i].ID, Result: res})
+			}
+			return nil
 		})
-		if err != nil {
-			return fmt.Errorf("network: cell %d: %w", site.ID, err)
-		}
-		results[i] = res
-		return nil
-	})
 	if err != nil {
 		return nil, err
-	}
-
-	out := &Rollout{Mechanism: cfg.Mechanism}
-	for i, site := range n.sites {
-		res := results[i]
-		out.Cells = append(out.Cells, CellOutcome{SiteID: site.ID, Result: res})
-		out.TotalDevices += res.NumDevices
-		out.TotalTransmissions += res.NumTransmissions
-		if res.CampaignEnd > out.End {
-			out.End = res.CampaignEnd
-		}
 	}
 	return out, nil
 }
 
-// TotalLightSleep aggregates the light-sleep proxy across cells.
-func (r *Rollout) TotalLightSleep() simtime.Ticks {
-	var sum simtime.Ticks
-	for _, c := range r.Cells {
-		sum += c.Result.TotalLightSleep()
-	}
-	return sum
-}
+// TotalLightSleep aggregates the light-sleep proxy across cells. The sum
+// is folded during Distribute, so it works even when per-cell results
+// were discarded.
+func (r *Rollout) TotalLightSleep() simtime.Ticks { return r.lightSleep }
 
-// TotalConnected aggregates the connected-mode proxy across cells.
-func (r *Rollout) TotalConnected() simtime.Ticks {
-	var sum simtime.Ticks
-	for _, c := range r.Cells {
-		sum += c.Result.TotalConnected()
-	}
-	return sum
-}
+// TotalConnected aggregates the connected-mode proxy across cells (folded
+// during Distribute, like TotalLightSleep).
+func (r *Rollout) TotalConnected() simtime.Ticks { return r.connected }

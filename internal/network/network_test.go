@@ -67,6 +67,86 @@ func TestPopulateErrors(t *testing.T) {
 	}
 }
 
+func TestPopulateParallelDeterministicAcrossWorkers(t *testing.T) {
+	base, err := PopulateParallel(6, 200, traffic.EricssonCityMix(), 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range base.Sites() {
+		if len(s.Fleet) == 0 {
+			t.Errorf("site %d empty", s.ID)
+		}
+		for i, d := range s.Fleet {
+			if d.ID != i {
+				t.Errorf("site %d device %d has ID %d, want dense IDs", s.ID, i, d.ID)
+			}
+		}
+		total += len(s.Fleet)
+	}
+	if total != 200 {
+		t.Errorf("devices across sites = %d, want 200", total)
+	}
+	for _, workers := range []int{0, 4, 16} {
+		got, err := PopulateParallel(6, 200, traffic.EricssonCityMix(), 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Sites(), got.Sites()) {
+			t.Errorf("workers=%d produced a different network", workers)
+		}
+	}
+}
+
+func TestPopulateParallelSeedSensitivity(t *testing.T) {
+	a, err := PopulateParallel(3, 60, traffic.EricssonCityMix(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PopulateParallel(3, 60, traffic.EricssonCityMix(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Sites(), b.Sites()) {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+func TestPopulateParallelErrors(t *testing.T) {
+	mix := traffic.EricssonCityMix()
+	if _, err := PopulateParallel(0, 10, mix, 1, 1); err == nil {
+		t.Error("zero cells accepted")
+	}
+	if _, err := PopulateParallel(5, 3, mix, 1, 1); err == nil {
+		t.Error("fewer devices than cells accepted")
+	}
+}
+
+func TestDistributeDiscardCellResults(t *testing.T) {
+	n := testNetwork(t, 4, 120, 21)
+	cfg := defaultRollout(core.MechanismDRSC)
+	kept, err := n.Distribute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DiscardCellResults = true
+	dropped, err := n.Distribute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Cells != nil {
+		t.Errorf("DiscardCellResults kept %d cell outcomes", len(dropped.Cells))
+	}
+	// Every aggregate must survive the discard bit-identically.
+	if dropped.TotalDevices != kept.TotalDevices ||
+		dropped.TotalTransmissions != kept.TotalTransmissions ||
+		dropped.End != kept.End ||
+		dropped.TotalLightSleep() != kept.TotalLightSleep() ||
+		dropped.TotalConnected() != kept.TotalConnected() {
+		t.Errorf("aggregates diverged: kept %+v vs dropped %+v", kept, dropped)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Error("empty network accepted")

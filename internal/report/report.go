@@ -72,7 +72,9 @@ func (t *Table) String() string {
 	for _, w := range widths {
 		total += w
 	}
-	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	if sep := total + 2*(len(widths)-1); sep > 0 { // zero columns: no rule
+		b.WriteString(strings.Repeat("-", sep))
+	}
 	b.WriteByte('\n')
 	for _, row := range t.rows {
 		writeRow(row)

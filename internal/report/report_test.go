@@ -69,6 +69,47 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+func TestCSVQuoting(t *testing.T) {
+	// RFC-4180 corner cases: embedded commas, quotes, and newlines must
+	// all round-trip inside one quoted cell.
+	tbl := NewTable("", "field", "note")
+	tbl.AddRow("a,b", "comma")
+	tbl.AddRow(`say "hi"`, "quotes")
+	tbl.AddRow("line1\nline2", "newline")
+	tbl.AddRow(`mix, "q"`+"\nend", "all three")
+	got := tbl.CSV()
+	want := "field,note\n" +
+		"\"a,b\",comma\n" +
+		"\"say \"\"hi\"\"\",quotes\n" +
+		"\"line1\nline2\",newline\n" +
+		"\"mix, \"\"q\"\"\nend\",all three\n"
+	if got != want {
+		t.Errorf("CSV quoting:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestCSVHeaderQuoting(t *testing.T) {
+	tbl := NewTable("", `mech,name`, "value")
+	tbl.AddRow("DR-SC", "1")
+	if got := tbl.CSV(); !strings.HasPrefix(got, "\"mech,name\",value\n") {
+		t.Errorf("header not quoted: %q", got)
+	}
+}
+
+func TestZeroColumnTableString(t *testing.T) {
+	// A degenerate zero-column table must render, not panic on a negative
+	// separator width.
+	tbl := NewTable("empty layout")
+	tbl.AddRow() // zero cells matches zero columns
+	out := tbl.String()
+	if !strings.Contains(out, "empty layout") {
+		t.Errorf("title missing from zero-column table: %q", out)
+	}
+	if tbl.CSV() == "" {
+		t.Error("zero-column CSV should still emit row terminators")
+	}
+}
+
 func TestFormatHelpers(t *testing.T) {
 	if FormatFloat(0.123456) != "0.1235" {
 		t.Errorf("FormatFloat = %q", FormatFloat(0.123456))
@@ -145,5 +186,43 @@ func TestChartConstantSeries(t *testing.T) {
 	out := ch.String()
 	if out == "" || strings.Contains(out, "NaN") {
 		t.Errorf("degenerate chart broken:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	// One point: both axes collapse to a zero-width range; the glyph must
+	// still land on the grid with finite labels.
+	ch := NewChart("one", "x", "y")
+	var s stats.Series
+	s.Name = "dot"
+	s.Append(7, stats.Summary{N: 1, Mean: 42})
+	ch.Add(s)
+	out := ch.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf", "-Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("chart contains %s:\n%s", bad, out)
+		}
+	}
+}
+
+func TestChartEqualMinMaxY(t *testing.T) {
+	// Several x values, identical means: maxY == minY must not divide by
+	// zero, and every point must render on one row.
+	ch := NewChart("flatline", "", "")
+	var s stats.Series
+	s.Name = "flat"
+	for i := 1; i <= 4; i++ {
+		s.Append(float64(i), stats.Summary{N: 1, Mean: 2.5})
+	}
+	ch.Add(s)
+	out := ch.String()
+	if strings.Count(out, "*") != 5 { // 4 plotted points + the legend glyph
+		t.Errorf("want 4 plotted points plus legend:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("flatline chart broken:\n%s", out)
 	}
 }

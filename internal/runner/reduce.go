@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// ReduceTask computes task index's result. Like Task, everything the task
+// randomises must be derived from the index (plus configuration captured
+// at submission), never from execution order.
+type ReduceTask[T any] func(ctx context.Context, index int) (T, error)
+
+// Reduce executes n tasks on a pool of at most workers goroutines and
+// feeds each result exactly once — serially, in strictly increasing index
+// order, on the calling goroutine — to reduce. Tasks finish in any order;
+// a result is consumed as soon as the index-ordered prefix before it is
+// complete, so at most O(workers) results are ever buffered, independent
+// of n. That is what lets million-run sweeps fold into constant-size
+// accumulators instead of index-addressed slices: Run + a results slice
+// holds O(n) outputs, Reduce holds O(workers).
+//
+// Dispatch is throttled: no index is claimed more than 2×workers ahead of
+// the reducer. That window is what bounds the buffer, and it means a slow
+// reducer backpressures the pool rather than letting results pile up.
+//
+// Error semantics mirror Run: the returned error is the one with the
+// lowest index, whether it came from a task or from the reducer, and
+// every index below it is guaranteed to have been reduced. If ctx is
+// cancelled before all n results were reduced, Reduce returns ctx.Err();
+// if every task completed and was reduced, it returns nil even when ctx
+// was cancelled in the meantime. workers <= 0 means DefaultWorkers();
+// workers == 1 runs tasks and reductions interleaved on the calling
+// goroutine.
+func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], reduce func(index int, value T) error) error {
+	if n < 0 {
+		return fmt.Errorf("runner: negative task count %d", n)
+	}
+	if task == nil {
+		return fmt.Errorf("runner: nil task")
+	}
+	if reduce == nil {
+		return fmt.Errorf("runner: nil reducer")
+	}
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := task(ctx, i)
+			if err != nil {
+				return err
+			}
+			if err := reduce(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// tctx is cancelled on the first failure so cooperative tasks can bail
+	// out; the pool itself only uses it to stop dispatching new indices.
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	window := 2 * workers // max indices dispatch may run ahead of the reducer
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		pending   = make(map[int]T, window) // completed, not yet reduced
+		nextRed   int                       // lowest index not yet reduced
+		nextClaim int                       // next index to dispatch
+		inFlight  int                       // claimed but neither deposited nor failed
+		failIdx   = n                       // lowest failing index (task or reducer)
+		failErr   error
+		stopped   bool // no further dispatch
+	)
+	// fail records an error and halts dispatch; callers hold mu.
+	fail := func(i int, err error) {
+		if i < failIdx {
+			failIdx, failErr = i, err
+		}
+		stopped = true
+		cancel()
+		cond.Broadcast()
+	}
+
+	// Wake waiters when the caller's context dies (our own cancel() trips
+	// this too, which is harmless — stopped is already set then).
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-tctx.Done():
+			mu.Lock()
+			stopped = true
+			cond.Broadcast()
+			mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for !stopped && nextClaim < n && nextClaim-nextRed >= window {
+					cond.Wait()
+				}
+				if stopped || nextClaim >= n || tctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := nextClaim
+				nextClaim++
+				inFlight++
+				mu.Unlock()
+
+				v, err := task(tctx, i)
+
+				mu.Lock()
+				inFlight--
+				if err != nil {
+					fail(i, err)
+				} else {
+					pending[i] = v
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// The calling goroutine is the serial reducer: it consumes the
+	// index-ordered prefix as it completes, and its position (nextRed) is
+	// what the dispatch window above throttles against.
+	mu.Lock()
+	for {
+		if v, ok := pending[nextRed]; ok {
+			delete(pending, nextRed)
+			i := nextRed
+			mu.Unlock()
+			err := reduce(i, v)
+			mu.Lock()
+			nextRed++
+			if err != nil {
+				fail(i, err)
+				break
+			}
+			cond.Broadcast()
+			continue
+		}
+		if nextRed >= n {
+			break // everything reduced
+		}
+		if stopped && inFlight == 0 {
+			break // the gap at nextRed failed or was never dispatched
+		}
+		cond.Wait()
+	}
+	reducedAll := nextRed >= n
+	mu.Unlock()
+	wg.Wait()
+
+	if failErr != nil {
+		return failErr
+	}
+	if reducedAll {
+		return nil
+	}
+	return ctx.Err()
+}

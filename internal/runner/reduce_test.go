@@ -1,0 +1,285 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReduceInOrderEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		var got []int
+		err := Reduce(context.Background(), n, workers,
+			func(_ context.Context, i int) (int, error) {
+				// Stagger completions so deposits arrive out of order.
+				time.Sleep(time.Duration(i%7) * time.Microsecond)
+				return i * i, nil
+			},
+			func(i, v int) error {
+				if v != i*i {
+					t.Errorf("workers=%d: index %d carried value %d", workers, i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: reduced %d of %d results", workers, len(got), n)
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("workers=%d: position %d reduced index %d — out of order", workers, i, idx)
+			}
+		}
+	}
+}
+
+func TestReduceZeroTasksAndBadInput(t *testing.T) {
+	noTask := func(context.Context, int) (int, error) { return 0, nil }
+	noReduce := func(int, int) error { return nil }
+	if err := Reduce(context.Background(), 0, 4, noTask, noReduce); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := Reduce(context.Background(), -1, 4, noTask, noReduce); err == nil {
+		t.Error("negative n accepted")
+	}
+	if err := Reduce[int](context.Background(), 1, 1, nil, noReduce); err == nil {
+		t.Error("nil task accepted")
+	}
+	if err := Reduce(context.Background(), 1, 1, noTask, nil); err == nil {
+		t.Error("nil reducer accepted")
+	}
+}
+
+// TestReduceBuffersOnlyOWorkers is the memory half of the streaming
+// contract: however large n is, the number of completed-but-unreduced
+// results never exceeds the dispatch window (2×workers), so per-sweep
+// memory is O(workers), not O(n).
+func TestReduceBuffersOnlyOWorkers(t *testing.T) {
+	const n, workers = 20000, 4
+	var completed, reduced atomic.Int64
+	var maxOutstanding int64
+	var mu sync.Mutex
+	slow := make(chan struct{})
+	err := Reduce(context.Background(), n, workers,
+		func(_ context.Context, i int) (int, error) {
+			if i == 0 {
+				<-slow // hold the prefix open while later indices pile up
+			}
+			out := completed.Add(1) - reduced.Load()
+			mu.Lock()
+			if out > maxOutstanding {
+				maxOutstanding = out
+			}
+			mu.Unlock()
+			if i == 2*workers-1 {
+				// The dispatch window (2×workers indices ahead of the
+				// reducer) is now exhausted behind blocked index 0 — no
+				// higher index can be claimed until it reduces. Release it.
+				close(slow)
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			reduced.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claims never run more than 2×workers ahead of the reducer, so at most
+	// that many completed results can be outstanding (small slack for the
+	// racy sampling above).
+	if maxOutstanding > 2*workers+2 {
+		t.Errorf("buffered %d results, want <= %d (O(workers), independent of n=%d)",
+			maxOutstanding, 2*workers+2, n)
+	}
+	if reduced.Load() != n {
+		t.Errorf("reduced %d of %d", reduced.Load(), n)
+	}
+}
+
+func TestReduceTaskErrorLowestIndexWins(t *testing.T) {
+	failing := map[int]bool{11: true, 19: true, 42: true}
+	for _, workers := range []int{1, 2, 7, 32} {
+		for trial := 0; trial < 5; trial++ {
+			var reduced []int
+			err := Reduce(context.Background(), 64, workers,
+				func(_ context.Context, i int) (int, error) {
+					if failing[i] {
+						// Higher-indexed failures finish first on purpose.
+						time.Sleep(time.Duration(50-i) * time.Microsecond)
+						return 0, fmt.Errorf("task %d failed", i)
+					}
+					return i, nil
+				},
+				func(i, v int) error {
+					reduced = append(reduced, i)
+					return nil
+				})
+			if err == nil || err.Error() != "task 11 failed" {
+				t.Fatalf("workers=%d trial=%d: got %v, want task 11's error", workers, trial, err)
+			}
+			// Every index below the failure must have been reduced, in order.
+			if len(reduced) < 11 {
+				t.Fatalf("workers=%d: only %d results reduced below the failing index", workers, len(reduced))
+			}
+			for i := 0; i < 11; i++ {
+				if reduced[i] != i {
+					t.Fatalf("workers=%d: reduced[%d] = %d", workers, i, reduced[i])
+				}
+			}
+			for _, idx := range reduced {
+				if idx >= 11 {
+					t.Fatalf("workers=%d: index %d reduced past the failure", workers, idx)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceReducerErrorStopsAndWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		calls := 0
+		err := Reduce(context.Background(), 1000, workers,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				calls++
+				if i == 5 {
+					return errors.New("reducer rejects 5")
+				}
+				return nil
+			})
+		if err == nil || err.Error() != "reducer rejects 5" {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+		if calls != 6 {
+			t.Errorf("workers=%d: reducer called %d times after erroring at index 5", workers, calls)
+		}
+	}
+}
+
+func TestReduceContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Reduce(ctx, 100000, 4,
+		func(_ context.Context, i int) (int, error) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return i, nil
+		},
+		func(i, v int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() == 100000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestReduceNilWhenAllReducedDespiteCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 40
+		var reduced int
+		err := Reduce(ctx, n, workers,
+			func(_ context.Context, i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				reduced++
+				if reduced == n {
+					cancel() // cancel lands only after the last reduction
+				}
+				return nil
+			})
+		cancel()
+		if err != nil {
+			t.Errorf("workers=%d: all %d results reduced, got %v, want nil", workers, n, err)
+		}
+	}
+}
+
+func TestReducePreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := Reduce(ctx, 5, workers,
+			func(context.Context, int) (int, error) {
+				t.Error("task ran under a cancelled context")
+				return 0, nil
+			},
+			func(int, int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+	}
+}
+
+// --- Run cancellation regression (see ISSUE 2 satellite) ---------------------
+
+// TestRunNilWhenAllTasksCompleteDespiteCancel pins the fixed contract:
+// a cancel that arrives once every task has already completed must not
+// turn success into ctx.Err(), on either the serial or the pooled path.
+func TestRunNilWhenAllTasksCompleteDespiteCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 50
+		var ran atomic.Int32
+		err := Run(ctx, n, workers, func(_ context.Context, i int) error {
+			if ran.Add(1) == n {
+				cancel() // the last task cancels before returning
+			}
+			return nil
+		})
+		cancel()
+		if err != nil {
+			t.Errorf("workers=%d: all %d tasks completed, got %v, want nil", workers, n, err)
+		}
+		if ran.Load() != n {
+			t.Errorf("workers=%d: ran %d of %d", workers, ran.Load(), n)
+		}
+	}
+}
+
+func TestRunZeroTasksCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Zero tasks means cancellation prevented nothing.
+	if err := Run(ctx, 0, 4, func(context.Context, int) error { return nil }); err != nil {
+		t.Errorf("n=0 on a cancelled context: got %v, want nil", err)
+	}
+	if err := Reduce(ctx, 0, 4,
+		func(context.Context, int) (int, error) { return 0, nil },
+		func(int, int) error { return nil }); err != nil {
+		t.Errorf("Reduce n=0 on a cancelled context: got %v, want nil", err)
+	}
+}
+
+// BenchmarkReduceStreaming exercises the streaming path at sweep-like
+// scale; allocs/op staying flat as n grows is the headline property.
+func BenchmarkReduceStreaming(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var sum int64
+				err := Reduce(context.Background(), n, 8,
+					func(_ context.Context, idx int) (int64, error) { return int64(idx), nil },
+					func(_ int, v int64) error { sum += v; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want := int64(n) * int64(n-1) / 2; sum != want {
+					b.Fatalf("sum %d, want %d", sum, want)
+				}
+			}
+		})
+	}
+}

@@ -62,7 +62,10 @@ func DefaultWorkers() int { return runtime.NumCPU() }
 // If ctx is cancelled before all tasks are dispatched, Run stops
 // dispatching and returns ctx.Err() (task errors from lower indices still
 // take precedence, keeping the result deterministic for a given cancel
-// point).
+// point). Cancellation is only reported when it actually prevented work:
+// if every one of the n tasks ran to completion, Run returns nil even
+// when ctx was cancelled in the meantime — identically for the serial and
+// pooled paths.
 func Run(ctx context.Context, n, workers int, task Task) error {
 	if n < 0 {
 		return fmt.Errorf("runner: negative task count %d", n)
@@ -71,7 +74,7 @@ func Run(ctx context.Context, n, workers int, task Task) error {
 		return fmt.Errorf("runner: nil task")
 	}
 	if n == 0 {
-		return ctx.Err()
+		return nil
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -98,11 +101,12 @@ func Run(ctx context.Context, n, workers int, task Task) error {
 	defer cancel()
 
 	var (
-		mu       sync.Mutex
-		firstIdx = n // lowest failing index seen so far
-		firstErr error
-		next     int // next index to dispatch; guarded by mu
-		stopped  bool
+		mu        sync.Mutex
+		firstIdx  = n // lowest failing index seen so far
+		firstErr  error
+		next      int // next index to dispatch; guarded by mu
+		completed int // tasks that ran to completion without error
+		stopped   bool
 	)
 	record := func(i int, err error) {
 		mu.Lock()
@@ -138,6 +142,10 @@ func Run(ctx context.Context, n, workers int, task Task) error {
 				}
 				if err := task(tctx, i); err != nil {
 					record(i, err)
+				} else {
+					mu.Lock()
+					completed++
+					mu.Unlock()
 				}
 			}
 		}()
@@ -146,6 +154,11 @@ func Run(ctx context.Context, n, workers int, task Task) error {
 
 	if firstErr != nil {
 		return firstErr
+	}
+	if completed == n {
+		// Every task finished; a cancel that arrived after the fact changed
+		// nothing, so report success like the serial path does.
+		return nil
 	}
 	return ctx.Err()
 }

@@ -154,6 +154,37 @@ func TestSeries(t *testing.T) {
 	s.Append(50, Summary{})
 }
 
+func TestPercentileEdgeCases(t *testing.T) {
+	// Single element: every p returns it.
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v", p, got)
+		}
+	}
+	xs := []float64{3, 1, 4, 1, 5} // unsorted on purpose; sorted: 1 1 3 4 5
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p=0: %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Errorf("p=1: %v", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Errorf("median: %v", got)
+	}
+	// Interpolation between ranks: p=0.375 sits halfway between 1 and 3.
+	if got := Percentile(xs, 0.375); got != 2 {
+		t.Errorf("p=0.375: %v, want 2", got)
+	}
+	// Two elements interpolate linearly across the whole range.
+	if got := Percentile([]float64{10, 20}, 0.25); got != 12.5 {
+		t.Errorf("two-element p=0.25: %v", got)
+	}
+	// Duplicated values collapse the interpolation to the shared value.
+	if got := Percentile([]float64{2, 2, 2, 9}, 1.0/3.0); got != 2 {
+		t.Errorf("duplicates p=1/3: %v", got)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	got := Summary{N: 3, Mean: 1.5, StdDev: 0.5, Min: 1, Max: 2, CI95: 0.57}.String()
 	if got == "" {

@@ -251,7 +251,10 @@ type Network = network.Network
 
 // RolloutConfig configures a network-wide firmware rollout. Its Parallelism
 // field bounds concurrent cell simulations (<= 0 means DefaultWorkers());
-// results are bit-identical for every value.
+// results are bit-identical for every value. Set DiscardCellResults for
+// huge rollouts: per-cell results are folded into the totals as they
+// stream and then dropped, keeping memory O(Parallelism) in the cell
+// count.
 type RolloutConfig = network.RolloutConfig
 
 // Rollout is the aggregated outcome of a network-wide campaign.
@@ -260,9 +263,20 @@ type Rollout = network.Rollout
 // NewNetwork builds a network from explicit sites.
 func NewNetwork(sites []NetworkSite) (*Network, error) { return network.New(sites) }
 
-// PopulateNetwork spreads a generated fleet over numCells cells.
+// PopulateNetwork spreads a generated fleet over numCells cells, drawing
+// serially from one stream.
 func PopulateNetwork(numCells, totalDevices int, mix Mix, stream *Stream) (*Network, error) {
 	return network.Populate(numCells, totalDevices, mix, stream)
+}
+
+// PopulateNetworkParallel is the scale path for network generation: every
+// cell draws its fleet from its own seed-derived stream, concurrently on
+// the bounded pool (workers <= 0 means DefaultWorkers()). The network is
+// a pure function of the arguments — identical for every worker count —
+// so million-device networks materialise at full core count without
+// giving up reproducibility.
+func PopulateNetworkParallel(numCells, totalDevices int, mix Mix, seed int64, workers int) (*Network, error) {
+	return network.PopulateParallel(numCells, totalDevices, mix, seed, workers)
 }
 
 // --- analytical models -----------------------------------------------------------------
@@ -290,8 +304,16 @@ func ExpectedDRSCTransmissions(fleet []Device, ti Ticks) float64 {
 // are independent simulations, so ExperimentOptions.Workers and
 // RolloutConfig.Parallelism only change wall-clock time, never results —
 // every sweep derives each campaign's randomness from (seed, task index)
-// and reduces in index order on the shared bounded pool (internal/runner).
+// and streams through a serial index-ordered reducer on the shared
+// bounded pool (internal/runner), buffering only O(workers) results
+// however many runs the sweep spans.
 func DefaultWorkers() int { return runner.DefaultWorkers() }
+
+// RunRecord is one completed sweep unit, delivered in index order through
+// ExperimentOptions.Record as the streaming reducer consumes it — the
+// hook for spilling per-run results to disk (see nbsim -jsonl) instead of
+// holding them in memory.
+type RunRecord = experiment.RunRecord
 
 // --- evaluation harness ----------------------------------------------------------------
 
