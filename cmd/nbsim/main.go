@@ -7,7 +7,9 @@
 //	nbsim fig7      [flags]   # Fig 7: DR-SC transmissions vs fleet size
 //	nbsim ablations [flags]   # A1-A4 (use -id to select one)
 //	nbsim all       [flags]   # everything above
-//	nbsim run       [flags]   # one campaign, verbose per-device summary
+//	nbsim run      [flags]    # one campaign, verbose per-device summary
+//	nbsim merge    [flags] shard0.jsonl shard1.jsonl ...
+//	                          # fold shard record files into the single-process output
 //
 // Common flags: -seed, -runs, -devices, -ti, -mix, -workers, -csv, -quiet,
 // -jsonl. Results print as aligned tables (and ASCII charts); -csv switches
@@ -16,7 +18,17 @@
 // every worker count. -jsonl <path> streams one JSON record per completed
 // run to the file as the sweep executes — records arrive in index order
 // and are never buffered in memory, so arbitrarily long sweeps spill
-// straight to disk.
+// straight to disk. An existing file is never clobbered: pass -force to
+// overwrite or -resume to continue it.
+//
+// Distributed campaigns (fig6a, fig6b, fig7; see internal/campaign):
+// -shard i/n executes the i-th of n interleaved slices of the sweep's
+// task-index space in this process, writing its records plus a manifest
+// sidecar (<file>.manifest); `nbsim merge` folds the completed shard files
+// back into the exact single-process tables and record stream. -resume
+// continues an interrupted -jsonl campaign from its completed prefix,
+// tolerating the torn final line a crash leaves; the finished file is
+// byte-identical to an uninterrupted run's.
 package main
 
 import (
@@ -24,10 +36,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
+	"nbiot/internal/campaign"
 	"nbiot/internal/cell"
 	"nbiot/internal/core"
 	"nbiot/internal/experiment"
@@ -53,6 +69,9 @@ type cliOptions struct {
 	quiet     bool
 	mixName   string
 	jsonlPath string
+	resume    bool
+	force     bool
+	shardSpec string
 	// run-subcommand extras
 	mechanism string
 	size      int64
@@ -73,6 +92,9 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
 	fs.StringVar(&o.jsonlPath, "jsonl", "", "stream one JSON record per completed run to this file as the sweep executes")
+	fs.BoolVar(&o.resume, "resume", false, "resume an interrupted -jsonl campaign from its completed prefix (fig6a/fig6b/fig7)")
+	fs.BoolVar(&o.force, "force", false, "overwrite an existing -jsonl results file instead of refusing")
+	fs.StringVar(&o.shardSpec, "shard", "", "execute one shard i/n of the sweep's task space (1-based, e.g. 2/3; fig6a/fig6b/fig7, requires -jsonl)")
 	fs.StringVar(&o.mechanism, "mechanism", "DA-SC", "run: mechanism (Unicast, DR-SC, DA-SC, DR-SI, SC-PTM)")
 	fs.Int64Var(&o.size, "size", multicast.Size1MB, "run: payload bytes")
 	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
@@ -87,12 +109,33 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 		return o, fmt.Errorf("unknown mix %q (have %s)", o.mixName, strings.Join(mixNames(), ", "))
 	}
 	o.exp.Mix = mix
+	if o.shardSpec != "" {
+		idx, count, serr := parseShard(o.shardSpec)
+		if serr != nil {
+			return o, serr
+		}
+		o.exp.ShardIndex, o.exp.ShardCount = idx, count
+	}
 	if !o.quiet {
 		o.exp.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 	return o, nil
+}
+
+// parseShard parses "i/n" (1-based, so 1/3 is the first of three shards)
+// into the 0-based shard coordinates the experiment layer uses.
+func parseShard(spec string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(spec, "/")
+	if ok {
+		i, ierr := strconv.Atoi(is)
+		n, nerr := strconv.Atoi(ns)
+		if ierr == nil && nerr == nil && n >= 1 && i >= 1 && i <= n {
+			return i - 1, n, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("bad -shard %q: want i/n with 1 <= i <= n (e.g. 2/3)", spec)
 }
 
 func mixNames() []string {
@@ -104,54 +147,74 @@ func mixNames() []string {
 	return names
 }
 
+// shardable names the subcommands whose sweeps have a single task-index
+// space — the ones -shard/-resume and manifests are defined over.
+// Composite runs (ablations, all) nest several sweeps in one invocation.
+func shardable(cmd string) bool { return cmd == "fig6a" || cmd == "fig6b" || cmd == "fig7" }
+
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run} [flags]")
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run|merge} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "merge" {
+		return runMerge(rest)
+	}
 	switch cmd {
 	case "fig6a", "fig6b", "fig7", "ablations", "all", "run":
 	default:
-		// Reject before -jsonl wiring below may truncate an existing file.
+		// Reject before -jsonl wiring below may touch an existing file.
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 	o, err := parseFlags(cmd, rest)
 	if err != nil {
 		return err
 	}
+	if o.exp.ShardCount > 1 || o.resume {
+		if !shardable(cmd) {
+			return fmt.Errorf("-shard/-resume apply to single-sweep subcommands (fig6a, fig6b, fig7), not %q", cmd)
+		}
+		if o.jsonlPath == "" {
+			return fmt.Errorf("-shard/-resume need -jsonl: the record file is the campaign's durable state")
+		}
+	}
+	if o.resume && o.force {
+		return fmt.Errorf("-resume appends to the existing file and -force overwrites it; choose one")
+	}
+	var sink *jsonlSink
 	if o.jsonlPath != "" {
 		if cmd == "run" {
 			// runSingle is one campaign, not a sweep — nothing would ever be
 			// recorded, and silently creating an empty file misleads.
 			return fmt.Errorf("-jsonl applies to sweep subcommands (fig6a, fig6b, fig7, ablations, all), not %q", cmd)
 		}
-		closeJSONL, jerr := streamJSONL(&o.exp, o.jsonlPath)
-		if jerr != nil {
-			return jerr
+		sink, err = openJSONL(cmd, &o)
+		if err != nil {
+			return err
 		}
 		defer func() {
-			if cerr := closeJSONL(); cerr != nil && err == nil {
+			if cerr := sink.close(); cerr != nil && err == nil {
 				err = cerr
 			}
 		}()
 	}
 	switch cmd {
 	case "fig6a":
-		return runFig6a(o)
+		return runFig6a(o, sink)
 	case "fig6b":
-		return runFig6b(o)
+		return runFig6b(o, sink)
 	case "fig7":
-		return runFig7(o)
+		return runFig7(o, sink)
 	case "ablations":
 		return runAblations(o)
 	case "all":
-		if err := runFig6a(o); err != nil {
+		if err := runFig6a(o, sink); err != nil {
 			return err
 		}
-		if err := runFig6b(o); err != nil {
+		if err := runFig6b(o, sink); err != nil {
 			return err
 		}
-		if err := runFig7(o); err != nil {
+		if err := runFig7(o, sink); err != nil {
 			return err
 		}
 		return runAblations(o)
@@ -162,42 +225,176 @@ func run(args []string) (err error) {
 	}
 }
 
-// streamJSONL wires exp.Record to append one JSON line per completed run
-// to path. Records arrive serially, in index order, from each sweep's
-// streaming reducer, so no locking or buffering of results is needed —
-// the file grows as the sweep executes, whatever the worker count. A
-// write failure propagates back through the reducer and aborts the sweep
-// (no point simulating for hours onto a full disk). The returned function
-// flushes, closes, and reports the first error.
-func streamJSONL(exp *experiment.Options, path string) (func() error, error) {
-	f, err := os.Create(path)
+// jsonlSink owns the -jsonl record file: the refuse-to-clobber creation
+// policy, the manifest sidecar for shardable sweeps, resume recovery, and
+// the buffered writer behind the sweep's Record hook. Records arrive
+// serially, in index order, from each sweep's streaming reducer, so no
+// locking or buffering of results is needed — the file grows as the sweep
+// executes, whatever the worker count. A write failure propagates back
+// through the reducer and aborts the sweep (no point simulating for hours
+// onto a full disk).
+type jsonlSink struct {
+	path        string
+	f           *os.File
+	w           *bufio.Writer
+	writeErr    error
+	manifest    campaign.Manifest
+	hasManifest bool
+}
+
+// openJSONL builds the sink for cmd: fresh (O_EXCL unless -force, manifest
+// sidecar written for shardable sweeps) or resumed (on-disk manifest
+// verified against the flags, crash damage truncated, sweep offset to the
+// completed prefix).
+func openJSONL(cmd string, o *cliOptions) (*jsonlSink, error) {
+	s := &jsonlSink{path: o.jsonlPath}
+	if shardable(cmd) {
+		m, err := campaign.New(cmd, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
+		if err != nil {
+			return nil, err
+		}
+		s.manifest, s.hasManifest = m, true
+	}
+	if o.resume {
+		onDisk, err := campaign.ReadFile(campaign.Path(s.path))
+		if err != nil {
+			return nil, err
+		}
+		if err := s.manifest.SameCampaign(onDisk); err != nil {
+			return nil, fmt.Errorf("these flags do not continue %s: %w", s.path, err)
+		}
+		f, cp, err := campaign.OpenResume(s.path, s.manifest)
+		if err != nil {
+			return nil, err
+		}
+		o.exp.SkipTasks = cp.Completed
+		s.f = f
+		if o.exp.Progress != nil {
+			o.exp.Progress("resume %s: %d/%d shard tasks already recorded (torn tail dropped: %v)",
+				s.path, cp.Completed, s.manifest.ShardTasks(), cp.Torn)
+		}
+	} else {
+		f, err := createExclusive(s.path, o.force, "pass -resume to continue it or -force to overwrite")
+		if err != nil {
+			return nil, fmt.Errorf("jsonl: %w", err)
+		}
+		s.f = f
+		if s.hasManifest {
+			if err := s.manifest.WriteFile(campaign.Path(s.path)); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	s.w = bufio.NewWriter(s.f)
+	record := campaign.RecordWriter(s.w)
+	o.exp.Record = func(rec experiment.RunRecord) error {
+		if s.writeErr == nil {
+			s.writeErr = record(rec)
+		}
+		if s.writeErr != nil {
+			return fmt.Errorf("jsonl %s: %w", s.path, s.writeErr)
+		}
+		return nil
+	}
+	return s, nil
+}
+
+// flush pushes buffered records to disk, leaving the sink usable.
+func (s *jsonlSink) flush() error {
+	if err := s.w.Flush(); s.writeErr == nil {
+		s.writeErr = err
+	}
+	if s.writeErr != nil {
+		return fmt.Errorf("jsonl %s: %w", s.path, s.writeErr)
+	}
+	return nil
+}
+
+// close flushes and closes, reporting the first error the sink saw.
+func (s *jsonlSink) close() error {
+	if err := s.w.Flush(); s.writeErr == nil {
+		s.writeErr = err
+	}
+	if err := s.f.Close(); s.writeErr == nil {
+		s.writeErr = err
+	}
+	if s.writeErr != nil {
+		return fmt.Errorf("jsonl %s: %w", s.path, s.writeErr)
+	}
+	return nil
+}
+
+// shardDone reports a completed shard run in place of a table: a sharded
+// run's in-process accumulators cover only its slice of the sweep, so the
+// honest outputs are the record file and the merge instructions.
+func (s *jsonlSink) shardDone() error {
+	if err := s.flush(); err != nil {
+		return err
+	}
+	m := s.manifest
+	fmt.Printf("shard %d/%d complete: %d of %d tasks → %s\nmerge the full shard set with: nbsim merge -out merged.jsonl <shard files>\n",
+		m.ShardIndex+1, m.ShardCount, m.ShardTasks(), m.Tasks, s.path)
+	return nil
+}
+
+// createExclusive opens path for writing under the refuse-to-clobber
+// policy shared by -jsonl and merge -out: creation fails if the file
+// exists unless force truncates it, and hint tells the user the way out.
+func createExclusive(path string, force bool, hint string) (*os.File, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_EXCL
+	if force {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("jsonl: %w", err)
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%s exists; %s", path, hint)
+		}
+		return nil, err
 	}
-	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	var writeErr error
-	exp.Record = func(rec experiment.RunRecord) error {
-		if writeErr == nil {
-			writeErr = enc.Encode(rec)
-		}
-		if writeErr != nil {
-			return fmt.Errorf("jsonl %s: %w", path, writeErr)
-		}
-		return nil
+	return f, nil
+}
+
+// samePath reports whether two paths name the same file: equal after
+// cleaning, or resolving to the same inode when both exist.
+func samePath(a, b string) bool {
+	if filepath.Clean(a) == filepath.Clean(b) {
+		return true
 	}
-	return func() error {
-		if err := w.Flush(); writeErr == nil {
-			writeErr = err
+	ai, aerr := os.Stat(a)
+	bi, berr := os.Stat(b)
+	return aerr == nil && berr == nil && os.SameFile(ai, bi)
+}
+
+// fileRecords streams a JSONL record file in stored order.
+func fileRecords(path string) experiment.RecordSeq {
+	return func(yield func(experiment.RunRecord) error) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
 		}
-		if err := f.Close(); writeErr == nil {
-			writeErr = err
+		defer f.Close()
+		br := bufio.NewReader(f)
+		for {
+			line, rerr := br.ReadString('\n')
+			if len(line) > 0 {
+				var rec experiment.RunRecord
+				if err := json.Unmarshal([]byte(line), &rec); err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				if err := yield(rec); err != nil {
+					return err
+				}
+			}
+			if rerr == io.EOF {
+				return nil
+			}
+			if rerr != nil {
+				return rerr
+			}
 		}
-		if writeErr != nil {
-			return fmt.Errorf("jsonl %s: %w", path, writeErr)
-		}
-		return nil
-	}, nil
+	}
 }
 
 func emit(o cliOptions, t *report.Table) {
@@ -208,20 +405,53 @@ func emit(o cliOptions, t *report.Table) {
 	fmt.Println(t.String())
 }
 
-func runFig6a(o cliOptions) error {
+// rebuildForDisplay handles the resumed-run display: the live sweep only
+// executed the tail past the checkpoint, so its in-process accumulators
+// are partial. The record file now holds the complete stream; folding it
+// back (same accumulation code, same float64 values, same order) yields
+// tables bit-identical to an uninterrupted run's.
+func rebuildForDisplay[R any](o cliOptions, sink *jsonlSink, fromRecords func(experiment.Options, experiment.RecordSeq) (R, error)) (R, error) {
+	var zero R
+	if err := sink.flush(); err != nil {
+		return zero, err
+	}
+	res, err := fromRecords(o.exp, fileRecords(sink.path))
+	if err != nil {
+		return zero, fmt.Errorf("rebuilding tables from %s: %w", sink.path, err)
+	}
+	return res, nil
+}
+
+func runFig6a(o cliOptions, sink *jsonlSink) error {
 	res, err := experiment.Fig6a(o.exp)
 	if err != nil {
 		return err
 	}
+	if o.exp.ShardCount > 1 {
+		return sink.shardDone()
+	}
+	if o.resume {
+		if res, err = rebuildForDisplay(o, sink, experiment.Fig6aFromRecords); err != nil {
+			return err
+		}
+	}
 	emit(o, res.Table())
 	return nil
 }
 
-func runFig6b(o cliOptions) error {
+func runFig6b(o cliOptions, sink *jsonlSink) error {
 	res, err := experiment.Fig6b(o.exp)
 	if err != nil {
 		return err
 	}
+	if o.exp.ShardCount > 1 {
+		return sink.shardDone()
+	}
+	if o.resume {
+		if res, err = rebuildForDisplay(o, sink, experiment.Fig6bFromRecords); err != nil {
+			return err
+		}
+	}
 	emit(o, res.Table())
 	if !o.csv {
 		fmt.Println(res.Chart().String())
@@ -229,14 +459,126 @@ func runFig6b(o cliOptions) error {
 	return nil
 }
 
-func runFig7(o cliOptions) error {
+func runFig7(o cliOptions, sink *jsonlSink) error {
 	res, err := experiment.Fig7(o.exp)
 	if err != nil {
 		return err
 	}
+	if o.exp.ShardCount > 1 {
+		return sink.shardDone()
+	}
+	if o.resume {
+		if res, err = rebuildForDisplay(o, sink, experiment.Fig7FromRecords); err != nil {
+			return err
+		}
+	}
 	emit(o, res.Table())
 	if !o.csv {
 		fmt.Println(res.Chart().String())
+	}
+	return nil
+}
+
+// runMerge folds a completed shard set back into the single-process
+// output: the exact figure table (and chart) an unsharded run prints and,
+// with -out, the byte-identical merged record stream plus its manifest.
+func runMerge(args []string) (err error) {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	var out string
+	var csvOut, force bool
+	fs.StringVar(&out, "out", "", "write the merged record stream (and its manifest sidecar) to this JSONL file")
+	fs.BoolVar(&csvOut, "csv", false, "emit CSV instead of aligned tables")
+	fs.BoolVar(&force, "force", false, "overwrite an existing -out file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: nbsim merge [-out merged.jsonl] [-csv] shard0.jsonl shard1.jsonl ...")
+	}
+	first, err := campaign.ReadFile(campaign.Path(paths[0]))
+	if err != nil {
+		return err
+	}
+	opts, err := first.Options()
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = io.Discard
+	var bw *bufio.Writer
+	var f *os.File
+	if out != "" {
+		// -force truncates -out at open; refuse an -out that is one of the
+		// input shards, or the truncation would destroy that shard's records
+		// before the merge ever reads them.
+		for _, p := range paths {
+			if samePath(out, p) {
+				return fmt.Errorf("merge: -out %s is one of the shard inputs", out)
+			}
+		}
+		f, err = createExclusive(out, force, "pass -force to overwrite")
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		defer func() {
+			if err != nil {
+				f.Close()
+				os.Remove(out) // don't leave a half-merged stream behind
+			}
+		}()
+		bw = bufio.NewWriter(f)
+		w = bw
+	}
+
+	var merged campaign.Manifest
+	seq := experiment.RecordSeq(func(yield func(experiment.RunRecord) error) error {
+		m, err := campaign.Merge(w, paths, yield)
+		if err != nil {
+			return err
+		}
+		merged = m
+		return nil
+	})
+	co := cliOptions{csv: csvOut}
+	switch first.Experiment {
+	case "fig6a":
+		res, ferr := experiment.Fig6aFromRecords(opts, seq)
+		if ferr != nil {
+			return ferr
+		}
+		emit(co, res.Table())
+	case "fig6b":
+		res, ferr := experiment.Fig6bFromRecords(opts, seq)
+		if ferr != nil {
+			return ferr
+		}
+		emit(co, res.Table())
+		if !csvOut {
+			fmt.Println(res.Chart().String())
+		}
+	case "fig7":
+		res, ferr := experiment.Fig7FromRecords(opts, seq)
+		if ferr != nil {
+			return ferr
+		}
+		emit(co, res.Table())
+		if !csvOut {
+			fmt.Println(res.Chart().String())
+		}
+	default:
+		return fmt.Errorf("merge: unsupported experiment %q", first.Experiment)
+	}
+	if f != nil {
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		if err := merged.WriteFile(campaign.Path(out)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nbiot/internal/core"
@@ -122,6 +125,149 @@ func TestJSONLRejectedForRunSubcommand(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Errorf("run -jsonl left a file behind (stat err: %v)", err)
+	}
+}
+
+func TestJSONLRefusesClobber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "precious.jsonl")
+	if err := os.WriteFile(path, []byte("{\"keep\":true}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig7", "-runs", "1", "-quiet", "-csv", "-jsonl", path}); err == nil {
+		t.Fatal("existing -jsonl file silently overwritten")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "{\"keep\":true}\n" {
+		t.Fatalf("refusal still clobbered the file: %q, %v", got, err)
+	}
+	// -force is the explicit override.
+	if err := run([]string{"fig7", "-runs", "1", "-quiet", "-csv", "-jsonl", path, "-force"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); strings.Contains(string(got), "keep") {
+		t.Error("-force did not overwrite")
+	}
+}
+
+func TestShardFlagValidation(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "x.jsonl")
+	for _, args := range [][]string{
+		{"fig7", "-quiet", "-shard", "0/3", "-jsonl", tmp},      // 1-based
+		{"fig7", "-quiet", "-shard", "4/3", "-jsonl", tmp},      // out of range
+		{"fig7", "-quiet", "-shard", "banana", "-jsonl", tmp},   // unparseable
+		{"fig7", "-quiet", "-shard", "2/3"},                     // no -jsonl
+		{"ablations", "-quiet", "-shard", "1/2", "-jsonl", tmp}, // composite sweep
+		{"all", "-quiet", "-resume", "-jsonl", tmp},             // composite sweep
+		{"fig7", "-quiet", "-resume", "-force", "-jsonl", tmp},  // contradictory
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestShardMergeResumeEndToEnd drives the full distributed workflow
+// through the CLI: a single-process reference, three shard runs, a merge
+// (byte-identical stream + manifest), and a crash-resume on one shard.
+func TestShardMergeResumeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.jsonl")
+	if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv", "-jsonl", single}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shards []string
+	for i := 1; i <= 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		shards = append(shards, p)
+		if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv",
+			"-shard", fmt.Sprintf("%d/3", i), "-jsonl", p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	if err := run([]string{"merge", "-csv", "-out", merged, shards[0], shards[1], shards[2]}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("merged record stream diverges from the single-process run")
+	}
+	refManifest, err := os.ReadFile(single + ".manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotManifest, err := os.ReadFile(merged + ".manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotManifest, refManifest) {
+		t.Error("merged manifest diverges from the single-process run's")
+	}
+
+	// merge -force -out naming an input shard would truncate that shard's
+	// records before reading them; it must be refused with the file intact.
+	if err := run([]string{"merge", "-csv", "-force", "-out", shards[0],
+		shards[0], shards[1], shards[2]}); err == nil {
+		t.Fatal("merge -out over an input shard accepted")
+	}
+	if b, err := os.ReadFile(shards[0]); err != nil || len(b) == 0 {
+		t.Fatalf("collision refusal damaged the shard: %d bytes, %v", len(b), err)
+	}
+
+	// Crash shard 2 mid-write (torn final line) and resume it; the healed
+	// file must match its uninterrupted self.
+	whole, err := os.ReadFile(shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shards[1], whole[:len(whole)/2+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv",
+		"-shard", "2/3", "-jsonl", shards[1], "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, whole) {
+		t.Error("resumed shard diverges from its uninterrupted run")
+	}
+
+	// Resuming under different flags must be refused — the manifest knows.
+	if err := run([]string{"fig7", "-runs", "4", "-quiet", "-csv",
+		"-shard", "2/3", "-jsonl", shards[1], "-resume"}); err == nil {
+		t.Error("resume with a different configuration accepted")
+	}
+
+	// Unsharded resume completes and still prints the full (rebuilt) table.
+	crashedSingle := filepath.Join(dir, "crashed-single.jsonl")
+	if err := os.WriteFile(crashedSingle, ref[:len(ref)/3+2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(crashedSingle+".manifest", refManifest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv",
+		"-jsonl", crashedSingle, "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	healedSingle, err := os.ReadFile(crashedSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healedSingle, ref) {
+		t.Error("resumed single-process run diverges from the uninterrupted stream")
 	}
 }
 

@@ -1,0 +1,133 @@
+// Distributed-campaign: the shard → crash → resume → merge workflow that
+// turns one-shot sweeps into durable campaigns (internal/campaign).
+//
+// A production fig7 campaign is millions of Monte-Carlo runs — hours of
+// wall-clock across several machines. This example runs the same workflow
+// at toy scale, entirely through the public facade:
+//
+//  1. split the sweep's task-index space into three shards, each written
+//     to its own JSONL record file with a manifest sidecar (in production
+//     each shard is its own `nbsim fig7 -shard i/3 -jsonl ...` process);
+//  2. "crash" one shard mid-write — the file ends in a torn half-line —
+//     and resume it from the completed prefix;
+//  3. merge the three shard files back into the single-process record
+//     stream, byte-identical to a run that was never split, and rebuild
+//     the exact figure table from it;
+//  4. stream a P² quantile sketch over the merged records — the
+//     constant-memory way to report percentiles off a record stream far
+//     too long to retain.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nbiot"
+)
+
+func main() {
+	o := nbiot.DefaultExperimentOptions()
+	o.Runs = 30
+	o.FleetSizes = []int{100, 200, 300}
+
+	dir, err := os.MkdirTemp("", "distributed-campaign")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	runShard := func(path string, idx, count, skip int) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		so := o
+		so.ShardIndex, so.ShardCount, so.SkipTasks = idx, count, skip
+		so.Record = nbiot.CampaignRecordWriter(f)
+		if _, err := nbiot.Fig7(so); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. Three shards of the same campaign, each self-describing.
+	const shards = 3
+	var paths []string
+	for idx := 0; idx < shards; idx++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", idx))
+		paths = append(paths, p)
+		m, err := nbiot.NewCampaignManifest("fig7", o, idx, shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteFile(nbiot.CampaignManifestPath(p)); err != nil {
+			log.Fatal(err)
+		}
+		runShard(p, idx, shards, 0)
+	}
+	fmt.Printf("ran %d shards of the fig7 sweep (%d tasks each way)\n", shards, o.Runs*len(o.FleetSizes))
+
+	// 2. Crash shard 1 mid-write, then recover: scan the damaged file,
+	// drop the torn tail, and resume from the completed prefix.
+	intact, err := os.ReadFile(paths[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], intact[:len(intact)/2+1], 0o644); err != nil {
+		log.Fatal(err)
+	}
+	m, err := nbiot.ReadCampaignManifest(nbiot.CampaignManifestPath(paths[1]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, cp, err := nbiot.ResumeCampaign(paths[1], m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard 2 crashed mid-write: %d/%d tasks recovered (torn tail dropped: %v)\n",
+		cp.Completed, m.ShardTasks(), cp.Torn)
+	so := o
+	so.ShardIndex, so.ShardCount, so.SkipTasks = 1, shards, cp.Completed
+	so.Record = nbiot.CampaignRecordWriter(f)
+	if _, err := nbiot.Fig7(so); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	healed, err := os.ReadFile(paths[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed shard byte-identical to its uninterrupted run: %v\n", bytes.Equal(healed, intact))
+
+	// 3 + 4. Merge the shard set back into single-process order, folding
+	// each record into the figure rebuild and a streaming P95 sketch.
+	var merged bytes.Buffer
+	p95 := nbiot.NewP2Quantile(0.95)
+	var recs []nbiot.RunRecord
+	if _, err := nbiot.MergeCampaignShards(&merged, paths, func(rec nbiot.RunRecord) error {
+		p95.Add(rec.Value)
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := nbiot.Fig7FromRecords(o, func(yield func(nbiot.RunRecord) error) error {
+		for _, rec := range recs {
+			if err := yield(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Table().String())
+	fmt.Printf("streamed P95 of DR-SC transmissions across all %d records: %.1f\n", p95.N(), p95.Value())
+}

@@ -1,0 +1,220 @@
+// Package campaign turns one-shot sweeps into durable, distributable
+// campaigns — the orchestration layer above the execution engine in
+// internal/runner. It owns:
+//
+//   - the Manifest, a sidecar serialized next to every JSONL record file
+//     so results are self-describing and safely mergeable: which
+//     experiment, which configuration (hashed), which shard of the
+//     task-index space;
+//   - sharding: the task space partitions into ShardCount interleaved
+//     slices (global index ≡ ShardIndex mod ShardCount), each executable
+//     in its own process. Per-task seeds derive from global indices
+//     (runner.Seed), so the union of the shards is byte-identical to a
+//     single-process run;
+//   - checkpoint/resume: Scan recovers the completed prefix from an
+//     existing record file, tolerating the torn final line a crash leaves
+//     behind; OpenResume truncates the damage and reopens for append; the
+//     sweep restarts past the prefix via experiment.Options.SkipTasks;
+//   - merge: Merge folds N shard files back into the single-process
+//     record stream and — through experiment.Fig6a/6b/7FromRecords — into
+//     the exact tables an uninterrupted run prints.
+//
+// Everything here rests on the two invariants the execution layers
+// guarantee: records are emitted serially in strictly increasing global
+// index order, and every task's value is a pure function of (seed, global
+// index). The first makes "completed prefix" a well-defined notion a file
+// scan can recover; the second makes re-execution, sharding, and merging
+// all agree bit for bit.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"nbiot/internal/experiment"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// Manifest describes one shard of one configured sweep. It is written as
+// a sidecar next to the shard's JSONL record file (see Path), making the
+// file self-describing: a resuming process verifies it is continuing the
+// same campaign, and a merging process verifies the shards belong
+// together, without either trusting the caller's flags.
+type Manifest struct {
+	// Format versions the manifest schema itself.
+	Format int `json:"format"`
+	// Experiment is the sweep ("fig6a", "fig6b", "fig7").
+	Experiment string `json:"experiment"`
+	// Seed, Runs, Devices, TIMillis, Mix, Sizes, and FleetSizes pin the
+	// experiment configuration (defaults already resolved). Mix is stored
+	// by registered name so any process can rebuild it.
+	Seed       int64   `json:"seed"`
+	Runs       int     `json:"runs"`
+	Devices    int     `json:"devices"`
+	TIMillis   int64   `json:"ti_ms"`
+	Mix        string  `json:"mix"`
+	Sizes      []int64 `json:"sizes,omitempty"`
+	FleetSizes []int   `json:"fleet_sizes,omitempty"`
+	// Tasks is the size of the sweep's global task-index space.
+	Tasks int `json:"tasks"`
+	// ShardIndex/ShardCount locate this file's slice of the task space:
+	// the global indices ≡ ShardIndex (mod ShardCount). ShardCount 1 is an
+	// unsharded campaign.
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	// ConfigHash fingerprints every field above except the shard
+	// coordinates, so shards of one campaign share it and any drift in
+	// configuration (or a hand-edited manifest) is detected.
+	ConfigHash string `json:"config_hash"`
+}
+
+// New builds the manifest for one shard of an experiment's sweep at the
+// given options (defaults resolved first). shardCount <= 1 describes an
+// unsharded campaign. The mix must be a registered named mix — an
+// anonymous mix could never be rebuilt by the resuming or merging process.
+func New(experimentName string, o experiment.Options, shardIndex, shardCount int) (Manifest, error) {
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	if shardCount < 1 {
+		shardIndex, shardCount = 0, 1
+	}
+	if shardIndex < 0 || shardIndex >= shardCount {
+		return Manifest{}, fmt.Errorf("campaign: shard index %d out of [0,%d)", shardIndex, shardCount)
+	}
+	if _, ok := traffic.Mixes()[o.Mix.Name]; !ok {
+		return Manifest{}, fmt.Errorf("campaign: mix %q is not a registered mix, so no other process could rebuild this campaign", o.Mix.Name)
+	}
+	tasks, err := experiment.Tasks(experimentName, o)
+	if err != nil {
+		return Manifest{}, err
+	}
+	m := Manifest{
+		Format:     1,
+		Experiment: experimentName,
+		Seed:       o.Seed,
+		Runs:       o.Runs,
+		Devices:    o.Devices,
+		TIMillis:   int64(o.TI),
+		Mix:        o.Mix.Name,
+		Sizes:      o.Sizes,
+		FleetSizes: o.FleetSizes,
+		Tasks:      tasks,
+		ShardIndex: shardIndex,
+		ShardCount: shardCount,
+	}
+	m.ConfigHash = m.configHash()
+	return m, nil
+}
+
+// configHash fingerprints the configuration fields (everything but the
+// shard coordinates) with FNV-1a 64.
+func (m Manifest) configHash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "format=%d|experiment=%s|seed=%d|runs=%d|devices=%d|ti_ms=%d|mix=%s|sizes=%v|fleet_sizes=%v|tasks=%d",
+		m.Format, m.Experiment, m.Seed, m.Runs, m.Devices, m.TIMillis, m.Mix, m.Sizes, m.FleetSizes, m.Tasks)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Options rebuilds the experiment options the manifest describes. Workers
+// and the shard/skip fields are deliberately absent: they never affect
+// results, so each process chooses them for itself.
+func (m Manifest) Options() (experiment.Options, error) {
+	mix, ok := traffic.Mixes()[m.Mix]
+	if !ok {
+		return experiment.Options{}, fmt.Errorf("campaign: manifest names unknown mix %q", m.Mix)
+	}
+	return experiment.Options{
+		Seed: m.Seed, Runs: m.Runs, Devices: m.Devices,
+		TI: simtime.Ticks(m.TIMillis), Mix: mix,
+		Sizes: m.Sizes, FleetSizes: m.FleetSizes,
+	}, nil
+}
+
+// ShardTasks reports how many of the Tasks global indices belong to this
+// manifest's shard.
+func (m Manifest) ShardTasks() int {
+	if m.ShardIndex >= m.Tasks {
+		return 0
+	}
+	return (m.Tasks - m.ShardIndex + m.ShardCount - 1) / m.ShardCount
+}
+
+// SameCampaign reports an error unless other describes the same shard of
+// the same configured sweep — the check a resuming process runs between
+// its command line and the on-disk manifest before touching the file.
+func (m Manifest) SameCampaign(other Manifest) error {
+	if err := m.CompatibleShard(other); err != nil {
+		return err
+	}
+	if m.ShardIndex != other.ShardIndex {
+		return fmt.Errorf("campaign: shard %d/%d does not resume shard %d/%d",
+			m.ShardIndex+1, m.ShardCount, other.ShardIndex+1, other.ShardCount)
+	}
+	return nil
+}
+
+// CompatibleShard reports an error unless other is a shard (any index) of
+// the same configured sweep — the merge-time check.
+func (m Manifest) CompatibleShard(other Manifest) error {
+	if m.ConfigHash != other.ConfigHash {
+		return fmt.Errorf("campaign: configuration mismatch: %s %s (hash %s) vs %s %s (hash %s)",
+			m.Experiment, m.Mix, m.ConfigHash, other.Experiment, other.Mix, other.ConfigHash)
+	}
+	if m.ShardCount != other.ShardCount {
+		return fmt.Errorf("campaign: shard layouts differ: %d-way vs %d-way", m.ShardCount, other.ShardCount)
+	}
+	return nil
+}
+
+// Path is where a record file's manifest sidecar lives.
+func Path(jsonlPath string) string { return jsonlPath + ".manifest" }
+
+// WriteFile serializes the manifest as indented JSON at path, overwriting
+// any previous sidecar — the manifest travels with its record file.
+func (m Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads and validates a manifest sidecar. A hash that does not
+// match the fields means the file was edited or corrupted; trusting it
+// could silently merge or resume the wrong campaign, so it is an error.
+func ReadFile(path string) (Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("campaign: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("campaign: manifest %s: %w", path, err)
+	}
+	if m.ShardCount < 1 || m.ShardIndex < 0 || m.ShardIndex >= m.ShardCount || m.Tasks < 1 {
+		return Manifest{}, fmt.Errorf("campaign: manifest %s has impossible shard %d/%d over %d tasks",
+			path, m.ShardIndex+1, m.ShardCount, m.Tasks)
+	}
+	if want := m.configHash(); m.ConfigHash != want {
+		return Manifest{}, fmt.Errorf("campaign: manifest %s hash %s does not match its fields (%s) — edited or corrupted",
+			path, m.ConfigHash, want)
+	}
+	return m, nil
+}
+
+// RecordWriter returns an experiment Record hook that appends one JSON
+// line per record to w — the canonical on-disk encoding Scan and Merge
+// parse, and exactly what nbsim -jsonl writes.
+func RecordWriter(w io.Writer) func(experiment.RunRecord) error {
+	enc := json.NewEncoder(w)
+	return func(rec experiment.RunRecord) error { return enc.Encode(rec) }
+}

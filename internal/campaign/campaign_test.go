@@ -1,0 +1,349 @@
+package campaign_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nbiot/internal/campaign"
+	"nbiot/internal/experiment"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+func testOptions() experiment.Options {
+	return experiment.Options{
+		Seed: 5, Runs: 4, Devices: 30,
+		TI: 10 * simtime.Second, Mix: traffic.PaperCalibratedMix(),
+		FleetSizes: []int{40, 80}, Workers: 4,
+	}
+}
+
+// runFig7Shard executes one (possibly sharded, possibly resumed) fig7
+// sweep, appending records to w exactly as nbsim -jsonl does.
+func runFig7Shard(t *testing.T, o experiment.Options, w *os.File, shardIndex, shardCount, skip int) {
+	t.Helper()
+	o.ShardIndex, o.ShardCount, o.SkipTasks = shardIndex, shardCount, skip
+	o.Record = campaign.RecordWriter(w)
+	if _, err := experiment.Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeShardFile runs one shard into dir and writes its manifest sidecar,
+// returning the record file's path.
+func writeShardFile(t *testing.T, dir string, o experiment.Options, shardIndex, shardCount int) string {
+	t.Helper()
+	path := filepath.Join(dir, "shard.jsonl")
+	if shardCount > 1 {
+		path = filepath.Join(dir, "shard-"+string(rune('0'+shardIndex))+".jsonl")
+	}
+	m, err := campaign.New("fig7", o, shardIndex, shardCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile(campaign.Path(path)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runFig7Shard(t, o, f, shardIndex, shardCount, 0)
+	return path
+}
+
+// referenceBytes is the uninterrupted single-process record stream.
+func referenceBytes(t *testing.T, o experiment.Options) []byte {
+	t.Helper()
+	path := writeShardFile(t, t.TempDir(), o, 0, 1)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("reference sweep produced no records")
+	}
+	return b
+}
+
+func TestManifestRoundTripAndTamper(t *testing.T) {
+	o := testOptions()
+	m, err := campaign.New("fig7", o, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tasks != len(o.FleetSizes)*o.Runs {
+		t.Errorf("tasks = %d", m.Tasks)
+	}
+	if m.ShardTasks() != 3 { // 8 tasks, shard 1 of 3 owns {1, 4, 7}
+		t.Errorf("shard tasks = %d", m.ShardTasks())
+	}
+	path := filepath.Join(t.TempDir(), "x.jsonl.manifest")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := campaign.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigHash != m.ConfigHash || got.Experiment != m.Experiment || got.ShardIndex != m.ShardIndex {
+		t.Errorf("round trip diverged: %+v vs %+v", got, m)
+	}
+	ro, err := got.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Seed != o.Seed || ro.Runs != o.Runs || ro.TI != o.TI || ro.Mix.Name != o.Mix.Name {
+		t.Errorf("Options() diverged: %+v", ro)
+	}
+
+	// A hand-edited manifest (hash no longer matching) must be rejected.
+	b, _ := os.ReadFile(path)
+	tampered := bytes.Replace(b, []byte(`"seed": 5`), []byte(`"seed": 6`), 1)
+	if bytes.Equal(tampered, b) {
+		t.Fatal("tamper patch missed")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.ReadFile(path); err == nil {
+		t.Error("tampered manifest accepted")
+	}
+
+	// Config changes flow into the hash; shard coordinates do not.
+	o2 := o
+	o2.Seed = 99
+	m2, err := campaign.New("fig7", o2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ConfigHash == m.ConfigHash {
+		t.Error("different seeds share a config hash")
+	}
+	other, err := campaign.New("fig7", o, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.ConfigHash != m.ConfigHash {
+		t.Error("shard coordinates leaked into the config hash")
+	}
+	if err := m.CompatibleShard(other); err != nil {
+		t.Errorf("sibling shards incompatible: %v", err)
+	}
+	if err := m.SameCampaign(other); err == nil {
+		t.Error("different shard resumed as the same campaign")
+	}
+	if err := m.CompatibleShard(m2); err == nil {
+		t.Error("different configs merged")
+	}
+}
+
+func TestScanRecoversTornPrefix(t *testing.T) {
+	o := testOptions()
+	ref := referenceBytes(t, o)
+	m, err := campaign.New("fig7", o, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	lines = lines[:len(lines)-1] // SplitAfter leaves a trailing empty slice
+
+	// A clean complete file: all tasks completed, nothing torn.
+	cp, err := campaign.Scan(bytes.NewReader(ref), m)
+	if err != nil || cp.Completed != m.Tasks || cp.Torn || cp.ValidBytes != int64(len(ref)) {
+		t.Fatalf("clean scan: %+v, %v", cp, err)
+	}
+
+	// Cut mid-line after k complete records: the torn tail is excluded.
+	for _, k := range []int{0, 1, len(lines) - 1} {
+		prefix := bytes.Join(lines[:k], nil)
+		torn := append(append([]byte{}, prefix...), lines[k][:len(lines[k])/2]...)
+		cp, err := campaign.Scan(bytes.NewReader(torn), m)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if cp.Completed != k || !cp.Torn || cp.ValidBytes != int64(len(prefix)) {
+			t.Errorf("k=%d: %+v", k, cp)
+		}
+	}
+
+	// Cut exactly at a line boundary: a clean prefix, nothing torn.
+	prefix := bytes.Join(lines[:2], nil)
+	cp, err = campaign.Scan(bytes.NewReader(prefix), m)
+	if err != nil || cp.Completed != 2 || cp.Torn {
+		t.Errorf("boundary cut: %+v, %v", cp, err)
+	}
+
+	// Damage before the end is not crash damage; refuse it.
+	corrupt := append([]byte{}, ref...)
+	corrupt[10] = '#'
+	if _, err := campaign.Scan(bytes.NewReader(corrupt), m); err == nil {
+		t.Error("mid-file damage accepted")
+	}
+
+	// A trailing complete-but-out-of-sequence line is crash junk: excluded
+	// like any torn tail, with the intact prefix still recovered.
+	junk := append(append([]byte{}, ref...), lines[0]...)
+	cp, err = campaign.Scan(bytes.NewReader(junk), m)
+	if err != nil || cp.Completed != m.Tasks || !cp.Torn || cp.ValidBytes != int64(len(ref)) {
+		t.Errorf("trailing junk: %+v, %v", cp, err)
+	}
+
+	// More in-sequence records than the shard owns means the manifest is
+	// for a different (smaller) campaign; refuse it.
+	smaller := o
+	smaller.Runs = 2
+	ms, err := campaign.New("fig7", smaller, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Scan(bytes.NewReader(ref), ms); err == nil {
+		t.Error("overfull file accepted")
+	}
+}
+
+// TestCrashResumeByteIdentical is the checkpoint/resume contract end to
+// end: kill a sweep mid-write (simulated by a torn final line), resume off
+// the damaged file, and the finished record stream is byte-identical to
+// one that never crashed.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	o := testOptions()
+	ref := referenceBytes(t, o)
+	m, err := campaign.New("fig7", o, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	lines = lines[:len(lines)-1]
+
+	for _, k := range []int{0, 3, len(lines) - 1} {
+		crashed := append(bytes.Join(lines[:k], nil), lines[k][:2*len(lines[k])/3]...)
+		path := filepath.Join(t.TempDir(), "crashed.jsonl")
+		if err := os.WriteFile(path, crashed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, cp, err := campaign.OpenResume(path, m)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if cp.Completed != k || !cp.Torn {
+			t.Fatalf("k=%d: recovered %+v", k, cp)
+		}
+		runFig7Shard(t, o, f, 0, 1, cp.Completed)
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Errorf("k=%d: resumed stream diverges from the uninterrupted run", k)
+		}
+	}
+}
+
+// TestShardMergeByteIdentical: three shard processes plus Merge reproduce
+// the single-process record stream and tables exactly.
+func TestShardMergeByteIdentical(t *testing.T) {
+	o := testOptions()
+	ref := referenceBytes(t, o)
+
+	const shards = 3
+	dir := t.TempDir()
+	var paths []string
+	for idx := 0; idx < shards; idx++ {
+		paths = append(paths, writeShardFile(t, dir, o, idx, shards))
+	}
+
+	var merged bytes.Buffer
+	var recs []experiment.RunRecord
+	mm, err := campaign.Merge(&merged, paths, func(rec experiment.RunRecord) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), ref) {
+		t.Error("merged stream diverges from the single-process run")
+	}
+	if mm.ShardCount != 1 || mm.ShardIndex != 0 || mm.Tasks != len(recs) {
+		t.Errorf("merged manifest %+v over %d records", mm, len(recs))
+	}
+
+	// The rebuilt result matches the in-process sweep bit for bit.
+	direct, err := experiment.Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := experiment.Fig7FromRecords(o, func(yield func(experiment.RunRecord) error) error {
+		for _, rec := range recs {
+			if err := yield(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rebuilt.Table().String(), direct.Table().String(); got != want {
+		t.Errorf("merged table diverges:\n%s\nvs\n%s", got, want)
+	}
+
+	// Shuffled path order must not matter — manifests locate each shard.
+	merged.Reset()
+	if _, err := campaign.Merge(&merged, []string{paths[2], paths[0], paths[1]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), ref) {
+		t.Error("path order changed the merged stream")
+	}
+}
+
+func TestMergeRejectsBadShardSets(t *testing.T) {
+	o := testOptions()
+	const shards = 2
+	dir := t.TempDir()
+	var paths []string
+	for idx := 0; idx < shards; idx++ {
+		paths = append(paths, writeShardFile(t, dir, o, idx, shards))
+	}
+
+	if _, err := campaign.Merge(nil, nil, nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := campaign.Merge(&bytes.Buffer{}, paths[:1], nil); err == nil {
+		t.Error("missing shard accepted")
+	}
+	if _, err := campaign.Merge(&bytes.Buffer{}, []string{paths[0], paths[0]}, nil); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+
+	// A shard from a different configuration must be rejected.
+	o2 := o
+	o2.Seed = 77
+	foreignDir := t.TempDir()
+	foreign := writeShardFile(t, foreignDir, o2, 1, shards)
+	if _, err := campaign.Merge(&bytes.Buffer{}, []string{paths[0], foreign}, nil); err == nil ||
+		!strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("foreign shard: %v", err)
+	}
+
+	// An incomplete shard (interrupted, never resumed) must be rejected.
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], b[:len(b)-len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Merge(&bytes.Buffer{}, paths, nil); err == nil {
+		t.Error("incomplete shard merged")
+	}
+}

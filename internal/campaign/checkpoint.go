@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"nbiot/internal/experiment"
+)
+
+// Checkpoint is what Scan recovers from an existing record file.
+type Checkpoint struct {
+	// Completed is how many tasks of the shard's index sequence have
+	// intact records — the experiment.Options.SkipTasks value that resumes
+	// the sweep.
+	Completed int
+	// ValidBytes is the file offset just past the last intact record; any
+	// bytes beyond it are crash damage to truncate before appending.
+	ValidBytes int64
+	// Torn reports whether damaged trailing bytes were found.
+	Torn bool
+}
+
+// Scan reads a JSONL record stream and recovers the completed prefix of
+// the manifest's shard sequence (global indices ShardIndex, then stepping
+// by ShardCount). Records are written serially in sequence order, so an
+// interrupted campaign's file is a clean prefix plus, if the process died
+// mid-write, one torn final line; that damage is tolerated and excluded.
+// Damage anywhere else — an unparseable middle line, an out-of-sequence
+// index, a foreign experiment name, more records than the shard owns — is
+// an error, because resuming such a file would silently corrupt the
+// campaign.
+func Scan(r io.Reader, m Manifest) (Checkpoint, error) {
+	br := bufio.NewReader(r)
+	var cp Checkpoint
+	shardTasks := m.ShardTasks()
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr != nil && rerr != io.EOF {
+			return cp, fmt.Errorf("campaign: scanning records: %w", rerr)
+		}
+		if len(line) == 0 {
+			return cp, nil // clean EOF
+		}
+		ok := rerr == nil // a torn line never has its newline
+		var rec experiment.RunRecord
+		if ok && json.Unmarshal([]byte(line), &rec) != nil {
+			ok = false
+		}
+		want := m.ShardIndex + cp.Completed*m.ShardCount
+		if ok && (rec.Experiment != m.Experiment || rec.Index != want) {
+			ok = false
+		}
+		if ok && cp.Completed >= shardTasks {
+			return cp, fmt.Errorf("campaign: record file holds more than the shard's %d tasks — wrong manifest?", shardTasks)
+		}
+		if ok {
+			cp.Completed++
+			cp.ValidBytes += int64(len(line))
+			if rerr == io.EOF {
+				return cp, nil
+			}
+			continue
+		}
+		// A bad line is tolerable only as the file's final line — the torn
+		// tail of a write the crash interrupted.
+		if rerr == io.EOF {
+			cp.Torn = true
+			return cp, nil
+		}
+		if _, err := br.ReadByte(); err == io.EOF {
+			cp.Torn = true
+			return cp, nil
+		}
+		return cp, fmt.Errorf("campaign: record %d of the stream (want index %d of %s) is damaged or out of sequence mid-file — refusing to resume",
+			cp.Completed, want, m.Experiment)
+	}
+}
+
+// OpenResume validates an interrupted record file against its manifest,
+// truncates any crash-damaged tail, and reopens the file positioned for
+// appending the remaining records. The checkpoint's Completed is the
+// experiment.Options.SkipTasks that resumes the sweep; the bytes the
+// resumed sweep appends are exactly the bytes the uninterrupted run would
+// have written, so the finished file is byte-identical to one that never
+// crashed.
+func OpenResume(path string, m Manifest) (*os.File, Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, Checkpoint{}, fmt.Errorf("campaign: %w", err)
+	}
+	cp, err := Scan(f, m)
+	if err != nil {
+		f.Close()
+		return nil, Checkpoint{}, err
+	}
+	if err := f.Truncate(cp.ValidBytes); err != nil {
+		f.Close()
+		return nil, Checkpoint{}, fmt.Errorf("campaign: truncating crash damage: %w", err)
+	}
+	if _, err := f.Seek(cp.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, Checkpoint{}, fmt.Errorf("campaign: %w", err)
+	}
+	return f, cp, nil
+}

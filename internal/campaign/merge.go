@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nbiot/internal/experiment"
+)
+
+// Merge interleaves a complete shard set's record streams back into
+// single-process order, writing the raw lines to out — byte-identical to
+// the file an unsharded run of the same configuration writes, because each
+// shard's lines already are that run's lines at its indices. each, when
+// non-nil, additionally receives every record in global index order;
+// feeding it to experiment.Fig6a/6b/7FromRecords rebuilds the exact
+// single-process tables. It returns the merged (unsharded) manifest.
+//
+// Every path must carry a manifest sidecar (Path(p)) and together they
+// must form a compatible partition: same config hash, ShardCount files
+// with one shard index each, every shard complete. Incomplete shards are
+// rejected — resume them first — rather than merged into a silently
+// partial result.
+func Merge(out io.Writer, paths []string, each func(experiment.RunRecord) error) (Manifest, error) {
+	if len(paths) == 0 {
+		return Manifest{}, fmt.Errorf("campaign: nothing to merge")
+	}
+	if out == nil {
+		out = io.Discard // callers may want only the each callback
+	}
+	first, err := ReadFile(Path(paths[0]))
+	if err != nil {
+		return Manifest{}, err
+	}
+	if len(paths) != first.ShardCount {
+		return Manifest{}, fmt.Errorf("campaign: %d shard files for the %d-way campaign %s describes",
+			len(paths), first.ShardCount, Path(paths[0]))
+	}
+
+	type shard struct {
+		path string
+		r    *bufio.Reader
+	}
+	byIndex := make([]*shard, first.ShardCount)
+	for _, p := range paths {
+		m, err := ReadFile(Path(p))
+		if err != nil {
+			return Manifest{}, err
+		}
+		if err := first.CompatibleShard(m); err != nil {
+			return Manifest{}, fmt.Errorf("%s: %w", p, err)
+		}
+		if byIndex[m.ShardIndex] != nil {
+			return Manifest{}, fmt.Errorf("campaign: shard %d/%d appears twice (%s and %s)",
+				m.ShardIndex+1, m.ShardCount, byIndex[m.ShardIndex].path, p)
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("campaign: %w", err)
+		}
+		defer f.Close()
+		byIndex[m.ShardIndex] = &shard{path: p, r: bufio.NewReader(f)}
+	}
+
+	for g := 0; g < first.Tasks; g++ {
+		s := byIndex[g%first.ShardCount]
+		line, err := s.r.ReadString('\n')
+		if err != nil || !strings.HasSuffix(line, "\n") {
+			return Manifest{}, fmt.Errorf("campaign: %s ends before global index %d — an incomplete shard; resume it before merging", s.path, g)
+		}
+		var rec experiment.RunRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return Manifest{}, fmt.Errorf("campaign: %s at global index %d: %w", s.path, g, err)
+		}
+		if rec.Index != g || rec.Experiment != first.Experiment {
+			return Manifest{}, fmt.Errorf("campaign: %s carries record (%s, index %d) where (%s, index %d) belongs",
+				s.path, rec.Experiment, rec.Index, first.Experiment, g)
+		}
+		if _, err := io.WriteString(out, line); err != nil {
+			return Manifest{}, fmt.Errorf("campaign: writing merged stream: %w", err)
+		}
+		if each != nil {
+			if err := each(rec); err != nil {
+				return Manifest{}, err
+			}
+		}
+	}
+	for _, s := range byIndex {
+		if _, err := s.r.ReadByte(); err != io.EOF {
+			return Manifest{}, fmt.Errorf("campaign: %s holds records past its shard's tasks", s.path)
+		}
+	}
+
+	merged := first
+	merged.ShardIndex, merged.ShardCount = 0, 1
+	// The config hash excludes shard coordinates, so it carries over.
+	return merged, nil
+}

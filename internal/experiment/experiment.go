@@ -80,6 +80,22 @@ type Options struct {
 	// at that index), so a full disk fails fast instead of burning the
 	// rest of a million-run campaign.
 	Record func(RunRecord) error
+	// ShardIndex/ShardCount restrict the sweep to one interleaved shard of
+	// its global task-index space: only indices congruent to ShardIndex
+	// modulo ShardCount execute (ShardCount <= 1 means the whole space).
+	// Tasks keep their global indices — seeds, records, and reduction
+	// order are exactly the full sweep's at those indices — so the union
+	// of all ShardCount shards reproduces the single-process sweep byte
+	// for byte, each shard runnable in its own process. In-process
+	// summaries of a sharded run cover only its shard; merge the record
+	// streams (internal/campaign) to rebuild full results.
+	ShardIndex, ShardCount int
+	// SkipTasks resumes a checkpointed sweep: the first SkipTasks tasks of
+	// this shard's index sequence are neither executed nor recorded (their
+	// records already exist on disk). Like sharding it leaves the executed
+	// tail bit-identical to the uninterrupted sweep; rebuild full
+	// summaries from the record stream (Fig7FromRecords and friends).
+	SkipTasks int
 }
 
 // RunRecord is one completed unit of a sweep, emitted through
@@ -169,7 +185,39 @@ func (o Options) Validate() error {
 			return fmt.Errorf("experiment: non-positive fleet size %d", n)
 		}
 	}
+	if oo.ShardCount < 0 {
+		return fmt.Errorf("experiment: negative shard count %d", oo.ShardCount)
+	}
+	if oo.ShardCount > 1 && (oo.ShardIndex < 0 || oo.ShardIndex >= oo.ShardCount) {
+		return fmt.Errorf("experiment: shard index %d out of [0,%d)", oo.ShardIndex, oo.ShardCount)
+	}
+	if oo.ShardCount <= 1 && oo.ShardIndex != 0 {
+		return fmt.Errorf("experiment: shard index %d without a shard count", oo.ShardIndex)
+	}
+	if oo.SkipTasks < 0 {
+		return fmt.Errorf("experiment: negative skip-task count %d", oo.SkipTasks)
+	}
 	return nil
+}
+
+// span maps an n-task sweep to the slice of global indices this Options
+// actually executes after sharding and the resume offset.
+func (o Options) span(n int) (runner.Span, error) {
+	count, index := o.ShardCount, o.ShardIndex
+	if count < 1 {
+		count, index = 1, 0
+	}
+	return runner.ShardSpan(n, index, count, o.SkipTasks)
+}
+
+// effectiveTasks is how many tasks of an n-task sweep this Options
+// executes — the right total for progress reporting.
+func (o Options) effectiveTasks(n int) int {
+	s, err := o.span(n)
+	if err != nil {
+		return n
+	}
+	return s.Count
 }
 
 func (o Options) progress(format string, args ...any) {
@@ -248,15 +296,20 @@ func fleetForRun(o Options, n int, r int) ([]traffic.Device, error) {
 	return o.Mix.Generate(n, rng.NewStream(fleetSeed(o, n, r)))
 }
 
-// reduceStream is the sweep scaffolding every experiment shares: n tasks
-// execute on the worker pool and each result is handed — serially, in
-// index order, the moment its prefix completes — to reduce, which folds it
-// into the sweep's accumulators. Only O(Workers) results are ever
-// buffered, so sweep memory is independent of n; keeping the pattern in
-// one place is what keeps "bit-identical across worker counts" true for
-// every sweep.
+// reduceStream is the sweep scaffolding every experiment shares: the
+// sweep's slice of its n-task space (all of it, or one shard's resumed
+// tail) executes on the worker pool and each result is handed — serially,
+// in global-index order, the moment its prefix completes — to reduce,
+// which folds it into the sweep's accumulators. Only O(Workers) results
+// are ever buffered, so sweep memory is independent of n; keeping the
+// pattern in one place is what keeps "bit-identical across worker counts"
+// (and across shard layouts) true for every sweep.
 func reduceStream[T any](o Options, n int, task func(idx int) (T, error), reduce func(idx int, v T) error) error {
-	return runner.Reduce(context.Background(), n, o.Workers,
+	span, err := o.span(n)
+	if err != nil {
+		return err
+	}
+	return runner.ReduceSpan(context.Background(), span, o.Workers,
 		func(_ context.Context, i int) (T, error) { return task(i) },
 		reduce)
 }
@@ -309,8 +362,8 @@ func summarize(acc map[core.Mechanism]*stats.Accumulator) map[core.Mechanism]sta
 // into its mechanism's accumulator by the streaming reducer.
 func lightSleepIncreaseSweep(o Options, name string, mechs []core.Mechanism, size int64) (map[core.Mechanism]stats.Summary, error) {
 	nTasks := o.Runs * len(mechs)
-	acc := mechAccumulators(mechs)
-	tick := o.progressCounter(name+": campaign %d/%d done", nTasks)
+	fold := newMechFold(mechs)
+	tick := o.progressCounter(name+": campaign %d/%d done", o.effectiveTasks(nTasks))
 	err := reduceStream(o, nTasks,
 		func(idx int) (float64, error) {
 			r, mi := idx/len(mechs), idx%len(mechs)
@@ -326,8 +379,8 @@ func lightSleepIncreaseSweep(o Options, name string, mechs []core.Mechanism, siz
 			return v, nil
 		},
 		func(idx int, v float64) error {
+			fold.add(idx, v)
 			r, mi := idx/len(mechs), idx%len(mechs)
-			acc[mechs[mi]].Add(v)
 			return o.record(RunRecord{
 				Experiment: name, Index: idx, Run: r,
 				Mechanism: mechs[mi].String(), Size: size, FleetSize: o.Devices,
@@ -337,7 +390,7 @@ func lightSleepIncreaseSweep(o Options, name string, mechs []core.Mechanism, siz
 	if err != nil {
 		return nil, err
 	}
-	return summarize(acc), nil
+	return fold.summaries(), nil
 }
 
 // --- E1: Fig. 6(a) ----------------------------------------------------------
@@ -387,27 +440,17 @@ func Fig6b(o Options) (*Fig6bResult, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	mechs := core.GroupingMechanisms()
-	acc := map[core.Mechanism]map[int64]*stats.Accumulator{}
-	for _, m := range mechs {
-		acc[m] = map[int64]*stats.Accumulator{}
-		for _, s := range o.Sizes {
-			acc[m][s] = &stats.Accumulator{}
-		}
-	}
-	nTasks := o.Runs * len(o.Sizes) * len(mechs)
-	coords := func(idx int) (r, si, mi int) {
-		return idx / (len(o.Sizes) * len(mechs)), (idx / len(mechs)) % len(o.Sizes), idx % len(mechs)
-	}
-	tick := o.progressCounter("fig6b: campaign %d/%d done", nTasks)
+	fold := newFig6bFold(o)
+	nTasks := o.Runs * len(o.Sizes) * len(fold.mechs)
+	tick := o.progressCounter("fig6b: campaign %d/%d done", o.effectiveTasks(nTasks))
 	err := reduceStream(o, nTasks,
 		func(idx int) (float64, error) {
-			r, si, mi := coords(idx)
+			r, si, mi := fold.coords(idx)
 			fleet, err := fleetForRun(o, o.Devices, r)
 			if err != nil {
 				return 0, err
 			}
-			v, err := increaseVsUnicast(o, mechs[mi], fleet, r, o.Sizes[si], (*cell.Result).TotalConnected, "connected")
+			v, err := increaseVsUnicast(o, fold.mechs[mi], fleet, r, o.Sizes[si], (*cell.Result).TotalConnected, "connected")
 			if err != nil {
 				return 0, err
 			}
@@ -415,25 +458,18 @@ func Fig6b(o Options) (*Fig6bResult, error) {
 			return v, nil
 		},
 		func(idx int, v float64) error {
-			r, si, mi := coords(idx)
-			acc[mechs[mi]][o.Sizes[si]].Add(v)
+			fold.add(idx, v)
+			r, si, mi := fold.coords(idx)
 			return o.record(RunRecord{
 				Experiment: "fig6b", Index: idx, Run: r,
-				Mechanism: mechs[mi].String(), Size: o.Sizes[si], FleetSize: o.Devices,
+				Mechanism: fold.mechs[mi].String(), Size: o.Sizes[si], FleetSize: o.Devices,
 				Metric: "connected_increase", Value: v,
 			})
 		})
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig6bResult{Options: o, Increase: map[core.Mechanism]map[int64]stats.Summary{}}
-	for m, bySize := range acc {
-		out.Increase[m] = map[int64]stats.Summary{}
-		for s, a := range bySize {
-			out.Increase[m][s] = a.Summary()
-		}
-	}
-	return out, nil
+	return fold.result(), nil
 }
 
 // --- E3: Fig. 7 --------------------------------------------------------------
@@ -458,13 +494,8 @@ func Fig7(o Options) (*Fig7Result, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	out := &Fig7Result{Options: o}
-	out.Transmissions.Name = "DR-SC transmissions"
-	out.Ratio.Name = "DR-SC transmissions / device"
-
+	fold := newFig7Fold(o)
 	nTasks := len(o.FleetSizes) * o.Runs
-	txAcc := make([]stats.Accumulator, len(o.FleetSizes))
-	ratioAcc := make([]stats.Accumulator, len(o.FleetSizes))
 	err := reduceStream(o, nTasks,
 		func(idx int) (float64, error) {
 			si, r := idx/o.Runs, idx%o.Runs
@@ -488,10 +519,9 @@ func Fig7(o Options) (*Fig7Result, error) {
 			return float64(plan.NumTransmissions()), nil
 		},
 		func(idx int, tx float64) error {
+			fold.add(idx, tx)
 			si, r := idx/o.Runs, idx%o.Runs
 			n := o.FleetSizes[si]
-			txAcc[si].Add(tx)
-			ratioAcc[si].Add(tx / float64(n))
 			if err := o.record(RunRecord{
 				Experiment: "fig7", Index: idx, Run: r,
 				Mechanism: core.MechanismDRSC.String(), FleetSize: n,
@@ -507,9 +537,5 @@ func Fig7(o Options) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for si, n := range o.FleetSizes {
-		out.Transmissions.Append(float64(n), txAcc[si].Summary())
-		out.Ratio.Append(float64(n), ratioAcc[si].Summary())
-	}
-	return out, nil
+	return fold.result(), nil
 }

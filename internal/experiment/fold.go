@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nbiot/internal/core"
+	"nbiot/internal/stats"
+)
+
+// This file is the accumulation half of every figure sweep, factored out
+// so it has exactly two callers: the live reducer (internal to Fig6a/6b/7)
+// and the record-stream rebuilds below (Fig6aFromRecords and friends, used
+// by merged and resumed campaigns — see internal/campaign). Both feed the
+// same fold code the same float64 values in the same index order, which is
+// what makes a table rebuilt from a JSONL record stream bit-identical to
+// the one the in-process sweep prints: encoding/json round-trips float64
+// exactly, and Welford accumulation is order-deterministic.
+
+// Tasks reports the size of the named sweep's global task-index space —
+// the quantity shards, checkpoints, and campaign manifests are defined
+// over. Only the single-sweep figures are shardable; composite runs
+// (ablations) nest several sweeps and have no single index space.
+func Tasks(name string, o Options) (int, error) {
+	o = o.WithDefaults()
+	switch name {
+	case "fig6a":
+		return o.Runs * len(core.GroupingMechanisms()), nil
+	case "fig6b":
+		return o.Runs * len(o.Sizes) * len(core.GroupingMechanisms()), nil
+	case "fig7":
+		return len(o.FleetSizes) * o.Runs, nil
+	}
+	return 0, fmt.Errorf("experiment: no sharded task space for %q (want fig6a, fig6b or fig7)", name)
+}
+
+// --- fold cores ---------------------------------------------------------------
+
+// mechFold folds the (index, value) stream of a per-(run, mechanism) sweep
+// — Fig6a and the SC-PTM comparison — into per-mechanism accumulators.
+type mechFold struct {
+	mechs []core.Mechanism
+	acc   map[core.Mechanism]*stats.Accumulator
+}
+
+func newMechFold(mechs []core.Mechanism) *mechFold {
+	return &mechFold{mechs: mechs, acc: mechAccumulators(mechs)}
+}
+
+func (f *mechFold) add(idx int, v float64) {
+	f.acc[f.mechs[idx%len(f.mechs)]].Add(v)
+}
+
+func (f *mechFold) summaries() map[core.Mechanism]stats.Summary { return summarize(f.acc) }
+
+// fig6bFold folds the per-(run, size, mechanism) stream of Fig6b into
+// per-(mechanism, size) accumulators.
+type fig6bFold struct {
+	o     Options
+	mechs []core.Mechanism
+	acc   map[core.Mechanism]map[int64]*stats.Accumulator
+}
+
+func newFig6bFold(o Options) *fig6bFold {
+	f := &fig6bFold{o: o, mechs: core.GroupingMechanisms(),
+		acc: map[core.Mechanism]map[int64]*stats.Accumulator{}}
+	for _, m := range f.mechs {
+		f.acc[m] = map[int64]*stats.Accumulator{}
+		for _, s := range o.Sizes {
+			f.acc[m][s] = &stats.Accumulator{}
+		}
+	}
+	return f
+}
+
+func (f *fig6bFold) coords(idx int) (r, si, mi int) {
+	return idx / (len(f.o.Sizes) * len(f.mechs)), (idx / len(f.mechs)) % len(f.o.Sizes), idx % len(f.mechs)
+}
+
+func (f *fig6bFold) add(idx int, v float64) {
+	_, si, mi := f.coords(idx)
+	f.acc[f.mechs[mi]][f.o.Sizes[si]].Add(v)
+}
+
+func (f *fig6bFold) result() *Fig6bResult {
+	out := &Fig6bResult{Options: f.o, Increase: map[core.Mechanism]map[int64]stats.Summary{}}
+	for m, bySize := range f.acc {
+		out.Increase[m] = map[int64]stats.Summary{}
+		for s, a := range bySize {
+			out.Increase[m][s] = a.Summary()
+		}
+	}
+	return out
+}
+
+// fig7Fold folds the per-(fleet size, run) stream of Fig7 into per-size
+// transmission and ratio accumulators.
+type fig7Fold struct {
+	o         Options
+	tx, ratio []stats.Accumulator
+}
+
+func newFig7Fold(o Options) *fig7Fold {
+	return &fig7Fold{o: o,
+		tx:    make([]stats.Accumulator, len(o.FleetSizes)),
+		ratio: make([]stats.Accumulator, len(o.FleetSizes))}
+}
+
+func (f *fig7Fold) add(idx int, tx float64) {
+	si := idx / f.o.Runs
+	f.tx[si].Add(tx)
+	f.ratio[si].Add(tx / float64(f.o.FleetSizes[si]))
+}
+
+func (f *fig7Fold) result() *Fig7Result {
+	out := &Fig7Result{Options: f.o}
+	out.Transmissions.Name = "DR-SC transmissions"
+	out.Ratio.Name = "DR-SC transmissions / device"
+	for si, n := range f.o.FleetSizes {
+		out.Transmissions.Append(float64(n), f.tx[si].Summary())
+		out.Ratio.Append(float64(n), f.ratio[si].Summary())
+	}
+	return out
+}
+
+// --- rebuilding results from record streams -----------------------------------
+
+// RecordSeq streams one sweep's records in strictly increasing Index
+// order, calling yield once per record and stopping at yield's first
+// error. It is the consuming counterpart of Options.Record: a merged shard
+// set or a resumed campaign's JSONL file replayed through a RecordSeq is
+// indistinguishable from the live sweep's reduction stream.
+type RecordSeq func(yield func(RunRecord) error) error
+
+// foldRecords drives a complete record stream — experiment name, indices
+// exactly 0..n-1, in order — through add. Anything less than the complete
+// stream is an error: partial streams come from unfinished shards or
+// interrupted campaigns, and folding one silently would present a partial
+// mean as the figure.
+func foldRecords(name string, n int, src RecordSeq, add func(idx int, v float64)) error {
+	next := 0
+	if err := src(func(rec RunRecord) error {
+		if rec.Experiment != name {
+			return fmt.Errorf("experiment: record %d belongs to %q, want %q", rec.Index, rec.Experiment, name)
+		}
+		if rec.Index >= n {
+			return fmt.Errorf("experiment: record index %d beyond the %d-task %s sweep", rec.Index, n, name)
+		}
+		if rec.Index != next {
+			return fmt.Errorf("experiment: record stream jumped from index %d to %d — not a complete %s campaign", next, rec.Index, name)
+		}
+		add(rec.Index, rec.Value)
+		next++
+		return nil
+	}); err != nil {
+		return err
+	}
+	if next != n {
+		return fmt.Errorf("experiment: record stream holds %d of %d %s records", next, n, name)
+	}
+	return nil
+}
+
+// Fig6aFromRecords rebuilds the Fig. 6(a) result from a complete record
+// stream, bit-identical to the result the live sweep computes.
+func Fig6aFromRecords(o Options, src RecordSeq) (*Fig6aResult, error) {
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := Tasks("fig6a", o)
+	if err != nil {
+		return nil, err
+	}
+	fold := newMechFold(core.GroupingMechanisms())
+	if err := foldRecords("fig6a", n, src, fold.add); err != nil {
+		return nil, err
+	}
+	return &Fig6aResult{Options: o, Increase: fold.summaries()}, nil
+}
+
+// Fig6bFromRecords rebuilds the Fig. 6(b) result from a complete record
+// stream, bit-identical to the result the live sweep computes.
+func Fig6bFromRecords(o Options, src RecordSeq) (*Fig6bResult, error) {
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := Tasks("fig6b", o)
+	if err != nil {
+		return nil, err
+	}
+	fold := newFig6bFold(o)
+	if err := foldRecords("fig6b", n, src, fold.add); err != nil {
+		return nil, err
+	}
+	return fold.result(), nil
+}
+
+// Fig7FromRecords rebuilds the Fig. 7 result from a complete record
+// stream, bit-identical to the result the live sweep computes.
+func Fig7FromRecords(o Options, src RecordSeq) (*Fig7Result, error) {
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := Tasks("fig7", o)
+	if err != nil {
+		return nil, err
+	}
+	fold := newFig7Fold(o)
+	if err := foldRecords("fig7", n, src, fold.add); err != nil {
+		return nil, err
+	}
+	return fold.result(), nil
+}

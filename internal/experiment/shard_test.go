@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+func shardTestOptions() Options {
+	return Options{
+		Seed: 11, Runs: 3, Devices: 30,
+		TI: 10 * simtime.Second, Mix: traffic.PaperCalibratedMix(),
+		FleetSizes: []int{40, 80}, Workers: 4,
+	}
+}
+
+// captureRecords runs sweep with a Record hook appended to a slice.
+func captureRecords(t *testing.T, o Options, sweep func(Options) error) []RunRecord {
+	t.Helper()
+	var recs []RunRecord
+	o.Record = func(rec RunRecord) error {
+		recs = append(recs, rec)
+		return nil
+	}
+	if err := sweep(o); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestShardUnionMatchesUnsharded is the sharding contract at the record
+// level: the sorted union of every shard's record stream equals the
+// unsharded sweep's stream exactly, for fig6a and fig7 shapes.
+func TestShardUnionMatchesUnsharded(t *testing.T) {
+	sweeps := map[string]func(Options) error{
+		"fig6a": func(o Options) error { _, err := Fig6a(o); return err },
+		"fig7":  func(o Options) error { _, err := Fig7(o); return err },
+	}
+	for name, sweep := range sweeps {
+		o := shardTestOptions()
+		want := captureRecords(t, o, sweep)
+		if len(want) == 0 {
+			t.Fatalf("%s: unsharded sweep produced no records", name)
+		}
+		const shards = 3
+		var union []RunRecord
+		for idx := 0; idx < shards; idx++ {
+			so := o
+			so.ShardIndex, so.ShardCount = idx, shards
+			part := captureRecords(t, so, sweep)
+			for _, rec := range part {
+				if rec.Index%shards != idx {
+					t.Fatalf("%s: shard %d emitted foreign index %d", name, idx, rec.Index)
+				}
+			}
+			union = append(union, part...)
+		}
+		sort.Slice(union, func(i, j int) bool { return union[i].Index < union[j].Index })
+		if !reflect.DeepEqual(union, want) {
+			t.Errorf("%s: sharded union diverges from the unsharded record stream", name)
+		}
+	}
+}
+
+// TestSkipTasksResumesTail: skipping k tasks reproduces exactly the
+// unsharded stream's tail — the checkpoint/resume substrate.
+func TestSkipTasksResumesTail(t *testing.T) {
+	o := shardTestOptions()
+	sweep := func(o Options) error { _, err := Fig7(o); return err }
+	want := captureRecords(t, o, sweep)
+	for _, skip := range []int{1, len(want) / 2, len(want)} {
+		so := o
+		so.SkipTasks = skip
+		got := captureRecords(t, so, sweep)
+		tail := want[skip:]
+		if len(got) != len(tail) {
+			t.Errorf("skip=%d: %d resumed records, want %d", skip, len(got), len(tail))
+			continue
+		}
+		for i := range got {
+			if got[i] != tail[i] {
+				t.Errorf("skip=%d: record %d diverges from the uninterrupted tail", skip, i)
+				break
+			}
+		}
+	}
+	// Skipping inside a shard counts along the shard's own sequence.
+	so := o
+	so.ShardIndex, so.ShardCount, so.SkipTasks = 1, 2, 1
+	got := captureRecords(t, so, sweep)
+	var wantShard []RunRecord
+	for _, rec := range want {
+		if rec.Index%2 == 1 {
+			wantShard = append(wantShard, rec)
+		}
+	}
+	if !reflect.DeepEqual(got, wantShard[1:]) {
+		t.Error("sharded skip diverges from the shard's uninterrupted tail")
+	}
+}
+
+// TestFromRecordsRebuildsResults: replaying a sweep's record stream
+// through the FromRecords rebuild yields the exact in-process result.
+func TestFromRecordsRebuildsResults(t *testing.T) {
+	o := shardTestOptions()
+	replay := func(recs []RunRecord) RecordSeq {
+		return func(yield func(RunRecord) error) error {
+			for _, rec := range recs {
+				if err := yield(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	var live7 *Fig7Result
+	recs := captureRecords(t, o, func(o Options) error {
+		r, err := Fig7(o)
+		live7 = r
+		return err
+	})
+	rebuilt7, err := Fig7FromRecords(o, replay(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt7.Transmissions, live7.Transmissions) ||
+		!reflect.DeepEqual(rebuilt7.Ratio, live7.Ratio) {
+		t.Error("fig7 rebuilt from records diverges from the live result")
+	}
+	if got, want := rebuilt7.Table().String(), live7.Table().String(); got != want {
+		t.Errorf("fig7 rebuilt table diverges:\n%s\nvs\n%s", got, want)
+	}
+
+	var live6a *Fig6aResult
+	recs = captureRecords(t, o, func(o Options) error {
+		r, err := Fig6a(o)
+		live6a = r
+		return err
+	})
+	rebuilt6a, err := Fig6aFromRecords(o, replay(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt6a.Increase, live6a.Increase) {
+		t.Error("fig6a rebuilt from records diverges from the live result")
+	}
+
+	// Incomplete or foreign streams must be rejected, not folded partially.
+	if _, err := Fig7FromRecords(o, replay(nil)); err == nil {
+		t.Error("empty stream folded")
+	}
+	last := recs[:len(recs)-1]
+	if _, err := Fig6aFromRecords(o, replay(last)); err == nil {
+		t.Error("truncated stream folded")
+	}
+	if _, err := Fig7FromRecords(o, replay(recs)); err == nil {
+		t.Error("fig6a records folded as fig7")
+	}
+}
+
+func TestTasksCounts(t *testing.T) {
+	o := shardTestOptions()
+	for name, want := range map[string]int{
+		"fig6a": o.Runs * 3,
+		"fig6b": o.Runs * 3 * 3, // default sizes × grouping mechanisms
+		"fig7":  len(o.FleetSizes) * o.Runs,
+	} {
+		got, err := Tasks(name, o)
+		if err != nil || got != want {
+			t.Errorf("Tasks(%s) = %d, %v; want %d", name, got, err, want)
+		}
+	}
+	if _, err := Tasks("ablations", o); err == nil {
+		t.Error("composite subcommand given a task space")
+	}
+}
+
+func TestValidateShardFields(t *testing.T) {
+	base := shardTestOptions()
+	for _, tc := range []struct{ idx, count, skip int }{
+		{-1, 3, 0}, {3, 3, 0}, {4, 3, 0}, {1, 0, 0}, {0, -2, 0}, {0, 0, -1},
+	} {
+		o := base
+		o.ShardIndex, o.ShardCount, o.SkipTasks = tc.idx, tc.count, tc.skip
+		if err := o.Validate(); err == nil {
+			t.Errorf("shard %d/%d skip %d accepted", tc.idx, tc.count, tc.skip)
+		}
+	}
+	o := base
+	o.ShardIndex, o.ShardCount, o.SkipTasks = 2, 3, 1
+	if err := o.Validate(); err != nil {
+		t.Errorf("valid shard rejected: %v", err)
+	}
+}

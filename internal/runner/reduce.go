@@ -11,6 +11,53 @@ import (
 // at submission), never from execution order.
 type ReduceTask[T any] func(ctx context.Context, index int) (T, error)
 
+// Span selects the slice of a task-index space a sweep executes: the
+// global indices Start + k*Stride for k in [0, Count). Spans are how
+// campaigns shard (Stride = shard count) and resume (Start skips an
+// already-completed prefix) without touching per-index seed derivation:
+// tasks keep their global index, so a sliced sweep computes exactly the
+// values the full sweep would at those indices.
+type Span struct {
+	Start  int // first global index
+	Stride int // distance between consecutive indices (>= 1)
+	Count  int // number of indices in the span
+}
+
+// SpanAll is the whole space [0, n).
+func SpanAll(n int) Span { return Span{Start: 0, Stride: 1, Count: n} }
+
+// Index reports the k-th global index of the span.
+func (s Span) Index(k int) int { return s.Start + k*s.Stride }
+
+// ShardSpan slices [0, n) into count interleaved shards — shard index
+// owns the global indices congruent to index modulo count — and drops the
+// shard's first skip tasks (the checkpoint/resume offset). The count
+// shards partition the space exactly: every global index lands in
+// precisely one shard, so the union of the shards' results is the full
+// sweep's.
+func ShardSpan(n, index, count, skip int) (Span, error) {
+	if n < 0 {
+		return Span{}, fmt.Errorf("runner: negative task count %d", n)
+	}
+	if count < 1 {
+		return Span{}, fmt.Errorf("runner: non-positive shard count %d", count)
+	}
+	if index < 0 || index >= count {
+		return Span{}, fmt.Errorf("runner: shard index %d out of [0,%d)", index, count)
+	}
+	if skip < 0 {
+		return Span{}, fmt.Errorf("runner: negative resume offset %d", skip)
+	}
+	total := 0
+	if index < n {
+		total = (n - index + count - 1) / count
+	}
+	if skip > total {
+		return Span{}, fmt.Errorf("runner: resume offset %d exceeds the shard's %d tasks", skip, total)
+	}
+	return Span{Start: index + skip*count, Stride: count, Count: total - skip}, nil
+}
+
 // Reduce executes n tasks on a pool of at most workers goroutines and
 // feeds each result exactly once — serially, in strictly increasing index
 // order, on the calling goroutine — to reduce. Tasks finish in any order;
@@ -36,12 +83,34 @@ func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], redu
 	if n < 0 {
 		return fmt.Errorf("runner: negative task count %d", n)
 	}
+	return ReduceSpan(ctx, SpanAll(n), workers, task, reduce)
+}
+
+// ReduceSpan is Reduce over an arbitrary slice of the task-index space:
+// it executes the span's Count tasks, passing each its global index
+// (span.Index(k)) to both task and reduce, with the same pooling,
+// ordering, buffering, and error semantics as Reduce. Reduction order is
+// the span's own order — strictly increasing global index. This is the
+// primitive sharded and resumed campaigns run on: a shard executes
+// ShardSpan's slice, and per-task randomness keyed on global indices makes
+// its results bit-identical to the full sweep's at those indices.
+func ReduceSpan[T any](ctx context.Context, span Span, workers int, task ReduceTask[T], reduce func(index int, value T) error) error {
+	if span.Count < 0 {
+		return fmt.Errorf("runner: negative span count %d", span.Count)
+	}
+	if span.Stride < 1 {
+		return fmt.Errorf("runner: non-positive span stride %d", span.Stride)
+	}
+	if span.Start < 0 {
+		return fmt.Errorf("runner: negative span start %d", span.Start)
+	}
 	if task == nil {
 		return fmt.Errorf("runner: nil task")
 	}
 	if reduce == nil {
 		return fmt.Errorf("runner: nil reducer")
 	}
+	n := span.Count
 	if n == 0 {
 		return nil
 	}
@@ -57,11 +126,11 @@ func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], redu
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			v, err := task(ctx, i)
+			v, err := task(ctx, span.Index(i))
 			if err != nil {
 				return err
 			}
-			if err := reduce(i, v); err != nil {
+			if err := reduce(span.Index(i), v); err != nil {
 				return err
 			}
 		}
@@ -130,7 +199,7 @@ func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], redu
 				inFlight++
 				mu.Unlock()
 
-				v, err := task(tctx, i)
+				v, err := task(tctx, span.Index(i))
 
 				mu.Lock()
 				inFlight--
@@ -154,7 +223,7 @@ func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], redu
 			delete(pending, nextRed)
 			i := nextRed
 			mu.Unlock()
-			err := reduce(i, v)
+			err := reduce(span.Index(i), v)
 			mu.Lock()
 			nextRed++
 			if err != nil {

@@ -222,6 +222,142 @@ func TestReducePreCancelledContext(t *testing.T) {
 	}
 }
 
+// --- spans: sharding and resume offsets --------------------------------------
+
+// TestShardSpanPartitionsExactly: for any (n, count), the count shard
+// spans cover [0, n) with every index in exactly one span — the property
+// that makes the union of shard runs equal the single-process sweep.
+func TestShardSpanPartitionsExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for _, count := range []int{1, 2, 3, 7, 150} {
+			seen := make(map[int]int)
+			for idx := 0; idx < count; idx++ {
+				span, err := ShardSpan(n, idx, count, 0)
+				if err != nil {
+					t.Fatalf("ShardSpan(%d,%d,%d,0): %v", n, idx, count, err)
+				}
+				for k := 0; k < span.Count; k++ {
+					g := span.Index(k)
+					if g%count != idx {
+						t.Fatalf("shard %d/%d yielded index %d", idx, count, g)
+					}
+					seen[g]++
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d count=%d: covered %d indices", n, count, len(seen))
+			}
+			for g, c := range seen {
+				if g < 0 || g >= n || c != 1 {
+					t.Fatalf("n=%d count=%d: index %d seen %d times", n, count, g, c)
+				}
+			}
+		}
+	}
+}
+
+func TestShardSpanResumeOffset(t *testing.T) {
+	// 10 tasks, shard 1 of 3 owns {1, 4, 7}; skipping 2 leaves {7}.
+	span, err := ShardSpan(10, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Count != 1 || span.Index(0) != 7 {
+		t.Errorf("span = %+v, want the single index 7", span)
+	}
+	// Skipping the whole shard leaves an empty span; one more is an error.
+	if span, err = ShardSpan(10, 1, 3, 3); err != nil || span.Count != 0 {
+		t.Errorf("full skip: %+v, %v", span, err)
+	}
+	if _, err = ShardSpan(10, 1, 3, 4); err == nil {
+		t.Error("offset past the shard accepted")
+	}
+	for _, bad := range [][4]int{{-1, 0, 1, 0}, {5, 0, 0, 0}, {5, -1, 2, 0}, {5, 2, 2, 0}, {5, 0, 2, -1}} {
+		if _, err := ShardSpan(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("ShardSpan%v accepted", bad)
+		}
+	}
+}
+
+// TestReduceSpanGlobalIndices: task and reducer both see the span's global
+// indices, in strictly increasing order, for every worker count.
+func TestReduceSpanGlobalIndices(t *testing.T) {
+	span := Span{Start: 5, Stride: 3, Count: 40}
+	for _, workers := range []int{1, 4, 64} {
+		var got []int
+		err := ReduceSpan(context.Background(), span, workers,
+			func(_ context.Context, i int) (int, error) {
+				time.Sleep(time.Duration(i%5) * time.Microsecond)
+				return i * 2, nil
+			},
+			func(i, v int) error {
+				if v != i*2 {
+					t.Errorf("workers=%d: index %d carried %d", workers, i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != span.Count {
+			t.Fatalf("workers=%d: reduced %d of %d", workers, len(got), span.Count)
+		}
+		for k, idx := range got {
+			if idx != span.Index(k) {
+				t.Fatalf("workers=%d: position %d reduced %d, want %d", workers, k, idx, span.Index(k))
+			}
+		}
+	}
+}
+
+func TestReduceSpanBadSpans(t *testing.T) {
+	noTask := func(context.Context, int) (int, error) { return 0, nil }
+	noReduce := func(int, int) error { return nil }
+	for _, span := range []Span{
+		{Start: 0, Stride: 0, Count: 1},
+		{Start: -1, Stride: 1, Count: 1},
+		{Start: 0, Stride: 1, Count: -1},
+	} {
+		if err := ReduceSpan(context.Background(), span, 2, noTask, noReduce); err == nil {
+			t.Errorf("span %+v accepted", span)
+		}
+	}
+}
+
+// TestReduceSpanUnionMatchesReduce: splitting a sweep into shards and
+// interleaving their reductions by global index reproduces the unsharded
+// reduction exactly.
+func TestReduceSpanUnionMatchesReduce(t *testing.T) {
+	const n, shards = 97, 3
+	task := func(_ context.Context, i int) (int, error) { return i*i + 1, nil }
+	var want []int
+	if err := Reduce(context.Background(), n, 4, task, func(i, v int) error {
+		want = append(want, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, n)
+	for idx := 0; idx < shards; idx++ {
+		span, err := ShardSpan(n, idx, shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ReduceSpan(context.Background(), span, 4, task, func(i, v int) error {
+			got[i] = v
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: sharded %d, unsharded %d", i, got[i], want[i])
+		}
+	}
+}
+
 // --- Run cancellation regression (see ISSUE 2 satellite) ---------------------
 
 // TestRunNilWhenAllTasksCompleteDespiteCancel pins the fixed contract:

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory with
+// the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
+// running minimum, maximum, the target quantile, and the two quantiles
+// halfway to each extreme, nudged toward their ideal positions with
+// piecewise-parabolic interpolation as observations arrive.
+//
+// This is the latency-style consumer for campaign record streams: exact
+// percentiles (stats.Percentile) need every sample retained, which is
+// exactly what the streaming reducer exists to avoid — a P2Quantile folds
+// a million-run JSONL stream into five floats. Estimates are approximate
+// (typically well under 1% of the sample range on smooth distributions);
+// the first five observations are reproduced exactly.
+//
+// The zero value is not usable; construct with NewP2Quantile. Not safe for
+// concurrent use, like Accumulator.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights (q)
+	pos     [5]float64 // actual marker positions (n), 1-based
+	want    [5]float64 // desired marker positions (n')
+	incr    [5]float64 // desired-position increments (dn')
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1. It
+// panics outside that range, mirroring Percentile (the extremes are exact
+// running min/max — use Accumulator).
+func NewP2Quantile(p float64) *P2Quantile {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: P² quantile %v out of (0,1)", p))
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// P reports the target quantile.
+func (q *P2Quantile) P() float64 { return q.p }
+
+// N reports the number of observations.
+func (q *P2Quantile) N() int { return q.n }
+
+// Add feeds one observation.
+func (q *P2Quantile) Add(x float64) {
+	if q.n < 5 {
+		q.heights[q.n] = x
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.heights[:])
+			for i := range q.pos {
+				q.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	q.n++
+
+	// Locate x's cell and stretch the extremes to cover it.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x < q.heights[1]:
+		k = 0
+	case x < q.heights[2]:
+		k = 1
+	case x < q.heights[3]:
+		k = 2
+	case x <= q.heights[4]:
+		k = 3
+	default:
+		q.heights[4] = x
+		k = 3
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.incr[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if !(q.heights[i-1] < h && h < q.heights[i+1]) {
+				h = q.linear(i, sign)
+			}
+			q.heights[i] = h
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is P²'s piecewise-parabolic height prediction for moving
+// marker i one position in direction d.
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback prediction when the parabola overshoots a
+// neighbouring marker.
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value reports the current estimate: the exact sample quantile while
+// fewer than five observations have arrived (0 for none), the P² marker
+// estimate after.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		obs := make([]float64, q.n)
+		copy(obs, q.heights[:q.n])
+		return Percentile(obs, q.p)
+	}
+	return q.heights[2]
+}

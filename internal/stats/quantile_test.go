@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"nbiot/internal/rng"
+)
+
+func TestP2QuantileSmallSamplesExact(t *testing.T) {
+	for _, p := range []float64{0.25, 0.5, 0.9} {
+		q := NewP2Quantile(p)
+		if q.Value() != 0 || q.N() != 0 {
+			t.Errorf("p=%v: empty estimator reported %v (n=%d)", p, q.Value(), q.N())
+		}
+		var obs []float64
+		for _, x := range []float64{7, 3, 11, 5} { // stays below the 5-marker threshold
+			q.Add(x)
+			obs = append(obs, x)
+			if got, want := q.Value(), Percentile(obs, p); got != want {
+				t.Errorf("p=%v n=%d: %v, want exact %v", p, len(obs), got, want)
+			}
+		}
+	}
+}
+
+func TestP2QuantileTracksExactPercentile(t *testing.T) {
+	// Streams with different shapes; the P² estimate must stay within a
+	// small fraction of the sample range of the exact percentile.
+	shapes := map[string]func(s *rng.Stream) float64{
+		"uniform":     func(s *rng.Stream) float64 { return s.Float64() },
+		"exponential": func(s *rng.Stream) float64 { return s.Exponential(3.0) },
+		"bimodal": func(s *rng.Stream) float64 {
+			if s.Bool(0.3) {
+				return 10 + s.Float64()
+			}
+			return s.Float64()
+		},
+	}
+	const n = 20000
+	for name, draw := range shapes {
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+			s := rng.NewStream(42)
+			q := NewP2Quantile(p)
+			xs := make([]float64, 0, n)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for i := 0; i < n; i++ {
+				x := draw(s)
+				q.Add(x)
+				xs = append(xs, x)
+				lo, hi = math.Min(lo, x), math.Max(hi, x)
+			}
+			exact := Percentile(xs, p)
+			if q.N() != n {
+				t.Fatalf("%s p=%v: n=%d", name, p, q.N())
+			}
+			if tol := 0.02 * (hi - lo); math.Abs(q.Value()-exact) > tol {
+				t.Errorf("%s p=%v: P² %v vs exact %v (tolerance %v)", name, p, q.Value(), exact, tol)
+			}
+		}
+	}
+}
+
+func TestP2QuantileConstantStream(t *testing.T) {
+	q := NewP2Quantile(0.95)
+	for i := 0; i < 1000; i++ {
+		q.Add(4.25)
+	}
+	if q.Value() != 4.25 {
+		t.Errorf("constant stream estimated %v", q.Value())
+	}
+}
+
+func TestP2QuantileRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v accepted", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

@@ -30,8 +30,12 @@
 package nbiot
 
 import (
+	"io"
+	"os"
+
 	"nbiot/internal/analysis"
 	"nbiot/internal/battery"
+	"nbiot/internal/campaign"
 	"nbiot/internal/cell"
 	"nbiot/internal/core"
 	"nbiot/internal/drx"
@@ -43,6 +47,7 @@ import (
 	"nbiot/internal/rng"
 	"nbiot/internal/runner"
 	"nbiot/internal/simtime"
+	"nbiot/internal/stats"
 	"nbiot/internal/trace"
 	"nbiot/internal/traffic"
 )
@@ -341,3 +346,88 @@ func Fig6b(o ExperimentOptions) (*Fig6bResult, error) { return experiment.Fig6b(
 
 // Fig7 regenerates Fig. 7: DR-SC transmissions vs fleet size.
 func Fig7(o ExperimentOptions) (*Fig7Result, error) { return experiment.Fig7(o) }
+
+// --- distributed campaigns ---------------------------------------------------
+//
+// ExperimentOptions.ShardIndex/ShardCount/SkipTasks plus internal/campaign
+// turn one-shot sweeps into durable, distributable campaigns: each shard
+// runs in its own process against the same seed, records spill to JSONL
+// with a manifest sidecar, interrupted shards resume from their completed
+// prefix, and merging the shard files reproduces the single-process output
+// byte for byte. See `nbsim -shard/-resume/merge` for the CLI form and
+// examples/distributed-campaign for the library form.
+
+// CampaignManifest describes one shard of a configured sweep. It is
+// serialized next to the shard's JSONL record file so results are
+// self-describing: resuming and merging processes validate against it
+// instead of trusting flags.
+type CampaignManifest = campaign.Manifest
+
+// CampaignCheckpoint is the resume state recovered from an interrupted
+// record file: the completed task prefix and the crash damage found.
+type CampaignCheckpoint = campaign.Checkpoint
+
+// NewCampaignManifest builds the manifest for one shard of an
+// experiment's sweep ("fig6a", "fig6b", "fig7"); shardCount <= 1 means
+// unsharded.
+func NewCampaignManifest(experimentName string, o ExperimentOptions, shardIndex, shardCount int) (CampaignManifest, error) {
+	return campaign.New(experimentName, o, shardIndex, shardCount)
+}
+
+// ReadCampaignManifest loads and validates a manifest sidecar.
+func ReadCampaignManifest(path string) (CampaignManifest, error) { return campaign.ReadFile(path) }
+
+// CampaignManifestPath is where a record file's manifest sidecar lives.
+func CampaignManifestPath(jsonlPath string) string { return campaign.Path(jsonlPath) }
+
+// CampaignRecordWriter returns an ExperimentOptions.Record hook appending
+// one JSON line per record to w — the on-disk encoding the campaign layer
+// scans and merges.
+func CampaignRecordWriter(w io.Writer) func(RunRecord) error { return campaign.RecordWriter(w) }
+
+// ResumeCampaign validates an interrupted record file against its
+// manifest, truncates the torn line a crash may have left, and reopens the
+// file for appending; run the sweep again with SkipTasks set to the
+// checkpoint's Completed and the finished file is byte-identical to an
+// uninterrupted run's.
+func ResumeCampaign(path string, m CampaignManifest) (*os.File, CampaignCheckpoint, error) {
+	return campaign.OpenResume(path, m)
+}
+
+// MergeCampaignShards interleaves a complete shard set's record files back
+// into single-process order, writing the byte-identical merged stream to
+// out and handing each record, in global index order, to each (may be
+// nil). Feed each into Fig6a/6b/7FromRecords to rebuild the exact tables.
+func MergeCampaignShards(out io.Writer, paths []string, each func(RunRecord) error) (CampaignManifest, error) {
+	return campaign.Merge(out, paths, each)
+}
+
+// RecordSeq streams a sweep's records in increasing index order — the
+// consuming counterpart of ExperimentOptions.Record.
+type RecordSeq = experiment.RecordSeq
+
+// Fig6aFromRecords rebuilds the Fig. 6(a) result from a complete record
+// stream, bit-identical to the live sweep's result.
+func Fig6aFromRecords(o ExperimentOptions, src RecordSeq) (*Fig6aResult, error) {
+	return experiment.Fig6aFromRecords(o, src)
+}
+
+// Fig6bFromRecords rebuilds the Fig. 6(b) result from a complete record
+// stream, bit-identical to the live sweep's result.
+func Fig6bFromRecords(o ExperimentOptions, src RecordSeq) (*Fig6bResult, error) {
+	return experiment.Fig6bFromRecords(o, src)
+}
+
+// Fig7FromRecords rebuilds the Fig. 7 result from a complete record
+// stream, bit-identical to the live sweep's result.
+func Fig7FromRecords(o ExperimentOptions, src RecordSeq) (*Fig7Result, error) {
+	return experiment.Fig7FromRecords(o, src)
+}
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory (the
+// P² algorithm) — the latency-style consumer for long record streams that
+// must never retain every sample.
+type P2Quantile = stats.P2Quantile
+
+// NewP2Quantile returns a streaming estimator for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile { return stats.NewP2Quantile(p) }

@@ -1,6 +1,10 @@
 package nbiot_test
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"nbiot"
@@ -190,5 +194,123 @@ func TestFacadeExperimentSmoke(t *testing.T) {
 	}
 	if len(res.Transmissions.Points) != 1 {
 		t.Errorf("points = %d", len(res.Transmissions.Points))
+	}
+}
+
+// TestFacadeDistributedCampaign drives the shard → crash → resume → merge
+// workflow purely through the facade.
+func TestFacadeDistributedCampaign(t *testing.T) {
+	o := nbiot.DefaultExperimentOptions()
+	o.Runs = 2
+	o.FleetSizes = []int{40, 80}
+	o.Workers = 2
+
+	dir := t.TempDir()
+	runShard := func(path string, idx, count, skip int) {
+		t.Helper()
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		so := o
+		so.ShardIndex, so.ShardCount, so.SkipTasks = idx, count, skip
+		so.Record = nbiot.CampaignRecordWriter(f)
+		if _, err := nbiot.Fig7(so); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: unsharded run.
+	single := filepath.Join(dir, "single.jsonl")
+	runShard(single, 0, 1, 0)
+	ref, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shards, with manifests.
+	const shards = 2
+	var paths []string
+	for idx := 0; idx < shards; idx++ {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", idx))
+		paths = append(paths, p)
+		m, err := nbiot.NewCampaignManifest("fig7", o, idx, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteFile(nbiot.CampaignManifestPath(p)); err != nil {
+			t.Fatal(err)
+		}
+		runShard(p, idx, shards, 0)
+	}
+
+	// Crash shard 0 (torn tail) and resume it via the facade.
+	whole, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[0], whole[:len(whole)/2+1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := nbiot.ReadCampaignManifest(nbiot.CampaignManifestPath(paths[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, cp, err := nbiot.ResumeCampaign(paths[0], m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := o
+	so.ShardIndex, so.ShardCount, so.SkipTasks = 0, shards, cp.Completed
+	so.Record = nbiot.CampaignRecordWriter(f)
+	if _, err := nbiot.Fig7(so); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, whole) {
+		t.Error("resumed shard diverges from its uninterrupted run")
+	}
+
+	// Merge and rebuild; stream P95 off the merged records as a consumer.
+	var merged bytes.Buffer
+	p95 := nbiot.NewP2Quantile(0.95)
+	var recs []nbiot.RunRecord
+	if _, err := nbiot.MergeCampaignShards(&merged, paths, func(rec nbiot.RunRecord) error {
+		p95.Add(rec.Value)
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), ref) {
+		t.Error("merged stream diverges from the single-process run")
+	}
+	if p95.N() != len(recs) || len(recs) == 0 {
+		t.Fatalf("consumer saw %d records (P² n=%d)", len(recs), p95.N())
+	}
+	direct, err := nbiot.Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := nbiot.Fig7FromRecords(o, func(yield func(nbiot.RunRecord) error) error {
+		for _, rec := range recs {
+			if err := yield(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Table().String() != direct.Table().String() {
+		t.Error("rebuilt table diverges from the direct run")
 	}
 }
