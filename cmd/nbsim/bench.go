@@ -1,0 +1,74 @@
+// The bench subcommand: the pinned perf-trajectory suite (internal/bench)
+// plus record comparison and CI budget enforcement.
+//
+//	nbsim bench                         # run, print, write BENCH_PR4.json
+//	nbsim bench -short -out ci.json     # CI smoke: fewer iterations
+//	nbsim bench -budget bench-budgets.json
+//	                                    # fail if allocs/op exceeds a budget
+//	nbsim bench -compare BENCH_PR4.json # benchstat-style delta vs a record
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbiot/internal/bench"
+)
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		short   bool
+		quiet   bool
+		label   string
+		out     string
+		budget  string
+		compare string
+	)
+	fs.BoolVar(&short, "short", false, "run fewer iterations per benchmark (CI smoke); workloads are unchanged, so allocs/op stays comparable")
+	fs.BoolVar(&quiet, "quiet", false, "suppress per-benchmark progress lines")
+	fs.StringVar(&label, "label", "PR4", "record label (names the default output file BENCH_<label>.json)")
+	fs.StringVar(&out, "out", "", "output path for the JSON record (default BENCH_<label>.json)")
+	fs.StringVar(&budget, "budget", "", "budget file; exit non-zero if any tracked benchmark's allocs/op exceeds its ceiling")
+	fs.StringVar(&compare, "compare", "", "older BENCH_*.json to print a delta table against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if out == "" {
+		out = "BENCH_" + label + ".json"
+	}
+	var progress func(format string, args ...any)
+	if !quiet {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rec, err := bench.Run(label, short, progress)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks, short=%v)\n", out, len(rec.Results), short)
+	if compare != "" {
+		old, err := bench.ReadRecord(compare)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.Delta(old, rec))
+	}
+	if budget != "" {
+		b, err := bench.ReadBudgets(budget)
+		if err != nil {
+			return err
+		}
+		if err := b.Check(rec); err != nil {
+			return err
+		}
+		fmt.Printf("all %d budgets respected\n", len(b.Budgets))
+	}
+	return nil
+}

@@ -39,6 +39,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,6 +80,9 @@ type cliOptions struct {
 	ablation  string
 	jsonOut   bool
 	traceN    int
+	// profiling
+	cpuProfile string
+	memProfile string
 }
 
 func parseFlags(cmd string, args []string) (cliOptions, error) {
@@ -100,6 +105,8 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
 	fs.IntVar(&o.traceN, "trace", 0, "run: print the last N timeline events")
 	fs.StringVar(&o.ablation, "id", "", "ablations: one of greedy-vs-exact, ti-sweep, mix-sweep, paging-capacity, scptm (default all)")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write an allocation profile taken at sweep end to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -154,11 +161,14 @@ func shardable(cmd string) bool { return cmd == "fig6a" || cmd == "fig6b" || cmd
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run|merge} [flags]")
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run|merge|bench} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "merge" {
 		return runMerge(rest)
+	}
+	if cmd == "bench" {
+		return runBench(rest)
 	}
 	switch cmd {
 	case "fig6a", "fig6b", "fig7", "ablations", "all", "run":
@@ -198,6 +208,15 @@ func run(args []string) (err error) {
 			}
 		}()
 	}
+	stopProfiles, err := startProfiles(o)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	switch cmd {
 	case "fig6a":
 		return runFig6a(o, sink)
@@ -336,6 +355,42 @@ func (s *jsonlSink) shardDone() error {
 	fmt.Printf("shard %d/%d complete: %d of %d tasks → %s\nmerge the full shard set with: nbsim merge -out merged.jsonl <shard files>\n",
 		m.ShardIndex+1, m.ShardCount, m.ShardTasks(), m.Tasks, s.path)
 	return nil
+}
+
+// startProfiles begins the -cpuprofile capture and returns a stop function
+// that finishes both requested profiles — so future hot-path work starts
+// from a profile, not a guess. With neither flag set both steps are no-ops.
+func startProfiles(o cliOptions) (func() error, error) {
+	var cpuF *os.File
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if o.memProfile != "" {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile shows live vs total
+			return pprof.Lookup("allocs").WriteTo(f, 0)
+		}
+		return nil
+	}, nil
 }
 
 // createExclusive opens path for writing under the refuse-to-clobber

@@ -1,0 +1,391 @@
+// Package bench is the pinned perf-trajectory suite behind `nbsim bench`.
+//
+// Every PR leaves a machine-readable perf record (BENCH_<label>.json at the
+// repo root) produced by the same fixed workloads, so speedups are proven
+// and regressions caught by diffing two records instead of re-running
+// ad-hoc benchmarks. The suite mirrors the headline go-test benchmarks —
+// the end-to-end DA-SC campaign, the DR-SC planner, the Fig. 7 sweep at one
+// and at all CPUs — plus event-engine microbenchmarks guarding the
+// allocation-free scheduling hot path.
+//
+// Measurement is a deliberate, deterministic harness rather than
+// testing.Benchmark's auto-scaling: each workload runs a fixed iteration
+// count after one warm-up pass, timed around runtime.MemStats deltas, so
+// allocs/op is an exact, reproducible figure that CI can hold to a
+// committed budget (see Budgets).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/event"
+	"nbiot/internal/experiment"
+	"nbiot/internal/multicast"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// Schema identifies the record layout.
+const Schema = "nbsim-bench/v1"
+
+// BudgetSchema identifies the budget-file layout.
+const BudgetSchema = "nbsim-bench-budget/v1"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name is the pinned benchmark identity; budgets key on it.
+	Name string `json:"name"`
+	// Iters is how many times the workload ran inside the measurement.
+	Iters int `json:"iters"`
+	// NsPerOp is wall-clock nanoseconds per workload execution.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations (objects) per workload execution.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per workload execution.
+	BytesPerOp float64 `json:"bytes_per_op"`
+}
+
+// Record is one full suite run, the content of a BENCH_*.json file.
+type Record struct {
+	Schema    string   `json:"schema"`
+	Label     string   `json:"label"` // e.g. "PR4"
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Short     bool     `json:"short"`
+	Results   []Result `json:"benchmarks"`
+}
+
+// Budgets is the committed per-benchmark ceiling file: CI fails when a
+// tracked benchmark's allocs/op exceeds its budget. Benchmarks without an
+// entry are recorded but unenforced (wall-clock-noisy parallel runs).
+type Budgets struct {
+	Schema  string            `json:"schema"`
+	Budgets map[string]Budget `json:"budgets"`
+}
+
+// Budget bounds one benchmark.
+type Budget struct {
+	// MaxAllocsPerOp is the allocs/op ceiling (inclusive).
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+}
+
+// benchmark is one pinned suite entry.
+type benchmark struct {
+	name  string
+	iters int // measured iterations in full mode; short mode runs fewer
+	setup func() (func(), error)
+}
+
+// measure times fn over iters executions after one warm-up pass, reading
+// allocation counters around the loop. The warm-up populates steady-state
+// caches (scratch buffers, the engine's queue high-water mark) so the
+// numbers describe the sustained cost, which is what the budgets bound.
+func measure(name string, iters int, fn func()) Result {
+	fn() // warm-up
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return Result{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}
+}
+
+// suite returns the pinned benchmarks. Short mode shrinks iteration counts
+// only — the workloads themselves stay fixed, so allocs/op stays comparable
+// between a CI smoke run and a full trajectory run.
+func suite(short bool) []benchmark {
+	scale := func(full, shortIters int) int {
+		if short {
+			return shortIters
+		}
+		return full
+	}
+	return []benchmark{
+		{
+			// The engine hot path: schedule and drain 10k plain + indexed
+			// events per op. Steady-state allocs/op must be ~0 (the queue's
+			// high-water mark is allocated during warm-up).
+			name:  "engine/at-step-10k",
+			iters: scale(200, 20),
+			setup: func() (func(), error) {
+				eng := event.NewEngine()
+				fn := func() {}
+				ih := func(int64) {}
+				return func() {
+					base := eng.Now()
+					for i := 0; i < 5000; i++ {
+						eng.At(base+simtime.Ticks(i), "bench", fn)
+						eng.AtIndexed(base+simtime.Ticks(i), "bench-ix", ih, int64(i))
+					}
+					eng.Run()
+				}, nil
+			},
+		},
+		{
+			// Opt-in cancellation: 2k cancellable events per op, half
+			// cancelled before the drain. Bounds the id→position map cost.
+			name:  "engine/cancellable-2k",
+			iters: scale(200, 20),
+			setup: func() (func(), error) {
+				eng := event.NewEngine()
+				fn := func() {}
+				ids := make([]event.ID, 0, 2000)
+				return func() {
+					base := eng.Now()
+					ids = ids[:0]
+					for i := 0; i < 2000; i++ {
+						ids = append(ids, eng.AtCancellable(base+simtime.Ticks(i), "bench-c", fn))
+					}
+					for i := 0; i < len(ids); i += 2 {
+						eng.Cancel(ids[i])
+					}
+					eng.Run()
+				}, nil
+			},
+		},
+		{
+			// One DR-SC planning pass at paper scale (N = 1000), the
+			// heaviest single algorithm in the library.
+			name:  "planner/drsc-1000",
+			iters: scale(10, 2),
+			setup: func() (func(), error) {
+				fleet, err := traffic.PaperCalibratedMix().Generate(1000, rng.NewStream(1))
+				if err != nil {
+					return nil, err
+				}
+				devices, err := core.FleetFromTraffic(fleet)
+				if err != nil {
+					return nil, err
+				}
+				return func() {
+					params := core.Params{Now: 0, TI: 10 * simtime.Second, TieBreak: rng.NewStream(1)}
+					if _, err := (core.DRSCPlanner{}).Plan(devices, params); err != nil {
+						panic(err)
+					}
+				}, nil
+			},
+		},
+		{
+			// One end-to-end DA-SC campaign (plan + event simulation +
+			// accounting) on a 500-device fleet, fresh buffers every run —
+			// the cost a single cell.Run caller pays.
+			name:  "campaign/dasc-500",
+			iters: scale(10, 2),
+			setup: func() (func(), error) {
+				fleet, err := traffic.PaperCalibratedMix().Generate(500, rng.NewStream(2))
+				if err != nil {
+					return nil, err
+				}
+				cfg := campaignConfig(fleet)
+				return func() {
+					if _, err := cell.Run(cfg); err != nil {
+						panic(err)
+					}
+				}, nil
+			},
+		},
+		{
+			// The same campaign through a reused Scratch — the sweep
+			// steady state. The gap to campaign/dasc-500 is what buffer
+			// reuse buys.
+			name:  "campaign/dasc-500-scratch",
+			iters: scale(10, 2),
+			setup: func() (func(), error) {
+				fleet, err := traffic.PaperCalibratedMix().Generate(500, rng.NewStream(2))
+				if err != nil {
+					return nil, err
+				}
+				cfg := campaignConfig(fleet)
+				var sc cell.Scratch
+				return func() {
+					if _, err := cell.RunScratch(cfg, &sc); err != nil {
+						panic(err)
+					}
+				}, nil
+			},
+		},
+		{
+			// The Fig. 7 sweep serially: the reference point the parallel
+			// entry is compared against, and the budget-enforced one (a
+			// single goroutine keeps allocs/op deterministic).
+			name:  "sweep/fig7-serial",
+			iters: scale(3, 1),
+			setup: fig7Workload(1),
+		},
+		{
+			// The same sweep on the bounded pool at all CPUs; the ratio to
+			// fig7-serial is the campaign engine's parallel speedup.
+			name:  "sweep/fig7-parallel",
+			iters: scale(3, 1),
+			setup: fig7Workload(0), // 0 = runner.DefaultWorkers
+		},
+	}
+}
+
+// campaignConfig is the pinned end-to-end campaign configuration.
+func campaignConfig(fleet []traffic.Device) cell.Config {
+	return cell.Config{
+		Mechanism:       core.MechanismDASC,
+		Fleet:           fleet,
+		TI:              10 * simtime.Second,
+		PageGuard:       100 * simtime.Millisecond,
+		PayloadBytes:    multicast.Size1MB,
+		Seed:            1,
+		UniformCoverage: true,
+	}
+}
+
+// fig7Workload is the pinned reduced-scale Fig. 7 sweep at a worker count.
+func fig7Workload(workers int) func() (func(), error) {
+	return func() (func(), error) {
+		o := experiment.DefaultOptions()
+		o.Runs = 8
+		o.FleetSizes = []int{100, 400, 700, 1000}
+		o.Workers = workers
+		return func() {
+			if _, err := experiment.Fig7(o); err != nil {
+				panic(err)
+			}
+		}, nil
+	}
+}
+
+// Run executes the pinned suite and assembles the record. progress, when
+// non-nil, receives one line per completed benchmark.
+func Run(label string, short bool, progress func(format string, args ...any)) (Record, error) {
+	rec := Record{
+		Schema:    Schema,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Short:     short,
+	}
+	for _, b := range suite(short) {
+		fn, err := b.setup()
+		if err != nil {
+			return Record{}, fmt.Errorf("bench %s: %w", b.name, err)
+		}
+		res := measure(b.name, b.iters, fn)
+		rec.Results = append(rec.Results, res)
+		if progress != nil {
+			progress("bench %s: %.0f ns/op, %.0f allocs/op, %.0f B/op (%d iters)",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iters)
+		}
+	}
+	return rec, nil
+}
+
+// WriteFile serialises the record as indented JSON.
+func (r Record) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRecord loads a BENCH_*.json file.
+func ReadRecord(path string) (Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Record{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Record{}, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// ReadBudgets loads a budget file.
+func ReadBudgets(path string) (Budgets, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Budgets{}, err
+	}
+	var b Budgets
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Budgets{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != BudgetSchema {
+		return Budgets{}, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BudgetSchema)
+	}
+	return b, nil
+}
+
+// Check holds the record to the budgets: every budgeted benchmark must be
+// present and within its allocs/op ceiling. It returns the violations as a
+// single error (nil when everything fits).
+func (b Budgets) Check(rec Record) error {
+	byName := make(map[string]Result, len(rec.Results))
+	for _, r := range rec.Results {
+		byName[r.Name] = r
+	}
+	var fails []string
+	for name, budget := range b.Budgets {
+		r, ok := byName[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: budgeted but not measured", name))
+			continue
+		}
+		if r.AllocsPerOp > budget.MaxAllocsPerOp {
+			fails = append(fails, fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f",
+				name, r.AllocsPerOp, budget.MaxAllocsPerOp))
+		}
+	}
+	if len(fails) > 0 {
+		sort.Strings(fails)
+		return fmt.Errorf("bench budgets exceeded:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// Delta renders a benchstat-style comparison of two records, old → new,
+// one line per benchmark present in both.
+func Delta(old, new Record) string {
+	byName := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	out := fmt.Sprintf("%-28s %14s %14s %8s   %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old → new")
+	for _, n := range new.Results {
+		o, ok := byName[n.Name]
+		if !ok {
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		out += fmt.Sprintf("%-28s %14.0f %14.0f %+7.1f%%   %.0f → %.0f\n",
+			n.Name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{
+		Schema: Schema, Label: "TEST", GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+		CPUs: 4, Short: true,
+		Results: []Result{{Name: "x/y", Iters: 3, NsPerOp: 1.5, AllocsPerOp: 2, BytesPerOp: 64}},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_TEST.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "TEST" || len(got.Results) != 1 || got.Results[0] != rec.Results[0] {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+}
+
+func TestReadRecordRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rec := Record{Schema: "something-else/v9"}
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecord(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestBudgetsCheck(t *testing.T) {
+	rec := Record{Schema: Schema, Results: []Result{
+		{Name: "fits", AllocsPerOp: 10},
+		{Name: "breaks", AllocsPerOp: 1000},
+	}}
+	ok := Budgets{Schema: BudgetSchema, Budgets: map[string]Budget{
+		"fits": {MaxAllocsPerOp: 10}, // inclusive ceiling
+	}}
+	if err := ok.Check(rec); err != nil {
+		t.Errorf("within-budget record rejected: %v", err)
+	}
+	bad := Budgets{Schema: BudgetSchema, Budgets: map[string]Budget{
+		"breaks":  {MaxAllocsPerOp: 999},
+		"missing": {MaxAllocsPerOp: 1},
+	}}
+	err := bad.Check(rec)
+	if err == nil {
+		t.Fatal("over-budget record accepted")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "breaks") || !strings.Contains(msg, "missing") {
+		t.Errorf("violation message incomplete: %v", msg)
+	}
+}
+
+func TestSuiteRunsInShortMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the (reduced) suite end to end")
+	}
+	// Only the engine microbenchmarks: run the full harness path on the
+	// two cheap entries by checking the assembled record fields instead of
+	// executing the multi-second campaign entries here (those run in CI's
+	// bench job and in `nbsim bench`).
+	for _, b := range suite(true)[:2] {
+		fn, err := b.setup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := measure(b.name, b.iters, fn)
+		if res.Name != b.name || res.Iters != b.iters || res.NsPerOp <= 0 {
+			t.Errorf("suspicious measurement: %+v", res)
+		}
+		if res.AllocsPerOp != 0 {
+			t.Errorf("%s: %.1f allocs/op in steady state, want 0", b.name, res.AllocsPerOp)
+		}
+	}
+}

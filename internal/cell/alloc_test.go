@@ -1,0 +1,140 @@
+package cell
+
+import (
+	"testing"
+
+	"nbiot/internal/core"
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// seedAllocBaseline is the allocation count of one Run campaign (DA-SC,
+// 200 devices, PaperCalibratedMix fleet seed 7, campaign seed 42, 1 MB
+// payload, TI 10 s) measured on the pre-optimisation executor: the heap-
+// allocated event queue, the six per-device maps, and the per-event
+// scheduling closures. The allocation-free hot path must stay at least 30%
+// below it — in practice it sits around 95% below.
+const seedAllocBaseline = 168085
+
+// allocBaselineConfig reproduces the exact campaign the baseline was
+// recorded on.
+func allocBaselineConfig(t testing.TB) Config {
+	t.Helper()
+	fleet, err := traffic.PaperCalibratedMix().Generate(200, rng.NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Mechanism:       core.MechanismDASC,
+		Fleet:           fleet,
+		TI:              10 * simtime.Second,
+		PageGuard:       100 * simtime.Millisecond,
+		PayloadBytes:    1024 * 1024,
+		Seed:            42,
+		UniformCoverage: true,
+	}
+}
+
+func TestRunAllocationRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation regression measurement is not short")
+	}
+	cfg := allocBaselineConfig(t)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The acceptance bar is a ≥30% drop vs the recorded baseline. Failing
+	// this means a change re-introduced per-event or per-device allocation
+	// on the campaign hot path.
+	if limit := 0.7 * seedAllocBaseline; allocs > limit {
+		t.Errorf("cell.Run allocated %.0f objects/campaign; regression bar is %.0f (baseline %d)",
+			allocs, limit, seedAllocBaseline)
+	}
+	t.Logf("cell.Run: %.0f allocs/campaign (baseline %d, %.1f%% of it)",
+		allocs, seedAllocBaseline, allocs/seedAllocBaseline*100)
+}
+
+func TestRunScratchReuseDropsAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not short")
+	}
+	cfg := allocBaselineConfig(t)
+	fresh := testing.AllocsPerRun(3, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var sc Scratch
+	if _, err := RunScratch(cfg, &sc); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	reused := testing.AllocsPerRun(3, func() {
+		if _, err := RunScratch(cfg, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reused >= fresh {
+		t.Errorf("scratch reuse did not reduce allocations: %.0f with scratch vs %.0f fresh", reused, fresh)
+	}
+	t.Logf("cell.Run allocs/campaign: %.0f fresh, %.0f with a warm Scratch", fresh, reused)
+}
+
+func TestRunScratchBitIdentical(t *testing.T) {
+	// A Scratch reused across different campaigns must never leak state
+	// between runs: interleaved scratch/no-scratch executions of different
+	// mechanisms and seeds must agree outcome for outcome.
+	var sc Scratch
+	for _, mech := range []core.Mechanism{core.MechanismDASC, core.MechanismDRSC, core.MechanismDRSI} {
+		for _, seed := range []int64{3, 9} {
+			cfg := testConfig(t, mech, 40, seed)
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunScratch(cfg, &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.CampaignEnd != want.CampaignEnd || got.ENB != want.ENB || got.MAC != want.MAC {
+				t.Fatalf("%v seed %d: scratch run diverged: end %v vs %v", mech, seed, got.CampaignEnd, want.CampaignEnd)
+			}
+			if len(got.Devices) != len(want.Devices) {
+				t.Fatalf("%v seed %d: device count diverged", mech, seed)
+			}
+			for i := range got.Devices {
+				if got.Devices[i] != want.Devices[i] {
+					t.Fatalf("%v seed %d: device %d outcome diverged:\n got %+v\nwant %+v",
+						mech, seed, got.Devices[i].ID, got.Devices[i], want.Devices[i])
+				}
+			}
+		}
+	}
+}
+
+// TestArbitraryDeviceIDs exercises the dense-index remap: the executor must
+// handle fleets whose IDs are not 0..n-1 (the planner and delivery layers
+// key on raw IDs) and produce outcomes for exactly those IDs.
+func TestArbitraryDeviceIDs(t *testing.T) {
+	cfg := testConfig(t, core.MechanismDRSC, 30, 17)
+	for i := range cfg.Fleet {
+		cfg.Fleet[i].ID = 1000 + 7*i // sparse, non-contiguous
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Devices) != 30 {
+		t.Fatalf("got %d device outcomes, want 30", len(res.Devices))
+	}
+	for i, d := range res.Devices {
+		if d.ID != 1000+7*i {
+			t.Errorf("outcome %d has ID %d, want %d", i, d.ID, 1000+7*i)
+		}
+		if d.DeliveredAt <= 0 {
+			t.Errorf("device %d not served", d.ID)
+		}
+	}
+}

@@ -17,10 +17,11 @@ import (
 // scheduleBackground seeds each device's uplink-report timeline: Poisson
 // arrivals at the device's class mean. Timelines are drawn up front from a
 // dedicated stream, so the same seed produces the same background whatever
-// mechanism runs on top.
+// mechanism runs on top. Reports are indexed events carrying the device's
+// dense index, so an arbitrarily dense timeline allocates no closures.
 func (s *runState) scheduleBackground(fleet []traffic.Device, stream *rng.Stream, span simtime.Interval) {
 	for _, dev := range fleet {
-		dev := dev
+		di := int64(s.dev.index(dev.ID))
 		at := simtime.Ticks(0)
 		for {
 			gap := simtime.Ticks(stream.Exponential(float64(dev.ReportPeriod)))
@@ -31,8 +32,7 @@ func (s *runState) scheduleBackground(fleet []traffic.Device, stream *rng.Stream
 			if at >= span.End-s.reportDuration-10*simtime.Second {
 				break
 			}
-			reportAt := at
-			s.eng.At(reportAt, "cell.report", func() { s.onReport(dev.ID) })
+			s.eng.AtIndexed(at, "cell.report", s.hReport, di)
 		}
 	}
 }
@@ -40,30 +40,30 @@ func (s *runState) scheduleBackground(fleet []traffic.Device, stream *rng.Stream
 // onReport runs one background uplink report: random access, a short
 // connected upload, release. Reports finding the device busy are skipped
 // (a real device would aggregate into its next one).
-func (s *runState) onReport(dev int) {
-	ue := s.ues[dev]
+func (s *runState) onReport(di int) {
+	ue := s.ues[di]
 	if ph := ue.Phase(); (ph != device.PhaseSleeping && ph != device.PhaseDone) ||
-		s.eng.Now() < s.busyUntil[dev] {
+		s.eng.Now() < s.busyUntil[di] {
 		s.reportsSkipped++
 		return
 	}
 	s.reportsSent++
-	s.tr.Record(s.eng.Now(), trace.KindReport, dev, "")
+	s.tr.Record(s.eng.Now(), trace.KindReport, ue.Info().ID, "")
 	ue.StartAccess(s.eng.Now())
 	s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
 		if !res.OK {
 			// Congested RACH: the report is lost; the device gives up and
 			// goes back to sleep.
 			ue.AccessDone(s.eng.Now(), res.Attempts)
-			s.busyUntil[dev] = ue.Release(s.eng.Now(), false)
+			s.busyUntil[di] = ue.Release(s.eng.Now(), false)
 			return
 		}
 		ready := ue.AccessDone(res.CompletedAt, res.Attempts)
 		s.signalConnection(ue.Info().UEID, rrc.CauseMOData)
 		done := ready + s.reportDuration
 		s.eng.At(done, "cell.report-done", func() {
-			s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseNormal})
-			s.busyUntil[dev] = ue.Release(s.eng.Now(), false)
+			s.signalRelease(ue.Info().UEID, rrc.ReleaseNormal)
+			s.busyUntil[di] = ue.Release(s.eng.Now(), false)
 		})
 	})
 }

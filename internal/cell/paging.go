@@ -9,28 +9,46 @@ import (
 
 	"nbiot/internal/core"
 	"nbiot/internal/device"
+	"nbiot/internal/drx"
 	"nbiot/internal/mac"
 	"nbiot/internal/rrc"
 	"nbiot/internal/simtime"
 	"nbiot/internal/trace"
 )
 
+// pageOne accounts a single-record paging message through the run's
+// reusable buffer; eNB accounting never retains the message.
+func (s *runState) pageOne(at simtime.Ticks, ueid uint32) {
+	s.msgOneRec[0] = ueid
+	s.msgPage = rrc.Paging{PagingRecords: s.msgOneRec[:1]}
+	if _, err := s.nb.Page(at, &s.msgPage); err != nil {
+		s.fail(err)
+	}
+}
+
+// notifyOne accounts a single-record extended (mltc) paging message.
+func (s *runState) notifyOne(at simtime.Ticks, rec rrc.MltcRecord) {
+	s.msgOneMltc[0] = rec
+	s.msgPage = rrc.Paging{MltcRecords: s.msgOneMltc[:1]}
+	if _, err := s.nb.Page(at, &s.msgPage); err != nil {
+		s.fail(err)
+	}
+}
+
 // onPage handles a final (connect-to-receive) page at a natural or adapted
 // occasion. A device still busy in its reconfiguration connection is
 // re-paged at its next occasion after the connection ends.
 func (s *runState) onPage(pg core.Page) {
-	ue := s.ues[pg.Device]
+	di := s.dev.index(pg.Device)
+	ue := s.ues[di]
 	now := s.eng.Now()
-	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[pg.Device] {
-		retry := s.nextOccasionAfter(pg.Device, simtime.Max(s.busyUntil[pg.Device], now))
+	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[di] {
+		retry := s.nextOccasionAfter(di, simtime.Max(s.busyUntil[di], now))
 		s.tr.Recordf(now, trace.KindDeferred, pg.Device, "page deferred to %v", retry)
 		rp := pg
 		rp.At = retry
 		s.eng.At(retry, "cell.repage", func() {
-			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-			if _, err := s.nb.Page(retry, msg); err != nil {
-				s.fail(err)
-			}
+			s.pageOne(retry, ue.Info().UEID)
 			s.onPage(rp)
 		})
 		return
@@ -38,7 +56,7 @@ func (s *runState) onPage(pg core.Page) {
 	s.tr.Recordf(now, trace.KindPage, pg.Device, "for tx %d", pg.TxIndex)
 	decodeEnd := ue.ReceivePage(now)
 	s.eng.At(decodeEnd, "cell.ra-start", func() {
-		s.startConnection(pg.Device, pg.TxIndex, rrc.CauseMTAccess)
+		s.startConnection(di, pg.TxIndex, rrc.CauseMTAccess)
 	})
 }
 
@@ -48,10 +66,11 @@ func (s *runState) onPage(pg core.Page) {
 // next occasion (or paged normally if that occasion is already inside the
 // wake window).
 func (s *runState) onExtendedPage(ep core.ExtendedPage) {
-	ue := s.ues[ep.Device]
+	di := s.dev.index(ep.Device)
+	ue := s.ues[di]
 	now := s.eng.Now()
-	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[ep.Device] {
-		retry := s.nextOccasionAfter(ep.Device, simtime.Max(s.busyUntil[ep.Device], now))
+	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[di] {
+		retry := s.nextOccasionAfter(di, simtime.Max(s.busyUntil[di], now))
 		if retry >= ep.WakeWindow.Start {
 			// Too late to notify in advance; fall back to a normal page at
 			// the device's first occasion inside the window.
@@ -62,10 +81,7 @@ func (s *runState) onExtendedPage(ep core.ExtendedPage) {
 				return
 			}
 			s.eng.At(po, "cell.fallback-page", func() {
-				msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-				if _, err := s.nb.Page(po, msg); err != nil {
-					s.fail(err)
-				}
+				s.pageOne(po, ue.Info().UEID)
 				s.onPage(core.Page{Device: ep.Device, At: po, TxIndex: ep.TxIndex})
 			})
 			return
@@ -74,13 +90,10 @@ func (s *runState) onExtendedPage(ep core.ExtendedPage) {
 		rp.At = retry
 		s.eng.At(retry, "cell.re-notify", func() {
 			tx := s.plan.Transmissions[ep.TxIndex]
-			msg := &rrc.Paging{MltcRecords: []rrc.MltcRecord{{
+			s.notifyOne(retry, rrc.MltcRecord{
 				UEID:          ue.Info().UEID,
 				TimeRemaining: tx.At - retry,
-			}}}
-			if _, err := s.nb.Page(retry, msg); err != nil {
-				s.fail(err)
-			}
+			})
 			s.onExtendedPage(rp)
 		})
 		return
@@ -89,7 +102,7 @@ func (s *runState) onExtendedPage(ep core.ExtendedPage) {
 	wake := simtime.Ticks(s.t322.UniformTicks(int64(ep.WakeWindow.Start), int64(ep.WakeWindow.End)))
 	s.tr.Recordf(now, trace.KindExtendedPage, ep.Device, "T322 armed for %v", wake)
 	s.eng.At(wake, "cell.t322-expiry", func() {
-		s.startConnectionWhenFree(ep.Device, ep.TxIndex, rrc.CauseMulticastReception)
+		s.startConnectionWhenFree(di, ep.TxIndex, rrc.CauseMulticastReception)
 	})
 }
 
@@ -98,15 +111,13 @@ func (s *runState) onExtendedPage(ep core.ExtendedPage) {
 // A device busy with a background report misses the page and is re-paged at
 // its next natural occasion.
 func (s *runState) onReconfigPage(adj core.Adjustment) {
-	ue := s.ues[adj.Device]
+	di := s.dev.index(adj.Device)
+	ue := s.ues[di]
 	now := s.eng.Now()
-	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[adj.Device] {
-		retry := ue.Info().Schedule.NextAfter(simtime.Max(s.busyUntil[adj.Device], now))
+	if ue.Phase() != device.PhaseSleeping || now < s.busyUntil[di] {
+		retry := ue.Info().Schedule.NextAfter(simtime.Max(s.busyUntil[di], now))
 		s.eng.At(retry, "cell.reconfig-repage", func() {
-			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-			if _, err := s.nb.Page(retry, msg); err != nil {
-				s.fail(err)
-			}
+			s.pageOne(retry, ue.Info().UEID)
 			s.onReconfigPage(adj)
 		})
 		return
@@ -126,12 +137,12 @@ func (s *runState) onReconfigPage(adj core.Adjustment) {
 			s.signalConnection(ue.Info().UEID, rrc.CauseMOSignalling)
 			done := ready + timing.ReconfigExchange
 			s.eng.At(done, "cell.reconfig-done", func() {
-				s.signal(&rrc.ConnectionReconfiguration{UEID: ue.Info().UEID, NewCycle: adj.NewCycle})
-				s.signal(&rrc.ConnectionReconfigurationComplete{UEID: ue.Info().UEID})
-				s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseImmediate})
+				s.signalReconfiguration(ue.Info().UEID, adj.NewCycle, false)
+				s.signalRelease(ue.Info().UEID, rrc.ReleaseImmediate)
 				end := ue.Release(s.eng.Now(), false)
-				s.busyUntil[adj.Device] = end
-				s.reconfigAt[adj.Device] = end
+				s.busyUntil[di] = end
+				s.reconfigAt[di] = end
+				s.hasReconfig[di] = true
 			})
 		})
 	})
@@ -139,13 +150,13 @@ func (s *runState) onReconfigPage(adj core.Adjustment) {
 
 // onExtraPO charges one adapted paging-occasion wake-up, skipping occasions
 // that fall inside an ongoing connection or before the (possibly deferred)
-// reconfiguration actually took effect.
-func (s *runState) onExtraPO(dev int, po simtime.Ticks) {
-	ue := s.ues[dev]
-	reconfigured, ok := s.reconfigAt[dev]
-	if !ok || po < reconfigured ||
+// reconfiguration actually took effect. The device is addressed by dense
+// index — extra-PO events are bulk stimuli and pre-resolve it.
+func (s *runState) onExtraPO(di int, po simtime.Ticks) {
+	ue := s.ues[di]
+	if !s.hasReconfig[di] || po < s.reconfigAt[di] ||
 		(ue.Phase() != device.PhaseSleeping && ue.Phase() != device.PhaseDone) ||
-		s.busyUntil[dev] > po {
+		s.busyUntil[di] > po {
 		s.skippedPOs++
 		return
 	}
@@ -159,48 +170,65 @@ func (s *runState) onExtraPO(dev int, po simtime.Ticks) {
 // startConnectionWhenFree starts the campaign connection now, or as soon as
 // the device's ongoing background connection ends (a T322 expiry can land
 // mid-report).
-func (s *runState) startConnectionWhenFree(dev, txIdx int, cause rrc.EstablishmentCause) {
-	ue := s.ues[dev]
+func (s *runState) startConnectionWhenFree(di, txIdx int, cause rrc.EstablishmentCause) {
+	ue := s.ues[di]
 	if ph := ue.Phase(); (ph != device.PhaseSleeping && ph != device.PhaseListening) ||
-		s.eng.Now() < s.busyUntil[dev] {
-		resume := simtime.Max(s.busyUntil[dev], s.eng.Now()) + 1
+		s.eng.Now() < s.busyUntil[di] {
+		resume := simtime.Max(s.busyUntil[di], s.eng.Now()) + 1
 		s.eng.At(resume, "cell.t322-deferred", func() {
-			s.startConnectionWhenFree(dev, txIdx, cause)
+			s.startConnectionWhenFree(di, txIdx, cause)
 		})
 		return
 	}
-	s.startConnection(dev, txIdx, cause)
+	s.startConnection(di, txIdx, cause)
 }
 
 // startConnection runs random access and RRC setup, then marks the device
 // ready for its transmission.
-func (s *runState) startConnection(dev, txIdx int, cause rrc.EstablishmentCause) {
-	ue := s.ues[dev]
+func (s *runState) startConnection(di, txIdx int, cause rrc.EstablishmentCause) {
+	ue := s.ues[di]
 	ue.StartAccess(s.eng.Now())
-	s.tr.Recordf(s.eng.Now(), trace.KindRAStart, dev, "cause %v", cause)
+	s.tr.Recordf(s.eng.Now(), trace.KindRAStart, ue.Info().ID, "cause %v", cause)
 	s.ra.Request(ue.Info().Coverage, func(res mac.Result) {
 		if !res.OK {
-			s.fail(fmt.Errorf("cell: device %d random access failed after %d attempts", dev, res.Attempts))
+			s.fail(fmt.Errorf("cell: device %d random access failed after %d attempts", ue.Info().ID, res.Attempts))
 			return
 		}
 		ready := ue.AccessDone(res.CompletedAt, res.Attempts)
-		s.tr.Recordf(res.CompletedAt, trace.KindRADone, dev, "%d attempts", res.Attempts)
+		s.tr.Recordf(res.CompletedAt, trace.KindRADone, ue.Info().ID, "%d attempts", res.Attempts)
 		s.signalConnection(ue.Info().UEID, cause)
 		s.eng.At(ready, "cell.conn-ready", func() {
-			s.readyAt[dev] = ready
-			s.tr.Record(ready, trace.KindConnReady, dev, "")
-			ts := s.txs[txIdx]
-			ts.ready++
+			s.readyAt[di] = ready
+			s.tr.Record(ready, trace.KindConnReady, ue.Info().ID, "")
+			s.txs[txIdx].ready++
 			s.maybeStartTx(txIdx)
 		})
 	})
 }
 
-// signalConnection accounts the RRC connection establishment exchange.
+// signalConnection accounts the RRC connection establishment exchange
+// through the run's reusable message buffers (never retained by the eNB).
 func (s *runState) signalConnection(ueid uint32, cause rrc.EstablishmentCause) {
-	s.signal(&rrc.ConnectionRequest{UEID: ueid, Cause: cause})
-	s.signal(&rrc.ConnectionSetup{UEID: ueid})
-	s.signal(&rrc.ConnectionSetupComplete{UEID: ueid})
+	s.msgConnReq = rrc.ConnectionRequest{UEID: ueid, Cause: cause}
+	s.signal(&s.msgConnReq)
+	s.msgSetup = rrc.ConnectionSetup{UEID: ueid}
+	s.signal(&s.msgSetup)
+	s.msgSetupC = rrc.ConnectionSetupComplete{UEID: ueid}
+	s.signal(&s.msgSetupC)
+}
+
+// signalReconfiguration accounts a DRX reconfiguration exchange.
+func (s *runState) signalReconfiguration(ueid uint32, cycle drx.Cycle, restore bool) {
+	s.msgReconf = rrc.ConnectionReconfiguration{UEID: ueid, NewCycle: cycle, Restore: restore}
+	s.signal(&s.msgReconf)
+	s.msgReconfC = rrc.ConnectionReconfigurationComplete{UEID: ueid}
+	s.signal(&s.msgReconfC)
+}
+
+// signalRelease accounts a connection release.
+func (s *runState) signalRelease(ueid uint32, cause rrc.ReleaseCause) {
+	s.msgRelease = rrc.ConnectionRelease{UEID: ueid, Cause: cause}
+	s.signal(&s.msgRelease)
 }
 
 func (s *runState) signal(msg rrc.Message) {
@@ -211,16 +239,17 @@ func (s *runState) signal(msg rrc.Message) {
 
 // nextOccasionAfter finds the device's next wake opportunity strictly after
 // t, honouring an installed DA-SC adaptation.
-func (s *runState) nextOccasionAfter(dev int, t simtime.Ticks) simtime.Ticks {
-	if adj, ok := s.adj[dev]; ok && t >= adj.AtPO {
-		step := adj.NewCycle.Ticks()
-		k := simtime.CeilDiv(t-adj.AtPO, step)
-		po := adj.AtPO + k*step
-		if po <= t {
-			po += step
+func (s *runState) nextOccasionAfter(di int, t simtime.Ticks) simtime.Ticks {
+	if ai := s.adjIdx[di]; ai >= 0 {
+		if adj := &s.plan.Adjustments[ai]; t >= adj.AtPO {
+			step := adj.NewCycle.Ticks()
+			k := simtime.CeilDiv(t-adj.AtPO, step)
+			po := adj.AtPO + k*step
+			if po <= t {
+				po += step
+			}
+			return po
 		}
-		return po
 	}
-	ue := s.ues[dev]
-	return ue.Info().Schedule.NextAfter(t)
+	return s.ues[di].Info().Schedule.NextAfter(t)
 }

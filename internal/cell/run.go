@@ -20,26 +20,30 @@ import (
 	"nbiot/internal/rrc"
 	"nbiot/internal/simtime"
 	"nbiot/internal/trace"
-	"nbiot/internal/traffic"
 )
 
-// runState carries the executor's mutable state.
-// runState carries the executor's mutable state.
+// runState carries the executor's mutable state. Every per-device table is
+// a dense slice indexed by the compact device index (see devIndex), and the
+// plan's bulk stimuli are scheduled as indexed events — one shared handler
+// value per kind, the payload identifying the plan entry — so seeding a
+// campaign allocates no per-event closures and no map entries.
 type runState struct {
 	cfg      Config
+	sc       *Scratch
 	eng      *event.Engine
 	nb       *enb.ENB
 	ra       *mac.Controller
 	t322     *rng.Stream
 	plan     *core.Plan
-	ues      map[int]*device.UE
-	adj      map[int]core.Adjustment
-	txs      []*txState
+	dev      *devIndex
+	ues      []*device.UE // dense index -> UE
+	adjIdx   []int32      // dense index -> plan.Adjustments index, or -1
+	txs      []txState
 	delivery *multicast.Delivery
 
-	readyAt     map[int]simtime.Ticks // device -> connection-ready time
-	busyUntil   map[int]simtime.Ticks // device -> current connection end
-	waits       map[int]simtime.Ticks
+	readyAt     []simtime.Ticks // dense index -> connection-ready time
+	busyUntil   []simtime.Ticks // dense index -> current connection end
+	waits       []simtime.Ticks
 	campaignEnd simtime.Ticks
 	violations  int
 	skippedPOs  int
@@ -49,8 +53,36 @@ type runState struct {
 	reportsSent    int
 	reportsSkipped int
 
-	// reconfigAt records when each DA-SC adjustment actually took effect.
-	reconfigAt map[int]simtime.Ticks
+	// reconfigAt records when each DA-SC adjustment actually took effect;
+	// hasReconfig marks which entries are live.
+	reconfigAt  []simtime.Ticks
+	hasReconfig []bool
+
+	// Grouped paging-channel schedule: pageAts lists the distinct paging
+	// occasions ascending, pageMsgs the per-occasion message with record
+	// slices carved from shared slabs (see buildPagingChannel).
+	pageAts  []simtime.Ticks
+	pageMsgs []rrc.Paging
+
+	// extraPOs is the flattened adapted-occasion table.
+	extraPOs []extraPOEntry
+
+	// Indexed handlers, bound once per run so hot-loop scheduling does not
+	// allocate a method value per event.
+	hPage, hExtendedPage, hPagingChannel     event.IndexedHandler
+	hReconfigPage, hExtraPO, hTxDue, hReport event.IndexedHandler
+
+	// Reusable RRC message buffers: eNB accounting never retains a message,
+	// so one value per type serves every exchange of the run.
+	msgOneRec  [1]uint32
+	msgOneMltc [1]rrc.MltcRecord
+	msgPage    rrc.Paging
+	msgConnReq rrc.ConnectionRequest
+	msgSetup   rrc.ConnectionSetup
+	msgSetupC  rrc.ConnectionSetupComplete
+	msgReconf  rrc.ConnectionReconfiguration
+	msgReconfC rrc.ConnectionReconfigurationComplete
+	msgRelease rrc.ConnectionRelease
 
 	// tr records the timeline when tracing is enabled (nil-safe).
 	tr *trace.Recorder
@@ -67,7 +99,17 @@ func (s *runState) fail(err error) {
 }
 
 // Run executes one campaign and returns its result.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunScratch(cfg, nil) }
+
+// RunScratch is Run with reusable buffers: sc's backing arrays — the event
+// queue, the uniform-coverage fleet copy, every dense per-device table —
+// are reused across calls, so a worker executing many campaigns approaches
+// zero steady-state allocation in the executor. A nil sc allocates fresh
+// buffers (exactly Run). Results are bit-identical for any reuse pattern.
+func RunScratch(cfg Config, sc *Scratch) (*Result, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -79,16 +121,17 @@ func Run(cfg Config) (*Result, error) {
 
 	fleet := cfg.Fleet
 	if cfg.UniformCoverage {
-		fleet = make([]traffic.Device, len(cfg.Fleet))
-		copy(fleet, cfg.Fleet)
+		sc.fleet = append(sc.fleet[:0], cfg.Fleet...)
+		fleet = sc.fleet
 		for i := range fleet {
 			fleet[i].Coverage = phy.CE0
 		}
 	}
-	devices, err := core.FleetFromTraffic(fleet)
+	sc.devices, err = core.FleetFromTrafficInto(sc.devices[:0], fleet)
 	if err != nil {
 		return nil, err
 	}
+	devices := sc.devices
 
 	src := rng.NewSource(cfg.Seed)
 	planner, err := core.NewPlanner(cfg.Mechanism)
@@ -115,7 +158,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("cell: planner produced an invalid plan: %w", err)
 	}
 
-	eng := event.NewEngine()
+	eng := &sc.eng
+	eng.Reset()
 	nb, err := enb.New(cfg.ENB)
 	if err != nil {
 		return nil, err
@@ -125,57 +169,77 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	st := &runState{
-		cfg:        cfg,
-		eng:        eng,
-		nb:         nb,
-		ra:         ra,
-		t322:       src.Stream("t322"),
-		plan:       plan,
-		ues:        make(map[int]*device.UE, len(devices)),
-		adj:        make(map[int]core.Adjustment),
-		readyAt:    make(map[int]simtime.Ticks),
-		busyUntil:  make(map[int]simtime.Ticks),
-		waits:      make(map[int]simtime.Ticks),
-		reconfigAt: make(map[int]simtime.Ticks),
-		tr:         cfg.Trace,
+	sc.dev.build(devices)
+	n := len(devices)
+	st := &sc.run
+	*st = runState{
+		cfg:         cfg,
+		sc:          sc,
+		eng:         eng,
+		nb:          nb,
+		ra:          ra,
+		t322:        src.Stream("t322"),
+		plan:        plan,
+		dev:         &sc.dev,
+		readyAt:     ticksTable(sc.readyAt, n),
+		busyUntil:   ticksTable(sc.busyUntil, n),
+		waits:       ticksTable(sc.waits, n),
+		reconfigAt:  ticksTable(sc.reconfigAt, n),
+		hasReconfig: boolTable(sc.hasReconfig, n),
+		adjIdx:      int32Table(sc.adjIdx, n),
+		tr:          cfg.Trace,
 	}
-	byID := make(map[int]core.Device, len(devices))
-	for _, d := range devices {
-		byID[d.ID] = d
-		ue, err := device.New(d, cfg.Timing, span.Start)
+	sc.readyAt, sc.busyUntil, sc.waits = st.readyAt, st.busyUntil, st.waits
+	sc.reconfigAt, sc.hasReconfig, sc.adjIdx = st.reconfigAt, st.hasReconfig, st.adjIdx
+	st.bindHandlers()
+
+	sc.ues = sc.ues[:0]
+	for i := range devices {
+		ue, err := device.New(devices[i], cfg.Timing, span.Start)
 		if err != nil {
 			return nil, err
 		}
-		st.ues[d.ID] = ue
+		sc.ues = append(sc.ues, ue)
 	}
-	for _, adj := range plan.Adjustments {
-		st.adj[adj.Device] = adj
+	st.ues = sc.ues
+	for i := range st.adjIdx {
+		st.adjIdx[i] = -1
+	}
+	for i := range plan.Adjustments {
+		st.adjIdx[st.dev.index(plan.Adjustments[i].Device)] = int32(i)
 	}
 
 	content, err := multicast.NewContent("firmware", cfg.PayloadBytes, uint64(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]int, 0, len(devices))
-	for _, d := range devices {
-		ids = append(ids, d.ID)
+	sc.ids = sc.ids[:0]
+	for i := range devices {
+		sc.ids = append(sc.ids, devices[i].ID)
 	}
-	st.delivery, err = multicast.NewDelivery(content, ids)
+	st.delivery, err = multicast.NewDelivery(content, sc.ids)
 	if err != nil {
 		return nil, err
 	}
 
-	// Build transmission states.
-	for _, tx := range plan.Transmissions {
-		ts := &txState{planned: tx.At, members: tx.Devices}
-		classes := make([]phy.CoverageClass, 0, len(tx.Devices))
-		for _, id := range tx.Devices {
-			classes = append(classes, byID[id].Coverage)
-		}
-		ts.class = phy.MulticastClass(classes)
-		st.txs = append(st.txs, ts)
+	// Build transmission states; the shared class buffer feeds each group's
+	// worst-coverage computation without a per-transmission allocation.
+	if cap(sc.txs) < len(plan.Transmissions) {
+		sc.txs = make([]txState, 0, len(plan.Transmissions))
 	}
+	sc.txs = sc.txs[:0]
+	for _, tx := range plan.Transmissions {
+		sc.classes = sc.classes[:0]
+		for _, id := range tx.Devices {
+			sc.classes = append(sc.classes, devices[st.dev.index(id)].Coverage)
+		}
+		sc.txs = append(sc.txs, txState{
+			planned: tx.At,
+			members: tx.Devices,
+			class:   phy.MulticastClass(sc.classes),
+		})
+	}
+	st.txs = sc.txs
 
 	st.scheduleAll()
 	if cfg.BackgroundTraffic {
@@ -213,9 +277,11 @@ func Run(cfg Config) (*Result, error) {
 		SkippedPOs:       st.skippedPOs,
 		ReportsSent:      st.reportsSent,
 		ReportsSkipped:   st.reportsSkipped,
+		Devices:          make([]DeviceOutcome, 0, len(devices)),
 	}
-	for _, d := range devices {
-		ue := st.ues[d.ID]
+	for di := range devices {
+		d := &devices[di]
+		ue := st.ues[di]
 		up := ue.Finish(span.End)
 		delivered, at := ue.Delivered()
 		if !delivered {
@@ -235,92 +301,180 @@ func Run(cfg Config) (*Result, error) {
 			NaturalLight:  natural,
 			DeliveredAt:   at,
 			RAAttempts:    ue.RAAttempts(),
-			ConnectedWait: st.waits[d.ID],
+			ConnectedWait: st.waits[di],
 		})
 	}
 	sort.Slice(res.Devices, func(i, j int) bool { return res.Devices[i].ID < res.Devices[j].ID })
 	return res, nil
 }
 
-// scheduleAll seeds the engine with every plan stimulus.
+// bindHandlers creates the run's shared indexed-handler values once, so
+// scheduling N events costs zero closures instead of N.
+func (s *runState) bindHandlers() {
+	s.hPage = s.pageEvent
+	s.hExtendedPage = s.extendedPageEvent
+	s.hPagingChannel = s.pagingChannelEvent
+	s.hReconfigPage = s.reconfigPageEvent
+	s.hExtraPO = s.extraPOEvent
+	s.hTxDue = s.txDueEvent
+	s.hReport = s.reportEvent
+}
+
+func (s *runState) pageEvent(i int64)         { s.onPage(s.plan.Pages[i]) }
+func (s *runState) extendedPageEvent(i int64) { s.onExtendedPage(s.plan.ExtendedPages[i]) }
+
+func (s *runState) pagingChannelEvent(i int64) {
+	if _, err := s.nb.Page(s.pageAts[i], &s.pageMsgs[i]); err != nil {
+		s.fail(err)
+	}
+}
+
+func (s *runState) reconfigPageEvent(i int64) {
+	adj := s.plan.Adjustments[i]
+	// The reconfiguration page goes out at the anchor occasion; it is a
+	// separate paging message from the final page.
+	s.pageOne(adj.AtPO, s.ues[s.dev.index(adj.Device)].Info().UEID)
+	s.onReconfigPage(adj)
+}
+
+func (s *runState) extraPOEvent(i int64) {
+	e := s.extraPOs[i]
+	s.onExtraPO(int(e.dev), e.po)
+}
+
+func (s *runState) txDueEvent(i int64) {
+	s.txs[i].due = true
+	s.maybeStartTx(int(i))
+}
+
+func (s *runState) reportEvent(di int64) { s.onReport(int(di)) }
+
+// scheduleAll seeds the engine with every plan stimulus. Bulk stimuli are
+// indexed events addressing the plan (or the flattened tables built here),
+// so seeding allocates nothing per event.
 func (s *runState) scheduleAll() {
 	if s.plan.Mechanism == core.MechanismSCPTM {
 		s.scheduleSCPTM()
 		return
 	}
-	// Group plain and extended pages that share a paging occasion into one
-	// paging message (one NPDCCH/NPDSCH paging per PO).
-	type poKey struct{ at simtime.Ticks }
-	pagesAt := make(map[poKey]*rrc.Paging)
-	addPage := func(at simtime.Ticks, fill func(*rrc.Paging)) {
-		k := poKey{at}
-		msg, ok := pagesAt[k]
-		if !ok {
-			msg = &rrc.Paging{}
-			pagesAt[k] = msg
-		}
-		fill(msg)
+	s.buildPagingChannel()
+	// Reserve the queue for all the bulk stimuli up front — one allocation
+	// instead of a doubling series; mid-run events ride on whatever
+	// headroom the growth policy leaves on top.
+	nExtra := 0
+	for i := range s.plan.Adjustments {
+		nExtra += len(s.plan.Adjustments[i].ExtraPOs)
 	}
-
-	for _, pg := range s.plan.Pages {
-		pg := pg
-		ue := s.ues[pg.Device]
-		addPage(pg.At, func(m *rrc.Paging) {
-			m.PagingRecords = append(m.PagingRecords, ue.Info().UEID)
-		})
-		s.eng.At(pg.At, "cell.page", func() { s.onPage(pg) })
+	s.eng.Reserve(len(s.plan.Pages) + len(s.plan.ExtendedPages) + len(s.pageAts) +
+		len(s.plan.Adjustments) + nExtra + len(s.txs))
+	for i := range s.plan.Pages {
+		s.eng.AtIndexed(s.plan.Pages[i].At, "cell.page", s.hPage, int64(i))
 	}
-	for _, ep := range s.plan.ExtendedPages {
-		ep := ep
-		ue := s.ues[ep.Device]
-		tx := s.plan.Transmissions[ep.TxIndex]
-		addPage(ep.At, func(m *rrc.Paging) {
-			m.MltcRecords = append(m.MltcRecords, rrc.MltcRecord{
-				UEID:          ue.Info().UEID,
-				TimeRemaining: tx.At - ep.At,
-			})
-		})
-		s.eng.At(ep.At, "cell.extended-page", func() { s.onExtendedPage(ep) })
+	for i := range s.plan.ExtendedPages {
+		s.eng.AtIndexed(s.plan.ExtendedPages[i].At, "cell.extended-page", s.hExtendedPage, int64(i))
 	}
 	// Account the grouped paging messages on the paging channel, in
 	// deterministic occasion order.
-	keys := make([]poKey, 0, len(pagesAt))
-	for k := range pagesAt {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].at < keys[j].at })
-	for _, k := range keys {
-		k, msg := k, pagesAt[k]
-		s.eng.At(k.at, "cell.paging-channel", func() {
-			if _, err := s.nb.Page(k.at, msg); err != nil {
-				s.fail(err)
-			}
-		})
+	for i := range s.pageAts {
+		s.eng.AtIndexed(s.pageAts[i], "cell.paging-channel", s.hPagingChannel, int64(i))
 	}
 
-	for _, adj := range s.plan.Adjustments {
-		adj := adj
-		// The reconfiguration page goes out at the anchor occasion; it is a
-		// separate paging message from the final page.
-		ue := s.ues[adj.Device]
-		s.eng.At(adj.AtPO, "cell.reconfig-page", func() {
-			msg := &rrc.Paging{PagingRecords: []uint32{ue.Info().UEID}}
-			if _, err := s.nb.Page(adj.AtPO, msg); err != nil {
-				s.fail(err)
-			}
-			s.onReconfigPage(adj)
-		})
+	s.extraPOs = s.sc.extraPOs[:0]
+	for i := range s.plan.Adjustments {
+		adj := &s.plan.Adjustments[i]
+		s.eng.AtIndexed(adj.AtPO, "cell.reconfig-page", s.hReconfigPage, int64(i))
+		di := int32(s.dev.index(adj.Device))
 		for _, po := range adj.ExtraPOs {
-			po := po
-			s.eng.At(po, "cell.extra-po", func() { s.onExtraPO(adj.Device, po) })
+			s.extraPOs = append(s.extraPOs, extraPOEntry{dev: di, po: po})
+			s.eng.AtIndexed(po, "cell.extra-po", s.hExtraPO, int64(len(s.extraPOs)-1))
 		}
 	}
+	s.sc.extraPOs = s.extraPOs
 
-	for i, ts := range s.txs {
-		i, ts := i, ts
-		s.eng.At(ts.planned, "cell.tx-due", func() {
-			ts.due = true
-			s.maybeStartTx(i)
+	for i := range s.txs {
+		s.eng.AtIndexed(s.txs[i].planned, "cell.tx-due", s.hTxDue, int64(i))
+	}
+}
+
+// buildPagingChannel groups plain and extended pages that share a paging
+// occasion into one paging message (one NPDCCH/NPDSCH paging per PO). The
+// occasion list, the per-occasion record counts, and the record storage are
+// all computed up front, with every message's record slice carved out of a
+// shared slab — accounting allocates O(1) buffers per run, not per page.
+func (s *runState) buildPagingChannel() {
+	sc := s.sc
+	nPage, nExt := len(s.plan.Pages), len(s.plan.ExtendedPages)
+	if nPage+nExt == 0 {
+		s.pageAts, s.pageMsgs = nil, nil
+		return
+	}
+	ats := sc.ats[:0]
+	for i := range s.plan.Pages {
+		ats = append(ats, s.plan.Pages[i].At)
+	}
+	for i := range s.plan.ExtendedPages {
+		ats = append(ats, s.plan.ExtendedPages[i].At)
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	// Dedup in place: ats[:k] becomes the ascending occasion list.
+	k := 1
+	for i := 1; i < len(ats); i++ {
+		if ats[i] != ats[k-1] {
+			ats[k] = ats[i]
+			k++
+		}
+	}
+	sc.ats = ats
+	s.pageAts = ats[:k]
+
+	occasion := func(at simtime.Ticks) int {
+		return sort.Search(k, func(i int) bool { return s.pageAts[i] >= at })
+	}
+	pageCount := int32Table(sc.pageRecCount, k)
+	mltcCount := int32Table(sc.mltcRecCount, k)
+	sc.pageRecCount, sc.mltcRecCount = pageCount, mltcCount
+	for i := range s.plan.Pages {
+		pageCount[occasion(s.plan.Pages[i].At)]++
+	}
+	for i := range s.plan.ExtendedPages {
+		mltcCount[occasion(s.plan.ExtendedPages[i].At)]++
+	}
+
+	if cap(sc.recSlab) < nPage {
+		sc.recSlab = make([]uint32, nPage)
+	}
+	if cap(sc.mltcSlab) < nExt {
+		sc.mltcSlab = make([]rrc.MltcRecord, nExt)
+	}
+	if cap(sc.pageMsgs) < k {
+		sc.pageMsgs = make([]rrc.Paging, k)
+	}
+	s.pageMsgs = sc.pageMsgs[:k]
+	recOff, mltcOff := 0, 0
+	for i := 0; i < k; i++ {
+		pr := int(pageCount[i])
+		mr := int(mltcCount[i])
+		s.pageMsgs[i] = rrc.Paging{
+			PagingRecords: sc.recSlab[recOff : recOff : recOff+pr],
+			MltcRecords:   sc.mltcSlab[mltcOff : mltcOff : mltcOff+mr],
+		}
+		recOff += pr
+		mltcOff += mr
+	}
+	// Fill the records in the same order the events were planned; the
+	// slices have exactly the counted capacity, so no append reallocates.
+	for i := range s.plan.Pages {
+		pg := &s.plan.Pages[i]
+		msg := &s.pageMsgs[occasion(pg.At)]
+		msg.PagingRecords = append(msg.PagingRecords, s.ues[s.dev.index(pg.Device)].Info().UEID)
+	}
+	for i := range s.plan.ExtendedPages {
+		ep := &s.plan.ExtendedPages[i]
+		tx := s.plan.Transmissions[ep.TxIndex]
+		msg := &s.pageMsgs[occasion(ep.At)]
+		msg.MltcRecords = append(msg.MltcRecords, rrc.MltcRecord{
+			UEID:          s.ues[s.dev.index(ep.Device)].Info().UEID,
+			TimeRemaining: tx.At - ep.At,
 		})
 	}
 }
@@ -330,8 +484,8 @@ func (s *runState) scheduleAll() {
 // The per-device SC-MCCH monitoring cost between campaigns is accounted
 // analytically (see Run), like natural paging-occasion monitoring.
 func (s *runState) scheduleSCPTM() {
-	for i, ts := range s.txs {
-		i, ts := i, ts
+	for i := range s.txs {
+		i, ts := i, &s.txs[i]
 		tx := s.plan.Transmissions[i]
 		s.eng.At(s.plan.AnnounceAt, "cell.scptm-announce", func() {
 			s.tr.Recordf(s.plan.AnnounceAt, trace.KindAnnounce, -1, "session at %v", ts.planned)
@@ -349,13 +503,15 @@ func (s *runState) scheduleSCPTM() {
 				return
 			}
 			for _, dev := range tx.Devices {
-				s.ues[dev].StartIdleReception(now)
-				s.waits[dev] = 0
+				di := s.dev.index(dev)
+				s.ues[di].StartIdleReception(now)
+				s.waits[di] = 0
 			}
 			end := now + airtime
 			s.eng.At(end, "cell.scptm-rx-done", func() {
 				for _, dev := range tx.Devices {
-					s.ues[dev].FinishIdleReception(end)
+					di := s.dev.index(dev)
+					s.ues[di].FinishIdleReception(end)
 					if err := s.delivery.Deliver(dev); err != nil {
 						s.fail(err)
 						return

@@ -1,0 +1,130 @@
+// Scratch and the dense device index: the executor's reusable buffers and
+// the ID→compact-index remap that lets every per-device table be a slice
+// instead of a map.
+
+package cell
+
+import (
+	"nbiot/internal/core"
+	"nbiot/internal/device"
+	"nbiot/internal/event"
+	"nbiot/internal/phy"
+	"nbiot/internal/rrc"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// Scratch holds the executor's reusable buffers: the event queue, the
+// uniform-coverage fleet copy, and every dense per-device table. A worker
+// that executes many campaigns passes the same Scratch to each RunScratch
+// call, so steady-state campaigns stop paying for those allocations.
+// Results are bit-identical for any reuse pattern — every buffer is fully
+// re-initialised per run. A Scratch must not be shared by concurrent runs.
+type Scratch struct {
+	run runState
+	eng event.Engine
+	dev devIndex
+
+	fleet   []traffic.Device
+	devices []core.Device
+	ues     []*device.UE
+
+	adjIdx      []int32
+	readyAt     []simtime.Ticks
+	busyUntil   []simtime.Ticks
+	waits       []simtime.Ticks
+	reconfigAt  []simtime.Ticks
+	hasReconfig []bool
+
+	ids     []int
+	classes []phy.CoverageClass
+	txs     []txState
+
+	// Grouped paging-channel scratch (see buildPagingChannel).
+	ats          []simtime.Ticks
+	pageRecCount []int32
+	mltcRecCount []int32
+	recSlab      []uint32
+	mltcSlab     []rrc.MltcRecord
+	pageMsgs     []rrc.Paging
+
+	extraPOs []extraPOEntry
+}
+
+// extraPOEntry is one flattened adapted paging occasion: indexed events
+// address these by position instead of capturing (device, occasion) pairs
+// in per-event closures.
+type extraPOEntry struct {
+	dev int32 // dense device index
+	po  simtime.Ticks
+}
+
+// devIndex maps device IDs to dense indices 0..n-1. traffic.Generate
+// assigns IDs sequentially, so the common case is the identity and costs a
+// single branch per lookup; arbitrary IDs fall back to an explicit remap.
+type devIndex struct {
+	n int
+	m map[int]int // nil when IDs are exactly 0..n-1
+}
+
+// build indexes the fleet, reusing the remap allocation when one is needed.
+func (d *devIndex) build(devices []core.Device) {
+	d.n = len(devices)
+	dense := true
+	for i := range devices {
+		if devices[i].ID != i {
+			dense = false
+			break
+		}
+	}
+	if dense {
+		d.m = nil
+		return
+	}
+	if d.m == nil {
+		d.m = make(map[int]int, len(devices))
+	} else {
+		clear(d.m)
+	}
+	for i := range devices {
+		d.m[devices[i].ID] = i
+	}
+}
+
+// index reports the dense index of a device ID.
+func (d *devIndex) index(id int) int {
+	if d.m == nil {
+		return id
+	}
+	return d.m[id]
+}
+
+// ticksTable returns buf resized to n with every entry zeroed.
+func ticksTable(buf []simtime.Ticks, n int) []simtime.Ticks {
+	if cap(buf) < n {
+		return make([]simtime.Ticks, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// boolTable returns buf resized to n with every entry false.
+func boolTable(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// int32Table returns buf resized to n with every entry zeroed.
+func int32Table(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

@@ -26,7 +26,7 @@ type txState struct {
 
 // maybeStartTx starts transmission i once it is both due and fully joined.
 func (s *runState) maybeStartTx(i int) {
-	ts := s.txs[i]
+	ts := &s.txs[i]
 	if ts.started || !ts.due || ts.ready < len(ts.members) {
 		return
 	}
@@ -40,13 +40,13 @@ func (s *runState) maybeStartTx(i int) {
 	end := now + airtime
 	s.tr.Recordf(now, trace.KindTxStart, -1, "tx %d: %d devices, %v airtime", i, len(ts.members), airtime)
 	for _, dev := range ts.members {
-		dev := dev
-		wait := now - s.readyAt[dev]
+		di := s.dev.index(dev)
+		wait := now - s.readyAt[di]
 		if wait < 0 {
 			s.fail(fmt.Errorf("cell: device %d ready after transmission start", dev))
 			return
 		}
-		s.waits[dev] = wait
+		s.waits[di] = wait
 		if wait > s.cfg.TI {
 			s.violations++
 		}
@@ -56,10 +56,11 @@ func (s *runState) maybeStartTx(i int) {
 
 // completeTx delivers the content to every member and releases them.
 func (s *runState) completeTx(i int, end simtime.Ticks) {
-	ts := s.txs[i]
+	ts := &s.txs[i]
 	s.tr.Recordf(end, trace.KindTxDone, -1, "tx %d", i)
 	for _, dev := range ts.members {
-		ue := s.ues[dev]
+		di := s.dev.index(dev)
+		ue := s.ues[di]
 		ue.DeliverData(end)
 		s.tr.Record(end, trace.KindDelivered, dev, "")
 		if err := s.delivery.Deliver(dev); err != nil {
@@ -68,13 +69,10 @@ func (s *runState) completeTx(i int, end simtime.Ticks) {
 		}
 		// DA-SC restores the original cycle with a reconfiguration inside
 		// the existing connection before release (paper Sec. III-B).
-		if adj, ok := s.adj[dev]; ok {
-			s.signal(&rrc.ConnectionReconfiguration{
-				UEID: ue.Info().UEID, NewCycle: adj.NewCycle, Restore: true,
-			})
-			s.signal(&rrc.ConnectionReconfigurationComplete{UEID: ue.Info().UEID})
+		if ai := s.adjIdx[di]; ai >= 0 {
+			s.signalReconfiguration(ue.Info().UEID, s.plan.Adjustments[ai].NewCycle, true)
 		}
-		s.signal(&rrc.ConnectionRelease{UEID: ue.Info().UEID, Cause: rrc.ReleaseNormal})
+		s.signalRelease(ue.Info().UEID, rrc.ReleaseNormal)
 		relEnd := ue.Release(end, true)
 		if relEnd > s.campaignEnd {
 			s.campaignEnd = relEnd

@@ -491,8 +491,11 @@ func planAdjustment(d Device, window simtime.Interval, start simtime.Ticks) (Adj
 		// inactivity timer keeps the device awake until the transmission.
 		paged := po
 		var extras []simtime.Ticks
-		for kk := simtime.Ticks(1); kk < k; kk++ {
-			extras = append(extras, anchor+kk*step)
+		if k > 1 {
+			extras = make([]simtime.Ticks, 0, k-1)
+			for kk := simtime.Ticks(1); kk < k; kk++ {
+				extras = append(extras, anchor+kk*step)
+			}
 		}
 		return Adjustment{
 			Device:   d.ID,

@@ -11,13 +11,24 @@ import (
 // device view, deriving each device's paging schedule from its DRX
 // configuration.
 func FleetFromTraffic(devs []traffic.Device) ([]Device, error) {
-	out := make([]Device, len(devs))
-	for i, d := range devs {
+	return FleetFromTrafficInto(nil, devs)
+}
+
+// FleetFromTrafficInto is FleetFromTraffic appending into dst, reusing its
+// backing array when it has capacity. Callers that convert many fleets pass
+// the previous result re-sliced to zero length.
+func FleetFromTrafficInto(dst []Device, devs []traffic.Device) ([]Device, error) {
+	if cap(dst)-len(dst) < len(devs) {
+		grown := make([]Device, len(dst), len(dst)+len(devs))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, d := range devs {
 		sched, err := drx.NewSchedule(d.DRX)
 		if err != nil {
 			return nil, fmt.Errorf("core: device %d: %w", d.ID, err)
 		}
-		out[i] = Device{ID: d.ID, UEID: d.UEID, Schedule: sched, Coverage: d.Coverage}
+		dst = append(dst, Device{ID: d.ID, UEID: d.UEID, Schedule: sched, Coverage: d.Coverage})
 	}
-	return out, nil
+	return dst, nil
 }

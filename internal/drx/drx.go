@@ -50,23 +50,25 @@ const (
 	MaxCycle = Cycle10485s
 )
 
-// Ladder returns all configurable cycle values in increasing order.
-func Ladder() []Cycle {
-	return []Cycle{
+// The shared ladder tables; planners walk these on every device of every
+// campaign, so the accessors hand out the same immutable slices instead of
+// allocating copies.
+var (
+	ladder = []Cycle{
 		Cycle320ms, Cycle640ms, Cycle1280ms, Cycle2560ms,
 		Cycle20s, Cycle40s, Cycle81s, Cycle163s, Cycle327s,
 		Cycle655s, Cycle1310s, Cycle2621s, Cycle5242s, Cycle10485s,
 	}
-}
+	edrxLadder = ladder[4:]
+)
+
+// Ladder returns all configurable cycle values in increasing order. The
+// returned slice is shared — callers must not modify it.
+func Ladder() []Cycle { return ladder }
 
 // EDRXLadder returns only the eDRX values (20.48 s and up) in increasing
-// order.
-func EDRXLadder() []Cycle {
-	return []Cycle{
-		Cycle20s, Cycle40s, Cycle81s, Cycle163s, Cycle327s,
-		Cycle655s, Cycle1310s, Cycle2621s, Cycle5242s, Cycle10485s,
-	}
-}
+// order. The returned slice is shared — callers must not modify it.
+func EDRXLadder() []Cycle { return edrxLadder }
 
 // Valid reports whether c is a configurable ladder value.
 func (c Cycle) Valid() bool {
@@ -198,16 +200,24 @@ func (nb NB) String() string {
 	}
 }
 
+// The FDD paging-occasion subframe patterns of TS 36.304 Table 7.2-1,
+// keyed by Ns. Shared immutable tables: callers only index into them.
+var (
+	poSubframesNs1 = []int{9}
+	poSubframesNs2 = []int{4, 9}
+	poSubframesNs4 = []int{0, 4, 5, 9}
+)
+
 // poSubframes maps Ns to the FDD paging-occasion subframe pattern of
 // TS 36.304 Table 7.2-1.
 func poSubframes(ns int64) []int {
 	switch ns {
 	case 1:
-		return []int{9}
+		return poSubframesNs1
 	case 2:
-		return []int{4, 9}
+		return poSubframesNs2
 	case 4:
-		return []int{0, 4, 5, 9}
+		return poSubframesNs4
 	default:
 		panic(fmt.Sprintf("drx: unsupported Ns=%d", ns))
 	}

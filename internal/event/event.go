@@ -6,10 +6,16 @@
 // that runs are fully deterministic. The engine is single-goroutine by
 // design: distributed-systems simulators gain nothing from real concurrency
 // here and lose reproducibility.
+//
+// The queue is a value-typed binary heap ([]item, no per-event pointer), so
+// scheduling through At/After/AtIndexed is allocation-free once the backing
+// array has grown to the campaign's high-water mark — the popped slots are
+// the engine's free list. Cancellation is opt-in: only events scheduled
+// through AtCancellable pay for the id→position tracking that Cancel needs;
+// the common paths skip that map entirely.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 
 	"nbiot/internal/simtime"
@@ -19,68 +25,71 @@ import (
 // event's time.
 type Handler func()
 
-// ID identifies a scheduled event so it can be cancelled.
+// IndexedHandler is a scheduled callback carrying a caller-chosen payload.
+// One function value can serve any number of events — schedule it with
+// AtIndexed and the payload rides in the queue entry itself — so hot loops
+// seed thousands of events without allocating a closure each.
+type IndexedHandler func(arg int64)
+
+// ID identifies a scheduled event so it can be cancelled. Only events
+// scheduled through AtCancellable are tracked for cancellation.
 type ID int64
 
-// item is a single queue entry.
+// item is a single queue entry. Exactly one of fn and ifn is set.
 type item struct {
-	at    simtime.Ticks
-	seq   int64 // insertion order; tie-break for determinism
-	id    ID
-	fn    Handler
-	label string
-	index int // heap index
-}
-
-// queue implements heap.Interface ordered by (at, seq).
-type queue []*item
-
-func (q queue) Len() int { return len(q) }
-
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q queue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *queue) Push(x any) {
-	it := x.(*item)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-
-func (q *queue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*q = old[:n-1]
-	return it
+	at          simtime.Ticks
+	seq         ID // insertion order; tie-break for determinism, doubles as the ID
+	fn          Handler
+	ifn         IndexedHandler
+	arg         int64
+	label       string
+	cancellable bool
 }
 
 // Engine is a discrete-event scheduler with a simulated clock.
-// The zero value is not usable; construct with NewEngine.
+// The zero value is ready to use; NewEngine exists for symmetry and for
+// callers that want a heap pre-sized to an expected event count.
 type Engine struct {
 	now       simtime.Ticks
-	q         queue
-	byID      map[ID]*item
-	nextSeq   int64
-	nextID    ID
+	q         []item     // binary heap ordered by (at, seq)
+	byPos     map[ID]int // heap position of each live cancellable event
+	nextSeq   ID
 	processed int64
 	running   bool
 }
 
 // NewEngine returns an engine with the clock at tick 0.
-func NewEngine() *Engine {
-	return &Engine{byID: make(map[ID]*item)}
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset empties the engine back to the zero clock, keeping the queue's
+// backing array so a reused engine schedules without reallocating. Any
+// pending events are dropped.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("event: Reset from inside a handler")
+	}
+	for i := range e.q {
+		e.q[i] = item{}
+	}
+	e.q = e.q[:0]
+	for id := range e.byPos {
+		delete(e.byPos, id)
+	}
+	e.now = 0
+	e.nextSeq = 0
+	e.processed = 0
+}
+
+// Reserve grows the queue's backing array to hold at least n pending
+// events, so a caller that knows its schedule size up front pays one
+// allocation instead of a doubling series.
+func (e *Engine) Reserve(n int) {
+	if cap(e.q) >= n {
+		return
+	}
+	q := make([]item, len(e.q), n)
+	copy(q, e.q)
+	e.q = q
 }
 
 // Now reports the current simulated time.
@@ -94,20 +103,32 @@ func (e *Engine) Pending() int { return len(e.q) }
 
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // (before the current clock) panics: it would silently reorder causality.
-// The label is used in diagnostics only.
+// The label is used in diagnostics only. The returned ID is not tracked for
+// cancellation — use AtCancellable when the event may need Cancel.
 func (e *Engine) At(at simtime.Ticks, label string, fn Handler) ID {
 	if fn == nil {
 		panic("event: nil handler")
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("event: scheduling %q at %v, before current time %v", label, at, e.now))
+	return e.push(item{at: at, fn: fn, label: label})
+}
+
+// AtIndexed schedules fn(arg) to run at the absolute time at. The payload
+// is stored in the queue entry, so a single shared fn value serves every
+// event — no per-event closure. Semantics otherwise match At.
+func (e *Engine) AtIndexed(at simtime.Ticks, label string, fn IndexedHandler, arg int64) ID {
+	if fn == nil {
+		panic("event: nil handler")
 	}
-	e.nextID++
-	e.nextSeq++
-	it := &item{at: at, seq: e.nextSeq, id: e.nextID, fn: fn, label: label}
-	heap.Push(&e.q, it)
-	e.byID[it.id] = it
-	return it.id
+	return e.push(item{at: at, ifn: fn, arg: arg, label: label})
+}
+
+// AtCancellable is At with cancellation tracking: the returned ID can be
+// passed to Cancel. Only cancellable events pay for the id→position map.
+func (e *Engine) AtCancellable(at simtime.Ticks, label string, fn Handler) ID {
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	return e.push(item{at: at, fn: fn, label: label, cancellable: true})
 }
 
 // After schedules fn to run delay ticks from now. Negative delays panic.
@@ -115,15 +136,36 @@ func (e *Engine) After(delay simtime.Ticks, label string, fn Handler) ID {
 	return e.At(e.now+delay, label, fn)
 }
 
+// AfterIndexed schedules fn(arg) to run delay ticks from now.
+func (e *Engine) AfterIndexed(delay simtime.Ticks, label string, fn IndexedHandler, arg int64) ID {
+	return e.AtIndexed(e.now+delay, label, fn, arg)
+}
+
+// push assigns the item its sequence number and sifts it into the heap.
+func (e *Engine) push(it item) ID {
+	if it.at < e.now {
+		panic(fmt.Sprintf("event: scheduling %q at %v, before current time %v", it.label, it.at, e.now))
+	}
+	e.nextSeq++
+	it.seq = e.nextSeq
+	if it.cancellable && e.byPos == nil {
+		e.byPos = make(map[ID]int)
+	}
+	e.q = append(e.q, it)
+	e.siftUp(len(e.q) - 1) // registers cancellable positions via move
+	return it.seq
+}
+
 // Cancel removes a scheduled event. It reports whether the event was still
-// pending (false if it already ran, was cancelled, or never existed).
+// pending (false if it already ran, was cancelled, was not scheduled with
+// AtCancellable, or never existed).
 func (e *Engine) Cancel(id ID) bool {
-	it, ok := e.byID[id]
+	pos, ok := e.byPos[id]
 	if !ok {
 		return false
 	}
-	delete(e.byID, id)
-	heap.Remove(&e.q, it.index)
+	delete(e.byPos, id)
+	e.removeAt(pos)
 	return true
 }
 
@@ -133,11 +175,18 @@ func (e *Engine) Step() bool {
 	if len(e.q) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.q).(*item)
-	delete(e.byID, it.id)
+	it := e.q[0]
+	e.removeAt(0)
+	if it.cancellable {
+		delete(e.byPos, it.seq)
+	}
 	e.now = it.at
 	e.processed++
-	it.fn()
+	if it.fn != nil {
+		it.fn()
+	} else {
+		it.ifn(it.arg)
+	}
 	return true
 }
 
@@ -176,4 +225,81 @@ func (e *Engine) NextEventTime() (simtime.Ticks, bool) {
 		return 0, false
 	}
 	return e.q[0].at, true
+}
+
+// --- heap internals ----------------------------------------------------------
+
+// less orders the heap by (at, seq); seq ties never happen (it is unique).
+func (e *Engine) less(i, j int) bool {
+	if e.q[i].at != e.q[j].at {
+		return e.q[i].at < e.q[j].at
+	}
+	return e.q[i].seq < e.q[j].seq
+}
+
+// move places it at position i, keeping the cancellable position map true.
+func (e *Engine) move(it item, i int) {
+	e.q[i] = it
+	if it.cancellable {
+		e.byPos[it.seq] = i
+	}
+}
+
+// siftUp restores the heap property upward from i, returning the item's
+// final position.
+func (e *Engine) siftUp(i int) int {
+	it := e.q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := e.q[parent]
+		if p.at < it.at || (p.at == it.at && p.seq < it.seq) {
+			break
+		}
+		e.move(p, i)
+		i = parent
+	}
+	e.move(it, i)
+	return i
+}
+
+// siftDown restores the heap property downward from i.
+func (e *Engine) siftDown(i int) {
+	it := e.q[i]
+	n := len(e.q)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if right := child + 1; right < n && e.less(right, child) {
+			child = right
+		}
+		c := e.q[child]
+		if it.at < c.at || (it.at == c.at && it.seq < c.seq) {
+			break
+		}
+		e.move(c, i)
+		i = child
+	}
+	e.move(it, i)
+}
+
+// removeAt deletes the item at heap position i, zeroing the vacated slot so
+// the backing array holds no stale handler references.
+func (e *Engine) removeAt(i int) {
+	n := len(e.q) - 1
+	last := e.q[n]
+	e.q[n] = item{}
+	e.q = e.q[:n]
+	if i == n {
+		return
+	}
+	e.q[i] = last
+	if last.cancellable {
+		e.byPos[last.seq] = i
+	}
+	pos := e.siftUp(i)
+	if pos == i {
+		e.siftDown(i)
+	}
 }

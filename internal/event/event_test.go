@@ -80,7 +80,7 @@ func TestNilHandlerPanics(t *testing.T) {
 func TestCancel(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	id := e.At(10, "x", func() { ran = true })
+	id := e.AtCancellable(10, "x", func() { ran = true })
 	if !e.Cancel(id) {
 		t.Error("Cancel of pending event returned false")
 	}
@@ -99,7 +99,7 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 	var ids []ID
 	for i := 0; i < 10; i++ {
 		i := i
-		ids = append(ids, e.At(simtime.Ticks(10+i), "x", func() { got = append(got, i) }))
+		ids = append(ids, e.AtCancellable(simtime.Ticks(10+i), "x", func() { got = append(got, i) }))
 	}
 	e.Cancel(ids[5])
 	e.Cancel(ids[0])
@@ -111,6 +111,126 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 		if v == 5 || v == 0 {
 			t.Errorf("cancelled event %d ran", v)
 		}
+	}
+}
+
+func TestCancelOfPlainAtIsNotTracked(t *testing.T) {
+	// Plain At events skip the cancellation map by design: Cancel must
+	// report false and the event must still run.
+	e := NewEngine()
+	ran := false
+	id := e.At(10, "x", func() { ran = true })
+	if e.Cancel(id) {
+		t.Error("Cancel of a plain At event returned true")
+	}
+	e.Run()
+	if !ran {
+		t.Error("plain At event did not run after a bogus Cancel")
+	}
+}
+
+func TestCancellableInterleavedWithPlain(t *testing.T) {
+	// Cancellable and plain events share one heap; cancelling from the
+	// middle must not disturb the ordering of the survivors.
+	e := NewEngine()
+	var got []int
+	var ids []ID
+	for i := 0; i < 20; i++ {
+		i := i
+		at := simtime.Ticks(100 - i) // reverse insertion order
+		if i%2 == 0 {
+			ids = append(ids, e.AtCancellable(at, "c", func() { got = append(got, i) }))
+		} else {
+			e.At(at, "p", func() { got = append(got, i) })
+		}
+	}
+	for _, id := range ids[:5] { // cancels events i = 0, 2, 4, 6, 8
+		if !e.Cancel(id) {
+			t.Fatal("Cancel of pending cancellable event returned false")
+		}
+	}
+	e.Run()
+	if len(got) != 15 {
+		t.Fatalf("got %d events, want 15", len(got))
+	}
+	for k := 1; k < len(got); k++ {
+		if got[k] > got[k-1] {
+			t.Fatalf("events out of time order: %v", got)
+		}
+	}
+}
+
+func TestAtIndexed(t *testing.T) {
+	e := NewEngine()
+	var got []int64
+	h := func(arg int64) { got = append(got, arg) }
+	e.AtIndexed(30, "c", h, 3)
+	e.AtIndexed(10, "a", h, 1)
+	e.AfterIndexed(20, "b", h, 2)
+	e.Run()
+	want := []int64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("indexed execution order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtIndexedNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil indexed handler should panic")
+		}
+	}()
+	e.AtIndexed(1, "nil", nil, 0)
+}
+
+func TestReset(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(10, "x", func() { ran = true })
+	e.At(5, "y", func() {})
+	e.AtCancellable(7, "z", func() {})
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.Processed() != 0 {
+		t.Fatalf("Reset left pending=%d now=%v processed=%d", e.Pending(), e.Now(), e.Processed())
+	}
+	e.Run()
+	if ran {
+		t.Error("event survived Reset")
+	}
+	// The engine must be fully reusable.
+	e.At(3, "again", func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 3 {
+		t.Errorf("reused engine: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+// TestSteadyStateAllocFree is the PR's tentpole regression: once the heap's
+// backing array has grown, scheduling and executing events through At,
+// AtIndexed and Step must not allocate at all.
+func TestSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	ih := func(int64) {}
+	// Warm the heap to its high-water mark.
+	for i := 0; i < 256; i++ {
+		e.At(simtime.Ticks(i), "warm", fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		base := e.Now()
+		for i := 0; i < 64; i++ {
+			e.At(base+simtime.Ticks(i), "steady", fn)
+			e.AtIndexed(base+simtime.Ticks(i), "steady-ix", ih, int64(i))
+		}
+		for e.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("At+AtIndexed+Step allocated %.1f objects/op in steady state, want 0", allocs)
 	}
 }
 

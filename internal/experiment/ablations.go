@@ -65,7 +65,7 @@ func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
 	var ratio stats.Accumulator
 	out := &GreedyVsExactResult{Options: o}
 	err := reduceStream(o, o.Runs,
-		func(i int) (sizes, error) {
+		func(i int, _ *taskScratch) (sizes, error) {
 			in := coverInstance(rng.NewStream(runner.Seed(o.Seed, i)))
 			g, err := setcover.Greedy(in)
 			if err != nil {
@@ -201,8 +201,8 @@ func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) 
 		}
 		var acc stats.Accumulator
 		err := reduceStream(o, o.Runs,
-			func(r int) (float64, error) {
-				fleet, err := fleetForRun(o, o.Devices, r)
+			func(r int, sc *taskScratch) (float64, error) {
+				fleet, err := fleetForRun(o, o.Devices, r, sc)
 				if err != nil {
 					return 0, err
 				}
@@ -215,7 +215,7 @@ func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) 
 					Seed:            runSeed(o, r),
 					UniformCoverage: true,
 				}
-				res, err := cell.Run(withPagingCapacity(cfg, capacity))
+				res, err := cell.RunScratch(withPagingCapacity(cfg, capacity), &sc.cell)
 				if err != nil {
 					return 0, err
 				}

@@ -253,9 +253,20 @@ func (o Options) progressCounter(format string, total int) func() {
 	}
 }
 
-// runCampaign executes one mechanism on a prepared fleet.
-func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size int64, seed int64) (*cell.Result, error) {
-	return cell.Run(cell.Config{
+// taskScratch is the per-worker reusable state of a sweep (see
+// runner.ReduceSpanScratch): the fleet buffer each task regenerates into
+// and the cell executor's scratch, both reused across every run the worker
+// executes instead of reallocated per task. The zero value is ready.
+type taskScratch struct {
+	fleet   []traffic.Device
+	devices []core.Device
+	cell    cell.Scratch
+}
+
+// runCampaign executes one mechanism on a prepared fleet, reusing the
+// worker's executor scratch.
+func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size int64, seed int64, sc *taskScratch) (*cell.Result, error) {
+	return cell.RunScratch(cell.Config{
 		Mechanism:       mech,
 		Fleet:           fleet,
 		TI:              o.TI,
@@ -263,7 +274,7 @@ func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size in
 		PayloadBytes:    size,
 		Seed:            seed,
 		UniformCoverage: true, // the paper models a single service class
-	})
+	}, &sc.cell)
 }
 
 // Seed derivation, all through runner.Seed so task seeds are pure
@@ -291,9 +302,15 @@ func tieBreakSeed(o Options, n, r int) int64 {
 	return runner.Seed(runner.Seed(o.Seed, n), 2*r+1)
 }
 
-// fleetForRun generates run r's fleet deterministically.
-func fleetForRun(o Options, n int, r int) ([]traffic.Device, error) {
-	return o.Mix.Generate(n, rng.NewStream(fleetSeed(o, n, r)))
+// fleetForRun generates run r's fleet deterministically into the worker's
+// reusable buffer.
+func fleetForRun(o Options, n int, r int, sc *taskScratch) ([]traffic.Device, error) {
+	fleet, err := o.Mix.GenerateInto(sc.fleet[:0], n, rng.NewStream(fleetSeed(o, n, r)))
+	if err != nil {
+		return nil, err
+	}
+	sc.fleet = fleet
+	return fleet, nil
 }
 
 // reduceStream is the sweep scaffolding every experiment shares: the
@@ -304,13 +321,13 @@ func fleetForRun(o Options, n int, r int) ([]traffic.Device, error) {
 // are ever buffered, so sweep memory is independent of n; keeping the
 // pattern in one place is what keeps "bit-identical across worker counts"
 // (and across shard layouts) true for every sweep.
-func reduceStream[T any](o Options, n int, task func(idx int) (T, error), reduce func(idx int, v T) error) error {
+func reduceStream[T any](o Options, n int, task func(idx int, sc *taskScratch) (T, error), reduce func(idx int, v T) error) error {
 	span, err := o.span(n)
 	if err != nil {
 		return err
 	}
-	return runner.ReduceSpan(context.Background(), span, o.Workers,
-		func(_ context.Context, i int) (T, error) { return task(i) },
+	return runner.ReduceSpanScratch(context.Background(), span, o.Workers,
+		func(_ context.Context, i int, sc *taskScratch) (T, error) { return task(i, sc) },
 		reduce)
 }
 
@@ -321,14 +338,14 @@ func reduceStream[T any](o Options, n int, task func(idx int) (T, error), reduce
 // baselines, keeping per-mechanism values exactly those of a shared
 // baseline while letting every campaign schedule independently.
 func increaseVsUnicast(o Options, m core.Mechanism, fleet []traffic.Device,
-	r int, size int64, metric func(*cell.Result) simtime.Ticks, metricName string,
+	r int, size int64, metric func(*cell.Result) simtime.Ticks, metricName string, sc *taskScratch,
 ) (float64, error) {
 	seed := runSeed(o, r)
-	base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed)
+	base, err := runCampaign(core.MechanismUnicast, fleet, o, size, seed, sc)
 	if err != nil {
 		return 0, err
 	}
-	res, err := runCampaign(m, fleet, o, size, seed)
+	res, err := runCampaign(m, fleet, o, size, seed, sc)
 	if err != nil {
 		return 0, err
 	}
@@ -365,13 +382,13 @@ func lightSleepIncreaseSweep(o Options, name string, mechs []core.Mechanism, siz
 	fold := newMechFold(mechs)
 	tick := o.progressCounter(name+": campaign %d/%d done", o.effectiveTasks(nTasks))
 	err := reduceStream(o, nTasks,
-		func(idx int) (float64, error) {
+		func(idx int, sc *taskScratch) (float64, error) {
 			r, mi := idx/len(mechs), idx%len(mechs)
-			fleet, err := fleetForRun(o, o.Devices, r)
+			fleet, err := fleetForRun(o, o.Devices, r, sc)
 			if err != nil {
 				return 0, err
 			}
-			v, err := increaseVsUnicast(o, mechs[mi], fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep")
+			v, err := increaseVsUnicast(o, mechs[mi], fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep", sc)
 			if err != nil {
 				return 0, err
 			}
@@ -444,13 +461,13 @@ func Fig6b(o Options) (*Fig6bResult, error) {
 	nTasks := o.Runs * len(o.Sizes) * len(fold.mechs)
 	tick := o.progressCounter("fig6b: campaign %d/%d done", o.effectiveTasks(nTasks))
 	err := reduceStream(o, nTasks,
-		func(idx int) (float64, error) {
+		func(idx int, sc *taskScratch) (float64, error) {
 			r, si, mi := fold.coords(idx)
-			fleet, err := fleetForRun(o, o.Devices, r)
+			fleet, err := fleetForRun(o, o.Devices, r, sc)
 			if err != nil {
 				return 0, err
 			}
-			v, err := increaseVsUnicast(o, fold.mechs[mi], fleet, r, o.Sizes[si], (*cell.Result).TotalConnected, "connected")
+			v, err := increaseVsUnicast(o, fold.mechs[mi], fleet, r, o.Sizes[si], (*cell.Result).TotalConnected, "connected", sc)
 			if err != nil {
 				return 0, err
 			}
@@ -497,17 +514,18 @@ func Fig7(o Options) (*Fig7Result, error) {
 	fold := newFig7Fold(o)
 	nTasks := len(o.FleetSizes) * o.Runs
 	err := reduceStream(o, nTasks,
-		func(idx int) (float64, error) {
+		func(idx int, sc *taskScratch) (float64, error) {
 			si, r := idx/o.Runs, idx%o.Runs
 			n := o.FleetSizes[si]
-			fleet, err := fleetForRun(o, n, r)
+			fleet, err := fleetForRun(o, n, r, sc)
 			if err != nil {
 				return 0, err
 			}
-			devices, err := core.FleetFromTraffic(fleet)
+			sc.devices, err = core.FleetFromTrafficInto(sc.devices[:0], fleet)
 			if err != nil {
 				return 0, err
 			}
+			devices := sc.devices
 			params := core.Params{
 				Now: 0, TI: o.TI,
 				TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestFig7GoldenAcrossWorkers pins the Fig. 7 output byte for byte: the
+// golden file was rendered by the pre-optimisation harness (heap-allocated
+// event queue, map-based executor state, no scratch reuse), so matching it
+// proves the allocation-free hot path computes the same figures — and that
+// the worker count still never changes a byte.
+func TestFig7GoldenAcrossWorkers(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig7_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		o := DefaultOptions()
+		o.Runs = 3
+		o.FleetSizes = []int{50, 150}
+		o.Workers = workers
+		res, err := Fig7(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := res.Table().CSV(); got != string(want) {
+			t.Errorf("workers=%d: Fig7 output diverged from the pre-optimisation golden:\n got: %q\nwant: %q",
+				workers, got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package multicast
 import (
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // The paper's firmware-update sizes (Sec. IV-A).
@@ -39,12 +40,17 @@ type Content struct {
 	name string
 	size int64
 	seed uint64
-	crc  uint32
+
+	// crc is derived lazily: hashing the full synthetic stream costs one
+	// pass over Size bytes, which a campaign that never verifies an image
+	// (the common case — delivery tracking alone) should not pay up front.
+	crcOnce sync.Once
+	crc     uint32
 }
 
 // NewContent builds a synthetic firmware image of the given size. The seed
 // determines every payload byte, so two images with the same (size, seed)
-// are identical.
+// are identical. The image CRC is not computed here — see CRC.
 func NewContent(name string, size int64, seed uint64) (*Content, error) {
 	if name == "" {
 		return nil, fmt.Errorf("multicast: empty content name")
@@ -52,9 +58,7 @@ func NewContent(name string, size int64, seed uint64) (*Content, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("multicast: non-positive content size %d", size)
 	}
-	c := &Content{name: name, size: size, seed: seed}
-	c.crc = c.computeCRC()
-	return c, nil
+	return &Content{name: name, size: size, seed: seed}, nil
 }
 
 // Name reports the image name.
@@ -63,8 +67,12 @@ func (c *Content) Name() string { return c.name }
 // Size reports the image size in bytes.
 func (c *Content) Size() int64 { return c.size }
 
-// CRC reports the CRC-32 (IEEE) of the full image.
-func (c *Content) CRC() uint32 { return c.crc }
+// CRC reports the CRC-32 (IEEE) of the full image, streaming the synthetic
+// payload through the hash on first use (goroutine-safe, computed once).
+func (c *Content) CRC() uint32 {
+	c.crcOnce.Do(func() { c.crc = c.computeCRC() })
+	return c.crc
+}
 
 // byteAt deterministically generates payload byte i with a splitmix64-style
 // mix of the seed and offset.
@@ -108,8 +116,8 @@ func (c *Content) VerifyImage(img []byte) error {
 	if int64(len(img)) != c.size {
 		return fmt.Errorf("multicast: image size %d, want %d", len(img), c.size)
 	}
-	if got := crc32.ChecksumIEEE(img); got != c.crc {
-		return fmt.Errorf("multicast: CRC mismatch: %#x, want %#x", got, c.crc)
+	if got, want := crc32.ChecksumIEEE(img), c.CRC(); got != want {
+		return fmt.Errorf("multicast: CRC mismatch: %#x, want %#x", got, want)
 	}
 	return nil
 }

@@ -40,6 +40,36 @@ func TestNewContentValidation(t *testing.T) {
 	}
 }
 
+func TestCRCIsLazy(t *testing.T) {
+	// Construction must not hash the synthetic stream: building a
+	// 10 MB-payload content is a couple of allocations, not a 10 MB pass.
+	// The hash runs on first CRC use and is cached.
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := NewContent("fw", Size10MB, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("NewContent(10MB) allocated %.1f objects — CRC no longer lazy?", allocs)
+	}
+	c, err := NewContent("fw", Size10MB, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.CRC()
+	if second := c.CRC(); second != first {
+		t.Errorf("CRC unstable across calls: %#x then %#x", first, second)
+	}
+	// The lazy value must be the checksum of the actual payload stream.
+	small, err := NewContent("fw", 4096, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.VerifyImage(small.Chunk(0, 4096)); err != nil {
+		t.Errorf("lazily hashed content failed to verify its own image: %v", err)
+	}
+}
+
 func TestContentDeterministic(t *testing.T) {
 	a, err := NewContent("fw", 4096, 99)
 	if err != nil {

@@ -221,10 +221,10 @@ func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 	if !cfg.DiscardCellResults {
 		out.Cells = make([]CellOutcome, 0, len(n.sites))
 	}
-	err := runner.Reduce(context.Background(), len(n.sites), cfg.Parallelism,
-		func(_ context.Context, i int) (*cell.Result, error) {
+	err := runner.ReduceSpanScratch(context.Background(), runner.SpanAll(len(n.sites)), cfg.Parallelism,
+		func(_ context.Context, i int, sc *cell.Scratch) (*cell.Result, error) {
 			site := n.sites[i]
-			res, err := cell.Run(cell.Config{
+			res, err := cell.RunScratch(cell.Config{
 				Mechanism:         cfg.Mechanism,
 				Fleet:             site.Fleet,
 				TI:                cfg.TI,
@@ -234,7 +234,7 @@ func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 				UniformCoverage:   cfg.UniformCoverage,
 				SplitByCoverage:   cfg.SplitByCoverage,
 				BackgroundTraffic: cfg.BackgroundTraffic,
-			})
+			}, sc)
 			if err != nil {
 				return nil, fmt.Errorf("network: cell %d: %w", site.ID, err)
 			}

@@ -104,6 +104,10 @@ type Message interface {
 	Type() MessageType
 	// appendBody appends the body encoding (without the type byte).
 	appendBody(dst []byte) []byte
+	// bodySize reports the encoded body length without materialising it —
+	// bandwidth accounting calls Size on every simulated message, so this
+	// must not allocate.
+	bodySize() int
 	// decodeBody parses the body encoding.
 	decodeBody(src []byte) error
 }
@@ -280,13 +284,24 @@ func Unmarshal(src []byte) (Message, error) {
 }
 
 // Size reports the encoded size of m in bytes; the simulator uses it for
-// bandwidth accounting on the paging and signalling channels.
-func Size(m Message) int { return len(Marshal(m)) }
+// bandwidth accounting on the paging and signalling channels. It is
+// computed arithmetically — no message is materialised, no allocation.
+func Size(m Message) int { return 1 + m.bodySize() }
 
 // appendUvarint / readUvarint are small helpers over encoding/binary.
 
 func appendUvarint(dst []byte, v uint64) []byte {
 	return binary.AppendUvarint(dst, v)
+}
+
+// uvarintLen reports how many bytes appendUvarint emits for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 func readUvarint(src []byte) (uint64, []byte, error) {
@@ -308,6 +323,18 @@ func (p *Paging) appendBody(dst []byte) []byte {
 		dst = appendUvarint(dst, uint64(r.TimeRemaining))
 	}
 	return dst
+}
+
+func (p *Paging) bodySize() int {
+	n := uvarintLen(uint64(len(p.PagingRecords)))
+	for _, id := range p.PagingRecords {
+		n += uvarintLen(uint64(id))
+	}
+	n += uvarintLen(uint64(len(p.MltcRecords)))
+	for _, r := range p.MltcRecords {
+		n += uvarintLen(uint64(r.UEID)) + uvarintLen(uint64(r.TimeRemaining))
+	}
+	return n
 }
 
 func (p *Paging) decodeBody(src []byte) error {
@@ -355,6 +382,8 @@ func (m *ConnectionRequest) appendBody(dst []byte) []byte {
 	return append(dst, byte(m.Cause))
 }
 
+func (m *ConnectionRequest) bodySize() int { return uvarintLen(uint64(m.UEID)) + 1 }
+
 func (m *ConnectionRequest) decodeBody(src []byte) error {
 	id, src, err := readUvarint(src)
 	if err != nil {
@@ -389,6 +418,8 @@ func decodeIDOnly(src []byte) (uint32, error) {
 
 func (m *ConnectionSetup) appendBody(dst []byte) []byte { return appendIDOnly(dst, m.UEID) }
 
+func (m *ConnectionSetup) bodySize() int { return uvarintLen(uint64(m.UEID)) }
+
 func (m *ConnectionSetup) decodeBody(src []byte) error {
 	id, err := decodeIDOnly(src)
 	m.UEID = id
@@ -396,6 +427,8 @@ func (m *ConnectionSetup) decodeBody(src []byte) error {
 }
 
 func (m *ConnectionSetupComplete) appendBody(dst []byte) []byte { return appendIDOnly(dst, m.UEID) }
+
+func (m *ConnectionSetupComplete) bodySize() int { return uvarintLen(uint64(m.UEID)) }
 
 func (m *ConnectionSetupComplete) decodeBody(src []byte) error {
 	id, err := decodeIDOnly(src)
@@ -410,6 +443,10 @@ func (m *ConnectionReconfiguration) appendBody(dst []byte) []byte {
 		return append(dst, 1)
 	}
 	return append(dst, 0)
+}
+
+func (m *ConnectionReconfiguration) bodySize() int {
+	return uvarintLen(uint64(m.UEID)) + uvarintLen(uint64(m.NewCycle)) + 1
 }
 
 func (m *ConnectionReconfiguration) decodeBody(src []byte) error {
@@ -440,6 +477,8 @@ func (m *ConnectionReconfigurationComplete) appendBody(dst []byte) []byte {
 	return appendIDOnly(dst, m.UEID)
 }
 
+func (m *ConnectionReconfigurationComplete) bodySize() int { return uvarintLen(uint64(m.UEID)) }
+
 func (m *ConnectionReconfigurationComplete) decodeBody(src []byte) error {
 	id, err := decodeIDOnly(src)
 	m.UEID = id
@@ -450,6 +489,8 @@ func (m *ConnectionRelease) appendBody(dst []byte) []byte {
 	dst = appendUvarint(dst, uint64(m.UEID))
 	return append(dst, byte(m.Cause))
 }
+
+func (m *ConnectionRelease) bodySize() int { return uvarintLen(uint64(m.UEID)) + 1 }
 
 func (m *ConnectionRelease) decodeBody(src []byte) error {
 	id, src, err := readUvarint(src)
@@ -474,6 +515,11 @@ func (m *SCPTMConfiguration) appendBody(dst []byte) []byte {
 	dst = appendUvarint(dst, uint64(m.GroupID))
 	dst = appendUvarint(dst, uint64(m.StartOffset))
 	return appendUvarint(dst, uint64(m.PayloadBytes))
+}
+
+func (m *SCPTMConfiguration) bodySize() int {
+	return uvarintLen(uint64(m.GroupID)) + uvarintLen(uint64(m.StartOffset)) +
+		uvarintLen(uint64(m.PayloadBytes))
 }
 
 func (m *SCPTMConfiguration) decodeBody(src []byte) error {

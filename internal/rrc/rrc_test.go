@@ -158,6 +158,40 @@ func TestSizeGrowsWithRecords(t *testing.T) {
 	}
 }
 
+func TestSizeMatchesMarshal(t *testing.T) {
+	// Size is computed arithmetically for the accounting hot path; it must
+	// agree exactly with the materialised encoding for every message type,
+	// including multi-byte varint field values.
+	msgs := []Message{
+		&Paging{},
+		&Paging{PagingRecords: []uint32{1, 2, 4095}},
+		&Paging{
+			PagingRecords: []uint32{7, 300},
+			MltcRecords: []MltcRecord{
+				{UEID: 9, TimeRemaining: 12345},
+				{UEID: 4095, TimeRemaining: simtime.Hour},
+			},
+		},
+		&ConnectionRequest{UEID: 4095, Cause: CauseMTAccess},
+		&ConnectionSetup{UEID: 3000},
+		&ConnectionSetupComplete{UEID: 1},
+		&ConnectionReconfiguration{UEID: 12, NewCycle: drx.Cycle10485s, Restore: true},
+		&ConnectionReconfigurationComplete{UEID: 200},
+		&ConnectionRelease{UEID: 8, Cause: ReleaseImmediate},
+		&SCPTMConfiguration{GroupID: 3, StartOffset: simtime.Hour, PayloadBytes: 10 * 1024 * 1024},
+	}
+	for _, m := range msgs {
+		if got, want := Size(m), len(Marshal(m)); got != want {
+			t.Errorf("Size(%T) = %d, want len(Marshal) = %d", m, got, want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		Size(msgs[2])
+	}); allocs != 0 {
+		t.Errorf("Size allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestReleaseCauseString(t *testing.T) {
 	if ReleaseImmediate.String() != "immediate" || ReleaseNormal.String() != "normal" {
 		t.Error("release cause strings wrong")

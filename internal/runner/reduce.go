@@ -86,6 +86,14 @@ func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], redu
 	return ReduceSpan(ctx, SpanAll(n), workers, task, reduce)
 }
 
+// ScratchTask is a ReduceTask with per-worker scratch: the pool hands each
+// worker goroutine its own zero-valued *S once and passes it to every task
+// that worker executes. Tasks use it for reusable buffers (fleet copies,
+// simulator scratch) that would otherwise be reallocated per task; they
+// must not let scratch state influence results — a task's output must stay
+// a pure function of its index.
+type ScratchTask[T, S any] func(ctx context.Context, index int, scratch *S) (T, error)
+
 // ReduceSpan is Reduce over an arbitrary slice of the task-index space:
 // it executes the span's Count tasks, passing each its global index
 // (span.Index(k)) to both task and reduce, with the same pooling,
@@ -95,6 +103,19 @@ func Reduce[T any](ctx context.Context, n, workers int, task ReduceTask[T], redu
 // ShardSpan's slice, and per-task randomness keyed on global indices makes
 // its results bit-identical to the full sweep's at those indices.
 func ReduceSpan[T any](ctx context.Context, span Span, workers int, task ReduceTask[T], reduce func(index int, value T) error) error {
+	var st ScratchTask[T, struct{}]
+	if task != nil {
+		st = func(ctx context.Context, i int, _ *struct{}) (T, error) { return task(ctx, i) }
+	}
+	return ReduceSpanScratch(ctx, span, workers, st, reduce)
+}
+
+// ReduceSpanScratch is ReduceSpan with per-worker scratch (see
+// ScratchTask): one zero-valued S is created per worker goroutine — or one
+// total on the serial path — and reused across all the tasks that worker
+// executes. Everything else (pooling, in-order reduction, buffering, error
+// semantics, bit-identical results across worker counts) is ReduceSpan's.
+func ReduceSpanScratch[T, S any](ctx context.Context, span Span, workers int, task ScratchTask[T, S], reduce func(index int, value T) error) error {
 	if span.Count < 0 {
 		return fmt.Errorf("runner: negative span count %d", span.Count)
 	}
@@ -122,11 +143,12 @@ func ReduceSpan[T any](ctx context.Context, span Span, workers int, task ReduceT
 	}
 
 	if workers == 1 {
+		var scratch S
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			v, err := task(ctx, span.Index(i))
+			v, err := task(ctx, span.Index(i), &scratch)
 			if err != nil {
 				return err
 			}
@@ -185,6 +207,7 @@ func ReduceSpan[T any](ctx context.Context, span Span, workers int, task ReduceT
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch S // per-worker, reused across this worker's tasks
 			for {
 				mu.Lock()
 				for !stopped && nextClaim < n && nextClaim-nextRed >= window {
@@ -199,7 +222,7 @@ func ReduceSpan[T any](ctx context.Context, span Span, workers int, task ReduceT
 				inFlight++
 				mu.Unlock()
 
-				v, err := task(tctx, span.Index(i))
+				v, err := task(tctx, span.Index(i), &scratch)
 
 				mu.Lock()
 				inFlight--

@@ -398,6 +398,70 @@ func TestRunZeroTasksCancelledContext(t *testing.T) {
 	}
 }
 
+func TestReduceSpanScratchPerWorker(t *testing.T) {
+	// Each worker goroutine must get exactly one scratch value, reused
+	// across all the tasks it executes: the distinct scratch pointers seen
+	// must not exceed the worker count, and a scratch's task counter must
+	// account for every task exactly once in total.
+	type scratch struct{ tasks int }
+	const n, workers = 200, 4
+	var mu sync.Mutex
+	seen := map[*scratch]bool{}
+	err := ReduceSpanScratch(context.Background(), SpanAll(n), workers,
+		func(_ context.Context, i int, sc *scratch) (int, error) {
+			sc.tasks++
+			mu.Lock()
+			seen[sc] = true
+			mu.Unlock()
+			return i, nil
+		},
+		func(i, v int) error {
+			if i != v {
+				return fmt.Errorf("index %d carried value %d", i, v)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 || len(seen) > workers {
+		t.Fatalf("saw %d scratch values for %d workers", len(seen), workers)
+	}
+	total := 0
+	for sc := range seen {
+		if sc.tasks == 0 {
+			t.Error("a worker's scratch saw no tasks")
+		}
+		total += sc.tasks
+	}
+	if total != n {
+		t.Errorf("scratches account for %d tasks, want %d", total, n)
+	}
+}
+
+func TestReduceSpanScratchSerial(t *testing.T) {
+	// The serial path shares one scratch across all tasks.
+	type scratch struct{ tasks int }
+	var only *scratch
+	err := ReduceSpanScratch(context.Background(), SpanAll(50), 1,
+		func(_ context.Context, i int, sc *scratch) (int, error) {
+			sc.tasks++
+			if only == nil {
+				only = sc
+			} else if only != sc {
+				return 0, fmt.Errorf("serial path switched scratch at task %d", i)
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only == nil || only.tasks != 50 {
+		t.Fatalf("serial scratch saw %v tasks, want 50", only)
+	}
+}
+
 // BenchmarkReduceStreaming exercises the streaming path at sweep-like
 // scale; allocs/op staying flat as n grows is the headline property.
 func BenchmarkReduceStreaming(b *testing.B) {

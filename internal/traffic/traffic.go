@@ -295,6 +295,13 @@ func Mixes() map[string]Mix {
 // Generate draws a fleet of n devices from the mix. All draws come from the
 // provided stream, so fleets are reproducible.
 func (m Mix) Generate(n int, stream *rng.Stream) ([]Device, error) {
+	return m.GenerateInto(nil, n, stream)
+}
+
+// GenerateInto is Generate writing into dst's backing array when it has the
+// capacity, so sweep workers regenerate fleets without reallocating. The
+// draws — and therefore the fleet — are identical to Generate's.
+func (m Mix) GenerateInto(dst []Device, n int, stream *rng.Stream) ([]Device, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -316,7 +323,12 @@ func (m Mix) Generate(n int, stream *rng.Stream) ([]Device, error) {
 		coveragePickers[i] = rng.NewPicker(c.Coverage[:])
 	}
 
-	devices := make([]Device, n)
+	devices := dst
+	if cap(devices) < n {
+		devices = make([]Device, n)
+	} else {
+		devices = devices[:n]
+	}
 	for i := 0; i < n; i++ {
 		ci := classPicker.Pick(stream)
 		class := m.Classes[ci]

@@ -151,7 +151,13 @@ type PagingSchedule = drx.Schedule
 func NewPagingSchedule(cfg DRXConfig) (PagingSchedule, error) { return drx.NewSchedule(cfg) }
 
 // CycleLadder returns all configurable (e)DRX values in increasing order.
-func CycleLadder() []Cycle { return drx.Ladder() }
+// The caller owns the returned slice.
+func CycleLadder() []Cycle {
+	l := drx.Ladder()
+	out := make([]Cycle, len(l))
+	copy(out, l)
+	return out
+}
 
 // --- fleets -----------------------------------------------------------------------
 
