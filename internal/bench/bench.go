@@ -188,6 +188,53 @@ func suite(short bool) []benchmark {
 			},
 		},
 		{
+			// The same planning pass through a reused PlanScratch — the
+			// sweep steady state. The gap to planner/drsc-1000 is what the
+			// planner's buffer reuse buys.
+			name:  "planner/drsc-1000-scratch",
+			iters: scale(10, 2),
+			setup: func() (func(), error) {
+				fleet, err := traffic.PaperCalibratedMix().Generate(1000, rng.NewStream(1))
+				if err != nil {
+					return nil, err
+				}
+				devices, err := core.FleetFromTraffic(fleet)
+				if err != nil {
+					return nil, err
+				}
+				var sc core.PlanScratch
+				return func() {
+					params := core.Params{Now: 0, TI: 10 * simtime.Second, TieBreak: rng.NewStream(1)}
+					if _, err := (core.DRSCPlanner{}).PlanScratch(devices, params, &sc); err != nil {
+						panic(err)
+					}
+				}, nil
+			},
+		},
+		{
+			// DR-SC planning an order of magnitude past paper scale: the
+			// event timeline and heap are ~10× larger, so this entry guards
+			// the solver's asymptotics, not just its constants.
+			name:  "planner/drsc-10000",
+			iters: scale(3, 1),
+			setup: func() (func(), error) {
+				fleet, err := traffic.PaperCalibratedMix().Generate(10000, rng.NewStream(1))
+				if err != nil {
+					return nil, err
+				}
+				devices, err := core.FleetFromTraffic(fleet)
+				if err != nil {
+					return nil, err
+				}
+				return func() {
+					params := core.Params{Now: 0, TI: 10 * simtime.Second, TieBreak: rng.NewStream(1)}
+					if _, err := (core.DRSCPlanner{}).Plan(devices, params); err != nil {
+						panic(err)
+					}
+				}, nil
+			},
+		},
+		{
 			// One end-to-end DA-SC campaign (plan + event simulation +
 			// accounting) on a 500-device fleet, fresh buffers every run —
 			// the cost a single cell.Run caller pays.

@@ -150,7 +150,7 @@ func RunScratch(cfg Config, sc *Scratch) (*Result, error) {
 		PageGuard: cfg.PageGuard,
 		TieBreak:  src.Stream("drsc-tiebreak"),
 	}
-	plan, err := planner.Plan(devices, params)
+	plan, err := core.PlanWithScratch(planner, devices, params, &sc.plan)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,7 @@ type Scratch struct {
 	fleet   []traffic.Device
 	devices []core.Device
 	ues     []*device.UE
+	plan    core.PlanScratch
 
 	adjIdx      []int32
 	readyAt     []simtime.Ticks

@@ -235,15 +235,30 @@ func checkFleet(devices []Device, params Params) error {
 	if len(devices) == 0 {
 		return fmt.Errorf("core: empty fleet")
 	}
-	seen := make(map[int]bool, len(devices))
+	// Sequential IDs 0..n-1 — the shape every generated fleet has — are
+	// trivially unique; only arbitrary IDs pay for a duplicate-detection
+	// map (planning runs per campaign, so this check is on the hot path).
+	dense := true
+	for i := range devices {
+		if devices[i].ID != i {
+			dense = false
+			break
+		}
+	}
+	var seen map[int]bool
+	if !dense {
+		seen = make(map[int]bool, len(devices))
+	}
 	for _, d := range devices {
 		if d.ID < 0 {
 			return fmt.Errorf("core: negative device ID %d", d.ID)
 		}
-		if seen[d.ID] {
-			return fmt.Errorf("core: duplicate device ID %d", d.ID)
+		if seen != nil {
+			if seen[d.ID] {
+				return fmt.Errorf("core: duplicate device ID %d", d.ID)
+			}
+			seen[d.ID] = true
 		}
-		seen[d.ID] = true
 		if d.Schedule.Period <= 0 {
 			return fmt.Errorf("core: device %d has non-positive paging period", d.ID)
 		}
@@ -308,8 +323,17 @@ type DRSCPlanner struct{}
 // Mechanism implements Planner.
 func (DRSCPlanner) Mechanism() Mechanism { return MechanismDRSC }
 
-// Plan implements Planner.
-func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
+// Plan implements Planner. It is PlanScratch with fresh buffers.
+func (p DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
+	return p.PlanScratch(devices, params, nil)
+}
+
+// PlanScratch implements ScratchPlanner. The returned plan aliases sc's
+// buffers; it is valid until the next plan that reuses sc.
+func (DRSCPlanner) PlanScratch(devices []Device, params Params, sc *PlanScratch) (*Plan, error) {
+	if sc == nil {
+		sc = &PlanScratch{}
+	}
 	if err := checkFleet(devices, params); err != nil {
 		return nil, err
 	}
@@ -322,8 +346,8 @@ func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
 	// "ubiquitous" devices out and attaching them to the first transmission
 	// is exactly equivalent to running the greedy over the full fleet, and
 	// shrinks the event timeline dramatically for short-cycle fleets.
-	var longDevs []Device
-	var shortDevs []Device
+	longDevs := sc.long[:0]
+	shortDevs := sc.short[:0]
 	for _, d := range devices {
 		if d.Schedule.Period <= params.TI {
 			shortDevs = append(shortDevs, d)
@@ -331,28 +355,36 @@ func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
 			longDevs = append(longDevs, d)
 		}
 	}
+	sc.long, sc.short = longDevs, shortDevs
 
-	plan := &Plan{Mechanism: MechanismDRSC}
+	plan := &sc.plan
+	*plan = Plan{Mechanism: MechanismDRSC}
+	txs := sc.txs[:0]
 	end := start
+	var covTxs []setcover.Transmission
 	if len(longDevs) > 0 {
-		var events []setcover.Event
-		for i, d := range longDevs {
-			for _, po := range d.Schedule.OccasionsIn(horizon) {
+		total := 0
+		for i := range longDevs {
+			total += int(longDevs[i].Schedule.CountIn(horizon))
+		}
+		if cap(sc.events) < total {
+			sc.events = make([]setcover.Event, 0, total)
+		}
+		events := sc.events[:0]
+		for i := range longDevs {
+			sc.ticks = longDevs[i].Schedule.OccasionsInto(sc.ticks[:0], horizon)
+			for _, po := range sc.ticks {
 				events = append(events, setcover.Event{Time: po, Device: i})
 			}
 		}
-		txs, err := setcover.GreedyWindows(len(longDevs), events, params.TI, params.TieBreak)
+		sc.events = events
+		var err error
+		covTxs, err = setcover.GreedyWindowsScratch(len(longDevs), events, params.TI, params.TieBreak, &sc.cover)
 		if err != nil {
 			return nil, fmt.Errorf("core: DR-SC cover failed: %w", err)
 		}
-		for txIdx, tx := range txs {
-			pt := Transmission{At: tx.Time}
-			for k, denseID := range tx.Devices {
-				id := longDevs[denseID].ID
-				pt.Devices = append(pt.Devices, id)
-				plan.Pages = append(plan.Pages, Page{Device: id, At: tx.WakeAt[k], TxIndex: txIdx})
-			}
-			plan.Transmissions = append(plan.Transmissions, pt)
+		for _, tx := range covTxs {
+			txs = append(txs, Transmission{At: tx.Time})
 			if tx.Time > end {
 				end = tx.Time
 			}
@@ -360,7 +392,7 @@ func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
 	} else if len(shortDevs) > 0 {
 		// Whole fleet is ubiquitous: one transmission a TI after the start
 		// covers everyone.
-		plan.Transmissions = []Transmission{{At: start + params.TI}}
+		txs = append(txs, Transmission{At: start + params.TI})
 		end = start + params.TI
 	}
 
@@ -368,26 +400,39 @@ func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
 	// window is guaranteed to contain one of its occasions at or after the
 	// start: that needs tx.At ≥ start + period. A transmission in the first
 	// TI after the start may end too early for some short devices; if every
-	// transmission does, add one at start + TI for the stragglers.
+	// transmission does, add one at start + TI for the stragglers. The
+	// chosen transmission and wake occasion are recorded per device so the
+	// membership slices can be counted and carved from one slab below.
+	var shortTx []int32
+	var shortPO []simtime.Ticks
 	if len(shortDevs) > 0 {
 		needExtra := false
-		for _, d := range shortDevs {
-			if plan.Transmissions[len(plan.Transmissions)-1].At < start+d.Schedule.Period {
+		for i := range shortDevs {
+			if txs[len(txs)-1].At < start+shortDevs[i].Schedule.Period {
 				needExtra = true
 				break
 			}
 		}
 		if needExtra {
-			plan.Transmissions = append(plan.Transmissions, Transmission{At: start + params.TI})
+			txs = append(txs, Transmission{At: start + params.TI})
 			if start+params.TI > end {
 				end = start + params.TI
 			}
 		}
-		for _, d := range shortDevs {
+		if cap(sc.shortTx) < len(shortDevs) {
+			sc.shortTx = make([]int32, len(shortDevs))
+		}
+		if cap(sc.shortPO) < len(shortDevs) {
+			sc.shortPO = make([]simtime.Ticks, len(shortDevs))
+		}
+		shortTx = sc.shortTx[:len(shortDevs)]
+		shortPO = sc.shortPO[:len(shortDevs)]
+		for i := range shortDevs {
+			d := &shortDevs[i]
 			txIdx := -1
-			for i := range plan.Transmissions {
-				if plan.Transmissions[i].At >= start+d.Schedule.Period {
-					txIdx = i
+			for t := range txs {
+				if txs[t].At >= start+d.Schedule.Period {
+					txIdx = t
 					break
 				}
 			}
@@ -395,18 +440,63 @@ func (DRSCPlanner) Plan(devices []Device, params Params) (*Plan, error) {
 				return nil, fmt.Errorf("core: no transmission window fits device %d (period %v, TI %v)",
 					d.ID, d.Schedule.Period, params.TI)
 			}
-			tx := &plan.Transmissions[txIdx]
-			wakeFrom := simtime.Max(tx.At-params.TI+1, start)
+			wakeFrom := simtime.Max(txs[txIdx].At-params.TI+1, start)
 			po := d.Schedule.NextAtOrAfter(wakeFrom)
-			if po > tx.At {
+			if po > txs[txIdx].At {
 				return nil, fmt.Errorf("core: internal error: occasion %v after transmission %v for device %d",
-					po, tx.At, d.ID)
+					po, txs[txIdx].At, d.ID)
 			}
-			tx.Devices = append(tx.Devices, d.ID)
-			plan.Pages = append(plan.Pages, Page{Device: d.ID, At: po, TxIndex: txIdx})
+			shortTx[i] = int32(txIdx)
+			shortPO[i] = po
 		}
 	}
 
+	// Every device lands in exactly one transmission, so one len(devices)
+	// slab carved by pre-counted membership holds all Devices slices.
+	if cap(sc.txCount) < len(txs) {
+		sc.txCount = make([]int, len(txs))
+	}
+	txCount := sc.txCount[:len(txs)]
+	for i := range txCount {
+		txCount[i] = 0
+	}
+	for i := range covTxs {
+		txCount[i] = len(covTxs[i].Devices)
+	}
+	for i := range shortDevs {
+		txCount[shortTx[i]]++
+	}
+	if cap(sc.devSlab) < len(devices) {
+		sc.devSlab = make([]int, len(devices))
+	}
+	used := 0
+	for i := range txs {
+		n := txCount[i]
+		txs[i].Devices = sc.devSlab[used : used : used+n]
+		used += n
+	}
+
+	if cap(sc.pages) < len(devices) {
+		sc.pages = make([]Page, 0, len(devices))
+	}
+	pages := sc.pages[:0]
+	for txIdx := range covTxs {
+		tx := &covTxs[txIdx]
+		for k, denseID := range tx.Devices {
+			id := longDevs[denseID].ID
+			txs[txIdx].Devices = append(txs[txIdx].Devices, id)
+			pages = append(pages, Page{Device: id, At: tx.WakeAt[k], TxIndex: txIdx})
+		}
+	}
+	for i := range shortDevs {
+		txIdx := int(shortTx[i])
+		txs[txIdx].Devices = append(txs[txIdx].Devices, shortDevs[i].ID)
+		pages = append(pages, Page{Device: shortDevs[i].ID, At: shortPO[i], TxIndex: txIdx})
+	}
+	sc.txs, sc.pages = txs, pages
+
+	plan.Transmissions = txs
+	plan.Pages = pages
 	plan.Horizon = simtime.NewInterval(params.Now, end+1)
 	sortPlan(plan)
 	return plan, nil

@@ -1,0 +1,57 @@
+// PlanScratch: the planners' reusable buffers, the planning-side mirror of
+// cell.Scratch. A worker that plans many campaigns passes the same
+// PlanScratch to each PlanScratch call so steady-state planning stops
+// paying for per-plan allocations.
+
+package core
+
+import (
+	"nbiot/internal/setcover"
+	"nbiot/internal/simtime"
+)
+
+// PlanScratch holds every buffer scratch-aware planners need: the fleet
+// split, the paging-occasion event timeline, the set-cover solver's own
+// scratch, and the assembled Plan with its slices. Results are identical
+// for any reuse pattern — every buffer is fully re-initialised per plan. A
+// PlanScratch must not be shared by concurrent plans.
+//
+// The *Plan returned by a PlanScratch call points into the scratch: it is
+// valid until the next plan that reuses the same PlanScratch. Callers that
+// retain plans across calls must copy them.
+type PlanScratch struct {
+	long  []Device
+	short []Device
+
+	events []setcover.Event
+	ticks  []simtime.Ticks
+	cover  setcover.Scratch
+
+	shortTx []int32
+	shortPO []simtime.Ticks
+	txCount []int
+
+	plan    Plan
+	pages   []Page
+	txs     []Transmission
+	devSlab []int
+}
+
+// ScratchPlanner is implemented by planners whose Plan can reuse buffers.
+type ScratchPlanner interface {
+	Planner
+	// PlanScratch is Plan with reusable buffers. A nil sc allocates fresh
+	// buffers (exactly Plan); see the PlanScratch type for the aliasing
+	// contract of the returned plan.
+	PlanScratch(devices []Device, params Params, sc *PlanScratch) (*Plan, error)
+}
+
+// PlanWithScratch plans the fleet through p, reusing sc's buffers when the
+// planner supports them; other planners fall back to a plain Plan call, so
+// callers can thread one scratch through a mechanism-generic path.
+func PlanWithScratch(p Planner, devices []Device, params Params, sc *PlanScratch) (*Plan, error) {
+	if sp, ok := p.(ScratchPlanner); ok {
+		return sp.PlanScratch(devices, params, sc)
+	}
+	return p.Plan(devices, params)
+}

@@ -422,11 +422,18 @@ func (s Schedule) HasOccasionIn(iv simtime.Interval) bool {
 
 // OccasionsIn returns all occasions within the half-open interval, in order.
 func (s Schedule) OccasionsIn(iv simtime.Interval) []simtime.Ticks {
-	var out []simtime.Ticks
+	return s.OccasionsInto(nil, iv)
+}
+
+// OccasionsInto appends all occasions within the half-open interval to dst,
+// in order, and returns the extended slice. Callers that enumerate many
+// schedules reuse one buffer (pre-sized via CountIn) instead of allocating
+// per schedule.
+func (s Schedule) OccasionsInto(dst []simtime.Ticks, iv simtime.Interval) []simtime.Ticks {
 	for t := s.NextAtOrAfter(iv.Start); t < iv.End; t += s.Period {
-		out = append(out, t)
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 // CountIn reports the number of occasions in the half-open interval without

@@ -325,3 +325,40 @@ func TestDifferentUEIDsSpreadOffsets(t *testing.T) {
 		t.Errorf("only %d distinct offsets for 256 UEIDs", len(seen))
 	}
 }
+
+func TestOccasionsInto(t *testing.T) {
+	s := Schedule{Period: 100, Offset: 30}
+	iv := simtime.NewInterval(0, 1000)
+
+	// Appends to dst, preserving what is already there.
+	dst := []simtime.Ticks{-1, -2}
+	got := s.OccasionsInto(dst, iv)
+	if got[0] != -1 || got[1] != -2 {
+		t.Fatalf("OccasionsInto clobbered the prefix: %v", got[:2])
+	}
+	want := s.OccasionsIn(iv)
+	if int64(len(want)) != s.CountIn(iv) {
+		t.Fatalf("OccasionsIn/CountIn disagree: %d vs %d", len(want), s.CountIn(iv))
+	}
+	appended := got[2:]
+	if len(appended) != len(want) {
+		t.Fatalf("appended %d occasions, want %d", len(appended), len(want))
+	}
+	for i := range want {
+		if appended[i] != want[i] {
+			t.Fatalf("occasion %d = %v, want %v", i, appended[i], want[i])
+		}
+	}
+
+	// A reused buffer pre-sized via CountIn never grows.
+	buf := make([]simtime.Ticks, 0, s.CountIn(iv))
+	buf = s.OccasionsInto(buf, iv)
+	if int64(len(buf)) != s.CountIn(iv) || int64(cap(buf)) != s.CountIn(iv) {
+		t.Fatalf("pre-sized buffer grew: len %d cap %d, want %d", len(buf), cap(buf), s.CountIn(iv))
+	}
+
+	// Empty interval appends nothing.
+	if out := s.OccasionsInto(nil, simtime.NewInterval(31, 31)); len(out) != 0 {
+		t.Fatalf("empty interval produced %v", out)
+	}
+}

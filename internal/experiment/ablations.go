@@ -65,9 +65,9 @@ func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
 	var ratio stats.Accumulator
 	out := &GreedyVsExactResult{Options: o}
 	err := reduceStream(o, o.Runs,
-		func(i int, _ *taskScratch) (sizes, error) {
+		func(i int, sc *taskScratch) (sizes, error) {
 			in := coverInstance(rng.NewStream(runner.Seed(o.Seed, i)))
-			g, err := setcover.Greedy(in)
+			g, err := setcover.GreedyScratch(in, &sc.cover)
 			if err != nil {
 				return sizes{}, err
 			}

@@ -37,6 +37,7 @@ import (
 	"nbiot/internal/multicast"
 	"nbiot/internal/rng"
 	"nbiot/internal/runner"
+	"nbiot/internal/setcover"
 	"nbiot/internal/simtime"
 	"nbiot/internal/stats"
 	"nbiot/internal/traffic"
@@ -261,6 +262,8 @@ type taskScratch struct {
 	fleet   []traffic.Device
 	devices []core.Device
 	cell    cell.Scratch
+	plan    core.PlanScratch
+	cover   setcover.Scratch
 }
 
 // runCampaign executes one mechanism on a prepared fleet, reusing the
@@ -530,7 +533,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 				Now: 0, TI: o.TI,
 				TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),
 			}
-			plan, err := core.DRSCPlanner{}.Plan(devices, params)
+			plan, err := core.DRSCPlanner{}.PlanScratch(devices, params, &sc.plan)
 			if err != nil {
 				return 0, err
 			}

@@ -1,0 +1,55 @@
+// Steady-state allocation contracts for the value-typed heap and the
+// scratch-based solvers.
+
+package setcover
+
+import (
+	"testing"
+
+	"nbiot/internal/rng"
+)
+
+func TestGainHeapZeroAllocs(t *testing.T) {
+	// After grow() reserves the high-water mark, push/pop churn must not
+	// allocate: the heap stores entries by value, never boxed.
+	var h gainHeap
+	h.grow(1024)
+	allocs := testing.AllocsPerRun(10, func() {
+		h.reset()
+		for i := 0; i < 1024; i++ {
+			h.push(gainEntry{gain: (i * 7919) % 257, index: i})
+		}
+		prev := int(^uint(0) >> 1)
+		for h.len() > 0 {
+			e := h.pop()
+			if e.gain > prev {
+				t.Fatalf("pop order broken: gain %d after %d", e.gain, prev)
+			}
+			prev = e.gain
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("gainHeap push/pop: %.0f allocs/op, want 0", allocs)
+	}
+}
+
+func TestGreedyWindowsScratchSteadyStateAllocs(t *testing.T) {
+	// A warmed Scratch re-solving the same instance should be down to the
+	// sort.Slice footprint — a handful of allocations, not O(events).
+	events := periodicTimeline(rng.NewStream(42), 200, 40000)
+	sc := &Scratch{}
+	if _, err := GreedyWindowsScratch(200, events, 500, rng.NewStream(1), sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := GreedyWindowsScratch(200, events, 500, rng.NewStream(1), sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// rng.NewStream plus sort.Slice's closure machinery; the solver proper
+	// contributes nothing.
+	if allocs > 16 {
+		t.Errorf("GreedyWindowsScratch: %.0f allocs/op, want <= 16", allocs)
+	}
+	t.Logf("GreedyWindowsScratch: %.0f allocs/op", allocs)
+}

@@ -1,0 +1,195 @@
+// Equivalence of the incremental windows solver against the reference
+// implementation: identical transmissions — times, member order, wake
+// occasions — and identical tie-break stream consumption, across randomized
+// timelines, Scratch reuse, and a fuzzed event space.
+
+package setcover
+
+import (
+	"fmt"
+	"testing"
+
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+)
+
+// sameTransmissions fails the test unless got and want are identical.
+func sameTransmissions(t *testing.T, got, want []Transmission) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d transmissions, reference has %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Time != w.Time {
+			t.Fatalf("tx %d at %v, reference at %v", i, g.Time, w.Time)
+		}
+		if len(g.Devices) != len(w.Devices) || len(g.WakeAt) != len(w.WakeAt) {
+			t.Fatalf("tx %d covers %d/%d entries, reference %d/%d",
+				i, len(g.Devices), len(g.WakeAt), len(w.Devices), len(w.WakeAt))
+		}
+		for k := range g.Devices {
+			if g.Devices[k] != w.Devices[k] || g.WakeAt[k] != w.WakeAt[k] {
+				t.Fatalf("tx %d member %d = (%d, %v), reference (%d, %v)",
+					i, k, g.Devices[k], g.WakeAt[k], w.Devices[k], w.WakeAt[k])
+			}
+		}
+	}
+}
+
+// periodicTimeline builds a random periodic occasion timeline. Periods may
+// be shorter than any TI under test, so some devices have several occasions
+// inside one window — the dedup path the incremental decrements must get
+// right.
+func periodicTimeline(s *rng.Stream, n int, horizon simtime.Ticks) []Event {
+	var events []Event
+	for d := 0; d < n; d++ {
+		period := simtime.Ticks(50 * (1 + s.Intn(100)))
+		offset := simtime.Ticks(s.Int63n(int64(period)))
+		for tm := offset; tm < horizon; tm += period {
+			events = append(events, Event{Time: tm, Device: d})
+		}
+	}
+	return events
+}
+
+func TestGreedyWindowsMatchesReference(t *testing.T) {
+	fleets := []int{1, 5, 20, 60, 150}
+	tis := []simtime.Ticks{40, 100, 500, 2000}
+	seeds := []int64{1, 2, 3, 4, 5}
+	sc := &Scratch{} // shared across all instances: reuse must not leak state
+	instances := 0
+	for _, n := range fleets {
+		for _, ti := range tis {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("n=%d/ti=%d/seed=%d", n, ti, seed)
+				events := periodicTimeline(rng.NewStream(seed*1000+int64(n)), n, 20000)
+
+				want, errW := referenceGreedyWindows(n, events, ti, rng.NewStream(seed))
+				got, errG := GreedyWindowsScratch(n, events, ti, rng.NewStream(seed), sc)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("%s: error mismatch: reference %v, optimized %v", name, errW, errG)
+				}
+				if errW != nil {
+					continue
+				}
+				sameTransmissions(t, got, want)
+
+				// Earliest-window tie-breaking (nil stream) must agree too.
+				want, errW = referenceGreedyWindows(n, events, ti, nil)
+				got, errG = GreedyWindowsScratch(n, events, ti, nil, sc)
+				if errW != nil || errG != nil {
+					t.Fatalf("%s: nil-tie errors: %v, %v", name, errW, errG)
+				}
+				sameTransmissions(t, got, want)
+				instances++
+			}
+		}
+	}
+	if instances < 100 {
+		t.Fatalf("only %d instances exercised, want >= 100", instances)
+	}
+}
+
+func TestGreedyWindowsMatchesReferenceClusteredTies(t *testing.T) {
+	// Many windows with identical gains stress the maxTies gather: devices
+	// in disjoint clusters of equal size, far apart, so every round ties.
+	var events []Event
+	const clusters, per = 40, 5
+	for c := 0; c < clusters; c++ {
+		base := simtime.Ticks(10000 * (c + 1))
+		for k := 0; k < per; k++ {
+			events = append(events, Event{Time: base + simtime.Ticks(k), Device: c*per + k})
+		}
+	}
+	sc := &Scratch{}
+	for seed := int64(0); seed < 20; seed++ {
+		want, err := referenceGreedyWindows(clusters*per, events, 100, rng.NewStream(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GreedyWindowsScratch(clusters*per, events, 100, rng.NewStream(seed), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTransmissions(t, got, want)
+	}
+}
+
+func TestGreedyScratchMatchesGreedy(t *testing.T) {
+	sc := &Scratch{}
+	s := rng.NewStream(99)
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(s, 4+s.Intn(12))
+		want, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GreedyScratch(in, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// FuzzGreedyWindows decodes arbitrary byte strings into event timelines and
+// cross-checks the incremental solver against the reference.
+func FuzzGreedyWindows(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint16(100), int64(1))
+	f.Add([]byte{0, 0, 0, 0, 10, 20, 30, 40, 50}, uint8(1), uint16(1), int64(7))
+	f.Add([]byte{255, 254, 253, 7, 7, 7}, uint8(8), uint16(5000), int64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, nDev uint8, ti uint16, seed int64) {
+		n := int(nDev%32) + 1
+		window := simtime.Ticks(ti%4096) + 1
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		// Two bytes per event: a coarse time and a device, every device
+		// present at least once so the instance is feasible.
+		var events []Event
+		for i := 0; i+1 < len(raw); i += 2 {
+			events = append(events, Event{
+				Time:   simtime.Ticks(raw[i]) * 16,
+				Device: int(raw[i+1]) % n,
+			})
+		}
+		for d := 0; d < n; d++ {
+			events = append(events, Event{Time: simtime.Ticks(4096 + 64*d), Device: d})
+		}
+		want, errW := referenceGreedyWindows(n, events, window, rng.NewStream(seed))
+		got, errG := GreedyWindowsScratch(n, events, window, rng.NewStream(seed), &Scratch{})
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("error mismatch: reference %v, optimized %v", errW, errG)
+		}
+		if errW != nil {
+			return
+		}
+		sameTransmissions(t, got, want)
+		// Cover invariant: every device exactly once.
+		seen := make(map[int]int)
+		for _, tx := range got {
+			for i, d := range tx.Devices {
+				seen[d]++
+				if w := tx.WakeAt[i]; w <= tx.Time-window || w > tx.Time {
+					t.Fatalf("wake %v outside window (%v, %v]", w, tx.Time-window, tx.Time)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("covered %d of %d devices", len(seen), n)
+		}
+		for d, c := range seen {
+			if c != 1 {
+				t.Fatalf("device %d covered %d times", d, c)
+			}
+		}
+	})
+}

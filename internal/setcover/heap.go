@@ -1,0 +1,126 @@
+// The greedy frontier heap. container/heap boxes every element through
+// `any` on each Push and Pop, which made the heap traffic itself the
+// planner's dominant allocation source (hundreds of thousands of one-entry
+// boxes per DR-SC plan). This value-typed replacement keeps entries in a
+// flat slice and allocates only when the slice grows — zero per push/pop in
+// steady state.
+
+package setcover
+
+// gainEntry is one frontier candidate: a possibly stale coverage gain for
+// the set (or window anchor) at index.
+type gainEntry struct {
+	gain  int
+	index int
+}
+
+// entryLess orders the frontier: larger gain first, lower index on equal
+// gain. No two live entries share both fields, so this is a strict total
+// order — the popped sequence depends only on the heap's contents, never on
+// its internal layout.
+func entryLess(a, b gainEntry) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.index < b.index
+}
+
+// pack encodes an entry as one uint64 ordered exactly as entryLess: gain in
+// the high 32 bits, the bit-flipped index in the low 32 (so a LOWER index
+// packs HIGHER and wins on equal gain). One integer compare replaces the
+// two-field comparison, and 8-byte entries halve the heap's memory traffic
+// — it is pop-dominated, so sift cost is the planner's hot path. Gains are
+// bounded by the device count and indices by the event count, both far
+// under 2³¹.
+func pack(e gainEntry) uint64 {
+	return uint64(e.gain)<<32 | uint64(^uint32(e.index))
+}
+
+// unpack inverts pack.
+func unpack(p uint64) gainEntry {
+	return gainEntry{gain: int(p >> 32), index: int(^uint32(p))}
+}
+
+// gainHeap is a 4-ary max-heap of packed entries. Four children halve the
+// sift-down depth of a binary heap and eight packed entries share a cache
+// line. Arity never changes what pop returns: the packed order is strict
+// and total, so the maximum — and therefore the popped sequence — is a
+// function of the contents alone.
+type gainHeap struct {
+	items []uint64
+}
+
+// len reports the number of queued entries.
+func (h *gainHeap) len() int { return len(h.items) }
+
+// peekGain reports the best queued (stale) gain; the heap must be non-empty.
+func (h *gainHeap) peekGain() int { return int(h.items[0] >> 32) }
+
+// reset empties the heap, keeping its storage for reuse.
+func (h *gainHeap) reset() { h.items = h.items[:0] }
+
+// grow pre-sizes the storage for n entries so a known-size build costs at
+// most one allocation.
+func (h *gainHeap) grow(n int) {
+	if cap(h.items) < n {
+		h.items = make([]uint64, 0, n)
+	}
+}
+
+// push inserts an entry.
+func (h *gainHeap) push(e gainEntry) {
+	p := pack(e)
+	h.items = append(h.items, p)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if p <= h.items[parent] {
+			break
+		}
+		h.items[i] = h.items[parent]
+		i = parent
+	}
+	h.items[i] = p
+}
+
+// pop removes and returns the best entry; the heap must be non-empty.
+func (h *gainHeap) pop() gainEntry {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return unpack(top)
+}
+
+// siftDown restores the heap property below i.
+func (h *gainHeap) siftDown(i int) {
+	n := len(h.items)
+	v := h.items[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		best := first
+		bv := h.items[first]
+		for c := first + 1; c < last; c++ {
+			if h.items[c] > bv {
+				best = c
+				bv = h.items[c]
+			}
+		}
+		if bv <= v {
+			break
+		}
+		h.items[i] = bv
+		i = best
+	}
+	h.items[i] = v
+}

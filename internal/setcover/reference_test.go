@@ -1,0 +1,183 @@
+// The pre-optimisation GreedyWindows, kept verbatim as the reference the
+// incremental solver is property-tested against: container/heap frontier,
+// O(window) gain rescans on every pop, fresh buffers per call. Its output
+// is the byte-level contract the optimised solver must preserve — same
+// transmissions, same member order, same tie-break draws.
+
+package setcover
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+)
+
+type refGainHeap []gainEntry
+
+func (h refGainHeap) Len() int { return len(h) }
+func (h refGainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].index < h[j].index
+}
+func (h refGainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refGainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
+func (h *refGainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+func (h refGainHeap) peekGain() int { return h[0].gain }
+
+// referenceGreedyWindows is the PR 4-era GreedyWindows implementation.
+func referenceGreedyWindows(numDevices int, events []Event, ti simtime.Ticks, tie *rng.Stream) ([]Transmission, error) {
+	if numDevices < 0 {
+		return nil, fmt.Errorf("setcover: negative device count %d", numDevices)
+	}
+	if ti <= 0 {
+		return nil, fmt.Errorf("setcover: non-positive inactivity window %v", ti)
+	}
+	for _, ev := range events {
+		if ev.Device < 0 || ev.Device >= numDevices {
+			return nil, fmt.Errorf("setcover: event device %d out of range [0,%d)", ev.Device, numDevices)
+		}
+	}
+	if numDevices == 0 {
+		return nil, nil
+	}
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].Device < evs[j].Device
+	})
+
+	// lo[i] = first event index with Time > evs[i].Time - ti (window start).
+	lo := make([]int, len(evs))
+	{
+		j := 0
+		for i := range evs {
+			for evs[j].Time <= evs[i].Time-ti {
+				j++
+			}
+			lo[i] = j
+		}
+	}
+
+	covered := make([]bool, numDevices)
+	remaining := numDevices
+
+	// Distinct-uncovered-device count for window i, using a generation
+	// stamp to dedupe devices with several occasions in one window.
+	stamp := make([]int, numDevices)
+	gen := 0
+	gain := func(i int) int {
+		gen++
+		g := 0
+		for j := lo[i]; j <= i; j++ {
+			d := evs[j].Device
+			if !covered[d] && stamp[d] != gen {
+				stamp[d] = gen
+				g++
+			}
+		}
+		return g
+	}
+
+	// Initial exact gains for every candidate window in O(P) with a sliding
+	// distinct-count.
+	initial := make([]int, len(evs))
+	{
+		cnt := make([]int, numDevices)
+		distinct := 0
+		j := 0
+		for i := range evs {
+			if cnt[evs[i].Device] == 0 {
+				distinct++
+			}
+			cnt[evs[i].Device]++
+			for j < lo[i] {
+				cnt[evs[j].Device]--
+				if cnt[evs[j].Device] == 0 {
+					distinct--
+				}
+				j++
+			}
+			initial[i] = distinct
+		}
+	}
+
+	h := &refGainHeap{}
+	for i := range evs {
+		if i+1 < len(evs) && evs[i+1].Time == evs[i].Time {
+			continue // duplicate window; the last event at this tick anchors it
+		}
+		heap.Push(h, gainEntry{gain: initial[i], index: i})
+	}
+
+	var out []Transmission
+	for remaining > 0 {
+		if h.Len() == 0 {
+			return nil, ErrInfeasible
+		}
+		top := heap.Pop(h).(gainEntry)
+		g := gain(top.index)
+		if g == 0 {
+			continue
+		}
+		if h.Len() > 0 && g < h.peekGain() {
+			heap.Push(h, gainEntry{gain: g, index: top.index})
+			continue
+		}
+		choice := top
+		if tie != nil && h.Len() > 0 && h.peekGain() >= g {
+			tied := []gainEntry{top}
+			var rest []gainEntry
+			for h.Len() > 0 && h.peekGain() >= g && len(tied) < maxTies {
+				e := heap.Pop(h).(gainEntry)
+				cur := gain(e.index)
+				if cur == g {
+					tied = append(tied, e)
+				} else if cur > 0 {
+					rest = append(rest, gainEntry{gain: cur, index: e.index})
+				}
+			}
+			choice = tied[tie.Intn(len(tied))]
+			for _, e := range tied {
+				if e.index != choice.index {
+					heap.Push(h, e)
+				}
+			}
+			for _, e := range rest {
+				heap.Push(h, e)
+			}
+		}
+
+		tx := Transmission{Time: evs[choice.index].Time}
+		gen++
+		for j := lo[choice.index]; j <= choice.index; j++ {
+			d := evs[j].Device
+			if covered[d] || stamp[d] == gen {
+				continue
+			}
+			stamp[d] = gen
+			tx.Devices = append(tx.Devices, d)
+			tx.WakeAt = append(tx.WakeAt, evs[j].Time)
+		}
+		for _, d := range tx.Devices {
+			covered[d] = true
+		}
+		remaining -= len(tx.Devices)
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}

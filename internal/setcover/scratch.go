@@ -1,0 +1,83 @@
+// Scratch: the solvers' reusable buffers, mirroring cell.Scratch. A worker
+// that plans many covers passes the same Scratch to each *Scratch call so
+// steady-state planning stops paying for per-plan allocations.
+
+package setcover
+
+import "nbiot/internal/simtime"
+
+// Scratch holds every buffer the solvers need: the frontier heap, the
+// sorted event copy and its window tables, the per-device bookkeeping, and
+// the transmission output storage. Results are identical for any reuse
+// pattern — every buffer is fully re-initialised per solve. A Scratch must
+// not be shared by concurrent solves.
+//
+// Slices returned by GreedyWindowsScratch and GreedyScratch are carved from
+// the Scratch's storage: they stay valid until the next solve that reuses
+// the same Scratch. Callers that retain results across solves must copy.
+type Scratch struct {
+	heap gainHeap
+
+	// Generic-instance solver state.
+	chosen []int
+
+	// Window-solver state: the sorted event copy, window tables, and
+	// per-device tables.
+	evs     []Event
+	lo      []int // lo[i] = first event index inside window i
+	hi      []int // hi[p] = last window index containing event p
+	gains   []int // gains[i] = distinct uncovered devices in window i
+	cnt     []int
+	stamp   []int
+	gen     int
+	covered []bool
+
+	// Inverse index: event positions grouped by device (counting sort).
+	posByDev []int32
+	devEnd   []int32
+
+	// Tie-gather buffers (bounded by maxTies).
+	tied []gainEntry
+	rest []gainEntry
+
+	// Output: transmission headers plus the pre-counted member slabs every
+	// Transmission's Devices/WakeAt slices are carved from.
+	out      []Transmission
+	devSlab  []int
+	wakeSlab []simtime.Ticks
+}
+
+// intBuf returns buf resized to n, contents unspecified.
+func intBuf(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// intBufZero returns buf resized to n with every entry zeroed.
+func intBufZero(buf []int, n int) []int {
+	buf = intBuf(buf, n)
+	clear(buf)
+	return buf
+}
+
+// int32BufZero returns buf resized to n with every entry zeroed.
+func int32BufZero(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// boolBufZero returns buf resized to n with every entry false.
+func boolBufZero(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

@@ -15,15 +15,14 @@
 //     candidate transmission windows are the intervals (p−TI, p] anchored at
 //     each paging occasion p, and a transmission at the window end covers
 //     every device with an occasion inside it.
+//
+// Both greedy solvers run on a value-typed frontier heap and accept an
+// optional Scratch so repeated solves are close to allocation-free.
 package setcover
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
-
-	"nbiot/internal/rng"
-	"nbiot/internal/simtime"
 )
 
 // Instance is a generic set-cover instance over elements 0..NumElements-1.
@@ -74,10 +73,20 @@ var ErrInfeasible = fmt.Errorf("setcover: some element appears in no set")
 // the most still-uncovered elements. Returns the chosen set indices in
 // selection order. Ties break toward the lower set index.
 func Greedy(in Instance) ([]int, error) {
+	return GreedyScratch(in, nil)
+}
+
+// GreedyScratch is Greedy with reusable buffers; see Scratch for the
+// aliasing contract. A nil sc allocates fresh buffers (exactly Greedy).
+func GreedyScratch(in Instance, sc *Scratch) ([]int, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	covered := make([]bool, in.NumElements)
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	covered := boolBufZero(sc.covered, in.NumElements)
+	sc.covered = covered
 	remaining := in.NumElements
 	if remaining == 0 {
 		return nil, nil
@@ -96,24 +105,26 @@ func Greedy(in Instance) ([]int, error) {
 	// Lazy greedy: heap of (staleGain, index); pop, refresh, and re-push
 	// unless still the best. Valid because gains only shrink as elements
 	// get covered (submodularity).
-	h := &gainHeap{}
+	h := &sc.heap
+	h.reset()
+	h.grow(len(in.Sets))
 	for si := range in.Sets {
 		if g := gain(si); g > 0 {
-			heap.Push(h, gainEntry{gain: g, index: si})
+			h.push(gainEntry{gain: g, index: si})
 		}
 	}
-	var chosen []int
+	chosen := sc.chosen[:0]
 	for remaining > 0 {
-		if h.Len() == 0 {
+		if h.len() == 0 {
 			return nil, ErrInfeasible
 		}
-		top := heap.Pop(h).(gainEntry)
+		top := h.pop()
 		g := gain(top.index)
 		if g == 0 {
 			continue
 		}
-		if h.Len() > 0 && g < (*h)[0].gain {
-			heap.Push(h, gainEntry{gain: g, index: top.index})
+		if h.len() > 0 && g < h.peekGain() {
+			h.push(gainEntry{gain: g, index: top.index})
 			continue
 		}
 		chosen = append(chosen, top.index)
@@ -124,27 +135,9 @@ func Greedy(in Instance) ([]int, error) {
 			}
 		}
 	}
+	sc.chosen = chosen
 	return chosen, nil
 }
-
-type gainEntry struct {
-	gain  int
-	index int
-}
-
-type gainHeap []gainEntry
-
-func (h gainHeap) Len() int { return len(h) }
-func (h gainHeap) Less(i, j int) bool {
-	if h[i].gain != h[j].gain {
-		return h[i].gain > h[j].gain
-	}
-	return h[i].index < h[j].index
-}
-func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainEntry)) }
-func (h *gainHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-func (h gainHeap) peekGain() int { return h[0].gain }
 
 // MaxExactElements bounds the exact solver's instance size.
 const MaxExactElements = 20
@@ -222,193 +215,4 @@ func Exact(in Instance) ([]int, error) {
 	}
 	sort.Ints(chosen)
 	return chosen, nil
-}
-
-// --- paging-window specialisation ------------------------------------------
-
-// Event is one paging occasion: device Device wakes at time Time.
-type Event struct {
-	Time   simtime.Ticks
-	Device int
-}
-
-// Transmission is one scheduled multicast transmission: it happens at Time
-// (the end of its window) and covers Devices, each at the paging occasion
-// recorded in WakeAt (parallel to Devices).
-type Transmission struct {
-	Time    simtime.Ticks
-	Devices []int
-	WakeAt  []simtime.Ticks
-}
-
-// GreedyWindows schedules multicast transmissions over the paging-occasion
-// timeline, as DR-SC does: candidate windows are (p−TI, p] for every
-// occasion p; each greedy round picks the window covering the most uncovered
-// devices, places a transmission at the window end, and marks those devices
-// covered (paper Fig. 4). Ties are broken uniformly at random when tie is
-// non-nil (the paper picks randomly among equally good windows), otherwise
-// toward the earliest window.
-//
-// numDevices is the universe size; every device in [0, numDevices) must have
-// at least one event or ErrInfeasible is returned. For each covered device
-// the transmission records the earliest occasion it has inside the window —
-// the wake-up at which the eNB pages it (the inactivity timer then keeps the
-// device awake until the transmission at the window end).
-func GreedyWindows(numDevices int, events []Event, ti simtime.Ticks, tie *rng.Stream) ([]Transmission, error) {
-	if numDevices < 0 {
-		return nil, fmt.Errorf("setcover: negative device count %d", numDevices)
-	}
-	if ti <= 0 {
-		return nil, fmt.Errorf("setcover: non-positive inactivity window %v", ti)
-	}
-	for _, ev := range events {
-		if ev.Device < 0 || ev.Device >= numDevices {
-			return nil, fmt.Errorf("setcover: event device %d out of range [0,%d)", ev.Device, numDevices)
-		}
-	}
-	if numDevices == 0 {
-		return nil, nil
-	}
-	evs := make([]Event, len(events))
-	copy(evs, events)
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].Time != evs[j].Time {
-			return evs[i].Time < evs[j].Time
-		}
-		return evs[i].Device < evs[j].Device
-	})
-
-	// lo[i] = first event index with Time > evs[i].Time - ti (window start).
-	lo := make([]int, len(evs))
-	{
-		j := 0
-		for i := range evs {
-			for evs[j].Time <= evs[i].Time-ti {
-				j++
-			}
-			lo[i] = j
-		}
-	}
-
-	covered := make([]bool, numDevices)
-	remaining := numDevices
-
-	// Distinct-uncovered-device count for window i, using a generation
-	// stamp to dedupe devices with several occasions in one window.
-	stamp := make([]int, numDevices)
-	gen := 0
-	gain := func(i int) int {
-		gen++
-		g := 0
-		for j := lo[i]; j <= i; j++ {
-			d := evs[j].Device
-			if !covered[d] && stamp[d] != gen {
-				stamp[d] = gen
-				g++
-			}
-		}
-		return g
-	}
-
-	// Initial exact gains for every candidate window in O(P) with a sliding
-	// distinct-count: when the window end advances from event i-1 to i, add
-	// the new event's device and evict devices whose occasions slid out.
-	// Windows ending at the same tick are identical, so only the last event
-	// of each distinct time anchors a candidate.
-	initial := make([]int, len(evs))
-	{
-		cnt := make([]int, numDevices)
-		distinct := 0
-		j := 0
-		for i := range evs {
-			if cnt[evs[i].Device] == 0 {
-				distinct++
-			}
-			cnt[evs[i].Device]++
-			for j < lo[i] {
-				cnt[evs[j].Device]--
-				if cnt[evs[j].Device] == 0 {
-					distinct--
-				}
-				j++
-			}
-			initial[i] = distinct
-		}
-	}
-
-	h := &gainHeap{}
-	for i := range evs {
-		if i+1 < len(evs) && evs[i+1].Time == evs[i].Time {
-			continue // duplicate window; the last event at this tick anchors it
-		}
-		heap.Push(h, gainEntry{gain: initial[i], index: i})
-	}
-
-	var out []Transmission
-	for remaining > 0 {
-		if h.Len() == 0 {
-			return nil, ErrInfeasible
-		}
-		top := heap.Pop(h).(gainEntry)
-		g := gain(top.index)
-		if g == 0 {
-			continue
-		}
-		if h.Len() > 0 && g < h.peekGain() {
-			heap.Push(h, gainEntry{gain: g, index: top.index})
-			continue
-		}
-		// Random tie-break (paper Fig. 4 step b): gather windows whose
-		// refreshed gain equals g and pick one uniformly. Gathering is
-		// capped — sampling among the first few ties is statistically
-		// equivalent to sampling among all of them and avoids a pathological
-		// scan when thousands of windows are equally good.
-		const maxTies = 16
-		choice := top
-		if tie != nil && h.Len() > 0 && h.peekGain() >= g {
-			tied := []gainEntry{top}
-			var rest []gainEntry
-			for h.Len() > 0 && h.peekGain() >= g && len(tied) < maxTies {
-				e := heap.Pop(h).(gainEntry)
-				cur := gain(e.index)
-				if cur == g {
-					tied = append(tied, e)
-				} else if cur > 0 {
-					rest = append(rest, gainEntry{gain: cur, index: e.index})
-				}
-			}
-			choice = tied[tie.Intn(len(tied))]
-			for _, e := range tied {
-				if e.index != choice.index {
-					heap.Push(h, e)
-				}
-			}
-			for _, e := range rest {
-				heap.Push(h, e)
-			}
-		}
-
-		// Commit the transmission at the window end; record each covered
-		// device's EARLIEST occasion inside the window — the eNB pages a
-		// device at its first opportunity and the inactivity timer keeps it
-		// awake until the transmission (so waits average TI/2, Sec. IV-B).
-		tx := Transmission{Time: evs[choice.index].Time}
-		gen++
-		for j := lo[choice.index]; j <= choice.index; j++ {
-			d := evs[j].Device
-			if covered[d] || stamp[d] == gen {
-				continue
-			}
-			stamp[d] = gen
-			tx.Devices = append(tx.Devices, d)
-			tx.WakeAt = append(tx.WakeAt, evs[j].Time)
-		}
-		for _, d := range tx.Devices {
-			covered[d] = true
-		}
-		remaining -= len(tx.Devices)
-		out = append(out, tx)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
-	return out, nil
 }

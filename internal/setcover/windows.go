@@ -1,0 +1,334 @@
+// The paging-window specialisation of the greedy cover: candidate
+// transmission windows over a paging-occasion timeline.
+//
+// The solver keeps every window's distinct-uncovered-device count exact at
+// all times: an inverse index (device → the contiguous anchor ranges whose
+// windows contain it) is built once, and covering a device decrements each
+// containing window's count exactly once. A popped heap entry is then an
+// O(1) staleness check against the maintained count instead of the
+// O(window) rescan the lazy greedy otherwise pays on every pop.
+
+package setcover
+
+import (
+	"fmt"
+	"slices"
+
+	"nbiot/internal/rng"
+	"nbiot/internal/simtime"
+)
+
+// Event is one paging occasion: device Device wakes at time Time.
+type Event struct {
+	Time   simtime.Ticks
+	Device int
+}
+
+// Transmission is one scheduled multicast transmission: it happens at Time
+// (the end of its window) and covers Devices, each at the paging occasion
+// recorded in WakeAt (parallel to Devices).
+type Transmission struct {
+	Time    simtime.Ticks
+	Devices []int
+	WakeAt  []simtime.Ticks
+}
+
+// maxTies caps the random tie-break gather (paper Fig. 4 step b): sampling
+// among the first few equally good windows is statistically equivalent to
+// sampling among all of them and avoids a pathological scan when thousands
+// of windows tie.
+const maxTies = 16
+
+// GreedyWindows schedules multicast transmissions over the paging-occasion
+// timeline, as DR-SC does: candidate windows are (p−TI, p] for every
+// occasion p; each greedy round picks the window covering the most uncovered
+// devices, places a transmission at the window end, and marks those devices
+// covered (paper Fig. 4). Ties are broken uniformly at random when tie is
+// non-nil (the paper picks randomly among equally good windows), otherwise
+// toward the earliest window.
+//
+// numDevices is the universe size; every device in [0, numDevices) must have
+// at least one event or ErrInfeasible is returned. For each covered device
+// the transmission records the earliest occasion it has inside the window —
+// the wake-up at which the eNB pages it (the inactivity timer then keeps the
+// device awake until the transmission at the window end).
+func GreedyWindows(numDevices int, events []Event, ti simtime.Ticks, tie *rng.Stream) ([]Transmission, error) {
+	return GreedyWindowsScratch(numDevices, events, ti, tie, nil)
+}
+
+// GreedyWindowsScratch is GreedyWindows with reusable buffers: the sorted
+// event copy, the window tables, the frontier heap, and the transmission
+// output (headers plus the member slabs each Transmission's Devices/WakeAt
+// are carved from) all live in sc and are reused across solves. A nil sc
+// allocates fresh buffers (exactly GreedyWindows). Results are identical
+// for any reuse pattern; see Scratch for the aliasing contract.
+func GreedyWindowsScratch(numDevices int, events []Event, ti simtime.Ticks, tie *rng.Stream, sc *Scratch) ([]Transmission, error) {
+	if numDevices < 0 {
+		return nil, fmt.Errorf("setcover: negative device count %d", numDevices)
+	}
+	if ti <= 0 {
+		return nil, fmt.Errorf("setcover: non-positive inactivity window %v", ti)
+	}
+	for _, ev := range events {
+		if ev.Device < 0 || ev.Device >= numDevices {
+			return nil, fmt.Errorf("setcover: event device %d out of range [0,%d)", ev.Device, numDevices)
+		}
+	}
+	if numDevices == 0 {
+		return nil, nil
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	n := len(events)
+	if cap(sc.evs) < n {
+		sc.evs = make([]Event, n)
+	}
+	evs := sc.evs[:n]
+	copy(evs, events)
+	sc.evs = evs
+	// (Time, Device) pairs are unique, so this comparator is a strict total
+	// order and any correct sort yields the same sequence — the generic sort
+	// just skips sort.Slice's reflection-based swapping.
+	slices.SortFunc(evs, func(a, b Event) int {
+		if a.Time != b.Time {
+			if a.Time < b.Time {
+				return -1
+			}
+			return 1
+		}
+		return a.Device - b.Device
+	})
+
+	// lo[i] = first event index with Time > evs[i].Time - ti (window start).
+	lo := intBuf(sc.lo, n)
+	sc.lo = lo
+	{
+		j := 0
+		for i := range evs {
+			for evs[j].Time <= evs[i].Time-ti {
+				j++
+			}
+			lo[i] = j
+		}
+	}
+	// hi[p] = last anchor index whose window still contains event p, i.e.
+	// max{i : lo[i] <= p}. lo is non-decreasing, so that set is a prefix and
+	// one forward sweep computes every hi.
+	hi := intBuf(sc.hi, n)
+	sc.hi = hi
+	{
+		m := 0
+		for p := 0; p < n; p++ {
+			if m < p {
+				m = p
+			}
+			for m+1 < n && lo[m+1] <= p {
+				m++
+			}
+			hi[p] = m
+		}
+	}
+
+	covered := boolBufZero(sc.covered, numDevices)
+	sc.covered = covered
+	remaining := numDevices
+
+	// Exact gains for every window in O(P) with a sliding distinct-count:
+	// when the window end advances from event i-1 to i, add the new event's
+	// device and evict devices whose occasions slid out. The counts stay
+	// exact for the whole solve: covering a device decrements every window
+	// containing it (see coverDevice below).
+	gains := intBuf(sc.gains, n)
+	sc.gains = gains
+	{
+		cnt := intBufZero(sc.cnt, numDevices)
+		sc.cnt = cnt
+		distinct := 0
+		j := 0
+		for i := range evs {
+			if cnt[evs[i].Device] == 0 {
+				distinct++
+			}
+			cnt[evs[i].Device]++
+			for j < lo[i] {
+				cnt[evs[j].Device]--
+				if cnt[evs[j].Device] == 0 {
+					distinct--
+				}
+				j++
+			}
+			gains[i] = distinct
+		}
+	}
+
+	// Inverse index, device → event positions (ascending), by counting sort:
+	// blockStart[d] ends up as the end of device d's block in posByDev, with
+	// block d starting where block d-1 ends.
+	if cap(sc.posByDev) < n {
+		sc.posByDev = make([]int32, n)
+	}
+	posByDev := sc.posByDev[:n]
+	sc.posByDev = posByDev
+	blockEnd := int32BufZero(sc.devEnd, numDevices)
+	sc.devEnd = blockEnd
+	for p := range evs {
+		blockEnd[evs[p].Device]++
+	}
+	{
+		sum := int32(0)
+		for d := 0; d < numDevices; d++ {
+			c := blockEnd[d]
+			blockEnd[d] = sum
+			sum += c
+		}
+		for p := range evs {
+			d := evs[p].Device
+			posByDev[blockEnd[d]] = int32(p)
+			blockEnd[d]++
+		}
+	}
+
+	// coverDevice marks d covered and decrements the gain of every window
+	// containing one of its occasions, exactly once per window: occasion p
+	// contributes the anchor range [p, hi[p]], and consecutive ranges are
+	// union-merged so a device with several occasions inside one window
+	// still decrements it once (the counts are distinct-device counts).
+	coverDevice := func(d int) {
+		covered[d] = true
+		from := int32(0)
+		if d > 0 {
+			from = blockEnd[d-1]
+		}
+		prev := -1
+		for _, pp := range posByDev[from:blockEnd[d]] {
+			p := int(pp)
+			first := p
+			if first <= prev {
+				first = prev + 1
+			}
+			last := hi[p]
+			for i := first; i <= last; i++ {
+				gains[i]--
+			}
+			if last > prev {
+				prev = last
+			}
+		}
+	}
+
+	// Generation stamps dedupe devices with several occasions in the chosen
+	// window while gathering members. The generation is monotonic across
+	// solves sharing a Scratch, so reuse needs no stamp clearing.
+	if cap(sc.stamp) < numDevices {
+		sc.stamp = make([]int, numDevices)
+		sc.gen = 0
+	}
+	stamp := sc.stamp[:numDevices]
+
+	// Windows ending at the same tick are identical, so only the last event
+	// of each distinct time anchors a frontier candidate.
+	h := &sc.heap
+	h.reset()
+	h.grow(n)
+	for i := range evs {
+		if i+1 < n && evs[i+1].Time == evs[i].Time {
+			continue // duplicate window; the last event at this tick anchors it
+		}
+		h.push(gainEntry{gain: gains[i], index: i})
+	}
+
+	// Member slabs: every device is covered exactly once across the whole
+	// solve, so numDevices entries hold every transmission's members.
+	if cap(sc.devSlab) < numDevices {
+		sc.devSlab = make([]int, numDevices)
+	}
+	if cap(sc.wakeSlab) < numDevices {
+		sc.wakeSlab = make([]simtime.Ticks, numDevices)
+	}
+	devSlab := sc.devSlab[:numDevices]
+	wakeSlab := sc.wakeSlab[:numDevices]
+	used := 0
+
+	out := sc.out[:0]
+	for remaining > 0 {
+		if h.len() == 0 {
+			return nil, ErrInfeasible
+		}
+		top := h.pop()
+		g := gains[top.index]
+		if g == 0 {
+			continue
+		}
+		if h.len() > 0 && g < h.peekGain() {
+			h.push(gainEntry{gain: g, index: top.index})
+			continue
+		}
+		// Random tie-break (paper Fig. 4 step b): gather windows whose
+		// current gain equals g — up to maxTies of them — and pick one
+		// uniformly.
+		choice := top
+		if tie != nil && h.len() > 0 && h.peekGain() >= g {
+			tied := append(sc.tied[:0], top)
+			rest := sc.rest[:0]
+			for h.len() > 0 && h.peekGain() >= g && len(tied) < maxTies {
+				e := h.pop()
+				cur := gains[e.index]
+				if cur == g {
+					tied = append(tied, e)
+				} else if cur > 0 {
+					rest = append(rest, gainEntry{gain: cur, index: e.index})
+				}
+			}
+			choice = tied[tie.Intn(len(tied))]
+			for _, e := range tied {
+				if e.index != choice.index {
+					h.push(e)
+				}
+			}
+			for _, e := range rest {
+				h.push(e)
+			}
+			sc.tied, sc.rest = tied, rest
+		}
+
+		// Commit the transmission at the window end; record each covered
+		// device's EARLIEST occasion inside the window — the eNB pages a
+		// device at its first opportunity and the inactivity timer keeps it
+		// awake until the transmission (so waits average TI/2, Sec. IV-B).
+		// The chosen window's gain is exactly how many devices it covers, so
+		// its members are carved from the slab with no growth.
+		devs := devSlab[used : used : used+g]
+		wakes := wakeSlab[used : used : used+g]
+		used += g
+		sc.gen++
+		gen := sc.gen
+		for j := lo[choice.index]; j <= choice.index; j++ {
+			d := evs[j].Device
+			if covered[d] || stamp[d] == gen {
+				continue
+			}
+			stamp[d] = gen
+			devs = append(devs, d)
+			wakes = append(wakes, evs[j].Time)
+		}
+		for _, d := range devs {
+			coverDevice(d)
+		}
+		remaining -= len(devs)
+		out = append(out, Transmission{Time: evs[choice.index].Time, Devices: devs, WakeAt: wakes})
+	}
+	sc.out = out
+	// Committed windows have distinct end times, so sorting by Time alone is
+	// still a strict total order over the output.
+	slices.SortFunc(out, func(a, b Transmission) int {
+		if a.Time < b.Time {
+			return -1
+		}
+		if a.Time > b.Time {
+			return 1
+		}
+		return 0
+	})
+	return out, nil
+}
