@@ -5,8 +5,9 @@
 //	nbsim fig6a     [flags]   # Fig 6(a): relative light-sleep uptime increase
 //	nbsim fig6b     [flags]   # Fig 6(b): relative connected-mode uptime increase
 //	nbsim fig7      [flags]   # Fig 7: DR-SC transmissions vs fleet size
-//	nbsim ablations [flags]   # A1-A4 (use -id to select one)
-//	nbsim all       [flags]   # everything above
+//	nbsim ablations [flags]   # A1-A4 + X1 (use -id to select one)
+//	nbsim grid      [flags]   # user-defined scenario grid (-spec scenario.json)
+//	nbsim all       [flags]   # figures + ablations
 //	nbsim run      [flags]    # one campaign, verbose per-device summary
 //	nbsim merge    [flags] shard0.jsonl shard1.jsonl ...
 //	                          # fold shard record files into the single-process output
@@ -21,14 +22,22 @@
 // straight to disk. An existing file is never clobbered: pass -force to
 // overwrite or -resume to continue it.
 //
-// Distributed campaigns (fig6a, fig6b, fig7; see internal/campaign):
-// -shard i/n executes the i-th of n interleaved slices of the sweep's
-// task-index space in this process, writing its records plus a manifest
-// sidecar (<file>.manifest); `nbsim merge` folds the completed shard files
-// back into the exact single-process tables and record stream. -resume
-// continues an interrupted -jsonl campaign from its completed prefix,
-// tolerating the torn final line a crash leaves; the finished file is
-// byte-identical to an uninterrupted run's.
+// Distributed campaigns (every single-sweep invocation: fig6a, fig6b,
+// fig7, grid, ablations -id <x>; see internal/campaign): -shard i/n
+// executes the i-th of n interleaved slices of the sweep's task-index
+// space in this process, writing its records plus a manifest sidecar
+// (<file>.manifest) that pins the sweep's declarative task space; `nbsim
+// merge` folds the completed shard files back into the exact
+// single-process tables and record stream, printing P50/P95/P99 (P²
+// streaming estimates) per metric to stderr. -resume continues an
+// interrupted -jsonl campaign from its completed prefix, tolerating the
+// torn final line a crash leaves; the finished file is byte-identical to
+// an uninterrupted run's.
+//
+// `nbsim grid -spec scenario.json` sweeps a user-defined scenario grid:
+// the JSON spec lists fleet sizes, mechanisms, traffic mixes, TI values
+// (ms), and payload sizes, and the cross product runs as one campaign
+// (see examples/grid/scenario.json).
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"nbiot/internal/report"
 	"nbiot/internal/rng"
 	"nbiot/internal/simtime"
+	"nbiot/internal/stats"
 	"nbiot/internal/trace"
 	"nbiot/internal/traffic"
 )
@@ -74,6 +84,8 @@ type cliOptions struct {
 	resume    bool
 	force     bool
 	shardSpec string
+	specPath  string
+	grid      experiment.GridSpec
 	// run-subcommand extras
 	mechanism string
 	size      int64
@@ -97,9 +109,10 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
 	fs.StringVar(&o.jsonlPath, "jsonl", "", "stream one JSON record per completed run to this file as the sweep executes")
-	fs.BoolVar(&o.resume, "resume", false, "resume an interrupted -jsonl campaign from its completed prefix (fig6a/fig6b/fig7)")
+	fs.BoolVar(&o.resume, "resume", false, "resume an interrupted -jsonl campaign from its completed prefix (single-sweep subcommands)")
 	fs.BoolVar(&o.force, "force", false, "overwrite an existing -jsonl results file instead of refusing")
-	fs.StringVar(&o.shardSpec, "shard", "", "execute one shard i/n of the sweep's task space (1-based, e.g. 2/3; fig6a/fig6b/fig7, requires -jsonl)")
+	fs.StringVar(&o.shardSpec, "shard", "", "execute one shard i/n of the sweep's task space (1-based, e.g. 2/3; single-sweep subcommands, requires -jsonl)")
+	fs.StringVar(&o.specPath, "spec", "", "grid: JSON scenario-spec file defining the sweep's axes")
 	fs.StringVar(&o.mechanism, "mechanism", "DA-SC", "run: mechanism (Unicast, DR-SC, DA-SC, DR-SI, SC-PTM)")
 	fs.Int64Var(&o.size, "size", multicast.Size1MB, "run: payload bytes")
 	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
@@ -154,14 +167,25 @@ func mixNames() []string {
 	return names
 }
 
-// shardable names the subcommands whose sweeps have a single task-index
-// space — the ones -shard/-resume and manifests are defined over.
-// Composite runs (ablations, all) nest several sweeps in one invocation.
-func shardable(cmd string) bool { return cmd == "fig6a" || cmd == "fig6b" || cmd == "fig7" }
+// sweepName resolves an invocation to the single registered sweep it
+// runs, or ok == false for composite invocations (ablations without -id,
+// all) that nest several sweeps. Single sweeps are the unit
+// -shard/-resume and manifests are defined over.
+func sweepName(cmd string, o cliOptions) (string, bool) {
+	switch cmd {
+	case "fig6a", "fig6b", "fig7", "grid":
+		return cmd, true
+	case "ablations":
+		if o.ablation != "" && experiment.IsSweep(o.ablation) {
+			return o.ablation, true
+		}
+	}
+	return "", false
+}
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|all|run|merge|bench} [flags]")
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|all|run|merge|bench} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "merge" {
@@ -171,7 +195,7 @@ func run(args []string) (err error) {
 		return runBench(rest)
 	}
 	switch cmd {
-	case "fig6a", "fig6b", "fig7", "ablations", "all", "run":
+	case "fig6a", "fig6b", "fig7", "ablations", "grid", "all", "run":
 	default:
 		// Reject before -jsonl wiring below may touch an existing file.
 		return fmt.Errorf("unknown subcommand %q", cmd)
@@ -180,9 +204,15 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	if cmd == "grid" {
+		if o.grid, err = loadGridSpec(o.specPath); err != nil {
+			return err
+		}
+	}
+	name, single := sweepName(cmd, o)
 	if o.exp.ShardCount > 1 || o.resume {
-		if !shardable(cmd) {
-			return fmt.Errorf("-shard/-resume apply to single-sweep subcommands (fig6a, fig6b, fig7), not %q", cmd)
+		if !single {
+			return fmt.Errorf("-shard/-resume apply to single-sweep invocations (fig6a, fig6b, fig7, grid, ablations -id <x>), not %q", cmd)
 		}
 		if o.jsonlPath == "" {
 			return fmt.Errorf("-shard/-resume need -jsonl: the record file is the campaign's durable state")
@@ -196,9 +226,9 @@ func run(args []string) (err error) {
 		if cmd == "run" {
 			// runSingle is one campaign, not a sweep — nothing would ever be
 			// recorded, and silently creating an empty file misleads.
-			return fmt.Errorf("-jsonl applies to sweep subcommands (fig6a, fig6b, fig7, ablations, all), not %q", cmd)
+			return fmt.Errorf("-jsonl applies to sweep subcommands (fig6a, fig6b, fig7, grid, ablations, all), not %q", cmd)
 		}
-		sink, err = openJSONL(cmd, &o)
+		sink, err = openJSONL(name, single, &o)
 		if err != nil {
 			return err
 		}
@@ -218,30 +248,41 @@ func run(args []string) (err error) {
 		}
 	}()
 	switch cmd {
-	case "fig6a":
-		return runFig6a(o, sink)
-	case "fig6b":
-		return runFig6b(o, sink)
-	case "fig7":
-		return runFig7(o, sink)
+	case "fig6a", "fig6b", "fig7", "grid":
+		return runSweepCmd(cmd, o, sink)
 	case "ablations":
-		return runAblations(o)
+		return runAblations(o, sink)
 	case "all":
-		if err := runFig6a(o, sink); err != nil {
-			return err
+		for _, fig := range []string{"fig6a", "fig6b", "fig7"} {
+			if err := runSweepCmd(fig, o, sink); err != nil {
+				return err
+			}
 		}
-		if err := runFig6b(o, sink); err != nil {
-			return err
-		}
-		if err := runFig7(o, sink); err != nil {
-			return err
-		}
-		return runAblations(o)
+		return runAblations(o, sink)
 	case "run":
 		return runSingle(o)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// loadGridSpec reads a scenario-spec JSON file; an empty path means the
+// default single-cell grid at the common flags.
+func loadGridSpec(path string) (experiment.GridSpec, error) {
+	var spec experiment.GridSpec
+	if path == "" {
+		return spec, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return spec, fmt.Errorf("grid spec: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("grid spec %s: %w", path, err)
+	}
+	return spec, nil
 }
 
 // jsonlSink owns the -jsonl record file: the refuse-to-clobber creation
@@ -261,14 +302,22 @@ type jsonlSink struct {
 	hasManifest bool
 }
 
-// openJSONL builds the sink for cmd: fresh (O_EXCL unless -force, manifest
-// sidecar written for shardable sweeps) or resumed (on-disk manifest
-// verified against the flags, crash damage truncated, sweep offset to the
-// completed prefix).
-func openJSONL(cmd string, o *cliOptions) (*jsonlSink, error) {
+// openJSONL builds the sink: fresh (O_EXCL unless -force, manifest
+// sidecar written for single-sweep invocations) or resumed (on-disk
+// manifest verified against the flags, crash damage truncated, sweep
+// offset to the completed prefix). Composite invocations (ablations
+// without -id, all) stream records without a manifest — several sweeps
+// share the file, so no single task space describes it.
+func openJSONL(name string, single bool, o *cliOptions) (*jsonlSink, error) {
 	s := &jsonlSink{path: o.jsonlPath}
-	if shardable(cmd) {
-		m, err := campaign.New(cmd, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
+	if single {
+		var m campaign.Manifest
+		var err error
+		if name == "grid" {
+			m, err = campaign.NewGrid(o.grid, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
+		} else {
+			m, err = campaign.New(name, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -460,62 +509,32 @@ func emit(o cliOptions, t *report.Table) {
 	fmt.Println(t.String())
 }
 
-// rebuildForDisplay handles the resumed-run display: the live sweep only
-// executed the tail past the checkpoint, so its in-process accumulators
-// are partial. The record file now holds the complete stream; folding it
-// back (same accumulation code, same float64 values, same order) yields
-// tables bit-identical to an uninterrupted run's.
-func rebuildForDisplay[R any](o cliOptions, sink *jsonlSink, fromRecords func(experiment.Options, experiment.RecordSeq) (R, error)) (R, error) {
-	var zero R
-	if err := sink.flush(); err != nil {
-		return zero, err
-	}
-	res, err := fromRecords(o.exp, fileRecords(sink.path))
-	if err != nil {
-		return zero, fmt.Errorf("rebuilding tables from %s: %w", sink.path, err)
-	}
-	return res, nil
-}
-
-func runFig6a(o cliOptions, sink *jsonlSink) error {
-	res, err := experiment.Fig6a(o.exp)
-	if err != nil {
-		return err
-	}
-	if o.exp.ShardCount > 1 {
-		return sink.shardDone()
-	}
-	if o.resume {
-		if res, err = rebuildForDisplay(o, sink, experiment.Fig6aFromRecords); err != nil {
-			return err
-		}
-	}
-	emit(o, res.Table())
-	return nil
-}
-
-func runFig6b(o cliOptions, sink *jsonlSink) error {
-	res, err := experiment.Fig6b(o.exp)
-	if err != nil {
-		return err
-	}
-	if o.exp.ShardCount > 1 {
-		return sink.shardDone()
-	}
-	if o.resume {
-		if res, err = rebuildForDisplay(o, sink, experiment.Fig6bFromRecords); err != nil {
-			return err
-		}
-	}
+// emitResult prints a sweep result's table, plus its chart when the
+// result renders one and the output is not CSV.
+func emitResult(o cliOptions, res experiment.SweepResult) {
 	emit(o, res.Table())
 	if !o.csv {
-		fmt.Println(res.Chart().String())
+		if c, ok := res.(experiment.Charter); ok {
+			fmt.Println(c.Chart().String())
+		}
 	}
-	return nil
 }
 
-func runFig7(o cliOptions, sink *jsonlSink) error {
-	res, err := experiment.Fig7(o.exp)
+// runSweepCmd executes one registered sweep end to end: the live run, the
+// sharded-run report, and the resumed-run display rebuild. A resumed
+// sweep only executed the tail past the checkpoint, so its in-process
+// accumulators are partial; the record file now holds the complete
+// stream, and folding it back (same accumulation code, same float64
+// values, same order) yields tables bit-identical to an uninterrupted
+// run's.
+func runSweepCmd(name string, o cliOptions, sink *jsonlSink) error {
+	var res experiment.SweepResult
+	var err error
+	if name == "grid" {
+		res, err = experiment.Grid(o.exp, o.grid)
+	} else {
+		res, err = experiment.RunSweep(name, o.exp)
+	}
 	if err != nil {
 		return err
 	}
@@ -523,14 +542,15 @@ func runFig7(o cliOptions, sink *jsonlSink) error {
 		return sink.shardDone()
 	}
 	if o.resume {
-		if res, err = rebuildForDisplay(o, sink, experiment.Fig7FromRecords); err != nil {
+		if err := sink.flush(); err != nil {
 			return err
 		}
+		res, err = experiment.SweepFromRecords(name, o.exp, sink.manifest.Space, fileRecords(sink.path))
+		if err != nil {
+			return fmt.Errorf("rebuilding tables from %s: %w", sink.path, err)
+		}
 	}
-	emit(o, res.Table())
-	if !o.csv {
-		fmt.Println(res.Chart().String())
-	}
+	emitResult(o, res)
 	return nil
 }
 
@@ -587,43 +607,27 @@ func runMerge(args []string) (err error) {
 	}
 
 	var merged campaign.Manifest
+	quantiles := newMetricQuantiles()
 	seq := experiment.RecordSeq(func(yield func(experiment.RunRecord) error) error {
-		m, err := campaign.Merge(w, paths, yield)
+		m, err := campaign.Merge(w, paths, func(rec experiment.RunRecord) error {
+			quantiles.add(rec)
+			return yield(rec)
+		})
 		if err != nil {
 			return err
 		}
 		merged = m
 		return nil
 	})
-	co := cliOptions{csv: csvOut}
-	switch first.Experiment {
-	case "fig6a":
-		res, ferr := experiment.Fig6aFromRecords(opts, seq)
-		if ferr != nil {
-			return ferr
-		}
-		emit(co, res.Table())
-	case "fig6b":
-		res, ferr := experiment.Fig6bFromRecords(opts, seq)
-		if ferr != nil {
-			return ferr
-		}
-		emit(co, res.Table())
-		if !csvOut {
-			fmt.Println(res.Chart().String())
-		}
-	case "fig7":
-		res, ferr := experiment.Fig7FromRecords(opts, seq)
-		if ferr != nil {
-			return ferr
-		}
-		emit(co, res.Table())
-		if !csvOut {
-			fmt.Println(res.Chart().String())
-		}
-	default:
-		return fmt.Errorf("merge: unsupported experiment %q", first.Experiment)
+	res, err := experiment.SweepFromRecords(first.Experiment, opts, first.Space, seq)
+	if err != nil {
+		return err
 	}
+	emitResult(cliOptions{csv: csvOut}, res)
+	// The percentile summary goes to stderr: stdout stays byte-identical
+	// to the single-process run's tables, which scripts (and the CI smoke)
+	// diff against.
+	fmt.Fprintln(os.Stderr, quantiles.table().String())
 	if f != nil {
 		if err := bw.Flush(); err != nil {
 			return fmt.Errorf("merge: %w", err)
@@ -638,51 +642,62 @@ func runMerge(args []string) (err error) {
 	return nil
 }
 
-func runAblations(o cliOptions) error {
-	want := func(id string) bool { return o.ablation == "" || o.ablation == id }
+// ablationIDs is the `ablations` suite in presentation order; each is a
+// registered sweep, so any one of them shards and resumes via -id.
+var ablationIDs = []string{"greedy-vs-exact", "ti-sweep", "mix-sweep", "paging-capacity", "scptm"}
+
+// metricQuantiles streams every merged record value through P²
+// estimators, one (P50, P95, P99) triple per metric, in O(1) memory —
+// the distribution summary a merge can offer that per-cell means cannot.
+type metricQuantiles struct {
+	order   []string
+	byName  map[string]*[3]*stats.P2Quantile
+	records int
+}
+
+func newMetricQuantiles() *metricQuantiles {
+	return &metricQuantiles{byName: map[string]*[3]*stats.P2Quantile{}}
+}
+
+func (q *metricQuantiles) add(rec experiment.RunRecord) {
+	t, ok := q.byName[rec.Metric]
+	if !ok {
+		t = &[3]*stats.P2Quantile{
+			stats.NewP2Quantile(0.50), stats.NewP2Quantile(0.95), stats.NewP2Quantile(0.99),
+		}
+		q.byName[rec.Metric] = t
+		q.order = append(q.order, rec.Metric)
+	}
+	for _, e := range t {
+		e.Add(rec.Value)
+	}
+	q.records++
+}
+
+func (q *metricQuantiles) table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Merged record distribution (P² estimates over %d records)", q.records),
+		"metric", "P50", "P95", "P99")
+	for _, name := range q.order {
+		e := q.byName[name]
+		t.AddRow(name,
+			report.FormatFloat(e[0].Value()),
+			report.FormatFloat(e[1].Value()),
+			report.FormatFloat(e[2].Value()))
+	}
+	return t
+}
+
+func runAblations(o cliOptions, sink *jsonlSink) error {
 	any := false
-	if want("greedy-vs-exact") {
+	for _, id := range ablationIDs {
+		if o.ablation != "" && o.ablation != id {
+			continue
+		}
 		any = true
-		res, err := experiment.GreedyVsExact(o.exp)
-		if err != nil {
+		if err := runSweepCmd(id, o, sink); err != nil {
 			return err
 		}
-		emit(o, res.Table())
-	}
-	if want("ti-sweep") {
-		any = true
-		res, err := experiment.TISweep(o.exp, nil)
-		if err != nil {
-			return err
-		}
-		emit(o, res.Table())
-		if !o.csv {
-			fmt.Println(res.Chart().String())
-		}
-	}
-	if want("mix-sweep") {
-		any = true
-		res, err := experiment.MixSweep(o.exp, nil)
-		if err != nil {
-			return err
-		}
-		emit(o, res.Table())
-	}
-	if want("paging-capacity") {
-		any = true
-		res, err := experiment.PagingCapacity(o.exp, nil)
-		if err != nil {
-			return err
-		}
-		emit(o, res.Table())
-	}
-	if want("scptm") {
-		any = true
-		res, err := experiment.SCPTMComparison(o.exp)
-		if err != nil {
-			return err
-		}
-		emit(o, res.Table())
 	}
 	if !any {
 		return fmt.Errorf("unknown ablation id %q", o.ablation)

@@ -16,8 +16,9 @@
 //     behind; OpenResume truncates the damage and reopens for append; the
 //     sweep restarts past the prefix via experiment.Options.SkipTasks;
 //   - merge: Merge folds N shard files back into the single-process
-//     record stream and — through experiment.Fig6a/6b/7FromRecords — into
-//     the exact tables an uninterrupted run prints.
+//     record stream and — through experiment.SweepFromRecords, driven by
+//     the manifest's task space — into the exact tables an uninterrupted
+//     run prints, for every registered sweep (figures, ablations, grids).
 //
 // Everything here rests on the two invariants the execution layers
 // guarantee: records are emitted serially in strictly increasing global
@@ -45,9 +46,11 @@ import (
 // same campaign, and a merging process verifies the shards belong
 // together, without either trusting the caller's flags.
 type Manifest struct {
-	// Format versions the manifest schema itself.
+	// Format versions the manifest schema itself. Format 2 added the
+	// task-space descriptor (Space) and the optional grid spec.
 	Format int `json:"format"`
-	// Experiment is the sweep ("fig6a", "fig6b", "fig7").
+	// Experiment is the registered sweep name ("fig6a", "ti-sweep",
+	// "grid", ...).
 	Experiment string `json:"experiment"`
 	// Seed, Runs, Devices, TIMillis, Mix, Sizes, and FleetSizes pin the
 	// experiment configuration (defaults already resolved). Mix is stored
@@ -59,6 +62,15 @@ type Manifest struct {
 	Mix        string  `json:"mix"`
 	Sizes      []int64 `json:"sizes,omitempty"`
 	FleetSizes []int   `json:"fleet_sizes,omitempty"`
+	// Space is the sweep's declarative task space: named axes whose cross
+	// product is the global index space, recorded so the record file stays
+	// self-describing (axis labels included) and so merge can rebuild
+	// custom spaces — a grid's scenario axes — without re-deriving them
+	// from flags.
+	Space experiment.TaskSpace `json:"space"`
+	// Grid echoes the scenario spec of a grid campaign, nil for every
+	// other sweep.
+	Grid *experiment.GridSpec `json:"grid,omitempty"`
 	// Tasks is the size of the sweep's global task-index space.
 	Tasks int `json:"tasks"`
 	// ShardIndex/ShardCount locate this file's slice of the task space:
@@ -77,8 +89,30 @@ type Manifest struct {
 // unsharded campaign. The mix must be a registered named mix — an
 // anonymous mix could never be rebuilt by the resuming or merging process.
 func New(experimentName string, o experiment.Options, shardIndex, shardCount int) (Manifest, error) {
+	sp, err := experiment.SpaceFor(experimentName, o)
+	if err != nil {
+		return Manifest{}, err
+	}
+	return newWithSpace(experimentName, sp, nil, o, shardIndex, shardCount)
+}
+
+// NewGrid builds the manifest for one shard of a scenario-grid campaign:
+// the task space is the spec's cross product, and the spec itself rides
+// along so the record file documents the scenario it swept.
+func NewGrid(spec experiment.GridSpec, o experiment.Options, shardIndex, shardCount int) (Manifest, error) {
+	sp, err := spec.Space(o)
+	if err != nil {
+		return Manifest{}, err
+	}
+	return newWithSpace("grid", sp, &spec, o, shardIndex, shardCount)
+}
+
+func newWithSpace(experimentName string, sp experiment.TaskSpace, grid *experiment.GridSpec, o experiment.Options, shardIndex, shardCount int) (Manifest, error) {
 	o = o.WithDefaults()
 	if err := o.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	if err := sp.Validate(); err != nil {
 		return Manifest{}, err
 	}
 	if shardCount < 1 {
@@ -90,12 +124,8 @@ func New(experimentName string, o experiment.Options, shardIndex, shardCount int
 	if _, ok := traffic.Mixes()[o.Mix.Name]; !ok {
 		return Manifest{}, fmt.Errorf("campaign: mix %q is not a registered mix, so no other process could rebuild this campaign", o.Mix.Name)
 	}
-	tasks, err := experiment.Tasks(experimentName, o)
-	if err != nil {
-		return Manifest{}, err
-	}
 	m := Manifest{
-		Format:     1,
+		Format:     2,
 		Experiment: experimentName,
 		Seed:       o.Seed,
 		Runs:       o.Runs,
@@ -104,7 +134,9 @@ func New(experimentName string, o experiment.Options, shardIndex, shardCount int
 		Mix:        o.Mix.Name,
 		Sizes:      o.Sizes,
 		FleetSizes: o.FleetSizes,
-		Tasks:      tasks,
+		Space:      sp,
+		Grid:       grid,
+		Tasks:      sp.Tasks(),
 		ShardIndex: shardIndex,
 		ShardCount: shardCount,
 	}
@@ -113,11 +145,21 @@ func New(experimentName string, o experiment.Options, shardIndex, shardCount int
 }
 
 // configHash fingerprints the configuration fields (everything but the
-// shard coordinates) with FNV-1a 64.
+// shard coordinates) with FNV-1a 64. The task space's canonical string
+// covers every axis name and coordinate value, so two campaigns with the
+// same flags but different scenario grids hash apart.
 func (m Manifest) configHash() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "format=%d|experiment=%s|seed=%d|runs=%d|devices=%d|ti_ms=%d|mix=%s|sizes=%v|fleet_sizes=%v|tasks=%d",
 		m.Format, m.Experiment, m.Seed, m.Runs, m.Devices, m.TIMillis, m.Mix, m.Sizes, m.FleetSizes, m.Tasks)
+	if len(m.Space.Axes) > 0 {
+		fmt.Fprintf(h, "|space=%s", m.Space)
+	}
+	if m.Grid != nil {
+		if b, err := json.Marshal(m.Grid); err == nil {
+			fmt.Fprintf(h, "|grid=%s", b)
+		}
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -203,6 +245,15 @@ func ReadFile(path string) (Manifest, error) {
 	if m.ShardCount < 1 || m.ShardIndex < 0 || m.ShardIndex >= m.ShardCount || m.Tasks < 1 {
 		return Manifest{}, fmt.Errorf("campaign: manifest %s has impossible shard %d/%d over %d tasks",
 			path, m.ShardIndex+1, m.ShardCount, m.Tasks)
+	}
+	if len(m.Space.Axes) > 0 {
+		if err := m.Space.Validate(); err != nil {
+			return Manifest{}, fmt.Errorf("campaign: manifest %s: %w", path, err)
+		}
+		if got := m.Space.Tasks(); got != m.Tasks {
+			return Manifest{}, fmt.Errorf("campaign: manifest %s task space enumerates %d tasks but claims %d",
+				path, got, m.Tasks)
+		}
 	}
 	if want := m.configHash(); m.ConfigHash != want {
 		return Manifest{}, fmt.Errorf("campaign: manifest %s hash %s does not match its fields (%s) — edited or corrupted",

@@ -1,0 +1,185 @@
+package campaign_test
+
+// Round-trip coverage for the registered-sweep record pipeline: sweeps
+// whose records carry experiment + variant relabelling (an ablation, a
+// scenario grid) run 3-way sharded, the shard files merge back into the
+// single-process stream, and SweepFromRecords rebuilds the exact tables
+// the uninterrupted sweep prints.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"nbiot/internal/campaign"
+	"nbiot/internal/experiment"
+)
+
+// runRegisteredShard runs one shard of a registered sweep (or a grid when
+// spec is non-nil), spilling records to w exactly as nbsim -jsonl does.
+func runRegisteredShard(t *testing.T, name string, spec *experiment.GridSpec, o experiment.Options, w *os.File, shardIndex, shardCount int) {
+	t.Helper()
+	o.ShardIndex, o.ShardCount = shardIndex, shardCount
+	o.Record = campaign.RecordWriter(w)
+	var err error
+	if spec != nil {
+		_, err = experiment.Grid(o, *spec)
+	} else {
+		_, err = experiment.RunSweep(name, o)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeRegisteredShardFile runs one shard into dir with its manifest
+// sidecar and returns the record file's path.
+func writeRegisteredShardFile(t *testing.T, dir, name string, spec *experiment.GridSpec, o experiment.Options, shardIndex, shardCount int) string {
+	t.Helper()
+	path := filepath.Join(dir, "shard-"+strconv.Itoa(shardIndex)+".jsonl")
+	var m campaign.Manifest
+	var err error
+	if spec != nil {
+		m, err = campaign.NewGrid(*spec, o, shardIndex, shardCount)
+	} else {
+		m, err = campaign.New(name, o, shardIndex, shardCount)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteFile(campaign.Path(path)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runRegisteredShard(t, name, spec, o, f, shardIndex, shardCount)
+	return path
+}
+
+// testSweepShardMergeRebuild is the shared round trip: reference
+// single-process stream + tables, 3 shard files, merge, rebuild.
+func testSweepShardMergeRebuild(t *testing.T, name string, spec *experiment.GridSpec, o experiment.Options) {
+	t.Helper()
+	dir := t.TempDir()
+
+	// Reference: the uninterrupted single-process run.
+	refDir := filepath.Join(dir, "ref")
+	if err := os.Mkdir(refDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	refPath := writeRegisteredShardFile(t, refDir, name, spec, o, 0, 1)
+	refStream, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refStream) == 0 {
+		t.Fatal("reference sweep produced no records")
+	}
+	var refRes experiment.SweepResult
+	if spec != nil {
+		refRes, err = experiment.Grid(o, *spec)
+	} else {
+		refRes, err = experiment.RunSweep(name, o)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three shard processes.
+	shardDir := filepath.Join(dir, "shards")
+	if err := os.Mkdir(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 3; i++ {
+		paths = append(paths, writeRegisteredShardFile(t, shardDir, name, spec, o, i, 3))
+	}
+
+	// Merge: stream must match the reference byte for byte, and every
+	// record must carry the sweep's relabelling in global index order.
+	var merged bytes.Buffer
+	var records []experiment.RunRecord
+	man, err := campaign.Merge(&merged, paths, func(rec experiment.RunRecord) error {
+		records = append(records, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), refStream) {
+		t.Error("merged stream differs from the single-process stream")
+	}
+	for i, rec := range records {
+		if rec.Experiment != name {
+			t.Fatalf("record %d labelled %q, want %q", i, rec.Experiment, name)
+		}
+		if rec.Index != i {
+			t.Fatalf("record %d carries index %d", i, rec.Index)
+		}
+	}
+	if man.Experiment != name || man.Tasks != len(records) {
+		t.Errorf("merged manifest %s/%d does not cover the %d-record stream", man.Experiment, man.Tasks, len(records))
+	}
+
+	// Rebuild from records + manifest alone (no flags), as nbsim merge
+	// does, and compare the rendered tables.
+	ro, err := man.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := func(yield func(experiment.RunRecord) error) error {
+		for _, rec := range records {
+			if err := yield(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rebuilt, err := experiment.SweepFromRecords(name, ro, man.Space, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rebuilt.Table().String(), refRes.Table().String(); got != want {
+		t.Errorf("rebuilt table differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := rebuilt.Table().CSV(), refRes.Table().CSV(); got != want {
+		t.Errorf("rebuilt CSV differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAblationShardMergeRebuild covers a variant-relabelled ablation
+// (ti-sweep tags records "TI=..."): shard → merge → SweepFromRecords must
+// reproduce the single-process stream and tables exactly.
+func TestAblationShardMergeRebuild(t *testing.T) {
+	o := testOptions()
+	testSweepShardMergeRebuild(t, "ti-sweep", nil, o)
+}
+
+// TestMixSweepShardMergeRebuild covers the mix-sweep ablation, whose axis
+// values are registered mix names rebuilt by name at fold time.
+func TestMixSweepShardMergeRebuild(t *testing.T) {
+	o := testOptions()
+	o.Runs = 3
+	testSweepShardMergeRebuild(t, "mix-sweep", nil, o)
+}
+
+// TestGridShardMergeRebuild covers a custom scenario grid, whose task
+// space exists only in the manifest — the rebuild must come entirely from
+// the sidecar's space, never the default grid space.
+func TestGridShardMergeRebuild(t *testing.T) {
+	o := testOptions()
+	spec := experiment.GridSpec{
+		Name:       "roundtrip",
+		Runs:       2,
+		FleetSizes: []int{30, 60},
+		Mechanisms: []string{"DR-SC", "DA-SC"},
+		Mixes:      []string{"paper-calibrated", "ericsson-city"},
+		TIMillis:   []int64{10000, 20000},
+	}
+	testSweepShardMergeRebuild(t, "grid", &spec, o)
+}

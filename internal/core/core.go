@@ -85,6 +85,17 @@ func (m Mechanism) Valid() bool {
 	return m >= MechanismUnicast && m <= MechanismSCPTM
 }
 
+// ParseMechanism is the inverse of String: it resolves a mechanism's
+// canonical name (the form task-space axes and CLI flags carry).
+func ParseMechanism(name string) (Mechanism, error) {
+	for m := MechanismUnicast; m <= MechanismSCPTM; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mechanism %q", name)
+}
+
 // StandardsCompliant reports whether the mechanism works without protocol
 // changes (Sec. III): DR-SI's paging extension is the only incompliant one.
 func (m Mechanism) StandardsCompliant() bool { return m != MechanismDRSI }

@@ -13,6 +13,14 @@ import (
 	"nbiot/internal/traffic"
 )
 
+// Every ablation below is a registered sweep: its variants (TI values,
+// mixes, capacities) are axes of one declarative task space rather than an
+// outer loop around an inner sweep, so -shard/-resume/merge and
+// SweepFromRecords apply to ablations exactly as they do to the figure
+// sweeps. The public entry points (TISweep, MixSweep, PagingCapacity)
+// still accept custom variant sets — those run the same registered sweep
+// over a custom space, because the space itself carries the parameters.
+
 // --- A1: greedy vs exact cover quality ---------------------------------------
 
 // GreedyVsExactResult reports the greedy's optimality gap on small random
@@ -51,52 +59,48 @@ func coverInstance(s *rng.Stream) setcover.Instance {
 	return in
 }
 
-// GreedyVsExact runs ablation A1: random small covers comparing Chvátal's
-// greedy to the exact minimum. Each instance is generated and solved
-// inside its own pool task from a per-index stream, and the streaming
-// reducer folds the size pair straight into the summary — no instance or
-// result slices.
-func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	type sizes struct{ greedy, exact int }
-	var ratio stats.Accumulator
-	out := &GreedyVsExactResult{Options: o}
-	err := reduceStream(o, o.Runs,
-		func(i int, sc *taskScratch) (sizes, error) {
-			in := coverInstance(rng.NewStream(runner.Seed(o.Seed, i)))
+func init() {
+	registerSweep(&sweepDef{
+		name: "greedy-vs-exact",
+		space: func(o Options) (TaskSpace, error) {
+			return Space(CounterAxis("instance", o.Runs)), nil
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			in := coverInstance(rng.NewStream(runner.Seed(o.Seed, c[0])))
 			g, err := setcover.GreedyScratch(in, &sc.cover)
 			if err != nil {
-				return sizes{}, err
+				return 0, err
 			}
 			x, err := setcover.Exact(in)
 			if err != nil {
-				return sizes{}, err
+				return 0, err
 			}
-			return sizes{greedy: len(g), exact: len(x)}, nil
+			return float64(len(g)) / float64(len(x)), nil
 		},
-		func(i int, sz sizes) error {
-			r := float64(sz.greedy) / float64(sz.exact)
-			ratio.Add(r)
-			if r > out.WorstRatio {
-				out.WorstRatio = r
-			}
-			if sz.exact < sz.greedy {
-				out.ExactWins++
-			}
-			out.Instances++
-			return o.record(RunRecord{
-				Experiment: "greedy-vs-exact", Index: i, Run: i,
-				Metric: "greedy_over_optimal", Value: r,
-			})
-		})
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			return RunRecord{Run: c[0], Metric: "greedy_over_optimal", Value: v}
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold := &greedyFold{o: o}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// GreedyVsExact runs ablation A1: random small covers comparing Chvátal's
+// greedy to the exact minimum. Each instance is generated and solved
+// inside its own pool task from a per-index stream, and the streaming
+// reducer folds the size ratio straight into the summary — no instance or
+// result slices.
+func GreedyVsExact(o Options) (*GreedyVsExactResult, error) {
+	res, err := RunSweep("greedy-vs-exact", o)
 	if err != nil {
 		return nil, err
 	}
-	out.Ratio = ratio.Summary()
-	return out, nil
+	return res.(*GreedyVsExactResult), nil
 }
 
 // --- A2: TI sensitivity -------------------------------------------------------
@@ -109,30 +113,99 @@ type TISweepResult struct {
 	Series []stats.Series
 }
 
-// TISweep runs ablation A2.
+// defaultTIs is the paper's commercial TI range.
+func defaultTIs() []simtime.Ticks {
+	return []simtime.Ticks{10 * simtime.Second, 20 * simtime.Second, 30 * simtime.Second}
+}
+
+// tiSweepSpace builds the (TI, fleet size, run) space for a TI ladder.
+// One tick is one millisecond, so the ti_ms axis carries raw tick counts.
+func tiSweepSpace(o Options, tis []simtime.Ticks) TaskSpace {
+	ms := make([]int64, len(tis))
+	for i, ti := range tis {
+		ms[i] = int64(ti / simtime.Millisecond)
+	}
+	return Space(Int64Axis("ti_ms", ms), IntAxis("fleet_size", o.FleetSizes),
+		CounterAxis("run", o.Runs))
+}
+
+// tiAxisValues parses a space's ti_ms axis back to ticks, returning the
+// axis position as well.
+func tiAxisValues(sp TaskSpace) ([]simtime.Ticks, int, error) {
+	a, ai, ok := sp.Axis("ti_ms")
+	if !ok {
+		return nil, 0, fmt.Errorf("experiment: task space %v has no ti_ms axis", sp)
+	}
+	tis := make([]simtime.Ticks, a.Len())
+	for i := range tis {
+		ms, err := a.Int64(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		tis[i] = simtime.Ticks(ms) * simtime.Millisecond
+	}
+	return tis, ai, nil
+}
+
+func init() {
+	registerSweep(&sweepDef{
+		name: "ti-sweep",
+		space: func(o Options) (TaskSpace, error) {
+			return tiSweepSpace(o, defaultTIs()), nil
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			ms, err := sp.Axes[0].Int64(c[0])
+			if err != nil {
+				return 0, err
+			}
+			n, err := sp.Axes[1].Int(c[1])
+			if err != nil {
+				return 0, err
+			}
+			oi := o
+			oi.TI = simtime.Ticks(ms) * simtime.Millisecond
+			return fig7Task(oi, n, c[2], sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			ms, _ := sp.Axes[0].Int64(c[0])
+			n, _ := sp.Axes[1].Int(c[1])
+			return RunRecord{
+				Variant:   fmt.Sprintf("TI=%v", simtime.Ticks(ms)*simtime.Millisecond),
+				Run:       c[2],
+				Mechanism: core.MechanismDRSC.String(), FleetSize: n,
+				Metric: "transmissions", Value: v,
+			}
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newTISweepFold(o, sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// TISweep runs ablation A2. An empty ladder means the paper's default
+// 10/20/30 s; a custom ladder runs the same registered sweep over a
+// custom ti_ms axis.
 func TISweep(o Options, tis []simtime.Ticks) (*TISweepResult, error) {
 	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
+	if len(tis) == 0 {
+		tis = defaultTIs()
+	}
+	def, err := lookupSweep("ti-sweep")
+	if err != nil {
 		return nil, err
 	}
-	if len(tis) == 0 {
-		tis = []simtime.Ticks{10 * simtime.Second, 20 * simtime.Second, 30 * simtime.Second}
+	res, err := runSweepIn(def, o, tiSweepSpace(o, tis))
+	if err != nil {
+		return nil, err
 	}
-	out := &TISweepResult{Options: o}
-	for _, ti := range tis {
-		oi := o
-		oi.TI = ti
-		oi.Record = relabel(o.Record, "ti-sweep", fmt.Sprintf("TI=%v", ti))
-		r, err := Fig7(oi)
-		if err != nil {
-			return nil, err
-		}
-		series := r.Ratio
-		series.Name = fmt.Sprintf("TI=%v", ti)
-		out.Series = append(out.Series, series)
-		o.progress("ti-sweep: TI=%v done", ti)
-	}
-	return out, nil
+	return res.(*TISweepResult), nil
 }
 
 // --- A3: DRX-mix sensitivity ---------------------------------------------------
@@ -145,32 +218,112 @@ type MixSweepResult struct {
 	Ratio map[string]stats.Summary
 }
 
-// MixSweep runs ablation A3.
+// defaultMixes is ablation A3's fleet-composition ladder, short cycles
+// first.
+func defaultMixes() []traffic.Mix {
+	return []traffic.Mix{
+		traffic.ShortHeavyMix(), traffic.EricssonCityMix(),
+		traffic.PaperCalibratedMix(), traffic.LongHeavyMix(),
+	}
+}
+
+// mixSweepSpace builds the (mix, run) space for a mix ladder.
+func mixSweepSpace(o Options, mixes []traffic.Mix) (TaskSpace, error) {
+	names := make([]string, len(mixes))
+	for i, m := range mixes {
+		if m.Name == "" {
+			return TaskSpace{}, fmt.Errorf("experiment: mix %d has no name", i)
+		}
+		names[i] = m.Name
+	}
+	return Space(ValueAxis("mix", names...), CounterAxis("run", o.Runs)), nil
+}
+
+// mixSweepTask is one (mix, run) DR-SC planning campaign at o.Devices,
+// with the mix resolved by resolve from its axis name.
+func mixSweepTask(o Options, sp TaskSpace, c []int, resolve func(string) (traffic.Mix, error), sc *taskScratch) (float64, error) {
+	mix, err := resolve(sp.Axes[0].Value(c[0]))
+	if err != nil {
+		return 0, err
+	}
+	oi := o
+	oi.Mix = mix
+	return fig7Task(oi, o.Devices, c[1], sc)
+}
+
+// builtinMix resolves a mix name against the registered built-ins —
+// what keeps mix-sweep record files and manifests self-describing.
+func builtinMix(name string) (traffic.Mix, error) {
+	if mix, ok := traffic.Mixes()[name]; ok {
+		return mix, nil
+	}
+	return traffic.Mix{}, fmt.Errorf("experiment: unknown traffic mix %q", name)
+}
+
+func init() {
+	registerSweep(&sweepDef{
+		name: "mix-sweep",
+		space: func(o Options) (TaskSpace, error) {
+			return mixSweepSpace(o, defaultMixes())
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			return mixSweepTask(o, sp, c, builtinMix, sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			return RunRecord{
+				Variant:   "mix=" + sp.Axes[0].Value(c[0]),
+				Run:       c[1],
+				Mechanism: core.MechanismDRSC.String(), FleetSize: o.Devices,
+				Metric: "transmissions", Value: v,
+			}
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newMixSweepFold(o, sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// MixSweep runs ablation A3. An empty mix set means the default ladder; a
+// custom set (including unregistered mixes) runs the same sweep over a
+// custom mix axis, resolving names against the provided mixes first.
 func MixSweep(o Options, mixes []traffic.Mix) (*MixSweepResult, error) {
 	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
+	if len(mixes) == 0 {
+		mixes = defaultMixes()
+	}
+	sp, err := mixSweepSpace(o, mixes)
+	if err != nil {
 		return nil, err
 	}
-	if len(mixes) == 0 {
-		mixes = []traffic.Mix{
-			traffic.ShortHeavyMix(), traffic.EricssonCityMix(),
-			traffic.PaperCalibratedMix(), traffic.LongHeavyMix(),
-		}
+	byName := make(map[string]traffic.Mix, len(mixes))
+	for _, m := range mixes {
+		byName[m.Name] = m
 	}
-	out := &MixSweepResult{Options: o, Ratio: map[string]stats.Summary{}}
-	for _, mix := range mixes {
-		oi := o
-		oi.Mix = mix
-		oi.FleetSizes = []int{o.Devices}
-		oi.Record = relabel(o.Record, "mix-sweep", "mix="+mix.Name)
-		r, err := Fig7(oi)
-		if err != nil {
-			return nil, err
-		}
-		out.Ratio[mix.Name] = r.Ratio.Points[0].Y
-		o.progress("mix-sweep: %s done", mix.Name)
+	def, err := lookupSweep("mix-sweep")
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	d := *def
+	d.task = func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+		return mixSweepTask(o, sp, c, func(name string) (traffic.Mix, error) {
+			if mix, ok := byName[name]; ok {
+				return mix, nil
+			}
+			return builtinMix(name)
+		}, sc)
+	}
+	res, err := runSweepIn(&d, o, sp)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*MixSweepResult), nil
 }
 
 // --- A4: paging-capacity pressure ----------------------------------------------
@@ -184,59 +337,96 @@ type PagingCapacityResult struct {
 	Overflows map[int]stats.Summary
 }
 
-// PagingCapacity runs ablation A4 on DR-SC campaigns (the mechanism whose
-// pages cluster hardest inside shared windows).
-func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	if len(capacities) == 0 {
-		capacities = []int{1, 2, 4, 16}
-	}
-	out := &PagingCapacityResult{Options: o, Overflows: map[int]stats.Summary{}}
+// defaultCapacities is ablation A4's paging-capacity ladder.
+func defaultCapacities() []int { return []int{1, 2, 4, 16} }
+
+// pagingCapacitySpace builds the (capacity, run) space for a capacity
+// ladder.
+func pagingCapacitySpace(o Options, capacities []int) (TaskSpace, error) {
 	for _, capacity := range capacities {
 		if capacity <= 0 {
-			return nil, fmt.Errorf("experiment: non-positive paging capacity %d", capacity)
+			return TaskSpace{}, fmt.Errorf("experiment: non-positive paging capacity %d", capacity)
 		}
-		var acc stats.Accumulator
-		err := reduceStream(o, o.Runs,
-			func(r int, sc *taskScratch) (float64, error) {
-				fleet, err := fleetForRun(o, o.Devices, r, sc)
-				if err != nil {
-					return 0, err
-				}
-				cfg := cell.Config{
-					Mechanism:       core.MechanismDRSC,
-					Fleet:           fleet,
-					TI:              o.TI,
-					PageGuard:       100 * simtime.Millisecond,
-					PayloadBytes:    100 * 1024,
-					Seed:            runSeed(o, r),
-					UniformCoverage: true,
-				}
-				res, err := cell.RunScratch(withPagingCapacity(cfg, capacity), &sc.cell)
-				if err != nil {
-					return 0, err
-				}
-				return float64(res.ENB.PagingOverflows), nil
-			},
-			func(r int, v float64) error {
-				acc.Add(v)
-				return o.record(RunRecord{
-					Experiment: "paging-capacity", Variant: fmt.Sprintf("capacity=%d", capacity),
-					Index: r, Run: r,
-					Mechanism: core.MechanismDRSC.String(), FleetSize: o.Devices,
-					Metric: "paging_overflows", Value: v,
-				})
-			})
-		if err != nil {
-			return nil, err
-		}
-		out.Overflows[capacity] = acc.Summary()
-		o.progress("paging-capacity: capacity=%d done", capacity)
 	}
-	return out, nil
+	return Space(IntAxis("capacity", capacities), CounterAxis("run", o.Runs)), nil
+}
+
+func init() {
+	registerSweep(&sweepDef{
+		name: "paging-capacity",
+		space: func(o Options) (TaskSpace, error) {
+			return pagingCapacitySpace(o, defaultCapacities())
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			capacity, err := sp.Axes[0].Int(c[0])
+			if err != nil {
+				return 0, err
+			}
+			if capacity <= 0 {
+				return 0, fmt.Errorf("experiment: non-positive paging capacity %d", capacity)
+			}
+			r := c[1]
+			fleet, err := fleetForRun(o, o.Devices, r, sc)
+			if err != nil {
+				return 0, err
+			}
+			cfg := cell.Config{
+				Mechanism:       core.MechanismDRSC,
+				Fleet:           fleet,
+				TI:              o.TI,
+				PageGuard:       100 * simtime.Millisecond,
+				PayloadBytes:    100 * 1024,
+				Seed:            runSeed(o, r),
+				UniformCoverage: true,
+			}
+			res, err := cell.RunScratch(withPagingCapacity(cfg, capacity), &sc.cell)
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.ENB.PagingOverflows), nil
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			return RunRecord{
+				Variant:   "capacity=" + sp.Axes[0].Value(c[0]),
+				Run:       c[1],
+				Mechanism: core.MechanismDRSC.String(), FleetSize: o.Devices,
+				Metric: "paging_overflows", Value: v,
+			}
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newPagingFold(o, sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// PagingCapacity runs ablation A4 on DR-SC campaigns (the mechanism whose
+// pages cluster hardest inside shared windows). An empty capacity set
+// means the default 1/2/4/16 ladder.
+func PagingCapacity(o Options, capacities []int) (*PagingCapacityResult, error) {
+	o = o.WithDefaults()
+	if len(capacities) == 0 {
+		capacities = defaultCapacities()
+	}
+	sp, err := pagingCapacitySpace(o, capacities)
+	if err != nil {
+		return nil, err
+	}
+	def, err := lookupSweep("paging-capacity")
+	if err != nil {
+		return nil, err
+	}
+	res, err := runSweepIn(def, o, sp)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*PagingCapacityResult), nil
 }
 
 // --- X1: SC-PTM vs on-demand multicast -----------------------------------------
@@ -253,36 +443,44 @@ type SCPTMComparisonResult struct {
 	LightIncrease map[core.Mechanism]stats.Summary
 }
 
+func init() {
+	const size = 100 * 1024
+	registerSweep(&sweepDef{
+		name: "scptm",
+		space: func(o Options) (TaskSpace, error) {
+			mechs := append(core.GroupingMechanisms(), core.MechanismSCPTM)
+			return Space(CounterAxis("run", o.Runs),
+				ValueAxis("mechanism", mechanismNames(mechs)...)), nil
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			return lightSleepTask(o, sp, c, size, sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			return lightSleepRecord(o, sp, c, size, v)
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newMechFoldFromSpace(sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add: fold.add,
+				result: func() (SweepResult, error) {
+					return &SCPTMComparisonResult{Options: o, LightIncrease: fold.summaries()}, nil
+				},
+			}, nil
+		},
+	})
+}
+
 // SCPTMComparison runs extension experiment X1. Like Fig6a it shards per
 // (run, mechanism) and folds through the streaming reducer.
 func SCPTMComparison(o Options) (*SCPTMComparisonResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	mechanisms := append(core.GroupingMechanisms(), core.MechanismSCPTM)
-	const size = 100 * 1024
-	inc, err := lightSleepIncreaseSweep(o, "scptm", mechanisms, size)
+	res, err := RunSweep("scptm", o)
 	if err != nil {
 		return nil, err
 	}
-	return &SCPTMComparisonResult{Options: o, LightIncrease: inc}, nil
-}
-
-// relabel wraps a Record hook so records emitted by an inner sweep carry
-// the outer ablation's experiment name and a variant tag instead of the
-// inner sweep's own labels — without it, ti-sweep's three Fig7 passes
-// would stream indistinguishable "fig7" records with restarting indices.
-// A nil hook stays nil.
-func relabel(record func(RunRecord) error, experiment, variant string) func(RunRecord) error {
-	if record == nil {
-		return nil
-	}
-	return func(rec RunRecord) error {
-		rec.Experiment = experiment
-		rec.Variant = variant
-		return record(rec)
-	}
+	return res.(*SCPTMComparisonResult), nil
 }
 
 // withPagingCapacity returns cfg with the eNB paging capacity overridden.

@@ -261,6 +261,7 @@ func (o Options) progressCounter(format string, total int) func() {
 type taskScratch struct {
 	fleet   []traffic.Device
 	devices []core.Device
+	coords  []int
 	cell    cell.Scratch
 	plan    core.PlanScratch
 	cover   setcover.Scratch
@@ -280,7 +281,7 @@ func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size in
 	}, &sc.cell)
 }
 
-// Seed derivation, all through runner.Seed so task seeds are pure
+// Seed derivation, all through runner.SeedPath so task seeds are pure
 // functions of (Options.Seed, task coordinates). Raw streams that coexist
 // in one run (fleet generation, planner tie-breaking) must not share a
 // seed — identical seeds replay identical draws — so they split the
@@ -290,19 +291,19 @@ func runCampaign(mech core.Mechanism, fleet []traffic.Device, o Options, size in
 
 // runSeed derives run r's campaign seed.
 func runSeed(o Options, r int) int64 {
-	return runner.Seed(o.Seed, r)
+	return runner.SeedPath(o.Seed, r)
 }
 
 // fleetSeed derives the fleet-generation stream seed for run r at fleet
 // size n.
 func fleetSeed(o Options, n, r int) int64 {
-	return runner.Seed(runner.Seed(o.Seed, n), 2*r)
+	return runner.SeedPath(o.Seed, n, 2*r)
 }
 
 // tieBreakSeed derives the planner tie-breaking stream seed for run r at
 // fleet size n.
 func tieBreakSeed(o Options, n, r int) int64 {
-	return runner.Seed(runner.Seed(o.Seed, n), 2*r+1)
+	return runner.SeedPath(o.Seed, n, 2*r+1)
 }
 
 // fleetForRun generates run r's fleet deterministically into the worker's
@@ -377,40 +378,77 @@ func summarize(acc map[core.Mechanism]*stats.Accumulator) map[core.Mechanism]sta
 	return out
 }
 
-// lightSleepIncreaseSweep is the shared body of Fig6a and the SC-PTM
-// comparison: one pool task per (run, mechanism), each folded straight
-// into its mechanism's accumulator by the streaming reducer.
-func lightSleepIncreaseSweep(o Options, name string, mechs []core.Mechanism, size int64) (map[core.Mechanism]stats.Summary, error) {
-	nTasks := o.Runs * len(mechs)
-	fold := newMechFold(mechs)
-	tick := o.progressCounter(name+": campaign %d/%d done", o.effectiveTasks(nTasks))
-	err := reduceStream(o, nTasks,
-		func(idx int, sc *taskScratch) (float64, error) {
-			r, mi := idx/len(mechs), idx%len(mechs)
-			fleet, err := fleetForRun(o, o.Devices, r, sc)
-			if err != nil {
-				return 0, err
-			}
-			v, err := increaseVsUnicast(o, mechs[mi], fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep", sc)
-			if err != nil {
-				return 0, err
-			}
-			tick()
-			return v, nil
-		},
-		func(idx int, v float64) error {
-			fold.add(idx, v)
-			r, mi := idx/len(mechs), idx%len(mechs)
-			return o.record(RunRecord{
-				Experiment: name, Index: idx, Run: r,
-				Mechanism: mechs[mi].String(), Size: size, FleetSize: o.Devices,
-				Metric: "light_sleep_increase", Value: v,
-			})
-		})
-	if err != nil {
-		return nil, err
+// mechanismNames renders mechanisms as canonical axis values.
+func mechanismNames(mechs []core.Mechanism) []string {
+	names := make([]string, len(mechs))
+	for i, m := range mechs {
+		names[i] = m.String()
 	}
-	return fold.summaries(), nil
+	return names
+}
+
+// parseMechanismAxis resolves a whole mechanism axis back to mechanisms.
+func parseMechanismAxis(a Axis) ([]core.Mechanism, error) {
+	mechs := make([]core.Mechanism, a.Len())
+	for i := range mechs {
+		m, err := core.ParseMechanism(a.Value(i))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: axis %q: %w", a.Name, err)
+		}
+		mechs[i] = m
+	}
+	return mechs, nil
+}
+
+// lightSleepTask is the shared (run, mechanism) task of Fig6a and the
+// SC-PTM comparison: the run's fleet, the unicast baseline, and one
+// mechanism's relative light-sleep increase.
+func lightSleepTask(o Options, sp TaskSpace, c []int, size int64, sc *taskScratch) (float64, error) {
+	r := c[0]
+	mech, err := core.ParseMechanism(sp.Axes[1].Value(c[1]))
+	if err != nil {
+		return 0, err
+	}
+	fleet, err := fleetForRun(o, o.Devices, r, sc)
+	if err != nil {
+		return 0, err
+	}
+	return increaseVsUnicast(o, mech, fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep", sc)
+}
+
+// lightSleepRecord is the record shape both (run, mechanism) light-sleep
+// sweeps emit.
+func lightSleepRecord(o Options, sp TaskSpace, c []int, size int64, v float64) RunRecord {
+	return RunRecord{
+		Run:       c[0],
+		Mechanism: sp.Axes[1].Value(c[1]), Size: size, FleetSize: o.Devices,
+		Metric: "light_sleep_increase", Value: v,
+	}
+}
+
+// fig7Task is one (fleet size, run) DR-SC planning task — the unit of
+// Fig7 and, with per-variant options, of the TI and mix ablations. The
+// transmission count is a planning-time quantity, so no event simulation
+// is needed (the cell executor is exercised by E1/E2 and the integration
+// tests).
+func fig7Task(o Options, n, r int, sc *taskScratch) (float64, error) {
+	fleet, err := fleetForRun(o, n, r, sc)
+	if err != nil {
+		return 0, err
+	}
+	sc.devices, err = core.FleetFromTrafficInto(sc.devices[:0], fleet)
+	if err != nil {
+		return 0, err
+	}
+	params := core.Params{
+		Now: 0, TI: o.TI,
+		TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),
+	}
+	plan, err := core.DRSCPlanner{}.PlanScratch(sc.devices, params, &sc.plan)
+	if err != nil {
+		return 0, err
+	}
+	return float64(plan.NumTransmissions()), nil
 }
 
 // --- E1: Fig. 6(a) ----------------------------------------------------------
@@ -424,19 +462,44 @@ type Fig6aResult struct {
 	Increase map[core.Mechanism]stats.Summary
 }
 
+func init() {
+	// light-sleep uptime is payload-independent; 100 KB keeps E1 cheap
+	const size = multicast.Size100KB
+	registerSweep(&sweepDef{
+		name: "fig6a",
+		space: func(o Options) (TaskSpace, error) {
+			return Space(CounterAxis("run", o.Runs),
+				ValueAxis("mechanism", mechanismNames(core.GroupingMechanisms())...)), nil
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			return lightSleepTask(o, sp, c, size, sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			return lightSleepRecord(o, sp, c, size, v)
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newMechFoldFromSpace(sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add: fold.add,
+				result: func() (SweepResult, error) {
+					return &Fig6aResult{Options: o, Increase: fold.summaries()}, nil
+				},
+			}, nil
+		},
+	})
+}
+
 // Fig6a runs experiment E1. Campaigns shard per (run, mechanism) on the
 // worker pool and stream through the serial reducer; see Options.Workers.
 func Fig6a(o Options) (*Fig6aResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	size := multicast.Size100KB // light-sleep uptime is payload-independent
-	inc, err := lightSleepIncreaseSweep(o, "fig6a", core.GroupingMechanisms(), size)
+	res, err := RunSweep("fig6a", o)
 	if err != nil {
 		return nil, err
 	}
-	return &Fig6aResult{Options: o, Increase: inc}, nil
+	return res.(*Fig6aResult), nil
 }
 
 // --- E2: Fig. 6(b) ----------------------------------------------------------
@@ -450,46 +513,62 @@ type Fig6bResult struct {
 	Increase map[core.Mechanism]map[int64]stats.Summary
 }
 
+func init() {
+	registerSweep(&sweepDef{
+		name: "fig6b",
+		space: func(o Options) (TaskSpace, error) {
+			return Space(CounterAxis("run", o.Runs),
+				Int64Axis("size", o.Sizes),
+				ValueAxis("mechanism", mechanismNames(core.GroupingMechanisms())...)), nil
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			r := c[0]
+			size, err := sp.Axes[1].Int64(c[1])
+			if err != nil {
+				return 0, err
+			}
+			mech, err := core.ParseMechanism(sp.Axes[2].Value(c[2]))
+			if err != nil {
+				return 0, err
+			}
+			fleet, err := fleetForRun(o, o.Devices, r, sc)
+			if err != nil {
+				return 0, err
+			}
+			return increaseVsUnicast(o, mech, fleet, r, size, (*cell.Result).TotalConnected, "connected", sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			size, _ := sp.Axes[1].Int64(c[1])
+			return RunRecord{
+				Run:       c[0],
+				Mechanism: sp.Axes[2].Value(c[2]), Size: size, FleetSize: o.Devices,
+				Metric: "connected_increase", Value: v,
+			}
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newFig6bFold(o, sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
 // Fig6b runs experiment E2. One pool task per (run, size, mechanism) —
 // every coordinate derives from the task index alone, each task
 // regenerates its run's fleet from the run's fleet seed, and the streaming
 // reducer folds results into per-(mechanism, size) accumulators with no
 // intermediate slices.
 func Fig6b(o Options) (*Fig6bResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	fold := newFig6bFold(o)
-	nTasks := o.Runs * len(o.Sizes) * len(fold.mechs)
-	tick := o.progressCounter("fig6b: campaign %d/%d done", o.effectiveTasks(nTasks))
-	err := reduceStream(o, nTasks,
-		func(idx int, sc *taskScratch) (float64, error) {
-			r, si, mi := fold.coords(idx)
-			fleet, err := fleetForRun(o, o.Devices, r, sc)
-			if err != nil {
-				return 0, err
-			}
-			v, err := increaseVsUnicast(o, fold.mechs[mi], fleet, r, o.Sizes[si], (*cell.Result).TotalConnected, "connected", sc)
-			if err != nil {
-				return 0, err
-			}
-			tick()
-			return v, nil
-		},
-		func(idx int, v float64) error {
-			fold.add(idx, v)
-			r, si, mi := fold.coords(idx)
-			return o.record(RunRecord{
-				Experiment: "fig6b", Index: idx, Run: r,
-				Mechanism: fold.mechs[mi].String(), Size: o.Sizes[si], FleetSize: o.Devices,
-				Metric: "connected_increase", Value: v,
-			})
-		})
+	res, err := RunSweep("fig6b", o)
 	if err != nil {
 		return nil, err
 	}
-	return fold.result(), nil
+	return res.(*Fig6bResult), nil
 }
 
 // --- E3: Fig. 7 --------------------------------------------------------------
@@ -503,60 +582,46 @@ type Fig7Result struct {
 	Ratio stats.Series
 }
 
-// Fig7 runs experiment E3. It uses the DR-SC planner directly — the
-// transmission count is a planning-time quantity, so no event simulation is
-// needed (the cell executor is exercised by E1/E2 and the integration
-// tests). The (fleet size, run) grid executes concurrently on the worker
-// pool and streams through per-size accumulators — memory is O(fleet
-// sizes), never O(runs); see Options.Workers.
-func Fig7(o Options) (*Fig7Result, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	fold := newFig7Fold(o)
-	nTasks := len(o.FleetSizes) * o.Runs
-	err := reduceStream(o, nTasks,
-		func(idx int, sc *taskScratch) (float64, error) {
-			si, r := idx/o.Runs, idx%o.Runs
-			n := o.FleetSizes[si]
-			fleet, err := fleetForRun(o, n, r, sc)
-			if err != nil {
-				return 0, err
-			}
-			sc.devices, err = core.FleetFromTrafficInto(sc.devices[:0], fleet)
-			if err != nil {
-				return 0, err
-			}
-			devices := sc.devices
-			params := core.Params{
-				Now: 0, TI: o.TI,
-				TieBreak: rng.NewStream(tieBreakSeed(o, n, r)),
-			}
-			plan, err := core.DRSCPlanner{}.PlanScratch(devices, params, &sc.plan)
-			if err != nil {
-				return 0, err
-			}
-			return float64(plan.NumTransmissions()), nil
+func init() {
+	registerSweep(&sweepDef{
+		name: "fig7",
+		space: func(o Options) (TaskSpace, error) {
+			return Space(IntAxis("fleet_size", o.FleetSizes), CounterAxis("run", o.Runs)), nil
 		},
-		func(idx int, tx float64) error {
-			fold.add(idx, tx)
-			si, r := idx/o.Runs, idx%o.Runs
-			n := o.FleetSizes[si]
-			if err := o.record(RunRecord{
-				Experiment: "fig7", Index: idx, Run: r,
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			n, err := sp.Axes[0].Int(c[0])
+			if err != nil {
+				return 0, err
+			}
+			return fig7Task(o, n, c[1], sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			n, _ := sp.Axes[0].Int(c[0])
+			return RunRecord{
+				Run:       c[1],
 				Mechanism: core.MechanismDRSC.String(), FleetSize: n,
-				Metric: "transmissions", Value: tx,
-			}); err != nil {
-				return err
+				Metric: "transmissions", Value: v,
 			}
-			if r == o.Runs-1 {
-				o.progress("fig7: N=%d done (%d runs)", n, o.Runs)
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newFig7Fold(o, sp)
+			if err != nil {
+				return nil, err
 			}
-			return nil
-		})
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// Fig7 runs experiment E3 on the (fleet size, run) grid; see fig7Task and
+// Options.Workers.
+func Fig7(o Options) (*Fig7Result, error) {
+	res, err := RunSweep("fig7", o)
 	if err != nil {
 		return nil, err
 	}
-	return fold.result(), nil
+	return res.(*Fig7Result), nil
 }

@@ -4,50 +4,47 @@ import (
 	"fmt"
 
 	"nbiot/internal/core"
+	"nbiot/internal/simtime"
 	"nbiot/internal/stats"
 )
 
-// This file is the accumulation half of every figure sweep, factored out
-// so it has exactly two callers: the live reducer (internal to Fig6a/6b/7)
-// and the record-stream rebuilds below (Fig6aFromRecords and friends, used
-// by merged and resumed campaigns — see internal/campaign). Both feed the
-// same fold code the same float64 values in the same index order, which is
-// what makes a table rebuilt from a JSONL record stream bit-identical to
-// the one the in-process sweep prints: encoding/json round-trips float64
-// exactly, and Welford accumulation is order-deterministic.
-
-// Tasks reports the size of the named sweep's global task-index space —
-// the quantity shards, checkpoints, and campaign manifests are defined
-// over. Only the single-sweep figures are shardable; composite runs
-// (ablations) nest several sweeps and have no single index space.
-func Tasks(name string, o Options) (int, error) {
-	o = o.WithDefaults()
-	switch name {
-	case "fig6a":
-		return o.Runs * len(core.GroupingMechanisms()), nil
-	case "fig6b":
-		return o.Runs * len(o.Sizes) * len(core.GroupingMechanisms()), nil
-	case "fig7":
-		return len(o.FleetSizes) * o.Runs, nil
-	}
-	return 0, fmt.Errorf("experiment: no sharded task space for %q (want fig6a, fig6b or fig7)", name)
-}
+// This file is the accumulation half of every sweep, factored out so it
+// has exactly two callers: the live reducer (runSweepIn) and the
+// record-stream rebuilds (SweepFromRecords, used by merged and resumed
+// campaigns — see internal/campaign). Both feed the same fold code the
+// same float64 values in the same global-index order, which is what makes
+// a table rebuilt from a JSONL record stream bit-identical to the one the
+// in-process sweep prints: encoding/json round-trips float64 exactly, and
+// Welford accumulation is order-deterministic. Every fold reads its
+// dimensions from the task space's axes, never from execution state, so a
+// custom space (a TI ladder, a scenario grid) folds exactly like a
+// default one.
 
 // --- fold cores ---------------------------------------------------------------
 
-// mechFold folds the (index, value) stream of a per-(run, mechanism) sweep
-// — Fig6a and the SC-PTM comparison — into per-mechanism accumulators.
+// mechFold folds the (coords, value) stream of a sweep with a mechanism
+// axis — Fig6a and the SC-PTM comparison — into per-mechanism
+// accumulators.
 type mechFold struct {
 	mechs []core.Mechanism
+	ai    int // mechanism axis position
 	acc   map[core.Mechanism]*stats.Accumulator
 }
 
-func newMechFold(mechs []core.Mechanism) *mechFold {
-	return &mechFold{mechs: mechs, acc: mechAccumulators(mechs)}
+func newMechFoldFromSpace(sp TaskSpace) (*mechFold, error) {
+	a, ai, ok := sp.Axis("mechanism")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no mechanism axis", sp)
+	}
+	mechs, err := parseMechanismAxis(a)
+	if err != nil {
+		return nil, err
+	}
+	return &mechFold{mechs: mechs, ai: ai, acc: mechAccumulators(mechs)}, nil
 }
 
-func (f *mechFold) add(idx int, v float64) {
-	f.acc[f.mechs[idx%len(f.mechs)]].Add(v)
+func (f *mechFold) add(c []int, v float64) {
+	f.acc[f.mechs[c[f.ai]]].Add(v)
 }
 
 func (f *mechFold) summaries() map[core.Mechanism]stats.Summary { return summarize(f.acc) }
@@ -55,30 +52,45 @@ func (f *mechFold) summaries() map[core.Mechanism]stats.Summary { return summari
 // fig6bFold folds the per-(run, size, mechanism) stream of Fig6b into
 // per-(mechanism, size) accumulators.
 type fig6bFold struct {
-	o     Options
-	mechs []core.Mechanism
-	acc   map[core.Mechanism]map[int64]*stats.Accumulator
+	o      Options
+	mechs  []core.Mechanism
+	sizes  []int64
+	si, mi int // axis positions
+	acc    map[core.Mechanism]map[int64]*stats.Accumulator
 }
 
-func newFig6bFold(o Options) *fig6bFold {
-	f := &fig6bFold{o: o, mechs: core.GroupingMechanisms(),
+func newFig6bFold(o Options, sp TaskSpace) (*fig6bFold, error) {
+	ma, mi, ok := sp.Axis("mechanism")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no mechanism axis", sp)
+	}
+	mechs, err := parseMechanismAxis(ma)
+	if err != nil {
+		return nil, err
+	}
+	sa, si, ok := sp.Axis("size")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no size axis", sp)
+	}
+	sizes := make([]int64, sa.Len())
+	for i := range sizes {
+		if sizes[i], err = sa.Int64(i); err != nil {
+			return nil, err
+		}
+	}
+	f := &fig6bFold{o: o, mechs: mechs, sizes: sizes, si: si, mi: mi,
 		acc: map[core.Mechanism]map[int64]*stats.Accumulator{}}
-	for _, m := range f.mechs {
+	for _, m := range mechs {
 		f.acc[m] = map[int64]*stats.Accumulator{}
-		for _, s := range o.Sizes {
+		for _, s := range sizes {
 			f.acc[m][s] = &stats.Accumulator{}
 		}
 	}
-	return f
+	return f, nil
 }
 
-func (f *fig6bFold) coords(idx int) (r, si, mi int) {
-	return idx / (len(f.o.Sizes) * len(f.mechs)), (idx / len(f.mechs)) % len(f.o.Sizes), idx % len(f.mechs)
-}
-
-func (f *fig6bFold) add(idx int, v float64) {
-	_, si, mi := f.coords(idx)
-	f.acc[f.mechs[mi]][f.o.Sizes[si]].Add(v)
+func (f *fig6bFold) add(c []int, v float64) {
+	f.acc[f.mechs[c[f.mi]]][f.sizes[c[f.si]]].Add(v)
 }
 
 func (f *fig6bFold) result() *Fig6bResult {
@@ -96,30 +108,188 @@ func (f *fig6bFold) result() *Fig6bResult {
 // transmission and ratio accumulators.
 type fig7Fold struct {
 	o         Options
+	sizes     []int
+	fi        int // fleet_size axis position
 	tx, ratio []stats.Accumulator
 }
 
-func newFig7Fold(o Options) *fig7Fold {
-	return &fig7Fold{o: o,
-		tx:    make([]stats.Accumulator, len(o.FleetSizes)),
-		ratio: make([]stats.Accumulator, len(o.FleetSizes))}
+func newFig7Fold(o Options, sp TaskSpace) (*fig7Fold, error) {
+	a, fi, ok := sp.Axis("fleet_size")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no fleet_size axis", sp)
+	}
+	sizes := make([]int, a.Len())
+	var err error
+	for i := range sizes {
+		if sizes[i], err = a.Int(i); err != nil {
+			return nil, err
+		}
+	}
+	return &fig7Fold{o: o, sizes: sizes, fi: fi,
+		tx:    make([]stats.Accumulator, len(sizes)),
+		ratio: make([]stats.Accumulator, len(sizes))}, nil
 }
 
-func (f *fig7Fold) add(idx int, tx float64) {
-	si := idx / f.o.Runs
+func (f *fig7Fold) add(c []int, tx float64) {
+	si := c[f.fi]
 	f.tx[si].Add(tx)
-	f.ratio[si].Add(tx / float64(f.o.FleetSizes[si]))
+	f.ratio[si].Add(tx / float64(f.sizes[si]))
 }
 
 func (f *fig7Fold) result() *Fig7Result {
 	out := &Fig7Result{Options: f.o}
 	out.Transmissions.Name = "DR-SC transmissions"
 	out.Ratio.Name = "DR-SC transmissions / device"
-	for si, n := range f.o.FleetSizes {
+	for si, n := range f.sizes {
 		out.Transmissions.Append(float64(n), f.tx[si].Summary())
 		out.Ratio.Append(float64(n), f.ratio[si].Summary())
 	}
 	return out
+}
+
+// tiSweepFold folds the per-(TI, fleet size, run) stream of the TI
+// ablation into one transmissions-per-device series per TI value.
+type tiSweepFold struct {
+	o      Options
+	tis    []simtime.Ticks
+	sizes  []int
+	ti, fi int                   // axis positions
+	ratio  [][]stats.Accumulator // [ti][fleet size]
+}
+
+func newTISweepFold(o Options, sp TaskSpace) (*tiSweepFold, error) {
+	tis, ti, err := tiAxisValues(sp)
+	if err != nil {
+		return nil, err
+	}
+	fa, fi, ok := sp.Axis("fleet_size")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no fleet_size axis", sp)
+	}
+	sizes := make([]int, fa.Len())
+	for i := range sizes {
+		if sizes[i], err = fa.Int(i); err != nil {
+			return nil, err
+		}
+	}
+	f := &tiSweepFold{o: o, tis: tis, sizes: sizes, ti: ti, fi: fi,
+		ratio: make([][]stats.Accumulator, len(tis))}
+	for i := range f.ratio {
+		f.ratio[i] = make([]stats.Accumulator, len(sizes))
+	}
+	return f, nil
+}
+
+func (f *tiSweepFold) add(c []int, tx float64) {
+	f.ratio[c[f.ti]][c[f.fi]].Add(tx / float64(f.sizes[c[f.fi]]))
+}
+
+func (f *tiSweepFold) result() *TISweepResult {
+	out := &TISweepResult{Options: f.o}
+	for ti, byTI := range f.ratio {
+		var s stats.Series
+		s.Name = fmt.Sprintf("TI=%v", f.tis[ti])
+		for si, n := range f.sizes {
+			s.Append(float64(n), byTI[si].Summary())
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// mixSweepFold folds the per-(mix, run) stream of the DRX-mix ablation
+// into one transmissions-per-device summary per mix.
+type mixSweepFold struct {
+	o     Options
+	names []string
+	mi    int // mix axis position
+	acc   []stats.Accumulator
+}
+
+func newMixSweepFold(o Options, sp TaskSpace) (*mixSweepFold, error) {
+	a, mi, ok := sp.Axis("mix")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no mix axis", sp)
+	}
+	names := make([]string, a.Len())
+	for i := range names {
+		names[i] = a.Value(i)
+	}
+	return &mixSweepFold{o: o, names: names, mi: mi, acc: make([]stats.Accumulator, len(names))}, nil
+}
+
+func (f *mixSweepFold) add(c []int, tx float64) {
+	f.acc[c[f.mi]].Add(tx / float64(f.o.Devices))
+}
+
+func (f *mixSweepFold) result() *MixSweepResult {
+	out := &MixSweepResult{Options: f.o, Ratio: map[string]stats.Summary{}}
+	for i, name := range f.names {
+		out.Ratio[name] = f.acc[i].Summary()
+	}
+	return out
+}
+
+// pagingFold folds the per-(capacity, run) stream of the paging-capacity
+// ablation into one overflow summary per capacity.
+type pagingFold struct {
+	o          Options
+	capacities []int
+	ci         int // capacity axis position
+	acc        []stats.Accumulator
+}
+
+func newPagingFold(o Options, sp TaskSpace) (*pagingFold, error) {
+	a, ci, ok := sp.Axis("capacity")
+	if !ok {
+		return nil, fmt.Errorf("experiment: task space %v has no capacity axis", sp)
+	}
+	capacities := make([]int, a.Len())
+	var err error
+	for i := range capacities {
+		if capacities[i], err = a.Int(i); err != nil {
+			return nil, err
+		}
+	}
+	return &pagingFold{o: o, capacities: capacities, ci: ci,
+		acc: make([]stats.Accumulator, len(capacities))}, nil
+}
+
+func (f *pagingFold) add(c []int, v float64) { f.acc[c[f.ci]].Add(v) }
+
+func (f *pagingFold) result() *PagingCapacityResult {
+	out := &PagingCapacityResult{Options: f.o, Overflows: map[int]stats.Summary{}}
+	for i, capacity := range f.capacities {
+		out.Overflows[capacity] = f.acc[i].Summary()
+	}
+	return out
+}
+
+// greedyFold folds the per-instance greedy/optimal ratio stream of the
+// cover-quality ablation. ExactWins counts ratios strictly above one —
+// exact for the small integer cover sizes the ablation draws.
+type greedyFold struct {
+	o     Options
+	ratio stats.Accumulator
+	out   GreedyVsExactResult
+}
+
+func (f *greedyFold) add(c []int, r float64) {
+	f.ratio.Add(r)
+	if r > f.out.WorstRatio {
+		f.out.WorstRatio = r
+	}
+	if r > 1 {
+		f.out.ExactWins++
+	}
+	f.out.Instances++
+}
+
+func (f *greedyFold) result() *GreedyVsExactResult {
+	out := f.out
+	out.Options = f.o
+	out.Ratio = f.ratio.Summary()
+	return &out
 }
 
 // --- rebuilding results from record streams -----------------------------------
@@ -163,53 +333,29 @@ func foldRecords(name string, n int, src RecordSeq, add func(idx int, v float64)
 // Fig6aFromRecords rebuilds the Fig. 6(a) result from a complete record
 // stream, bit-identical to the result the live sweep computes.
 func Fig6aFromRecords(o Options, src RecordSeq) (*Fig6aResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	n, err := Tasks("fig6a", o)
+	res, err := SweepFromRecords("fig6a", o, TaskSpace{}, src)
 	if err != nil {
 		return nil, err
 	}
-	fold := newMechFold(core.GroupingMechanisms())
-	if err := foldRecords("fig6a", n, src, fold.add); err != nil {
-		return nil, err
-	}
-	return &Fig6aResult{Options: o, Increase: fold.summaries()}, nil
+	return res.(*Fig6aResult), nil
 }
 
 // Fig6bFromRecords rebuilds the Fig. 6(b) result from a complete record
 // stream, bit-identical to the result the live sweep computes.
 func Fig6bFromRecords(o Options, src RecordSeq) (*Fig6bResult, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	n, err := Tasks("fig6b", o)
+	res, err := SweepFromRecords("fig6b", o, TaskSpace{}, src)
 	if err != nil {
 		return nil, err
 	}
-	fold := newFig6bFold(o)
-	if err := foldRecords("fig6b", n, src, fold.add); err != nil {
-		return nil, err
-	}
-	return fold.result(), nil
+	return res.(*Fig6bResult), nil
 }
 
 // Fig7FromRecords rebuilds the Fig. 7 result from a complete record
 // stream, bit-identical to the result the live sweep computes.
 func Fig7FromRecords(o Options, src RecordSeq) (*Fig7Result, error) {
-	o = o.WithDefaults()
-	if err := o.Validate(); err != nil {
-		return nil, err
-	}
-	n, err := Tasks("fig7", o)
+	res, err := SweepFromRecords("fig7", o, TaskSpace{}, src)
 	if err != nil {
 		return nil, err
 	}
-	fold := newFig7Fold(o)
-	if err := foldRecords("fig7", n, src, fold.add); err != nil {
-		return nil, err
-	}
-	return fold.result(), nil
+	return res.(*Fig7Result), nil
 }

@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/multicast"
+	"nbiot/internal/report"
+	"nbiot/internal/simtime"
+	"nbiot/internal/stats"
+)
+
+// GridSpec is the user-definable scenario grid: a rollout × mechanism ×
+// traffic mix × TI ladder × payload cross product, loadable from JSON
+// (`nbsim grid -spec`). Every listed value becomes one coordinate of the
+// sweep's task space, so a grid shards, resumes, merges, and rebuilds
+// like any registered sweep — new workloads are axes here, not new code
+// paths.
+type GridSpec struct {
+	// Name labels the grid in tables and manifests.
+	Name string `json:"name,omitempty"`
+	// Runs is the per-cell repetition count (default Options.Runs).
+	Runs int `json:"runs,omitempty"`
+	// FleetSizes lists rollout scales (default: Options.Devices).
+	FleetSizes []int `json:"fleet_sizes,omitempty"`
+	// Mechanisms lists canonical mechanism names (default: the paper's
+	// three grouping mechanisms).
+	Mechanisms []string `json:"mechanisms,omitempty"`
+	// Mixes lists registered traffic-mix names (default: Options.Mix).
+	Mixes []string `json:"mixes,omitempty"`
+	// TIMillis lists inactivity-timer values in milliseconds (default:
+	// Options.TI).
+	TIMillis []int64 `json:"ti_ms,omitempty"`
+	// PayloadBytes lists multicast payload sizes (default: 100 KiB).
+	PayloadBytes []int64 `json:"payload_bytes,omitempty"`
+}
+
+// withDefaults resolves the spec's empty axes against resolved options.
+func (g GridSpec) withDefaults(o Options) GridSpec {
+	o = o.WithDefaults()
+	if g.Name == "" {
+		g.Name = "grid"
+	}
+	if g.Runs == 0 {
+		g.Runs = o.Runs
+	}
+	if len(g.FleetSizes) == 0 {
+		g.FleetSizes = []int{o.Devices}
+	}
+	if len(g.Mechanisms) == 0 {
+		g.Mechanisms = mechanismNames(core.GroupingMechanisms())
+	}
+	if len(g.Mixes) == 0 {
+		g.Mixes = []string{o.Mix.Name}
+	}
+	if len(g.TIMillis) == 0 {
+		g.TIMillis = []int64{int64(o.TI / simtime.Millisecond)}
+	}
+	if len(g.PayloadBytes) == 0 {
+		g.PayloadBytes = []int64{multicast.Size100KB}
+	}
+	return g
+}
+
+// Space enumerates the resolved grid as a task space — run varies
+// fastest, so one cell's repetitions are contiguous in the global index
+// space.
+func (g GridSpec) Space(o Options) (TaskSpace, error) {
+	g = g.withDefaults(o)
+	if g.Runs <= 0 {
+		return TaskSpace{}, fmt.Errorf("experiment: non-positive grid runs %d", g.Runs)
+	}
+	for _, n := range g.FleetSizes {
+		if n <= 0 {
+			return TaskSpace{}, fmt.Errorf("experiment: non-positive grid fleet size %d", n)
+		}
+	}
+	for _, name := range g.Mechanisms {
+		if _, err := core.ParseMechanism(name); err != nil {
+			return TaskSpace{}, err
+		}
+	}
+	for _, name := range g.Mixes {
+		if _, err := builtinMix(name); err != nil {
+			return TaskSpace{}, err
+		}
+	}
+	for _, ms := range g.TIMillis {
+		if ms <= 0 {
+			return TaskSpace{}, fmt.Errorf("experiment: non-positive grid TI %dms", ms)
+		}
+	}
+	for _, b := range g.PayloadBytes {
+		if b <= 0 {
+			return TaskSpace{}, fmt.Errorf("experiment: non-positive grid payload %d", b)
+		}
+	}
+	sp := Space(
+		IntAxis("fleet_size", g.FleetSizes),
+		ValueAxis("mechanism", g.Mechanisms...),
+		ValueAxis("mix", g.Mixes...),
+		Int64Axis("ti_ms", g.TIMillis),
+		Int64Axis("payload", g.PayloadBytes),
+		CounterAxis("run", g.Runs),
+	)
+	return sp, sp.Validate()
+}
+
+// GridCell is one scenario of a grid: a point of the cross product with
+// its light-sleep increase distribution over runs.
+type GridCell struct {
+	FleetSize int
+	Mechanism core.Mechanism
+	Mix       string
+	TI        simtime.Ticks
+	Payload   int64
+	Increase  stats.Summary
+}
+
+// GridResult is a grid sweep's outcome: one cell per scenario, in axis
+// order.
+type GridResult struct {
+	Options Options
+	Space   TaskSpace
+	Cells   []GridCell
+}
+
+// Table renders the grid, one row per scenario cell.
+func (r *GridResult) Table() *report.Table {
+	t := report.NewTable(
+		"Grid — relative light-sleep uptime increase vs unicast",
+		"devices", "mechanism", "mix", "TI", "payload", "mean increase", "95% CI", "runs")
+	for _, c := range r.Cells {
+		t.AddRow(
+			report.FormatFloat(float64(c.FleetSize)),
+			c.Mechanism.String(),
+			c.Mix,
+			c.TI.String(),
+			multicast.SizeLabel(c.Payload),
+			report.FormatPercent(c.Increase.Mean),
+			"±"+report.FormatPercent(c.Increase.CI95),
+			report.FormatFloat(float64(c.Increase.N)),
+		)
+	}
+	return t
+}
+
+// gridFold folds the per-(scenario, run) stream into one accumulator per
+// scenario cell. Everything it needs comes from the space's axes, so a
+// merge rebuilds a grid table from records + manifest alone.
+type gridFold struct {
+	o     Options
+	sp    TaskSpace
+	cells []GridCell
+	acc   []stats.Accumulator
+	runs  int
+}
+
+func newGridFold(o Options, sp TaskSpace) (*gridFold, error) {
+	if len(sp.Axes) != 6 {
+		return nil, fmt.Errorf("experiment: grid space %v must have 6 axes", sp)
+	}
+	for i, want := range []string{"fleet_size", "mechanism", "mix", "ti_ms", "payload", "run"} {
+		if sp.Axes[i].Name != want {
+			return nil, fmt.Errorf("experiment: grid space axis %d is %q, want %q", i, sp.Axes[i].Name, want)
+		}
+	}
+	nCells := sp.Tasks() / sp.Axes[5].Len()
+	f := &gridFold{o: o, sp: sp,
+		cells: make([]GridCell, 0, nCells),
+		acc:   make([]stats.Accumulator, nCells),
+		runs:  sp.Axes[5].Len()}
+	mechs, err := parseMechanismAxis(sp.Axes[1])
+	if err != nil {
+		return nil, err
+	}
+	for fi := 0; fi < sp.Axes[0].Len(); fi++ {
+		n, err := sp.Axes[0].Int(fi)
+		if err != nil {
+			return nil, err
+		}
+		for mi := range mechs {
+			for xi := 0; xi < sp.Axes[2].Len(); xi++ {
+				for ti := 0; ti < sp.Axes[3].Len(); ti++ {
+					ms, err := sp.Axes[3].Int64(ti)
+					if err != nil {
+						return nil, err
+					}
+					for pi := 0; pi < sp.Axes[4].Len(); pi++ {
+						b, err := sp.Axes[4].Int64(pi)
+						if err != nil {
+							return nil, err
+						}
+						f.cells = append(f.cells, GridCell{
+							FleetSize: n,
+							Mechanism: mechs[mi],
+							Mix:       sp.Axes[2].Value(xi),
+							TI:        simtime.Ticks(ms) * simtime.Millisecond,
+							Payload:   b,
+						})
+					}
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// cellIndex flattens the non-run coordinates row-major, matching the
+// cells slice built above.
+func (f *gridFold) cellIndex(c []int) int {
+	idx := 0
+	for i := 0; i < 5; i++ {
+		idx = idx*f.sp.Axes[i].Len() + c[i]
+	}
+	return idx
+}
+
+func (f *gridFold) add(c []int, v float64) {
+	f.acc[f.cellIndex(c)].Add(v)
+}
+
+func (f *gridFold) result() *GridResult {
+	out := &GridResult{Options: f.o, Space: f.sp, Cells: f.cells}
+	for i := range out.Cells {
+		out.Cells[i].Increase = f.acc[i].Summary()
+	}
+	return out
+}
+
+func init() {
+	registerSweep(&sweepDef{
+		name: "grid",
+		space: func(o Options) (TaskSpace, error) {
+			return GridSpec{}.Space(o)
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			n, err := sp.Axes[0].Int(c[0])
+			if err != nil {
+				return 0, err
+			}
+			mech, err := core.ParseMechanism(sp.Axes[1].Value(c[1]))
+			if err != nil {
+				return 0, err
+			}
+			mix, err := builtinMix(sp.Axes[2].Value(c[2]))
+			if err != nil {
+				return 0, err
+			}
+			ms, err := sp.Axes[3].Int64(c[3])
+			if err != nil {
+				return 0, err
+			}
+			size, err := sp.Axes[4].Int64(c[4])
+			if err != nil {
+				return 0, err
+			}
+			r := c[5]
+			oi := o
+			oi.Devices = n
+			oi.Mix = mix
+			oi.TI = simtime.Ticks(ms) * simtime.Millisecond
+			fleet, err := fleetForRun(oi, n, r, sc)
+			if err != nil {
+				return 0, err
+			}
+			return increaseVsUnicast(oi, mech, fleet, r, size, (*cell.Result).TotalLightSleep, "light-sleep", sc)
+		},
+		record: func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+			n, _ := sp.Axes[0].Int(c[0])
+			size, _ := sp.Axes[4].Int64(c[4])
+			return RunRecord{
+				Variant:   "mix=" + sp.Axes[2].Value(c[2]) + ",ti_ms=" + sp.Axes[3].Value(c[3]),
+				Run:       c[5],
+				Mechanism: sp.Axes[1].Value(c[1]), Size: size, FleetSize: n,
+				Metric: "light_sleep_increase", Value: v,
+			}
+		},
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newGridFold(o, sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// Grid runs a user-defined scenario grid: the spec's cross product
+// enumerated as one task space, executed by the shared sweep engine with
+// full shard/resume/record support.
+func Grid(o Options, spec GridSpec) (*GridResult, error) {
+	o = o.WithDefaults()
+	sp, err := spec.Space(o)
+	if err != nil {
+		return nil, err
+	}
+	def, err := lookupSweep("grid")
+	if err != nil {
+		return nil, err
+	}
+	res, err := runSweepIn(def, o, sp)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*GridResult), nil
+}

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"nbiot/internal/report"
+)
+
+// This file is the sweep registry: the one place every campaign — the
+// figure sweeps, the five ablations, and user-defined scenario grids — is
+// declared. A sweepDef pairs a declarative TaskSpace (the sweep's named
+// axes) with a per-index task materializer and a streaming fold, and the
+// shared engine below runs every registered sweep the same way: enumerate
+// the space into one global index space, slice it with Options.ShardIndex/
+// ShardCount/SkipTasks, execute the slice on the worker pool, fold and
+// record results serially in global-index order. Sharding, checkpointed
+// resume, merging, and record-stream rebuilds therefore apply uniformly —
+// a new workload is a new grid axis or registry entry, not a new code
+// path.
+
+// SweepResult is the renderable outcome of a sweep run or record-stream
+// rebuild. Concrete types (Fig7Result, TISweepResult, GridResult, ...)
+// carry the sweep-specific data; every one renders a table.
+type SweepResult interface {
+	Table() *report.Table
+}
+
+// Charter is implemented by sweep results that also render an ASCII
+// chart (Fig6b, Fig7, the TI sweep).
+type Charter interface {
+	Chart() *report.Chart
+}
+
+// sweepFold accumulates a sweep's (coords, value) stream and freezes the
+// result. Both the live reducer and the record-stream rebuilds drive the
+// same fold with the same values in the same order — the property that
+// makes rebuilt tables bit-identical to live ones.
+type sweepFold struct {
+	add    func(c []int, v float64)
+	result func() (SweepResult, error)
+}
+
+// sweepDef declares one sweep for the registry.
+type sweepDef struct {
+	name string
+	// space builds the sweep's default task space from resolved options.
+	// Parameterised sweeps (custom TI ladders, mixes, capacities, grids)
+	// run the same def over a custom space: the space itself carries the
+	// parameters as canonical axis values the task materializer parses.
+	space func(o Options) (TaskSpace, error)
+	// task executes the global task at coordinates c, returning its scalar
+	// outcome. Everything variable must derive from (o, sp, c) — never
+	// execution order — so shards and resumes reproduce identical values.
+	task func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error)
+	// record fills the sweep-specific fields of the task's streaming
+	// record; the engine stamps Experiment and the global Index.
+	record func(o Options, sp TaskSpace, c []int, v float64) RunRecord
+	// newFold allocates the streaming fold for one run or rebuild.
+	newFold func(o Options, sp TaskSpace) (*sweepFold, error)
+}
+
+var sweepRegistry = map[string]*sweepDef{}
+
+func registerSweep(d *sweepDef) { sweepRegistry[d.name] = d }
+
+func lookupSweep(name string) (*sweepDef, error) {
+	if d, ok := sweepRegistry[name]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("experiment: no registered sweep %q (have %v)", name, Sweeps())
+}
+
+// Sweeps lists every registered sweep name, sorted.
+func Sweeps() []string {
+	names := make([]string, 0, len(sweepRegistry))
+	for name := range sweepRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsSweep reports whether name is a registered sweep.
+func IsSweep(name string) bool {
+	_, ok := sweepRegistry[name]
+	return ok
+}
+
+// SpaceFor builds the named sweep's task space at the given options — the
+// global index space manifests pin, shards slice, and merges rebuild.
+func SpaceFor(name string, o Options) (TaskSpace, error) {
+	def, err := lookupSweep(name)
+	if err != nil {
+		return TaskSpace{}, err
+	}
+	return def.space(o.WithDefaults())
+}
+
+// Tasks reports the size of the named sweep's global task-index space —
+// the quantity shards, checkpoints, and campaign manifests are defined
+// over.
+func Tasks(name string, o Options) (int, error) {
+	sp, err := SpaceFor(name, o)
+	if err != nil {
+		return 0, err
+	}
+	return sp.Tasks(), nil
+}
+
+// RunSweep executes the named sweep at its default task space. The
+// concrete result type is the sweep's own (Fig7Result for "fig7", ...);
+// all of Options' execution machinery — Workers, Record, ShardIndex/
+// ShardCount, SkipTasks — applies, whichever sweep it is.
+func RunSweep(name string, o Options) (SweepResult, error) {
+	def, err := lookupSweep(name)
+	if err != nil {
+		return nil, err
+	}
+	o = o.WithDefaults()
+	sp, err := def.space(o)
+	if err != nil {
+		return nil, err
+	}
+	return runSweepIn(def, o, sp)
+}
+
+// runSweepIn is the shared sweep engine: enumerate sp, execute this
+// Options' slice of it on the worker pool, stream results through the
+// serial reducer into the fold and the Record hook. Identical inputs give
+// byte-identical record streams whatever the worker count or shard
+// layout.
+func runSweepIn(def *sweepDef, o Options, sp TaskSpace) (SweepResult, error) {
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", def.name, err)
+	}
+	fold, err := def.newFold(o, sp)
+	if err != nil {
+		return nil, err
+	}
+	n := sp.Tasks()
+	tick := o.progressCounter(def.name+": task %d/%d done", o.effectiveTasks(n))
+	rc := make([]int, 0, len(sp.Axes)) // reducer-side coords buffer
+	err = reduceStream(o, n,
+		func(idx int, sc *taskScratch) (float64, error) {
+			sc.coords = sp.CoordsInto(sc.coords[:0], idx)
+			v, err := def.task(o, sp, sc.coords, sc)
+			if err != nil {
+				return 0, err
+			}
+			tick()
+			return v, nil
+		},
+		func(idx int, v float64) error {
+			rc = sp.CoordsInto(rc[:0], idx)
+			fold.add(rc, v)
+			if o.Record == nil {
+				return nil
+			}
+			rec := def.record(o, sp, rc, v)
+			rec.Experiment = def.name
+			rec.Index = idx
+			return o.Record(rec)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return fold.result()
+}
+
+// SweepFromRecords rebuilds the named sweep's result from a complete
+// record stream over the given task space (zero space means the sweep's
+// default at o) — bit-identical to the result the live sweep computes,
+// for every registered sweep. This is what lets `nbsim merge` rebuild
+// ablation and grid tables, not only the figure sweeps.
+func SweepFromRecords(name string, o Options, sp TaskSpace, src RecordSeq) (SweepResult, error) {
+	def, err := lookupSweep(name)
+	if err != nil {
+		return nil, err
+	}
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sp.Axes) == 0 {
+		if sp, err = def.space(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	fold, err := def.newFold(o, sp)
+	if err != nil {
+		return nil, err
+	}
+	c := make([]int, 0, len(sp.Axes))
+	if err := foldRecords(name, sp.Tasks(), src, func(idx int, v float64) {
+		c = sp.CoordsInto(c[:0], idx)
+		fold.add(c, v)
+	}); err != nil {
+		return nil, err
+	}
+	return fold.result()
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is one named dimension of a sweep's task space. An axis either
+// enumerates explicit coordinate values (Values — canonical strings a
+// task materializer parses back, e.g. fleet sizes, mechanism names,
+// registered mix names, TI milliseconds) or is a bare counter (Count —
+// the run axis of every sweep), whose implied values are "0".."Count-1"
+// without materialising a million strings in a manifest.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values,omitempty"`
+	Count  int      `json:"count,omitempty"`
+}
+
+// CounterAxis is a bare 0..n-1 axis (runs, instances).
+func CounterAxis(name string, n int) Axis { return Axis{Name: name, Count: n} }
+
+// ValueAxis is an axis with explicit coordinate values.
+func ValueAxis(name string, values ...string) Axis { return Axis{Name: name, Values: values} }
+
+// IntAxis is a ValueAxis over integers in their canonical decimal form.
+func IntAxis(name string, values []int) Axis {
+	a := Axis{Name: name, Values: make([]string, len(values))}
+	for i, v := range values {
+		a.Values[i] = strconv.Itoa(v)
+	}
+	return a
+}
+
+// Int64Axis is a ValueAxis over 64-bit integers (payload sizes, TI
+// milliseconds) in their canonical decimal form.
+func Int64Axis(name string, values []int64) Axis {
+	a := Axis{Name: name, Values: make([]string, len(values))}
+	for i, v := range values {
+		a.Values[i] = strconv.FormatInt(v, 10)
+	}
+	return a
+}
+
+// Len is the axis's coordinate count.
+func (a Axis) Len() int {
+	if len(a.Values) > 0 {
+		return len(a.Values)
+	}
+	return a.Count
+}
+
+// Value is the canonical string of coordinate i.
+func (a Axis) Value(i int) string {
+	if len(a.Values) > 0 {
+		return a.Values[i]
+	}
+	return strconv.Itoa(i)
+}
+
+// Int parses coordinate i as an integer — the accessor for IntAxis-style
+// axes (fleet sizes, capacities, TI milliseconds).
+func (a Axis) Int(i int) (int, error) {
+	v, err := strconv.Atoi(a.Value(i))
+	if err != nil {
+		return 0, fmt.Errorf("experiment: axis %q value %q is not an integer", a.Name, a.Value(i))
+	}
+	return v, nil
+}
+
+// Int64 parses coordinate i as a 64-bit integer.
+func (a Axis) Int64(i int) (int64, error) {
+	v, err := strconv.ParseInt(a.Value(i), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("experiment: axis %q value %q is not an integer", a.Name, a.Value(i))
+	}
+	return v, nil
+}
+
+// TaskSpace is the declarative enumeration of a sweep's global task-index
+// space: the cross product of its axes, row-major with the last axis
+// varying fastest. Every sweep — the flat figure sweeps, the ablations'
+// nested experiment × variant × run spaces, and user-defined scenario
+// grids — describes itself as a TaskSpace, so the one [0, Tasks()) index
+// space is what runner.ShardSpan slices, Options.ShardIndex/ShardCount/
+// SkipTasks restrict, campaign manifests pin, and record folds rebuild
+// from. A TaskSpace serialises into the manifest sidecar (axes + labels),
+// keeping record files self-describing whatever the sweep's shape.
+type TaskSpace struct {
+	Axes []Axis `json:"axes"`
+}
+
+// Space builds a TaskSpace from axes.
+func Space(axes ...Axis) TaskSpace { return TaskSpace{Axes: axes} }
+
+// Tasks is the size of the global task-index space: the product of the
+// axis lengths (zero if any axis is empty, one for the empty space).
+func (ts TaskSpace) Tasks() int {
+	n := 1
+	for _, a := range ts.Axes {
+		n *= a.Len()
+	}
+	return n
+}
+
+// Validate reports whether the space is enumerable: at least one axis,
+// every axis named, non-empty, and unambiguous (Values or Count, not
+// both), names unique.
+func (ts TaskSpace) Validate() error {
+	if len(ts.Axes) == 0 {
+		return fmt.Errorf("experiment: task space has no axes")
+	}
+	seen := make(map[string]bool, len(ts.Axes))
+	for _, a := range ts.Axes {
+		if a.Name == "" {
+			return fmt.Errorf("experiment: task-space axis without a name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("experiment: duplicate task-space axis %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) > 0 && a.Count != 0 {
+			return fmt.Errorf("experiment: axis %q has both explicit values and a count", a.Name)
+		}
+		if a.Len() <= 0 {
+			return fmt.Errorf("experiment: axis %q is empty", a.Name)
+		}
+	}
+	return nil
+}
+
+// CoordsInto decomposes global index idx into per-axis coordinates,
+// appending to dst (pass dst[:0] to reuse a buffer).
+func (ts TaskSpace) CoordsInto(dst []int, idx int) []int {
+	n := len(ts.Axes)
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	for i := n - 1; i >= 0; i-- {
+		l := ts.Axes[i].Len()
+		dst[base+i] = idx % l
+		idx /= l
+	}
+	return dst
+}
+
+// Coords is CoordsInto with a fresh slice.
+func (ts TaskSpace) Coords(idx int) []int { return ts.CoordsInto(nil, idx) }
+
+// Index recomposes per-axis coordinates into the global index — the
+// inverse of Coords.
+func (ts TaskSpace) Index(coords ...int) int {
+	idx := 0
+	for i, a := range ts.Axes {
+		idx = idx*a.Len() + coords[i]
+	}
+	return idx
+}
+
+// Axis returns the named axis and its position, or ok == false.
+func (ts TaskSpace) Axis(name string) (Axis, int, bool) {
+	for i, a := range ts.Axes {
+		if a.Name == name {
+			return a, i, true
+		}
+	}
+	return Axis{}, 0, false
+}
+
+// Equal reports whether two spaces enumerate identically: same axes,
+// same order, same names, same coordinate values.
+func (ts TaskSpace) Equal(other TaskSpace) bool {
+	if len(ts.Axes) != len(other.Axes) {
+		return false
+	}
+	for i, a := range ts.Axes {
+		b := other.Axes[i]
+		if a.Name != b.Name || a.Len() != b.Len() {
+			return false
+		}
+		for j := 0; j < a.Len(); j++ {
+			if a.Value(j) != b.Value(j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the space compactly for errors and manifest hashes,
+// e.g. "ti{10000,20000}×fleet_size{40,80}×run[3]". The rendering is
+// canonical — it covers every axis name and coordinate value — so it is
+// safe to fingerprint.
+func (ts TaskSpace) String() string {
+	var b strings.Builder
+	for i, a := range ts.Axes {
+		if i > 0 {
+			b.WriteByte('×')
+		}
+		b.WriteString(a.Name)
+		if len(a.Values) > 0 {
+			b.WriteByte('{')
+			b.WriteString(strings.Join(a.Values, ","))
+			b.WriteByte('}')
+		} else {
+			fmt.Fprintf(&b, "[%d]", a.Count)
+		}
+	}
+	return b.String()
+}

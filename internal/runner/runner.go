@@ -44,6 +44,18 @@ func Seed(base int64, index int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// SeedPath folds a coordinate path through Seed left to right:
+// SeedPath(base, a, b) == Seed(Seed(base, a), b). It names the composite
+// derivation multi-axis task spaces use — one stream seed per coordinate
+// tuple, with each prefix of the path a valid (and stable) sub-stream
+// base, so adding a trailing axis never perturbs existing streams.
+func SeedPath(base int64, coords ...int) int64 {
+	for _, c := range coords {
+		base = Seed(base, c)
+	}
+	return base
+}
+
 // DefaultWorkers is the worker count used when the caller passes workers <= 0.
 func DefaultWorkers() int { return runtime.NumCPU() }
 

@@ -219,6 +219,35 @@ func TestSeedDistinctAcrossBases(t *testing.T) {
 	}
 }
 
+func TestSeedPathComposesSeed(t *testing.T) {
+	// SeedPath is definitionally the left fold of Seed; the multi-axis
+	// derivations in internal/experiment rely on this equality to stay
+	// byte-compatible with the historical nested-Seed spelling.
+	if got, want := SeedPath(42), int64(42); got != want {
+		t.Errorf("SeedPath(42) = %d, want the base unchanged", got)
+	}
+	if got, want := SeedPath(42, 7), Seed(42, 7); got != want {
+		t.Errorf("SeedPath(42, 7) = %d, want Seed(42, 7) = %d", got, want)
+	}
+	if got, want := SeedPath(42, 7, 3), Seed(Seed(42, 7), 3); got != want {
+		t.Errorf("SeedPath(42, 7, 3) = %d, want Seed(Seed(42, 7), 3) = %d", got, want)
+	}
+	if got, want := SeedPath(42, 7, 3, 11), Seed(Seed(Seed(42, 7), 3), 11); got != want {
+		t.Errorf("SeedPath(42, 7, 3, 11) = %d, want the triple nesting = %d", got, want)
+	}
+}
+
+func TestSeedPathPrefixIsSubStreamBase(t *testing.T) {
+	// Extending a path must equal deriving from the prefix's value — the
+	// property that makes adding a trailing axis safe for existing streams.
+	prefix := SeedPath(9, 4, 2)
+	for i := 0; i < 50; i++ {
+		if SeedPath(9, 4, 2, i) != Seed(prefix, i) {
+			t.Fatalf("SeedPath(9, 4, 2, %d) does not extend its prefix", i)
+		}
+	}
+}
+
 func TestSeedIndexZeroDiffersFromBase(t *testing.T) {
 	// The derivation must mix even at index 0 — a raw pass-through would
 	// correlate task 0 of every sweep with the sweep's own master stream.

@@ -353,6 +353,66 @@ func Fig6b(o ExperimentOptions) (*Fig6bResult, error) { return experiment.Fig6b(
 // Fig7 regenerates Fig. 7: DR-SC transmissions vs fleet size.
 func Fig7(o ExperimentOptions) (*Fig7Result, error) { return experiment.Fig7(o) }
 
+// --- sweep registry ----------------------------------------------------------
+//
+// Every sweep — the figures above, the ablations, and user-defined grids —
+// is registered behind one declarative task space: named axes whose cross
+// product is the sweep's global index space. One engine enumerates, shards,
+// records, and folds them all, so shard/resume/merge semantics are uniform
+// across every experiment.
+
+// TaskSpace is a sweep's declarative task space: the ordered axes whose
+// cross product (row-major, last axis fastest) is the global task-index
+// space that sharding, resume offsets, and record streams all address.
+type TaskSpace = experiment.TaskSpace
+
+// TaskAxis is one named dimension of a TaskSpace.
+type TaskAxis = experiment.Axis
+
+// SweepResult is any registered sweep's outcome; every result renders a
+// table, and figure results additionally render a chart.
+type SweepResult = experiment.SweepResult
+
+// Sweeps lists the registered sweep names in sorted order.
+func Sweeps() []string { return experiment.Sweeps() }
+
+// SweepSpace reports the task space a registered sweep enumerates at the
+// given options.
+func SweepSpace(name string, o ExperimentOptions) (TaskSpace, error) {
+	return experiment.SpaceFor(name, o)
+}
+
+// RunSweep executes a registered sweep by name through the shared engine,
+// honouring the options' shard/skip/record fields.
+func RunSweep(name string, o ExperimentOptions) (SweepResult, error) {
+	return experiment.RunSweep(name, o)
+}
+
+// SweepFromRecords rebuilds a registered sweep's result from a complete
+// record stream, bit-identical to the live sweep's. Pass the manifest's
+// task space for sweeps over custom spaces (grids); a zero TaskSpace means
+// the sweep's default space at o.
+func SweepFromRecords(name string, o ExperimentOptions, sp TaskSpace, src RecordSeq) (SweepResult, error) {
+	return experiment.SweepFromRecords(name, o, sp, src)
+}
+
+// GridSpec is a user-definable scenario grid — rollout sizes × mechanisms ×
+// traffic mixes × TI ladder × payloads — loadable from JSON (`nbsim grid
+// -spec`). Empty axes default from the options.
+type GridSpec = experiment.GridSpec
+
+// GridCell is one scenario of a grid with its metric distribution over runs.
+type GridCell = experiment.GridCell
+
+// GridResult is a grid sweep's outcome, one cell per scenario.
+type GridResult = experiment.GridResult
+
+// RunGrid executes a user-defined scenario grid as one task space on the
+// shared sweep engine, with full shard/resume/record support.
+func RunGrid(o ExperimentOptions, spec GridSpec) (*GridResult, error) {
+	return experiment.Grid(o, spec)
+}
+
 // --- distributed campaigns ---------------------------------------------------
 //
 // ExperimentOptions.ShardIndex/ShardCount/SkipTasks plus internal/campaign
@@ -373,11 +433,17 @@ type CampaignManifest = campaign.Manifest
 // record file: the completed task prefix and the crash damage found.
 type CampaignCheckpoint = campaign.Checkpoint
 
-// NewCampaignManifest builds the manifest for one shard of an
-// experiment's sweep ("fig6a", "fig6b", "fig7"); shardCount <= 1 means
-// unsharded.
+// NewCampaignManifest builds the manifest for one shard of a registered
+// sweep's campaign (any name in Sweeps()); shardCount <= 1 means unsharded.
 func NewCampaignManifest(experimentName string, o ExperimentOptions, shardIndex, shardCount int) (CampaignManifest, error) {
 	return campaign.New(experimentName, o, shardIndex, shardCount)
+}
+
+// NewGridCampaignManifest builds the manifest for one shard of a
+// scenario-grid campaign; the spec rides along in the manifest so the
+// record file documents the scenario it swept.
+func NewGridCampaignManifest(spec GridSpec, o ExperimentOptions, shardIndex, shardCount int) (CampaignManifest, error) {
+	return campaign.NewGrid(spec, o, shardIndex, shardCount)
 }
 
 // ReadCampaignManifest loads and validates a manifest sidecar.
