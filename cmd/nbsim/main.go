@@ -11,6 +11,8 @@
 //	nbsim run      [flags]    # one campaign, verbose per-device summary
 //	nbsim merge    [flags] shard0.jsonl shard1.jsonl ...
 //	                          # fold shard record files into the single-process output
+//	nbsim tail     [flags] shard0.jsonl.status 'shard-*.jsonl.status' ...
+//	                          # follow a live campaign's status sidecars
 //
 // Common flags: -seed, -runs, -devices, -ti, -mix, -workers, -csv, -quiet,
 // -jsonl. Results print as aligned tables (and ASCII charts); -csv switches
@@ -38,6 +40,20 @@
 // the JSON spec lists fleet sizes, mechanisms, traffic mixes, TI values
 // (ms), and payload sizes, and the cross product runs as one campaign
 // (see examples/grid/scenario.json).
+//
+// Live telemetry (internal/telemetry): every sweep that writes -jsonl also
+// rewrites a `<file>.status` sidecar atomically while it runs — shard
+// identity, progress, throughput, ETA, and per-metric streaming statistics
+// (count/mean/min/max plus P² P50/P95/P99). `-status <path>` moves the
+// sidecar (or enables it without -jsonl); `-status ”` disables it.
+// `nbsim tail` follows one or many status files (globs welcome) and
+// renders the fleet-wide view: aggregate progress, per-shard ETA and
+// straggler flags, merged percentile estimates; -json emits one snapshot
+// per poll for scripts, -once polls a single time. Sweeps also print the
+// same per-metric distribution table to stderr when they finish, so the
+// live status, the resumed run, and `nbsim merge` all report the same
+// streaming statistics. Telemetry is pure observation: record streams and
+// tables are byte-identical with it on or off.
 package main
 
 import (
@@ -62,7 +78,7 @@ import (
 	"nbiot/internal/report"
 	"nbiot/internal/rng"
 	"nbiot/internal/simtime"
-	"nbiot/internal/stats"
+	"nbiot/internal/telemetry"
 	"nbiot/internal/trace"
 	"nbiot/internal/traffic"
 )
@@ -74,18 +90,46 @@ func main() {
 	}
 }
 
+// printer is the one gate every operator-facing progress or summary line
+// passes through: stderr output that respects -quiet in a single place
+// instead of scattered fmt.Fprintln(os.Stderr, ...) calls. Result tables
+// and records still go to stdout — the printer is for telemetry about the
+// run, never the run's output.
+type printer struct {
+	quiet bool
+	w     io.Writer
+}
+
+func newPrinter(quiet bool) *printer { return &printer{quiet: quiet, w: os.Stderr} }
+
+func (p *printer) linef(format string, args ...any) {
+	if p == nil || p.quiet {
+		return
+	}
+	fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+func (p *printer) table(t *report.Table) {
+	if p == nil || p.quiet {
+		return
+	}
+	fmt.Fprintln(p.w, t.String())
+}
+
 // cliOptions holds the parsed common flags.
 type cliOptions struct {
-	exp       experiment.Options
-	csv       bool
-	quiet     bool
-	mixName   string
-	jsonlPath string
-	resume    bool
-	force     bool
-	shardSpec string
-	specPath  string
-	grid      experiment.GridSpec
+	exp        experiment.Options
+	csv        bool
+	quiet      bool
+	mixName    string
+	jsonlPath  string
+	statusPath string
+	resume     bool
+	force      bool
+	shardSpec  string
+	specPath   string
+	grid       experiment.GridSpec
+	out        *printer
 	// run-subcommand extras
 	mechanism string
 	size      int64
@@ -109,6 +153,7 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress progress lines")
 	fs.StringVar(&o.jsonlPath, "jsonl", "", "stream one JSON record per completed run to this file as the sweep executes")
+	fs.StringVar(&o.statusPath, "status", "auto", "live status sidecar: 'auto' follows -jsonl (<file>.status), '' disables, any other value is the path")
 	fs.BoolVar(&o.resume, "resume", false, "resume an interrupted -jsonl campaign from its completed prefix (single-sweep subcommands)")
 	fs.BoolVar(&o.force, "force", false, "overwrite an existing -jsonl results file instead of refusing")
 	fs.StringVar(&o.shardSpec, "shard", "", "execute one shard i/n of the sweep's task space (1-based, e.g. 2/3; single-sweep subcommands, requires -jsonl)")
@@ -136,10 +181,11 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 		}
 		o.exp.ShardIndex, o.exp.ShardCount = idx, count
 	}
+	o.out = newPrinter(o.quiet)
 	if !o.quiet {
-		o.exp.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+		// Progress stays nil under -quiet so sweeps skip the formatting work
+		// entirely; the printer re-checks quiet only as a safety net.
+		o.exp.Progress = o.out.linef
 	}
 	return o, nil
 }
@@ -185,7 +231,7 @@ func sweepName(cmd string, o cliOptions) (string, bool) {
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|all|run|merge|bench} [flags]")
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|all|run|merge|tail|bench} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "merge" {
@@ -193,6 +239,9 @@ func run(args []string) (err error) {
 	}
 	if cmd == "bench" {
 		return runBench(rest)
+	}
+	if cmd == "tail" {
+		return runTail(rest)
 	}
 	switch cmd {
 	case "fig6a", "fig6b", "fig7", "ablations", "grid", "all", "run":
@@ -238,6 +287,60 @@ func run(args []string) (err error) {
 			}
 		}()
 	}
+	// Live telemetry: a shared MetricSet feeds both the status sidecar and
+	// the end-of-run distribution table, tapped from the engine's Observe
+	// hook. Quiet runs without a status sink leave Observe nil, so the
+	// record hot path pays nothing.
+	statusPath, err := resolveStatusPath(cmd, o)
+	if err != nil {
+		return err
+	}
+	ms := telemetry.NewMetricSet()
+	var tracker *telemetry.Tracker
+	if cmd != "run" {
+		if statusPath != "" {
+			c, cerr := campaignFor(cmd, name, single, o, sink)
+			if cerr != nil {
+				return cerr
+			}
+			tracker = telemetry.NewTracker(c, ms, telemetry.NewFileSink(statusPath), telemetry.TrackerOptions{})
+			defer func() {
+				// Telemetry is best-effort: a sink failure becomes a warning,
+				// never the run's error.
+				if cerr := tracker.Close(err == nil); cerr != nil {
+					fmt.Fprintf(os.Stderr, "nbsim: status sidecar: %v\n", cerr)
+				}
+			}()
+		}
+		if tracker != nil || !o.quiet {
+			o.exp.Observe = func(rec experiment.RunRecord) {
+				if tracker != nil {
+					tracker.Task(rec.Metric, rec.Value, rec.FleetSize)
+				} else {
+					ms.Add(rec.Metric, rec.Value)
+				}
+			}
+		}
+		if o.resume && o.exp.Observe != nil {
+			// Replay the checkpointed prefix (in stored order) before the
+			// live tail so the streaming statistics cover the whole campaign
+			// — prefix-then-tail is exactly the file's final order, which is
+			// why a resumed run's summary matches an uninterrupted one's.
+			if rerr := fileRecords(sink.path)(func(rec experiment.RunRecord) error {
+				if tracker != nil {
+					tracker.Prime(rec.Metric, rec.Value)
+				} else {
+					ms.Add(rec.Metric, rec.Value)
+				}
+				return nil
+			}); rerr != nil {
+				return fmt.Errorf("priming telemetry from %s: %w", sink.path, rerr)
+			}
+		}
+		if tracker != nil {
+			tracker.Start()
+		}
+	}
 	stopProfiles, err := startProfiles(o)
 	if err != nil {
 		return err
@@ -249,21 +352,99 @@ func run(args []string) (err error) {
 	}()
 	switch cmd {
 	case "fig6a", "fig6b", "fig7", "grid":
-		return runSweepCmd(cmd, o, sink)
+		err = runSweepCmd(cmd, o, sink)
 	case "ablations":
-		return runAblations(o, sink)
+		err = runAblations(o, sink)
 	case "all":
 		for _, fig := range []string{"fig6a", "fig6b", "fig7"} {
-			if err := runSweepCmd(fig, o, sink); err != nil {
+			if err = runSweepCmd(fig, o, sink); err != nil {
 				return err
 			}
 		}
-		return runAblations(o, sink)
+		err = runAblations(o, sink)
 	case "run":
 		return runSingle(o)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+	if err != nil {
+		return err
+	}
+	if ms.Records() > 0 {
+		// The same streaming distribution table merge prints — one summary
+		// for the whole invocation, composites included.
+		o.out.table(ms.Table())
+	}
+	return nil
+}
+
+// resolveStatusPath maps the -status flag to a sidecar path: "auto"
+// publishes next to -jsonl (status emission is on by default for recorded
+// sweeps), "" disables, anything else is an explicit path — valid even
+// without -jsonl, so a purely in-memory sweep can still be tailed.
+func resolveStatusPath(cmd string, o cliOptions) (string, error) {
+	switch o.statusPath {
+	case "":
+		return "", nil
+	case "auto":
+		if o.jsonlPath != "" && cmd != "run" {
+			return telemetry.StatusPath(o.jsonlPath), nil
+		}
+		return "", nil
+	default:
+		if cmd == "run" {
+			return "", fmt.Errorf("-status applies to sweep subcommands, not %q", cmd)
+		}
+		return o.statusPath, nil
+	}
+}
+
+// campaignFor derives the identity a status sidecar publishes. Recorded
+// single sweeps take it from the campaign manifest (sharding and resume
+// included); everything else — unrecorded sweeps, composite invocations
+// like `all` — synthesizes an unsharded identity whose task total spans
+// every sweep the invocation will run, so progress still counts up to a
+// meaningful denominator.
+func campaignFor(cmd, name string, single bool, o cliOptions, sink *jsonlSink) (telemetry.Campaign, error) {
+	if sink != nil && sink.hasManifest {
+		return sink.manifest.Telemetry(o.exp.SkipTasks), nil
+	}
+	var sweeps []string
+	campaignName := cmd
+	switch {
+	case single:
+		sweeps = []string{name}
+		campaignName = name
+	case cmd == "all":
+		sweeps = append([]string{"fig6a", "fig6b", "fig7"}, ablationIDs...)
+	case cmd == "ablations":
+		sweeps = ablationIDs
+	default:
+		return telemetry.Campaign{}, fmt.Errorf("no campaign identity for %q", cmd)
+	}
+	total := 0
+	for _, s := range sweeps {
+		var n int
+		var err error
+		if s == "grid" {
+			// The grid's task space depends on the -spec file, not only the
+			// common flags, so size it from the loaded spec.
+			sp, serr := o.grid.Space(o.exp)
+			if serr != nil {
+				return telemetry.Campaign{}, serr
+			}
+			n = sp.Tasks()
+		} else if n, err = experiment.Tasks(s, o.exp); err != nil {
+			return telemetry.Campaign{}, err
+		}
+		total += n
+	}
+	return telemetry.Campaign{
+		Experiment: campaignName,
+		ShardCount: 1,
+		TotalTasks: total,
+		ShardTasks: total,
+	}, nil
 }
 
 // loadGridSpec reads a scenario-spec JSON file; an empty path means the
@@ -560,16 +741,17 @@ func runSweepCmd(name string, o cliOptions, sink *jsonlSink) error {
 func runMerge(args []string) (err error) {
 	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
 	var out string
-	var csvOut, force bool
+	var csvOut, force, quiet bool
 	fs.StringVar(&out, "out", "", "write the merged record stream (and its manifest sidecar) to this JSONL file")
 	fs.BoolVar(&csvOut, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&force, "force", false, "overwrite an existing -out file")
+	fs.BoolVar(&quiet, "quiet", false, "suppress the stderr distribution summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
-		return fmt.Errorf("usage: nbsim merge [-out merged.jsonl] [-csv] shard0.jsonl shard1.jsonl ...")
+		return fmt.Errorf("usage: nbsim merge [-out merged.jsonl] [-csv] [-quiet] shard0.jsonl shard1.jsonl ...")
 	}
 	first, err := campaign.ReadFile(campaign.Path(paths[0]))
 	if err != nil {
@@ -607,10 +789,10 @@ func runMerge(args []string) (err error) {
 	}
 
 	var merged campaign.Manifest
-	quantiles := newMetricQuantiles()
+	ms := telemetry.NewMetricSet()
 	seq := experiment.RecordSeq(func(yield func(experiment.RunRecord) error) error {
 		m, err := campaign.Merge(w, paths, func(rec experiment.RunRecord) error {
-			quantiles.add(rec)
+			ms.Add(rec.Metric, rec.Value)
 			return yield(rec)
 		})
 		if err != nil {
@@ -624,10 +806,11 @@ func runMerge(args []string) (err error) {
 		return err
 	}
 	emitResult(cliOptions{csv: csvOut}, res)
-	// The percentile summary goes to stderr: stdout stays byte-identical
+	// The distribution summary goes to stderr: stdout stays byte-identical
 	// to the single-process run's tables, which scripts (and the CI smoke)
-	// diff against.
-	fmt.Fprintln(os.Stderr, quantiles.table().String())
+	// diff against. Same MetricSet as live sweeps and tail, fed the merged
+	// stream in its stored (index) order — so all three surfaces agree.
+	newPrinter(quiet).table(ms.Table())
 	if f != nil {
 		if err := bw.Flush(); err != nil {
 			return fmt.Errorf("merge: %w", err)
@@ -645,48 +828,6 @@ func runMerge(args []string) (err error) {
 // ablationIDs is the `ablations` suite in presentation order; each is a
 // registered sweep, so any one of them shards and resumes via -id.
 var ablationIDs = []string{"greedy-vs-exact", "ti-sweep", "mix-sweep", "paging-capacity", "scptm"}
-
-// metricQuantiles streams every merged record value through P²
-// estimators, one (P50, P95, P99) triple per metric, in O(1) memory —
-// the distribution summary a merge can offer that per-cell means cannot.
-type metricQuantiles struct {
-	order   []string
-	byName  map[string]*[3]*stats.P2Quantile
-	records int
-}
-
-func newMetricQuantiles() *metricQuantiles {
-	return &metricQuantiles{byName: map[string]*[3]*stats.P2Quantile{}}
-}
-
-func (q *metricQuantiles) add(rec experiment.RunRecord) {
-	t, ok := q.byName[rec.Metric]
-	if !ok {
-		t = &[3]*stats.P2Quantile{
-			stats.NewP2Quantile(0.50), stats.NewP2Quantile(0.95), stats.NewP2Quantile(0.99),
-		}
-		q.byName[rec.Metric] = t
-		q.order = append(q.order, rec.Metric)
-	}
-	for _, e := range t {
-		e.Add(rec.Value)
-	}
-	q.records++
-}
-
-func (q *metricQuantiles) table() *report.Table {
-	t := report.NewTable(
-		fmt.Sprintf("Merged record distribution (P² estimates over %d records)", q.records),
-		"metric", "P50", "P95", "P99")
-	for _, name := range q.order {
-		e := q.byName[name]
-		t.AddRow(name,
-			report.FormatFloat(e[0].Value()),
-			report.FormatFloat(e[1].Value()),
-			report.FormatFloat(e[2].Value()))
-	}
-	return t
-}
 
 func runAblations(o cliOptions, sink *jsonlSink) error {
 	any := false

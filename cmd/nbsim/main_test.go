@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"nbiot/internal/core"
 	"nbiot/internal/experiment"
+	"nbiot/internal/telemetry"
 )
 
 func TestParseMechanism(t *testing.T) {
@@ -299,5 +301,217 @@ func TestRunSubcommandsSmall(t *testing.T) {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatalf("captured command failed: %v\noutput: %s", ferr, out)
+	}
+	return out
+}
+
+func TestStatusSidecarFollowsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := run([]string{"fig7", "-runs", "2", "-quiet", "-csv", "-jsonl", path}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := telemetry.ReadStatus(telemetry.StatusPath(path))
+	if err != nil {
+		t.Fatalf("status sidecar not written: %v", err)
+	}
+	if !st.Done || st.Completed != 20 || st.TotalTasks != 20 || st.ShardCount != 1 {
+		t.Errorf("final status: %+v", st)
+	}
+	if st.Experiment != "fig7" || st.ConfigHash == "" {
+		t.Errorf("status identity: %q %q", st.Experiment, st.ConfigHash)
+	}
+	if len(st.Metrics) != 1 || st.Metrics[0].Name != "transmissions" || st.Metrics[0].Count != 20 {
+		t.Errorf("status metrics: %+v", st.Metrics)
+	}
+	if _, err := os.Stat(telemetry.StatusPath(path) + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+func TestStatusDisabled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := run([]string{"fig7", "-runs", "1", "-quiet", "-csv", "-jsonl", path, "-status", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(telemetry.StatusPath(path)); !os.IsNotExist(err) {
+		t.Errorf("-status '' still wrote a sidecar (stat err: %v)", err)
+	}
+}
+
+func TestStatusWithoutJSONL(t *testing.T) {
+	// An explicit path publishes status even for an in-memory sweep —
+	// there is no record file, but the campaign is still observable.
+	status := filepath.Join(t.TempDir(), "live.status")
+	if err := run([]string{"fig7", "-runs", "2", "-quiet", "-csv", "-status", status}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := telemetry.ReadStatus(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Completed != 20 || st.Experiment != "fig7" {
+		t.Errorf("status: %+v", st)
+	}
+}
+
+func TestStatusRejectedForRunSubcommand(t *testing.T) {
+	status := filepath.Join(t.TempDir(), "never.status")
+	if err := run([]string{"run", "-devices", "20", "-quiet", "-status", status}); err == nil {
+		t.Fatal("run -status accepted; a single campaign has no task stream")
+	}
+	if _, err := os.Stat(status); !os.IsNotExist(err) {
+		t.Errorf("run -status left a file behind (stat err: %v)", err)
+	}
+}
+
+func TestStatusCompositeInvocation(t *testing.T) {
+	// `ablations` without -id nests five sweeps in one file: the sidecar
+	// publishes a synthesized identity whose total spans all of them.
+	path := filepath.Join(t.TempDir(), "abl.jsonl")
+	if err := run([]string{"ablations", "-runs", "1", "-devices", "30", "-quiet", "-csv", "-jsonl", path}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := telemetry.ReadStatus(telemetry.StatusPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Experiment != "ablations" || st.Completed != st.TotalTasks || st.Completed == 0 {
+		t.Errorf("composite status: %+v", st)
+	}
+	if len(st.Metrics) < 2 {
+		t.Errorf("composite sweeps should publish several metrics, got %+v", st.Metrics)
+	}
+}
+
+func TestTailOnceJSON(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 3; i++ {
+		shard := filepath.Join(dir, fmt.Sprintf("sh-%d.jsonl", i))
+		if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv",
+			"-shard", fmt.Sprintf("%d/3", i), "-jsonl", shard}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"tail", "-json", "-once", filepath.Join(dir, "sh-*.jsonl.status")})
+	})
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("tail -json emitted unparseable output %q: %v", out, err)
+	}
+	if !snap.Done || snap.Completed != 30 || snap.TotalTasks != 30 || len(snap.Shards) != 3 {
+		t.Errorf("snapshot: done=%v %d/%d shards=%d", snap.Done, snap.Completed, snap.TotalTasks, len(snap.Shards))
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Count != 30 {
+		t.Errorf("merged metrics: %+v", snap.Metrics)
+	}
+	// The table mode renders the same fleet without error.
+	table := captureStdout(t, func() error {
+		return run([]string{"tail", "-once", filepath.Join(dir, "sh-*.jsonl.status")})
+	})
+	if !strings.Contains(table, "fleet: 30/30") || !strings.Contains(table, "Record distribution") {
+		t.Errorf("tail table output:\n%s", table)
+	}
+}
+
+func TestTailToleratesMissingAndStale(t *testing.T) {
+	dir := t.TempDir()
+	// One real status, one absent, one garbage: tail must render the fleet
+	// without failing — absent workers are pending, not broken.
+	good := filepath.Join(dir, "a.jsonl.status")
+	if err := telemetry.NewFileSink(good).Write(telemetry.Status{
+		Format: telemetry.StatusFormat, Experiment: "fig7",
+		ShardIndex: 0, ShardCount: 3, TotalTasks: 60, ShardTasks: 20, Completed: 7, ETAMS: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.jsonl.status"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"tail", "-json", "-once",
+			filepath.Join(dir, "*.jsonl.status"), filepath.Join(dir, "absent.jsonl.status")})
+	})
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Done || snap.Completed != 7 || len(snap.Shards) != 1 || len(snap.Missing) != 2 {
+		t.Errorf("snapshot over partial fleet: done=%v completed=%d shards=%d missing=%v",
+			snap.Done, snap.Completed, len(snap.Shards), snap.Missing)
+	}
+	if err := run([]string{"tail", "-once"}); err == nil {
+		t.Error("tail with no paths accepted")
+	}
+}
+
+func TestMergeQuietAndLiveSummariesAgree(t *testing.T) {
+	dir := t.TempDir()
+	// Capture the live sweep's stderr summary, then merge's: fed the same
+	// record stream in the same order, the tables must match byte for byte.
+	captureStderr := func(fn func() error) string {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stderr
+		os.Stderr = w
+		defer func() { os.Stderr = old }()
+		done := make(chan string)
+		go func() {
+			var buf bytes.Buffer
+			io.Copy(&buf, r)
+			done <- buf.String()
+		}()
+		ferr := fn()
+		w.Close()
+		out := <-done
+		os.Stderr = old
+		if ferr != nil {
+			t.Fatalf("command failed: %v", ferr)
+		}
+		return out
+	}
+	single := filepath.Join(dir, "single.jsonl")
+	liveErr := captureStderr(func() error {
+		return run([]string{"fig7", "-runs", "2", "-csv", "-jsonl", single})
+	})
+	liveIdx := strings.Index(liveErr, "Record distribution")
+	if liveIdx < 0 {
+		t.Fatalf("live sweep printed no distribution summary:\n%s", liveErr)
+	}
+	mergeErr := captureStderr(func() error { return runMerge([]string{single}) })
+	if mergeErr != liveErr[liveIdx:] {
+		t.Errorf("summaries diverged:\nlive:\n%s\nmerge:\n%s", liveErr[liveIdx:], mergeErr)
+	}
+	quietErr := captureStderr(func() error { return runMerge([]string{"-quiet", single}) })
+	if quietErr != "" {
+		t.Errorf("merge -quiet still wrote to stderr: %q", quietErr)
 	}
 }

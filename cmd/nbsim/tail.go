@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"nbiot/internal/telemetry"
+)
+
+// runTail implements `nbsim tail`: follow one or many status sidecars
+// (internal/telemetry) and render the fleet-wide view — aggregate
+// progress, per-shard ETA with straggler flags, and merged P² percentile
+// estimates. Arguments are paths or globs (quote globs so the shell does
+// not expand a pattern whose files do not exist yet); missing or
+// not-yet-written sidecars render as pending rows, never errors, because
+// tailing a fleet that is still launching is the normal case. The loop
+// polls every -interval until the fleet reports done; -once takes a single
+// snapshot, and -json swaps the tables for one machine-readable JSON
+// snapshot per poll on stdout.
+func runTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit one JSON snapshot per poll instead of tables")
+	once := fs.Bool("once", false, "take one snapshot and exit instead of following until done")
+	interval := fs.Duration("interval", 2*time.Second, "poll period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		return fmt.Errorf("usage: nbsim tail [-json] [-once] [-interval 2s] <status file or glob> ...")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for first := true; ; first = false {
+		paths, err := expandStatusGlobs(patterns)
+		if err != nil {
+			return err
+		}
+		shards, missing := telemetry.Load(paths, time.Now())
+		snap := telemetry.Aggregate(shards, missing)
+		if *jsonOut {
+			if err := enc.Encode(snap); err != nil {
+				return err
+			}
+		} else {
+			if !first {
+				fmt.Println()
+			}
+			fmt.Print(snap.Render())
+		}
+		if *once || snap.Done {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// expandStatusGlobs resolves each argument as a glob, keeping a pattern
+// that matches nothing as a literal path — it names a sidecar whose worker
+// has not started yet, which Load reports as missing rather than failing.
+// The result is deduplicated and sorted so shard rows render stably.
+func expandStatusGlobs(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var paths []string
+	for _, p := range patterns {
+		matches, err := filepath.Glob(p)
+		if err != nil {
+			return nil, fmt.Errorf("tail: bad pattern %q: %w", p, err)
+		}
+		if len(matches) == 0 {
+			matches = []string{p}
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				paths = append(paths, m)
+			}
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

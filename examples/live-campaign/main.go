@@ -1,0 +1,136 @@
+// Live-campaign: the observability workflow for long campaigns — status
+// sidecars, a tail-style fleet view, and streaming statistics that agree
+// between the live run and the final merge (internal/telemetry).
+//
+// A production campaign is hours of wall-clock spread over shard
+// processes; between launch and merge, the only signal is record files
+// growing. The status protocol adds a live channel: every worker
+// atomically rewrites a small `<jsonl>.status` JSON sidecar as it runs —
+// progress, throughput, ETA, and per-metric count/mean/min/max plus P²
+// P50/P95/P99 — and any observer folds those files into a fleet view (the
+// CLI equivalent is `nbsim tail 'shard-*.jsonl.status'`). This example
+// runs the whole loop in one process, at toy scale, through the public
+// facade:
+//
+//  1. launch three shards of a fig7 campaign, each publishing status from
+//     its Observe hook while writing its JSONL records;
+//  2. watch them concurrently: poll the sidecars mid-flight, aggregate,
+//     and print the fleet view an operator would see;
+//  3. after the workers finish, take the final snapshot and check its
+//     merged statistics against a full-stream summary of the merged
+//     record files — exact for count/mean/min/max, within estimator
+//     tolerance for the percentiles.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nbiot"
+)
+
+func main() {
+	o := nbiot.DefaultExperimentOptions()
+	o.Runs = 40
+	o.FleetSizes = []int{100, 200}
+
+	dir, err := os.MkdirTemp("", "live-campaign")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Three shard workers, each publishing a status sidecar while it
+	// records. In production each is its own `nbsim fig7 -shard i/3 -jsonl
+	// shard-i.jsonl` process — status emission is on by default there.
+	const shards = 3
+	var paths, statusPaths []string
+	for idx := 0; idx < shards; idx++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", idx))
+		paths = append(paths, p)
+		statusPaths = append(statusPaths, nbiot.CampaignStatusPath(p))
+	}
+	runShard := func(idx int) {
+		f, err := os.Create(paths[idx])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		m, err := nbiot.NewCampaignManifest("fig7", o, idx, shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteFile(nbiot.CampaignManifestPath(paths[idx])); err != nil {
+			log.Fatal(err)
+		}
+		tracker := nbiot.NewStatusTracker(m.Telemetry(0), nil,
+			nbiot.NewStatusFileSink(statusPaths[idx]),
+			// Publish every task so even this fast toy campaign is
+			// observable mid-flight; the defaults (64 tasks / 1s) suit real
+			// ones.
+			nbiot.StatusTrackerOptions{EveryTasks: 1})
+		so := o
+		so.ShardIndex, so.ShardCount = idx, shards
+		so.Record = nbiot.CampaignRecordWriter(f)
+		so.Observe = func(rec nbiot.RunRecord) {
+			tracker.Task(rec.Metric, rec.Value, rec.FleetSize)
+		}
+		tracker.Start()
+		_, runErr := nbiot.Fig7(so)
+		if err := tracker.Close(runErr == nil); err != nil {
+			log.Fatal(err)
+		}
+		if runErr != nil {
+			log.Fatal(runErr)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for idx := 0; idx < shards; idx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			runShard(idx)
+		}(idx)
+	}
+
+	// 2. The observer side: poll the sidecars while the fleet runs. A
+	// missing file just means that worker has not published yet.
+	for polls := 0; polls < 50; polls++ {
+		loaded, missing := nbiot.LoadCampaignStatuses(statusPaths, time.Now())
+		snap := nbiot.AggregateCampaignStatus(loaded, missing)
+		if snap.Completed > 0 && !snap.Done {
+			fmt.Printf("mid-flight: %d/%d tasks, %d shard(s) publishing, %d pending\n",
+				snap.Completed, snap.TotalTasks, len(snap.Shards), len(snap.Missing))
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+
+	// 3. Final snapshot over the finished fleet.
+	loaded, missing := nbiot.LoadCampaignStatuses(statusPaths, time.Now())
+	snap := nbiot.AggregateCampaignStatus(loaded, missing)
+	fmt.Printf("final: %d/%d tasks, done=%v\n", snap.Completed, snap.TotalTasks, snap.Done)
+
+	// Cross-check the snapshot's merged statistics against a full-stream
+	// summary of the merged records — what `nbsim merge` prints.
+	full := nbiot.NewCampaignMetricSet()
+	var sink bytes.Buffer
+	if _, err := nbiot.MergeCampaignShards(&sink, paths, func(rec nbiot.RunRecord) error {
+		full.Add(rec.Metric, rec.Value)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(full.Table().String())
+	agg, exact := snap.Metrics[0], full.Stats()[0]
+	fmt.Printf("snapshot vs merge: count %d/%d, mean %.1f/%.1f (exact), P95 %.1f/%.1f (estimator tolerance)\n",
+		agg.Count, exact.Count, agg.Mean, exact.Mean, agg.P95, exact.P95)
+}

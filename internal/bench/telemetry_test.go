@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"nbiot/internal/experiment"
+)
+
+// TestObserveHookMarginalAllocs bounds what the telemetry tap costs when it
+// IS enabled: the engine builds one value-typed RunRecord per task and
+// hands it to the hook, so a no-op Observe may add at most a few
+// allocations per task over the hook-free baseline. (The hook-free record
+// hot path itself is guarded by the committed sweep/fig7-serial budget in
+// bench-budgets.json — see TestFig7SerialWithinCommittedBudget — which did
+// not move when the Observe hook landed.)
+func TestObserveHookMarginalAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is meaningless under -short noise budgets")
+	}
+	o := experiment.DefaultOptions()
+	o.Runs = 32
+	o.FleetSizes = []int{60}
+	o.Workers = 1
+	const tasks = 32
+	runSweep := func(o experiment.Options) {
+		if _, err := experiment.RunSweep("fig7", o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const iters = 5
+	base := measure("fig7/no-hooks", iters, func() { runSweep(o) }).AllocsPerOp
+
+	hooked := o
+	observed := 0
+	hooked.Observe = func(experiment.RunRecord) { observed++ }
+	withHook := measure("fig7/observe", iters, func() { runSweep(hooked) }).AllocsPerOp
+	if observed != tasks*(iters+1) { // +1 for measure's warm-up pass
+		t.Fatalf("observed %d records, want %d", observed, tasks*(iters+1))
+	}
+	perTask := (withHook - base) / tasks
+	if perTask > 4 {
+		t.Errorf("no-op Observe costs %.2f allocs/task over baseline (base %.0f, hooked %.0f allocs/op); want <= 4",
+			perTask, base, withHook)
+	}
+}
+
+// TestFig7SerialWithinCommittedBudget re-measures the pinned record-hot-path
+// workload with no telemetry hooks against the committed allocation budget:
+// the budgets file did not change when the Observe hook landed, so this is
+// the in-tree assertion that a disabled hook adds zero allocations to the
+// record hot path.
+func TestFig7SerialWithinCommittedBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig7 workload is too slow for -short")
+	}
+	budgets, err := ReadBudgets("../../bench-budgets.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, ok := budgets.Budgets["sweep/fig7-serial"]
+	if !ok {
+		t.Fatal("bench-budgets.json lost the sweep/fig7-serial entry")
+	}
+	setup := fig7Workload(1)
+	fn, err := setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := measure("sweep/fig7-serial", 1, fn)
+	if res.AllocsPerOp > budget.MaxAllocsPerOp {
+		t.Errorf("sweep/fig7-serial: %.0f allocs/op exceeds the committed budget %.0f",
+			res.AllocsPerOp, budget.MaxAllocsPerOp)
+	}
+}

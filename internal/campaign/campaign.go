@@ -37,6 +37,7 @@ import (
 
 	"nbiot/internal/experiment"
 	"nbiot/internal/simtime"
+	"nbiot/internal/telemetry"
 	"nbiot/internal/traffic"
 )
 
@@ -185,6 +186,22 @@ func (m Manifest) ShardTasks() int {
 		return 0
 	}
 	return (m.Tasks - m.ShardIndex + m.ShardCount - 1) / m.ShardCount
+}
+
+// Telemetry derives the status-protocol campaign identity this manifest's
+// worker should publish while it runs. resumed is the checkpointed prefix
+// length when continuing an interrupted shard (Options.SkipTasks), zero
+// for a fresh start.
+func (m Manifest) Telemetry(resumed int) telemetry.Campaign {
+	return telemetry.Campaign{
+		Experiment: m.Experiment,
+		ConfigHash: m.ConfigHash,
+		ShardIndex: m.ShardIndex,
+		ShardCount: m.ShardCount,
+		TotalTasks: m.Tasks,
+		ShardTasks: m.ShardTasks(),
+		Resumed:    resumed,
+	}
 }
 
 // SameCampaign reports an error unless other describes the same shard of

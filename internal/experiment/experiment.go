@@ -81,6 +81,15 @@ type Options struct {
 	// at that index), so a full disk fails fast instead of burning the
 	// rest of a million-run campaign.
 	Record func(RunRecord) error
+	// Observe, when non-nil, receives the same RunRecord stream as Record
+	// — serially, in strictly increasing index order, on the reducing
+	// goroutine — but cannot fail and cannot perturb the sweep: it runs
+	// after Record has durably accepted the record (a Record error means
+	// Observe never sees that index), making it the telemetry tap for
+	// streaming statistics and live status publication. When both Observe
+	// and Record are nil the engine skips building records entirely, so
+	// the hot path pays nothing for the hook's existence.
+	Observe func(RunRecord)
 	// ShardIndex/ShardCount restrict the sweep to one interleaved shard of
 	// its global task-index space: only indices congruent to ShardIndex
 	// modulo ShardCount execute (ShardCount <= 1 means the whole space).

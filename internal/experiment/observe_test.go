@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestObserveMirrorsRecordStream: Observe must see exactly the records
+// Record accepts, in the same order, and its presence must not perturb the
+// computed result.
+func TestObserveMirrorsRecordStream(t *testing.T) {
+	base := DefaultOptions()
+	base.Runs = 2
+	base.FleetSizes = []int{30, 60}
+	base.Workers = 3
+
+	o := base
+	var recorded, observed []RunRecord
+	o.Record = func(r RunRecord) error { recorded = append(recorded, r); return nil }
+	o.Observe = func(r RunRecord) { observed = append(observed, r) }
+	hooked, err := RunSweep("fig7", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 {
+		t.Fatal("no records emitted")
+	}
+	if !reflect.DeepEqual(recorded, observed) {
+		t.Errorf("observe stream diverged from record stream:\nrecorded %d, observed %d",
+			len(recorded), len(observed))
+	}
+	for i := 1; i < len(observed); i++ {
+		if observed[i].Index <= observed[i-1].Index {
+			t.Fatalf("observe order broken at %d: %d after %d", i, observed[i].Index, observed[i-1].Index)
+		}
+	}
+
+	plain, err := RunSweep("fig7", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked.Table().String() != plain.Table().String() {
+		t.Error("Observe hook changed the sweep result table")
+	}
+}
+
+// TestObserveWithoutRecord: Observe alone (no Record) still sees the full
+// stream — this is the quiet-terminal live-summary path.
+func TestObserveWithoutRecord(t *testing.T) {
+	o := DefaultOptions()
+	o.Runs = 3
+	o.FleetSizes = []int{30}
+	o.Workers = 2
+	count := 0
+	o.Observe = func(r RunRecord) {
+		count++
+		if r.Experiment != "fig7" || r.Metric == "" {
+			t.Errorf("malformed record: %+v", r)
+		}
+	}
+	if _, err := RunSweep("fig7", o); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("observed %d records, want 3", count)
+	}
+}
+
+// TestObserveSkippedOnRecordError: a failing Record aborts the sweep at
+// that index and Observe never sees the rejected record, so telemetry
+// counts cannot run ahead of the durable stream.
+func TestObserveSkippedOnRecordError(t *testing.T) {
+	o := DefaultOptions()
+	o.Runs = 4
+	o.FleetSizes = []int{30}
+	o.Workers = 1
+	boom := errors.New("disk full")
+	recorded, observed := 0, 0
+	o.Record = func(r RunRecord) error {
+		if recorded == 2 {
+			return boom
+		}
+		recorded++
+		return nil
+	}
+	o.Observe = func(r RunRecord) { observed++ }
+	if _, err := RunSweep("fig7", o); !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want %v", err, boom)
+	}
+	if observed != 2 {
+		t.Errorf("observed %d records, want 2 (the accepted ones)", observed)
+	}
+}

@@ -158,13 +158,21 @@ func runSweepIn(def *sweepDef, o Options, sp TaskSpace) (SweepResult, error) {
 		func(idx int, v float64) error {
 			rc = sp.CoordsInto(rc[:0], idx)
 			fold.add(rc, v)
-			if o.Record == nil {
+			if o.Record == nil && o.Observe == nil {
 				return nil
 			}
 			rec := def.record(o, sp, rc, v)
 			rec.Experiment = def.name
 			rec.Index = idx
-			return o.Record(rec)
+			if o.Record != nil {
+				if err := o.Record(rec); err != nil {
+					return err
+				}
+			}
+			if o.Observe != nil {
+				o.Observe(rec)
+			}
+			return nil
 		})
 	if err != nil {
 		return nil, err

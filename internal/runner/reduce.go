@@ -115,6 +115,11 @@ func ReduceSpan[T any](ctx context.Context, span Span, workers int, task ReduceT
 // total on the serial path — and reused across all the tasks that worker
 // executes. Everything else (pooling, in-order reduction, buffering, error
 // semantics, bit-identical results across worker counts) is ReduceSpan's.
+//
+// Because reduce runs serially in index order on the calling goroutine, it
+// is also the natural tap for side channels that must see a deterministic
+// stream without locking: the sweep engine's Record spill and Observe
+// telemetry hooks (internal/experiment) both ride this callback.
 func ReduceSpanScratch[T, S any](ctx context.Context, span Span, workers int, task ScratchTask[T, S], reduce func(index int, value T) error) error {
 	if span.Count < 0 {
 		return fmt.Errorf("runner: negative span count %d", span.Count)

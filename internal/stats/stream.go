@@ -1,0 +1,48 @@
+package stats
+
+// StreamSummary couples a Welford Accumulator with the P² P50/P95/P99
+// estimator triple: count, mean, min, max, and streaming percentiles of an
+// observation stream in O(1) memory. It is the per-metric unit of campaign
+// telemetry — status sidecars, live sweep summaries, and `nbsim merge`
+// reports are all sets of these, fed the same record stream in the same
+// order, which is what makes their statistics agree.
+//
+// The zero value is not usable; construct with NewStreamSummary. Not safe
+// for concurrent use, like Accumulator.
+type StreamSummary struct {
+	acc           Accumulator
+	q50, q95, q99 *P2Quantile
+}
+
+// NewStreamSummary returns an empty stream summary.
+func NewStreamSummary() *StreamSummary {
+	return &StreamSummary{
+		q50: NewP2Quantile(0.50),
+		q95: NewP2Quantile(0.95),
+		q99: NewP2Quantile(0.99),
+	}
+}
+
+// Add feeds one observation to the accumulator and all three quantile
+// estimators.
+func (s *StreamSummary) Add(x float64) {
+	s.acc.Add(x)
+	s.q50.Add(x)
+	s.q95.Add(x)
+	s.q99.Add(x)
+}
+
+// N reports the number of observations.
+func (s *StreamSummary) N() int { return s.acc.N() }
+
+// Summary freezes the accumulator half (count/mean/min/max/CI).
+func (s *StreamSummary) Summary() Summary { return s.acc.Summary() }
+
+// P50 reports the streaming median estimate.
+func (s *StreamSummary) P50() float64 { return s.q50.Value() }
+
+// P95 reports the streaming 95th-percentile estimate.
+func (s *StreamSummary) P95() float64 { return s.q95.Value() }
+
+// P99 reports the streaming 99th-percentile estimate.
+func (s *StreamSummary) P99() float64 { return s.q99.Value() }

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamSummaryMatchesExact(t *testing.T) {
+	s := NewStreamSummary()
+	var xs []float64
+	// Deterministic smooth stream (no RNG needed): a folded quadratic.
+	for i := 0; i < 2000; i++ {
+		x := float64((i*i)%997) / 10
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	want := Summarize(xs)
+	got := s.Summary()
+	if got != want {
+		t.Errorf("accumulator half diverged: got %+v want %+v", got, want)
+	}
+	if s.N() != len(xs) {
+		t.Errorf("N = %d, want %d", s.N(), len(xs))
+	}
+	span := want.Max - want.Min
+	for _, q := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{
+		{0.50, s.P50(), "P50"},
+		{0.95, s.P95(), "P95"},
+		{0.99, s.P99(), "P99"},
+	} {
+		exact := Percentile(xs, q.p)
+		if math.Abs(q.got-exact) > 0.05*span {
+			t.Errorf("%s = %.4g, exact %.4g (beyond 5%% of range %.4g)", q.name, q.got, exact, span)
+		}
+	}
+}
+
+func TestStreamSummaryTinySamples(t *testing.T) {
+	s := NewStreamSummary()
+	if s.N() != 0 || s.P50() != 0 {
+		t.Errorf("empty summary: N=%d P50=%v", s.N(), s.P50())
+	}
+	s.Add(3)
+	s.Add(1)
+	// Under five observations the P² estimators reproduce exact sample
+	// quantiles.
+	if got := s.P50(); got != 2 {
+		t.Errorf("P50 of {1,3} = %v, want 2", got)
+	}
+	if sum := s.Summary(); sum.N != 2 || sum.Min != 1 || sum.Max != 3 {
+		t.Errorf("summary of {1,3}: %+v", sum)
+	}
+}

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nbiot/internal/report"
+)
+
+// ShardStatus is one shard's status as seen by a reader: the published
+// Status plus where it came from and how fresh it is.
+type ShardStatus struct {
+	// Path is the status file this was read from.
+	Path string `json:"path"`
+	// AgeMS is how old the publication was at load time (now − update).
+	AgeMS int64 `json:"age_ms"`
+	// Straggler is set by Aggregate when this shard's ETA lags the fleet
+	// (see the straggler rule there).
+	Straggler bool `json:"straggler,omitempty"`
+	Status
+}
+
+// Snapshot is the fleet-wide view `nbsim tail` renders: every shard's
+// status folded into aggregate progress, throughput, ETA, and merged
+// per-metric statistics.
+type Snapshot struct {
+	Experiment string `json:"experiment"`
+	ConfigHash string `json:"config_hash,omitempty"`
+	// ConfigMismatch warns that the tailed files disagree on experiment or
+	// config hash — the glob likely caught shards of different campaigns.
+	ConfigMismatch bool `json:"config_mismatch,omitempty"`
+	// TotalTasks is the campaign size, Completed the sum over shards.
+	TotalTasks int `json:"total_tasks"`
+	Completed  int `json:"completed"`
+	// Done means every tailed shard finished and together they cover the
+	// campaign (completed >= total with no missing files) — the signal on
+	// which a follow loop exits.
+	Done bool `json:"done"`
+	// TasksPerSec/DevicesPerSec sum the still-running shards' rates.
+	TasksPerSec   float64 `json:"tasks_per_sec"`
+	DevicesPerSec float64 `json:"devices_per_sec"`
+	// ETAMS is the slowest running shard's estimate — the fleet finishes
+	// when its last shard does. 0 when done, -1 when unknown.
+	ETAMS int64 `json:"eta_ms"`
+	// Shards and Missing partition the requested paths: parsed statuses
+	// versus files absent or unreadable (workers not started yet).
+	Shards  []ShardStatus `json:"shards"`
+	Missing []string      `json:"missing,omitempty"`
+	// Metrics merges the shards' streaming summaries: count/mean/min/max
+	// exactly, P50/P95/P99 as count-weighted averages of the per-shard P²
+	// estimates.
+	Metrics []MetricStats `json:"metrics,omitempty"`
+}
+
+// Load reads each status path, splitting results into parsed shard
+// statuses and missing (absent or unreadable) paths. It never fails: a
+// worker that has not started yet, or a sidecar mid-delete, is a normal
+// sight for a tail, not an error.
+func Load(paths []string, now time.Time) (shards []ShardStatus, missing []string) {
+	for _, p := range paths {
+		st, err := ReadStatus(p)
+		if err != nil {
+			missing = append(missing, p)
+			continue
+		}
+		age := now.UnixMilli() - st.UpdateUnixMS
+		if age < 0 {
+			age = 0
+		}
+		shards = append(shards, ShardStatus{Path: p, AgeMS: age, Status: st})
+	}
+	return shards, missing
+}
+
+// Aggregate folds shard statuses into the fleet snapshot, marking
+// stragglers as a side effect. A shard is a straggler when at least two
+// shards are still running with known ETAs and its ETA exceeds both 1.5×
+// the running median and the median plus two seconds — the absolute floor
+// keeps sub-second jitter on fast campaigns from flagging healthy shards.
+func Aggregate(shards []ShardStatus, missing []string) Snapshot {
+	snap := Snapshot{Shards: shards, Missing: missing, ETAMS: -1}
+	if len(shards) == 0 {
+		return snap
+	}
+	first := shards[0]
+	snap.Experiment = first.Experiment
+	snap.ConfigHash = first.ConfigHash
+	allDone := true
+	var running []int64
+	for i := range shards {
+		s := &shards[i]
+		if s.Experiment != first.Experiment || s.ConfigHash != first.ConfigHash {
+			snap.ConfigMismatch = true
+		}
+		if s.TotalTasks > snap.TotalTasks {
+			snap.TotalTasks = s.TotalTasks
+		}
+		snap.Completed += s.Completed
+		if s.Done {
+			continue
+		}
+		allDone = false
+		snap.TasksPerSec += s.TasksPerSec
+		snap.DevicesPerSec += s.DevicesPerSec
+		if s.ETAMS >= 0 {
+			running = append(running, s.ETAMS)
+		}
+	}
+	snap.Done = allDone && len(missing) == 0 && snap.Completed >= snap.TotalTasks
+	switch {
+	case snap.Done:
+		snap.ETAMS = 0
+	case len(running) > 0:
+		for _, eta := range running {
+			if eta > snap.ETAMS {
+				snap.ETAMS = eta
+			}
+		}
+	}
+	if len(running) >= 2 {
+		sorted := append([]int64(nil), running...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		med := sorted[len(sorted)/2]
+		for i := range shards {
+			s := &shards[i]
+			if !s.Done && s.ETAMS >= 0 && s.ETAMS > med*3/2 && s.ETAMS > med+2000 {
+				s.Straggler = true
+			}
+		}
+	}
+	snap.Metrics = mergeMetrics(shards)
+	return snap
+}
+
+// mergeMetrics folds per-shard metric summaries, keyed by name in
+// first-seen order across shards. Count, mean, min, and max merge exactly;
+// percentile estimates merge as count-weighted averages of the shards' P²
+// values — an approximation of the full-stream estimate, good to within
+// the estimator's own tolerance because shards draw interleaved slices of
+// the same task space.
+func mergeMetrics(shards []ShardStatus) []MetricStats {
+	type weighted struct {
+		agg           MetricStats
+		p50, p95, p99 float64 // count-weighted sums
+	}
+	var order []string
+	byName := map[string]*weighted{}
+	for _, s := range shards {
+		for _, m := range s.Metrics {
+			if m.Count == 0 {
+				continue
+			}
+			w, ok := byName[m.Name]
+			if !ok {
+				byName[m.Name] = &weighted{
+					agg: m,
+					p50: float64(m.Count) * m.P50,
+					p95: float64(m.Count) * m.P95,
+					p99: float64(m.Count) * m.P99,
+				}
+				order = append(order, m.Name)
+				continue
+			}
+			total := w.agg.Count + m.Count
+			w.agg.Mean = (w.agg.Mean*float64(w.agg.Count) + m.Mean*float64(m.Count)) / float64(total)
+			if m.Min < w.agg.Min {
+				w.agg.Min = m.Min
+			}
+			if m.Max > w.agg.Max {
+				w.agg.Max = m.Max
+			}
+			w.agg.Count = total
+			w.p50 += float64(m.Count) * m.P50
+			w.p95 += float64(m.Count) * m.P95
+			w.p99 += float64(m.Count) * m.P99
+		}
+	}
+	out := make([]MetricStats, 0, len(order))
+	for _, name := range order {
+		w := byName[name]
+		n := float64(w.agg.Count)
+		w.agg.P50, w.agg.P95, w.agg.P99 = w.p50/n, w.p95/n, w.p99/n
+		out = append(out, w.agg)
+	}
+	return out
+}
+
+// ShardTable renders the per-shard view: progress, rate, ETA, staleness,
+// and straggler flags, with one trailing row per missing status file.
+func (s Snapshot) ShardTable() *report.Table {
+	title := "Campaign shards"
+	if s.Experiment != "" {
+		title = fmt.Sprintf("Campaign %q — shard status", s.Experiment)
+	}
+	t := report.NewTable(title,
+		"shard", "file", "completed", "tasks", "tasks/s", "ETA", "age", "flag")
+	for _, sh := range s.Shards {
+		flag := ""
+		if sh.Straggler {
+			flag = "STRAGGLER"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d/%d", sh.ShardIndex+1, sh.ShardCount),
+			filepath.Base(sh.Path),
+			strconv.Itoa(sh.Completed),
+			strconv.Itoa(sh.ShardTasks),
+			fmt.Sprintf("%.1f", sh.TasksPerSec),
+			formatETA(sh.Done, sh.ETAMS),
+			formatMillis(sh.AgeMS),
+			flag)
+	}
+	for _, p := range s.Missing {
+		t.AddRow("?", filepath.Base(p), "-", "-", "-", "no status yet", "-", "")
+	}
+	return t
+}
+
+// Render formats the snapshot for a terminal: shard table, a fleet
+// summary line, and the merged metric distribution.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	b.WriteString(s.ShardTable().String())
+	pct := 0.0
+	if s.TotalTasks > 0 {
+		pct = 100 * float64(s.Completed) / float64(s.TotalTasks)
+	}
+	fmt.Fprintf(&b, "fleet: %d/%d tasks (%.1f%%), %.1f tasks/s, %.0f devices/s, ETA %s\n",
+		s.Completed, s.TotalTasks, pct, s.TasksPerSec, s.DevicesPerSec, formatETA(s.Done, s.ETAMS))
+	if s.ConfigMismatch {
+		b.WriteString("warning: shards disagree on experiment/config hash — mixed campaigns?\n")
+	}
+	if len(s.Metrics) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(MetricsTable(s.Metrics, s.Completed).String())
+	}
+	return b.String()
+}
+
+func formatETA(done bool, ms int64) string {
+	if done {
+		return "done"
+	}
+	if ms < 0 {
+		return "unknown"
+	}
+	return formatMillis(ms)
+}
+
+func formatMillis(ms int64) string {
+	if ms < 0 {
+		ms = 0
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d >= time.Second {
+		d = d.Round(time.Second)
+	} else {
+		d = d.Round(time.Millisecond)
+	}
+	return d.String()
+}

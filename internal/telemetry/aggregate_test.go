@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func shard(idx, count, total, done, shardTasks int, eta int64, isDone bool) ShardStatus {
+	return ShardStatus{
+		Path: filepath.Join("dir", "shard.status"),
+		Status: Status{
+			Format: StatusFormat, Experiment: "fig7", ConfigHash: "abc",
+			ShardIndex: idx, ShardCount: count,
+			TotalTasks: total, ShardTasks: shardTasks,
+			Completed: done, Done: isDone, ETAMS: eta, TasksPerSec: 2, DevicesPerSec: 200,
+		},
+	}
+}
+
+func TestAggregateProgressAndETA(t *testing.T) {
+	shards := []ShardStatus{
+		shard(0, 3, 300, 100, 100, 0, true),
+		shard(1, 3, 300, 50, 100, 25_000, false),
+		shard(2, 3, 300, 80, 100, 10_000, false),
+	}
+	snap := Aggregate(shards, nil)
+	if snap.Completed != 230 || snap.TotalTasks != 300 {
+		t.Errorf("progress: %d/%d, want 230/300", snap.Completed, snap.TotalTasks)
+	}
+	if snap.Done {
+		t.Error("snapshot done with shards still running")
+	}
+	// Rates sum over the two running shards only.
+	if snap.TasksPerSec != 4 || snap.DevicesPerSec != 400 {
+		t.Errorf("rates: %v tasks/s %v devices/s, want 4/400", snap.TasksPerSec, snap.DevicesPerSec)
+	}
+	// Fleet ETA is the slowest running shard's.
+	if snap.ETAMS != 25_000 {
+		t.Errorf("ETAMS = %d, want 25000", snap.ETAMS)
+	}
+	if snap.Experiment != "fig7" || snap.ConfigMismatch {
+		t.Errorf("identity: %q mismatch=%v", snap.Experiment, snap.ConfigMismatch)
+	}
+}
+
+func TestAggregateDone(t *testing.T) {
+	shards := []ShardStatus{
+		shard(0, 2, 100, 50, 50, 0, true),
+		shard(1, 2, 100, 50, 50, 0, true),
+	}
+	snap := Aggregate(shards, nil)
+	if !snap.Done || snap.ETAMS != 0 {
+		t.Errorf("done fleet: done=%v eta=%d", snap.Done, snap.ETAMS)
+	}
+	// A missing sidecar or an incomplete shard set keeps the fleet not-done.
+	if s := Aggregate(shards, []string{"shard-2.status"}); s.Done {
+		t.Error("done despite missing status file")
+	}
+	if s := Aggregate(shards[:1], nil); s.Done {
+		t.Error("done with half the campaign unaccounted for")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	snap := Aggregate(nil, []string{"a.status"})
+	if snap.Done || snap.ETAMS != -1 || snap.Completed != 0 {
+		t.Errorf("empty snapshot: %+v", snap)
+	}
+	if !strings.Contains(snap.Render(), "no status yet") {
+		t.Error("render should list the missing file")
+	}
+}
+
+func TestAggregateStragglers(t *testing.T) {
+	shards := []ShardStatus{
+		shard(0, 3, 300, 90, 100, 5_000, false),
+		shard(1, 3, 300, 88, 100, 6_000, false),
+		shard(2, 3, 300, 20, 100, 40_000, false),
+	}
+	snap := Aggregate(shards, nil)
+	if snap.Shards[0].Straggler || snap.Shards[1].Straggler {
+		t.Error("healthy shards flagged as stragglers")
+	}
+	if !snap.Shards[2].Straggler {
+		t.Error("lagging shard not flagged")
+	}
+	if !strings.Contains(snap.Render(), "STRAGGLER") {
+		t.Error("render should show the straggler flag")
+	}
+
+	// Sub-second spread on a fast campaign must not flag anyone: the
+	// absolute two-second floor suppresses jitter.
+	fast := []ShardStatus{
+		shard(0, 3, 30, 9, 10, 200, false),
+		shard(1, 3, 30, 8, 10, 300, false),
+		shard(2, 3, 30, 2, 10, 900, false),
+	}
+	for _, s := range Aggregate(fast, nil).Shards {
+		if s.Straggler {
+			t.Errorf("shard %d flagged on sub-second jitter", s.ShardIndex)
+		}
+	}
+}
+
+// TestAggregateMergedPercentiles checks the cross-shard P² merge against a
+// full-stream StreamSummary over the same observations: the count-weighted
+// average of per-shard estimates must stay within the estimator's own
+// tolerance of the single-stream estimate.
+func TestAggregateMergedPercentiles(t *testing.T) {
+	const n = 3000
+	full := NewMetricSet()
+	parts := []*MetricSet{NewMetricSet(), NewMetricSet(), NewMetricSet()}
+	for i := 0; i < n; i++ {
+		x := float64((i*i)%997) / 10 // deterministic smooth stream
+		full.Add("m", x)
+		parts[i%3].Add("m", x) // campaign-style interleaved sharding
+	}
+	var shards []ShardStatus
+	for i, p := range parts {
+		shards = append(shards, ShardStatus{
+			Path: "s", Status: Status{Format: StatusFormat, Experiment: "fig7",
+				ShardIndex: i, ShardCount: 3, TotalTasks: n, ShardTasks: n / 3,
+				Completed: p.Records(), Done: true, Metrics: p.Stats()},
+		})
+	}
+	snap := Aggregate(shards, nil)
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("merged metrics: %+v", snap.Metrics)
+	}
+	got, want := snap.Metrics[0], full.Stats()[0]
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("exact fields diverged: got %+v want %+v", got, want)
+	}
+	if math.Abs(got.Mean-want.Mean) > 1e-9*math.Abs(want.Mean) {
+		t.Errorf("mean: got %v want %v", got.Mean, want.Mean)
+	}
+	span := want.Max - want.Min
+	for _, q := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"P50", got.P50, want.P50},
+		{"P95", got.P95, want.P95},
+		{"P99", got.P99, want.P99},
+	} {
+		if math.Abs(q.got-q.want) > 0.05*span {
+			t.Errorf("%s: merged %.4g vs full-stream %.4g (beyond 5%% of range %.4g)",
+				q.name, q.got, q.want, span)
+		}
+	}
+}
+
+func TestLoadSplitsPresentAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "a.jsonl.status")
+	if err := NewFileSink(good).Write(Status{Format: StatusFormat, Experiment: "fig7",
+		ShardCount: 1, TotalTasks: 10, ShardTasks: 10, Completed: 4,
+		UpdateUnixMS: time.Now().UnixMilli() - 5_000}); err != nil {
+		t.Fatal(err)
+	}
+	absent := filepath.Join(dir, "b.jsonl.status")
+	shards, missing := Load([]string{good, absent}, time.Now())
+	if len(shards) != 1 || len(missing) != 1 || missing[0] != absent {
+		t.Fatalf("Load split: %d shards, missing %v", len(shards), missing)
+	}
+	if shards[0].AgeMS < 4_000 || shards[0].AgeMS > 60_000 {
+		t.Errorf("AgeMS = %d, want ~5000", shards[0].AgeMS)
+	}
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+
+	"nbiot/internal/report"
+	"nbiot/internal/stats"
+)
+
+// MetricSet folds a record stream into one StreamSummary per metric name,
+// in first-observed order — the per-metric statistics unit shared by live
+// sweeps, resumed runs, status files, and `nbsim merge`. Feeding it the
+// same values in the same order yields the same table everywhere, which is
+// what makes a mid-flight status file comparable to merge's final summary.
+type MetricSet struct {
+	order   []string
+	byName  map[string]*stats.StreamSummary
+	records int
+}
+
+// NewMetricSet returns an empty set.
+func NewMetricSet() *MetricSet {
+	return &MetricSet{byName: map[string]*stats.StreamSummary{}}
+}
+
+// Add feeds one record's (metric, value) observation.
+func (m *MetricSet) Add(name string, v float64) {
+	s, ok := m.byName[name]
+	if !ok {
+		s = stats.NewStreamSummary()
+		m.byName[name] = s
+		m.order = append(m.order, name)
+	}
+	s.Add(v)
+	m.records++
+}
+
+// Records reports how many observations have been folded in.
+func (m *MetricSet) Records() int { return m.records }
+
+// Stats freezes the per-metric summaries in first-observed order.
+func (m *MetricSet) Stats() []MetricStats {
+	out := make([]MetricStats, 0, len(m.order))
+	for _, name := range m.order {
+		s := m.byName[name]
+		sum := s.Summary()
+		out = append(out, MetricStats{
+			Name: name, Count: sum.N,
+			Mean: sum.Mean, Min: sum.Min, Max: sum.Max,
+			P50: s.P50(), P95: s.P95(), P99: s.P99(),
+		})
+	}
+	return out
+}
+
+// Table renders the set as the shared distribution summary.
+func (m *MetricSet) Table() *report.Table { return MetricsTable(m.Stats(), m.records) }
+
+// MetricsTable renders per-metric streaming statistics — the one summary
+// format every surface (live sweep, resume, merge, tail) prints.
+func MetricsTable(ms []MetricStats, records int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Record distribution (P² streaming estimates over %d records)", records),
+		"metric", "count", "mean", "min", "max", "P50", "P95", "P99")
+	for _, m := range ms {
+		t.AddRow(m.Name,
+			strconv.Itoa(m.Count),
+			report.FormatFloat(m.Mean),
+			report.FormatFloat(m.Min),
+			report.FormatFloat(m.Max),
+			report.FormatFloat(m.P50),
+			report.FormatFloat(m.P95),
+			report.FormatFloat(m.P99))
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Sink receives status publications. Implementations may fail freely — the
+// Tracker retains the first error and keeps the sweep running.
+type Sink interface {
+	Write(Status) error
+}
+
+// FileSink publishes each status atomically at one path: the JSON is
+// written to a same-directory temp file and renamed into place, so a
+// concurrent reader sees either the previous complete status or the new
+// one — never a torn file. (rename(2) is atomic within a filesystem; the
+// temp file sits next to the target to stay on it.)
+type FileSink struct {
+	path string
+}
+
+// NewFileSink publishes to path (conventionally StatusPath(jsonl)).
+func NewFileSink(path string) *FileSink { return &FileSink{path: path} }
+
+// Path reports the publication path.
+func (s *FileSink) Path() string { return s.path }
+
+// Write implements Sink.
+func (s *FileSink) Write(st Status) error {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// ReadStatus loads one status file. Thanks to FileSink's rename protocol a
+// present file is always complete, so any parse failure means the path is
+// not a status file (or a foreign format) rather than a torn write.
+func ReadStatus(path string) (Status, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		return Status{}, fmt.Errorf("telemetry: status %s: %w", path, err)
+	}
+	if st.Format != StatusFormat {
+		return Status{}, fmt.Errorf("telemetry: status %s has format %d, want %d", path, st.Format, StatusFormat)
+	}
+	return st, nil
+}

@@ -1,0 +1,242 @@
+// Package telemetry is the live-observability layer for long campaigns:
+// the status-file protocol every sweep worker publishes while it runs, and
+// the aggregation that folds a fleet of those files into one view (`nbsim
+// tail`).
+//
+// A sharded, resumable campaign (internal/campaign) is a black box between
+// launch and merge — the only external signal is the growing JSONL record
+// file. This package adds a second, overwrite-in-place sidecar next to it:
+// every worker atomically rewrites `<jsonl>.status` (write-temp-then-
+// rename, so a reader never observes a torn file) every N tasks / T
+// seconds with its shard identity, progress, throughput, ETA, and
+// per-metric streaming statistics — count/mean/min/max plus P² P50/P95/P99
+// (stats.StreamSummary), all O(1) memory however long the campaign runs.
+//
+// Telemetry is observation, not computation: a Tracker is fed from the
+// sweep engine's Observe hook after each record is durably accepted, it
+// never touches the record stream, and record files remain byte-identical
+// with telemetry on or off. The package deliberately does not import
+// internal/experiment — it consumes (metric, value, devices) observations,
+// so any producer with an ordered record stream can publish status.
+package telemetry
+
+import (
+	"time"
+)
+
+// StatusFormat versions the status-file schema.
+const StatusFormat = 1
+
+// StatusPath is where a record file's status sidecar lives, mirroring
+// campaign.Path for manifests.
+func StatusPath(jsonlPath string) string { return jsonlPath + ".status" }
+
+// MetricStats is one metric's streaming summary as published in a status
+// file: exact count/mean/min/max plus the P² percentile estimates.
+type MetricStats struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Status is one worker's published state — the content of a
+// `<jsonl>.status` sidecar. Fields mirror the campaign manifest's identity
+// (so readers can group shards and detect config drift) plus the live
+// quantities the manifest cannot carry.
+type Status struct {
+	// Format is StatusFormat; readers reject other values.
+	Format int `json:"format"`
+	// Experiment and ConfigHash identify the campaign (from the manifest
+	// when there is one; composite invocations synthesize an identity).
+	Experiment string `json:"experiment"`
+	ConfigHash string `json:"config_hash,omitempty"`
+	// ShardIndex/ShardCount locate this worker's slice; 0/1 is unsharded.
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	// TotalTasks is the whole campaign's task count, ShardTasks this
+	// worker's share of it.
+	TotalTasks int `json:"total_tasks"`
+	ShardTasks int `json:"shard_tasks"`
+	// Resumed is how many of Completed were recovered from a checkpoint
+	// rather than executed this session (rates cover only the session).
+	Resumed int `json:"resumed,omitempty"`
+	// Completed counts this shard's recorded tasks, including Resumed.
+	Completed int `json:"completed"`
+	// Done marks the final status write of a successful run.
+	Done bool `json:"done"`
+	// StartUnixMS/UpdateUnixMS are wall-clock session start and the moment
+	// this status was written; readers derive staleness from the latter.
+	StartUnixMS  int64 `json:"start_unix_ms"`
+	UpdateUnixMS int64 `json:"update_unix_ms"`
+	// TasksPerSec/DevicesPerSec are session throughput (resumed prefix
+	// excluded); DevicesPerSec counts each task's fleet size.
+	TasksPerSec   float64 `json:"tasks_per_sec"`
+	DevicesPerSec float64 `json:"devices_per_sec"`
+	// ETAMS estimates remaining wall-clock milliseconds at the session
+	// rate: 0 when done, -1 while unknown (no throughput yet).
+	ETAMS int64 `json:"eta_ms"`
+	// Metrics carries one streaming summary per metric name, in
+	// first-observed order.
+	Metrics []MetricStats `json:"metrics,omitempty"`
+}
+
+// Campaign is the identity a Tracker publishes — the manifest-shaped facts
+// that never change while the worker runs. campaign.Manifest.Telemetry
+// derives one from a manifest.
+type Campaign struct {
+	Experiment string
+	ConfigHash string
+	ShardIndex int
+	ShardCount int
+	TotalTasks int
+	ShardTasks int
+	// Resumed is the checkpointed prefix length when continuing an
+	// interrupted shard; completion starts there.
+	Resumed int
+}
+
+// TrackerOptions tunes status publication.
+type TrackerOptions struct {
+	// EveryTasks forces a write after this many tasks since the last one
+	// (default 64).
+	EveryTasks int
+	// Interval forces a write when this much wall-clock has passed since
+	// the last one (default 1s). Whichever of the two triggers first wins.
+	Interval time.Duration
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// Tracker accumulates one worker's progress and publishes Status to a Sink
+// under the EveryTasks/Interval policy. It is fed serially from the sweep
+// engine's reducer (via the Observe hook), so it needs no locking; like
+// the reducer itself it must not be shared across goroutines.
+//
+// Sink errors never abort the sweep — telemetry is best-effort by design.
+// The first error is retained and surfaced by Close, so a worker that
+// cannot publish still completes its shard and the operator still learns
+// why the sidecar went stale.
+type Tracker struct {
+	c          Campaign
+	ms         *MetricSet
+	sink       Sink
+	opt        TrackerOptions
+	start      time.Time
+	lastWrite  time.Time
+	completed  int
+	devices    int64
+	sinceWrite int
+	sinkErr    error
+}
+
+// NewTracker builds a tracker publishing to sink. ms is the metric
+// accumulator to publish (shared with the caller so the end-of-run summary
+// and the status file report identical statistics); nil allocates a fresh
+// one.
+func NewTracker(c Campaign, ms *MetricSet, sink Sink, opt TrackerOptions) *Tracker {
+	if ms == nil {
+		ms = NewMetricSet()
+	}
+	if opt.EveryTasks <= 0 {
+		opt.EveryTasks = 64
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = time.Second
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	if c.ShardCount < 1 {
+		c.ShardIndex, c.ShardCount = 0, 1
+	}
+	return &Tracker{c: c, ms: ms, sink: sink, opt: opt, completed: c.Resumed}
+}
+
+// Metrics exposes the tracker's metric accumulator.
+func (t *Tracker) Metrics() *MetricSet { return t.ms }
+
+// Start stamps the session start and publishes the initial status, so a
+// tail sees the shard the moment it launches, not after the first flush.
+func (t *Tracker) Start() {
+	now := t.opt.Now()
+	t.start = now
+	t.write(false, now)
+}
+
+// Prime feeds one observation from the resumed (already recorded) prefix:
+// it reaches the metric summaries — which must cover the whole campaign —
+// but not the completion count or throughput, which Campaign.Resumed and
+// the session rate already account for.
+func (t *Tracker) Prime(metric string, v float64) { t.ms.Add(metric, v) }
+
+// Task feeds one completed task: metric observation, task count, devices
+// simulated. It publishes when the EveryTasks or Interval policy fires.
+func (t *Tracker) Task(metric string, v float64, devices int) {
+	t.ms.Add(metric, v)
+	t.completed++
+	t.devices += int64(devices)
+	t.sinceWrite++
+	now := t.opt.Now()
+	if t.sinceWrite >= t.opt.EveryTasks || now.Sub(t.lastWrite) >= t.opt.Interval {
+		t.write(false, now)
+	}
+}
+
+// Close publishes the final status (Done when the run succeeded) and
+// reports the first sink error the tracker swallowed along the way.
+func (t *Tracker) Close(done bool) error {
+	t.write(done, t.opt.Now())
+	return t.sinkErr
+}
+
+func (t *Tracker) write(done bool, now time.Time) {
+	t.sinceWrite = 0
+	t.lastWrite = now
+	if t.start.IsZero() {
+		t.start = now
+	}
+	if err := t.sink.Write(t.Snapshot(done, now)); err != nil && t.sinkErr == nil {
+		t.sinkErr = err
+	}
+}
+
+// Snapshot assembles the Status the tracker would publish at now.
+func (t *Tracker) Snapshot(done bool, now time.Time) Status {
+	st := Status{
+		Format:       StatusFormat,
+		Experiment:   t.c.Experiment,
+		ConfigHash:   t.c.ConfigHash,
+		ShardIndex:   t.c.ShardIndex,
+		ShardCount:   t.c.ShardCount,
+		TotalTasks:   t.c.TotalTasks,
+		ShardTasks:   t.c.ShardTasks,
+		Resumed:      t.c.Resumed,
+		Completed:    t.completed,
+		Done:         done,
+		StartUnixMS:  t.start.UnixMilli(),
+		UpdateUnixMS: now.UnixMilli(),
+		Metrics:      t.ms.Stats(),
+	}
+	if elapsed := now.Sub(t.start).Seconds(); elapsed > 0 {
+		st.TasksPerSec = float64(t.completed-t.c.Resumed) / elapsed
+		st.DevicesPerSec = float64(t.devices) / elapsed
+	}
+	switch {
+	case done:
+		st.ETAMS = 0
+	case st.TasksPerSec > 0:
+		remaining := t.c.ShardTasks - t.completed
+		if remaining < 0 {
+			remaining = 0
+		}
+		st.ETAMS = int64(float64(remaining) / st.TasksPerSec * 1000)
+	default:
+		st.ETAMS = -1
+	}
+	return st
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tracker tests.
+type fakeClock struct {
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.UnixMilli(1_700_000_000_000)}
+}
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// memSink records every published status.
+type memSink struct {
+	writes []Status
+	err    error
+}
+
+func (s *memSink) Write(st Status) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.writes = append(s.writes, st)
+	return nil
+}
+
+func TestTrackerFlushesEveryNTasks(t *testing.T) {
+	clock := newFakeClock()
+	sink := &memSink{}
+	tr := NewTracker(Campaign{Experiment: "fig7", ShardCount: 1, TotalTasks: 25, ShardTasks: 25},
+		nil, sink, TrackerOptions{EveryTasks: 10, Interval: time.Hour, Now: clock.Now})
+	tr.Start()
+	if len(sink.writes) != 1 {
+		t.Fatalf("Start should publish immediately, got %d writes", len(sink.writes))
+	}
+	for i := 0; i < 25; i++ {
+		clock.Advance(100 * time.Millisecond)
+		tr.Task("m", float64(i), 100)
+	}
+	// Start + flushes at task 10 and 20.
+	if len(sink.writes) != 3 {
+		t.Fatalf("got %d writes, want 3", len(sink.writes))
+	}
+	if got := sink.writes[2].Completed; got != 20 {
+		t.Errorf("last periodic write Completed = %d, want 20", got)
+	}
+	if err := tr.Close(true); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	final := sink.writes[len(sink.writes)-1]
+	if !final.Done || final.Completed != 25 || final.ETAMS != 0 {
+		t.Errorf("final status: %+v", final)
+	}
+	// 25 tasks in 2.5s of fake time.
+	if got := final.TasksPerSec; got < 9.9 || got > 10.1 {
+		t.Errorf("TasksPerSec = %v, want ~10", got)
+	}
+	if got := final.DevicesPerSec; got < 990 || got > 1010 {
+		t.Errorf("DevicesPerSec = %v, want ~1000", got)
+	}
+	if len(final.Metrics) != 1 || final.Metrics[0].Count != 25 {
+		t.Errorf("final metrics: %+v", final.Metrics)
+	}
+}
+
+func TestTrackerFlushesOnInterval(t *testing.T) {
+	clock := newFakeClock()
+	sink := &memSink{}
+	tr := NewTracker(Campaign{ShardCount: 1, TotalTasks: 10, ShardTasks: 10},
+		nil, sink, TrackerOptions{EveryTasks: 1 << 30, Interval: time.Second, Now: clock.Now})
+	tr.Start()
+	for i := 0; i < 5; i++ {
+		clock.Advance(600 * time.Millisecond)
+		tr.Task("m", 1, 10)
+	}
+	// Writes at t=1.2s (task 2) and t=2.4s (task 4), plus Start.
+	if len(sink.writes) != 3 {
+		t.Fatalf("got %d writes, want 3: %+v", len(sink.writes), sink.writes)
+	}
+	if got := sink.writes[1].Completed; got != 2 {
+		t.Errorf("first interval write Completed = %d, want 2", got)
+	}
+}
+
+func TestTrackerResumeSemantics(t *testing.T) {
+	clock := newFakeClock()
+	sink := &memSink{}
+	tr := NewTracker(Campaign{ShardCount: 1, TotalTasks: 100, ShardTasks: 100, Resumed: 40},
+		nil, sink, TrackerOptions{EveryTasks: 1 << 30, Interval: time.Hour, Now: clock.Now})
+	for i := 0; i < 40; i++ {
+		tr.Prime("m", float64(i))
+	}
+	tr.Start()
+	if st := sink.writes[0]; st.Completed != 40 || st.Resumed != 40 {
+		t.Fatalf("initial resumed status: %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Second)
+		tr.Task("m", float64(40+i), 50)
+	}
+	st := tr.Snapshot(false, clock.Now())
+	if st.Completed != 50 {
+		t.Errorf("Completed = %d, want 50", st.Completed)
+	}
+	// Session rate covers only the 10 live tasks: 10 tasks / 10 s = 1/s,
+	// so 50 remaining tasks → 50 s ETA.
+	if st.TasksPerSec < 0.99 || st.TasksPerSec > 1.01 {
+		t.Errorf("TasksPerSec = %v, want ~1", st.TasksPerSec)
+	}
+	if st.ETAMS < 49_000 || st.ETAMS > 51_000 {
+		t.Errorf("ETAMS = %d, want ~50000", st.ETAMS)
+	}
+	// Metric summaries span the whole campaign: primed prefix + live tail.
+	if len(st.Metrics) != 1 || st.Metrics[0].Count != 50 {
+		t.Errorf("metrics: %+v", st.Metrics)
+	}
+}
+
+func TestTrackerSurfacesSinkErrorAtClose(t *testing.T) {
+	boom := errors.New("disk full")
+	tr := NewTracker(Campaign{ShardTasks: 5, TotalTasks: 5}, nil, &memSink{err: boom},
+		TrackerOptions{Now: newFakeClock().Now})
+	tr.Start()
+	tr.Task("m", 1, 1)
+	if err := tr.Close(true); !errors.Is(err, boom) {
+		t.Fatalf("Close error = %v, want %v", err, boom)
+	}
+}
+
+func TestFileSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl.status")
+	sink := NewFileSink(path)
+	want := Status{Format: StatusFormat, Experiment: "fig6a", ShardIndex: 1, ShardCount: 3,
+		TotalTasks: 90, ShardTasks: 30, Completed: 12, ETAMS: 1234,
+		Metrics: []MetricStats{{Name: "m", Count: 12, Mean: 3, Min: 1, Max: 5, P50: 3, P95: 5, P99: 5}}}
+	if err := sink.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStatus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != want.Experiment || got.Completed != want.Completed ||
+		len(got.Metrics) != 1 || got.Metrics[0] != want.Metrics[0] {
+		t.Errorf("round trip: got %+v want %+v", got, want)
+	}
+	// The temp file must not linger after a successful publish.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+// TestFileSinkAtomicUnderConcurrentReader hammers one status path with
+// rewrites while a reader polls it: the rename protocol guarantees the
+// reader never observes a torn or half-written file.
+func TestFileSinkAtomicUnderConcurrentReader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl.status")
+	sink := NewFileSink(path)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b, err := os.ReadFile(path)
+			if os.IsNotExist(err) {
+				continue // before the first publish
+			}
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			var st Status
+			if err := json.Unmarshal(b, &st); err != nil {
+				t.Errorf("torn status observed: %v", err)
+				return
+			}
+			if st.Format != StatusFormat {
+				t.Errorf("torn status: format %d", st.Format)
+				return
+			}
+		}
+	}()
+	// A realistic payload with metrics so the file is non-trivially sized.
+	st := Status{Format: StatusFormat, Experiment: "fig7", ShardCount: 3, TotalTasks: 3000, ShardTasks: 1000}
+	for i := 0; i < 8; i++ {
+		st.Metrics = append(st.Metrics, MetricStats{Name: "metric-with-a-long-name", Count: i,
+			Mean: 1.23456789, Min: 0.1, Max: 99.9, P50: 1, P95: 2, P99: 3})
+	}
+	for i := 0; i < 500; i++ {
+		st.Completed = i
+		if err := sink.Write(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestReadStatusRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadStatus(filepath.Join(dir, "absent.status")); !os.IsNotExist(err) {
+		t.Errorf("missing file: err = %v, want not-exist", err)
+	}
+	garbage := filepath.Join(dir, "garbage.status")
+	if err := os.WriteFile(garbage, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStatus(garbage); err == nil {
+		t.Error("garbage file parsed without error")
+	}
+	wrong := filepath.Join(dir, "wrong.status")
+	if err := os.WriteFile(wrong, []byte(`{"format": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStatus(wrong); err == nil {
+		t.Error("wrong format accepted")
+	}
+}
+
+func TestStatusPath(t *testing.T) {
+	if got := StatusPath("shard-0.jsonl"); got != "shard-0.jsonl.status" {
+		t.Errorf("StatusPath = %q", got)
+	}
+}

@@ -32,6 +32,7 @@ package nbiot
 import (
 	"io"
 	"os"
+	"time"
 
 	"nbiot/internal/analysis"
 	"nbiot/internal/battery"
@@ -48,6 +49,7 @@ import (
 	"nbiot/internal/runner"
 	"nbiot/internal/simtime"
 	"nbiot/internal/stats"
+	"nbiot/internal/telemetry"
 	"nbiot/internal/trace"
 	"nbiot/internal/traffic"
 )
@@ -503,3 +505,79 @@ type P2Quantile = stats.P2Quantile
 
 // NewP2Quantile returns a streaming estimator for the p-quantile, 0 < p < 1.
 func NewP2Quantile(p float64) *P2Quantile { return stats.NewP2Quantile(p) }
+
+// StreamSummary couples a streaming mean/min/max accumulator with P²
+// P50/P95/P99 estimators — the per-metric unit of campaign telemetry.
+type StreamSummary = stats.StreamSummary
+
+// NewStreamSummary returns an empty stream summary.
+func NewStreamSummary() *StreamSummary { return stats.NewStreamSummary() }
+
+// --- live campaign telemetry -------------------------------------------------
+
+// CampaignStatus is one worker's published live state: shard identity,
+// progress, throughput, ETA, and per-metric streaming statistics. Workers
+// rewrite it atomically in a `<jsonl>.status` sidecar while they run.
+type CampaignStatus = telemetry.Status
+
+// CampaignMetricStats is one metric's streaming summary inside a status.
+type CampaignMetricStats = telemetry.MetricStats
+
+// TrackedCampaign is the immutable identity a StatusTracker publishes;
+// derive it from a manifest with CampaignManifest.Telemetry, or fill it by
+// hand for producers without one.
+type TrackedCampaign = telemetry.Campaign
+
+// StatusTracker accumulates one worker's progress and publishes
+// CampaignStatus under an every-N-tasks / every-interval policy. Feed it
+// from ExperimentOptions.Observe; it never perturbs the sweep.
+type StatusTracker = telemetry.Tracker
+
+// StatusTrackerOptions tunes status publication cadence.
+type StatusTrackerOptions = telemetry.TrackerOptions
+
+// StatusSink receives status publications.
+type StatusSink = telemetry.Sink
+
+// CampaignMetricSet folds a record stream into per-metric streaming
+// summaries — shared between the tracker and end-of-run reporting.
+type CampaignMetricSet = telemetry.MetricSet
+
+// NewCampaignMetricSet returns an empty metric set.
+func NewCampaignMetricSet() *CampaignMetricSet { return telemetry.NewMetricSet() }
+
+// NewStatusTracker builds a tracker for c publishing to sink; ms may be
+// nil (a fresh set is allocated) or shared with the caller's reporting.
+func NewStatusTracker(c TrackedCampaign, ms *CampaignMetricSet, sink StatusSink, opt StatusTrackerOptions) *StatusTracker {
+	return telemetry.NewTracker(c, ms, sink, opt)
+}
+
+// NewStatusFileSink publishes each status atomically at path
+// (write-temp-then-rename: readers never observe a torn file).
+func NewStatusFileSink(path string) StatusSink { return telemetry.NewFileSink(path) }
+
+// CampaignStatusPath is where a record file's status sidecar lives.
+func CampaignStatusPath(jsonlPath string) string { return telemetry.StatusPath(jsonlPath) }
+
+// ReadCampaignStatus loads one status sidecar.
+func ReadCampaignStatus(path string) (CampaignStatus, error) { return telemetry.ReadStatus(path) }
+
+// CampaignShardStatus is one shard's status as seen by a reader, with
+// provenance and staleness.
+type CampaignShardStatus = telemetry.ShardStatus
+
+// CampaignSnapshot is the fleet-wide view over many shard statuses —
+// aggregate progress, per-shard ETA and straggler flags, merged
+// percentile estimates. `nbsim tail` renders these.
+type CampaignSnapshot = telemetry.Snapshot
+
+// LoadCampaignStatuses reads status paths, splitting parsed shards from
+// missing (absent or unreadable) files; it never fails.
+func LoadCampaignStatuses(paths []string, now time.Time) ([]CampaignShardStatus, []string) {
+	return telemetry.Load(paths, now)
+}
+
+// AggregateCampaignStatus folds shard statuses into a fleet snapshot.
+func AggregateCampaignStatus(shards []CampaignShardStatus, missing []string) CampaignSnapshot {
+	return telemetry.Aggregate(shards, missing)
+}
