@@ -1,0 +1,270 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+
+	"nbiot/internal/campaign"
+	"nbiot/internal/coordinator"
+	"nbiot/internal/experiment"
+	"nbiot/internal/telemetry"
+)
+
+// runCoordinate implements `nbsim coordinate`: run one registered sweep as
+// a locally supervised fleet of shard worker processes. The coordinator
+// spawns `-shards` copies of this binary (one interleaved task slice
+// each, writing <dir>/<sweep>-shard-<i>.jsonl plus manifest and status
+// sidecars), watches their heartbeats, restarts any worker that crashes
+// or wedges — resuming from its checkpoint file, with capped exponential
+// backoff and a per-shard retry budget — and, once every shard is durably
+// complete, merges the shard set in-process, printing the exact tables
+// (and record stream, via -out) a single flawless run would have
+// produced. A shard that exhausts its retry budget aborts the campaign
+// loudly: the remaining workers are drained and the exit is non-zero,
+// with a per-shard post-mortem on stderr; there is never a silent partial
+// merge. Ctrl-C / SIGTERM likewise drains the fleet and leaves the shard
+// files resumable — rerun the identical command with -resume to continue.
+//
+// The test-only chaos flags (-fail-shard/-fail-after-tasks/-fail-times)
+// forward -fail-after-tasks to the chosen shard's first -fail-times
+// attempts, letting CI kill real workers mid-write and assert the merged
+// output is byte-identical anyway.
+func runCoordinate(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nbsim coordinate {fig6a|fig6b|fig7|grid|ablations -id <x>} [-shards n] [flags]")
+	}
+	subcmd, rest := args[0], args[1:]
+	switch subcmd {
+	case "fig6a", "fig6b", "fig7", "grid", "ablations":
+	default:
+		return fmt.Errorf("coordinate: %q is not a shardable sweep (want fig6a, fig6b, fig7, grid, or ablations -id <x>)", subcmd)
+	}
+
+	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
+	shards := fs.Int("shards", 2, "worker processes to supervise (one task-space slice each)")
+	dir := fs.String("dir", ".", "directory for shard record files and sidecars (created if missing)")
+	out := fs.String("out", "", "merged record stream destination (default <dir>/<sweep>-merged.jsonl)")
+	heartbeat := fs.Duration("heartbeat", 30*time.Second, "status-sidecar age past which a worker is declared wedged and restarted")
+	poll := fs.Duration("poll", 500*time.Millisecond, "supervision loop period")
+	retries := fs.Int("retries", 3, "restarts allowed per shard before the campaign aborts")
+	backoff := fs.Duration("backoff", 500*time.Millisecond, "base restart delay (doubles per consecutive failure, with seeded jitter)")
+	backoffCap := fs.Duration("backoff-cap", 15*time.Second, "restart delay ceiling")
+	// Forwarded sweep flags (same meanings as the sweep subcommands).
+	seed := fs.Int64("seed", 1, "master random seed")
+	runs := fs.Int("runs", 0, "runs per data point (default: paper's 100)")
+	devices := fs.Int("devices", 0, "fleet size for fig6a/fig6b (default 500)")
+	workers := fs.Int("workers", 0, "concurrent simulations per worker process (default: CPUs/shards)")
+	ti := fs.Float64("ti", 10, "inactivity timer in seconds")
+	mix := fs.String("mix", "paper-calibrated", "fleet mix")
+	ablation := fs.String("id", "", "ablations: the single sweep to run (required with ablations)")
+	spec := fs.String("spec", "", "grid: JSON scenario-spec file")
+	csvOut := fs.Bool("csv", false, "emit the merged tables as CSV")
+	quiet := fs.Bool("quiet", false, "suppress progress lines (supervision events still print)")
+	resume := fs.Bool("resume", false, "continue an interrupted coordinated campaign from its shard checkpoints")
+	force := fs.Bool("force", false, "overwrite existing shard and merge files instead of refusing")
+	failShard := fs.Int("fail-shard", 0, "TEST ONLY: 1-based shard whose workers get -fail-after-tasks")
+	failAfter := fs.Int("fail-after-tasks", 0, "TEST ONLY: forwarded crash point (records) for -fail-shard")
+	failTimes := fs.Int("fail-times", 1, "TEST ONLY: how many of -fail-shard's attempts crash before running clean")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("coordinate: unexpected arguments %v (flags go after the sweep name)", fs.Args())
+	}
+	if *shards < 1 {
+		return fmt.Errorf("coordinate: -shards wants at least 1, got %d", *shards)
+	}
+	if *resume && *force {
+		return fmt.Errorf("-resume continues the existing shard files and -force overwrites them; choose one")
+	}
+	if (*failShard != 0) != (*failAfter != 0) {
+		return fmt.Errorf("coordinate: -fail-shard and -fail-after-tasks go together")
+	}
+	if *failShard < 0 || *failShard > *shards {
+		return fmt.Errorf("coordinate: -fail-shard %d out of range 1..%d", *failShard, *shards)
+	}
+
+	// Resolve the sweep identity early so misconfiguration fails before any
+	// worker is spawned.
+	name := subcmd
+	switch subcmd {
+	case "ablations":
+		if *ablation == "" {
+			return fmt.Errorf("coordinate ablations needs -id <sweep>: a coordinated campaign is one sweep's task space")
+		}
+		if !experiment.IsSweep(*ablation) {
+			return fmt.Errorf("unknown ablation id %q", *ablation)
+		}
+		name = *ablation
+	case "grid":
+		if _, err := loadGridSpec(*spec); err != nil {
+			return err
+		}
+	}
+	if *out == "" {
+		*out = filepath.Join(*dir, name+"-merged.jsonl")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return fmt.Errorf("coordinate: %w", err)
+	}
+
+	paths := make([]string, *shards)
+	statusPaths := make([]string, *shards)
+	for i := range paths {
+		paths[i] = filepath.Join(*dir, fmt.Sprintf("%s-shard-%d.jsonl", name, i))
+		statusPaths[i] = telemetry.StatusPath(paths[i])
+	}
+	if err := preflightShardFiles(paths, *out, *resume, *force); err != nil {
+		return err
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("coordinate: locating own binary: %w", err)
+	}
+	perWorker := *workers
+	if perWorker <= 0 {
+		perWorker = runtime.NumCPU() / *shards
+		if perWorker < 1 {
+			perWorker = 1
+		}
+	}
+
+	tails := make([]*coordinator.TailBuffer, *shards)
+	for i := range tails {
+		tails[i] = &coordinator.TailBuffer{}
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "coordinate: "+format+"\n", a...)
+	}
+	spawn := func(shard, attempt int, _ bool) (coordinator.Worker, error) {
+		wargs := []string{subcmd,
+			"-jsonl", paths[shard],
+			"-shard", fmt.Sprintf("%d/%d", shard+1, *shards),
+			"-quiet",
+			"-seed", strconv.FormatInt(*seed, 10),
+			"-ti", strconv.FormatFloat(*ti, 'g', -1, 64),
+			"-mix", *mix,
+			"-workers", strconv.Itoa(perWorker),
+		}
+		if *runs > 0 {
+			wargs = append(wargs, "-runs", strconv.Itoa(*runs))
+		}
+		if *devices > 0 {
+			wargs = append(wargs, "-devices", strconv.Itoa(*devices))
+		}
+		if subcmd == "ablations" {
+			wargs = append(wargs, "-id", *ablation)
+		}
+		if *spec != "" {
+			wargs = append(wargs, "-spec", *spec)
+		}
+		// Resume is decided from the filesystem each attempt: a manifest plus
+		// record file is a checkpoint to continue; a record file alone is a
+		// write that died before its manifest, only good for overwriting.
+		if _, err := os.Stat(paths[shard]); err == nil {
+			if _, err := os.Stat(campaign.Path(paths[shard])); err == nil {
+				wargs = append(wargs, "-resume")
+			} else {
+				wargs = append(wargs, "-force")
+			}
+		}
+		if *failShard == shard+1 && attempt < *failTimes {
+			wargs = append(wargs, "-fail-after-tasks", strconv.Itoa(*failAfter))
+		}
+		return coordinator.StartProcess(exe, wargs, []string{"NBSIM_WORKER=1"}, tails[shard], tails[shard])
+	}
+
+	var lastProgress time.Time
+	observe := func(snap telemetry.Snapshot) {
+		if *quiet || time.Since(lastProgress) < 2*time.Second {
+			return
+		}
+		lastProgress = time.Now()
+		pct := 0.0
+		if snap.TotalTasks > 0 {
+			pct = 100 * float64(snap.Completed) / float64(snap.TotalTasks)
+		}
+		logf("fleet: %d/%d tasks (%.1f%%), %d live, %d stale, %.1f tasks/s",
+			snap.Completed, snap.TotalTasks, pct, snap.Live, snap.Stale, snap.TasksPerSec)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := coordinator.Run(ctx, coordinator.Options{
+		Shards:      *shards,
+		StatusPaths: statusPaths,
+		Spawn:       spawn,
+		Resume:      *resume,
+		Heartbeat:   *heartbeat,
+		Poll:        *poll,
+		Retries:     *retries,
+		BackoffBase: *backoff,
+		BackoffCap:  *backoffCap,
+		Seed:        *seed,
+		Log:         logf,
+		Observe:     observe,
+	})
+	if err != nil {
+		fmt.Fprint(os.Stderr, res.Describe())
+		for _, s := range res.Shards {
+			if s.Err != nil {
+				if tail := tails[s.Shard].String(); tail != "" {
+					fmt.Fprintf(os.Stderr, "--- shard %d worker output ---\n%s", s.Shard, tail)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "coordinate: shard files kept for inspection; rerun with -resume after fixing the cause\n")
+		return err
+	}
+	logf("all %d shards done (%d restarts, %d stalls); merging", *shards, res.Restarts, res.Stalls)
+
+	// Merge in-process. -force is safe here: preflight already enforced the
+	// clobber policy on -out before any worker ran.
+	mergeArgs := []string{"-out", *out, "-force"}
+	if *csvOut {
+		mergeArgs = append(mergeArgs, "-csv")
+	}
+	if *quiet {
+		mergeArgs = append(mergeArgs, "-quiet")
+	}
+	if err := runMerge(append(mergeArgs, paths...)); err != nil {
+		return fmt.Errorf("coordinate: shards completed but merge failed: %w", err)
+	}
+	logf("merged %d shards → %s", *shards, *out)
+	return nil
+}
+
+// preflightShardFiles enforces the refuse-to-clobber policy over the
+// whole campaign before any worker is spawned: with neither -resume nor
+// -force, every shard record file and the merge destination must be
+// absent; -force clears them (record, manifest, and status sidecars
+// together, so no stale sidecar describes the new campaign); -resume
+// keeps them for the workers to continue.
+func preflightShardFiles(paths []string, out string, resume, force bool) error {
+	check := append(append([]string(nil), paths...), out)
+	for _, p := range check {
+		_, err := os.Stat(p)
+		switch {
+		case err == nil && force:
+			for _, stale := range []string{p, campaign.Path(p), telemetry.StatusPath(p)} {
+				if rerr := os.Remove(stale); rerr != nil && !os.IsNotExist(rerr) {
+					return fmt.Errorf("coordinate: clearing %s: %w", stale, rerr)
+				}
+			}
+		case err == nil && !resume:
+			return fmt.Errorf("coordinate: %s exists; pass -resume to continue the campaign or -force to overwrite", p)
+		case err != nil && !os.IsNotExist(err):
+			return fmt.Errorf("coordinate: %w", err)
+		}
+	}
+	return nil
+}

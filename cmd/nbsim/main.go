@@ -13,6 +13,10 @@
 //	                          # fold shard record files into the single-process output
 //	nbsim tail     [flags] shard0.jsonl.status 'shard-*.jsonl.status' ...
 //	                          # follow a live campaign's status sidecars
+//	nbsim coordinate <sweep> [flags]
+//	                          # supervise a fleet of local shard workers:
+//	                          # spawn, watch heartbeats, restart crashes
+//	                          # from checkpoints, auto-merge on completion
 //
 // Common flags: -seed, -runs, -devices, -ti, -mix, -workers, -csv, -quiet,
 // -jsonl. Results print as aligned tables (and ASCII charts); -csv switches
@@ -35,6 +39,17 @@
 // interrupted -jsonl campaign from its completed prefix, tolerating the
 // torn final line a crash leaves; the finished file is byte-identical to
 // an uninterrupted run's.
+//
+// `nbsim coordinate` (internal/coordinator) automates the whole
+// shard/watch/restart/merge cycle on one machine: it spawns -shards
+// worker processes of this same binary, restarts any that crash or stop
+// heartbeating (resuming from their checkpoint files, under capped
+// exponential backoff with a per-shard retry budget), drains the fleet
+// gracefully on Ctrl-C, and merges automatically once every shard is
+// done — the merged stream and tables are byte-identical to a
+// single-process run even across worker crashes. Exhausting a shard's
+// retry budget aborts the campaign with a non-zero exit and a per-shard
+// post-mortem, never a silent partial merge.
 //
 // `nbsim grid -spec scenario.json` sweeps a user-defined scenario grid:
 // the JSON spec lists fleet sizes, mechanisms, traffic mixes, TI values
@@ -128,6 +143,7 @@ type cliOptions struct {
 	force      bool
 	shardSpec  string
 	specPath   string
+	failAfter  int
 	grid       experiment.GridSpec
 	out        *printer
 	// run-subcommand extras
@@ -163,6 +179,7 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
 	fs.IntVar(&o.traceN, "trace", 0, "run: print the last N timeline events")
 	fs.StringVar(&o.ablation, "id", "", "ablations: one of greedy-vs-exact, ti-sweep, mix-sweep, paging-capacity, scptm (default all)")
+	fs.IntVar(&o.failAfter, "fail-after-tasks", 0, "TEST ONLY: crash this worker (exit code 43) after N records are accepted and flushed — deterministic fault injection for crash-recovery tests; requires -jsonl")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write an allocation profile taken at sweep end to this file (go tool pprof)")
 	if err := fs.Parse(args); err != nil {
@@ -231,11 +248,14 @@ func sweepName(cmd string, o cliOptions) (string, bool) {
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|all|run|merge|tail|bench} [flags]")
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|all|run|merge|tail|coordinate|bench} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "merge" {
 		return runMerge(rest)
+	}
+	if cmd == "coordinate" {
+		return runCoordinate(rest)
 	}
 	if cmd == "bench" {
 		return runBench(rest)
@@ -270,6 +290,17 @@ func run(args []string) (err error) {
 	if o.resume && o.force {
 		return fmt.Errorf("-resume appends to the existing file and -force overwrites it; choose one")
 	}
+	if o.failAfter < 0 {
+		return fmt.Errorf("-fail-after-tasks wants a positive record count, got %d", o.failAfter)
+	}
+	if o.failAfter > 0 {
+		if cmd == "run" {
+			return fmt.Errorf("-fail-after-tasks is test-only fault injection for sweep subcommands, not %q", cmd)
+		}
+		if o.jsonlPath == "" {
+			return fmt.Errorf("-fail-after-tasks needs -jsonl: the injected crash must leave durable records to recover from")
+		}
+	}
 	var sink *jsonlSink
 	if o.jsonlPath != "" {
 		if cmd == "run" {
@@ -286,6 +317,9 @@ func run(args []string) (err error) {
 				err = cerr
 			}
 		}()
+		if o.failAfter > 0 {
+			wrapFailAfter(&o, sink)
+		}
 	}
 	// Live telemetry: a shared MetricSet feeds both the status sidecar and
 	// the end-of-run distribution table, tapped from the engine's Observe
@@ -376,6 +410,35 @@ func run(args []string) (err error) {
 		o.out.table(ms.Table())
 	}
 	return nil
+}
+
+// faultExitCode is the exit status of a -fail-after-tasks injected
+// crash, distinct from 1 (real errors) so harnesses can tell a planted
+// fault from a genuine failure.
+const faultExitCode = 43
+
+// wrapFailAfter arms the test-only -fail-after-tasks fault: after N
+// records have been accepted by the sink, flush them to disk and exit
+// the process abruptly — no sink close, no final status write, exactly
+// the state a real mid-campaign crash leaves (durable record prefix,
+// stale status sidecar). Deterministic by construction: records are
+// accepted serially in index order, so the surviving prefix is always
+// the same N records.
+func wrapFailAfter(o *cliOptions, sink *jsonlSink) {
+	inner := o.exp.Record
+	accepted := 0
+	o.exp.Record = func(rec experiment.RunRecord) error {
+		if err := inner(rec); err != nil {
+			return err
+		}
+		accepted++
+		if accepted >= o.failAfter {
+			_ = sink.flush()
+			fmt.Fprintf(os.Stderr, "nbsim: fault injection: crashing after %d accepted records (-fail-after-tasks)\n", accepted)
+			os.Exit(faultExitCode)
+		}
+		return nil
+	}
 }
 
 // resolveStatusPath maps the -status flag to a sidecar path: "auto"

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -15,6 +17,22 @@ import (
 	"nbiot/internal/experiment"
 	"nbiot/internal/telemetry"
 )
+
+// TestMain doubles as the worker entry point for `nbsim coordinate`
+// tests: the coordinator spawns os.Executable() — under `go test`, this
+// test binary — so when the NBSIM_WORKER marker the coordinator always
+// sets is present, behave exactly like the real nbsim main instead of
+// running the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("NBSIM_WORKER") == "1" {
+		if err := run(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbsim:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestParseMechanism(t *testing.T) {
 	for name, want := range map[string]core.Mechanism{
@@ -468,6 +486,179 @@ func TestTailToleratesMissingAndStale(t *testing.T) {
 	}
 	if err := run([]string{"tail", "-once"}); err == nil {
 		t.Error("tail with no paths accepted")
+	}
+}
+
+func TestTailOnceNothingPublishing(t *testing.T) {
+	dir := t.TempDir()
+	// A probe over globs that match nothing must exit non-zero: "nothing is
+	// publishing" and "healthy empty fleet" are different answers.
+	err := run([]string{"tail", "-once", "-json", filepath.Join(dir, "nothing-*.jsonl.status")})
+	if err == nil {
+		t.Fatal("tail -once over an unmatched glob succeeded")
+	}
+	if !strings.Contains(err.Error(), "nothing is publishing") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestWorkerFaultInjectionAndResume drives -fail-after-tasks through a
+// real worker process: the injected crash must exit with the fault code,
+// leave a durable record prefix plus a stale status sidecar, and an
+// in-process -resume must finish the campaign with a record stream and a
+// final status equivalent to an uninterrupted run's.
+func TestWorkerFaultInjectionAndResume(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.jsonl")
+	if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv", "-jsonl", single}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStatus, err := telemetry.ReadStatus(telemetry.StatusPath(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := filepath.Join(dir, "crashed.jsonl")
+	cmd := exec.Command(exe, "fig7", "-runs", "3", "-quiet", "-csv",
+		"-jsonl", crashed, "-fail-after-tasks", "7")
+	cmd.Env = append(os.Environ(), "NBSIM_WORKER=1")
+	out, err := cmd.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != faultExitCode {
+		t.Fatalf("injected crash exited %v (want code %d); output:\n%s", err, faultExitCode, out)
+	}
+	st, err := telemetry.ReadStatus(telemetry.StatusPath(crashed))
+	if err != nil {
+		t.Fatalf("crashed worker left no status sidecar: %v", err)
+	}
+	if st.Done {
+		t.Error("crashed worker's sidecar claims the campaign is done")
+	}
+	// Smear a torn final line over the crash point — the kill that lands
+	// mid-write — then resume.
+	f, err := os.OpenFile(crashed, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"experiment":"fig7","index":7,"val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv", "-jsonl", crashed, "-resume"}); err != nil {
+		t.Fatalf("resume after injected crash: %v", err)
+	}
+	got, err := os.ReadFile(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("resumed stream diverges from the uninterrupted run")
+	}
+	final, err := telemetry.ReadStatus(telemetry.StatusPath(crashed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Done || final.Completed != refStatus.Completed || final.TotalTasks != refStatus.TotalTasks {
+		t.Errorf("final status %+v, want done %d/%d like the uninterrupted run",
+			final, refStatus.Completed, refStatus.TotalTasks)
+	}
+	if final.Resumed != 7 {
+		t.Errorf("final status Resumed = %d, want the 7 checkpointed records", final.Resumed)
+	}
+	if fmt.Sprintf("%+v", final.Metrics) != fmt.Sprintf("%+v", refStatus.Metrics) {
+		t.Errorf("resumed metrics diverge:\n%+v\nvs uninterrupted:\n%+v", final.Metrics, refStatus.Metrics)
+	}
+}
+
+// TestCoordinateChaosByteIdentical is the tentpole's end-to-end CLI
+// proof: a coordinated fleet whose shard 2 crashes twice mid-campaign
+// still produces a merged record stream and stdout tables byte-identical
+// to the single-process run.
+func TestCoordinateChaosByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.jsonl")
+	if err := run([]string{"fig7", "-runs", "3", "-quiet", "-csv", "-jsonl", single}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := captureStdout(t, func() error { return runMerge([]string{"-csv", "-quiet", single}) })
+
+	campDir := filepath.Join(dir, "fleet")
+	merged := filepath.Join(campDir, "merged.jsonl")
+	gotCSV := captureStdout(t, func() error {
+		return run([]string{"coordinate", "fig7",
+			"-shards", "3", "-dir", campDir, "-out", merged,
+			"-runs", "3", "-csv", "-quiet",
+			"-poll", "20ms", "-retries", "3", "-backoff", "5ms", "-backoff-cap", "20ms",
+			"-fail-shard", "2", "-fail-after-tasks", "1", "-fail-times", "2"})
+	})
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatalf("no merged stream after coordination: %v", err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("coordinated merge diverges from the single-process stream despite crash recovery")
+	}
+	if gotCSV != refCSV {
+		t.Errorf("coordinated tables diverge:\n%s\nvs single-process:\n%s", gotCSV, refCSV)
+	}
+	// Rerunning without -resume/-force must refuse to clobber the fleet.
+	if err := run([]string{"coordinate", "fig7", "-shards", "3", "-dir", campDir,
+		"-out", merged, "-runs", "3", "-quiet"}); err == nil {
+		t.Error("coordinate clobbered an existing campaign")
+	}
+}
+
+// TestCoordinateBudgetExhaustionFailsLoudly: a shard that crashes on
+// every attempt must abort the campaign with a non-zero, diagnostic
+// error and leave no merged output behind.
+func TestCoordinateBudgetExhaustionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "merged.jsonl")
+	err := run([]string{"coordinate", "fig7",
+		"-shards", "2", "-dir", dir, "-out", merged,
+		"-runs", "1", "-quiet",
+		"-poll", "20ms", "-retries", "1", "-backoff", "5ms", "-backoff-cap", "20ms",
+		"-fail-shard", "1", "-fail-after-tasks", "1", "-fail-times", "99"})
+	if err == nil {
+		t.Fatal("coordinate succeeded despite a shard crashing on every attempt")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") || !strings.Contains(err.Error(), "shard 0") {
+		t.Errorf("error lacks per-shard diagnosis: %v", err)
+	}
+	if _, serr := os.Stat(merged); !os.IsNotExist(serr) {
+		t.Errorf("failed campaign still produced a merge (stat err: %v)", serr)
+	}
+}
+
+func TestCoordinateFlagValidation(t *testing.T) {
+	tmp := t.TempDir()
+	for _, args := range [][]string{
+		{"coordinate"},        // no sweep
+		{"coordinate", "run"}, // not shardable
+		{"coordinate", "ablations", "-shards", "2"},         // no -id
+		{"coordinate", "fig7", "-shards", "0"},              // bad count
+		{"coordinate", "fig7", "-resume", "-force"},         // contradictory
+		{"coordinate", "fig7", "-fail-shard", "1"},          // chaos flags go together
+		{"coordinate", "fig7", "-fail-after-tasks", "2"},    // chaos flags go together
+		{"coordinate", "fig7", "-shards", "2", "extra-arg"}, // stray positional
+		{"coordinate", "grid", "-spec", tmp + "/none.json"}, // unreadable spec
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
 	}
 }
 

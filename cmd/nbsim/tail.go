@@ -14,25 +14,34 @@ import (
 
 // runTail implements `nbsim tail`: follow one or many status sidecars
 // (internal/telemetry) and render the fleet-wide view — aggregate
-// progress, per-shard ETA with straggler flags, and merged P² percentile
-// estimates. Arguments are paths or globs (quote globs so the shell does
-// not expand a pattern whose files do not exist yet); missing or
-// not-yet-written sidecars render as pending rows, never errors, because
-// tailing a fleet that is still launching is the normal case. The loop
-// polls every -interval until the fleet reports done; -once takes a single
-// snapshot, and -json swaps the tables for one machine-readable JSON
-// snapshot per poll on stdout.
+// progress, per-shard ETA with live/stale/done heartbeat classification
+// (-heartbeat sets the staleness threshold) and straggler flags, and
+// merged P² percentile estimates. Arguments are paths or globs (quote
+// globs so the shell does not expand a pattern whose files do not exist
+// yet); missing or not-yet-written sidecars render as pending rows, never
+// errors, because tailing a fleet that is still launching is the normal
+// case. The loop polls every -interval until the fleet reports done;
+// -once takes a single snapshot, and -json swaps the tables for one
+// machine-readable JSON snapshot per poll on stdout.
+//
+// Exit code: with -once, finding no readable status file at all (every
+// glob matched nothing, or only unreadable files) exits non-zero —
+// scripts probing a fleet get a definitive "nothing is publishing"
+// instead of an empty snapshot that looks healthy. The follow loop keeps
+// waiting instead: workers that have not launched yet are its normal
+// starting state.
 func runTail(args []string) error {
 	fs := flag.NewFlagSet("tail", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit one JSON snapshot per poll instead of tables")
-	once := fs.Bool("once", false, "take one snapshot and exit instead of following until done")
+	once := fs.Bool("once", false, "take one snapshot and exit instead of following until done (exits non-zero if no status file is readable)")
 	interval := fs.Duration("interval", 2*time.Second, "poll period")
+	heartbeat := fs.Duration("heartbeat", telemetry.DefaultHeartbeat, "status-file age beyond which a running shard is flagged STALE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
-		return fmt.Errorf("usage: nbsim tail [-json] [-once] [-interval 2s] <status file or glob> ...")
+		return fmt.Errorf("usage: nbsim tail [-json] [-once] [-interval 2s] [-heartbeat 10s] <status file or glob> ...")
 	}
 	enc := json.NewEncoder(os.Stdout)
 	for first := true; ; first = false {
@@ -41,7 +50,10 @@ func runTail(args []string) error {
 			return err
 		}
 		shards, missing := telemetry.Load(paths, time.Now())
-		snap := telemetry.Aggregate(shards, missing)
+		if *once && len(shards) == 0 {
+			return fmt.Errorf("tail: no readable status file among %d path(s) — nothing is publishing", len(missing))
+		}
+		snap := telemetry.AggregateHeartbeat(shards, missing, *heartbeat)
 		if *jsonOut {
 			if err := enc.Encode(snap); err != nil {
 				return err

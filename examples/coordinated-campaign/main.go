@@ -1,0 +1,195 @@
+// Coordinated-campaign: the fault-tolerance workflow for long campaigns —
+// a supervisor that babysits shard workers, restarts crashes from their
+// checkpoints, and merges a stream byte-identical to a run that never
+// crashed (internal/coordinator; the CLI equivalent is `nbsim coordinate`).
+//
+// The fault model: a shard worker can die at any instant, leaving a torn
+// final JSONL line and a stale status sidecar. The recovery contract
+// stacks three guarantees the library already makes — records are written
+// serially in task-index order, every record is a pure function of (seed,
+// index), and ResumeCampaign truncates crash damage and positions the
+// sweep to append exactly the missing bytes — so a supervisor only has to
+// detect death and respawn with resume. This example runs that loop in
+// one process, at toy scale, through the public facade:
+//
+//  1. record a single-process reference stream for the campaign;
+//  2. supervise three in-process shard "workers" with CoordinateCampaign,
+//     where shard 1's first attempt is rigged to crash mid-write;
+//  3. after the coordinator reports every shard done (one restart on the
+//     books), merge the shard files and verify the stream is
+//     byte-identical to the reference.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nbiot"
+)
+
+// worker adapts a goroutine to the CampaignWorker interface: Wait blocks
+// until the goroutine finishes. Signal/Kill are no-ops because these toy
+// workers only die by crashing on their own; real deployments use
+// StartWorkerProcess, whose Signal and Kill reach an actual process.
+type worker struct {
+	done chan struct{}
+	err  error
+}
+
+func (w *worker) Wait() error            { <-w.done; return w.err }
+func (w *worker) Signal(os.Signal) error { return nil }
+func (w *worker) Kill() error            { return nil }
+
+var errRiggedCrash = errors.New("rigged crash")
+
+func main() {
+	o := nbiot.DefaultExperimentOptions()
+	o.Runs = 20
+	o.FleetSizes = []int{100, 200}
+
+	dir, err := os.MkdirTemp("", "coordinated-campaign")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. The uninterrupted reference: one process, whole task space.
+	reference := runShard(dir, o, "reference.jsonl", 0, 1, false, 0)
+
+	// 2. Supervise three shards; shard 1's first attempt dies after two
+	// records, torn line and all.
+	const shards = 3
+	var paths, statusPaths []string
+	for idx := 0; idx < shards; idx++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", idx))
+		paths = append(paths, p)
+		statusPaths = append(statusPaths, nbiot.CampaignStatusPath(p))
+	}
+	spawn := func(shard, attempt int, resume bool) (nbiot.CampaignWorker, error) {
+		crashAfter := 0
+		if shard == 1 && attempt == 0 {
+			crashAfter = 2
+		}
+		w := &worker{done: make(chan struct{})}
+		go func() {
+			defer close(w.done)
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = fmt.Errorf("worker panic: %v", r)
+				}
+			}()
+			name := fmt.Sprintf("shard-%d.jsonl", shard)
+			runShard(dir, o, name, shard, shards, resume, crashAfter)
+		}()
+		return w, nil
+	}
+
+	res, err := nbiot.CoordinateCampaign(context.Background(), nbiot.CoordinatorOptions{
+		Shards:      shards,
+		StatusPaths: statusPaths,
+		Spawn:       spawn,
+		Heartbeat:   time.Minute, // exits, not heartbeats, drive this demo
+		Poll:        5 * time.Millisecond,
+		Retries:     2,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffCap:  10 * time.Millisecond,
+		Seed:        1,
+		Log:         func(f string, a ...any) { fmt.Printf("coordinator: "+f+"\n", a...) },
+	})
+	if err != nil {
+		log.Fatalf("%v\n%s", err, res.Describe())
+	}
+	fmt.Printf("\nsupervision: %d restart(s), %d stall(s)\n%s\n", res.Restarts, res.Stalls, res.Describe())
+
+	// 3. Merge the supervised fleet's files: byte-identical to the run
+	// that never crashed.
+	var merged bytes.Buffer
+	if _, err := nbiot.MergeCampaignShards(&merged, paths, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d bytes; identical to the uninterrupted reference: %v\n",
+		merged.Len(), bytes.Equal(merged.Bytes(), reference))
+}
+
+// runShard is one worker attempt's whole life, exactly what one `nbsim
+// fig7 -shard i/n -jsonl -resume` process does: open (or resume) the
+// record file, publish a status sidecar while sweeping, and append
+// records in task-index order. crashAfter > 0 rigs the attempt to die
+// after that many records written this session, leaving the torn final
+// line a real kill would. Returns the finished file's bytes (nil after a
+// rigged crash).
+func runShard(dir string, o nbiot.ExperimentOptions, name string, idx, count int, resume bool, crashAfter int) []byte {
+	path := filepath.Join(dir, name)
+	m, err := nbiot.NewCampaignManifest("fig7", o, idx, count)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var f *os.File
+	skip := 0
+	if resume {
+		// ResumeCampaign truncates the torn line, removes the dead
+		// session's stale status sidecar, and reports how many tasks the
+		// checkpoint already holds.
+		var cp nbiot.CampaignCheckpoint
+		f, cp, err = nbiot.ResumeCampaign(path, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		skip = cp.Completed
+		fmt.Printf("shard %d: resuming at %d/%d tasks (torn tail dropped: %v)\n",
+			idx, cp.Completed, m.ShardTasks(), cp.Torn)
+	} else {
+		if err := m.WriteFile(nbiot.CampaignManifestPath(path)); err != nil {
+			log.Fatal(err)
+		}
+		if f, err = os.Create(path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer f.Close()
+
+	tracker := nbiot.NewStatusTracker(m.Telemetry(skip), nil,
+		nbiot.NewStatusFileSink(nbiot.CampaignStatusPath(path)),
+		nbiot.StatusTrackerOptions{EveryTasks: 1})
+	so := o
+	so.ShardIndex, so.ShardCount, so.SkipTasks = idx, count, skip
+	write := nbiot.CampaignRecordWriter(f)
+	session := 0
+	so.Record = func(rec nbiot.RunRecord) error {
+		if err := write(rec); err != nil {
+			return err
+		}
+		session++
+		if crashAfter > 0 && session >= crashAfter {
+			f.WriteString(`{"torn mid-wri`) // the kill lands mid-write
+			return errRiggedCrash
+		}
+		return nil
+	}
+	so.Observe = func(rec nbiot.RunRecord) {
+		tracker.Task(rec.Metric, rec.Value, rec.FleetSize)
+	}
+	tracker.Start()
+	if _, err := nbiot.Fig7(so); err != nil {
+		// Crash without tracker.Close: the stale, never-done sidecar stays
+		// behind, exactly like a killed process.
+		panic(err)
+	}
+	if err := tracker.Close(true); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

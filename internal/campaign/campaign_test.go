@@ -10,6 +10,7 @@ import (
 	"nbiot/internal/campaign"
 	"nbiot/internal/experiment"
 	"nbiot/internal/simtime"
+	"nbiot/internal/telemetry"
 	"nbiot/internal/traffic"
 )
 
@@ -244,6 +245,60 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 		if !bytes.Equal(got, ref) {
 			t.Errorf("k=%d: resumed stream diverges from the uninterrupted run", k)
 		}
+	}
+}
+
+// TestOpenResumeRemovesStaleSidecar: a killed worker leaves both a torn
+// record file and a stale, never-Done status sidecar describing the dead
+// session. OpenResume must clear the orphan so no tail or supervisor
+// mistakes it for a live worker, and the resumed stream must still finish
+// byte-identical to an uninterrupted run.
+func TestOpenResumeRemovesStaleSidecar(t *testing.T) {
+	o := testOptions()
+	ref := referenceBytes(t, o)
+	m, err := campaign.New("fig7", o, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	lines = lines[:len(lines)-1]
+
+	const k = 3
+	crashed := append(bytes.Join(lines[:k], nil), lines[k][:len(lines[k])/2]...)
+	path := filepath.Join(t.TempDir(), "crashed.jsonl")
+	if err := os.WriteFile(path, crashed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sidecar := telemetry.StatusPath(path)
+	stale := telemetry.Status{
+		Format: telemetry.StatusFormat, Experiment: "fig7", ConfigHash: m.ConfigHash,
+		ShardCount: 1, TotalTasks: m.Tasks, ShardTasks: m.ShardTasks(),
+		Completed: k, Done: false, UpdateUnixMS: 1, // ancient — the dead session's last word
+	}
+	if err := telemetry.NewFileSink(sidecar).Write(stale); err != nil {
+		t.Fatal(err)
+	}
+
+	f, cp, err := campaign.OpenResume(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Completed != k || !cp.Torn {
+		t.Fatalf("recovered %+v, want %d completed and torn", cp, k)
+	}
+	if _, err := os.Stat(sidecar); !os.IsNotExist(err) {
+		t.Errorf("stale sidecar survived OpenResume: stat err = %v", err)
+	}
+	runFig7Shard(t, o, f, 0, 1, cp.Completed)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("resumed stream diverges from the uninterrupted run")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"nbiot/internal/experiment"
+	"nbiot/internal/telemetry"
 )
 
 // Checkpoint is what Scan recovers from an existing record file.
@@ -86,6 +87,13 @@ func Scan(r io.Reader, m Manifest) (Checkpoint, error) {
 // resumed sweep appends are exactly the bytes the uninterrupted run would
 // have written, so the finished file is byte-identical to one that never
 // crashed.
+//
+// A killed worker also leaves its last status sidecar behind — a stale,
+// never-Done publication describing the dead session. OpenResume removes
+// that orphan (best-effort) so no reader — `nbsim tail`, the campaign
+// coordinator's control loop — mistakes it for a live worker in the
+// window before the resuming session republishes; the resumed run's
+// tracker rewrites the sidecar from its first write.
 func OpenResume(path string, m Manifest) (*os.File, Checkpoint, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -104,5 +112,6 @@ func OpenResume(path string, m Manifest) (*os.File, Checkpoint, error) {
 		f.Close()
 		return nil, Checkpoint{}, fmt.Errorf("campaign: %w", err)
 	}
+	os.Remove(telemetry.StatusPath(path))
 	return f, cp, nil
 }

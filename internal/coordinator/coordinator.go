@@ -1,0 +1,463 @@
+// Package coordinator supervises a fleet of campaign shard workers: it
+// spawns one worker per shard, watches their status sidecars
+// (internal/telemetry) for heartbeats, restarts crashed or wedged workers
+// against their checkpoint files (internal/campaign) under a capped,
+// seeded exponential backoff, and reports when the whole campaign is
+// durably complete so the caller can merge.
+//
+// The fault model is the one the rest of the module already defends
+// against: a worker can die at any instant (crash, OOM kill, power cut),
+// leaving a torn final JSONL line and a stale status sidecar, or it can
+// wedge — alive but silent. Detection is heartbeat-based: a live worker
+// rewrites its sidecar at least once a second, so a running shard whose
+// sidecar is missing or older than Options.Heartbeat is declared stalled
+// and killed, which funnels every failure mode into one path: the worker
+// is gone, its files hold a recoverable prefix, restart it with resume.
+// Because a resumed shard appends exactly the bytes the uninterrupted run
+// would have written (campaign.OpenResume's contract), the supervised
+// campaign's merged output is byte-identical to a single flawless run no
+// matter how many times workers died along the way.
+//
+// Failure is loud: a shard that exhausts its restart budget aborts the
+// whole campaign — remaining workers are drained (signalled, then killed
+// after a grace period) and Run returns an error naming the shard and its
+// last exit, never a silent partial result.
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"nbiot/internal/runner"
+	"nbiot/internal/telemetry"
+)
+
+// Worker is one spawned shard attempt as the coordinator sees it: a thing
+// that eventually exits, and that can be asked (Signal) or forced (Kill)
+// to do so. *Proc adapts a real child process; tests substitute
+// in-process fakes.
+type Worker interface {
+	// Wait blocks until the worker exits, returning nil only for a clean
+	// exit. It is called exactly once, from a goroutine the coordinator
+	// owns.
+	Wait() error
+	// Signal delivers a shutdown request (SIGTERM during a drain).
+	Signal(sig os.Signal) error
+	// Kill terminates the worker immediately.
+	Kill() error
+}
+
+// SpawnFunc launches one attempt at a shard. attempt counts from zero per
+// shard across restarts; resume reports whether the shard has durable
+// state to recover (true on every restart, and on first attempts when
+// Options.Resume is set). The callee decides what "resume" means — for
+// process workers, passing -resume so campaign.OpenResume recovers the
+// completed prefix.
+type SpawnFunc func(shard, attempt int, resume bool) (Worker, error)
+
+// Options configures Run. Shards, StatusPaths, and Spawn are required;
+// zero durations and counts take the documented defaults.
+type Options struct {
+	// Shards is the fleet size; shard indices run [0, Shards).
+	Shards int
+	// StatusPaths[i] is shard i's telemetry sidecar, the heartbeat the
+	// coordinator watches.
+	StatusPaths []string
+	// Spawn launches one shard attempt.
+	Spawn SpawnFunc
+	// Resume makes even first attempts resume existing shard files
+	// (the operator is re-running an interrupted campaign).
+	Resume bool
+	// Heartbeat is the sidecar age past which a running worker is
+	// declared stalled and killed (default 30s). It also grants each
+	// fresh spawn that long to publish its first status.
+	Heartbeat time.Duration
+	// Poll is the control-loop period (default 500ms).
+	Poll time.Duration
+	// Retries is the per-shard restart budget (default 3): a shard may be
+	// restarted at most Retries times before the campaign aborts.
+	Retries int
+	// BackoffBase/BackoffCap shape the restart delay ladder
+	// (runner.Backoff; defaults 500ms / 15s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed makes restart jitter deterministic; each shard draws from its
+	// own runner.Seed(Seed, shard) stream.
+	Seed int64
+	// DrainGrace is how long a drain waits between SIGTERM and Kill
+	// (default 5s).
+	DrainGrace time.Duration
+	// Log, when set, receives human-readable supervision events
+	// (restarts, stalls, drains) printf-style.
+	Log func(format string, args ...any)
+	// Observe, when set, receives the aggregated fleet snapshot once per
+	// poll — the hook `nbsim coordinate` renders progress from.
+	Observe func(telemetry.Snapshot)
+	// Now substitutes the clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+// ShardReport is one shard's supervision history.
+type ShardReport struct {
+	Shard    int
+	Attempts int // spawns, including the first
+	Restarts int // attempts beyond the first
+	Stalls   int // restarts caused by heartbeat loss rather than exit
+	Done     bool
+	// Err is the shard's terminal error when it, specifically, caused the
+	// campaign to abort.
+	Err error
+}
+
+// Result is the supervision outcome: per-shard reports plus fleet-wide
+// restart and stall totals.
+type Result struct {
+	Shards   []ShardReport
+	Restarts int
+	Stalls   int
+}
+
+const (
+	defaultHeartbeat   = 30 * time.Second
+	defaultPoll        = 500 * time.Millisecond
+	defaultRetries     = 3
+	defaultBackoffBase = 500 * time.Millisecond
+	defaultBackoffCap  = 15 * time.Second
+	defaultDrainGrace  = 5 * time.Second
+)
+
+// shard lifecycle phases.
+const (
+	phaseWaiting = iota // due (or backing off) for a spawn
+	phaseRunning
+	phaseDone
+	phaseFailed // retry budget exhausted
+)
+
+type shardState struct {
+	report    ShardReport
+	phase     int
+	resumeAt  time.Time // when a waiting shard may spawn
+	startedAt time.Time
+	worker    Worker
+	backoff   *runner.Backoff
+	stallKill bool // we killed it for stalling; attribute the next exit to that
+	straggler bool // last straggler flag, to log transitions once
+}
+
+type exitEvent struct {
+	shard int
+	err   error
+}
+
+type coord struct {
+	o      Options
+	shards []*shardState
+	exits  chan exitEvent
+}
+
+// Run supervises the campaign until every shard is done, a shard exhausts
+// its restart budget, or ctx is cancelled. The returned Result is valid
+// in every case; the error is nil only on full completion.
+func Run(ctx context.Context, o Options) (Result, error) {
+	if o.Shards <= 0 {
+		return Result{}, fmt.Errorf("coordinator: need a positive shard count, got %d", o.Shards)
+	}
+	if len(o.StatusPaths) != o.Shards {
+		return Result{}, fmt.Errorf("coordinator: %d status paths for %d shards", len(o.StatusPaths), o.Shards)
+	}
+	if o.Spawn == nil {
+		return Result{}, fmt.Errorf("coordinator: nil Spawn")
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = defaultHeartbeat
+	}
+	if o.Poll <= 0 {
+		o.Poll = defaultPoll
+	}
+	if o.Retries <= 0 {
+		o.Retries = defaultRetries
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = defaultBackoffBase
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = defaultBackoffCap
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = defaultDrainGrace
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+
+	c := &coord{o: o, exits: make(chan exitEvent, o.Shards)}
+	for i := 0; i < o.Shards; i++ {
+		c.shards = append(c.shards, &shardState{
+			report:  ShardReport{Shard: i},
+			phase:   phaseWaiting,
+			backoff: runner.NewBackoff(o.BackoffBase, o.BackoffCap, runner.Seed(o.Seed, i)),
+		})
+	}
+
+	ticker := time.NewTicker(o.Poll)
+	defer ticker.Stop()
+	for {
+		if err := c.spawnDue(); err != nil {
+			c.drain(err.Error())
+			return c.result(), err
+		}
+		if c.allDone() {
+			return c.result(), nil
+		}
+		select {
+		case <-ctx.Done():
+			c.drain("interrupted")
+			return c.result(), fmt.Errorf("coordinator: interrupted with %d/%d shards done: %w",
+				c.doneCount(), o.Shards, ctx.Err())
+		case ev := <-c.exits:
+			if err := c.handleExit(ev); err != nil {
+				c.drain("aborting")
+				return c.result(), err
+			}
+		case <-ticker.C:
+			c.inspectFleet()
+		}
+	}
+}
+
+func (c *coord) logf(format string, args ...any) {
+	if c.o.Log != nil {
+		c.o.Log(format, args...)
+	}
+}
+
+// spawnDue launches every waiting shard whose backoff delay has elapsed.
+// A Spawn error consumes one attempt from the shard's budget like a
+// crash; exhausting the budget this way aborts the campaign (the
+// returned error), since an unspawnable worker will not fix itself.
+func (c *coord) spawnDue() error {
+	now := c.o.Now()
+	for _, s := range c.shards {
+		if s.phase != phaseWaiting || now.Before(s.resumeAt) {
+			continue
+		}
+		attempt := s.report.Attempts
+		resume := c.o.Resume || attempt > 0
+		w, err := c.o.Spawn(s.report.Shard, attempt, resume)
+		s.report.Attempts++
+		if err != nil {
+			c.logf("shard %d: spawn attempt %d failed: %v", s.report.Shard, attempt, err)
+			if abortErr := c.scheduleRestart(s, fmt.Errorf("spawn: %w", err), false); abortErr != nil {
+				return abortErr
+			}
+			continue
+		}
+		if attempt > 0 {
+			c.logf("shard %d: restarting (attempt %d, resume=%v)", s.report.Shard, attempt, resume)
+		}
+		s.phase = phaseRunning
+		s.startedAt = now
+		s.stallKill = false
+		s.worker = w
+		shard := s.report.Shard
+		go func() { c.exits <- exitEvent{shard: shard, err: w.Wait()} }()
+	}
+	return nil
+}
+
+// handleExit processes one worker exit: a clean exit completes the shard;
+// anything else — crash, kill, stall — schedules a restart or, with the
+// budget spent, aborts.
+func (c *coord) handleExit(ev exitEvent) error {
+	s := c.shards[ev.shard]
+	if s.phase != phaseRunning {
+		return nil // late event from a drain or a double-kill race
+	}
+	stalled := s.stallKill
+	s.worker = nil
+	if ev.err == nil && !stalled {
+		s.phase = phaseDone
+		s.report.Done = true
+		c.logf("shard %d: done after %d attempt(s)", ev.shard, s.report.Attempts)
+		return nil
+	}
+	cause := ev.err
+	if stalled {
+		cause = fmt.Errorf("stalled: no status heartbeat within %s (killed; wait: %v)", c.o.Heartbeat, ev.err)
+	}
+	c.logf("shard %d: worker exited: %v", ev.shard, cause)
+	return c.scheduleRestart(s, cause, stalled)
+}
+
+// scheduleRestart books the shard's next attempt after a backoff delay,
+// or declares the campaign lost when the budget is gone.
+func (c *coord) scheduleRestart(s *shardState, cause error, stalled bool) error {
+	if stalled {
+		s.report.Stalls++
+	}
+	if s.report.Restarts >= c.o.Retries {
+		s.phase = phaseFailed
+		s.report.Err = fmt.Errorf("retry budget exhausted after %d attempt(s): last failure: %w",
+			s.report.Attempts, cause)
+		return fmt.Errorf("coordinator: shard %d %w", s.report.Shard, s.report.Err)
+	}
+	s.report.Restarts++
+	delay := s.backoff.Next()
+	s.phase = phaseWaiting
+	s.resumeAt = c.o.Now().Add(delay)
+	c.logf("shard %d: restart %d/%d in %s (%v)", s.report.Shard, s.report.Restarts, c.o.Retries,
+		delay.Round(time.Millisecond), cause)
+	return nil
+}
+
+// inspectFleet is the per-poll health pass: load every sidecar, kill
+// stalled workers, surface stragglers, and hand the snapshot to Observe.
+func (c *coord) inspectFleet() {
+	now := c.o.Now()
+	statuses, missing := telemetry.Load(c.o.StatusPaths, now)
+	byPath := make(map[string]*telemetry.ShardStatus, len(statuses))
+	snap := telemetry.AggregateHeartbeat(statuses, missing, c.o.Heartbeat)
+	for i := range snap.Shards {
+		byPath[snap.Shards[i].Path] = &snap.Shards[i]
+	}
+	for i, s := range c.shards {
+		if s.phase != phaseRunning || s.stallKill {
+			continue
+		}
+		st := byPath[c.o.StatusPaths[i]]
+		if st != nil && st.Health != telemetry.HealthStale {
+			if st.Health == telemetry.HealthLive && st.Straggler != s.straggler {
+				s.straggler = st.Straggler
+				if st.Straggler {
+					c.logf("shard %d: straggling — ETA %s vs fleet median", i,
+						(time.Duration(st.ETAMS) * time.Millisecond).Round(time.Second))
+				}
+			}
+			continue
+		}
+		// Missing or stale sidecar: grant each spawn one heartbeat to
+		// publish before declaring it wedged.
+		if now.Sub(s.startedAt) <= c.o.Heartbeat {
+			continue
+		}
+		s.stallKill = true
+		c.logf("shard %d: stalled — status %s; killing worker", i, describeStall(st))
+		_ = s.worker.Kill()
+	}
+	if c.o.Observe != nil {
+		c.o.Observe(snap)
+	}
+}
+
+func describeStall(st *telemetry.ShardStatus) string {
+	if st == nil {
+		return "never published"
+	}
+	return fmt.Sprintf("silent for %s", (time.Duration(st.AgeMS) * time.Millisecond).Round(time.Millisecond))
+}
+
+// drain shuts the remaining fleet down: SIGTERM every running worker,
+// collect exits for DrainGrace, then Kill the holdouts and collect again.
+// Drained shards stay not-Done; the campaign must not merge.
+func (c *coord) drain(reason string) {
+	if c.runningCount() == 0 {
+		return
+	}
+	c.logf("%s — draining %d running worker(s)", reason, c.runningCount())
+	for _, s := range c.shards {
+		if s.phase == phaseRunning && s.worker != nil {
+			_ = s.worker.Signal(syscall.SIGTERM)
+		}
+	}
+	c.collectExits(c.o.DrainGrace)
+	for _, s := range c.shards {
+		if s.phase == phaseRunning && s.worker != nil {
+			_ = s.worker.Kill()
+		}
+	}
+	c.collectExits(c.o.DrainGrace)
+}
+
+// collectExits consumes exit events for up to grace, marking the shards
+// stopped. Workers that refuse to die within the window are abandoned —
+// the coordinator is exiting anyway.
+func (c *coord) collectExits(grace time.Duration) {
+	deadline := time.After(grace)
+	for c.runningCount() > 0 {
+		select {
+		case ev := <-c.exits:
+			s := c.shards[ev.shard]
+			if s.phase == phaseRunning {
+				s.phase = phaseWaiting // stopped; not rescheduled — the loop is over
+				s.worker = nil
+			}
+		case <-deadline:
+			return
+		}
+	}
+}
+
+func (c *coord) runningCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.phase == phaseRunning {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *coord) doneCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.phase == phaseDone {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *coord) allDone() bool {
+	return c.doneCount() == len(c.shards)
+}
+
+func (c *coord) result() Result {
+	var r Result
+	for _, s := range c.shards {
+		r.Shards = append(r.Shards, s.report)
+		r.Restarts += s.report.Restarts
+		r.Stalls += s.report.Stalls
+	}
+	return r
+}
+
+// Describe renders the per-shard supervision history as one line per
+// shard — the post-mortem `nbsim coordinate` prints when a campaign
+// aborts, and the summary it logs on success.
+func (r Result) Describe() string {
+	reports := append([]ShardReport(nil), r.Shards...)
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Shard < reports[j].Shard })
+	var b strings.Builder
+	for _, s := range reports {
+		state := "incomplete"
+		switch {
+		case s.Done:
+			state = "done"
+		case s.Err != nil:
+			state = "FAILED"
+		}
+		fmt.Fprintf(&b, "shard %d: %s — %d attempt(s), %d restart(s), %d stall(s)",
+			s.Shard, state, s.Attempts, s.Restarts, s.Stalls)
+		if s.Err != nil {
+			fmt.Fprintf(&b, ": %v", s.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

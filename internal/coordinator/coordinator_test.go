@@ -1,0 +1,370 @@
+package coordinator_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nbiot/internal/campaign"
+	"nbiot/internal/coordinator"
+	"nbiot/internal/experiment"
+	"nbiot/internal/simtime"
+	"nbiot/internal/telemetry"
+	"nbiot/internal/traffic"
+)
+
+func testOptions() experiment.Options {
+	return experiment.Options{
+		Seed: 5, Runs: 4, Devices: 30,
+		TI: 10 * simtime.Second, Mix: traffic.PaperCalibratedMix(),
+		FleetSizes: []int{40, 80}, Workers: 1, // 8 fig7 tasks, serial per worker
+	}
+}
+
+// fakeWorker is an in-process Worker: a goroutine stands in for the child
+// process, with Signal/Kill wired to channels the goroutine selects on.
+type fakeWorker struct {
+	done     chan struct{}
+	err      error
+	sigOnce  sync.Once
+	signaled chan struct{}
+	killOnce sync.Once
+	killed   chan struct{}
+}
+
+func newFakeWorker() *fakeWorker {
+	return &fakeWorker{
+		done:     make(chan struct{}),
+		signaled: make(chan struct{}),
+		killed:   make(chan struct{}),
+	}
+}
+
+func (w *fakeWorker) Wait() error { <-w.done; return w.err }
+func (w *fakeWorker) Signal(os.Signal) error {
+	w.sigOnce.Do(func() { close(w.signaled) })
+	return nil
+}
+func (w *fakeWorker) Kill() error {
+	w.killOnce.Do(func() { close(w.killed) })
+	return nil
+}
+
+func shardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", shard))
+}
+
+var errInjectedCrash = errors.New("injected crash")
+
+// runShardAttempt is a fake worker's whole life: open (or resume) the
+// shard's record file exactly as `nbsim fig7 -jsonl -shard` does, run the
+// sweep, and — when crashAfter > 0 — die after that many records written
+// this session, leaving a torn final line behind like a real kill would.
+func runShardAttempt(dir string, o experiment.Options, shard, shards int, resume bool, crashAfter int) error {
+	path := shardPath(dir, shard)
+	m, err := campaign.New("fig7", o, shard, shards)
+	if err != nil {
+		return err
+	}
+	var f *os.File
+	skip := 0
+	if _, statErr := os.Stat(path); resume && statErr == nil {
+		var cp campaign.Checkpoint
+		f, cp, err = campaign.OpenResume(path, m)
+		if err != nil {
+			return err
+		}
+		skip = cp.Completed
+	} else {
+		if err := m.WriteFile(campaign.Path(path)); err != nil {
+			return err
+		}
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+	}
+	defer f.Close()
+
+	write := campaign.RecordWriter(f)
+	session := 0
+	o.ShardIndex, o.ShardCount, o.SkipTasks = shard, shards, skip
+	o.Record = func(r experiment.RunRecord) error {
+		if err := write(r); err != nil {
+			return err
+		}
+		session++
+		if crashAfter > 0 && session >= crashAfter {
+			f.WriteString(`{"torn mid-wri`) // the kill lands mid-write
+			return errInjectedCrash
+		}
+		return nil
+	}
+	_, err = experiment.Fig7(o)
+	return err
+}
+
+// TestCoordinatorKillRecoveryEquivalence is the tentpole contract: a
+// supervised campaign whose shard crashes twice mid-write still merges to
+// the byte-identical record stream of a flawless single-process run.
+func TestCoordinatorKillRecoveryEquivalence(t *testing.T) {
+	o := testOptions()
+
+	// Uninterrupted single-process reference.
+	refDir := t.TempDir()
+	if err := runShardAttempt(refDir, o, 0, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(shardPath(refDir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	dir := t.TempDir()
+	// Shard 1 owns 3 of the 8 tasks. Attempt 0 dies after its 1st record,
+	// attempt 1 after 2 more — i.e. right after its final record, so the
+	// last attempt resumes a complete file and must append nothing.
+	crashes := map[int][]int{1: {1, 2}}
+	var paths, statusPaths []string
+	for i := 0; i < shards; i++ {
+		paths = append(paths, shardPath(dir, i))
+		statusPaths = append(statusPaths, telemetry.StatusPath(shardPath(dir, i)))
+	}
+	spawn := func(shard, attempt int, resume bool) (coordinator.Worker, error) {
+		if attempt == 0 && resume {
+			t.Errorf("shard %d: first attempt asked to resume a fresh campaign", shard)
+		}
+		if attempt > 0 && !resume {
+			t.Errorf("shard %d: restart %d not resuming", shard, attempt)
+		}
+		crashAfter := 0
+		if plan := crashes[shard]; attempt < len(plan) {
+			crashAfter = plan[attempt]
+		}
+		w := newFakeWorker()
+		go func() {
+			defer close(w.done)
+			w.err = runShardAttempt(dir, o, shard, shards, resume, crashAfter)
+		}()
+		return w, nil
+	}
+
+	res, err := coordinator.Run(context.Background(), coordinator.Options{
+		Shards:      shards,
+		StatusPaths: statusPaths,
+		Spawn:       spawn,
+		Poll:        5 * time.Millisecond,
+		Heartbeat:   time.Minute, // exits, not heartbeats, drive this test
+		Retries:     3,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+		Log:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, res.Describe())
+	}
+	if res.Restarts != 2 || res.Stalls != 0 {
+		t.Errorf("fleet: %d restarts, %d stalls, want 2/0", res.Restarts, res.Stalls)
+	}
+	for _, s := range res.Shards {
+		if !s.Done {
+			t.Errorf("shard %d not done: %+v", s.Shard, s)
+		}
+	}
+	if s := res.Shards[1]; s.Attempts != 3 || s.Restarts != 2 {
+		t.Errorf("crashing shard: %d attempts, %d restarts, want 3/2", s.Attempts, s.Restarts)
+	}
+
+	var merged bytes.Buffer
+	if _, err := campaign.Merge(&merged, paths, nil); err != nil {
+		t.Fatalf("merge after recovery: %v", err)
+	}
+	if !bytes.Equal(merged.Bytes(), ref) {
+		t.Error("merged stream after two injected crashes diverges from the uninterrupted run")
+	}
+}
+
+// TestCoordinatorStallDetection: a worker that publishes one status and
+// then wedges silently must be killed once its heartbeat lapses, and its
+// restart must complete the shard.
+func TestCoordinatorStallDetection(t *testing.T) {
+	dir := t.TempDir()
+	status := telemetry.StatusPath(filepath.Join(dir, "shard-0.jsonl"))
+	spawn := func(shard, attempt int, resume bool) (coordinator.Worker, error) {
+		w := newFakeWorker()
+		if attempt == 0 {
+			// Publish once, then hang until killed — alive but silent.
+			if err := telemetry.NewFileSink(status).Write(telemetry.Status{
+				Format: telemetry.StatusFormat, Experiment: "fig7",
+				ShardCount: 1, TotalTasks: 8, ShardTasks: 8, Completed: 1,
+				UpdateUnixMS: time.Now().UnixMilli(),
+			}); err != nil {
+				return nil, err
+			}
+			go func() {
+				defer close(w.done)
+				<-w.killed
+				w.err = errors.New("killed")
+			}()
+			return w, nil
+		}
+		go func() { defer close(w.done); w.err = nil }()
+		return w, nil
+	}
+
+	res, err := coordinator.Run(context.Background(), coordinator.Options{
+		Shards:      1,
+		StatusPaths: []string{status},
+		Spawn:       spawn,
+		Poll:        10 * time.Millisecond,
+		Heartbeat:   80 * time.Millisecond,
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+		Log:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, res.Describe())
+	}
+	s := res.Shards[0]
+	if !s.Done || s.Stalls != 1 || s.Restarts != 1 {
+		t.Errorf("stalled shard: %+v, want done with 1 stall / 1 restart", s)
+	}
+	if res.Stalls != 1 {
+		t.Errorf("fleet stalls = %d, want 1", res.Stalls)
+	}
+}
+
+// TestCoordinatorBudgetExhaustionFailsLoudly: a shard that dies on every
+// attempt must abort the whole campaign with an error naming it, never
+// leave a silent partial result.
+func TestCoordinatorBudgetExhaustionFailsLoudly(t *testing.T) {
+	spawn := func(shard, attempt int, resume bool) (coordinator.Worker, error) {
+		w := newFakeWorker()
+		go func() {
+			defer close(w.done)
+			if shard == 1 {
+				w.err = errInjectedCrash
+			}
+		}()
+		return w, nil
+	}
+	res, err := coordinator.Run(context.Background(), coordinator.Options{
+		Shards:      2,
+		StatusPaths: []string{"a.status", "b.status"},
+		Spawn:       spawn,
+		Poll:        5 * time.Millisecond,
+		Heartbeat:   time.Minute,
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Log:         t.Logf,
+	})
+	if err == nil {
+		t.Fatal("Run succeeded despite a shard crashing on every attempt")
+	}
+	if !strings.Contains(err.Error(), "shard 1") || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Errorf("error lacks shard diagnosis: %v", err)
+	}
+	if res.Shards[1].Err == nil || res.Shards[1].Done {
+		t.Errorf("failing shard report: %+v", res.Shards[1])
+	}
+	if res.Shards[1].Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (1 spawn + 1 retry)", res.Shards[1].Attempts)
+	}
+	if !strings.Contains(res.Describe(), "FAILED") {
+		t.Errorf("Describe lacks failure flag:\n%s", res.Describe())
+	}
+}
+
+// TestCoordinatorSpawnFailureAborts: an unspawnable worker consumes the
+// same budget as a crashing one and aborts loudly when it runs out.
+func TestCoordinatorSpawnFailureAborts(t *testing.T) {
+	attempts := 0
+	spawn := func(shard, attempt int, resume bool) (coordinator.Worker, error) {
+		attempts++
+		return nil, errors.New("exec: no such binary")
+	}
+	_, err := coordinator.Run(context.Background(), coordinator.Options{
+		Shards:      1,
+		StatusPaths: []string{"a.status"},
+		Spawn:       spawn,
+		Poll:        5 * time.Millisecond,
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Log:         t.Logf,
+	})
+	if err == nil {
+		t.Fatal("Run succeeded with an unspawnable worker")
+	}
+	if attempts != 3 {
+		t.Errorf("spawn attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+	if !strings.Contains(err.Error(), "spawn") {
+		t.Errorf("error should blame the spawn: %v", err)
+	}
+}
+
+// TestCoordinatorDrainOnCancel: SIGINT-style cancellation signals every
+// running worker and returns an interrupted error instead of hanging or
+// merging.
+func TestCoordinatorDrainOnCancel(t *testing.T) {
+	var mu sync.Mutex
+	var workers []*fakeWorker
+	spawn := func(shard, attempt int, resume bool) (coordinator.Worker, error) {
+		w := newFakeWorker()
+		mu.Lock()
+		workers = append(workers, w)
+		mu.Unlock()
+		go func() {
+			defer close(w.done)
+			select {
+			case <-w.signaled:
+				w.err = errors.New("terminated")
+			case <-w.killed:
+				w.err = errors.New("killed")
+			}
+		}()
+		return w, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	res, err := coordinator.Run(ctx, coordinator.Options{
+		Shards:      2,
+		StatusPaths: []string{"a.status", "b.status"},
+		Spawn:       spawn,
+		Poll:        10 * time.Millisecond,
+		Heartbeat:   time.Minute,
+		DrainGrace:  time.Second,
+		Log:         t.Logf,
+	})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("Run after cancel: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(workers) != 2 {
+		t.Fatalf("spawned %d workers, want 2", len(workers))
+	}
+	for i, w := range workers {
+		select {
+		case <-w.signaled:
+		default:
+			t.Errorf("worker %d never received the drain signal", i)
+		}
+	}
+	for _, s := range res.Shards {
+		if s.Done {
+			t.Errorf("shard %d reported done after an interrupted run", s.Shard)
+		}
+	}
+}

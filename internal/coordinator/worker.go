@@ -1,0 +1,83 @@
+package coordinator
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Proc adapts a real child process to the Worker interface.
+type Proc struct {
+	cmd *exec.Cmd
+}
+
+// StartProcess launches exe with args as a shard worker, inheriting the
+// parent's environment plus extraEnv ("KEY=VALUE" entries), with stdout
+// and stderr wired to the given writers (nil discards). The child is
+// placed in the parent's process group, so a Ctrl-C at the terminal
+// reaches the whole fleet while the coordinator drains it.
+func StartProcess(exe string, args, extraEnv []string, stdout, stderr io.Writer) (*Proc, error) {
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), extraEnv...)
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("coordinator: starting %s: %w", exe, err)
+	}
+	return &Proc{cmd: cmd}, nil
+}
+
+// Wait blocks until the process exits; a non-zero exit or a fatal signal
+// is the error.
+func (p *Proc) Wait() error { return p.cmd.Wait() }
+
+// Signal delivers sig to the process; delivering to an already-exited
+// process is not an error worth acting on, so callers may ignore it.
+func (p *Proc) Signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
+
+// Kill terminates the process immediately.
+func (p *Proc) Kill() error { return p.cmd.Process.Kill() }
+
+// Pid reports the child's process ID, for log lines.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// TailBuffer is a bounded io.Writer keeping the last Cap bytes written —
+// enough of a crashed worker's stderr to diagnose it, without letting a
+// chatty worker grow the coordinator's memory unboundedly. Safe for
+// concurrent use (the process's pipe goroutine writes while the
+// coordinator reads post-mortem).
+type TailBuffer struct {
+	mu      sync.Mutex
+	buf     []byte
+	clipped bool
+	// Cap bounds the retained suffix (default 4096 bytes).
+	Cap int
+}
+
+func (t *TailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := t.Cap
+	if max <= 0 {
+		max = 4096
+	}
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > max {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-max:]...)
+		t.clipped = true
+	}
+	return len(p), nil
+}
+
+// String returns the retained tail, prefixed with an ellipsis marker when
+// earlier output was discarded.
+func (t *TailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clipped {
+		return "[... earlier output clipped ...]\n" + string(t.buf)
+	}
+	return string(t.buf)
+}

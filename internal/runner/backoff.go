@@ -1,0 +1,95 @@
+package runner
+
+import "time"
+
+// Backoff is a capped exponential backoff with deterministic seeded
+// jitter — the restart-delay policy the campaign coordinator applies to
+// crashed shard workers, factored here next to Seed so every retry loop
+// in the module draws delays the same way.
+//
+// The n-th Next() call (counting from zero since the last Reset) picks a
+// delay uniformly from [ceil/2, ceil], where ceil = min(Base<<n, Cap) —
+// "equal jitter": the fixed half keeps restarts from hammering a
+// just-crashed resource, the random half decorrelates a fleet of shards
+// that all died at once (say, a full disk) so their retries do not
+// synchronize. The jitter stream is SplitMix64 seeded from Seed, so a
+// given (Base, Cap, Seed) produces one exact, replayable delay sequence
+// — restart schedules in tests and incident reconstructions are
+// deterministic, like every other random draw in this module.
+//
+// The zero value is usable: Base defaults to 500ms, Cap to 30s, Seed to
+// 0. A Backoff is not safe for concurrent use.
+type Backoff struct {
+	// Base is the first attempt's delay ceiling (default 500ms).
+	Base time.Duration
+	// Cap bounds every delay (default 30s).
+	Cap time.Duration
+	// Seed determines the jitter stream; equal seeds replay equal
+	// sequences.
+	Seed int64
+
+	attempt int
+	state   uint64
+	seeded  bool
+}
+
+// NewBackoff is the explicit constructor form of the zero-value-usable
+// struct, for call sites that configure all three knobs.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	return &Backoff{Base: base, Cap: cap, Seed: seed}
+}
+
+// next64 advances the SplitMix64 jitter stream.
+func (b *Backoff) next64() uint64 {
+	if !b.seeded {
+		b.state = uint64(b.Seed)
+		b.seeded = true
+	}
+	b.state += 0x9E3779B97F4A7C15
+	z := b.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Attempt reports how many delays have been drawn since the last Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Next draws the next delay in the sequence: uniform in [ceil/2, ceil]
+// with ceil = min(Base<<attempt, Cap).
+func (b *Backoff) Next() time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 30 * time.Second
+	}
+	if base > cap {
+		base = cap
+	}
+	ceil := base
+	// Doubling with a cap check per step instead of base<<attempt keeps
+	// large attempt counts from overflowing Duration.
+	for i := 0; i < b.attempt && ceil < cap; i++ {
+		ceil *= 2
+	}
+	if ceil > cap {
+		ceil = cap
+	}
+	b.attempt++
+	half := ceil / 2
+	if half <= 0 {
+		return ceil
+	}
+	return half + time.Duration(b.next64()%uint64(half+1))
+}
+
+// Reset rewinds the sequence to attempt zero and reseeds the jitter
+// stream, so the next Next() replays the exact first delay — a shard
+// that recovered and later crashes again starts its ladder over.
+func (b *Backoff) Reset() {
+	b.attempt = 0
+	b.state = uint64(b.Seed)
+	b.seeded = true
+}

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(100*time.Millisecond, 2*time.Second, 42)
+	b := NewBackoff(100*time.Millisecond, 2*time.Second, 42)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("draw %d diverged for equal seeds: %v vs %v", i, da, db)
+		}
+	}
+	// A different seed must produce a different sequence (jitter, not a
+	// fixed ladder).
+	c := NewBackoff(100*time.Millisecond, 2*time.Second, 43)
+	a.Reset()
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical 20-delay sequences — jitter is not seeded")
+	}
+}
+
+func TestBackoffResetReplays(t *testing.T) {
+	b := NewBackoff(50*time.Millisecond, time.Second, 7)
+	var first []time.Duration
+	for i := 0; i < 8; i++ {
+		first = append(first, b.Next())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("Attempt after Reset = %d", b.Attempt())
+	}
+	for i, want := range first {
+		if got := b.Next(); got != want {
+			t.Fatalf("replay draw %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBackoffBoundsAndCap(t *testing.T) {
+	base, cap := 100*time.Millisecond, 800*time.Millisecond
+	b := NewBackoff(base, cap, 1)
+	for i := 0; i < 40; i++ {
+		// ceil = min(base<<i, cap); every delay must land in [ceil/2, ceil].
+		ceil := base
+		for j := 0; j < i && ceil < cap; j++ {
+			ceil *= 2
+		}
+		if ceil > cap {
+			ceil = cap
+		}
+		d := b.Next()
+		if d < ceil/2 || d > ceil {
+			t.Fatalf("draw %d = %v outside [%v, %v]", i, d, ceil/2, ceil)
+		}
+		if d > cap {
+			t.Fatalf("draw %d = %v exceeds cap %v", i, d, cap)
+		}
+	}
+	if b.Attempt() != 40 {
+		t.Errorf("Attempt = %d, want 40", b.Attempt())
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 30; i++ {
+		d := b.Next()
+		if d < 250*time.Millisecond || d > 30*time.Second {
+			t.Fatalf("zero-value draw %d = %v outside [250ms, 30s]", i, d)
+		}
+	}
+	// Base above Cap clamps to Cap instead of exceeding it.
+	c := NewBackoff(time.Minute, time.Second, 3)
+	if d := c.Next(); d > time.Second {
+		t.Errorf("base>cap drew %v above the cap", d)
+	}
+}

@@ -11,6 +11,29 @@ import (
 	"nbiot/internal/report"
 )
 
+// ShardHealth classifies a shard's status file by freshness: a live
+// worker rewrites its sidecar at least every Tracker interval (1s by
+// default), so a publication much older than that belongs to a worker
+// that crashed, wedged, or lost its disk — exactly the signal a
+// supervisor restarts on.
+type ShardHealth string
+
+const (
+	// HealthLive: the status is fresher than the heartbeat threshold.
+	HealthLive ShardHealth = "live"
+	// HealthStale: the status has outlived the heartbeat threshold and
+	// the shard is not done — its worker has stopped publishing.
+	HealthStale ShardHealth = "stale"
+	// HealthDone: the shard's final status reports completion; age no
+	// longer means anything.
+	HealthDone ShardHealth = "done"
+)
+
+// DefaultHeartbeat is the staleness threshold Aggregate applies when the
+// caller does not choose one: 10× the Tracker's default 1s publication
+// interval, so scheduler hiccups never flag a healthy worker.
+const DefaultHeartbeat = 10 * time.Second
+
 // ShardStatus is one shard's status as seen by a reader: the published
 // Status plus where it came from and how fresh it is.
 type ShardStatus struct {
@@ -21,6 +44,9 @@ type ShardStatus struct {
 	// Straggler is set by Aggregate when this shard's ETA lags the fleet
 	// (see the straggler rule there).
 	Straggler bool `json:"straggler,omitempty"`
+	// Health is Aggregate's live/stale/done classification of this
+	// shard's heartbeat.
+	Health ShardHealth `json:"health,omitempty"`
 	Status
 }
 
@@ -46,6 +72,11 @@ type Snapshot struct {
 	// ETAMS is the slowest running shard's estimate — the fleet finishes
 	// when its last shard does. 0 when done, -1 when unknown.
 	ETAMS int64 `json:"eta_ms"`
+	// Live and Stale count the shards so classified (done shards are
+	// Shards minus both); a non-zero Stale means some worker stopped
+	// heartbeating and likely needs a restart.
+	Live  int `json:"live"`
+	Stale int `json:"stale,omitempty"`
 	// Shards and Missing partition the requested paths: parsed statuses
 	// versus files absent or unreadable (workers not started yet).
 	Shards  []ShardStatus `json:"shards"`
@@ -76,12 +107,29 @@ func Load(paths []string, now time.Time) (shards []ShardStatus, missing []string
 	return shards, missing
 }
 
-// Aggregate folds shard statuses into the fleet snapshot, marking
-// stragglers as a side effect. A shard is a straggler when at least two
-// shards are still running with known ETAs and its ETA exceeds both 1.5×
-// the running median and the median plus two seconds — the absolute floor
-// keeps sub-second jitter on fast campaigns from flagging healthy shards.
+// Aggregate folds shard statuses into the fleet snapshot with the
+// DefaultHeartbeat staleness threshold; see AggregateHeartbeat.
 func Aggregate(shards []ShardStatus, missing []string) Snapshot {
+	return AggregateHeartbeat(shards, missing, DefaultHeartbeat)
+}
+
+// AggregateHeartbeat folds shard statuses into the fleet snapshot,
+// classifying each shard's health and marking stragglers as side
+// effects.
+//
+// Health: a done shard is HealthDone; otherwise the shard is HealthLive
+// while its status file is at most heartbeat old and HealthStale past
+// that — the restart signal a supervisor acts on (heartbeat <= 0 means
+// DefaultHeartbeat).
+//
+// Stragglers: a shard is a straggler when at least two shards are still
+// running with known ETAs and its ETA exceeds both 1.5× the running
+// median and the median plus two seconds — the absolute floor keeps
+// sub-second jitter on fast campaigns from flagging healthy shards.
+func AggregateHeartbeat(shards []ShardStatus, missing []string, heartbeat time.Duration) Snapshot {
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
 	snap := Snapshot{Shards: shards, Missing: missing, ETAMS: -1}
 	if len(shards) == 0 {
 		return snap
@@ -101,9 +149,20 @@ func Aggregate(shards []ShardStatus, missing []string) Snapshot {
 		}
 		snap.Completed += s.Completed
 		if s.Done {
+			s.Health = HealthDone
 			continue
 		}
 		allDone = false
+		if s.AgeMS > heartbeat.Milliseconds() {
+			// A stale shard's published rate and ETA describe a dead
+			// session; summing them would promise progress nobody is
+			// making.
+			s.Health = HealthStale
+			snap.Stale++
+			continue
+		}
+		s.Health = HealthLive
+		snap.Live++
 		snap.TasksPerSec += s.TasksPerSec
 		snap.DevicesPerSec += s.DevicesPerSec
 		if s.ETAMS >= 0 {
@@ -127,7 +186,7 @@ func Aggregate(shards []ShardStatus, missing []string) Snapshot {
 		med := sorted[len(sorted)/2]
 		for i := range shards {
 			s := &shards[i]
-			if !s.Done && s.ETAMS >= 0 && s.ETAMS > med*3/2 && s.ETAMS > med+2000 {
+			if s.Health == HealthLive && s.ETAMS >= 0 && s.ETAMS > med*3/2 && s.ETAMS > med+2000 {
 				s.Straggler = true
 			}
 		}
@@ -200,7 +259,10 @@ func (s Snapshot) ShardTable() *report.Table {
 		"shard", "file", "completed", "tasks", "tasks/s", "ETA", "age", "flag")
 	for _, sh := range s.Shards {
 		flag := ""
-		if sh.Straggler {
+		switch {
+		case sh.Health == HealthStale:
+			flag = "STALE"
+		case sh.Straggler:
 			flag = "STRAGGLER"
 		}
 		t.AddRow(
@@ -232,6 +294,9 @@ func (s Snapshot) Render() string {
 		s.Completed, s.TotalTasks, pct, s.TasksPerSec, s.DevicesPerSec, formatETA(s.Done, s.ETAMS))
 	if s.ConfigMismatch {
 		b.WriteString("warning: shards disagree on experiment/config hash — mixed campaigns?\n")
+	}
+	if s.Stale > 0 {
+		fmt.Fprintf(&b, "warning: %d shard(s) stale — no status heartbeat; workers may have crashed or wedged\n", s.Stale)
 	}
 	if len(s.Metrics) > 0 {
 		b.WriteByte('\n')

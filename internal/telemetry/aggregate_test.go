@@ -105,6 +105,56 @@ func TestAggregateStragglers(t *testing.T) {
 	}
 }
 
+func TestAggregateHealthClassification(t *testing.T) {
+	done := shard(0, 3, 300, 100, 100, 0, true)
+	live := shard(1, 3, 300, 50, 100, 25_000, false)
+	live.AgeMS = 4_000
+	stale := shard(2, 3, 300, 10, 100, 90_000, false)
+	stale.AgeMS = 30_000
+	snap := AggregateHeartbeat([]ShardStatus{done, live, stale}, nil, 10*time.Second)
+	if h := snap.Shards[0].Health; h != HealthDone {
+		t.Errorf("done shard classified %q", h)
+	}
+	if h := snap.Shards[1].Health; h != HealthLive {
+		t.Errorf("fresh shard classified %q", h)
+	}
+	if h := snap.Shards[2].Health; h != HealthStale {
+		t.Errorf("30s-old shard classified %q under a 10s heartbeat", h)
+	}
+	if snap.Live != 1 || snap.Stale != 1 {
+		t.Errorf("counts: live=%d stale=%d, want 1/1", snap.Live, snap.Stale)
+	}
+	// The stale shard's dead-session rate and ETA must not pollute the
+	// fleet view: rates come from the live shard alone, and the fleet ETA
+	// ignores the stale shard's fiction.
+	if snap.TasksPerSec != 2 || snap.DevicesPerSec != 200 {
+		t.Errorf("rates include the stale shard: %v tasks/s %v devices/s", snap.TasksPerSec, snap.DevicesPerSec)
+	}
+	if snap.ETAMS != 25_000 {
+		t.Errorf("ETAMS = %d, want the live shard's 25000", snap.ETAMS)
+	}
+	if snap.Done {
+		t.Error("fleet done with a stale shard outstanding")
+	}
+	out := snap.Render()
+	if !strings.Contains(out, "STALE") || !strings.Contains(out, "1 shard(s) stale") {
+		t.Errorf("render missing stale flag/warning:\n%s", out)
+	}
+
+	// Aggregate (no explicit threshold) applies DefaultHeartbeat: 4s old
+	// is live, 30s old is stale.
+	snap = Aggregate([]ShardStatus{live, stale}, nil)
+	if snap.Shards[0].Health != HealthLive || snap.Shards[1].Health != HealthStale {
+		t.Errorf("default-heartbeat classification: %q/%q", snap.Shards[0].Health, snap.Shards[1].Health)
+	}
+
+	// Stale shards are excluded from the straggler rule — a dead worker
+	// is not "slow", and its stale ETA must not skew the median either.
+	if snap.Shards[1].Straggler {
+		t.Error("stale shard flagged as straggler")
+	}
+}
+
 // TestAggregateMergedPercentiles checks the cross-shard P² merge against a
 // full-stream StreamSummary over the same observations: the count-weighted
 // average of per-shard estimates must stay within the estimator's own

@@ -30,6 +30,7 @@
 package nbiot
 
 import (
+	"context"
 	"io"
 	"os"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"nbiot/internal/battery"
 	"nbiot/internal/campaign"
 	"nbiot/internal/cell"
+	"nbiot/internal/coordinator"
 	"nbiot/internal/core"
 	"nbiot/internal/drx"
 	"nbiot/internal/energy"
@@ -577,7 +579,86 @@ func LoadCampaignStatuses(paths []string, now time.Time) ([]CampaignShardStatus,
 	return telemetry.Load(paths, now)
 }
 
-// AggregateCampaignStatus folds shard statuses into a fleet snapshot.
+// AggregateCampaignStatus folds shard statuses into a fleet snapshot
+// using the default heartbeat threshold.
 func AggregateCampaignStatus(shards []CampaignShardStatus, missing []string) CampaignSnapshot {
 	return telemetry.Aggregate(shards, missing)
 }
+
+// ShardHealth classifies a shard's status file by freshness: live, stale
+// (its worker stopped publishing — the restart signal a supervisor acts
+// on), or done.
+type ShardHealth = telemetry.ShardHealth
+
+const (
+	ShardHealthLive  = telemetry.HealthLive
+	ShardHealthStale = telemetry.HealthStale
+	ShardHealthDone  = telemetry.HealthDone
+)
+
+// DefaultStatusHeartbeat is the staleness threshold applied when the
+// caller does not choose one.
+const DefaultStatusHeartbeat = telemetry.DefaultHeartbeat
+
+// AggregateCampaignStatusHeartbeat folds shard statuses into a fleet
+// snapshot, classifying each shard live/stale/done against an explicit
+// heartbeat threshold (<= 0 means DefaultStatusHeartbeat).
+func AggregateCampaignStatusHeartbeat(shards []CampaignShardStatus, missing []string, heartbeat time.Duration) CampaignSnapshot {
+	return telemetry.AggregateHeartbeat(shards, missing, heartbeat)
+}
+
+// --- campaign coordination ---------------------------------------------------
+
+// RetryBackoff is a capped exponential backoff with deterministic seeded
+// jitter — the restart-delay policy the campaign coordinator applies to
+// crashed shard workers. The zero value is usable (500ms base, 30s cap).
+type RetryBackoff = runner.Backoff
+
+// NewRetryBackoff builds a backoff with all three knobs set.
+func NewRetryBackoff(base, cap time.Duration, seed int64) *RetryBackoff {
+	return runner.NewBackoff(base, cap, seed)
+}
+
+// CampaignWorker is one spawned shard attempt as the coordinator sees it;
+// adapt real processes with StartWorkerProcess or supply in-process
+// implementations.
+type CampaignWorker = coordinator.Worker
+
+// SpawnWorkerFunc launches one attempt at a shard; resume reports whether
+// the shard has durable state to recover.
+type SpawnWorkerFunc = coordinator.SpawnFunc
+
+// CoordinatorOptions configures CoordinateCampaign: fleet size, status
+// sidecars to watch, the spawn hook, and the supervision policy
+// (heartbeat, poll period, retry budget, backoff, drain grace).
+type CoordinatorOptions = coordinator.Options
+
+// CoordinatorShardReport is one shard's supervision history.
+type CoordinatorShardReport = coordinator.ShardReport
+
+// CoordinatorResult is the supervision outcome: per-shard reports plus
+// fleet-wide restart and stall totals.
+type CoordinatorResult = coordinator.Result
+
+// CoordinateCampaign supervises a fleet of shard workers until every
+// shard is durably complete: it spawns them, watches their status
+// sidecars for heartbeats, restarts crashed or wedged workers from their
+// checkpoints under capped seeded backoff, and fails loudly — draining
+// the fleet — when a shard exhausts its retry budget or ctx is
+// cancelled. Because resumed shards append exactly the bytes an
+// uninterrupted run would have written, the completed campaign merges
+// byte-identically no matter how many workers died. This is the engine
+// behind `nbsim coordinate`.
+func CoordinateCampaign(ctx context.Context, o CoordinatorOptions) (CoordinatorResult, error) {
+	return coordinator.Run(ctx, o)
+}
+
+// StartWorkerProcess launches a shard worker process (inheriting the
+// environment plus extraEnv) adapted to the CampaignWorker interface.
+func StartWorkerProcess(exe string, args, extraEnv []string, stdout, stderr io.Writer) (CampaignWorker, error) {
+	return coordinator.StartProcess(exe, args, extraEnv, stdout, stderr)
+}
+
+// WorkerTailBuffer is a bounded writer keeping the last few KB a worker
+// wrote — enough of a crashed worker's stderr to diagnose it post-mortem.
+type WorkerTailBuffer = coordinator.TailBuffer
