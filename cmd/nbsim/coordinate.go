@@ -15,6 +15,7 @@ import (
 	"nbiot/internal/campaign"
 	"nbiot/internal/coordinator"
 	"nbiot/internal/experiment"
+	"nbiot/internal/network"
 	"nbiot/internal/telemetry"
 )
 
@@ -39,13 +40,13 @@ import (
 // output is byte-identical anyway.
 func runCoordinate(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim coordinate {fig6a|fig6b|fig7|grid|ablations -id <x>} [-shards n] [flags]")
+		return fmt.Errorf("usage: nbsim coordinate {fig6a|fig6b|fig7|grid|rollout|ablations -id <x>} [-shards n] [flags]")
 	}
 	subcmd, rest := args[0], args[1:]
 	switch subcmd {
-	case "fig6a", "fig6b", "fig7", "grid", "ablations":
+	case "fig6a", "fig6b", "fig7", "grid", "rollout", "ablations":
 	default:
-		return fmt.Errorf("coordinate: %q is not a shardable sweep (want fig6a, fig6b, fig7, grid, or ablations -id <x>)", subcmd)
+		return fmt.Errorf("coordinate: %q is not a shardable sweep (want fig6a, fig6b, fig7, grid, rollout, or ablations -id <x>)", subcmd)
 	}
 
 	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
@@ -65,7 +66,7 @@ func runCoordinate(args []string) error {
 	ti := fs.Float64("ti", 10, "inactivity timer in seconds")
 	mix := fs.String("mix", "paper-calibrated", "fleet mix")
 	ablation := fs.String("id", "", "ablations: the single sweep to run (required with ablations)")
-	spec := fs.String("spec", "", "grid: JSON scenario-spec file")
+	spec := fs.String("spec", "", "grid/rollout: JSON scenario-spec file")
 	csvOut := fs.Bool("csv", false, "emit the merged tables as CSV")
 	quiet := fs.Bool("quiet", false, "suppress progress lines (supervision events still print)")
 	resume := fs.Bool("resume", false, "continue an interrupted coordinated campaign from its shard checkpoints")
@@ -106,6 +107,15 @@ func runCoordinate(args []string) error {
 		name = *ablation
 	case "grid":
 		if _, err := loadGridSpec(*spec); err != nil {
+			return err
+		}
+	case "rollout":
+		// Validate the scenario before any worker spawns; workers reload the
+		// file themselves, so only the path is forwarded.
+		if *spec == "" {
+			return fmt.Errorf("coordinate rollout needs -spec: a JSON scenario file declaring the city's cell profiles")
+		}
+		if _, err := network.LoadScenarioSpec(*spec); err != nil {
 			return err
 		}
 	}

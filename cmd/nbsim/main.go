@@ -7,6 +7,7 @@
 //	nbsim fig7      [flags]   # Fig 7: DR-SC transmissions vs fleet size
 //	nbsim ablations [flags]   # A1-A4 + X1 (use -id to select one)
 //	nbsim grid      [flags]   # user-defined scenario grid (-spec scenario.json)
+//	nbsim rollout   [flags]   # heterogeneous city rollout (-spec city.json)
 //	nbsim all       [flags]   # figures + ablations
 //	nbsim run      [flags]    # one campaign, verbose per-device summary
 //	nbsim merge    [flags] shard0.jsonl shard1.jsonl ...
@@ -56,6 +57,16 @@
 // (ms), and payload sizes, and the cross product runs as one campaign
 // (see examples/grid/scenario.json).
 //
+// `nbsim rollout -spec city.json` simulates a heterogeneous city rollout
+// (see internal/network and examples/citywide-rollout): the spec declares
+// cell profiles — coverage mixes, per-profile mechanisms, traffic mixes,
+// TI and payload overrides, fixed or weighted device budgets — plus
+// optional churn waves (detach/migrate/attach between snapshots). Each
+// (wave, cell) pair is one task of a registered sweep, so -shard,
+// -resume, -jsonl, -status, merge, tail, and coordinate all apply
+// unchanged, and the merged output is byte-identical to a single-process
+// run whatever the shard count or crash history.
+//
 // Live telemetry (internal/telemetry): every sweep that writes -jsonl also
 // rewrites a `<file>.status` sidecar atomically while it runs — shard
 // identity, progress, throughput, ETA, and per-metric streaming statistics
@@ -90,6 +101,7 @@ import (
 	"nbiot/internal/core"
 	"nbiot/internal/experiment"
 	"nbiot/internal/multicast"
+	"nbiot/internal/network"
 	"nbiot/internal/report"
 	"nbiot/internal/rng"
 	"nbiot/internal/simtime"
@@ -145,6 +157,7 @@ type cliOptions struct {
 	specPath   string
 	failAfter  int
 	grid       experiment.GridSpec
+	rollout    *network.ScenarioSpec
 	out        *printer
 	// run-subcommand extras
 	mechanism string
@@ -173,7 +186,7 @@ func parseFlags(cmd string, args []string) (cliOptions, error) {
 	fs.BoolVar(&o.resume, "resume", false, "resume an interrupted -jsonl campaign from its completed prefix (single-sweep subcommands)")
 	fs.BoolVar(&o.force, "force", false, "overwrite an existing -jsonl results file instead of refusing")
 	fs.StringVar(&o.shardSpec, "shard", "", "execute one shard i/n of the sweep's task space (1-based, e.g. 2/3; single-sweep subcommands, requires -jsonl)")
-	fs.StringVar(&o.specPath, "spec", "", "grid: JSON scenario-spec file defining the sweep's axes")
+	fs.StringVar(&o.specPath, "spec", "", "grid/rollout: JSON scenario-spec file defining the sweep (grid axes or city profiles)")
 	fs.StringVar(&o.mechanism, "mechanism", "DA-SC", "run: mechanism (Unicast, DR-SC, DA-SC, DR-SI, SC-PTM)")
 	fs.Int64Var(&o.size, "size", multicast.Size1MB, "run: payload bytes")
 	fs.BoolVar(&o.jsonOut, "json", false, "run: emit a JSON summary instead of a table")
@@ -236,7 +249,7 @@ func mixNames() []string {
 // -shard/-resume and manifests are defined over.
 func sweepName(cmd string, o cliOptions) (string, bool) {
 	switch cmd {
-	case "fig6a", "fig6b", "fig7", "grid":
+	case "fig6a", "fig6b", "fig7", "grid", "rollout":
 		return cmd, true
 	case "ablations":
 		if o.ablation != "" && experiment.IsSweep(o.ablation) {
@@ -248,7 +261,7 @@ func sweepName(cmd string, o cliOptions) (string, bool) {
 
 func run(args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|all|run|merge|tail|coordinate|bench} [flags]")
+		return fmt.Errorf("usage: nbsim {fig6a|fig6b|fig7|ablations|grid|rollout|all|run|merge|tail|coordinate|bench} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	if cmd == "merge" {
@@ -264,7 +277,7 @@ func run(args []string) (err error) {
 		return runTail(rest)
 	}
 	switch cmd {
-	case "fig6a", "fig6b", "fig7", "ablations", "grid", "all", "run":
+	case "fig6a", "fig6b", "fig7", "ablations", "grid", "rollout", "all", "run":
 	default:
 		// Reject before -jsonl wiring below may touch an existing file.
 		return fmt.Errorf("unknown subcommand %q", cmd)
@@ -278,10 +291,22 @@ func run(args []string) (err error) {
 			return err
 		}
 	}
+	if cmd == "rollout" {
+		// A rollout is meaningless without a scenario; validate the spec
+		// before -jsonl wiring below may touch an existing file.
+		if o.specPath == "" {
+			return fmt.Errorf("rollout needs -spec: a JSON scenario file declaring the city's cell profiles (see examples/citywide-rollout)")
+		}
+		spec, serr := network.LoadScenarioSpec(o.specPath)
+		if serr != nil {
+			return serr
+		}
+		o.rollout = &spec
+	}
 	name, single := sweepName(cmd, o)
 	if o.exp.ShardCount > 1 || o.resume {
 		if !single {
-			return fmt.Errorf("-shard/-resume apply to single-sweep invocations (fig6a, fig6b, fig7, grid, ablations -id <x>), not %q", cmd)
+			return fmt.Errorf("-shard/-resume apply to single-sweep invocations (fig6a, fig6b, fig7, grid, rollout, ablations -id <x>), not %q", cmd)
 		}
 		if o.jsonlPath == "" {
 			return fmt.Errorf("-shard/-resume need -jsonl: the record file is the campaign's durable state")
@@ -306,7 +331,7 @@ func run(args []string) (err error) {
 		if cmd == "run" {
 			// runSingle is one campaign, not a sweep — nothing would ever be
 			// recorded, and silently creating an empty file misleads.
-			return fmt.Errorf("-jsonl applies to sweep subcommands (fig6a, fig6b, fig7, grid, ablations, all), not %q", cmd)
+			return fmt.Errorf("-jsonl applies to sweep subcommands (fig6a, fig6b, fig7, grid, rollout, ablations, all), not %q", cmd)
 		}
 		sink, err = openJSONL(name, single, &o)
 		if err != nil {
@@ -385,7 +410,7 @@ func run(args []string) (err error) {
 		}
 	}()
 	switch cmd {
-	case "fig6a", "fig6b", "fig7", "grid":
+	case "fig6a", "fig6b", "fig7", "grid", "rollout":
 		err = runSweepCmd(cmd, o, sink)
 	case "ablations":
 		err = runAblations(o, sink)
@@ -497,6 +522,13 @@ func campaignFor(cmd, name string, single bool, o cliOptions, sink *jsonlSink) (
 				return telemetry.Campaign{}, serr
 			}
 			n = sp.Tasks()
+		} else if s == "rollout" {
+			// Same for a rollout: the (wave, cell) space comes from -spec.
+			sp, serr := experiment.RolloutSpace(*o.rollout)
+			if serr != nil {
+				return telemetry.Campaign{}, serr
+			}
+			n = sp.Tasks()
 		} else if n, err = experiment.Tasks(s, o.exp); err != nil {
 			return telemetry.Campaign{}, err
 		}
@@ -557,7 +589,9 @@ func openJSONL(name string, single bool, o *cliOptions) (*jsonlSink, error) {
 	if single {
 		var m campaign.Manifest
 		var err error
-		if name == "grid" {
+		if name == "rollout" {
+			m, err = campaign.NewRollout(*o.rollout, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
+		} else if name == "grid" {
 			m, err = campaign.NewGrid(o.grid, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
 		} else {
 			m, err = campaign.New(name, o.exp, o.exp.ShardIndex, o.exp.ShardCount)
@@ -774,9 +808,12 @@ func emitResult(o cliOptions, res experiment.SweepResult) {
 func runSweepCmd(name string, o cliOptions, sink *jsonlSink) error {
 	var res experiment.SweepResult
 	var err error
-	if name == "grid" {
+	switch name {
+	case "grid":
 		res, err = experiment.Grid(o.exp, o.grid)
-	} else {
+	case "rollout":
+		res, err = experiment.Rollout(o.exp, *o.rollout)
+	default:
 		res, err = experiment.RunSweep(name, o.exp)
 	}
 	if err != nil {

@@ -291,6 +291,213 @@ func TestShardMergeResumeEndToEnd(t *testing.T) {
 	}
 }
 
+// writeRolloutSpec drops a small heterogeneous multi-wave city spec —
+// three profiles (weighted, fixed, coverage-overridden) across five
+// cells, with a churn wave — into dir and returns its path.
+func writeRolloutSpec(t *testing.T, dir string) string {
+	t.Helper()
+	spec := `{
+  "name": "test-city",
+  "total_devices": 120,
+  "profiles": [
+    {"name": "urban", "cells": 2, "weight": 2, "uniform_coverage": true},
+    {"name": "suburban", "cells": 2, "weight": 1, "mechanism": "DA-SC", "ti_ms": 20000},
+    {"name": "indoor", "cells": 1, "devices_per_cell": 15, "coverage": [0, 0.2, 0.8]}
+  ],
+  "waves": [
+    {"name": "initial"},
+    {"name": "patch", "payload_bytes": 10240, "detach": 0.1, "migrate": 0.2, "attach": 0.15}
+  ]
+}`
+	path := filepath.Join(dir, "city.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRolloutEndToEnd drives the city-rollout sweep through the whole
+// distributed CLI: single-process reference, three shards, byte-identical
+// merge, and crash-resume on a torn shard.
+func TestRolloutEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeRolloutSpec(t, dir)
+	single := filepath.Join(dir, "single.jsonl")
+	if err := run([]string{"rollout", "-spec", spec, "-quiet", "-csv", "-jsonl", single}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 waves × 5 cells, every record in index order with the per-site
+	// mechanism resolved (suburban cells 2-3 override to DA-SC).
+	var recs []experiment.RunRecord
+	for _, line := range bytes.Split(bytes.TrimSpace(ref), []byte("\n")) {
+		var rec experiment.RunRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad record %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("streamed %d records, want 10 (2 waves x 5 cells)", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Index != i || rec.Experiment != "rollout" || rec.Metric != "transmissions" {
+			t.Errorf("record %d malformed: %+v", i, rec)
+		}
+		wantMech := "DR-SC"
+		if rec.Run == 2 || rec.Run == 3 {
+			wantMech = "DA-SC"
+		}
+		if rec.Mechanism != wantMech {
+			t.Errorf("cell %d record has mechanism %q, want %q", rec.Run, rec.Mechanism, wantMech)
+		}
+	}
+
+	var shards []string
+	for i := 1; i <= 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		shards = append(shards, p)
+		if err := run([]string{"rollout", "-spec", spec, "-quiet", "-csv",
+			"-shard", fmt.Sprintf("%d/3", i), "-jsonl", p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	mergedCSV := captureStdout(t, func() error {
+		return run([]string{"merge", "-csv", "-quiet", "-out", merged, shards[0], shards[1], shards[2]})
+	})
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("merged rollout stream diverges from the single-process run")
+	}
+	refManifest, err := os.ReadFile(single + ".manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotManifest, err := os.ReadFile(merged + ".manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotManifest, refManifest) {
+		t.Error("merged rollout manifest diverges from the single-process run's")
+	}
+	if !strings.Contains(mergedCSV, "wave") {
+		t.Errorf("merge did not rebuild the rollout table:\n%s", mergedCSV)
+	}
+
+	// Crash shard 2 mid-write (torn final line) and resume; the healed file
+	// must match its uninterrupted self byte for byte.
+	whole, err := os.ReadFile(shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shards[1], whole[:len(whole)/2+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"rollout", "-spec", spec, "-quiet", "-csv",
+		"-shard", "2/3", "-jsonl", shards[1], "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, whole) {
+		t.Error("resumed rollout shard diverges from its uninterrupted run")
+	}
+
+	// Resuming under a different scenario must be refused — the manifest's
+	// config hash embeds the spec.
+	other := filepath.Join(dir, "other.json")
+	b, _ := os.ReadFile(spec)
+	if err := os.WriteFile(other, bytes.Replace(b, []byte(`"detach": 0.1`), []byte(`"detach": 0.3`), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"rollout", "-spec", other, "-quiet", "-csv",
+		"-shard", "2/3", "-jsonl", shards[1], "-resume"}); err == nil {
+		t.Error("resume with a different scenario spec accepted")
+	}
+}
+
+// TestRolloutCoordinateChaosByteIdentical is the acceptance criterion
+// end to end: a heterogeneous multi-wave scenario, coordinated across
+// three crashing-and-restarting shard workers, merges to a record stream
+// and tables byte-identical to the single-process run.
+func TestRolloutCoordinateChaosByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeRolloutSpec(t, dir)
+	single := filepath.Join(dir, "single.jsonl")
+	if err := run([]string{"rollout", "-spec", spec, "-quiet", "-csv", "-jsonl", single}); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV := captureStdout(t, func() error { return runMerge([]string{"-csv", "-quiet", single}) })
+
+	campDir := filepath.Join(dir, "fleet")
+	merged := filepath.Join(campDir, "merged.jsonl")
+	gotCSV := captureStdout(t, func() error {
+		return run([]string{"coordinate", "rollout", "-spec", spec,
+			"-shards", "3", "-dir", campDir, "-out", merged,
+			"-csv", "-quiet",
+			"-poll", "20ms", "-retries", "3", "-backoff", "5ms", "-backoff-cap", "20ms",
+			"-fail-shard", "2", "-fail-after-tasks", "1", "-fail-times", "2"})
+	})
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatalf("no merged stream after coordination: %v", err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Error("coordinated rollout merge diverges from the single-process stream despite crash recovery")
+	}
+	if gotCSV != refCSV {
+		t.Errorf("coordinated rollout tables diverge:\n%s\nvs single-process:\n%s", gotCSV, refCSV)
+	}
+}
+
+func TestRolloutSpecValidationCLI(t *testing.T) {
+	dir := t.TempDir()
+	// No -spec: a rollout has no default city.
+	if err := run([]string{"rollout", "-quiet"}); err == nil {
+		t.Error("rollout without -spec accepted")
+	}
+	// An invalid spec must fail before any file is touched.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"profiles": [{"cells": 2, "weight": 1, "detach": 0.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonl := filepath.Join(dir, "never.jsonl")
+	if err := run([]string{"rollout", "-spec", bad, "-quiet", "-jsonl", jsonl}); err == nil {
+		t.Error("rollout with an unknown spec field accepted")
+	}
+	if _, err := os.Stat(jsonl); !os.IsNotExist(err) {
+		t.Errorf("rejected rollout still created the record file (stat err: %v)", err)
+	}
+	// Semantically invalid (over-churned) spec: also refused.
+	over := filepath.Join(dir, "over.json")
+	if err := os.WriteFile(over, []byte(`{"profiles": [{"cells": 2, "weight": 1}], "waves": [{}, {"detach": 0.8, "migrate": 0.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"rollout", "-spec", over, "-quiet"}); err == nil {
+		t.Error("over-churned spec accepted")
+	}
+	// coordinate rollout shares the validation.
+	if err := run([]string{"coordinate", "rollout", "-shards", "2"}); err == nil {
+		t.Error("coordinate rollout without -spec accepted")
+	}
+	if err := run([]string{"coordinate", "rollout", "-shards", "2", "-spec", bad}); err == nil {
+		t.Error("coordinate rollout with an invalid spec accepted")
+	}
+}
+
 func TestSeedZeroHonoured(t *testing.T) {
 	// `-seed 0` must actually run seed 0 (it used to be silently rewritten
 	// to 1 by the harness defaulting).

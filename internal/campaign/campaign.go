@@ -36,6 +36,7 @@ import (
 	"os"
 
 	"nbiot/internal/experiment"
+	"nbiot/internal/network"
 	"nbiot/internal/simtime"
 	"nbiot/internal/telemetry"
 	"nbiot/internal/traffic"
@@ -48,7 +49,9 @@ import (
 // together, without either trusting the caller's flags.
 type Manifest struct {
 	// Format versions the manifest schema itself. Format 2 added the
-	// task-space descriptor (Space) and the optional grid spec.
+	// task-space descriptor (Space) and the optional grid spec; Format 3
+	// adds the optional rollout scenario spec (non-rollout campaigns keep
+	// writing Format 2, so their hashes and files are unchanged).
 	Format int `json:"format"`
 	// Experiment is the registered sweep name ("fig6a", "ti-sweep",
 	// "grid", ...).
@@ -72,6 +75,10 @@ type Manifest struct {
 	// Grid echoes the scenario spec of a grid campaign, nil for every
 	// other sweep.
 	Grid *experiment.GridSpec `json:"grid,omitempty"`
+	// Rollout echoes the city-rollout scenario spec of a rollout campaign
+	// (normalized, so every shard embeds the identical spec whatever file
+	// it was loaded from), nil for every other sweep.
+	Rollout *network.ScenarioSpec `json:"rollout,omitempty"`
 	// Tasks is the size of the sweep's global task-index space.
 	Tasks int `json:"tasks"`
 	// ShardIndex/ShardCount locate this file's slice of the task space:
@@ -106,6 +113,31 @@ func NewGrid(spec experiment.GridSpec, o experiment.Options, shardIndex, shardCo
 		return Manifest{}, err
 	}
 	return newWithSpace("grid", sp, &spec, o, shardIndex, shardCount)
+}
+
+// NewRollout builds the manifest for one shard of a city-rollout
+// campaign: the task space is the scenario's (wave, cell) grid and the
+// normalized spec rides along, so every shard — whichever file its spec
+// was loaded from — embeds the identical scenario and hashes identically.
+func NewRollout(spec network.ScenarioSpec, o experiment.Options, shardIndex, shardCount int) (Manifest, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return Manifest{}, fmt.Errorf("campaign: %w", err)
+	}
+	sp, err := experiment.RolloutSpace(norm)
+	if err != nil {
+		return Manifest{}, err
+	}
+	m, err := newWithSpace("rollout", sp, nil, o, shardIndex, shardCount)
+	if err != nil {
+		return Manifest{}, err
+	}
+	// The rollout spec is part of the configuration: stamp it, bump the
+	// format, and re-hash so spec drift between shards is detected.
+	m.Format = 3
+	m.Rollout = &norm
+	m.ConfigHash = m.configHash()
+	return m, nil
 }
 
 func newWithSpace(experimentName string, sp experiment.TaskSpace, grid *experiment.GridSpec, o experiment.Options, shardIndex, shardCount int) (Manifest, error) {
@@ -160,6 +192,9 @@ func (m Manifest) configHash() string {
 		if b, err := json.Marshal(m.Grid); err == nil {
 			fmt.Fprintf(h, "|grid=%s", b)
 		}
+	}
+	if m.Rollout != nil {
+		fmt.Fprintf(h, "|rollout=%s", m.Rollout.Hash())
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -9,6 +9,7 @@ import (
 
 	"nbiot/internal/campaign"
 	"nbiot/internal/experiment"
+	"nbiot/internal/network"
 	"nbiot/internal/simtime"
 	"nbiot/internal/telemetry"
 	"nbiot/internal/traffic"
@@ -140,6 +141,90 @@ func TestManifestRoundTripAndTamper(t *testing.T) {
 	}
 	if err := m.CompatibleShard(m2); err == nil {
 		t.Error("different configs merged")
+	}
+}
+
+func TestRolloutManifest(t *testing.T) {
+	spec := network.ScenarioSpec{
+		TotalDevices: 60,
+		Profiles: []network.CellProfile{
+			{Name: "urban", Cells: 2, Weight: 1, UniformCoverage: true},
+			{Name: "edge", Cells: 1, DevicesPerCell: 15, Mechanism: "DA-SC", UniformCoverage: true},
+		},
+		Waves: []network.RolloutWave{{}, {Detach: 0.1, Migrate: 0.2, Attach: 0.1}},
+	}
+	o := testOptions()
+	m, err := campaign.NewRollout(spec, o, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != 3 {
+		t.Errorf("rollout manifest format %d, want 3", m.Format)
+	}
+	if m.Experiment != "rollout" || m.Tasks != 2*3 {
+		t.Errorf("manifest %+v, want rollout over 6 tasks", m)
+	}
+	if m.Rollout == nil || m.Rollout.Mechanism == "" || m.Rollout.Mix == "" {
+		t.Fatalf("manifest embeds a non-normalized spec: %+v", m.Rollout)
+	}
+
+	// Roundtrip through the sidecar file, hash validation included.
+	path := filepath.Join(t.TempDir(), "rollout.jsonl.manifest")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := campaign.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ConfigHash != m.ConfigHash || got.Rollout == nil {
+		t.Fatalf("round trip diverged: %+v", got)
+	}
+	if got.Rollout.Hash() != m.Rollout.Hash() {
+		t.Error("round trip changed the scenario spec hash")
+	}
+	if got.Space.Tasks() != m.Tasks {
+		t.Errorf("space enumerates %d tasks, manifest says %d", got.Space.Tasks(), m.Tasks)
+	}
+
+	// The scenario spec is configuration: changing it must change the
+	// config hash even when the task space stays the same shape.
+	spec2 := spec
+	spec2.Waves = append([]network.RolloutWave{}, spec.Waves...)
+	spec2.Waves[1].Detach = 0.3
+	m2, err := campaign.NewRollout(spec2, o, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ConfigHash == m.ConfigHash {
+		t.Error("different scenario specs share a config hash")
+	}
+
+	// Sibling shards agree; a shard of a different spec does not merge.
+	sib, err := campaign.NewRollout(spec, o, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib2, err := campaign.NewRollout(spec, o, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sib2.CompatibleShard(sib); err != nil {
+		t.Errorf("sibling rollout shards incompatible: %v", err)
+	}
+	foreign, err := campaign.NewRollout(spec2, o, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := foreign.CompatibleShard(sib); err == nil {
+		t.Error("shards of different scenarios merged")
+	}
+
+	// An invalid spec never becomes a manifest.
+	bad := spec
+	bad.TotalDevices = -1
+	if _, err := campaign.NewRollout(bad, o, 0, 1); err == nil {
+		t.Error("invalid spec accepted")
 	}
 }
 

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nbiot/internal/network"
+	"nbiot/internal/report"
+	"nbiot/internal/stats"
+)
+
+// The rollout sweep executes a network.ScenarioSpec — a heterogeneous,
+// multi-wave city rollout — as a registered TaskSpace sweep: one task per
+// (wave, cell), wave-major. Registering it is what makes -shard/-resume/
+// -jsonl/-status, merge, tail, and coordinate apply to city rollouts for
+// free: the engine neither knows nor cares that a task is a whole cell
+// simulation rather than a planning run. The spec itself travels in the
+// campaign manifest (campaign.NewRollout), so shards and merges agree on
+// the scenario by config hash exactly as grids agree on a GridSpec.
+
+// RolloutSpace enumerates a scenario spec as the (wave, cell) task space
+// `nbsim rollout` shards and its manifests pin. Counter axes keep the
+// space compact however many thousand cells the scenario expands to.
+func RolloutSpace(spec network.ScenarioSpec) (TaskSpace, error) {
+	if err := spec.Validate(); err != nil {
+		return TaskSpace{}, fmt.Errorf("experiment: %w", err)
+	}
+	sp := Space(CounterAxis("wave", spec.NumWaves()), CounterAxis("cell", spec.NumSites()))
+	return sp, sp.Validate()
+}
+
+// RolloutWaveSummary aggregates one wave of a rollout sweep.
+type RolloutWaveSummary struct {
+	// Wave is the wave index; Cells the scenario's site count.
+	Wave  int
+	Cells int
+	// ActiveCells counts cells that simulated a campaign this wave (a cell
+	// churned empty contributes a zero-transmission record and is not
+	// active — a populated cell always transmits at least once).
+	ActiveCells int
+	// TotalTransmissions sums multicast transmissions across cells.
+	TotalTransmissions float64
+	// PerCell is the transmission distribution over all cells of the wave,
+	// empty cells included.
+	PerCell stats.Summary
+}
+
+// RolloutResult is a rollout sweep's outcome: one summary per wave, in
+// wave order. Like every sweep result it rebuilds bit-identically from
+// the record stream plus the manifest's task space alone.
+type RolloutResult struct {
+	Options Options
+	Space   TaskSpace
+	Waves   []RolloutWaveSummary
+}
+
+// Table renders the rollout, one row per wave.
+func (r *RolloutResult) Table() *report.Table {
+	t := report.NewTable(
+		"City rollout — multicast transmissions per wave",
+		"wave", "cells", "active", "total tx", "mean tx/cell", "95% CI")
+	for _, w := range r.Waves {
+		t.AddRow(
+			report.FormatFloat(float64(w.Wave)),
+			report.FormatFloat(float64(w.Cells)),
+			report.FormatFloat(float64(w.ActiveCells)),
+			report.FormatFloat(w.TotalTransmissions),
+			report.FormatFloat(w.PerCell.Mean),
+			"±"+report.FormatFloat(w.PerCell.CI95),
+		)
+	}
+	return t
+}
+
+// rolloutFold folds the per-(wave, cell) transmission stream into
+// per-wave aggregates. Everything it needs comes from the space's two
+// counter axes, so a merge rebuilds a rollout table from records +
+// manifest alone.
+type rolloutFold struct {
+	o     Options
+	sp    TaskSpace
+	cells int
+	waves []RolloutWaveSummary
+	acc   []stats.Accumulator
+}
+
+func newRolloutFold(o Options, sp TaskSpace) (*rolloutFold, error) {
+	if len(sp.Axes) != 2 || sp.Axes[0].Name != "wave" || sp.Axes[1].Name != "cell" {
+		return nil, fmt.Errorf("experiment: rollout space %v must be (wave, cell)", sp)
+	}
+	nWaves, cells := sp.Axes[0].Len(), sp.Axes[1].Len()
+	f := &rolloutFold{o: o, sp: sp, cells: cells,
+		waves: make([]RolloutWaveSummary, nWaves),
+		acc:   make([]stats.Accumulator, nWaves)}
+	for w := range f.waves {
+		f.waves[w] = RolloutWaveSummary{Wave: w, Cells: cells}
+	}
+	return f, nil
+}
+
+func (f *rolloutFold) add(c []int, v float64) {
+	w := &f.waves[c[0]]
+	w.TotalTransmissions += v
+	if v > 0 {
+		w.ActiveCells++
+	}
+	f.acc[c[0]].Add(v)
+}
+
+func (f *rolloutFold) result() *RolloutResult {
+	out := &RolloutResult{Options: f.o, Space: f.sp, Waves: f.waves}
+	for w := range out.Waves {
+		out.Waves[w].PerCell = f.acc[w].Summary()
+	}
+	return out
+}
+
+// rolloutRecord is the spec-independent part of a rollout task's record;
+// the live sweep adds the per-site mechanism on top.
+func rolloutRecord(_ Options, _ TaskSpace, c []int, v float64) RunRecord {
+	return RunRecord{
+		Variant: fmt.Sprintf("wave=%d", c[0]),
+		Run:     c[1],
+		Metric:  "transmissions", Value: v,
+	}
+}
+
+func init() {
+	// The registered def carries the fold and record shape — what merges
+	// and record-stream rebuilds need — but no default space or task: a
+	// rollout is meaningless without a scenario spec, so running it
+	// through RunSweep fails loudly instead of inventing a default city.
+	registerSweep(&sweepDef{
+		name: "rollout",
+		space: func(o Options) (TaskSpace, error) {
+			return TaskSpace{}, fmt.Errorf("experiment: the rollout sweep needs a scenario spec (use experiment.Rollout or nbsim rollout -spec)")
+		},
+		task: func(o Options, sp TaskSpace, c []int, sc *taskScratch) (float64, error) {
+			return 0, fmt.Errorf("experiment: the rollout sweep needs a scenario spec (use experiment.Rollout or nbsim rollout -spec)")
+		},
+		record: rolloutRecord,
+		newFold: func(o Options, sp TaskSpace) (*sweepFold, error) {
+			fold, err := newRolloutFold(o, sp)
+			if err != nil {
+				return nil, err
+			}
+			return &sweepFold{
+				add:    fold.add,
+				result: func() (SweepResult, error) { return fold.result(), nil },
+			}, nil
+		},
+	})
+}
+
+// Rollout executes a scenario spec as the registered rollout sweep: the
+// spec resolves against Options.Seed, every (wave, cell) pair becomes one
+// task on the shared engine, and all of Options' execution machinery —
+// Workers, Record/Observe, ShardIndex/ShardCount, SkipTasks — applies.
+// Each task's value is the cell's multicast transmission count for that
+// wave (zero for a cell churned empty); per-cell results are never
+// retained, so memory stays O(Workers) at any city size.
+func Rollout(o Options, spec network.ScenarioSpec) (*RolloutResult, error) {
+	o = o.WithDefaults()
+	sc, err := network.NewScenario(spec, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := RolloutSpace(sc.Spec())
+	if err != nil {
+		return nil, err
+	}
+	reg, err := lookupSweep("rollout")
+	if err != nil {
+		return nil, err
+	}
+	// Bind the registered def to this scenario: same fold and record
+	// shape, but tasks simulate the scenario's cells and records carry the
+	// per-site mechanism. Resumed tails re-derive the identical closure
+	// from (manifest spec, seed), so record streams stay byte-identical.
+	def := *reg
+	def.task = func(_ Options, _ TaskSpace, c []int, ts *taskScratch) (float64, error) {
+		res, _, err := sc.RunCell(c[0], c[1], &ts.cell)
+		if err != nil {
+			return 0, err
+		}
+		if res == nil {
+			return 0, nil
+		}
+		return float64(res.NumTransmissions), nil
+	}
+	def.record = func(o Options, sp TaskSpace, c []int, v float64) RunRecord {
+		rec := rolloutRecord(o, sp, c, v)
+		rec.Mechanism = sc.SiteMechanism(c[1]).String()
+		return rec
+	}
+	res, err := runSweepIn(&def, o, sp)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*RolloutResult), nil
+}

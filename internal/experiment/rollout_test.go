@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"nbiot/internal/network"
+)
+
+func rolloutTestSpec() network.ScenarioSpec {
+	return network.ScenarioSpec{
+		Name:         "test-city",
+		TotalDevices: 90,
+		Profiles: []network.CellProfile{
+			{Name: "urban", Cells: 2, Weight: 1, UniformCoverage: true},
+			{Name: "edge", Cells: 1, DevicesPerCell: 20, Mechanism: "DA-SC", UniformCoverage: true},
+		},
+		Waves: []network.RolloutWave{
+			{},
+			{Detach: 0.2, Migrate: 0.3, Attach: 0.1},
+		},
+	}
+}
+
+func rolloutTestOptions() Options {
+	o := shardTestOptions()
+	o.Workers = 4
+	return o
+}
+
+func TestRolloutSweep(t *testing.T) {
+	spec := rolloutTestSpec()
+	o := rolloutTestOptions()
+	res, err := Rollout(o, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waves) != 2 {
+		t.Fatalf("%d waves, want 2", len(res.Waves))
+	}
+	for w, ws := range res.Waves {
+		if ws.Cells != 3 {
+			t.Errorf("wave %d reports %d cells, want 3", w, ws.Cells)
+		}
+		if ws.TotalTransmissions <= 0 {
+			t.Errorf("wave %d has %g transmissions", w, ws.TotalTransmissions)
+		}
+		if ws.ActiveCells == 0 || ws.ActiveCells > ws.Cells {
+			t.Errorf("wave %d active cells %d out of range", w, ws.ActiveCells)
+		}
+		if ws.PerCell.N != 3 {
+			t.Errorf("wave %d per-cell summary over %d cells", w, ws.PerCell.N)
+		}
+	}
+	if res.Table() == nil {
+		t.Error("nil table")
+	}
+}
+
+func TestRolloutShardUnionAndRebuild(t *testing.T) {
+	spec := rolloutTestSpec()
+	o := rolloutTestOptions()
+	run := func(o Options) error { _, err := Rollout(o, spec); return err }
+	want := captureRecords(t, o, run)
+	sp, err := RolloutSpace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != sp.Tasks() {
+		t.Fatalf("%d records, want %d tasks", len(want), sp.Tasks())
+	}
+	for i, rec := range want {
+		if rec.Index != i || rec.Experiment != "rollout" || rec.Metric != "transmissions" {
+			t.Fatalf("record %d malformed: %+v", i, rec)
+		}
+		if rec.Mechanism == "" {
+			t.Fatalf("record %d lacks the per-site mechanism: %+v", i, rec)
+		}
+	}
+	// The per-site mechanism must reflect the profile overrides: cells 0-1
+	// run the default DR-SC, cell 2 runs DA-SC.
+	for _, rec := range want {
+		wantMech := "DR-SC"
+		if rec.Run == 2 {
+			wantMech = "DA-SC"
+		}
+		if rec.Mechanism != wantMech {
+			t.Fatalf("cell %d record has mechanism %s, want %s", rec.Run, rec.Mechanism, wantMech)
+		}
+	}
+
+	const shards = 3
+	var union []RunRecord
+	for idx := 0; idx < shards; idx++ {
+		so := o
+		so.ShardIndex, so.ShardCount = idx, shards
+		part := captureRecords(t, so, run)
+		for _, rec := range part {
+			if rec.Index%shards != idx {
+				t.Fatalf("shard %d emitted foreign index %d", idx, rec.Index)
+			}
+		}
+		union = append(union, part...)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].Index < union[j].Index })
+	if !reflect.DeepEqual(want, union) {
+		t.Error("sharded union diverged from the unsharded rollout")
+	}
+
+	// A record-stream rebuild over the manifest-pinned space must
+	// reproduce the live result exactly.
+	live, err := Rollout(o, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := SweepFromRecords("rollout", o, sp, func(yield func(RunRecord) error) error {
+		for _, rec := range want {
+			if err := yield(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.Waves, rebuilt.(*RolloutResult).Waves) {
+		t.Error("record rebuild diverged from the live rollout")
+	}
+	if live.Table().String() != rebuilt.(*RolloutResult).Table().String() {
+		t.Error("rebuilt table is not byte-identical")
+	}
+}
+
+func TestRolloutNeedsSpec(t *testing.T) {
+	if _, err := RunSweep("rollout", rolloutTestOptions()); err == nil {
+		t.Error("RunSweep(rollout) without a spec succeeded")
+	}
+	if _, err := SpaceFor("rollout", rolloutTestOptions()); err == nil {
+		t.Error("SpaceFor(rollout) without a spec succeeded")
+	}
+	bad := rolloutTestSpec()
+	bad.Waves[0].Detach = 1
+	if _, err := Rollout(rolloutTestOptions(), bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -39,7 +39,13 @@ type Network struct {
 	sites []Site
 }
 
-// New builds a network from explicit sites.
+// New builds a network from explicit sites. Every fleet must carry dense
+// per-cell device IDs — device i of a site has ID i — because the ID is
+// the device's address within its cell: per-cell planners and results
+// index by it, and a sparse or shuffled fleet would silently misattribute
+// plan entries. New rejects non-dense fleets instead of letting that
+// happen; the Populate family and NewFromSpec always produce dense
+// fleets, so this only bites hand-built sites.
 func New(sites []Site) (*Network, error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("network: no sites")
@@ -53,6 +59,12 @@ func New(sites []Site) (*Network, error) {
 		if len(s.Fleet) == 0 {
 			return nil, fmt.Errorf("network: site %d has no devices", s.ID)
 		}
+		for i, d := range s.Fleet {
+			if d.ID != i {
+				return nil, fmt.Errorf("network: site %d fleet is not densely identified: device at position %d has ID %d (per-cell IDs must equal fleet position)",
+					s.ID, i, d.ID)
+			}
+		}
 	}
 	out := &Network{sites: make([]Site, len(sites))}
 	copy(out.sites, sites)
@@ -60,78 +72,45 @@ func New(sites []Site) (*Network, error) {
 	return out, nil
 }
 
-// Populate generates a network of numCells cells whose fleets are drawn
-// from the mix, with totalDevices spread over the cells uniformly at
-// random (each device attaches to one cell). Generation is serial off the
-// single caller-supplied stream; PopulateParallel is the scale path.
-func Populate(numCells, totalDevices int, mix traffic.Mix, stream *rng.Stream) (*Network, error) {
-	if numCells <= 0 {
-		return nil, fmt.Errorf("network: non-positive cell count %d", numCells)
-	}
-	if totalDevices < numCells {
-		return nil, fmt.Errorf("network: %d devices cannot populate %d cells", totalDevices, numCells)
-	}
-	if stream == nil {
-		return nil, fmt.Errorf("network: nil random stream")
-	}
-	devices, err := mix.Generate(totalDevices, stream)
+// PopulateConfig configures NewFromSpec's fleet generation — the one
+// options struct behind every population path.
+type PopulateConfig struct {
+	// Seed roots all generation randomness when Stream is nil. The seeded
+	// path is deterministic for every worker count and is safe to reuse as
+	// the rollout seed (fleet streams are double-derived away from the
+	// per-cell campaign seeds).
+	Seed int64
+	// Workers bounds concurrent per-cell generation on the seeded path;
+	// <= 0 means runner.DefaultWorkers().
+	Workers int
+	// Stream, when non-nil, selects the legacy serial algorithm instead:
+	// all devices are drawn from this single stream and placed round-robin
+	// first, then uniformly at random — exactly the deprecated Populate.
+	// Serial generation supports only a single weighted profile group.
+	Stream *rng.Stream
+	// Mix, when non-nil, overrides profile mix-name resolution with this
+	// mix value — the hook that lets the deprecated Populate wrappers keep
+	// accepting arbitrary unregistered mixes.
+	Mix *traffic.Mix
+}
+
+// NewFromSpec materialises a scenario spec's wave-0 network: profile
+// groups expand into per-site configs, per-cell device counts are fixed
+// or apportioned by weight, and every cell's fleet is generated from its
+// own derived stream (concurrently, on the bounded pool) unless
+// cfg.Stream selects the serial legacy path. This is the single entry
+// point the deprecated Populate and PopulateParallel wrap.
+func NewFromSpec(spec ScenarioSpec, cfg PopulateConfig) (*Network, error) {
+	sc, err := newScenario(spec, cfg.Seed, cfg.Mix)
 	if err != nil {
 		return nil, err
 	}
-	fleets := make([][]traffic.Device, numCells)
-	// Round-robin the first numCells devices so no cell is empty, then
-	// place the rest uniformly.
-	for i, d := range devices {
-		var c int
-		if i < numCells {
-			c = i
-		} else {
-			c = stream.Intn(numCells)
-		}
-		// Device IDs must be dense per cell for the planner.
-		d.ID = len(fleets[c])
-		fleets[c] = append(fleets[c], d)
+	if cfg.Stream != nil {
+		return populateSerial(sc, cfg.Stream)
 	}
-	sites := make([]Site, numCells)
-	for i := range sites {
-		sites[i] = Site{ID: i, Fleet: fleets[i]}
-	}
-	return New(sites)
-}
-
-// PopulateParallel generates a network like Populate, but from a seed
-// instead of a shared stream: cell sizes are drawn first from a dedicated
-// assignment stream (one device per cell guaranteed, the rest placed
-// uniformly at random), then every cell generates its fleet concurrently
-// on the bounded pool off its own runner.Seed(seed, cellID)-derived
-// stream. The result is a pure function of (numCells, totalDevices, mix,
-// seed) — identical for every worker count — and generation time scales
-// with the cores available, which is what makes million-device networks
-// practical to materialise. workers <= 0 means runner.DefaultWorkers().
-func PopulateParallel(numCells, totalDevices int, mix traffic.Mix, seed int64, workers int) (*Network, error) {
-	if numCells <= 0 {
-		return nil, fmt.Errorf("network: non-positive cell count %d", numCells)
-	}
-	if totalDevices < numCells {
-		return nil, fmt.Errorf("network: %d devices cannot populate %d cells", totalDevices, numCells)
-	}
-	// Cell indices use runner.Seed(seed, 0..numCells-1); the assignment
-	// stream takes index numCells, the first one no cell owns.
-	counts := make([]int, numCells)
-	for i := range counts {
-		counts[i] = 1 // no cell may be empty
-	}
-	assign := rng.NewStream(runner.Seed(seed, numCells))
-	for i := numCells; i < totalDevices; i++ {
-		counts[assign.Intn(numCells)]++
-	}
-	sites := make([]Site, numCells)
-	err := runner.Run(context.Background(), numCells, workers, func(_ context.Context, c int) error {
-		// Double-derive the fleet stream so it never equals the raw
-		// runner.Seed(seed, c) that Distribute hands cell c as its campaign
-		// seed when the caller reuses one seed for both (cell.Run namespaces
-		// its streams internally, but a raw stream would not).
-		fleet, err := mix.Generate(counts[c], rng.NewStream(runner.Seed(runner.Seed(seed, c), 0)))
+	sites := make([]Site, len(sc.sites))
+	err = runner.Run(context.Background(), len(sc.sites), cfg.Workers, func(_ context.Context, c int) error {
+		fleet, err := sc.FleetAt(0, c)
 		if err != nil {
 			return fmt.Errorf("network: cell %d: %w", c, err)
 		}
@@ -142,6 +121,86 @@ func PopulateParallel(numCells, totalDevices int, mix traffic.Mix, seed int64, w
 		return nil, err
 	}
 	return New(sites)
+}
+
+// populateSerial is the legacy single-stream algorithm: draw every device
+// off the caller's stream, round-robin the first numCells so no cell is
+// empty, place the rest uniformly. Kept byte-identical to the historical
+// Populate — its draws and placement order are pinned by test.
+func populateSerial(s *Scenario, stream *rng.Stream) (*Network, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("network: nil random stream")
+	}
+	if len(s.spec.Profiles) != 1 || s.spec.Profiles[0].Weight <= 0 {
+		return nil, fmt.Errorf("network: serial stream generation supports a single weighted profile group; use the seeded path")
+	}
+	if s.sites[0].coverage != nil {
+		return nil, fmt.Errorf("network: serial stream generation does not support coverage overrides")
+	}
+	numCells := len(s.sites)
+	totalDevices := s.spec.TotalDevices
+	devices, err := s.sites[0].mix.Generate(totalDevices, stream)
+	if err != nil {
+		return nil, err
+	}
+	fleets := make([][]traffic.Device, numCells)
+	for i, d := range devices {
+		var c int
+		if i < numCells {
+			c = i
+		} else {
+			c = stream.Intn(numCells)
+		}
+		// Re-densify: the per-cell ID is the device's address in its cell.
+		d.ID = len(fleets[c])
+		fleets[c] = append(fleets[c], d)
+	}
+	sites := make([]Site, numCells)
+	for i := range sites {
+		sites[i] = Site{ID: i, Fleet: fleets[i]}
+	}
+	return New(sites)
+}
+
+// homogeneousSpec is the one-profile spec the deprecated wrappers run:
+// every cell identical, device budget shared uniformly.
+func homogeneousSpec(numCells, totalDevices int) ScenarioSpec {
+	return ScenarioSpec{
+		Profiles:     []CellProfile{{Cells: numCells, Weight: 1}},
+		TotalDevices: totalDevices,
+	}
+}
+
+// Populate generates a network of numCells cells whose fleets are drawn
+// from the mix, with totalDevices spread over the cells uniformly at
+// random off the single caller-supplied stream.
+//
+// Deprecated: Populate is the homogeneous legacy entry point, kept as a
+// thin byte-identical wrapper. Use NewFromSpec with a ScenarioSpec (and
+// PopulateConfig.Stream for serial generation).
+func Populate(numCells, totalDevices int, mix traffic.Mix, stream *rng.Stream) (*Network, error) {
+	if stream == nil {
+		// A nil stream would silently select the seeded path; the legacy
+		// contract rejects it.
+		return nil, fmt.Errorf("network: nil random stream")
+	}
+	return NewFromSpec(homogeneousSpec(numCells, totalDevices),
+		PopulateConfig{Stream: stream, Mix: &mix})
+}
+
+// PopulateParallel generates a network like Populate, but from a seed
+// instead of a shared stream: cell sizes are drawn first from a dedicated
+// assignment stream (one device per cell guaranteed, the rest placed
+// uniformly at random), then every cell generates its fleet concurrently
+// on the bounded pool off its own derived stream. The result is a pure
+// function of (numCells, totalDevices, mix, seed) — identical for every
+// worker count. workers <= 0 means runner.DefaultWorkers().
+//
+// Deprecated: PopulateParallel is the homogeneous legacy entry point,
+// kept as a thin byte-identical wrapper. Use NewFromSpec.
+func PopulateParallel(numCells, totalDevices int, mix traffic.Mix, seed int64, workers int) (*Network, error) {
+	return NewFromSpec(homogeneousSpec(numCells, totalDevices),
+		PopulateConfig{Seed: seed, Workers: workers, Mix: &mix})
 }
 
 // NumSites reports the number of cells.
@@ -203,16 +262,40 @@ type Rollout struct {
 	lightSleep, connected simtime.Ticks
 }
 
+// runCells is the shared rollout engine every distribution path drives:
+// total cell-simulation units execute concurrently on the bounded worker
+// pool (parallelism wide) and stream through a serial index-order reducer
+// that folds each outcome the moment its prefix completes — only
+// O(parallelism) results are ever held back. task may return a nil result
+// to report a unit that had nothing to simulate. Determinism follows from
+// the units deriving every random draw from their own index-derived
+// seeds; a failure surfaces as the lowest-indexed failing unit's error
+// regardless of goroutine scheduling.
+func runCells(total, parallelism int,
+	task func(i int, sc *cell.Scratch) (*cell.Result, int, error),
+	fold func(i int, res *cell.Result, devices int) error,
+) error {
+	type cellRun struct {
+		res     *cell.Result
+		devices int
+	}
+	return runner.ReduceSpanScratch(context.Background(), runner.SpanAll(total), parallelism,
+		func(_ context.Context, i int, sc *cell.Scratch) (cellRun, error) {
+			res, devices, err := task(i, sc)
+			if err != nil {
+				return cellRun{}, err
+			}
+			return cellRun{res: res, devices: devices}, nil
+		},
+		func(i int, r cellRun) error { return fold(i, r.res, r.devices) })
+}
+
 // Distribute pushes one firmware image to every device in the network:
 // each cell receives the image plus its slice of the device list and runs
-// its own campaign. Cells simulate concurrently on the bounded worker pool
-// (RolloutConfig.Parallelism wide) and stream through a serial site-order
-// reducer that folds each outcome into the rollout aggregates the moment
-// its prefix completes — only O(Parallelism) cell results are ever held
-// back, and with DiscardCellResults none are retained. Results are
-// deterministic because each cell derives every random draw from its own
-// seed, and a per-cell failure surfaces as the error of the
-// lowest-indexed failing site regardless of goroutine scheduling.
+// its own campaign, all cells sharing this one homogeneous config (a
+// ScenarioSpec run is the heterogeneous, multi-wave generalisation). The
+// cells stream through runCells, so memory stays O(Parallelism) with
+// DiscardCellResults set.
 func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 	if !cfg.Mechanism.Valid() {
 		return nil, fmt.Errorf("network: invalid mechanism %d", int(cfg.Mechanism))
@@ -221,8 +304,8 @@ func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 	if !cfg.DiscardCellResults {
 		out.Cells = make([]CellOutcome, 0, len(n.sites))
 	}
-	err := runner.ReduceSpanScratch(context.Background(), runner.SpanAll(len(n.sites)), cfg.Parallelism,
-		func(_ context.Context, i int, sc *cell.Scratch) (*cell.Result, error) {
+	err := runCells(len(n.sites), cfg.Parallelism,
+		func(i int, sc *cell.Scratch) (*cell.Result, int, error) {
 			site := n.sites[i]
 			res, err := cell.RunScratch(cell.Config{
 				Mechanism:         cfg.Mechanism,
@@ -236,11 +319,11 @@ func (n *Network) Distribute(cfg RolloutConfig) (*Rollout, error) {
 				BackgroundTraffic: cfg.BackgroundTraffic,
 			}, sc)
 			if err != nil {
-				return nil, fmt.Errorf("network: cell %d: %w", site.ID, err)
+				return nil, 0, fmt.Errorf("network: cell %d: %w", site.ID, err)
 			}
-			return res, nil
+			return res, len(site.Fleet), nil
 		},
-		func(i int, res *cell.Result) error {
+		func(i int, res *cell.Result, _ int) error {
 			out.TotalDevices += res.NumDevices
 			out.TotalTransmissions += res.NumTransmissions
 			if res.CampaignEnd > out.End {

@@ -1,0 +1,791 @@
+// Heterogeneous city rollouts: a declarative, file-loadable scenario spec
+// that expands per-profile cell groups into per-site configurations, plus
+// seeded device churn between rollout waves. This is the network layer's
+// answer to the fact that real cells are not clones (paper Sec. II-A): an
+// operator pushing one firmware image sees cells that differ in
+// coverage-class mix, traffic composition, inactivity timer, mechanism,
+// and load. A ScenarioSpec captures that heterogeneity declaratively —
+// format-versioned and config-hashed like campaign.Manifest, so manifests
+// embedding a spec stay self-describing — and a Scenario executes it as a
+// wave × cell grid in which every fleet, churn decision, and simulation
+// is a pure function of (spec, seed, wave, cell).
+
+package network
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+
+	"nbiot/internal/cell"
+	"nbiot/internal/core"
+	"nbiot/internal/multicast"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/runner"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// ScenarioFormat is the current ScenarioSpec schema version. Like
+// campaign.ManifestFormat it guards file compatibility: a spec written by
+// a newer schema is rejected instead of silently misread.
+const ScenarioFormat = 1
+
+// Seed-derivation tags. Wave 0 deliberately reuses the exact seed paths of
+// the homogeneous API — fleet stream Seed(Seed(seed, c), 0) and campaign
+// seed Seed(seed, c) — so a one-profile spec reproduces PopulateParallel +
+// Distribute byte for byte. Everything new (churn, attachment, later-wave
+// campaigns, coverage redraws) derives under large tag constants far
+// outside the [0, numSites] index range those legacy paths occupy, so no
+// stream of one domain can collide with another.
+const (
+	seedTagChurn    = 1<<40 + 1
+	seedTagAttach   = 1<<40 + 2
+	seedTagSim      = 1<<40 + 3
+	seedTagCoverage = 1<<40 + 4
+)
+
+// CellProfile describes one group of identically-configured cells of a
+// scenario: how many cells, how their fleets are drawn, and which campaign
+// parameters override the scenario-wide defaults. Profiles are the unit of
+// heterogeneity — a city is a handful of profiles (dense urban, suburban,
+// deep-indoor, ...) expanded into thousands of per-site configs.
+type CellProfile struct {
+	// Name labels the profile in errors and reports.
+	Name string `json:"name,omitempty"`
+	// Cells is the number of sites in this group (must be >= 1).
+	Cells int `json:"cells"`
+	// DevicesPerCell fixes every cell of the group at exactly this fleet
+	// size. Exactly one of DevicesPerCell and Weight must be set.
+	DevicesPerCell int `json:"devices_per_cell,omitempty"`
+	// Weight shares ScenarioSpec.TotalDevices across weighted groups
+	// proportionally (largest-remainder apportionment, each cell guaranteed
+	// at least one device; the remainder lands uniformly at random within
+	// the group). Exactly one of DevicesPerCell and Weight must be set.
+	Weight float64 `json:"weight,omitempty"`
+	// Mix names the registered traffic mix fleets are drawn from
+	// (default: the scenario-wide mix).
+	Mix string `json:"mix,omitempty"`
+	// Mechanism overrides the scenario-wide grouping mechanism.
+	Mechanism string `json:"mechanism,omitempty"`
+	// TIMillis overrides the scenario-wide inactivity timer (milliseconds).
+	TIMillis int64 `json:"ti_ms,omitempty"`
+	// PayloadBytes overrides the scenario-wide payload size.
+	PayloadBytes int64 `json:"payload_bytes,omitempty"`
+	// Coverage, when non-empty, redraws every generated device's
+	// coverage-enhancement class from this CE0/CE1/CE2 distribution,
+	// overriding the per-class distributions of the mix — how a
+	// deep-indoor profile reuses a city mix with worse radio conditions.
+	Coverage []float64 `json:"coverage,omitempty"`
+	// UniformCoverage, SplitByCoverage and BackgroundTraffic forward to
+	// each cell's configuration (see cell.Config).
+	UniformCoverage   bool `json:"uniform_coverage,omitempty"`
+	SplitByCoverage   bool `json:"split_by_coverage,omitempty"`
+	BackgroundTraffic bool `json:"background_traffic,omitempty"`
+}
+
+// RolloutWave is one snapshot of a multi-wave rollout. Wave 0 is the
+// initial population and must carry no churn; each later wave first
+// applies seeded churn to every cell's fleet — a Detach fraction leaves,
+// a Migrate fraction re-attaches to the next site (ring topology), an
+// Attach fraction of fresh devices joins from the cell's profile mix —
+// and then runs a full campaign on the churned fleets.
+type RolloutWave struct {
+	// Name labels the wave in reports ("initial", "week-2", ...).
+	Name string `json:"name,omitempty"`
+	// PayloadBytes overrides every cell's payload for this wave — a
+	// delta-update wave pushes a smaller image than the initial rollout.
+	PayloadBytes int64 `json:"payload_bytes,omitempty"`
+	// Detach is the per-device probability of leaving the network before
+	// this wave (0 <= Detach, Detach+Migrate <= 1).
+	Detach float64 `json:"detach,omitempty"`
+	// Migrate is the per-device probability of moving to the neighbouring
+	// cell before this wave.
+	Migrate float64 `json:"migrate,omitempty"`
+	// Attach adds round(Attach * previous fleet size) fresh devices to each
+	// cell before this wave (Attach >= 0).
+	Attach float64 `json:"attach,omitempty"`
+}
+
+// ScenarioSpec is the declarative description of a heterogeneous
+// city-scale rollout: scenario-wide campaign defaults, a list of cell
+// profiles expanded in order into the global site index space, and an
+// optional sequence of churn waves. Specs are plain JSON (see
+// LoadScenarioSpec), format-versioned, and hashable — the properties that
+// let campaign manifests embed them verbatim and pin them by config hash.
+type ScenarioSpec struct {
+	// Format is the spec schema version; zero means current.
+	Format int `json:"format,omitempty"`
+	// Name labels the scenario in tables and manifests.
+	Name string `json:"name,omitempty"`
+	// Mechanism is the default grouping mechanism (default DR-SC).
+	Mechanism string `json:"mechanism,omitempty"`
+	// Mix is the default traffic-mix name (default paper-calibrated).
+	Mix string `json:"mix,omitempty"`
+	// TIMillis is the default inactivity timer in ms (default 10000).
+	TIMillis int64 `json:"ti_ms,omitempty"`
+	// PayloadBytes is the default payload size (default 100 KiB).
+	PayloadBytes int64 `json:"payload_bytes,omitempty"`
+	// TotalDevices is the device budget shared by weight-based profiles;
+	// required iff any profile uses Weight.
+	TotalDevices int `json:"total_devices,omitempty"`
+	// UniformCoverage, SplitByCoverage and BackgroundTraffic are the
+	// scenario-wide defaults of the per-profile flags.
+	UniformCoverage   bool `json:"uniform_coverage,omitempty"`
+	SplitByCoverage   bool `json:"split_by_coverage,omitempty"`
+	BackgroundTraffic bool `json:"background_traffic,omitempty"`
+	// Profiles are the cell groups, expanded in order: profile 0 owns
+	// sites [0, Profiles[0].Cells), profile 1 the next block, and so on.
+	Profiles []CellProfile `json:"profiles"`
+	// Waves is the rollout sequence (default: a single churn-free wave).
+	Waves []RolloutWave `json:"waves,omitempty"`
+}
+
+// LoadScenarioSpec reads and validates a JSON scenario spec. Unknown
+// fields are rejected so a typo'd key fails loudly instead of silently
+// running the default.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("network: read scenario spec: %w", err)
+	}
+	spec, err := ParseScenarioSpec(data)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("network: scenario spec %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// ParseScenarioSpec decodes and validates a JSON scenario spec.
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) {
+	var spec ScenarioSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return ScenarioSpec{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return ScenarioSpec{}, err
+	}
+	return spec, nil
+}
+
+// withDefaults resolves unset scenario-wide fields. Profile-level fields
+// stay as written: resolution against the scenario defaults happens in
+// newScenario so the normalized spec (and therefore its hash) is exactly
+// what the user wrote plus the scenario-wide defaults.
+func (s ScenarioSpec) withDefaults() ScenarioSpec {
+	if s.Format == 0 {
+		s.Format = ScenarioFormat
+	}
+	if s.Name == "" {
+		s.Name = "rollout"
+	}
+	if s.Mechanism == "" {
+		s.Mechanism = core.MechanismDRSC.String()
+	}
+	if s.Mix == "" {
+		s.Mix = traffic.PaperCalibratedMix().Name
+	}
+	if s.TIMillis == 0 {
+		s.TIMillis = int64(10 * simtime.Second / simtime.Millisecond)
+	}
+	if s.PayloadBytes == 0 {
+		s.PayloadBytes = multicast.Size100KB
+	}
+	if len(s.Waves) == 0 {
+		s.Waves = []RolloutWave{{}}
+	}
+	return s
+}
+
+// Normalized validates the spec and returns it with every scenario-wide
+// default resolved. Two specs that normalize equal are the same scenario;
+// campaign manifests embed the normalized form so every shard agrees on
+// the scenario whatever file it was loaded from.
+func (s ScenarioSpec) Normalized() (ScenarioSpec, error) {
+	if err := s.Validate(); err != nil {
+		return ScenarioSpec{}, err
+	}
+	return s.withDefaults(), nil
+}
+
+// Validate checks the spec; it is called by ParseScenarioSpec and
+// NewScenario, so an invalid spec never reaches execution.
+func (s ScenarioSpec) Validate() error {
+	d := s.withDefaults()
+	if d.Format != ScenarioFormat {
+		return fmt.Errorf("scenario spec format %d, this build reads format %d", d.Format, ScenarioFormat)
+	}
+	if _, err := core.ParseMechanism(d.Mechanism); err != nil {
+		return err
+	}
+	if _, ok := traffic.Mixes()[d.Mix]; !ok {
+		return fmt.Errorf("unknown traffic mix %q", d.Mix)
+	}
+	if d.TIMillis <= 0 {
+		return fmt.Errorf("non-positive ti_ms %d", d.TIMillis)
+	}
+	if d.PayloadBytes <= 0 {
+		return fmt.Errorf("non-positive payload_bytes %d", d.PayloadBytes)
+	}
+	if len(d.Profiles) == 0 {
+		return fmt.Errorf("scenario spec has no profiles")
+	}
+	weighted := 0
+	for i, p := range d.Profiles {
+		label := p.Name
+		if label == "" {
+			label = fmt.Sprintf("#%d", i)
+		}
+		if p.Cells <= 0 {
+			return fmt.Errorf("profile %s: empty cell group (cells=%d)", label, p.Cells)
+		}
+		fixed, byWeight := p.DevicesPerCell > 0, p.Weight > 0
+		if fixed == byWeight {
+			return fmt.Errorf("profile %s: exactly one of devices_per_cell and weight must be positive", label)
+		}
+		if p.DevicesPerCell < 0 {
+			return fmt.Errorf("profile %s: negative devices_per_cell %d", label, p.DevicesPerCell)
+		}
+		if p.Weight < 0 {
+			return fmt.Errorf("profile %s: negative weight %g", label, p.Weight)
+		}
+		if byWeight {
+			weighted++
+		}
+		if p.Mix != "" {
+			if _, ok := traffic.Mixes()[p.Mix]; !ok {
+				return fmt.Errorf("profile %s: unknown traffic mix %q", label, p.Mix)
+			}
+		}
+		if p.Mechanism != "" {
+			if _, err := core.ParseMechanism(p.Mechanism); err != nil {
+				return fmt.Errorf("profile %s: %w", label, err)
+			}
+		}
+		if p.TIMillis < 0 {
+			return fmt.Errorf("profile %s: negative ti_ms %d", label, p.TIMillis)
+		}
+		if p.PayloadBytes < 0 {
+			return fmt.Errorf("profile %s: negative payload_bytes %d", label, p.PayloadBytes)
+		}
+		if len(p.Coverage) != 0 {
+			if len(p.Coverage) != phy.NumCoverageClasses {
+				return fmt.Errorf("profile %s: coverage needs %d class weights, got %d",
+					label, phy.NumCoverageClasses, len(p.Coverage))
+			}
+			sum := 0.0
+			for _, w := range p.Coverage {
+				if w < 0 {
+					return fmt.Errorf("profile %s: negative coverage weight %g", label, w)
+				}
+				sum += w
+			}
+			if sum <= 0 {
+				return fmt.Errorf("profile %s: coverage weights sum to zero", label)
+			}
+		}
+	}
+	if weighted > 0 {
+		if _, err := d.apportion(); err != nil {
+			return err
+		}
+	} else if s.TotalDevices != 0 {
+		if want := d.fixedDevices(); s.TotalDevices != want {
+			return fmt.Errorf("total_devices %d contradicts the %d devices the profiles pin", s.TotalDevices, want)
+		}
+	}
+	for w, wv := range d.Waves {
+		if wv.Detach < 0 || wv.Migrate < 0 || wv.Attach < 0 {
+			return fmt.Errorf("wave %d: negative churn fraction", w)
+		}
+		if wv.Detach+wv.Migrate > 1 {
+			return fmt.Errorf("wave %d: detach+migrate = %g exceeds 1", w, wv.Detach+wv.Migrate)
+		}
+		if wv.PayloadBytes < 0 {
+			return fmt.Errorf("wave %d: negative payload_bytes %d", w, wv.PayloadBytes)
+		}
+		if w == 0 && (wv.Detach != 0 || wv.Migrate != 0 || wv.Attach != 0) {
+			return fmt.Errorf("wave 0 is the initial population and cannot churn (detach=%g migrate=%g attach=%g)",
+				wv.Detach, wv.Migrate, wv.Attach)
+		}
+	}
+	return nil
+}
+
+// NumSites is the total cell count across profile groups.
+func (s ScenarioSpec) NumSites() int {
+	n := 0
+	for _, p := range s.Profiles {
+		n += p.Cells
+	}
+	return n
+}
+
+// NumWaves is the rollout wave count (at least 1 after defaults).
+func (s ScenarioSpec) NumWaves() int {
+	if len(s.Waves) == 0 {
+		return 1
+	}
+	return len(s.Waves)
+}
+
+// fixedDevices sums the device counts of fixed-size profiles.
+func (s ScenarioSpec) fixedDevices() int {
+	n := 0
+	for _, p := range s.Profiles {
+		if p.DevicesPerCell > 0 {
+			n += p.Cells * p.DevicesPerCell
+		}
+	}
+	return n
+}
+
+// apportion splits TotalDevices - fixedDevices across weight-based
+// profiles by largest remainder after guaranteeing every cell one device.
+// It returns the wave-0 device budget per profile (fixed profiles report
+// Cells*DevicesPerCell).
+func (s ScenarioSpec) apportion() ([]int, error) {
+	budget := make([]int, len(s.Profiles))
+	spare := s.TotalDevices - s.fixedDevices()
+	sumW, minW := 0.0, 0
+	for i, p := range s.Profiles {
+		if p.DevicesPerCell > 0 {
+			budget[i] = p.Cells * p.DevicesPerCell
+			continue
+		}
+		sumW += p.Weight
+		minW += p.Cells
+	}
+	if sumW == 0 {
+		return budget, nil
+	}
+	if s.TotalDevices <= 0 {
+		return nil, fmt.Errorf("weighted profiles need a positive total_devices")
+	}
+	if spare < minW {
+		return nil, fmt.Errorf("total_devices %d cannot give the %d weighted cells one device each after the %d fixed devices",
+			s.TotalDevices, minW, s.fixedDevices())
+	}
+	// Guarantee the per-cell minimum first, then split what is left by
+	// weight with largest-remainder rounding (ties to the earlier profile,
+	// so the split is deterministic).
+	spare -= minW
+	type share struct {
+		idx  int
+		frac float64
+	}
+	var shares []share
+	assigned := 0
+	for i, p := range s.Profiles {
+		if p.DevicesPerCell > 0 {
+			continue
+		}
+		exact := float64(spare) * p.Weight / sumW
+		whole := int(exact)
+		budget[i] = p.Cells + whole
+		assigned += whole
+		shares = append(shares, share{idx: i, frac: exact - float64(whole)})
+	}
+	sort.SliceStable(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+	for r := 0; r < spare-assigned; r++ {
+		budget[shares[r%len(shares)].idx]++
+	}
+	return budget, nil
+}
+
+// Hash fingerprints the normalized spec — FNV-1a over its canonical JSON,
+// rendered like campaign.Manifest.ConfigHash. Two specs that resolve to
+// the same scenario hash identically however sparsely they were written.
+func (s ScenarioSpec) Hash() string {
+	data, err := json.Marshal(s.withDefaults())
+	if err != nil {
+		// A ScenarioSpec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("network: marshal scenario spec: %v", err))
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "format=%d|spec=%s", ScenarioFormat, data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// siteProfile is one site's fully-resolved execution profile.
+type siteProfile struct {
+	profile  int // index into spec.Profiles
+	devices  int // wave-0 fleet size
+	mech     core.Mechanism
+	mix      traffic.Mix
+	ti       simtime.Ticks
+	payload  int64
+	coverage []float64 // nil: keep the mix's per-class distributions
+	uniform  bool
+	split    bool
+	bg       bool
+}
+
+// Scenario is a validated, fully-resolved ScenarioSpec bound to a seed:
+// profile groups expanded into per-site configs and wave-0 device budgets
+// apportioned. Every fleet, churn decision, and campaign it produces is a
+// pure function of (spec, seed, wave, cell), so scenarios shard, resume,
+// and merge byte-identically however execution is laid out.
+type Scenario struct {
+	spec  ScenarioSpec
+	seed  int64
+	sites []siteProfile
+	waves []RolloutWave
+}
+
+// NewScenario validates and resolves a spec against a seed.
+func NewScenario(spec ScenarioSpec, seed int64) (*Scenario, error) {
+	return newScenario(spec, seed, nil)
+}
+
+// newScenario is NewScenario plus the mix-override hook: when mixOverride
+// is non-nil every profile uses it directly instead of resolving its mix
+// name — the path that lets the deprecated Populate wrappers keep
+// accepting arbitrary unregistered mixes.
+func newScenario(spec ScenarioSpec, seed int64, mixOverride *traffic.Mix) (*Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	d := spec.withDefaults()
+	budget, err := d.apportion()
+	if err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	defaultMech, err := core.ParseMechanism(d.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	mixes := traffic.Mixes()
+	s := &Scenario{spec: d, seed: seed, waves: d.Waves}
+	numSites := d.NumSites()
+	for pi, p := range d.Profiles {
+		mech := defaultMech
+		if p.Mechanism != "" {
+			if mech, err = core.ParseMechanism(p.Mechanism); err != nil {
+				return nil, err
+			}
+		}
+		mixName := d.Mix
+		if p.Mix != "" {
+			mixName = p.Mix
+		}
+		mix, ok := mixes[mixName]
+		if !ok {
+			return nil, fmt.Errorf("network: unknown traffic mix %q", mixName)
+		}
+		if mixOverride != nil {
+			mix = *mixOverride
+		}
+		ti := simtime.Ticks(d.TIMillis) * simtime.Millisecond
+		if p.TIMillis > 0 {
+			ti = simtime.Ticks(p.TIMillis) * simtime.Millisecond
+		}
+		payload := d.PayloadBytes
+		if p.PayloadBytes > 0 {
+			payload = p.PayloadBytes
+		}
+		sp := siteProfile{
+			profile: pi,
+			mech:    mech,
+			mix:     mix,
+			ti:      ti,
+			payload: payload,
+			uniform: p.UniformCoverage || d.UniformCoverage,
+			split:   p.SplitByCoverage || d.SplitByCoverage,
+			bg:      p.BackgroundTraffic || d.BackgroundTraffic,
+		}
+		if len(p.Coverage) > 0 {
+			sp.coverage = p.Coverage
+		}
+		// Fill per-cell counts: the per-cell minimum, then the group's
+		// spare devices placed uniformly at random off the group's
+		// assignment stream. Group 0 of a one-group weighted spec draws
+		// from Seed(seed, numSites) exactly like PopulateParallel.
+		counts := make([]int, p.Cells)
+		if p.DevicesPerCell > 0 {
+			for i := range counts {
+				counts[i] = p.DevicesPerCell
+			}
+		} else {
+			for i := range counts {
+				counts[i] = 1
+			}
+			assign := rng.NewStream(runner.Seed(seed, numSites+pi))
+			for extra := budget[pi] - p.Cells; extra > 0; extra-- {
+				counts[assign.Intn(p.Cells)]++
+			}
+		}
+		for i := range counts {
+			site := sp
+			site.devices = counts[i]
+			s.sites = append(s.sites, site)
+		}
+	}
+	return s, nil
+}
+
+// Spec returns the normalized spec the scenario resolved.
+func (s *Scenario) Spec() ScenarioSpec { return s.spec }
+
+// Seed returns the seed the scenario is bound to.
+func (s *Scenario) Seed() int64 { return s.seed }
+
+// NumSites is the total cell count.
+func (s *Scenario) NumSites() int { return len(s.sites) }
+
+// NumWaves is the rollout wave count.
+func (s *Scenario) NumWaves() int { return len(s.waves) }
+
+// SiteMechanism reports the grouping mechanism site c runs.
+func (s *Scenario) SiteMechanism(c int) core.Mechanism { return s.sites[c].mech }
+
+// SiteProfileName reports the (possibly empty) name of site c's profile.
+func (s *Scenario) SiteProfileName(c int) string { return s.spec.Profiles[s.sites[c].profile].Name }
+
+// generate draws n fresh devices for site c off the given stream,
+// applying the profile's coverage override with the dedicated coverage
+// stream so profiles without an override pay no extra draws.
+func (s *Scenario) generate(c, n, wave int, stream *rng.Stream) ([]traffic.Device, error) {
+	sp := s.sites[c]
+	fleet, err := sp.mix.Generate(n, stream)
+	if err != nil {
+		return nil, err
+	}
+	if sp.coverage != nil && n > 0 {
+		cov := rng.NewStream(runner.SeedPath(s.seed, seedTagCoverage, wave, c))
+		picker := rng.NewPicker(sp.coverage)
+		for i := range fleet {
+			fleet[i].Coverage = phy.CoverageClass(picker.Pick(cov))
+		}
+	}
+	return fleet, nil
+}
+
+// classifyChurn replays wave w's churn decisions for the fleet that ended
+// wave w-1 attached to site src: one uniform draw per device, in fleet
+// order, off the (wave, source site) churn stream. The same decisions are
+// recomputed by whichever target cells need them, so stayers and migrants
+// are consistent without any cross-task communication.
+func (s *Scenario) classifyChurn(fleet []traffic.Device, w, src int) (stay, migrate []traffic.Device) {
+	wv := s.waves[w]
+	if wv.Detach == 0 && wv.Migrate == 0 {
+		return fleet, nil
+	}
+	churn := rng.NewStream(runner.SeedPath(s.seed, seedTagChurn, w, src))
+	for _, d := range fleet {
+		u := churn.Float64()
+		switch {
+		case u < wv.Detach:
+			// detached: drops out of the rollout
+		case u < wv.Detach+wv.Migrate:
+			migrate = append(migrate, d)
+		default:
+			stay = append(stay, d)
+		}
+	}
+	return stay, migrate
+}
+
+// FleetAt materializes the fleet attached to site c at wave w — wave-0
+// generation plus w rounds of churn, computed from seeds alone. The
+// returned fleet has dense per-cell device IDs (the network-layer
+// contract New enforces); devices keep their UEID through migrations, so
+// a device's identity is stable across the waves it survives.
+func (s *Scenario) FleetAt(w, c int) ([]traffic.Device, error) {
+	return s.fleetAt(w, c, make(map[[2]int][]traffic.Device))
+}
+
+func (s *Scenario) fleetAt(w, c int, memo map[[2]int][]traffic.Device) ([]traffic.Device, error) {
+	key := [2]int{w, c}
+	if f, ok := memo[key]; ok {
+		return f, nil
+	}
+	if w == 0 {
+		// The wave-0 fleet stream is double-derived exactly like
+		// PopulateParallel's, so reusing one seed for generation and
+		// campaigns stays safe and one-profile specs reproduce the
+		// homogeneous API byte for byte.
+		fleet, err := s.generate(c, s.sites[c].devices, 0, rng.NewStream(runner.Seed(runner.Seed(s.seed, c), 0)))
+		if err != nil {
+			return nil, err
+		}
+		memo[key] = fleet
+		return fleet, nil
+	}
+	prev, err := s.fleetAt(w-1, c, memo)
+	if err != nil {
+		return nil, err
+	}
+	left := (c - 1 + len(s.sites)) % len(s.sites)
+	prevLeft, err := s.fleetAt(w-1, left, memo)
+	if err != nil {
+		return nil, err
+	}
+	stay, _ := s.classifyChurn(prev, w, c)
+	_, immigrants := s.classifyChurn(prevLeft, w, left)
+	attachN := int(float64(len(prev))*s.waves[w].Attach + 0.5)
+	attached, err := s.generate(c, attachN, w, rng.NewStream(runner.SeedPath(s.seed, seedTagAttach, w, c)))
+	if err != nil {
+		return nil, err
+	}
+	fleet := make([]traffic.Device, 0, len(stay)+len(immigrants)+len(attached))
+	fleet = append(fleet, stay...)
+	fleet = append(fleet, immigrants...)
+	fleet = append(fleet, attached...)
+	// Re-densify the per-cell IDs: position in the cell is the planner
+	// address, UEID is the stable identity.
+	for i := range fleet {
+		fleet[i].ID = i
+	}
+	memo[key] = fleet
+	return fleet, nil
+}
+
+// RunCell simulates wave w's campaign in site c, reusing the worker's
+// scratch. A cell whose fleet churned to empty skips simulation and
+// returns a nil result with zero devices — an empty cell has nothing to
+// page, which is an expected state of a churning city, not an error.
+func (s *Scenario) RunCell(w, c int, sc *cell.Scratch) (*cell.Result, int, error) {
+	cfg, fleet, err := s.cellConfig(w, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(fleet) == 0 {
+		return nil, 0, nil
+	}
+	res, err := cell.RunScratch(cfg, sc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("network: wave %d cell %d: %w", w, c, err)
+	}
+	return res, len(fleet), nil
+}
+
+// cellConfig resolves the (wave, cell) task into a concrete cell.Config.
+func (s *Scenario) cellConfig(w, c int) (cell.Config, []traffic.Device, error) {
+	if w < 0 || w >= len(s.waves) {
+		return cell.Config{}, nil, fmt.Errorf("network: wave %d out of [0,%d)", w, len(s.waves))
+	}
+	if c < 0 || c >= len(s.sites) {
+		return cell.Config{}, nil, fmt.Errorf("network: cell %d out of [0,%d)", c, len(s.sites))
+	}
+	fleet, err := s.FleetAt(w, c)
+	if err != nil {
+		return cell.Config{}, nil, fmt.Errorf("network: wave %d cell %d: %w", w, c, err)
+	}
+	sp := s.sites[c]
+	payload := sp.payload
+	if s.waves[w].PayloadBytes > 0 {
+		payload = s.waves[w].PayloadBytes
+	}
+	// Wave 0 uses Distribute's exact per-site campaign seed; later waves
+	// derive under the sim tag so no wave shares a seed with another.
+	seed := runner.Seed(s.seed, c)
+	if w > 0 {
+		seed = runner.SeedPath(s.seed, seedTagSim, w, c)
+	}
+	return cell.Config{
+		Mechanism:         sp.mech,
+		Fleet:             fleet,
+		TI:                sp.ti,
+		PageGuard:         100 * simtime.Millisecond,
+		PayloadBytes:      payload,
+		Seed:              seed,
+		UniformCoverage:   sp.uniform,
+		SplitByCoverage:   sp.split,
+		BackgroundTraffic: sp.bg,
+	}, fleet, nil
+}
+
+// ScenarioRunConfig configures Scenario.Run.
+type ScenarioRunConfig struct {
+	// Parallelism bounds concurrent (wave, cell) simulations; <= 0 means
+	// runtime.NumCPU(). Results are bit-identical for every value.
+	Parallelism int
+	// DiscardCellResults drops each per-cell result once folded, leaving
+	// WaveResult.Cells nil and memory O(Parallelism) — the same knob as
+	// RolloutConfig.DiscardCellResults.
+	DiscardCellResults bool
+}
+
+// WaveResult aggregates one wave of a scenario rollout, the same shape as
+// the homogeneous Rollout but per wave.
+type WaveResult struct {
+	// Wave is the wave index; Churn is the wave's spec entry.
+	Wave  int
+	Churn RolloutWave
+	// Cells holds per-cell outcomes in site order; nil when the run used
+	// DiscardCellResults. Cells that churned to empty are skipped.
+	Cells []CellOutcome
+	// ActiveCells counts cells that had at least one attached device.
+	ActiveCells int
+	// TotalDevices and TotalTransmissions aggregate over the wave's cells.
+	TotalDevices       int
+	TotalTransmissions int
+	// End is the latest campaign end across the wave's cells.
+	End simtime.Ticks
+	// lightSleep and connected are folded incrementally, like Rollout's.
+	lightSleep, connected simtime.Ticks
+}
+
+// TotalLightSleep aggregates the light-sleep proxy across the wave's cells.
+func (w *WaveResult) TotalLightSleep() simtime.Ticks { return w.lightSleep }
+
+// TotalConnected aggregates the connected-mode proxy across the wave's cells.
+func (w *WaveResult) TotalConnected() simtime.Ticks { return w.connected }
+
+// ScenarioRollout is the outcome of a full scenario run: one WaveResult
+// per wave, in wave order.
+type ScenarioRollout struct {
+	Name  string
+	Waves []WaveResult
+}
+
+// Run executes the whole scenario — every (wave, cell) campaign — on the
+// bounded worker pool, streaming outcomes through the shared serial
+// reducer into per-wave aggregates. The task order is wave-major, cell
+// minor, the same flat index space `nbsim rollout` shards, so an
+// in-process run and a sharded campaign fold identical values in
+// identical order.
+func (s *Scenario) Run(cfg ScenarioRunConfig) (*ScenarioRollout, error) {
+	out := &ScenarioRollout{Name: s.spec.Name, Waves: make([]WaveResult, len(s.waves))}
+	for w := range out.Waves {
+		out.Waves[w].Wave = w
+		out.Waves[w].Churn = s.waves[w]
+		if !cfg.DiscardCellResults {
+			out.Waves[w].Cells = make([]CellOutcome, 0, len(s.sites))
+		}
+	}
+	numSites := len(s.sites)
+	err := runCells(len(s.waves)*numSites, cfg.Parallelism,
+		func(i int, sc *cell.Scratch) (*cell.Result, int, error) {
+			return s.RunCell(i/numSites, i%numSites, sc)
+		},
+		func(i int, res *cell.Result, devices int) error {
+			wr := &out.Waves[i/numSites]
+			if res == nil {
+				return nil
+			}
+			wr.ActiveCells++
+			wr.TotalDevices += res.NumDevices
+			wr.TotalTransmissions += res.NumTransmissions
+			if res.CampaignEnd > wr.End {
+				wr.End = res.CampaignEnd
+			}
+			wr.lightSleep += res.TotalLightSleep()
+			wr.connected += res.TotalConnected()
+			if !cfg.DiscardCellResults {
+				wr.Cells = append(wr.Cells, CellOutcome{SiteID: i % numSites, Result: res})
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

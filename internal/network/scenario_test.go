@@ -1,0 +1,509 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nbiot/internal/core"
+	"nbiot/internal/multicast"
+	"nbiot/internal/phy"
+	"nbiot/internal/rng"
+	"nbiot/internal/runner"
+	"nbiot/internal/simtime"
+	"nbiot/internal/traffic"
+)
+
+// referencePopulate is a verbatim copy of the historical serial Populate
+// algorithm. The deprecated wrapper must reproduce it byte for byte.
+func referencePopulate(numCells, totalDevices int, mix traffic.Mix, stream *rng.Stream) (*Network, error) {
+	devices, err := mix.Generate(totalDevices, stream)
+	if err != nil {
+		return nil, err
+	}
+	fleets := make([][]traffic.Device, numCells)
+	for i, d := range devices {
+		var c int
+		if i < numCells {
+			c = i
+		} else {
+			c = stream.Intn(numCells)
+		}
+		d.ID = len(fleets[c])
+		fleets[c] = append(fleets[c], d)
+	}
+	sites := make([]Site, numCells)
+	for i := range sites {
+		sites[i] = Site{ID: i, Fleet: fleets[i]}
+	}
+	return New(sites)
+}
+
+// referencePopulateParallel is a verbatim copy of the historical seeded
+// PopulateParallel algorithm, the pin for the seeded wrapper and for
+// wave-0 fleets of one-profile scenarios.
+func referencePopulateParallel(numCells, totalDevices int, mix traffic.Mix, seed int64, workers int) (*Network, error) {
+	counts := make([]int, numCells)
+	for i := range counts {
+		counts[i] = 1
+	}
+	assign := rng.NewStream(runner.Seed(seed, numCells))
+	for i := numCells; i < totalDevices; i++ {
+		counts[assign.Intn(numCells)]++
+	}
+	sites := make([]Site, numCells)
+	err := runner.Run(context.Background(), numCells, workers, func(_ context.Context, c int) error {
+		fleet, err := mix.Generate(counts[c], rng.NewStream(runner.Seed(runner.Seed(seed, c), 0)))
+		if err != nil {
+			return fmt.Errorf("network: cell %d: %w", c, err)
+		}
+		sites[c] = Site{ID: c, Fleet: fleet}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return New(sites)
+}
+
+func TestPopulateMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ cells, devices int }{{1, 1}, {3, 3}, {4, 100}, {7, 251}} {
+		want, err := referencePopulate(tc.cells, tc.devices, traffic.EricssonCityMix(), rng.NewStream(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Populate(tc.cells, tc.devices, traffic.EricssonCityMix(), rng.NewStream(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Sites(), got.Sites()) {
+			t.Errorf("cells=%d devices=%d: Populate diverged from the historical algorithm", tc.cells, tc.devices)
+		}
+	}
+}
+
+func TestPopulateParallelMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ cells, devices int }{{1, 1}, {3, 3}, {6, 200}, {9, 313}} {
+		want, err := referencePopulateParallel(tc.cells, tc.devices, traffic.PaperCalibratedMix(), 11, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PopulateParallel(tc.cells, tc.devices, traffic.PaperCalibratedMix(), 11, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Sites(), got.Sites()) {
+			t.Errorf("cells=%d devices=%d: PopulateParallel diverged from the historical algorithm", tc.cells, tc.devices)
+		}
+	}
+}
+
+func TestNewFromSpecMatchesPopulateParallel(t *testing.T) {
+	// A one-profile weighted spec is exactly the homogeneous seeded path.
+	spec := ScenarioSpec{
+		Mix:          "ericsson-city",
+		TotalDevices: 180,
+		Profiles:     []CellProfile{{Cells: 5, Weight: 1}},
+	}
+	want, err := PopulateParallel(5, 180, traffic.EricssonCityMix(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 8} {
+		got, err := NewFromSpec(spec, PopulateConfig{Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Sites(), got.Sites()) {
+			t.Errorf("workers=%d: NewFromSpec diverged from PopulateParallel", workers)
+		}
+	}
+}
+
+// TestOneProfileScenarioMatchesDistribute is the acceptance pin: a
+// one-profile, single-wave ScenarioSpec must reproduce the homogeneous
+// PopulateParallel + Distribute pipeline byte for byte — fleets, per-cell
+// results, and aggregates.
+func TestOneProfileScenarioMatchesDistribute(t *testing.T) {
+	const seed = 7
+	spec := ScenarioSpec{
+		Mechanism:       "DR-SC",
+		Mix:             "ericsson-city",
+		TIMillis:        10000,
+		PayloadBytes:    multicast.Size100KB,
+		TotalDevices:    200,
+		UniformCoverage: true,
+		Profiles:        []CellProfile{{Cells: 4, Weight: 1}},
+	}
+	netw, err := NewFromSpec(spec, PopulateConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := netw.Distribute(RolloutConfig{
+		Mechanism:       core.MechanismDRSC,
+		TI:              10 * simtime.Second,
+		PayloadBytes:    multicast.Size100KB,
+		Seed:            seed,
+		UniformCoverage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScenario(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.Run(ScenarioRunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Waves) != 1 {
+		t.Fatalf("%d waves, want 1", len(got.Waves))
+	}
+	w := got.Waves[0]
+	if w.TotalDevices != want.TotalDevices ||
+		w.TotalTransmissions != want.TotalTransmissions ||
+		w.End != want.End ||
+		w.TotalLightSleep() != want.TotalLightSleep() ||
+		w.TotalConnected() != want.TotalConnected() {
+		t.Errorf("aggregates diverged: scenario %+v vs distribute %+v", w, want)
+	}
+	if len(w.Cells) != len(want.Cells) {
+		t.Fatalf("%d scenario cells vs %d distribute cells", len(w.Cells), len(want.Cells))
+	}
+	for i := range w.Cells {
+		if w.Cells[i].SiteID != want.Cells[i].SiteID {
+			t.Errorf("cell %d: site %d vs %d", i, w.Cells[i].SiteID, want.Cells[i].SiteID)
+		}
+		if !reflect.DeepEqual(w.Cells[i].Result, want.Cells[i].Result) {
+			t.Errorf("cell %d result diverged from homogeneous Distribute", i)
+		}
+	}
+}
+
+func heterogeneousSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Name:         "churn-test",
+		Mechanism:    "DA-SC",
+		Mix:          "paper-calibrated",
+		TIMillis:     10000,
+		PayloadBytes: multicast.Size100KB,
+		TotalDevices: 240,
+		Profiles: []CellProfile{
+			{Name: "urban", Cells: 3, Weight: 2, Mix: "ericsson-city", UniformCoverage: true},
+			{Name: "suburban", Cells: 2, Weight: 1, Mechanism: "DR-SC", TIMillis: 20000, UniformCoverage: true},
+			{Name: "indoor", Cells: 2, DevicesPerCell: 25, Coverage: []float64{0, 0.2, 0.8}, UniformCoverage: true},
+		},
+		Waves: []RolloutWave{
+			{Name: "initial"},
+			{Name: "patch", PayloadBytes: 10 * 1024, Detach: 0.1, Migrate: 0.2, Attach: 0.15},
+			{Name: "final", Detach: 0.05, Migrate: 0.1},
+		},
+	}
+}
+
+func TestScenarioChurnDeterministicAcrossParallelism(t *testing.T) {
+	sc, err := NewScenario(heterogeneousSpec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sc.Run(ScenarioRunConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 3, 8} {
+		got, err := sc.Run(ScenarioRunConfig{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("parallelism=%d changed the scenario rollout", par)
+		}
+	}
+	// DiscardCellResults must keep every aggregate and drop only Cells.
+	lean, err := sc.Run(ScenarioRunConfig{DiscardCellResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range lean.Waves {
+		if lean.Waves[w].Cells != nil {
+			t.Errorf("wave %d kept cell outcomes under DiscardCellResults", w)
+		}
+		lw, bw := lean.Waves[w], base.Waves[w]
+		if lw.TotalDevices != bw.TotalDevices || lw.TotalTransmissions != bw.TotalTransmissions ||
+			lw.End != bw.End || lw.TotalLightSleep() != bw.TotalLightSleep() ||
+			lw.TotalConnected() != bw.TotalConnected() || lw.ActiveCells != bw.ActiveCells {
+			t.Errorf("wave %d aggregates diverged under DiscardCellResults", w)
+		}
+	}
+}
+
+func TestScenarioChurnSemantics(t *testing.T) {
+	// Pure migration: every device survives, totals are conserved, and the
+	// UEID multiset of each wave equals wave 0's.
+	spec := ScenarioSpec{
+		TotalDevices: 120,
+		Profiles:     []CellProfile{{Cells: 4, Weight: 1, UniformCoverage: true}},
+		Waves: []RolloutWave{
+			{},
+			{Migrate: 0.5},
+			{Migrate: 1},
+		},
+	}
+	sc, err := NewScenario(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ueids := func(w int) map[uint32]int {
+		out := map[uint32]int{}
+		total := 0
+		for c := 0; c < sc.NumSites(); c++ {
+			fleet, err := sc.FleetAt(w, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, d := range fleet {
+				if d.ID != i {
+					t.Fatalf("wave %d cell %d: device at %d has ID %d, want dense IDs", w, c, i, d.ID)
+				}
+				out[d.UEID]++
+				total++
+			}
+		}
+		if total != 120 {
+			t.Fatalf("wave %d holds %d devices, want 120 under pure migration", w, total)
+		}
+		return out
+	}
+	w0 := ueids(0)
+	for w := 1; w < sc.NumWaves(); w++ {
+		if got := ueids(w); !reflect.DeepEqual(w0, got) {
+			t.Errorf("wave %d UEID multiset diverged under pure migration", w)
+		}
+	}
+
+	// Full detach: wave 1 must be empty everywhere, and the run must still
+	// succeed with zero-device cells skipped, not failed.
+	drain := ScenarioSpec{
+		TotalDevices: 40,
+		Profiles:     []CellProfile{{Cells: 2, Weight: 1, UniformCoverage: true}},
+		Waves:        []RolloutWave{{}, {Detach: 1}},
+	}
+	dsc, err := NewScenario(drain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roll, err := dsc.Run(ScenarioRunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roll.Waves[1].TotalDevices != 0 || roll.Waves[1].ActiveCells != 0 || roll.Waves[1].TotalTransmissions != 0 {
+		t.Errorf("full detach left wave 1 populated: %+v", roll.Waves[1])
+	}
+	if roll.Waves[0].TotalDevices != 40 || roll.Waves[0].ActiveCells != 2 {
+		t.Errorf("wave 0 wrong: %+v", roll.Waves[0])
+	}
+}
+
+func TestScenarioCoverageOverride(t *testing.T) {
+	spec := ScenarioSpec{
+		Profiles: []CellProfile{
+			{Cells: 2, DevicesPerCell: 30, Coverage: []float64{0, 0, 1}},
+		},
+		Waves: []RolloutWave{{}, {Detach: 0.2, Attach: 0.3}},
+	}
+	sc, err := NewScenario(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generated and attached devices alike must draw from the override.
+	for w := 0; w < 2; w++ {
+		for c := 0; c < 2; c++ {
+			fleet, err := sc.FleetAt(w, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range fleet {
+				if d.Coverage != phy.CoverageClass(2) {
+					t.Fatalf("wave %d cell %d: device coverage %v, want CE2 only", w, c, d.Coverage)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioFixedAndWeightedBudgets(t *testing.T) {
+	spec := heterogeneousSpec()
+	sc, err := NewScenario(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumSites() != 7 {
+		t.Fatalf("%d sites, want 7", sc.NumSites())
+	}
+	total, fixed := 0, 0
+	for c := 0; c < sc.NumSites(); c++ {
+		fleet, err := sc.FleetAt(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fleet) == 0 {
+			t.Errorf("cell %d empty at wave 0", c)
+		}
+		total += len(fleet)
+		if c >= 5 { // the fixed "indoor" group
+			fixed += len(fleet)
+			if len(fleet) != 25 {
+				t.Errorf("fixed cell %d has %d devices, want 25", c, len(fleet))
+			}
+		}
+	}
+	if total != 240 {
+		t.Errorf("wave 0 totals %d devices, want total_devices=240", total)
+	}
+	if fixed != 50 {
+		t.Errorf("fixed group holds %d devices, want 50", fixed)
+	}
+	// Per-profile mechanism overrides resolve per site.
+	wantMechs := []core.Mechanism{
+		core.MechanismDASC, core.MechanismDASC, core.MechanismDASC,
+		core.MechanismDRSC, core.MechanismDRSC,
+		core.MechanismDASC, core.MechanismDASC,
+	}
+	for c, want := range wantMechs {
+		if got := sc.SiteMechanism(c); got != want {
+			t.Errorf("site %d mechanism %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestScenarioSpecValidation(t *testing.T) {
+	valid := heterogeneousSpec()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*ScenarioSpec)
+		errWant string
+	}{
+		{"unknown mechanism", func(s *ScenarioSpec) { s.Mechanism = "DR-XX" }, "mechanism"},
+		{"unknown profile mechanism", func(s *ScenarioSpec) { s.Profiles[1].Mechanism = "bogus" }, "mechanism"},
+		{"unknown mix", func(s *ScenarioSpec) { s.Mix = "no-such-mix" }, "mix"},
+		{"unknown profile mix", func(s *ScenarioSpec) { s.Profiles[0].Mix = "no-such-mix" }, "mix"},
+		{"no profiles", func(s *ScenarioSpec) { s.Profiles = nil }, "no profiles"},
+		{"empty profile group", func(s *ScenarioSpec) { s.Profiles[0].Cells = 0 }, "empty cell group"},
+		{"both count and weight", func(s *ScenarioSpec) { s.Profiles[0].DevicesPerCell = 10 }, "exactly one"},
+		{"neither count nor weight", func(s *ScenarioSpec) { s.Profiles[2].DevicesPerCell = 0 }, "exactly one"},
+		{"missing total for weights", func(s *ScenarioSpec) { s.TotalDevices = 0 }, "total_devices"},
+		{"total too small for weighted cells", func(s *ScenarioSpec) { s.TotalDevices = 52 }, "one device each"},
+		{"contradictory total", func(s *ScenarioSpec) {
+			s.Profiles = s.Profiles[2:3]
+			s.TotalDevices = 49
+		}, "contradicts"},
+		{"bad coverage length", func(s *ScenarioSpec) { s.Profiles[2].Coverage = []float64{1} }, "coverage"},
+		{"zero coverage weights", func(s *ScenarioSpec) { s.Profiles[2].Coverage = []float64{0, 0, 0} }, "coverage"},
+		{"negative ti", func(s *ScenarioSpec) { s.TIMillis = -5 }, "ti_ms"},
+		{"negative payload", func(s *ScenarioSpec) { s.PayloadBytes = -1 }, "payload"},
+		{"wave 0 churn", func(s *ScenarioSpec) { s.Waves[0].Detach = 0.5 }, "wave 0"},
+		{"negative churn", func(s *ScenarioSpec) { s.Waves[1].Attach = -0.1 }, "churn"},
+		{"detach+migrate over 1", func(s *ScenarioSpec) { s.Waves[1].Detach, s.Waves[1].Migrate = 0.7, 0.7 }, "exceeds 1"},
+		{"future format", func(s *ScenarioSpec) { s.Format = ScenarioFormat + 1 }, "format"},
+	}
+	for _, tc := range cases {
+		spec := heterogeneousSpec()
+		tc.mutate(&spec)
+		err := spec.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errWant)
+		}
+		if _, err := NewScenario(spec, 1); err == nil {
+			t.Errorf("%s: NewScenario accepted what Validate rejects", tc.name)
+		}
+	}
+}
+
+func TestParseScenarioSpec(t *testing.T) {
+	spec, err := ParseScenarioSpec([]byte(`{
+		"name": "two-tier",
+		"total_devices": 100,
+		"profiles": [
+			{"cells": 2, "weight": 3},
+			{"cells": 1, "devices_per_cell": 10, "mechanism": "DR-SI"}
+		],
+		"waves": [{}, {"detach": 0.1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "two-tier" || spec.NumSites() != 3 || spec.NumWaves() != 2 {
+		t.Errorf("parsed spec wrong: %+v", spec)
+	}
+	if _, err := ParseScenarioSpec([]byte(`{"profiles": [{"cells": 1, "weight": 1}], "total_devices": 4, "typo_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseScenarioSpec([]byte(`{"profiles": []}`)); err == nil {
+		t.Error("empty profiles accepted")
+	}
+}
+
+func TestScenarioSpecHash(t *testing.T) {
+	sparse := ScenarioSpec{Profiles: []CellProfile{{Cells: 2, Weight: 1}}, TotalDevices: 10}
+	normalized := sparse.withDefaults()
+	if sparse.Hash() != normalized.Hash() {
+		t.Error("hash distinguishes a sparse spec from its normalized form")
+	}
+	other := sparse
+	other.TotalDevices = 11
+	if sparse.Hash() == other.Hash() {
+		t.Error("hash ignores total_devices")
+	}
+	wavy := sparse
+	wavy.Waves = []RolloutWave{{}, {Detach: 0.25}}
+	if sparse.Hash() == wavy.Hash() {
+		t.Error("hash ignores waves")
+	}
+}
+
+func TestNewRejectsNonDenseFleet(t *testing.T) {
+	fleet, err := traffic.EricssonCityMix().Generate(4, rng.NewStream(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]Site{{ID: 0, Fleet: fleet}}); err != nil {
+		t.Fatalf("dense fleet rejected: %v", err)
+	}
+	sparse := append([]traffic.Device(nil), fleet...)
+	sparse[2].ID = 7
+	if _, err := New([]Site{{ID: 0, Fleet: sparse}}); err == nil {
+		t.Error("non-dense fleet accepted")
+	} else if !strings.Contains(err.Error(), "densely") {
+		t.Errorf("unhelpful non-dense error: %v", err)
+	}
+}
+
+func TestScenarioSerialPathRestrictions(t *testing.T) {
+	multi := ScenarioSpec{
+		TotalDevices: 30,
+		Profiles: []CellProfile{
+			{Cells: 1, Weight: 1},
+			{Cells: 1, DevicesPerCell: 5},
+		},
+	}
+	if _, err := NewFromSpec(multi, PopulateConfig{Stream: rng.NewStream(1)}); err == nil {
+		t.Error("serial generation accepted a multi-profile spec")
+	}
+	covered := ScenarioSpec{
+		TotalDevices: 30,
+		Profiles:     []CellProfile{{Cells: 2, Weight: 1, Coverage: []float64{1, 0, 0}}},
+	}
+	if _, err := NewFromSpec(covered, PopulateConfig{Stream: rng.NewStream(1)}); err == nil {
+		t.Error("serial generation accepted a coverage override")
+	}
+}

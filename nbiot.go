@@ -255,13 +255,21 @@ type TraceRecorder = trace.Recorder
 // NewTraceRecorder returns a bounded timeline recorder.
 func NewTraceRecorder(max int) *TraceRecorder { return trace.NewRecorder(max) }
 
-// --- multi-cell rollouts -----------------------------------------------------------------
+// --- multi-cell networks & city rollouts -------------------------------------------------
+//
+// The network layer models an operator's multi-cell deployment (ref [3]'s
+// coordination entity distributes content and device lists to each cell).
+// Its public API is heterogeneity-first: a ScenarioSpec declares groups of
+// cells (CellProfile) with their own coverage mixes, mechanisms, traffic
+// mixes, TI and payload overrides, plus optional churn waves, and both the
+// homogeneous helpers below and `nbsim rollout` are thin layers over it.
 
-// NetworkSite is one eNB and its attached devices.
+// NetworkSite is one eNB and its attached devices. Site fleets must be
+// densely identified: device at fleet position i has ID i (NewNetwork
+// rejects anything else).
 type NetworkSite = network.Site
 
-// Network is a multi-cell operator network (ref [3]'s coordination entity
-// distributes content and device lists to each cell).
+// Network is a multi-cell operator network.
 type Network = network.Network
 
 // RolloutConfig configures a network-wide firmware rollout. Its Parallelism
@@ -278,18 +286,81 @@ type Rollout = network.Rollout
 // NewNetwork builds a network from explicit sites.
 func NewNetwork(sites []NetworkSite) (*Network, error) { return network.New(sites) }
 
+// CellProfile declares one group of identically-configured cells inside a
+// ScenarioSpec: its device budget (fixed per cell, or a weighted share of
+// the scenario total) and any per-group overrides of the scenario-wide
+// mechanism, traffic mix, TI, payload, and coverage-class distribution.
+type CellProfile = network.CellProfile
+
+// RolloutWave is one snapshot of a multi-wave rollout. Waves after the
+// first may churn the fleet — seeded detach/attach/migrate fractions —
+// and override the payload (e.g. a small patch after the full image).
+type RolloutWave = network.RolloutWave
+
+// ScenarioSpec is the file-loadable (JSON, format-versioned) description
+// of a heterogeneous city rollout: profile groups expanded into per-site
+// configurations plus the wave sequence. It is the single source the
+// library, `nbsim rollout -spec`, and campaign manifests share.
+type ScenarioSpec = network.ScenarioSpec
+
+// Scenario is a ScenarioSpec resolved against a seed: per-site profiles
+// assigned, device counts drawn. It is a pure function of (spec, seed).
+type Scenario = network.Scenario
+
+// ScenarioRunConfig bounds a scenario run (Parallelism, and
+// DiscardCellResults to keep memory O(Parallelism) at any city size).
+type ScenarioRunConfig = network.ScenarioRunConfig
+
+// WaveResult aggregates one wave of an executed scenario.
+type WaveResult = network.WaveResult
+
+// ScenarioRollout is a whole executed scenario, one WaveResult per wave.
+type ScenarioRollout = network.ScenarioRollout
+
+// LoadScenarioSpec reads, parses, and validates a scenario-spec JSON file.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) { return network.LoadScenarioSpec(path) }
+
+// ParseScenarioSpec parses and validates scenario-spec JSON (unknown
+// fields are rejected, so typos fail loudly).
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) { return network.ParseScenarioSpec(data) }
+
+// NewScenario resolves a spec against a seed. The same (spec, seed) pair
+// always yields the identical scenario, whatever machine or worker count.
+func NewScenario(spec ScenarioSpec, seed int64) (*Scenario, error) {
+	return network.NewScenario(spec, seed)
+}
+
+// PopulateConfig configures NewNetworkFromSpec: the seed, the worker
+// bound, and compatibility hooks for the deprecated entry points.
+type PopulateConfig = network.PopulateConfig
+
+// NewNetworkFromSpec materialises a scenario's wave-0 network — every
+// cell populated per its profile, concurrently and reproducibly. This is
+// the single entry point behind the deprecated Populate* helpers.
+func NewNetworkFromSpec(spec ScenarioSpec, cfg PopulateConfig) (*Network, error) {
+	return network.NewFromSpec(spec, cfg)
+}
+
 // PopulateNetwork spreads a generated fleet over numCells cells, drawing
 // serially from one stream.
+//
+// Deprecated: use NewNetworkFromSpec with a one-profile ScenarioSpec (or
+// PopulateNetworkParallel for the seeded equivalent); this serial path
+// supports no heterogeneity and is kept only for byte-compatibility with
+// existing callers.
 func PopulateNetwork(numCells, totalDevices int, mix Mix, stream *Stream) (*Network, error) {
 	return network.Populate(numCells, totalDevices, mix, stream)
 }
 
-// PopulateNetworkParallel is the scale path for network generation: every
-// cell draws its fleet from its own seed-derived stream, concurrently on
-// the bounded pool (workers <= 0 means DefaultWorkers()). The network is
-// a pure function of the arguments — identical for every worker count —
-// so million-device networks materialise at full core count without
-// giving up reproducibility.
+// PopulateNetworkParallel is the scale path for homogeneous network
+// generation: every cell draws its fleet from its own seed-derived
+// stream, concurrently on the bounded pool (workers <= 0 means
+// DefaultWorkers()). The network is a pure function of the arguments —
+// identical for every worker count.
+//
+// Deprecated: use NewNetworkFromSpec, which generalises this to
+// heterogeneous cell profiles and produces byte-identical networks for
+// the equivalent one-profile spec.
 func PopulateNetworkParallel(numCells, totalDevices int, mix Mix, seed int64, workers int) (*Network, error) {
 	return network.PopulateParallel(numCells, totalDevices, mix, seed, workers)
 }
@@ -417,6 +488,25 @@ func RunGrid(o ExperimentOptions, spec GridSpec) (*GridResult, error) {
 	return experiment.Grid(o, spec)
 }
 
+// RolloutWaveSummary aggregates one wave of a rollout sweep.
+type RolloutWaveSummary = experiment.RolloutWaveSummary
+
+// RolloutResult is a rollout sweep's outcome, one summary per wave.
+type RolloutResult = experiment.RolloutResult
+
+// RolloutSpace enumerates a scenario spec as its (wave, cell) task space
+// — the global index space rollout shards, resumes, and merges address.
+func RolloutSpace(spec ScenarioSpec) (TaskSpace, error) { return experiment.RolloutSpace(spec) }
+
+// RunRollout executes a city-rollout scenario as a registered sweep on
+// the shared engine: one task per (wave, cell), full shard/resume/record
+// support, per-cell results folded as they stream so memory stays
+// O(Workers) at any city size. This is the engine behind
+// `nbsim rollout -spec`.
+func RunRollout(o ExperimentOptions, spec ScenarioSpec) (*RolloutResult, error) {
+	return experiment.Rollout(o, spec)
+}
+
 // --- distributed campaigns ---------------------------------------------------
 //
 // ExperimentOptions.ShardIndex/ShardCount/SkipTasks plus internal/campaign
@@ -448,6 +538,13 @@ func NewCampaignManifest(experimentName string, o ExperimentOptions, shardIndex,
 // record file documents the scenario it swept.
 func NewGridCampaignManifest(spec GridSpec, o ExperimentOptions, shardIndex, shardCount int) (CampaignManifest, error) {
 	return campaign.NewGrid(spec, o, shardIndex, shardCount)
+}
+
+// NewRolloutCampaignManifest builds the manifest for one shard of a
+// city-rollout campaign; the normalized scenario spec rides along in the
+// manifest, so shards of different scenarios never merge.
+func NewRolloutCampaignManifest(spec ScenarioSpec, o ExperimentOptions, shardIndex, shardCount int) (CampaignManifest, error) {
+	return campaign.NewRollout(spec, o, shardIndex, shardCount)
 }
 
 // ReadCampaignManifest loads and validates a manifest sidecar.
